@@ -1,0 +1,44 @@
+# Development targets for the multibus reproduction.
+
+GO ?= go
+
+.PHONY: all build test race bench repro examples fmt vet cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=NONE .
+
+# Full reproduction verdict: every paper table/figure plus the
+# cross-validation ladder; exits nonzero on any mismatch.
+repro:
+	$(GO) run ./cmd/mbrepro
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/capacityplanning
+	$(GO) run ./examples/faulttolerance
+	$(GO) run ./examples/clusterscheduler
+	$(GO) run ./examples/designexplorer
+	$(GO) run ./examples/hotspotplacement
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+cover:
+	$(GO) test -cover ./...
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,78 @@
+// Command mbcost reproduces the paper's Table I (cost and fault
+// tolerance of the four connection schemes) for a concrete N×M×B
+// configuration, and ranks the schemes by bandwidth-per-connection at a
+// chosen workload (§IV).
+//
+// Usage:
+//
+//	mbcost -n 16 -b 8
+//	mbcost -n 32 -b 16 -g 2 -k 16 -r 0.5 -workload unif
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"multibus/internal/cliutil"
+	"multibus/internal/cost"
+)
+
+func main() {
+	var (
+		n  = flag.Int("n", 16, "number of processors")
+		m  = flag.Int("m", 0, "number of memory modules (default n)")
+		b  = flag.Int("b", 8, "number of buses")
+		g  = flag.Int("g", 2, "groups for the partial bus network row")
+		k  = flag.Int("k", 0, "classes for the K-class row (default b)")
+		r  = flag.Float64("r", 1.0, "request rate for the effectiveness ranking")
+		wl = flag.String("workload", "hier", "workload for the ranking: hier or unif")
+	)
+	flag.Parse()
+	if *m == 0 {
+		*m = *n
+	}
+	if *k == 0 {
+		*k = *b
+	}
+	if err := run(*n, *m, *b, *g, *k, *r, *wl); err != nil {
+		fmt.Fprintln(os.Stderr, "mbcost:", err)
+		os.Exit(1)
+	}
+}
+
+func run(n, m, b, g, k int, r float64, wl string) error {
+	rows, err := cost.TableI(n, m, b, g, k)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Table I — cost and fault tolerance, N=%d M=%d B=%d g=%d K=%d\n\n", n, m, b, g, k)
+	fmt.Printf("%-38s %-18s %-12s %-22s %-8s %-10s\n",
+		"scheme", "connections", "(value)", "max bus load (value)", "degree", "(value)")
+	for _, row := range rows {
+		fmt.Printf("%-38s %-18s %-12d %-22s %-8s %-10d\n",
+			row.Scheme, row.ConnectionsExpr, row.Connections,
+			fmt.Sprintf("%s (%d)", row.LoadExpr, row.MaxBusLoad),
+			row.FaultDegreeExpr, row.FaultDegree)
+	}
+
+	model, err := cliutil.BuildModel(wl, m)
+	if err != nil {
+		return err
+	}
+	x, err := model.X(r)
+	if err != nil {
+		return err
+	}
+	eff, err := cost.CompareEffectiveness(n, m, b, g, k, x)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nEffectiveness at %s workload, r=%.2f (X=%.4f):\n\n", wl, r, x)
+	fmt.Printf("%-38s %10s %12s %14s %7s\n", "scheme", "bandwidth", "connections", "BW/connection", "degree")
+	for _, e := range eff {
+		fmt.Printf("%-38s %10.4f %12d %14.6f %7d\n",
+			e.Scheme, e.Bandwidth, e.Connections, e.Ratio, e.FaultDegree)
+	}
+	return nil
+}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"multibus/internal/testutil"
+)
+
+func TestRunTableIAndRanking(t *testing.T) {
+	out := testutil.CaptureStdout(t, func() error {
+		return run(16, 16, 8, 2, 8, 1.0, "hier")
+	})
+	for _, frag := range []string{
+		"Table I", "B(N+M)", "256", "BN+M", "144",
+		"Effectiveness", "single bus-memory connection",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q", frag)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(16, 16, 8, 3, 8, 1.0, "hier"); err == nil {
+		t.Error("bad g should error")
+	}
+	if err := run(16, 16, 8, 2, 8, 1.0, "zipf"); err == nil {
+		t.Error("bad workload should error")
+	}
+	if err := run(16, 16, 8, 2, 8, 1.5, "hier"); err == nil {
+		t.Error("bad rate should error")
+	}
+}

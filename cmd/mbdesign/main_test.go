@@ -1,0 +1,44 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"multibus/internal/testutil"
+)
+
+func TestRunUnconstrained(t *testing.T) {
+	out := testutil.CaptureStdout(t, func() error {
+		return run(16, 1.0, "hier", 0, 0, 0, 0, false)
+	})
+	for _, frag := range []string{"design space for N=16", "pareto", "full bus-memory connection"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q", frag)
+		}
+	}
+}
+
+func TestRunConstrainedFrontier(t *testing.T) {
+	out := testutil.CaptureStdout(t, func() error {
+		return run(16, 1.0, "hier", 7, 2, 260, 0, true)
+	})
+	if !strings.Contains(out, "*") {
+		t.Errorf("frontier run missing pareto marks:\n%s", out)
+	}
+	// Impossible spec reports cleanly.
+	out = testutil.CaptureStdout(t, func() error {
+		return run(16, 1.0, "hier", 100, 0, 0, 0, false)
+	})
+	if !strings.Contains(out, "no feasible configurations") {
+		t.Errorf("impossible spec output:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(16, 1.5, "hier", 0, 0, 0, 0, false); err == nil {
+		t.Error("bad rate should error")
+	}
+	if err := run(16, 1.0, "zipf", 0, 0, 0, 0, false); err == nil {
+		t.Error("bad workload should error")
+	}
+}

@@ -1,0 +1,123 @@
+// Command mbfault quantifies the fault-tolerance behaviour of a multiple
+// bus network: the survivability curve (bandwidth and module
+// reachability for every count of failed buses) and the expected
+// bandwidth when buses fail independently.
+//
+// Usage:
+//
+//	mbfault -scheme kclass -n 16 -b 8 -k 4 -maxfail 4
+//	mbfault -scheme partial -n 16 -b 8 -g 2 -p 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"multibus/internal/asciiplot"
+	"multibus/internal/cliutil"
+	"multibus/internal/fault"
+)
+
+func main() {
+	var (
+		scheme  = flag.String("scheme", "kclass", "connection scheme: full, single, partial, kclass")
+		n       = flag.Int("n", 16, "number of processors")
+		m       = flag.Int("m", 0, "number of memory modules (default n)")
+		b       = flag.Int("b", 8, "number of buses")
+		g       = flag.Int("g", 2, "groups for -scheme partial")
+		k       = flag.Int("k", 0, "classes for -scheme kclass (default b/2)")
+		r       = flag.Float64("r", 1.0, "request rate")
+		wl      = flag.String("workload", "hier", "workload: hier or unif")
+		maxFail = flag.Int("maxfail", 3, "largest failure count for the survivability curve")
+		p       = flag.Float64("p", 0.05, "independent per-bus failure probability")
+		lambda  = flag.Float64("lambda", 0, "per-bus failure rate for the mission trajectory (0 disables)")
+		horizon = flag.Float64("horizon", 10, "mission length for the trajectory")
+	)
+	flag.Parse()
+	if *m == 0 {
+		*m = *n
+	}
+	if *k == 0 {
+		*k = *b / 2
+		if *k == 0 {
+			*k = 1
+		}
+	}
+	if err := run(*scheme, *n, *m, *b, *g, *k, *r, *wl, *maxFail, *p, *lambda, *horizon); err != nil {
+		fmt.Fprintln(os.Stderr, "mbfault:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scheme string, n, m, b, g, k int, r float64, wl string, maxFail int, p, lambda, horizon float64) error {
+	nw, err := cliutil.BuildNetwork(scheme, n, m, b, g, k)
+	if err != nil {
+		return err
+	}
+	model, err := cliutil.BuildModel(wl, m)
+	if err != nil {
+		return err
+	}
+	x, err := model.X(r)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("network: %v (fault degree %d)\n", nw, nw.FaultToleranceDegree())
+	fmt.Printf("workload: %s, r=%.2f (X=%.4f)\n\n", wl, r, x)
+
+	if maxFail >= nw.B() {
+		maxFail = nw.B() - 1
+	}
+	levels, err := fault.SurvivabilityCurve(nw, x, maxFail)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%8s %10s %12s %12s %12s %10s %12s\n",
+		"failures", "scenarios", "min BW", "mean BW", "max BW", "lost(max)", "reach frac")
+	for _, lv := range levels {
+		fmt.Printf("%8d %10d %12.4f %12.4f %12.4f %10d %12.3f\n",
+			lv.Failures, lv.Scenarios, lv.MinBandwidth, lv.MeanBandwidth,
+			lv.MaxBandwidth, lv.WorstLostModules, lv.SurvivingFraction)
+	}
+	bars := make([]asciiplot.Bar, 0, len(levels))
+	for _, lv := range levels {
+		bars = append(bars, asciiplot.Bar{
+			Label: fmt.Sprintf("%d failed", lv.Failures),
+			Value: lv.MeanBandwidth,
+		})
+	}
+	if chart, err := asciiplot.BarChart("\nmean bandwidth by failure count:", bars, 40); err == nil {
+		fmt.Print(chart)
+	}
+
+	mean, reach, err := fault.ExpectedBandwidth(nw, x, p, 0, 1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nindependent bus failures at p=%.3f: E[bandwidth] = %.4f, P[all modules reachable] = %.4f\n",
+		p, mean, reach)
+
+	if lambda > 0 {
+		times := make([]float64, 11)
+		for i := range times {
+			times[i] = horizon * float64(i) / 10
+		}
+		traj, err := fault.BandwidthTrajectory(nw, x, lambda, times)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nmission trajectory (per-bus failure rate λ=%.3g, horizon %.3g):\n", lambda, horizon)
+		fmt.Printf("%10s %12s %14s %12s\n", "time", "P[bus dead]", "E[bandwidth]", "reach prob")
+		for _, pt := range traj {
+			fmt.Printf("%10.3f %12.4f %14.4f %12.4f\n",
+				pt.Time, pt.FailureProb, pt.ExpectedBandwidth, pt.ReachProbability)
+		}
+		capacity, err := fault.MissionCapacity(traj)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("mission capacity (∫ E[BW] dt): %.2f requests\n", capacity)
+	}
+	return nil
+}

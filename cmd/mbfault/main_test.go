@@ -1,0 +1,41 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"multibus/internal/testutil"
+)
+
+func TestRunSurvivabilityAndTrajectory(t *testing.T) {
+	out := testutil.CaptureStdout(t, func() error {
+		return run("kclass", 16, 16, 8, 2, 4, 1.0, "hier", 3, 0.05, 0.05, 10)
+	})
+	for _, frag := range []string{
+		"fault degree 4", "failures", "reach frac",
+		"independent bus failures", "mission trajectory", "mission capacity",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestRunMaxFailClamped(t *testing.T) {
+	// maxfail ≥ B is clamped rather than erroring.
+	out := testutil.CaptureStdout(t, func() error {
+		return run("full", 8, 8, 4, 2, 2, 1.0, "hier", 10, 0.05, 0, 10)
+	})
+	if !strings.Contains(out, "reach frac") {
+		t.Errorf("clamped run malformed:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("mesh", 8, 8, 4, 2, 2, 1.0, "hier", 2, 0.05, 0, 10); err == nil {
+		t.Error("unknown scheme should error")
+	}
+	if err := run("full", 8, 8, 4, 2, 2, 1.0, "hier", 2, 1.5, 0, 10); err == nil {
+		t.Error("bad p should error")
+	}
+}

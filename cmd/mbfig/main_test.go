@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"multibus/internal/testutil"
+)
+
+func TestRunPaperFigures(t *testing.T) {
+	for fig := 1; fig <= 4; fig++ {
+		out := testutil.CaptureStdout(t, func() error {
+			return run(fig, "", "", 0, 0, 0, 0, 0, fig == 3)
+		})
+		if !strings.Contains(out, "bus 1") || !strings.Contains(out, "connections:") {
+			t.Errorf("figure %d output malformed:\n%s", fig, out)
+		}
+	}
+	// Fig 3 with -matrix prints the wiring.
+	out := testutil.CaptureStdout(t, func() error { return run(3, "", "", 0, 0, 0, 0, 0, true) })
+	if !strings.Contains(out, "1 1 1 1 1 1") {
+		t.Errorf("fig 3 matrix missing:\n%s", out)
+	}
+}
+
+func TestRunCustomScheme(t *testing.T) {
+	out := testutil.CaptureStdout(t, func() error {
+		return run(0, "kclass", "", 4, 8, 4, 2, 2, false)
+	})
+	if !strings.Contains(out, "K classes") {
+		t.Errorf("custom kclass output:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(9, "", "", 0, 0, 0, 0, 0, false); err == nil {
+		t.Error("unknown figure should error")
+	}
+	if err := run(0, "mesh", "", 4, 4, 2, 2, 2, false); err == nil {
+		t.Error("unknown scheme should error")
+	}
+}

@@ -1,0 +1,22 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"multibus/internal/repro"
+)
+
+func TestReportPipelineAndRender(t *testing.T) {
+	rep, err := repro.Run(4000, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := rep.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Reproduction report") {
+		t.Errorf("report malformed:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,200 @@
+// Command mbsim runs the cycle-level Monte-Carlo simulator of an N×M×B
+// multiple bus network under the two-stage arbitration protocol and,
+// when a closed form exists, reports the analytic prediction next to the
+// measurement. For small systems (M ≤ 20) it can additionally print the
+// exact expectation computed by subset dynamic programming; in resubmit
+// mode it prints the adjusted-rate fixed-point estimate.
+//
+// Usage:
+//
+//	mbsim -scheme full -n 16 -b 8 -r 1.0 -workload hier
+//	mbsim -scheme kclass -n 16 -b 8 -k 8 -cycles 100000 -exact
+//	mbsim -scheme partial -n 32 -b 16 -g 2 -mode resubmit
+//	mbsim -scheme full -n 4 -b 2 -trace requests.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"multibus/internal/analytic"
+	"multibus/internal/cliutil"
+	"multibus/internal/exact"
+	"multibus/internal/sim"
+	"multibus/internal/topology"
+	"multibus/internal/workload"
+)
+
+func main() {
+	var (
+		scheme    = flag.String("scheme", "full", "connection scheme: full, single, partial, kclass")
+		n         = flag.Int("n", 16, "number of processors")
+		m         = flag.Int("m", 0, "number of memory modules (default n)")
+		b         = flag.Int("b", 8, "number of buses")
+		g         = flag.Int("g", 2, "groups for -scheme partial")
+		k         = flag.Int("k", 0, "classes for -scheme kclass (default b)")
+		r         = flag.Float64("r", 1.0, "per-cycle request probability")
+		wl        = flag.String("workload", "hier", "workload: hier, unif, hotspot")
+		tracePath = flag.String("trace", "", "replay a request trace file instead of a stochastic workload")
+		wiring    = flag.String("wiring", "", "load a custom wiring file instead of -scheme")
+		cycles    = flag.Int("cycles", 50000, "measured cycles")
+		seed      = flag.Int64("seed", 1, "RNG seed")
+		mode      = flag.String("mode", "drop", "blocked request handling: drop (paper) or resubmit")
+		service   = flag.Int("service", 1, "cycles a module stays busy per accepted request")
+		withExact = flag.Bool("exact", false, "also compute the exact expectation (M ≤ 20)")
+		verbose   = flag.Bool("v", false, "print per-module, per-bus, and per-processor statistics")
+	)
+	flag.Parse()
+	if *m == 0 {
+		*m = *n
+	}
+	if *k == 0 {
+		*k = *b
+	}
+	if err := run(options{
+		scheme: *scheme, n: *n, m: *m, b: *b, g: *g, k: *k, r: *r,
+		wl: *wl, tracePath: *tracePath, wiringPath: *wiring,
+		cycles: *cycles, seed: *seed, service: *service,
+		mode: *mode, withExact: *withExact, verbose: *verbose,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "mbsim:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	scheme        string
+	n, m, b, g, k int
+	r             float64
+	wl, tracePath string
+	wiringPath    string
+	cycles        int
+	seed          int64
+	service       int
+	mode          string
+	withExact     bool
+	verbose       bool
+}
+
+func run(o options) error {
+	var nw *topology.Network
+	var err error
+	if o.wiringPath != "" {
+		f, ferr := os.Open(o.wiringPath)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		nw, err = topology.ReadWiring(f)
+		if err != nil {
+			return err
+		}
+		o.n, o.m, o.b = nw.N(), nw.M(), nw.B()
+	} else {
+		nw, err = cliutil.BuildNetwork(o.scheme, o.n, o.m, o.b, o.g, o.k)
+		if err != nil {
+			return err
+		}
+	}
+	var gen workload.Generator
+	if o.tracePath != "" {
+		f, err := os.Open(o.tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		gen, err = workload.NewTraceFromReader(f)
+		if err != nil {
+			return err
+		}
+		if gen.NProcessors() != o.n || gen.MModules() != o.m {
+			return fmt.Errorf("trace is %d×%d but network is %d×%d",
+				gen.NProcessors(), gen.MModules(), o.n, o.m)
+		}
+		o.wl = "trace:" + o.tracePath
+	} else {
+		gen, err = cliutil.BuildWorkload(o.wl, o.n, o.m, o.r)
+		if err != nil {
+			return err
+		}
+	}
+	cfg := sim.Config{
+		Topology: nw, Workload: gen, Cycles: o.cycles, Seed: o.seed,
+		ModuleServiceCycles: o.service,
+	}
+	switch o.mode {
+	case "drop":
+	case "resubmit":
+		cfg.Mode = sim.ModeResubmit
+	default:
+		return fmt.Errorf("unknown mode %q", o.mode)
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("network:    %v\n", nw)
+	fmt.Printf("workload:   %s, r=%.2f, mode=%v, %d cycles, seed %d\n",
+		o.wl, gen.Rate(), cfg.Mode, o.cycles, o.seed)
+	fmt.Printf("bandwidth:  %.4f ± %.4f requests/cycle (95%% CI)\n", res.Bandwidth, res.BandwidthCI95)
+	fmt.Printf("acceptance: %.4f  (offered %d, accepted %d)\n", res.AcceptanceProbability, res.Offered, res.Accepted)
+	fmt.Printf("blocked:    memory %d, bus %d, stranded %d, module-busy %d\n",
+		res.MemoryBlocked, res.BusBlocked, res.StrandedBlocked, res.ModuleBusyBlocked)
+	fmt.Printf("bus util:   %.4f\n", res.BusUtilization)
+	fmt.Printf("fairness:   %.4f (Jain index over per-processor acceptances)\n", res.JainFairness())
+	if res.Mode == sim.ModeResubmit {
+		fmt.Printf("mean wait:  %.4f cycles\n", res.MeanWaitCycles)
+	}
+
+	// Model-based cross-checks where a matching request model exists.
+	if o.wl == "hier" || o.wl == "unif" {
+		model, err := cliutil.BuildModel(o.wl, o.n)
+		if err == nil && o.n == o.m {
+			if x, xerr := model.X(o.r); xerr == nil {
+				if pred, aerr := analytic.Bandwidth(nw, x); aerr == nil {
+					diff := res.Bandwidth - pred
+					fmt.Printf("analytic:   %.4f (X=%.4f, sim−analytic = %+.4f, %.2f%%)\n",
+						pred, x, diff, 100*diff/pred)
+				}
+			}
+			if o.withExact {
+				if pm, err := exact.FromProbVectors(model, o.n, o.m); err == nil {
+					if ex, err := exact.Bandwidth(nw, pm, o.r); err != nil {
+						fmt.Printf("exact:      unavailable (%v)\n", err)
+					} else {
+						fmt.Printf("exact:      %.4f (sim−exact = %+.4f)\n", ex, res.Bandwidth-ex)
+					}
+				}
+			}
+			if cfg.Mode == sim.ModeResubmit {
+				if est, err := analytic.EstimateResubmit(nw, o.n, model, o.r); err == nil {
+					fmt.Printf("fixed point: throughput %.4f, wait %.4f cycles (adjusted rate %.4f)\n",
+						est.Bandwidth, est.MeanWaitCycles, est.AdjustedRate)
+				}
+			}
+		}
+	}
+
+	if o.verbose {
+		fmt.Println("\nper-bus service rates:")
+		for i, rate := range res.BusServiceRate {
+			fmt.Printf("  bus %-3d %.4f\n", i+1, rate)
+		}
+		fmt.Println("per-module service rates:")
+		for j, rate := range res.ModuleServiceRate {
+			fmt.Printf("  M%-3d %.4f\n", j, rate)
+		}
+		fmt.Println("per-processor acceptance:")
+		for p := range res.ProcessorAccepted {
+			offered := res.ProcessorOffered[p]
+			frac := 1.0
+			if offered > 0 {
+				frac = float64(res.ProcessorAccepted[p]) / float64(offered)
+			}
+			fmt.Printf("  P%-3d offered %-8d accepted %-8d (%.4f)\n",
+				p, offered, res.ProcessorAccepted[p], frac)
+		}
+	}
+	return nil
+}

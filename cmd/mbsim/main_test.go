@@ -1,0 +1,115 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"multibus/internal/testutil"
+)
+
+func baseOptions() options {
+	return options{
+		scheme: "full", n: 8, m: 8, b: 4, g: 2, k: 4,
+		r: 1.0, wl: "hier", cycles: 3000, seed: 1, mode: "drop",
+	}
+}
+
+func TestRunDropWithAnalytic(t *testing.T) {
+	out := testutil.CaptureStdout(t, func() error { return run(baseOptions()) })
+	for _, frag := range []string{"bandwidth:", "acceptance:", "analytic:", "blocked:"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestRunResubmitWithFixedPoint(t *testing.T) {
+	o := baseOptions()
+	o.mode = "resubmit"
+	out := testutil.CaptureStdout(t, func() error { return run(o) })
+	for _, frag := range []string{"mean wait:", "fixed point:"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestRunExactAndVerbose(t *testing.T) {
+	o := baseOptions()
+	o.withExact = true
+	o.verbose = true
+	out := testutil.CaptureStdout(t, func() error { return run(o) })
+	for _, frag := range []string{"exact:", "per-bus service rates", "per-processor acceptance"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestRunTraceReplay(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.txt")
+	trace := "n=8 m=8\ncycle\n0 0\n1 1\ncycle\n2 2\n"
+	if err := os.WriteFile(path, []byte(trace), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o := baseOptions()
+	o.tracePath = path
+	o.cycles = 100
+	out := testutil.CaptureStdout(t, func() error { return run(o) })
+	if !strings.Contains(out, "trace:"+path) {
+		t.Errorf("trace label missing:\n%s", out)
+	}
+	// Dimension mismatch rejected.
+	o.n, o.m = 4, 4
+	if err := run(o); err == nil {
+		t.Error("trace/network mismatch should error")
+	}
+	// Missing file rejected.
+	o = baseOptions()
+	o.tracePath = filepath.Join(dir, "missing.txt")
+	if err := run(o); err == nil {
+		t.Error("missing trace should error")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	o := baseOptions()
+	o.mode = "teleport"
+	if err := run(o); err == nil {
+		t.Error("unknown mode should error")
+	}
+	o = baseOptions()
+	o.scheme = "mesh"
+	if err := run(o); err == nil {
+		t.Error("unknown scheme should error")
+	}
+	o = baseOptions()
+	o.wl = "zipf"
+	if err := run(o); err == nil {
+		t.Error("unknown workload should error")
+	}
+}
+
+func TestRunCustomWiring(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wiring.txt")
+	wiring := "n=4 b=3 m=4\n1 1 0 0\n0 1 1 0\n0 0 1 1\n"
+	if err := os.WriteFile(path, []byte(wiring), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o := baseOptions()
+	o.wiringPath = path
+	o.wl = "unif"
+	o.cycles = 500
+	out := testutil.CaptureStdout(t, func() error { return run(o) })
+	if !strings.Contains(out, "4×4×3 custom") {
+		t.Errorf("custom wiring not loaded:\n%s", out)
+	}
+	o.wiringPath = filepath.Join(dir, "absent.txt")
+	if err := run(o); err == nil {
+		t.Error("missing wiring file should error")
+	}
+}

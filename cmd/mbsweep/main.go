@@ -1,0 +1,111 @@
+// Command mbsweep sweeps bandwidth over the number of buses for the four
+// connection schemes and draws the curves as an ASCII chart, optionally
+// cross-checking every point with the Monte-Carlo simulator.
+//
+// Usage:
+//
+//	mbsweep -n 16
+//	mbsweep -n 32 -r 0.5 -workload unif -sim
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"multibus/internal/asciiplot"
+	"multibus/internal/sweep"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 16, "number of processors (and modules)")
+		r       = flag.Float64("r", 1.0, "request rate")
+		wl      = flag.String("workload", "hier", "workload: hier or unif")
+		withSim = flag.Bool("sim", false, "cross-check each point with the simulator")
+		cycles  = flag.Int("cycles", 20000, "simulation cycles per point with -sim")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		asCSV   = flag.Bool("csv", false, "emit CSV instead of chart + table")
+	)
+	flag.Parse()
+	if err := run(*n, *r, *wl, *withSim, *cycles, *seed, *asCSV); err != nil {
+		fmt.Fprintln(os.Stderr, "mbsweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(n int, r float64, wl string, withSim bool, cycles int, seed int64, asCSV bool) error {
+	hier := wl == "hier"
+	if !hier && wl != "unif" {
+		return fmt.Errorf("unknown workload %q (want hier|unif)", wl)
+	}
+	var bs []int
+	for b := 1; b <= n; b *= 2 {
+		bs = append(bs, b)
+	}
+	schemes := []sweep.Scheme{sweep.Full, sweep.Single, sweep.PartialG2, sweep.KClassesEven, sweep.Crossbar}
+	points, err := sweep.Run(sweep.Spec{
+		Ns:           []int{n},
+		Bs:           bs,
+		Rs:           []float64{r},
+		Schemes:      schemes,
+		Hierarchical: hier,
+		WithSim:      withSim,
+		SimCycles:    cycles,
+		Seed:         seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	if asCSV {
+		fmt.Println("scheme,n,b,r,x,analytic,simulated,sim_ci95")
+		for _, p := range points {
+			fmt.Printf("%s,%d,%d,%g,%.6f,%.6f", p.Scheme, p.N, p.B, p.R, p.X, p.Bandwidth)
+			if p.Simulated {
+				fmt.Printf(",%.6f,%.6f", p.SimBandwidth, p.SimCI95)
+			} else {
+				fmt.Print(",,")
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+
+	var series []asciiplot.Series
+	for _, s := range schemes {
+		sbs, bws := sweep.Series(points, s, n, r)
+		if len(sbs) == 0 {
+			continue
+		}
+		xs := make([]float64, len(sbs))
+		for i, b := range sbs {
+			xs[i] = float64(b)
+		}
+		series = append(series, asciiplot.Series{Name: s.String(), Xs: xs, Ys: bws})
+	}
+	chart, err := (&asciiplot.Plot{
+		Title:  fmt.Sprintf("Memory bandwidth vs number of buses — N=%d, r=%.2f, %s workload", n, r, wl),
+		XLabel: "buses B",
+		YLabel: "bandwidth (requests/cycle)",
+		Series: series,
+	}).Render()
+	if err != nil {
+		return err
+	}
+	fmt.Print(chart)
+
+	fmt.Printf("\n%-12s %4s %4s %6s %12s", "scheme", "N", "B", "r", "analytic")
+	if withSim {
+		fmt.Printf(" %12s %10s", "simulated", "Δ%")
+	}
+	fmt.Println()
+	for _, p := range points {
+		fmt.Printf("%-12s %4d %4d %6.2f %12.4f", p.Scheme, p.N, p.B, p.R, p.Bandwidth)
+		if p.Simulated {
+			fmt.Printf(" %12.4f %9.2f%%", p.SimBandwidth, 100*(p.SimBandwidth-p.Bandwidth)/p.Bandwidth)
+		}
+		fmt.Println()
+	}
+	return nil
+}

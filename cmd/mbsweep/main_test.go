@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"multibus/internal/testutil"
+)
+
+func TestRunChartAndTable(t *testing.T) {
+	out := testutil.CaptureStdout(t, func() error {
+		return run(16, 1.0, "hier", false, 0, 1, false)
+	})
+	for _, frag := range []string{
+		"Memory bandwidth vs number of buses", "legend:", "crossbar",
+		"scheme", "analytic",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestRunWithSim(t *testing.T) {
+	out := testutil.CaptureStdout(t, func() error {
+		return run(8, 1.0, "unif", true, 2000, 3, false)
+	})
+	if !strings.Contains(out, "simulated") || !strings.Contains(out, "Δ%") {
+		t.Errorf("sim columns missing:\n%s", out)
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	out := testutil.CaptureStdout(t, func() error {
+		return run(8, 1.0, "hier", false, 0, 1, true)
+	})
+	if !strings.HasPrefix(out, "scheme,n,b,r,x,analytic") {
+		t.Errorf("csv header wrong: %q", out[:40])
+	}
+	if !strings.Contains(out, "full,8,") {
+		t.Errorf("csv rows missing:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(16, 1.0, "zipf", false, 0, 1, false); err == nil {
+		t.Error("unknown workload should error")
+	}
+}

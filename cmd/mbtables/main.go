@@ -1,0 +1,87 @@
+// Command mbtables regenerates the paper's numerical tables (II–VI) from
+// the closed-form bandwidth models and compares them against the values
+// the paper printed.
+//
+// Usage:
+//
+//	mbtables                        # all tables, text, with paper comparison verdicts
+//	mbtables -table Va              # one table
+//	mbtables -format markdown      # markdown output
+//	mbtables -format csv            # CSV output
+//	mbtables -format sidebyside     # computed/paper per cell
+//	mbtables -tol 0.02              # comparison tolerance
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"multibus/internal/tables"
+)
+
+func main() {
+	var (
+		table  = flag.String("table", "all", "table ID: II, III, IVa, IVb, Va, Vb, VIa, VIb, or all")
+		format = flag.String("format", "text", "output format: text, markdown, csv, sidebyside")
+		tol    = flag.Float64("tol", 0.02, "per-cell tolerance for the paper comparison")
+	)
+	flag.Parse()
+	if err := run(*table, *format, *tol); err != nil {
+		fmt.Fprintln(os.Stderr, "mbtables:", err)
+		os.Exit(1)
+	}
+}
+
+func run(table, format string, tol float64) error {
+	ids := append(tables.AllIDs(), tables.ExtensionIDs()...)
+	if table != "all" {
+		ids = []string{table}
+	}
+	for _, id := range ids {
+		computed, err := tables.Generate(id)
+		if err != nil {
+			computed, err = tables.GenerateExtension(id)
+			if err != nil {
+				return err
+			}
+		}
+		paper := tables.PaperTable(id)
+		switch format {
+		case "text":
+			if err := computed.Render(os.Stdout); err != nil {
+				return err
+			}
+		case "markdown":
+			if err := computed.RenderMarkdown(os.Stdout); err != nil {
+				return err
+			}
+		case "csv":
+			if err := computed.RenderCSV(os.Stdout); err != nil {
+				return err
+			}
+		case "sidebyside":
+			if paper == nil {
+				// Extension tables have no paper reference.
+				if err := computed.Render(os.Stdout); err != nil {
+					return err
+				}
+				break
+			}
+			if err := tables.RenderSideBySide(os.Stdout, computed, paper); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown format %q", format)
+		}
+		if paper != nil && format != "csv" {
+			cmp, err := tables.Compare(computed, paper, tol)
+			if err != nil {
+				return err
+			}
+			fmt.Println(cmp)
+		}
+		fmt.Println()
+	}
+	return nil
+}

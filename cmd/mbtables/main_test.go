@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"multibus/internal/testutil"
+)
+
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	return testutil.CaptureStdout(t, fn)
+}
+
+func TestRunSingleTableText(t *testing.T) {
+	out := captureStdout(t, func() error { return run("Va", "text", 0.02) })
+	for _, frag := range []string{"Table Va", "1.99", "OK (tol 0.02)"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestRunAllMarkdown(t *testing.T) {
+	out := captureStdout(t, func() error { return run("all", "markdown", 0.02) })
+	// All paper tables plus both extensions.
+	for _, frag := range []string{"Table II", "Table VIb", "Table NM", "Table L3", "|---|"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q", frag)
+		}
+	}
+}
+
+func TestRunCSVAndSideBySide(t *testing.T) {
+	out := captureStdout(t, func() error { return run("II", "csv", 0.02) })
+	if !strings.HasPrefix(out, "B,N=8 Hier") {
+		t.Errorf("csv header wrong: %q", out[:40])
+	}
+	out = captureStdout(t, func() error { return run("Va", "sidebyside", 0.02) })
+	if !strings.Contains(out, "computed/paper") {
+		t.Errorf("sidebyside missing header:\n%s", out)
+	}
+	// Extension tables render plainly in sidebyside mode.
+	out = captureStdout(t, func() error { return run("NM", "sidebyside", 0.02) })
+	if !strings.Contains(out, "Table NM") {
+		t.Errorf("extension sidebyside missing table:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("nope", "text", 0.02); err == nil {
+		t.Error("unknown table should error")
+	}
+	if err := run("Va", "json", 0.02); err == nil {
+		t.Error("unknown format should error")
+	}
+}

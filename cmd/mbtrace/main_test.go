@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"multibus/internal/workload"
+)
+
+func TestRecordedTraceReplays(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(f, "hier", 8, 8, 0.7, 0, 50, 11); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "# multibus request trace") {
+		t.Errorf("trace header wrong: %q", string(data[:40]))
+	}
+	g, err := workload.NewTraceFromReader(strings.NewReader(string(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NProcessors() != 8 || g.MModules() != 8 {
+		t.Errorf("dims %d×%d", g.NProcessors(), g.MModules())
+	}
+	// The recorded trace rate is near the workload's.
+	if rate := g.Rate(); rate < 0.6 || rate > 0.8 {
+		t.Errorf("recorded rate %.3f, want ≈0.7", rate)
+	}
+}
+
+func TestZipfAndErrors(t *testing.T) {
+	f, err := os.CreateTemp(t.TempDir(), "z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := run(f, "zipf", 4, 8, 1.0, 1.5, 10, 1); err != nil {
+		t.Errorf("zipf recording: %v", err)
+	}
+	if err := run(f, "nope", 4, 4, 1.0, 0, 10, 1); err == nil {
+		t.Error("unknown workload should error")
+	}
+	if err := run(f, "hier", 4, 4, 1.0, 0, 0, 1); err == nil {
+		t.Error("zero cycles should error")
+	}
+}

@@ -1,0 +1,96 @@
+package multibus
+
+import (
+	"fmt"
+
+	"multibus/internal/design"
+	"multibus/internal/workload"
+)
+
+// DesignConstraints narrow the design space searched by ExploreDesigns;
+// zero values leave a dimension unconstrained.
+type DesignConstraints = design.Constraints
+
+// DesignCandidate is one evaluated configuration of the design space,
+// with its Pareto flag over (bandwidth, connections, fault degree).
+type DesignCandidate = design.Candidate
+
+// ExploreDesigns enumerates every full, single, partial-group, and
+// even-K-class configuration of an n×n system with 1 … n buses,
+// evaluates each under the request model at rate r, filters by the
+// constraints, and marks the Pareto frontier. Candidates come back
+// ordered by descending bandwidth, then ascending cost.
+func ExploreDesigns(n int, model RequestModel, r float64, cons DesignConstraints) ([]DesignCandidate, error) {
+	if model == nil {
+		return nil, fmt.Errorf("multibus: ExploreDesigns requires a model")
+	}
+	return design.Explore(n, model, r, cons)
+}
+
+// ParetoFrontier filters candidates to the non-dominated set.
+func ParetoFrontier(cs []DesignCandidate) []DesignCandidate {
+	return design.Frontier(cs)
+}
+
+// KClassPlacement is an optimized module-to-class assignment; see
+// design.Placement.
+type KClassPlacement = design.Placement
+
+// OptimizeKClassPlacement finds the bandwidth-maximizing assignment of
+// modules (with per-module request probabilities, e.g. from
+// WorkloadModuleProbabilities) to the classes of a K-class network
+// (class C_j is wired to buses 1 … j+B−K). Small instances are solved
+// exactly; large ones fall back to PopularityKClassPlacement (the
+// result's Exact field says which).
+//
+// Note that the exact optimum can contradict the paper's §II placement
+// principle — see PopularityKClassPlacement and EXPERIMENTS.md.
+func OptimizeKClassPlacement(b int, classSizes []int, moduleXs []float64) (*KClassPlacement, error) {
+	prefixes, err := kClassPrefixes(b, classSizes)
+	if err != nil {
+		return nil, err
+	}
+	return design.OptimizePlacement(classSizes, prefixes, b, moduleXs)
+}
+
+// PopularityKClassPlacement applies the paper's §II placement principle
+// verbatim: the most frequently referenced modules go to the classes
+// wired to the most buses. It is a heuristic; OptimizeKClassPlacement
+// can beat it (EXPERIMENTS.md documents an inversion).
+func PopularityKClassPlacement(b int, classSizes []int, moduleXs []float64) (*KClassPlacement, error) {
+	prefixes, err := kClassPrefixes(b, classSizes)
+	if err != nil {
+		return nil, err
+	}
+	return design.PlacementByPopularity(classSizes, prefixes, b, moduleXs)
+}
+
+func kClassPrefixes(b int, classSizes []int) ([]int, error) {
+	k := len(classSizes)
+	if k == 0 || k > b {
+		return nil, fmt.Errorf("multibus: K=%d classes with B=%d buses", k, b)
+	}
+	prefixes := make([]int, k)
+	for c := range prefixes {
+		prefixes[c] = c + 1 + b - k
+	}
+	return prefixes, nil
+}
+
+// EvaluateKClassPlacement computes the predicted bandwidth of an
+// explicit module-to-class assignment under per-module request
+// probabilities.
+func EvaluateKClassPlacement(b int, classSizes []int, moduleXs []float64, classOf []int) (float64, error) {
+	prefixes, err := kClassPrefixes(b, classSizes)
+	if err != nil {
+		return 0, err
+	}
+	return design.EvaluatePlacement(classSizes, prefixes, b, moduleXs, classOf)
+}
+
+// WorkloadModuleProbabilities returns, for a stochastic or trace
+// workload, the probability each module is requested in a cycle — the
+// per-module x_j vector consumed by the placement optimizer.
+func WorkloadModuleProbabilities(w Workload) ([]float64, error) {
+	return workload.ModuleXs(w)
+}

@@ -1,0 +1,134 @@
+package multibus
+
+import (
+	"fmt"
+
+	"multibus/internal/analytic"
+	"multibus/internal/exact"
+	"multibus/internal/markov"
+)
+
+// ExactAnalysis carries the exact (approximation-free) evaluation of a
+// small network. Unlike Analysis, these numbers make no independence
+// assumption: they are the true expectations of the arbitration protocol
+// in the paper's drop regime, computed by subset dynamic programming.
+type ExactAnalysis struct {
+	// Bandwidth is the exact expected accepted requests per cycle.
+	Bandwidth float64
+	// BusUtilization[i] is the exact probability that physical bus i
+	// carries a transfer in a cycle.
+	BusUtilization []float64
+	// RequestedPMF[k] is the exact probability that exactly k distinct
+	// modules are requested in a cycle (the paper approximates this as
+	// Binomial(M, X)).
+	RequestedPMF []float64
+}
+
+// probSource is the per-processor destination interface both hierarchy
+// types satisfy.
+type probSource interface {
+	ProbVector(p int) ([]float64, error)
+}
+
+// ExactAnalyze computes the exact bandwidth, per-bus utilizations, and
+// requested-module distribution for a classifiable network with at most
+// 20 memory modules (the 2^M subset enumeration bound). model must be a
+// *Hierarchy or *HierarchyNM matching the network's dimensions.
+//
+// Use it as ground truth when judging the closed forms of Analyze: the
+// closed forms are exact at B = N and pessimistic by a few percent
+// below; see EXPERIMENTS.md.
+func ExactAnalyze(nw *Network, model RequestModel, r float64) (*ExactAnalysis, error) {
+	if nw == nil || model == nil {
+		return nil, fmt.Errorf("multibus: ExactAnalyze requires a network and a model")
+	}
+	src, ok := model.(probSource)
+	if !ok {
+		return nil, fmt.Errorf("multibus: ExactAnalyze needs a Hierarchy or HierarchyNM model, got %T", model)
+	}
+	if err := checkModelDims(nw, model); err != nil {
+		return nil, err
+	}
+	n := nw.N()
+	switch hm := model.(type) {
+	case *Hierarchy:
+		if hm.N() != nw.N() {
+			return nil, fmt.Errorf("%w: model has %d processors, network %d",
+				ErrModelMismatch, hm.N(), nw.N())
+		}
+	case *HierarchyNM:
+		if hm.NProcessors() != nw.N() {
+			return nil, fmt.Errorf("%w: model has %d processors, network %d",
+				ErrModelMismatch, hm.NProcessors(), nw.N())
+		}
+		n = hm.NProcessors()
+	}
+	pm, err := exact.FromProbVectors(src, n, nw.M())
+	if err != nil {
+		return nil, err
+	}
+	bw, err := exact.Bandwidth(nw, pm, r)
+	if err != nil {
+		return nil, err
+	}
+	ys, err := exact.BusUtilization(nw, pm, r)
+	if err != nil {
+		return nil, err
+	}
+	pmf, err := exact.RequestedDistribution(pm, r)
+	if err != nil {
+		return nil, err
+	}
+	return &ExactAnalysis{Bandwidth: bw, BusUtilization: ys, RequestedPMF: pmf}, nil
+}
+
+// ResubmissionEstimate is the steady-state prediction for the
+// resubmission regime; see analytic.ResubmitEstimate.
+type ResubmissionEstimate = analytic.ResubmitEstimate
+
+// EstimateResubmission predicts throughput, acceptance probability, and
+// mean wait when blocked processors hold and retry their request
+// (classical adjusted-rate fixed point). Validate against
+// Simulate(..., WithResubmit()).
+func EstimateResubmission(nw *Network, model RequestModel, r float64) (*ResubmissionEstimate, error) {
+	if nw == nil || model == nil {
+		return nil, fmt.Errorf("multibus: EstimateResubmission requires a network and a model")
+	}
+	if err := checkModelDims(nw, model); err != nil {
+		return nil, err
+	}
+	n := nw.N()
+	if hm, ok := model.(*HierarchyNM); ok {
+		n = hm.NProcessors()
+	}
+	return analytic.EstimateResubmit(nw, n, model, r)
+}
+
+// ChainResult is the exact steady state of the resubmission regime for a
+// small system; see markov.Result.
+type ChainResult = markov.Result
+
+// ExactResubmission solves the exact discrete-time Markov chain of the
+// resubmission regime (blocked processors hold and retry) for small
+// independent-group networks — the ground truth for both
+// Simulate(..., WithResubmit()) and EstimateResubmission. The state
+// space is (M+1)^N and is capped at markov.MaxStates, so this is a
+// verification oracle for N, M ≤ 5 rather than a scalable solver.
+func ExactResubmission(nw *Network, model RequestModel, r float64) (*ChainResult, error) {
+	if nw == nil || model == nil {
+		return nil, fmt.Errorf("multibus: ExactResubmission requires a network and a model")
+	}
+	src, ok := model.(probSource)
+	if !ok {
+		return nil, fmt.Errorf("multibus: ExactResubmission needs a Hierarchy or HierarchyNM model, got %T", model)
+	}
+	n := nw.N()
+	if hm, ok := model.(*HierarchyNM); ok {
+		n = hm.NProcessors()
+	}
+	pm, err := exact.FromProbVectors(src, n, nw.M())
+	if err != nil {
+		return nil, err
+	}
+	return markov.Solve(nw, pm, r)
+}

@@ -1,0 +1,122 @@
+// Capacity planning: how many buses does a 32-processor system need?
+//
+// The paper's §IV observation is that the answer depends on both the
+// request rate r and the requesting pattern: at r = 1.0 bandwidth keeps
+// climbing with B, while at r = 0.5 half the buses already deliver
+// near-crossbar performance. This example finds, for each scheme, the
+// cheapest configuration that reaches 90% of crossbar bandwidth, and
+// prints the cost of that choice.
+//
+//	go run ./examples/capacityplanning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"multibus"
+)
+
+const n = 32
+
+func main() {
+	h, err := multibus.NewTwoLevelHierarchy(n, 4, 0.6, 0.3, 0.1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, r := range []float64{1.0, 0.5} {
+		fmt.Printf("=== request rate r = %.1f ===\n", r)
+		// Crossbar sets the ceiling.
+		xbar, err := crossbarBandwidth(h, r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		target := 0.9 * xbar
+		fmt.Printf("crossbar ceiling %.2f, target %.2f (90%%)\n\n", xbar, target)
+		fmt.Printf("%-22s %6s %12s %12s %10s %7s\n",
+			"scheme", "B", "bandwidth", "connections", "BW/conn", "degree")
+		for _, scheme := range []string{"full", "partial g=2", "kclass K=B", "single"} {
+			b, a, c, err := cheapestMeeting(h, r, scheme, target)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if b == 0 {
+				fmt.Printf("%-22s %6s %12s\n", scheme, "-", "unreachable")
+				continue
+			}
+			fmt.Printf("%-22s %6d %12.2f %12d %10.5f %7d\n",
+				scheme, b, a.Bandwidth, c.Connections, a.PerformanceCostRatio, c.FaultDegree)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Reading: at r=1.0 every scheme needs most of its buses to approach the")
+	fmt.Println("crossbar; at r=0.5 roughly N/2 buses suffice (paper §IV), and the")
+	fmt.Println("single-connection scheme is the cheapest way to get there — at the")
+	fmt.Println("price of zero fault tolerance.")
+}
+
+// crossbarBandwidth evaluates the M·X ceiling via a B=N full network.
+func crossbarBandwidth(h *multibus.Hierarchy, r float64) (float64, error) {
+	nw, err := multibus.NewFullNetwork(n, n, n)
+	if err != nil {
+		return 0, err
+	}
+	a, err := multibus.Analyze(nw, h, r)
+	if err != nil {
+		return 0, err
+	}
+	return a.CrossbarBandwidth, nil
+}
+
+// cheapestMeeting scans B upward (powers of two) and returns the first
+// configuration of the scheme meeting the bandwidth target, or B = 0 if
+// none does.
+func cheapestMeeting(h *multibus.Hierarchy, r float64, scheme string, target float64) (int, *multibus.Analysis, *multibus.CostSummary, error) {
+	for b := 1; b <= n; b *= 2 {
+		nw, ok, err := build(scheme, b)
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		if !ok {
+			continue
+		}
+		a, err := multibus.Analyze(nw, h, r)
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		if a.Bandwidth >= target {
+			c, err := multibus.Cost(nw)
+			if err != nil {
+				return 0, nil, nil, err
+			}
+			return b, a, c, nil
+		}
+	}
+	return 0, nil, nil, nil
+}
+
+func build(scheme string, b int) (*multibus.Network, bool, error) {
+	switch scheme {
+	case "full":
+		nw, err := multibus.NewFullNetwork(n, n, b)
+		return nw, err == nil, err
+	case "single":
+		nw, err := multibus.NewSingleBusNetwork(n, n, b)
+		return nw, err == nil, err
+	case "partial g=2":
+		if b%2 != 0 {
+			return nil, false, nil
+		}
+		nw, err := multibus.NewPartialBusNetwork(n, n, b, 2)
+		return nw, err == nil, err
+	case "kclass K=B":
+		if n%b != 0 {
+			return nil, false, nil
+		}
+		nw, err := multibus.NewEvenKClassNetwork(n, n, b, b)
+		return nw, err == nil, err
+	default:
+		return nil, false, fmt.Errorf("unknown scheme %q", scheme)
+	}
+}

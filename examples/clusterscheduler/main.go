@@ -1,0 +1,84 @@
+// Cluster scheduling: why the hierarchical requesting model matters.
+//
+// The paper motivates its workload model with task assignment: a
+// scheduler that co-locates communicating tasks makes each processor hit
+// its favorite memory module more often, which reduces memory
+// interference and raises bandwidth. This example quantifies that effect
+// on a 16×16×8 full-connection system by sweeping the locality of the
+// schedule from uniform (no locality) to highly clustered, analytically
+// and with the simulator — including the resubmit regime, where locality
+// also shortens queueing waits.
+//
+//	go run ./examples/clusterscheduler
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"multibus"
+)
+
+func main() {
+	const n, b = 16, 12
+	nw, err := multibus.NewFullNetwork(n, n, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Locality sweep: aFavorite is the fraction of a processor's
+	// references that its scheduler managed to keep on the favorite
+	// module; the remainder splits 3:1 between cluster and remote.
+	fmt.Printf("%-10s %10s %14s %14s %12s\n",
+		"locality", "X", "analytic BW", "simulated BW", "mean wait")
+	for _, fav := range []float64{0.0625, 0.2, 0.4, 0.6, 0.8} {
+		rest := 1 - fav
+		h, err := multibus.NewTwoLevelHierarchy(n, 4, fav, rest*0.75, rest*0.25)
+		if err != nil {
+			log.Fatal(err)
+		}
+		a, err := multibus.Analyze(nw, h, 1.0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w, err := multibus.NewHierarchicalWorkload(h, 1.0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := multibus.Simulate(nw, w, multibus.WithCycles(30000), multibus.WithSeed(11))
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Resubmit mode: blocked processors retry, so queueing delay
+		// becomes visible.
+		resub, err := multibus.Simulate(nw, w,
+			multibus.WithResubmit(), multibus.WithCycles(30000), multibus.WithSeed(11))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10.4f %10.4f %14.4f %14.4f %12.3f\n",
+			fav, a.X, a.Bandwidth, res.Bandwidth, resub.MeanWaitCycles)
+	}
+
+	// Baseline for contrast: Das–Bhuyan favorite-memory model (one
+	// favorite, uniform elsewhere) at matching favorite fractions.
+	fmt.Println("\nDas–Bhuyan baseline (favorite + uniform remainder):")
+	fmt.Printf("%-10s %10s %14s\n", "favorite", "X", "analytic BW")
+	for _, q := range []float64{0.0625, 0.2, 0.4, 0.6, 0.8} {
+		db, err := multibus.NewDasBhuyanModel(n, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		a, err := multibus.Analyze(nw, db, 1.0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10.4f %10.4f %14.4f\n", q, a.X, a.Bandwidth)
+	}
+
+	fmt.Println("\nReading: scheduling for locality is worth real bandwidth — moving")
+	fmt.Println("from a uniform spread to 80% favorite-module hits raises accepted")
+	fmt.Println("requests per cycle and, in the resubmit regime, cuts waiting. The")
+	fmt.Println("two-level hierarchy also beats a flat favorite-memory model at equal")
+	fmt.Println("favorite fraction because the leftover traffic stays in-cluster.")
+}

@@ -1,0 +1,88 @@
+// Fault tolerance: the paper's case for K-class networks.
+//
+// Partial bus networks (g groups) and K-class networks cost about the
+// same, but the paper argues the K-class scheme degrades more gracefully
+// and lets critical data live in better-protected classes. This example
+// puts numbers on that claim for a 16×16×8 system: survivability curves
+// for both schemes, the expected bandwidth under independent bus
+// failures, and the per-class protection levels that a g-group network
+// cannot express.
+//
+//	go run ./examples/faulttolerance
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"multibus"
+)
+
+func main() {
+	const n, b = 16, 8
+	h, err := multibus.NewTwoLevelHierarchy(n, 4, 0.6, 0.3, 0.1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	partial, err := multibus.NewPartialBusNetwork(n, n, b, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// K = 4 classes of 4 modules: class C_4 (most protected) sees all 8
+	// buses; class C_1 sees 5 — still degree B−K = 4 overall, versus
+	// B/g−1 = 3 for the partial network at comparable cost.
+	kclass, err := multibus.NewEvenKClassNetwork(n, n, b, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		nw   *multibus.Network
+	}{{"partial bus, g=2", partial}, {"K-class, K=4", kclass}} {
+		c, err := multibus.Cost(tc.nw)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== %s ===\n", tc.name)
+		fmt.Printf("connections %d, fault-tolerance degree %d\n", c.Connections, c.FaultDegree)
+		levels, err := multibus.Survivability(tc.nw, h, 1.0, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%9s %12s %12s %12s %11s\n", "failures", "min BW", "mean BW", "worst lost", "reach frac")
+		for _, lv := range levels {
+			fmt.Printf("%9d %12.3f %12.3f %12d %11.3f\n",
+				lv.Failures, lv.MinBandwidth, lv.MeanBandwidth,
+				lv.WorstLostModules, lv.SurvivingFraction)
+		}
+		for _, p := range []float64{0.01, 0.05, 0.10} {
+			mean, reach, err := multibus.ExpectedBandwidthUnderFailures(tc.nw, h, 1.0, p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("p=%.2f: E[BW] = %.3f, P[all modules reachable] = %.4f\n", p, mean, reach)
+		}
+		fmt.Println()
+	}
+
+	// The flexibility argument: per-module protection inside the K-class
+	// network is graded, so placement controls criticality.
+	fmt.Println("per-module bus-failure tolerance in the K-class network:")
+	for j := 0; j < n; j++ {
+		ft, err := kclass.ModuleFaultTolerance(j)
+		if err != nil {
+			log.Fatal(err)
+		}
+		class, err := kclass.ClassOf(j)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  M%-3d class C%d tolerates %d failures\n", j, class, ft)
+	}
+	fmt.Println("\nReading: the partial network protects every module equally (degree")
+	fmt.Println("B/g−1 = 3); the K-class network spans degrees 4–7 by class, so pinning")
+	fmt.Println("critical pages to class C_4 buys them full-connection-grade resilience")
+	fmt.Println("at partial-connection cost (paper §II, §IV).")
+}

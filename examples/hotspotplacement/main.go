@@ -1,0 +1,100 @@
+// Module placement in K-class networks: testing the paper's principle.
+//
+// The paper's §II offers a placement rule for its K-class networks:
+// "the memory modules which are more frequently referenced are connected
+// to more buses." This example profiles a Zipf-skewed workload, applies
+// both the paper's rule and an exact placement optimizer, and validates
+// the predictions with the protocol simulator — including the structure
+// where the rule inverts (see EXPERIMENTS.md).
+//
+//	go run ./examples/hotspotplacement
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"multibus"
+)
+
+func main() {
+	const n, b, k = 8, 4, 2
+	classSizes := []int{4, 4} // class C1 → buses 1–3, class C2 → buses 1–4
+
+	fmt.Println("=== Zipf workload (s = 1.2): graded module popularity ===")
+	zipf, err := multibus.NewZipfWorkload(n, n, 1.0, 1.2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	xs, err := multibus.WorkloadModuleProbabilities(zipf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print("per-module request probabilities:")
+	for _, x := range xs {
+		fmt.Printf(" %.3f", x)
+	}
+	fmt.Println()
+
+	popularity, err := multibus.PopularityKClassPlacement(b, classSizes, xs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	optimum, err := multibus.OptimizeKClassPlacement(b, classSizes, xs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("paper's rule (popular → deep):  classes %v → %.4f req/cycle\n",
+		popularity.ClassOf, popularity.Bandwidth)
+	fmt.Printf("exact optimum:                  classes %v → %.4f req/cycle (exact=%v)\n",
+		optimum.ClassOf, optimum.Bandwidth, optimum.Exact)
+
+	fmt.Println("\n=== single hot module (hot-spot 0.6): the inversion ===")
+	hot, err := multibus.NewHotSpotWorkload(n, n, 1.0, 0, 0.6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hxs, err := multibus.WorkloadModuleProbabilities(hot)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pop, err := multibus.PopularityKClassPlacement(b, classSizes, hxs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt, err := multibus.OptimizeKClassPlacement(b, classSizes, hxs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("paper's rule puts the hot module in class C%d: %.4f req/cycle\n",
+		pop.ClassOf[0]+1, pop.Bandwidth)
+	fmt.Printf("the optimum puts it in class C%d:              %.4f req/cycle\n",
+		opt.ClassOf[0]+1, opt.Bandwidth)
+
+	// Validate both predictions in the simulator by physically moving the
+	// hot module: index 7 lands in class C2's range, index 0 in C1's.
+	simulate := func(hotModule int) float64 {
+		w, err := multibus.NewHotSpotWorkload(n, n, 1.0, hotModule, 0.6)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nw, err := multibus.NewEvenKClassNetwork(n, n, b, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := multibus.Simulate(nw, w,
+			multibus.WithCycles(60000), multibus.WithSeed(7))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res.Bandwidth
+	}
+	fmt.Printf("simulator, hot module wired per paper's rule (C2): %.4f\n", simulate(7))
+	fmt.Printf("simulator, hot module wired per optimum (C1):      %.4f\n", simulate(0))
+
+	fmt.Println("\nReading: on this structure the rule inverts for BOTH workloads.")
+	fmt.Println("The deep class's exclusive bus saturates once any of its members is")
+	fmt.Println("requested, so heat parked there is wasted; hot modules earn more by")
+	fmt.Println("keeping the shallow class's shared buses busy. The paper's principle")
+	fmt.Println("is a heuristic, not a theorem — profile and optimize before wiring.")
+}

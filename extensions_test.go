@@ -1,0 +1,286 @@
+package multibus
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestExactAnalyzeAgainstAnalyze(t *testing.T) {
+	h, err := NewTwoLevelHierarchy(8, 4, 0.6, 0.3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := NewFullNetwork(8, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := ExactAnalyze(nw, h, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(nw, h, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact ≥ analytic (pessimistic approximation) but within 5%.
+	if ex.Bandwidth < a.Bandwidth-1e-9 {
+		t.Errorf("exact %.4f below analytic %.4f", ex.Bandwidth, a.Bandwidth)
+	}
+	if rel := (ex.Bandwidth - a.Bandwidth) / a.Bandwidth; rel > 0.05 {
+		t.Errorf("approximation gap %.4f beyond 5%%", rel)
+	}
+	// Bus utilizations sum to the exact bandwidth.
+	sum := 0.0
+	for _, y := range ex.BusUtilization {
+		sum += y
+	}
+	if math.Abs(sum-ex.Bandwidth) > 1e-9 {
+		t.Errorf("Σ bus util %.6f != bandwidth %.6f", sum, ex.Bandwidth)
+	}
+	// Requested PMF is a distribution over 0..M.
+	if len(ex.RequestedPMF) != 9 {
+		t.Fatalf("PMF length %d", len(ex.RequestedPMF))
+	}
+	total := 0.0
+	for _, p := range ex.RequestedPMF {
+		total += p
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("PMF sums to %v", total)
+	}
+}
+
+func TestExactAnalyzeValidation(t *testing.T) {
+	h, _ := NewUniformModel(8)
+	nw, _ := NewFullNetwork(8, 8, 4)
+	if _, err := ExactAnalyze(nil, h, 1.0); err == nil {
+		t.Error("nil network should error")
+	}
+	if _, err := ExactAnalyze(nw, nil, 1.0); err == nil {
+		t.Error("nil model should error")
+	}
+	// A model that is neither hierarchy type is rejected.
+	if _, err := ExactAnalyze(nw, fakeModel{}, 1.0); err == nil {
+		t.Error("non-hierarchy model should error")
+	}
+	// Too many modules for the subset DP.
+	big, err := NewFullNetwork(24, 24, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hBig, _ := NewUniformModel(24)
+	if _, err := ExactAnalyze(big, hBig, 1.0); err == nil {
+		t.Error("M=24 should exceed the exact bound")
+	}
+}
+
+type fakeModel struct{}
+
+func (fakeModel) X(float64) (float64, error) { return 0.5, nil }
+
+func TestExactAnalyzeNM(t *testing.T) {
+	h, err := NewHierarchyNMFromAggregates([]int{4, 2}, 2, []float64{0.8, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 processors, 8 modules.
+	nw, err := NewFullNetwork(8, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := ExactAnalyze(nw, h, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Bandwidth <= 0 || ex.Bandwidth > 4 {
+		t.Errorf("NM exact bandwidth %.4f", ex.Bandwidth)
+	}
+}
+
+func TestEstimateResubmissionFacade(t *testing.T) {
+	h, err := NewTwoLevelHierarchy(16, 4, 0.6, 0.3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := NewFullNetwork(16, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := EstimateResubmission(nw, h, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewHierarchicalWorkload(h, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(nw, w, WithResubmit(), WithCycles(30000), WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(est.Bandwidth-res.Bandwidth) / res.Bandwidth; rel > 0.05 {
+		t.Errorf("estimate %.4f vs simulated %.4f", est.Bandwidth, res.Bandwidth)
+	}
+	if _, err := EstimateResubmission(nil, h, 0.5); err == nil {
+		t.Error("nil network should error")
+	}
+	if _, err := EstimateResubmission(nw, nil, 0.5); err == nil {
+		t.Error("nil model should error")
+	}
+	h8, _ := NewUniformModel(8)
+	if _, err := EstimateResubmission(nw, h8, 0.5); err == nil {
+		t.Error("dimension mismatch should error")
+	}
+}
+
+func TestBandwidthTrajectoryFacade(t *testing.T) {
+	h, err := NewTwoLevelHierarchy(8, 4, 0.6, 0.3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := NewFullNetwork(8, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traj, err := BandwidthTrajectory(nw, h, 1.0, 0.05, []float64{0, 5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traj) != 3 {
+		t.Fatalf("points %d", len(traj))
+	}
+	capacity, err := MissionCapacity(traj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capacity <= 0 || capacity > traj[0].ExpectedBandwidth*10 {
+		t.Errorf("capacity %.3f out of range", capacity)
+	}
+	if _, err := BandwidthTrajectory(nil, h, 1.0, 0.05, []float64{1}); err == nil {
+		t.Error("nil network should error")
+	}
+	h16, _ := NewUniformModel(16)
+	if _, err := BandwidthTrajectory(nw, h16, 1.0, 0.05, []float64{1}); err == nil {
+		t.Error("dimension mismatch should error")
+	}
+}
+
+func TestTraceFacadeRoundTrip(t *testing.T) {
+	gen, err := NewUniformWorkload(4, 4, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles, err := RecordWorkload(gen, 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := WriteTrace(&buf, 4, 4, cycles); err != nil {
+		t.Fatal(err)
+	}
+	replay, err := ReadTraceWorkload(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := NewFullNetwork(4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replayed workload simulates deterministically: same result twice.
+	run := func() float64 {
+		res, err := Simulate(nw, replay, WithCycles(40), WithWarmup(0), WithBatches(2), WithSeed(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Bandwidth
+	}
+	a := run()
+	replay, err = ReadTraceWorkload(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := run()
+	if a != b {
+		t.Errorf("trace replay not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestSimulateReplicatedFacade(t *testing.T) {
+	h, err := NewTwoLevelHierarchy(8, 4, 0.6, 0.3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewHierarchicalWorkload(h, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := NewFullNetwork(8, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := SimulateReplicated(nw, w, 4, WithCycles(4000), WithSeed(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Replications != 4 || agg.BandwidthCI95 <= 0 {
+		t.Errorf("aggregate malformed: %+v", agg)
+	}
+	a, err := Analyze(nw, h, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(agg.BandwidthMean-a.Bandwidth) / a.Bandwidth; rel > 0.05 {
+		t.Errorf("replicated mean %.4f vs analytic %.4f", agg.BandwidthMean, a.Bandwidth)
+	}
+	if _, err := SimulateReplicated(nw, w, 1); err == nil {
+		t.Error("reps < 2 should error")
+	}
+}
+
+func TestReadWiringFacade(t *testing.T) {
+	input := "n=4 b=2 m=4\n1 1 0 0\n0 0 1 1\n"
+	nw, err := ReadWiring(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.N() != 4 || nw.B() != 2 || nw.M() != 4 {
+		t.Errorf("dims %d×%d×%d", nw.N(), nw.M(), nw.B())
+	}
+	// The parsed wiring is two independent groups → analyzable.
+	u, err := NewUniformModel(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(nw, u, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Bandwidth <= 0 || a.Bandwidth > 2 {
+		t.Errorf("bandwidth %.4f", a.Bandwidth)
+	}
+	if _, err := ReadWiring(strings.NewReader("garbage")); err == nil {
+		t.Error("bad wiring should error")
+	}
+}
+
+func TestModuleServiceCyclesFacade(t *testing.T) {
+	w, err := NewHotSpotWorkload(4, 4, 1.0, 0, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := NewFullNetwork(4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(nw, w, WithCycles(4000), WithModuleServiceCycles(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Bandwidth-0.5) > 0.02 {
+		t.Errorf("k=2 single-module bandwidth %.4f, want ≈0.5", res.Bandwidth)
+	}
+	if res.JainFairness() <= 0 || res.JainFairness() > 1 {
+		t.Errorf("fairness %v out of range", res.JainFairness())
+	}
+}

@@ -1,0 +1,120 @@
+package multibus
+
+import (
+	"math"
+	"testing"
+)
+
+// TestConstructorWrappers exercises each façade constructor once against
+// its expected shape, covering the thin delegation layer.
+func TestConstructorWrappers(t *testing.T) {
+	if nw, err := NewSingleBusNetwork(8, 8, 4); err != nil || nw.Scheme() != SchemeSingleBus {
+		t.Errorf("NewSingleBusNetwork: %v, %v", nw, err)
+	}
+	if nw, err := NewPartialBusNetwork(8, 8, 4, 2); err != nil || nw.Scheme() != SchemePartialGroups {
+		t.Errorf("NewPartialBusNetwork: %v, %v", nw, err)
+	}
+	if nw, err := NewKClassNetwork(8, 4, []int{4, 4}); err != nil || nw.Scheme() != SchemeKClasses {
+		t.Errorf("NewKClassNetwork: %v, %v", nw, err)
+	}
+	conn := [][]bool{{true, true}, {true, true}}
+	if nw, err := NewCustomNetwork(4, conn); err != nil || nw.Scheme() != SchemeCustom {
+		t.Errorf("NewCustomNetwork: %v, %v", nw, err)
+	}
+
+	if h, err := NewHierarchy([]int{4, 2}, []float64{0.6, 0.3, 0.1 / 6}); err != nil || h.N() != 8 {
+		t.Errorf("NewHierarchy: %v", err)
+	}
+	if h, err := NewHierarchyFromAggregates([]int{4, 2}, []float64{0.6, 0.3, 0.1}); err != nil || h.N() != 8 {
+		t.Errorf("NewHierarchyFromAggregates: %v", err)
+	}
+	if h, err := NewHierarchyNM([]int{4, 2}, 3, []float64{0.8 / 3, 0.2 / 9}); err != nil || h.MModules() != 12 {
+		t.Errorf("NewHierarchyNM: %v", err)
+	}
+	if w, err := NewUniformWorkload(4, 4, 0.5); err != nil || w.Rate() != 0.5 {
+		t.Errorf("NewUniformWorkload: %v", err)
+	}
+	if w, err := NewZipfWorkload(4, 8, 1.0, 1.0); err != nil || w.MModules() != 8 {
+		t.Errorf("NewZipfWorkload: %v", err)
+	}
+}
+
+// TestFacadeErrorPaths drives the validation branches of the façade.
+func TestFacadeErrorPaths(t *testing.T) {
+	h, err := NewTwoLevelHierarchy(8, 4, 0.6, 0.3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CompareSchemes propagates bad rates and bad structures.
+	if _, err := CompareSchemes(16, 16, 8, 2, 8, h, 1.5); err == nil {
+		t.Error("CompareSchemes bad rate should error")
+	}
+	if _, err := CompareSchemes(16, 16, 8, 3, 8, h, 1.0); err == nil {
+		t.Error("CompareSchemes bad g should error")
+	}
+	// Survivability propagates bad rates.
+	nw, err := NewFullNetwork(8, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Survivability(nw, h, -1, 1); err == nil {
+		t.Error("Survivability bad rate should error")
+	}
+	if _, _, err := ExpectedBandwidthUnderFailures(nw, h, 2, 0.1); err == nil {
+		t.Error("ExpectedBandwidthUnderFailures bad rate should error")
+	}
+	// ExactResubmission guards.
+	if _, err := ExactResubmission(nil, h, 0.5); err == nil {
+		t.Error("ExactResubmission nil network should error")
+	}
+	if _, err := ExactResubmission(nw, nil, 0.5); err == nil {
+		t.Error("ExactResubmission nil model should error")
+	}
+	if _, err := ExactResubmission(nw, fakeModel{}, 0.5); err == nil {
+		t.Error("ExactResubmission non-hierarchy model should error")
+	}
+	// ExactAnalyze processor-count mismatch: a 4-processor model against
+	// an 8-processor network with 4 modules.
+	wide, err := NewFullNetwork(8, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h4, err := NewUniformModel(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExactAnalyze(wide, h4, 1.0); err == nil {
+		t.Error("ExactAnalyze processor mismatch should error")
+	}
+	// ExploreDesigns guards.
+	if _, err := ExploreDesigns(16, nil, 1.0, DesignConstraints{}); err == nil {
+		t.Error("ExploreDesigns nil model should error")
+	}
+}
+
+// TestExactResubmissionFacade runs the exact chain through the façade on
+// a small system and compares against the fixed-point estimate.
+func TestExactResubmissionFacade(t *testing.T) {
+	h, err := NewTwoLevelHierarchy(4, 2, 0.6, 0.3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := NewFullNetwork(4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := ExactResubmission(nw, h, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := EstimateResubmission(nw, h, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(est.Bandwidth-chain.Throughput) / chain.Throughput; rel > 0.10 {
+		t.Errorf("fixed point %.4f vs exact chain %.4f", est.Bandwidth, chain.Throughput)
+	}
+	if chain.States != 625 {
+		t.Errorf("states = %d, want 5^4", chain.States)
+	}
+}

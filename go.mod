@@ -1,0 +1,3 @@
+module multibus
+
+go 1.22

@@ -1,0 +1,225 @@
+package analytic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"multibus/internal/topology"
+)
+
+// buildGroupedTopology wires a random independent-groups network: each
+// group gets its own buses and modules, complete-bipartite inside.
+func buildGroupedTopology(rng *rand.Rand) (*topology.Network, []GroupSpec) {
+	nGroups := rng.Intn(3) + 1
+	specs := make([]GroupSpec, nGroups)
+	totalB, totalM := 0, 0
+	for q := range specs {
+		specs[q] = GroupSpec{
+			Modules: rng.Intn(4) + 1,
+			Buses:   rng.Intn(3) + 1,
+		}
+		totalB += specs[q].Buses
+		totalM += specs[q].Modules
+	}
+	conn := make([][]bool, totalB)
+	for i := range conn {
+		conn[i] = make([]bool, totalM)
+	}
+	bOff, mOff := 0, 0
+	for _, g := range specs {
+		for i := 0; i < g.Buses; i++ {
+			for j := 0; j < g.Modules; j++ {
+				conn[bOff+i][mOff+j] = true
+			}
+		}
+		bOff += g.Buses
+		mOff += g.Modules
+	}
+	nw, err := topology.Custom(4, conn)
+	if err != nil {
+		panic(err)
+	}
+	return nw, specs
+}
+
+// buildPrefixTopology wires a random nested-prefix network with strictly
+// increasing prefix lengths.
+func buildPrefixTopology(rng *rand.Rand) (*topology.Network, []PrefixClass, int) {
+	nClasses := rng.Intn(3) + 1
+	b := nClasses + rng.Intn(3) // at least one bus per class step
+	if b < nClasses {
+		b = nClasses
+	}
+	// Choose strictly increasing prefix lengths in [1, b].
+	prefixes := make([]int, nClasses)
+	used := map[int]bool{}
+	for c := 0; c < nClasses; {
+		l := rng.Intn(b) + 1
+		if !used[l] {
+			used[l] = true
+			prefixes[c] = l
+			c++
+		}
+	}
+	sortInts(prefixes)
+	classes := make([]PrefixClass, nClasses)
+	totalM := 0
+	for c := range classes {
+		classes[c] = PrefixClass{Size: rng.Intn(3) + 1, PrefixLen: prefixes[c]}
+		totalM += classes[c].Size
+	}
+	conn := make([][]bool, b)
+	for i := range conn {
+		conn[i] = make([]bool, totalM)
+	}
+	mOff := 0
+	for _, cl := range classes {
+		for j := 0; j < cl.Size; j++ {
+			for i := 0; i < cl.PrefixLen; i++ {
+				conn[i][mOff+j] = true
+			}
+		}
+		mOff += cl.Size
+	}
+	nw, err := topology.Custom(4, conn)
+	if err != nil {
+		panic(err)
+	}
+	return nw, classes, b
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j-1] > xs[j]; j-- {
+			xs[j-1], xs[j] = xs[j], xs[j-1]
+		}
+	}
+}
+
+func TestClassifyRoundTripGrouped(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 200; trial++ {
+		nw, specs := buildGroupedTopology(rng)
+		s, err := Classify(nw)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if s.Kind != StructureIndependentGroups {
+			// A single-class prefix structure can also be complete
+			// bipartite; groups win by construction, so this must not
+			// happen.
+			t.Fatalf("trial %d: classified as %v", trial, s.Kind)
+		}
+		if len(s.Groups) != len(specs) {
+			t.Fatalf("trial %d: %d groups, want %d", trial, len(s.Groups), len(specs))
+		}
+		// Recovered group multiset must match (order by bus offset is
+		// preserved by construction).
+		for q, g := range s.Groups {
+			if g != specs[q] {
+				t.Fatalf("trial %d group %d: %+v, want %+v", trial, q, g, specs[q])
+			}
+		}
+		// Bandwidth via classification equals the direct formula.
+		const x = 0.6
+		viaClassify, err := Bandwidth(nw, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := BandwidthIndependentGroups(specs, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(viaClassify-direct) > 1e-12 {
+			t.Fatalf("trial %d: classify %v vs direct %v", trial, viaClassify, direct)
+		}
+	}
+}
+
+func TestClassifyRoundTripPrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 200; trial++ {
+		nw, classes, b := buildPrefixTopology(rng)
+		s, err := Classify(nw)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		const x = 0.7
+		got, err := Bandwidth(nw, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := BandwidthPrefixClasses(classes, b, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("trial %d (%v): classify %v vs direct %v (classes %+v)",
+				trial, s.Kind, got, want, classes)
+		}
+	}
+}
+
+func TestClassifyPerturbedWiringFallsBack(t *testing.T) {
+	// Flipping one crossing connection in a two-group network must
+	// break both classifications (the groups are no longer independent
+	// and the sets no longer nest) unless the flip happens to create a
+	// valid structure; verify Classify never mislabels: re-deriving
+	// bandwidth from the reported structure must always agree with the
+	// reported kind's formula.
+	rng := rand.New(rand.NewSource(79))
+	misclassified := 0
+	for trial := 0; trial < 100; trial++ {
+		nw, specs := buildGroupedTopology(rng)
+		if len(specs) < 2 {
+			continue
+		}
+		// Wire the first bus of group 0 to the first module of group 1.
+		conn := make([][]bool, nw.B())
+		for i := range conn {
+			conn[i] = make([]bool, nw.M())
+			for j := 0; j < nw.M(); j++ {
+				c, err := nw.Connected(i, j)
+				if err != nil {
+					t.Fatal(err)
+				}
+				conn[i][j] = c
+			}
+		}
+		crossModule := specs[0].Modules // first module of group 1
+		conn[0][crossModule] = true
+		perturbed, err := topology.Custom(4, conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := Classify(perturbed)
+		if err != nil {
+			continue // ErrNoClosedForm: correct fallback
+		}
+		// If it still classifies, the structure must reproduce the exact
+		// wiring: verify group/class coverage counts.
+		switch s.Kind {
+		case StructureIndependentGroups:
+			tb, tm := 0, 0
+			for _, g := range s.Groups {
+				tb += g.Buses
+				tm += g.Modules
+			}
+			if tb != perturbed.B() || tm != perturbed.M() {
+				misclassified++
+			}
+		case StructurePrefixClasses:
+			tm := 0
+			for _, c := range s.Classes {
+				tm += c.Size
+			}
+			if tm != perturbed.M() {
+				misclassified++
+			}
+		}
+	}
+	if misclassified > 0 {
+		t.Errorf("%d perturbed wirings were structurally misclassified", misclassified)
+	}
+}

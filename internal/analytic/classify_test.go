@@ -1,0 +1,253 @@
+package analytic
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"multibus/internal/topology"
+)
+
+func TestClassifyFull(t *testing.T) {
+	nw, err := topology.Full(8, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Classify(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != StructureIndependentGroups {
+		t.Fatalf("full classified as %v", s.Kind)
+	}
+	if len(s.Groups) != 1 || s.Groups[0] != (GroupSpec{Modules: 8, Buses: 4}) {
+		t.Errorf("groups = %+v, want one 8-module 4-bus group", s.Groups)
+	}
+}
+
+func TestClassifySingle(t *testing.T) {
+	nw, err := topology.SingleBus(8, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Classify(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != StructureIndependentGroups {
+		t.Fatalf("single classified as %v", s.Kind)
+	}
+	if len(s.Groups) != 4 {
+		t.Fatalf("groups = %+v, want 4", s.Groups)
+	}
+	for _, g := range s.Groups {
+		if g.Buses != 1 || g.Modules != 2 {
+			t.Errorf("group %+v, want {2 1}", g)
+		}
+	}
+}
+
+func TestClassifyPartialGroups(t *testing.T) {
+	nw, err := topology.PartialGroups(16, 16, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Classify(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != StructureIndependentGroups || len(s.Groups) != 2 {
+		t.Fatalf("partial classified as %v with %d groups", s.Kind, len(s.Groups))
+	}
+	for _, g := range s.Groups {
+		if g.Modules != 8 || g.Buses != 4 {
+			t.Errorf("group %+v, want {8 4}", g)
+		}
+	}
+}
+
+func TestClassifyKClasses(t *testing.T) {
+	nw, err := topology.KClasses(3, 4, []int{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Classify(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != StructurePrefixClasses {
+		t.Fatalf("K classes classified as %v", s.Kind)
+	}
+	want := []PrefixClass{{2, 2}, {2, 3}, {2, 4}}
+	if len(s.Classes) != len(want) {
+		t.Fatalf("classes = %+v, want %+v", s.Classes, want)
+	}
+	for i := range want {
+		if s.Classes[i] != want[i] {
+			t.Errorf("class %d = %+v, want %+v", i, s.Classes[i], want[i])
+		}
+	}
+	if len(s.BusOrder) != 4 {
+		t.Errorf("BusOrder = %v, want 4 buses", s.BusOrder)
+	}
+}
+
+func TestClassifyDegradedKClasses(t *testing.T) {
+	// Failing bus 4 of Fig. 3's network shortens class C_3's prefix.
+	nw, err := topology.KClasses(3, 4, []int{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg, err := nw.WithoutBus(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Classify(deg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != StructurePrefixClasses {
+		t.Fatalf("degraded K classes classified as %v", s.Kind)
+	}
+	// C_1 keeps prefix 2; C_2 keeps 3; C_3 drops from 4 to 3 and merges
+	// with C_2's bus set.
+	total := 0
+	for _, c := range s.Classes {
+		total += c.Size
+		if c.PrefixLen > 3 {
+			t.Errorf("class %+v has prefix beyond surviving buses", c)
+		}
+	}
+	if total != 6 {
+		t.Errorf("classes cover %d modules, want 6", total)
+	}
+}
+
+func TestClassifyNoClosedForm(t *testing.T) {
+	// Crossing bus sets: module 0 on buses {0,1}, module 1 on buses {1,2},
+	// neither nested nor complete-bipartite.
+	conn := [][]bool{
+		{true, false},
+		{true, true},
+		{false, true},
+	}
+	nw, err := topology.Custom(4, conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Classify(nw)
+	if !errors.Is(err, ErrNoClosedForm) {
+		t.Errorf("Classify = %v, want ErrNoClosedForm", err)
+	}
+	if _, err := Bandwidth(nw, 0.5); !errors.Is(err, ErrNoClosedForm) {
+		t.Errorf("Bandwidth = %v, want ErrNoClosedForm", err)
+	}
+}
+
+func TestBandwidthFromTopologyMatchesDirectFormulas(t *testing.T) {
+	const x = 0.746919 // paper workload N=8 r=1
+	full, err := topology.Full(8, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vFull, err := Bandwidth(full, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFull, _ := BandwidthFull(8, 4, x)
+	if math.Abs(vFull-wantFull) > 1e-12 {
+		t.Errorf("topology full %.8f != formula %.8f", vFull, wantFull)
+	}
+
+	single, err := topology.SingleBus(8, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vSingle, err := Bandwidth(single, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSingle, _ := BandwidthSingle([]int{2, 2, 2, 2}, x)
+	if math.Abs(vSingle-wantSingle) > 1e-12 {
+		t.Errorf("topology single %.8f != formula %.8f", vSingle, wantSingle)
+	}
+
+	pg, err := topology.PartialGroups(8, 8, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vPg, err := Bandwidth(pg, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPg, _ := BandwidthPartialGroups(8, 4, 2, x)
+	if math.Abs(vPg-wantPg) > 1e-12 {
+		t.Errorf("topology partial %.8f != formula %.8f", vPg, wantPg)
+	}
+
+	kc, err := topology.EvenKClasses(8, 8, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vKc, err := Bandwidth(kc, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKc, _ := BandwidthKClasses([]int{2, 2, 2, 2}, 4, x)
+	if math.Abs(vKc-wantKc) > 1e-12 {
+		t.Errorf("topology K classes %.8f != formula %.8f", vKc, wantKc)
+	}
+}
+
+func TestBandwidthDegradedFullEqualsSmallerFull(t *testing.T) {
+	const x = 0.5
+	nw, err := topology.Full(8, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg, err := nw.WithoutBus(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Bandwidth(deg, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := BandwidthFull(8, 3, x)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("degraded full %.8f != full B=3 %.8f", got, want)
+	}
+}
+
+func TestBandwidthDegradedSingleDropsStrandedModules(t *testing.T) {
+	const x = 0.5
+	nw, err := topology.SingleBus(8, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg, err := nw.WithoutBus(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Bandwidth(deg, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := BandwidthSingle([]int{2, 2, 2}, x)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("degraded single %.8f != 3-bus single %.8f", got, want)
+	}
+}
+
+func TestStructureKindString(t *testing.T) {
+	if s := StructureIndependentGroups.String(); !strings.Contains(s, "groups") {
+		t.Errorf("String = %q", s)
+	}
+	if s := StructurePrefixClasses.String(); !strings.Contains(s, "prefix") {
+		t.Errorf("String = %q", s)
+	}
+	if s := StructureKind(9).String(); !strings.Contains(s, "9") {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,121 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+
+	"multibus/internal/topology"
+)
+
+// RateModel produces the per-module request probability X at a given
+// per-cycle attempt rate; hrm.Hierarchy and hrm.HierarchyNM satisfy it.
+type RateModel interface {
+	X(r float64) (float64, error)
+}
+
+// ResubmitEstimate is the steady-state prediction of the resubmission
+// regime (blocked processors hold and retry), computed by the classical
+// adjusted-rate fixed point used by Patel and by Das & Bhuyan's analyses:
+//
+// A processor alternates between thinking (issuing a fresh request with
+// probability r per cycle) and retrying until accepted. If each attempt
+// succeeds independently with probability PA, the fraction of cycles in
+// which it drives a request is
+//
+//	r_a = (1/PA) / (1/r − 1 + 1/PA),
+//
+// and self-consistency requires PA = MBW(X(r_a)) / (N·r_a). The fixed
+// point is found by damped iteration.
+type ResubmitEstimate struct {
+	// AdjustedRate is r_a, the per-cycle attempt probability.
+	AdjustedRate float64
+	// X is the per-module request probability at the adjusted rate.
+	X float64
+	// Bandwidth is the predicted throughput (equals the fresh-request
+	// completion rate in steady state).
+	Bandwidth float64
+	// Acceptance is PA, the per-attempt acceptance probability.
+	Acceptance float64
+	// MeanWaitCycles is the predicted mean cycles from issue to service,
+	// 1/PA − 1 (0 when accepted at the issuing cycle).
+	MeanWaitCycles float64
+	// Iterations the fixed point took to converge.
+	Iterations int
+}
+
+// resubmitTol is the fixed-point convergence threshold on r_a.
+const resubmitTol = 1e-12
+
+// EstimateResubmit computes the resubmission steady state for a
+// classifiable topology, n processors, request model, and fresh-request
+// rate r. Like the bandwidth closed forms it inherits the independence
+// approximation, plus the geometric-retry assumption; the simulator's
+// ModeResubmit measures the true values.
+func EstimateResubmit(nw *topology.Network, n int, model RateModel, r float64) (*ResubmitEstimate, error) {
+	if nw == nil || model == nil {
+		return nil, fmt.Errorf("%w: nil network or model", ErrBadStructure)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("%w: N=%d", ErrBadStructure, n)
+	}
+	if r < 0 || r > 1 || math.IsNaN(r) {
+		return nil, fmt.Errorf("%w: r=%v", ErrBadStructure, r)
+	}
+	if r == 0 {
+		return &ResubmitEstimate{Acceptance: 1, MeanWaitCycles: 0, AdjustedRate: 0}, nil
+	}
+	s, err := Classify(nw)
+	if err != nil {
+		return nil, err
+	}
+	evalBW := func(x float64) (float64, error) {
+		switch s.Kind {
+		case StructureIndependentGroups:
+			return BandwidthIndependentGroups(s.Groups, x)
+		case StructurePrefixClasses:
+			return BandwidthPrefixClasses(s.Classes, nw.B(), x)
+		default:
+			return 0, fmt.Errorf("%w: structure %v", ErrNoClosedForm, s.Kind)
+		}
+	}
+
+	ra := r // start from the drop-mode rate
+	est := &ResubmitEstimate{}
+	const maxIter = 10000
+	for it := 1; it <= maxIter; it++ {
+		x, err := model.X(ra)
+		if err != nil {
+			return nil, err
+		}
+		bw, err := evalBW(x)
+		if err != nil {
+			return nil, err
+		}
+		pa := 1.0
+		if ra > 0 {
+			pa = bw / (float64(n) * ra)
+		}
+		if pa > 1 {
+			pa = 1
+		}
+		if pa <= 0 {
+			return nil, fmt.Errorf("%w: degenerate acceptance %v", ErrBadStructure, pa)
+		}
+		// Renewal argument: mean cycle = (1/r − 1) thinking + 1/PA
+		// attempting.
+		raNew := (1 / pa) / (1/r - 1 + 1/pa)
+		// Damping stabilizes the saturated regime.
+		raNext := 0.5*ra + 0.5*raNew
+		est.AdjustedRate = raNext
+		est.X = x
+		est.Bandwidth = bw
+		est.Acceptance = pa
+		est.MeanWaitCycles = 1/pa - 1
+		est.Iterations = it
+		if math.Abs(raNext-ra) < resubmitTol {
+			return est, nil
+		}
+		ra = raNext
+	}
+	return nil, fmt.Errorf("%w: resubmit fixed point did not converge", ErrBadStructure)
+}

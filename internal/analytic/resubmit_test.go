@@ -1,0 +1,174 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"multibus/internal/hrm"
+	"multibus/internal/topology"
+)
+
+func TestEstimateResubmitValidation(t *testing.T) {
+	nw, err := topology.Full(8, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := hrm.TwoLevelPaper(8, 4, 0.6, 0.3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EstimateResubmit(nil, 8, h, 0.5); err == nil {
+		t.Error("nil network should error")
+	}
+	if _, err := EstimateResubmit(nw, 8, nil, 0.5); err == nil {
+		t.Error("nil model should error")
+	}
+	if _, err := EstimateResubmit(nw, 0, h, 0.5); err == nil {
+		t.Error("N=0 should error")
+	}
+	if _, err := EstimateResubmit(nw, 8, h, -0.1); err == nil {
+		t.Error("negative r should error")
+	}
+	if _, err := EstimateResubmit(nw, 8, h, 1.5); err == nil {
+		t.Error("r>1 should error")
+	}
+	// Unclassifiable wiring propagates the no-closed-form error.
+	conn := [][]bool{{true, false}, {true, true}, {false, true}}
+	cn, err := topology.Custom(4, conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, _ := hrm.Uniform(2)
+	if _, err := EstimateResubmit(cn, 4, u, 0.5); err == nil {
+		t.Error("custom wiring should error")
+	}
+}
+
+func TestEstimateResubmitZeroRate(t *testing.T) {
+	nw, _ := topology.Full(8, 8, 4)
+	h, _ := hrm.TwoLevelPaper(8, 4, 0.6, 0.3, 0.1)
+	est, err := EstimateResubmit(nw, 8, h, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Bandwidth != 0 || est.MeanWaitCycles != 0 || est.Acceptance != 1 {
+		t.Errorf("idle estimate = %+v", est)
+	}
+}
+
+func TestEstimateResubmitUncontendedLimit(t *testing.T) {
+	// One processor, one module, one bus: every attempt succeeds, so
+	// r_a = r, PA = ... every attempt accepted: PA = 1, wait 0,
+	// throughput r.
+	nw, err := topology.Full(1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := hrm.New([]int{1}, []float64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := EstimateResubmit(nw, 1, single, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Acceptance-1) > 1e-9 || est.MeanWaitCycles > 1e-9 {
+		t.Errorf("uncontended estimate = %+v", est)
+	}
+	if math.Abs(est.Bandwidth-0.4) > 1e-9 {
+		t.Errorf("throughput %.4f, want 0.4", est.Bandwidth)
+	}
+}
+
+func TestEstimateResubmitSaturatedThroughputIsB(t *testing.T) {
+	// Saturated full network: the buses are the bottleneck; predicted
+	// throughput ≈ B and the adjusted rate climbs above r... at r=1 the
+	// rate is already 1.
+	nw, err := topology.Full(16, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := hrm.TwoLevelPaper(16, 4, 0.6, 0.3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := EstimateResubmit(nw, 16, h, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Bandwidth-4) > 0.05 {
+		t.Errorf("saturated throughput %.4f, want ≈4", est.Bandwidth)
+	}
+	if est.MeanWaitCycles <= 1 {
+		t.Errorf("saturated wait %.3f, want > 1", est.MeanWaitCycles)
+	}
+	if est.AdjustedRate < 0.99 {
+		t.Errorf("adjusted rate %.4f, want ≈1 under saturation", est.AdjustedRate)
+	}
+}
+
+func TestEstimateResubmitRateAdjustmentDirection(t *testing.T) {
+	// Under contention, the adjusted attempt rate must exceed the fresh
+	// rate (retries add attempts) and the predicted bandwidth must not
+	// exceed the drop-mode bandwidth at the adjusted rate.
+	nw, err := topology.Full(16, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := hrm.TwoLevelPaper(16, 4, 0.6, 0.3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const r = 0.5
+	est, err := EstimateResubmit(nw, 16, h, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.AdjustedRate <= r {
+		t.Errorf("adjusted rate %.4f not above fresh rate %.2f", est.AdjustedRate, r)
+	}
+	x, _ := h.X(est.AdjustedRate)
+	drop, _ := BandwidthFull(16, 8, x)
+	if est.Bandwidth > drop+1e-9 {
+		t.Errorf("resubmit bandwidth %.4f exceeds drop-mode %.4f at same rate", est.Bandwidth, drop)
+	}
+	// Throughput = N·r_a·PA must also equal the renewal identity
+	// N / (1/r − 1 + 1/PA).
+	renewal := 16 / (1/r - 1 + 1/est.Acceptance)
+	if math.Abs(est.Bandwidth-renewal) > 1e-6 {
+		t.Errorf("fixed point inconsistent: bw %.6f vs renewal %.6f", est.Bandwidth, renewal)
+	}
+}
+
+func TestEstimateResubmitConvergesAcrossGrid(t *testing.T) {
+	h, err := hrm.TwoLevelPaper(16, 4, 0.6, 0.3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []int{2, 4, 8, 16} {
+		for _, r := range []float64{0.1, 0.3, 0.5, 0.8, 1.0} {
+			nw, err := topology.Full(16, 16, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			est, err := EstimateResubmit(nw, 16, h, r)
+			if err != nil {
+				t.Fatalf("B=%d r=%v: %v", b, r, err)
+			}
+			if est.Bandwidth <= 0 || est.Bandwidth > float64(b)+1e-9 {
+				t.Errorf("B=%d r=%v: bandwidth %.4f out of (0, B]", b, r, est.Bandwidth)
+			}
+			if est.AdjustedRate < r-1e-9 || est.AdjustedRate > 1+1e-9 {
+				t.Errorf("B=%d r=%v: adjusted rate %.4f out of [r, 1]", b, r, est.AdjustedRate)
+			}
+		}
+	}
+	// K-class networks converge too.
+	kc, err := topology.EvenKClasses(16, 16, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EstimateResubmit(kc, 16, h, 0.7); err != nil {
+		t.Errorf("K-class resubmit estimate: %v", err)
+	}
+}

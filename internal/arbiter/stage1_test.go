@@ -1,0 +1,133 @@
+package arbiter
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestNewStage1Validation(t *testing.T) {
+	if _, err := NewStage1(0, PolicyRandom); err == nil {
+		t.Error("M=0 should error")
+	}
+	if _, err := NewStage1(4, Stage1Policy(99)); err == nil {
+		t.Error("unknown policy should error")
+	}
+}
+
+func TestStage1GrantErrors(t *testing.T) {
+	s, err := NewStage1(4, PolicyFixedPriority)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Grant(0, nil, nil); err != ErrNoRequesters {
+		t.Errorf("empty requesters: %v, want ErrNoRequesters", err)
+	}
+	if _, err := s.Grant(-1, []int{0}, nil); err == nil {
+		t.Error("negative module should error")
+	}
+	if _, err := s.Grant(4, []int{0}, nil); err == nil {
+		t.Error("module ≥ M should error")
+	}
+}
+
+func TestStage1FixedPriority(t *testing.T) {
+	s, _ := NewStage1(2, PolicyFixedPriority)
+	for i := 0; i < 5; i++ {
+		w, err := s.Grant(0, []int{3, 5, 7}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w != 3 {
+			t.Errorf("fixed priority granted %d, want 3", w)
+		}
+	}
+}
+
+func TestStage1RoundRobinCycles(t *testing.T) {
+	s, _ := NewStage1(1, PolicyRoundRobin)
+	reqs := []int{1, 4, 6}
+	var got []int
+	for i := 0; i < 6; i++ {
+		w, err := s.Grant(0, reqs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, w)
+	}
+	want := []int{1, 4, 6, 1, 4, 6}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("round-robin sequence %v, want %v", got, want)
+		}
+	}
+}
+
+func TestStage1RoundRobinPerModuleState(t *testing.T) {
+	s, _ := NewStage1(2, PolicyRoundRobin)
+	w0, _ := s.Grant(0, []int{1, 2}, nil)
+	w1, _ := s.Grant(1, []int{1, 2}, nil)
+	if w0 != 1 || w1 != 1 {
+		t.Errorf("fresh arbiters granted %d,%d; want 1,1 (independent state)", w0, w1)
+	}
+	w0, _ = s.Grant(0, []int{1, 2}, nil)
+	if w0 != 2 {
+		t.Errorf("module 0 second grant = %d, want 2", w0)
+	}
+	// Module 1's pointer is unaffected by module 0's grants beyond its own.
+	w1, _ = s.Grant(1, []int{1, 2}, nil)
+	if w1 != 2 {
+		t.Errorf("module 1 second grant = %d, want 2", w1)
+	}
+}
+
+func TestStage1RoundRobinReset(t *testing.T) {
+	s, _ := NewStage1(1, PolicyRoundRobin)
+	_, _ = s.Grant(0, []int{1, 2}, nil)
+	s.Reset()
+	w, _ := s.Grant(0, []int{1, 2}, nil)
+	if w != 1 {
+		t.Errorf("after Reset grant = %d, want 1", w)
+	}
+}
+
+func TestStage1RandomIsUniform(t *testing.T) {
+	s, _ := NewStage1(1, PolicyRandom)
+	rng := rand.New(rand.NewSource(7))
+	counts := map[int]int{}
+	const trials = 30000
+	reqs := []int{2, 5, 9}
+	for i := 0; i < trials; i++ {
+		w, err := s.Grant(0, reqs, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[w]++
+	}
+	for _, p := range reqs {
+		frac := float64(counts[p]) / trials
+		if frac < 0.30 || frac > 0.37 {
+			t.Errorf("processor %d won fraction %.3f, want ≈1/3", p, frac)
+		}
+	}
+}
+
+func TestStage1PolicyString(t *testing.T) {
+	for _, tt := range []struct {
+		p    Stage1Policy
+		want string
+	}{
+		{PolicyRandom, "random"},
+		{PolicyRoundRobin, "round-robin"},
+		{PolicyFixedPriority, "fixed-priority"},
+		{Stage1Policy(42), "42"},
+	} {
+		if got := tt.p.String(); !strings.Contains(got, tt.want) {
+			t.Errorf("String() = %q, want substring %q", got, tt.want)
+		}
+	}
+	s, _ := NewStage1(1, PolicyRandom)
+	if s.Policy() != PolicyRandom {
+		t.Error("Policy() mismatch")
+	}
+}

@@ -1,0 +1,377 @@
+package arbiter
+
+import (
+	"fmt"
+	"math/rand"
+
+	"multibus/internal/topology"
+)
+
+// BusGrant records one stage-2 outcome: module Module transfers over bus
+// Bus this cycle.
+type BusGrant struct {
+	Module int
+	Bus    int
+}
+
+// BusAssigner is the stage-2 arbiter: given the modules that won stage-1
+// arbitration this cycle, it decides which of them obtain a bus.
+// Implementations must grant each module at most once, each bus at most
+// once, and never more modules than there are usable buses.
+type BusAssigner interface {
+	// Assign returns the subset of requested modules granted a bus this
+	// cycle, ascending. requested must be ascending module ids without
+	// duplicates.
+	Assign(requested []int, rng *rand.Rand) []int
+	// AssignDetailed is Assign with bus attribution: which physical bus
+	// carries each granted module.
+	AssignDetailed(requested []int, rng *rand.Rand) []BusGrant
+	// Reset clears any round-robin pointers.
+	Reset()
+}
+
+// modulesOf extracts the sorted module list from a grant set.
+func modulesOf(grants []BusGrant) []int {
+	out := make([]int, 0, len(grants))
+	for _, g := range grants {
+		out = append(out, g.Module)
+	}
+	sortInts(out)
+	return out
+}
+
+// groupedAssigner serves disjoint groups of modules, each with a private
+// pool of buses, granting up to B_q requests per group per cycle with a
+// rotating round-robin start for fairness. It covers the full (one
+// group), single (B one-bus groups), and partial-g (g groups) schemes.
+type groupedAssigner struct {
+	groupOf []int   // module -> group, -1 for stranded modules
+	busIDs  [][]int // per group: physical bus ids
+	next    []int   // per group: round-robin start module id
+}
+
+// NewGroupedAssigner builds a stage-2 assigner for a network that splits
+// into independent groups. moduleGroups[j] is module j's group index
+// (use -1 for modules with no surviving bus); groupBuses[q] is the number
+// of buses owned by group q. Physical bus ids are synthesized
+// group-major (group 0 owns buses 0…B_0−1, and so on); use
+// NewGroupedAssignerWithBuses to attribute real topology bus ids.
+func NewGroupedAssigner(moduleGroups []int, groupBuses []int) (BusAssigner, error) {
+	busIDs := make([][]int, len(groupBuses))
+	next := 0
+	for q, b := range groupBuses {
+		if b < 0 {
+			return nil, fmt.Errorf("%w: group %d has %d buses", ErrBadConfig, q, b)
+		}
+		ids := make([]int, b)
+		for i := range ids {
+			ids[i] = next
+			next++
+		}
+		busIDs[q] = ids
+	}
+	return NewGroupedAssignerWithBuses(moduleGroups, busIDs)
+}
+
+// NewGroupedAssignerWithBuses builds a grouped assigner with explicit
+// physical bus ids per group.
+func NewGroupedAssignerWithBuses(moduleGroups []int, busIDs [][]int) (BusAssigner, error) {
+	if len(moduleGroups) == 0 || len(busIDs) == 0 {
+		return nil, fmt.Errorf("%w: empty group structure", ErrBadConfig)
+	}
+	for j, g := range moduleGroups {
+		if g < -1 || g >= len(busIDs) {
+			return nil, fmt.Errorf("%w: module %d in group %d of %d", ErrBadConfig, j, g, len(busIDs))
+		}
+	}
+	cp := make([][]int, len(busIDs))
+	for q, ids := range busIDs {
+		cp[q] = append([]int(nil), ids...)
+	}
+	return &groupedAssigner{
+		groupOf: append([]int(nil), moduleGroups...),
+		busIDs:  cp,
+		next:    make([]int, len(busIDs)),
+	}, nil
+}
+
+// AssignDetailed grants, within each group, up to B_q of the requested
+// modules in cyclic module order starting at the group's round-robin
+// pointer, pairing the i-th granted module with the group's i-th bus.
+func (a *groupedAssigner) AssignDetailed(requested []int, _ *rand.Rand) []BusGrant {
+	perGroup := make(map[int][]int)
+	for _, j := range requested {
+		if j < 0 || j >= len(a.groupOf) {
+			continue
+		}
+		g := a.groupOf[j]
+		if g < 0 {
+			continue // stranded module: no bus can serve it
+		}
+		perGroup[g] = append(perGroup[g], j)
+	}
+	var grants []BusGrant
+	for g, mods := range perGroup {
+		buses := a.busIDs[g]
+		if len(buses) == 0 {
+			continue
+		}
+		if len(mods) <= len(buses) {
+			for i, j := range mods {
+				grants = append(grants, BusGrant{Module: j, Bus: buses[i]})
+			}
+			continue
+		}
+		// Round-robin: take B_q modules cyclically starting at the first
+		// module id ≥ next[g].
+		start := 0
+		for i, j := range mods {
+			if j >= a.next[g] {
+				start = i
+				break
+			}
+		}
+		for i := 0; i < len(buses); i++ {
+			grants = append(grants, BusGrant{
+				Module: mods[(start+i)%len(mods)],
+				Bus:    buses[i],
+			})
+		}
+		a.next[g] = mods[(start+len(buses))%len(mods)]
+	}
+	return grants
+}
+
+func (a *groupedAssigner) Assign(requested []int, rng *rand.Rand) []int {
+	return modulesOf(a.AssignDetailed(requested, rng))
+}
+
+func (a *groupedAssigner) Reset() {
+	for i := range a.next {
+		a.next[i] = 0
+	}
+}
+
+// prefixAssigner implements the paper §III-D two-step bus-assignment
+// procedure for nested-prefix (K-class) networks. Classes are wired to
+// prefixes of the bus order; in step 1 each class C_j with R requested
+// modules selects min(L_j, R) of them and tentatively assigns them to
+// buses L_j, L_j−1, …; in step 2 each bus arbiter grants one of its
+// contenders (round-robin), and losing modules are blocked.
+type prefixAssigner struct {
+	classOf   []int // module -> class index, -1 for stranded
+	prefixLen []int // per class
+	b         int
+	busOrder  []int // formula position (0-based) -> physical bus id
+	nextMod   []int // per class: round-robin start for step 1
+	nextBus   []int // per formula bus: rotation counter for step 2
+}
+
+// NewPrefixAssigner builds the two-step assigner. moduleClasses[j] gives
+// module j's class (or -1 if stranded); prefixLens[c] is the number of
+// buses (from bus 1) class c is wired to; b is the total bus count.
+// Formula bus i is attributed to physical bus i−1; use
+// NewPrefixAssignerWithOrder when the topology's bus order differs.
+func NewPrefixAssigner(moduleClasses []int, prefixLens []int, b int) (BusAssigner, error) {
+	order := make([]int, b)
+	for i := range order {
+		order[i] = i
+	}
+	return NewPrefixAssignerWithOrder(moduleClasses, prefixLens, b, order)
+}
+
+// NewPrefixAssignerWithOrder builds the two-step assigner with an
+// explicit mapping from formula bus positions (0-based; position 0 is
+// "bus 1", reached by every class) to physical bus ids.
+func NewPrefixAssignerWithOrder(moduleClasses []int, prefixLens []int, b int, busOrder []int) (BusAssigner, error) {
+	if len(moduleClasses) == 0 || len(prefixLens) == 0 || b < 1 {
+		return nil, fmt.Errorf("%w: empty prefix structure", ErrBadConfig)
+	}
+	if len(busOrder) < b {
+		return nil, fmt.Errorf("%w: bus order covers %d of %d buses", ErrBadConfig, len(busOrder), b)
+	}
+	for j, c := range moduleClasses {
+		if c < -1 || c >= len(prefixLens) {
+			return nil, fmt.Errorf("%w: module %d in class %d of %d", ErrBadConfig, j, c, len(prefixLens))
+		}
+	}
+	for c, l := range prefixLens {
+		if l < 0 || l > b {
+			return nil, fmt.Errorf("%w: class %d prefix %d (B=%d)", ErrBadConfig, c, l, b)
+		}
+	}
+	return &prefixAssigner{
+		classOf:   append([]int(nil), moduleClasses...),
+		prefixLen: append([]int(nil), prefixLens...),
+		b:         b,
+		busOrder:  append([]int(nil), busOrder...),
+		nextMod:   make([]int, len(prefixLens)),
+		nextBus:   make([]int, b),
+	}, nil
+}
+
+func (a *prefixAssigner) AssignDetailed(requested []int, rng *rand.Rand) []BusGrant {
+	// Step 1: per class, select up to L_c modules and map them to formula
+	// buses L_c−1, L_c−2, … (0-based positions).
+	contenders := make([][]int, a.b) // formula bus -> contending modules
+	perClass := make([][]int, len(a.prefixLen))
+	for _, j := range requested {
+		if j < 0 || j >= len(a.classOf) {
+			continue
+		}
+		c := a.classOf[j]
+		if c < 0 {
+			continue
+		}
+		perClass[c] = append(perClass[c], j)
+	}
+	// Iterate classes in index order so step-2 contender lists (and the
+	// per-bus rotation over them) are deterministic.
+	for c, mods := range perClass {
+		if len(mods) == 0 {
+			continue
+		}
+		l := a.prefixLen[c]
+		if l == 0 {
+			continue
+		}
+		take := l
+		if len(mods) < take {
+			take = len(mods)
+		}
+		// Round-robin selection start within the class.
+		start := 0
+		for i, j := range mods {
+			if j >= a.nextMod[c] {
+				start = i
+				break
+			}
+		}
+		for i := 0; i < take; i++ {
+			mod := mods[(start+i)%len(mods)]
+			bus := l - 1 - i
+			contenders[bus] = append(contenders[bus], mod)
+		}
+		if len(mods) > take {
+			a.nextMod[c] = mods[(start+take)%len(mods)]
+		}
+	}
+	// Step 2: each bus grants one contender, rotating across classes via
+	// a per-bus pointer; with at most one contender per class per bus the
+	// pointer rotation is equivalent to cycling classes.
+	var grants []BusGrant
+	for bus, mods := range contenders {
+		if len(mods) == 0 {
+			continue
+		}
+		pick := 0
+		switch {
+		case len(mods) == 1:
+		case rng != nil:
+			pick = rng.Intn(len(mods))
+		default:
+			pick = a.nextBus[bus] % len(mods)
+			a.nextBus[bus]++
+		}
+		grants = append(grants, BusGrant{Module: mods[pick], Bus: a.busOrder[bus]})
+	}
+	return grants
+}
+
+func (a *prefixAssigner) Assign(requested []int, rng *rand.Rand) []int {
+	return modulesOf(a.AssignDetailed(requested, rng))
+}
+
+func (a *prefixAssigner) Reset() {
+	for i := range a.nextMod {
+		a.nextMod[i] = 0
+	}
+	for i := range a.nextBus {
+		a.nextBus[i] = 0
+	}
+}
+
+// greedyAssigner serves arbitrary wirings: buses are scanned from the
+// most lightly loaded to the most connected, each granting an unserved
+// requested module it reaches, with per-bus round-robin pointers. This is
+// the natural hardware daisy-chain arbitration for custom topologies that
+// fit none of the paper's schemes.
+type greedyAssigner struct {
+	nw       *topology.Network
+	busOrder []int
+	next     []int // per bus: round-robin pointer over module ids
+}
+
+// NewGreedyAssigner builds a fallback stage-2 assigner for any topology.
+func NewGreedyAssigner(nw *topology.Network) (BusAssigner, error) {
+	if err := nw.Validate(); err != nil {
+		return nil, err
+	}
+	// Scan scarce buses first: a bus wired to few modules has fewer
+	// alternatives, so letting it pick first wastes less capacity.
+	order := make([]int, nw.B())
+	for i := range order {
+		order[i] = i
+	}
+	degree := make([]int, nw.B())
+	for i := 0; i < nw.B(); i++ {
+		degree[i] = len(nw.ModulesOnBus(i))
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && degree[order[j-1]] > degree[order[j]]; j-- {
+			order[j-1], order[j] = order[j], order[j-1]
+		}
+	}
+	return &greedyAssigner{nw: nw, busOrder: order, next: make([]int, nw.B())}, nil
+}
+
+func (a *greedyAssigner) AssignDetailed(requested []int, _ *rand.Rand) []BusGrant {
+	pending := make(map[int]bool, len(requested))
+	for _, j := range requested {
+		pending[j] = true
+	}
+	var grants []BusGrant
+	for _, bus := range a.busOrder {
+		mods := a.nw.ModulesOnBus(bus)
+		if len(mods) == 0 {
+			continue
+		}
+		// Round-robin: first pending module at or after the pointer.
+		start := 0
+		for i, j := range mods {
+			if j >= a.next[bus] {
+				start = i
+				break
+			}
+		}
+		for i := 0; i < len(mods); i++ {
+			j := mods[(start+i)%len(mods)]
+			if pending[j] {
+				grants = append(grants, BusGrant{Module: j, Bus: bus})
+				delete(pending, j)
+				a.next[bus] = j + 1
+				break
+			}
+		}
+	}
+	return grants
+}
+
+func (a *greedyAssigner) Assign(requested []int, rng *rand.Rand) []int {
+	return modulesOf(a.AssignDetailed(requested, rng))
+}
+
+func (a *greedyAssigner) Reset() {
+	for i := range a.next {
+		a.next[i] = 0
+	}
+}
+
+// sortInts is insertion sort; grant lists are at most B long.
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j-1] > xs[j]; j-- {
+			xs[j-1], xs[j] = xs[j], xs[j-1]
+		}
+	}
+}

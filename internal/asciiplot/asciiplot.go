@@ -1,0 +1,202 @@
+// Package asciiplot renders small line charts as plain text. Go has no
+// plotting ecosystem in the standard library, and the paper's "figures"
+// worth plotting (bandwidth-vs-B curves from the tables) read perfectly
+// well as terminal charts, so sweeps and examples draw with this package.
+package asciiplot
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ErrBadPlot is returned for unusable plot specifications.
+var ErrBadPlot = errors.New("asciiplot: invalid plot")
+
+// Series is one named curve. Xs and Ys must have equal length.
+type Series struct {
+	Name string
+	Xs   []float64
+	Ys   []float64
+}
+
+// markers cycles through the glyphs used for successive series.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Plot describes a chart. The zero value plus at least one series is
+// usable with defaults of 64×20 cells.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot area width in cells (default 64)
+	Height int // plot area height in cells (default 20)
+	Series []Series
+}
+
+// Render draws the chart. Series points are mapped onto a Width×Height
+// grid with linear scaling; overlapping points keep the earlier series'
+// marker. Axes are annotated with min/max and the legend lists each
+// series' marker.
+func (p *Plot) Render() (string, error) {
+	if len(p.Series) == 0 {
+		return "", fmt.Errorf("%w: no series", ErrBadPlot)
+	}
+	width, height := p.Width, p.Height
+	if width == 0 {
+		width = 64
+	}
+	if height == 0 {
+		height = 20
+	}
+	if width < 8 || height < 4 {
+		return "", fmt.Errorf("%w: area %d×%d too small", ErrBadPlot, width, height)
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	total := 0
+	for _, s := range p.Series {
+		if len(s.Xs) != len(s.Ys) {
+			return "", fmt.Errorf("%w: series %q has %d xs and %d ys",
+				ErrBadPlot, s.Name, len(s.Xs), len(s.Ys))
+		}
+		for i := range s.Xs {
+			x, y := s.Xs[i], s.Ys[i]
+			if math.IsNaN(x) || math.IsNaN(y) {
+				continue
+			}
+			total++
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if total == 0 {
+		return "", fmt.Errorf("%w: no finite points", ErrBadPlot)
+	}
+	if minX == maxX {
+		minX, maxX = minX-1, maxX+1
+	}
+	if minY == maxY {
+		minY, maxY = minY-1, maxY+1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range p.Series {
+		mark := markers[si%len(markers)]
+		for i := range s.Xs {
+			x, y := s.Xs[i], s.Ys[i]
+			if math.IsNaN(x) || math.IsNaN(y) {
+				continue
+			}
+			col := int((x - minX) / (maxX - minX) * float64(width-1))
+			row := height - 1 - int((y-minY)/(maxY-minY)*float64(height-1))
+			if grid[row][col] == ' ' {
+				grid[row][col] = mark
+			}
+		}
+	}
+
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	yHi := fmt.Sprintf("%.2f", maxY)
+	yLo := fmt.Sprintf("%.2f", minY)
+	margin := len(yHi)
+	if len(yLo) > margin {
+		margin = len(yLo)
+	}
+	for r, row := range grid {
+		switch r {
+		case 0:
+			fmt.Fprintf(&b, "%*s ┤%s\n", margin, yHi, string(row))
+		case height - 1:
+			fmt.Fprintf(&b, "%*s ┤%s\n", margin, yLo, string(row))
+		default:
+			fmt.Fprintf(&b, "%*s │%s\n", margin, "", string(row))
+		}
+	}
+	fmt.Fprintf(&b, "%*s └%s\n", margin, "", strings.Repeat("─", width))
+	xLo := fmt.Sprintf("%.6g", minX)
+	xHi := fmt.Sprintf("%.6g", maxX)
+	pad := width - len(xLo) - len(xHi)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&b, "%*s  %s%s%s\n", margin, "", xLo, strings.Repeat(" ", pad), xHi)
+	if p.XLabel != "" || p.YLabel != "" {
+		fmt.Fprintf(&b, "%*s  x: %s   y: %s\n", margin, "", p.XLabel, p.YLabel)
+	}
+	b.WriteString("legend:")
+	for si, s := range p.Series {
+		fmt.Fprintf(&b, "  %c %s", markers[si%len(markers)], s.Name)
+	}
+	b.WriteByte('\n')
+	return b.String(), nil
+}
+
+// Bar is one labelled value for BarChart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// BarChart renders horizontal bars scaled to the maximum value, e.g.
+//
+//	full     ████████████████████████ 7.99
+//	partial  ███████████████████████▏ 7.92
+//
+// width is the maximum bar width in cells (default 40). Negative values
+// are rejected.
+func BarChart(title string, bars []Bar, width int) (string, error) {
+	if len(bars) == 0 {
+		return "", fmt.Errorf("%w: no bars", ErrBadPlot)
+	}
+	if width == 0 {
+		width = 40
+	}
+	if width < 4 {
+		return "", fmt.Errorf("%w: width %d too small", ErrBadPlot, width)
+	}
+	maxVal := 0.0
+	labelWidth := 0
+	for _, b := range bars {
+		if b.Value < 0 || math.IsNaN(b.Value) {
+			return "", fmt.Errorf("%w: bar %q value %v", ErrBadPlot, b.Label, b.Value)
+		}
+		if b.Value > maxVal {
+			maxVal = b.Value
+		}
+		if len(b.Label) > labelWidth {
+			labelWidth = len(b.Label)
+		}
+	}
+	var sb strings.Builder
+	if title != "" {
+		fmt.Fprintf(&sb, "%s\n", title)
+	}
+	for _, b := range bars {
+		cells := 0.0
+		if maxVal > 0 {
+			cells = b.Value / maxVal * float64(width)
+		}
+		whole := int(cells)
+		frac := cells - float64(whole)
+		bar := strings.Repeat("█", whole)
+		// Eighth-block fractional cell for resolution.
+		if frac > 0 {
+			eighths := []rune("▏▎▍▌▋▊▉█")
+			idx := int(frac * 8)
+			if idx >= len(eighths) {
+				idx = len(eighths) - 1
+			}
+			bar += string(eighths[idx])
+		}
+		fmt.Fprintf(&sb, "%-*s %s %.4g\n", labelWidth, b.Label, bar, b.Value)
+	}
+	return sb.String(), nil
+}

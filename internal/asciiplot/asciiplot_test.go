@@ -1,0 +1,130 @@
+package asciiplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasicChart(t *testing.T) {
+	p := &Plot{
+		Title:  "bandwidth vs B",
+		XLabel: "buses",
+		YLabel: "MBW",
+		Series: []Series{
+			{Name: "full", Xs: []float64{1, 2, 4, 8}, Ys: []float64{1, 2, 3.9, 6}},
+			{Name: "single", Xs: []float64{1, 2, 4, 8}, Ys: []float64{1, 1.9, 3.7, 5.9}},
+		},
+	}
+	out, err := p.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"bandwidth vs B", "legend:", "* full", "o single", "x: buses", "y: MBW", "6.00", "1.00"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("chart missing %q:\n%s", frag, out)
+		}
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("chart missing series markers")
+	}
+}
+
+func TestRenderValidation(t *testing.T) {
+	if _, err := (&Plot{}).Render(); err == nil {
+		t.Error("no series should error")
+	}
+	p := &Plot{Series: []Series{{Name: "bad", Xs: []float64{1}, Ys: []float64{1, 2}}}}
+	if _, err := p.Render(); err == nil {
+		t.Error("length mismatch should error")
+	}
+	p = &Plot{Series: []Series{{Name: "nan", Xs: []float64{math.NaN()}, Ys: []float64{math.NaN()}}}}
+	if _, err := p.Render(); err == nil {
+		t.Error("all-NaN series should error")
+	}
+	p = &Plot{Width: 4, Height: 2, Series: []Series{{Name: "s", Xs: []float64{1}, Ys: []float64{1}}}}
+	if _, err := p.Render(); err == nil {
+		t.Error("tiny area should error")
+	}
+}
+
+func TestRenderDegenerateRanges(t *testing.T) {
+	// A single point (zero x and y range) must still render.
+	p := &Plot{Series: []Series{{Name: "pt", Xs: []float64{3}, Ys: []float64{7}}}}
+	out, err := p.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") {
+		t.Errorf("single point not plotted:\n%s", out)
+	}
+}
+
+func TestRenderSkipsNaNPoints(t *testing.T) {
+	p := &Plot{Series: []Series{{
+		Name: "gaps",
+		Xs:   []float64{1, 2, 3, 4},
+		Ys:   []float64{1, math.NaN(), 3, 4},
+	}}}
+	out, err := p.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, _, _ := strings.Cut(out, "legend:")
+	if got := strings.Count(grid, "*"); got != 3 {
+		t.Errorf("plotted %d markers, want 3 (NaN skipped)", got)
+	}
+}
+
+func TestMarkerCycling(t *testing.T) {
+	series := make([]Series, 10)
+	for i := range series {
+		series[i] = Series{Name: "s", Xs: []float64{float64(i)}, Ys: []float64{float64(i)}}
+	}
+	p := &Plot{Series: series}
+	out, err := p.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 series with 8 markers: the 9th series reuses '*'.
+	if !strings.Contains(out, "@") || !strings.Contains(out, "%") {
+		t.Errorf("later markers missing:\n%s", out)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	out, err := BarChart("bandwidth by scheme", []Bar{
+		{"full", 7.99}, {"partial", 7.92}, {"single", 7.44}, {"idle", 0},
+	}, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"bandwidth by scheme", "full", "7.99", "█"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("bar chart missing %q:\n%s", frag, out)
+		}
+	}
+	// The largest value gets the longest bar.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if !(strings.Count(lines[1], "█") >= strings.Count(lines[3], "█")) {
+		t.Errorf("bar lengths not ordered:\n%s", out)
+	}
+	// Validation.
+	if _, err := BarChart("t", nil, 24); err == nil {
+		t.Error("no bars should error")
+	}
+	if _, err := BarChart("t", []Bar{{"x", -1}}, 24); err == nil {
+		t.Error("negative value should error")
+	}
+	if _, err := BarChart("t", []Bar{{"x", 1}}, 2); err == nil {
+		t.Error("tiny width should error")
+	}
+	// All-zero bars render without dividing by zero.
+	out, err = BarChart("", []Bar{{"a", 0}, {"b", 0}}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "a") {
+		t.Errorf("zero chart malformed:\n%s", out)
+	}
+}

@@ -1,0 +1,85 @@
+// Package cliutil holds the flag-to-object plumbing shared by the cmd/
+// tools: building networks and request models from string specifiers.
+package cliutil
+
+import (
+	"errors"
+	"fmt"
+
+	"multibus/internal/hrm"
+	"multibus/internal/topology"
+	"multibus/internal/workload"
+)
+
+// ErrBadFlag is returned for unparseable tool arguments.
+var ErrBadFlag = errors.New("cliutil: invalid flag value")
+
+// BuildNetwork constructs a topology from a scheme name: "full",
+// "single", "partial" (g groups), or "kclass" (k even classes).
+func BuildNetwork(scheme string, n, m, b, g, k int) (*topology.Network, error) {
+	switch scheme {
+	case "full":
+		return topology.Full(n, m, b)
+	case "single":
+		return topology.SingleBus(n, m, b)
+	case "partial":
+		return topology.PartialGroups(n, m, b, g)
+	case "kclass":
+		return topology.EvenKClasses(n, m, b, k)
+	default:
+		return nil, fmt.Errorf("%w: scheme %q (want full|single|partial|kclass)", ErrBadFlag, scheme)
+	}
+}
+
+// BuildModel constructs a request model from a workload name: "hier"
+// (the paper's two-level 4-cluster 0.6/0.3/0.1 workload; systems too
+// small for 4 clusters fall back to 2) or "unif".
+func BuildModel(name string, n int) (*hrm.Hierarchy, error) {
+	switch name {
+	case "hier":
+		clusters, err := hierClusters(n)
+		if err != nil {
+			return nil, err
+		}
+		return hrm.TwoLevelPaper(n, clusters, 0.6, 0.3, 0.1)
+	case "unif":
+		return hrm.Uniform(n)
+	default:
+		return nil, fmt.Errorf("%w: workload %q (want hier|unif)", ErrBadFlag, name)
+	}
+}
+
+// hierClusters picks the paper's 4-cluster split when it fits, else 2
+// clusters; the hierarchical model needs at least 2 modules per cluster.
+func hierClusters(n int) (int, error) {
+	switch {
+	case n%4 == 0 && n/4 >= 2:
+		return 4, nil
+	case n%2 == 0 && n/2 >= 2:
+		return 2, nil
+	default:
+		return 0, fmt.Errorf("%w: N=%d cannot form the two-level hier workload (need N divisible by 2 with clusters of ≥ 2)", ErrBadFlag, n)
+	}
+}
+
+// BuildWorkload constructs a simulator workload from a workload name:
+// "hier", "unif", or "hotspot" (50% of traffic on module 0).
+func BuildWorkload(name string, n, m int, r float64) (workload.Generator, error) {
+	switch name {
+	case "hier":
+		if n != m {
+			return nil, fmt.Errorf("%w: hier workload needs N == M, got %d×%d", ErrBadFlag, n, m)
+		}
+		h, err := BuildModel("hier", n)
+		if err != nil {
+			return nil, err
+		}
+		return workload.NewHierarchical(h, r)
+	case "unif":
+		return workload.NewUniform(n, m, r)
+	case "hotspot":
+		return workload.NewHotSpot(n, m, r, 0, 0.5)
+	default:
+		return nil, fmt.Errorf("%w: workload %q (want hier|unif|hotspot)", ErrBadFlag, name)
+	}
+}

@@ -1,0 +1,175 @@
+// Package cost evaluates the hardware cost model of the paper's §II-B
+// and Table I: connection counts, per-bus electrical loads, and degrees
+// of fault tolerance for each bus–memory connection scheme, plus the
+// performance-cost ratios used to rank the schemes in §IV.
+package cost
+
+import (
+	"errors"
+	"fmt"
+
+	"multibus/internal/analytic"
+	"multibus/internal/topology"
+)
+
+// ErrBadInput is returned for invalid arguments.
+var ErrBadInput = errors.New("cost: invalid input")
+
+// Summary captures every Table I metric for one concrete network.
+type Summary struct {
+	Scheme      topology.Scheme
+	N, M, B     int
+	Connections int   // total connections, B·N processor-side + memory-side
+	BusLoads    []int // devices on each bus (N processors + attached modules)
+	MinBusLoad  int
+	MaxBusLoad  int
+	FaultDegree int // bus failures tolerable with all modules reachable
+}
+
+// Summarize computes the cost metrics of a network directly from its
+// wiring, so the numbers and the formulas of Table I can be checked
+// against each other.
+func Summarize(nw *topology.Network) (*Summary, error) {
+	if nw == nil {
+		return nil, fmt.Errorf("%w: nil network", ErrBadInput)
+	}
+	if err := nw.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Summary{
+		Scheme:      nw.Scheme(),
+		N:           nw.N(),
+		M:           nw.M(),
+		B:           nw.B(),
+		Connections: nw.NumConnections(),
+		BusLoads:    make([]int, nw.B()),
+		FaultDegree: nw.FaultToleranceDegree(),
+	}
+	s.MinBusLoad = int(^uint(0) >> 1)
+	for i := 0; i < nw.B(); i++ {
+		load, err := nw.BusLoad(i)
+		if err != nil {
+			return nil, err
+		}
+		s.BusLoads[i] = load
+		if load < s.MinBusLoad {
+			s.MinBusLoad = load
+		}
+		if load > s.MaxBusLoad {
+			s.MaxBusLoad = load
+		}
+	}
+	return s, nil
+}
+
+// TableIRow is one row of the paper's Table I: the symbolic cost formulas
+// of a connection scheme, plus concrete values for a given N, M, B.
+type TableIRow struct {
+	Scheme          string
+	ConnectionsExpr string
+	LoadExpr        string
+	FaultDegreeExpr string
+	Connections     int
+	MaxBusLoad      int
+	FaultDegree     int
+}
+
+// TableI reproduces the paper's Table I for a concrete N×M×B
+// configuration with g partial-bus groups and k classes. g must divide M
+// and B; class sizes are M/k each (k must divide M).
+func TableI(n, m, b, g, k int) ([]TableIRow, error) {
+	full, err := topology.Full(n, m, b)
+	if err != nil {
+		return nil, err
+	}
+	single, err := topology.SingleBus(n, m, b)
+	if err != nil {
+		return nil, err
+	}
+	partial, err := topology.PartialGroups(n, m, b, g)
+	if err != nil {
+		return nil, err
+	}
+	kclass, err := topology.EvenKClasses(n, m, b, k)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]TableIRow, 0, 4)
+	for _, nw := range []*topology.Network{full, single, partial, kclass} {
+		s, err := Summarize(nw)
+		if err != nil {
+			return nil, err
+		}
+		row := TableIRow{
+			Scheme:      nw.Scheme().String(),
+			Connections: s.Connections,
+			MaxBusLoad:  s.MaxBusLoad,
+			FaultDegree: s.FaultDegree,
+		}
+		switch nw.Scheme() {
+		case topology.SchemeFull:
+			row.ConnectionsExpr = "B(N+M)"
+			row.LoadExpr = "N+M"
+			row.FaultDegreeExpr = "B-1"
+		case topology.SchemeSingleBus:
+			row.ConnectionsExpr = "BN+M"
+			row.LoadExpr = "N+M_i"
+			row.FaultDegreeExpr = "0"
+		case topology.SchemePartialGroups:
+			row.ConnectionsExpr = "B(N+M/g)"
+			row.LoadExpr = "N+M/g"
+			row.FaultDegreeExpr = "B/g-1"
+		case topology.SchemeKClasses:
+			row.ConnectionsExpr = "BN+ΣM_j(j+B-K)"
+			row.LoadExpr = "N+Σ_{j≥i+K-B}M_j"
+			row.FaultDegreeExpr = "B-K"
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Effectiveness is a scheme's bandwidth-per-connection score at a given
+// per-module request probability, the §IV ranking criterion.
+type Effectiveness struct {
+	Scheme      string
+	Bandwidth   float64
+	Connections int
+	Ratio       float64 // Bandwidth / Connections
+	FaultDegree int
+}
+
+// CompareEffectiveness evaluates bandwidth, cost, and their ratio for the
+// four schemes of Table I at per-module request probability x, returning
+// rows in the paper's scheme order.
+func CompareEffectiveness(n, m, b, g, k int, x float64) ([]Effectiveness, error) {
+	builders := []func() (*topology.Network, error){
+		func() (*topology.Network, error) { return topology.Full(n, m, b) },
+		func() (*topology.Network, error) { return topology.SingleBus(n, m, b) },
+		func() (*topology.Network, error) { return topology.PartialGroups(n, m, b, g) },
+		func() (*topology.Network, error) { return topology.EvenKClasses(n, m, b, k) },
+	}
+	out := make([]Effectiveness, 0, len(builders))
+	for _, build := range builders {
+		nw, err := build()
+		if err != nil {
+			return nil, err
+		}
+		bw, err := analytic.Bandwidth(nw, x)
+		if err != nil {
+			return nil, err
+		}
+		ratio, err := analytic.PerformanceCostRatio(bw, nw.NumConnections())
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Effectiveness{
+			Scheme:      nw.Scheme().String(),
+			Bandwidth:   bw,
+			Connections: nw.NumConnections(),
+			Ratio:       ratio,
+			FaultDegree: nw.FaultToleranceDegree(),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,132 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"multibus/internal/topology"
+)
+
+func TestSummarizeFull(t *testing.T) {
+	nw, err := topology.Full(16, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Summarize(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Connections != 8*(16+16) {
+		t.Errorf("connections = %d, want %d", s.Connections, 8*32)
+	}
+	if s.MinBusLoad != 32 || s.MaxBusLoad != 32 {
+		t.Errorf("loads = [%d, %d], want uniform 32", s.MinBusLoad, s.MaxBusLoad)
+	}
+	if s.FaultDegree != 7 {
+		t.Errorf("fault degree = %d, want 7", s.FaultDegree)
+	}
+	if len(s.BusLoads) != 8 {
+		t.Errorf("BusLoads length %d, want 8", len(s.BusLoads))
+	}
+}
+
+func TestSummarizeNilAndInvalid(t *testing.T) {
+	if _, err := Summarize(nil); err == nil {
+		t.Error("nil network should error")
+	}
+}
+
+func TestTableIReproducesPaperFormulas(t *testing.T) {
+	// Table I for N=M=16, B=8, g=2, K=8 (the §IV configuration family).
+	rows, err := TableI(16, 16, 8, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	// Full: B(N+M) = 256, load 32, degree 7.
+	if rows[0].Connections != 256 || rows[0].MaxBusLoad != 32 || rows[0].FaultDegree != 7 {
+		t.Errorf("full row = %+v", rows[0])
+	}
+	// Single: BN+M = 144, load N+M/B = 18, degree 0.
+	if rows[1].Connections != 144 || rows[1].MaxBusLoad != 18 || rows[1].FaultDegree != 0 {
+		t.Errorf("single row = %+v", rows[1])
+	}
+	// Partial g=2: B(N+M/2) = 192, load 24, degree B/2−1 = 3.
+	if rows[2].Connections != 192 || rows[2].MaxBusLoad != 24 || rows[2].FaultDegree != 3 {
+		t.Errorf("partial row = %+v", rows[2])
+	}
+	// K classes, K=B=8, sizes 2: BN + Σ 2·j = 128 + 2·36 = 200; the most
+	// loaded bus (bus 1) sees all 16 modules; degree B−K = 0.
+	if rows[3].Connections != 200 || rows[3].MaxBusLoad != 32 || rows[3].FaultDegree != 0 {
+		t.Errorf("kclass row = %+v", rows[3])
+	}
+	// Paper §IV: K-class connection cost "nearly equal to the partial bus
+	// networks with g=2": NB+(B+1)N/2 = 200 vs 192.
+	if rows[3].Connections != 16*8+(8+1)*16/2 {
+		t.Errorf("kclass connections %d != paper's NB+(B+1)N/2", rows[3].Connections)
+	}
+	for _, row := range rows {
+		if row.ConnectionsExpr == "" || row.LoadExpr == "" || row.FaultDegreeExpr == "" {
+			t.Errorf("row %q missing symbolic expressions", row.Scheme)
+		}
+	}
+}
+
+func TestTableIErrors(t *testing.T) {
+	if _, err := TableI(16, 16, 8, 3, 8); err == nil {
+		t.Error("g not dividing should error")
+	}
+	if _, err := TableI(16, 16, 8, 2, 5); err == nil {
+		t.Error("k not dividing should error")
+	}
+	if _, err := TableI(0, 16, 8, 2, 8); err == nil {
+		t.Error("N=0 should error")
+	}
+}
+
+func TestCompareEffectivenessOrdering(t *testing.T) {
+	// §IV: single is the most cost-effective; full the least, among
+	// bus-limited schemes at B = N/2.
+	const x = 0.746919 // paper workload, N=8... use N=16 X below
+	rows, err := CompareEffectiveness(16, 16, 8, 2, 8, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	byScheme := map[string]Effectiveness{}
+	for _, r := range rows {
+		byScheme[r.Scheme] = r
+		if r.Ratio <= 0 || math.IsNaN(r.Ratio) {
+			t.Errorf("scheme %q ratio %v", r.Scheme, r.Ratio)
+		}
+	}
+	single := byScheme["single bus-memory connection"]
+	full := byScheme["full bus-memory connection"]
+	partial := byScheme["partial bus network"]
+	kclass := byScheme["partial bus network with K classes"]
+	if !(single.Ratio > partial.Ratio && partial.Ratio > full.Ratio) {
+		t.Errorf("cost-effectiveness ordering violated: single %.5f, partial %.5f, full %.5f",
+			single.Ratio, partial.Ratio, full.Ratio)
+	}
+	if !(kclass.Ratio > full.Ratio) {
+		t.Errorf("K classes %.5f should beat full %.5f", kclass.Ratio, full.Ratio)
+	}
+	// Bandwidth ordering is the reverse of cost-effectiveness here.
+	if !(full.Bandwidth >= partial.Bandwidth && partial.Bandwidth >= single.Bandwidth) {
+		t.Errorf("bandwidth ordering violated: %.4f, %.4f, %.4f",
+			full.Bandwidth, partial.Bandwidth, single.Bandwidth)
+	}
+}
+
+func TestCompareEffectivenessErrors(t *testing.T) {
+	if _, err := CompareEffectiveness(16, 16, 8, 2, 8, 1.5); err == nil {
+		t.Error("bad X should error")
+	}
+	if _, err := CompareEffectiveness(16, 16, 8, 5, 8, 0.5); err == nil {
+		t.Error("bad g should error")
+	}
+}

@@ -1,0 +1,213 @@
+// Package design explores the multiple bus design space: given a
+// workload and engineering constraints (minimum bandwidth, minimum
+// fault-tolerance degree, maximum connection budget), it enumerates the
+// candidate configurations of all four connection schemes and returns
+// the feasible set and its Pareto frontier over (bandwidth, cost,
+// fault degree). This is the "which network should I build" question the
+// paper's §IV answers qualitatively, automated.
+package design
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"multibus/internal/analytic"
+	"multibus/internal/topology"
+)
+
+// Errors returned by the explorer.
+var ErrBadInput = errors.New("design: invalid input")
+
+// RateModel produces X at a request rate (hrm types satisfy it).
+type RateModel interface {
+	X(r float64) (float64, error)
+}
+
+// Constraints narrow the feasible set. Zero values mean unconstrained
+// (except MaxConnections, where 0 means unconstrained too).
+type Constraints struct {
+	MinBandwidth   float64
+	MinFaultDegree int
+	MaxConnections int
+	MaxBusLoad     int
+}
+
+// Candidate is one evaluated configuration.
+type Candidate struct {
+	Network     *topology.Network
+	Scheme      topology.Scheme
+	B           int
+	G           int // PartialGroups only
+	K           int // KClasses only
+	Bandwidth   float64
+	Connections int
+	MaxBusLoad  int
+	FaultDegree int
+	// Pareto is true when no other feasible candidate is at least as
+	// good on bandwidth, cost (fewer connections), and fault degree, and
+	// strictly better on one of them.
+	Pareto bool
+}
+
+// Explore enumerates configurations for an n×n system under the given
+// model and rate: every bus count 1…n for full and single schemes, every
+// (B, g) with g | gcd(B, n) for partial networks, and every (B, K) with
+// K ≤ B and K | n for even K-class networks. Infeasible candidates are
+// dropped; the rest are returned with Pareto flags, ordered by
+// descending bandwidth then ascending connections.
+func Explore(n int, model RateModel, r float64, cons Constraints) ([]Candidate, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("%w: n=%d", ErrBadInput, n)
+	}
+	if model == nil {
+		return nil, fmt.Errorf("%w: nil model", ErrBadInput)
+	}
+	x, err := model.X(r)
+	if err != nil {
+		return nil, err
+	}
+	var out []Candidate
+	add := func(nw *topology.Network, g, k int) error {
+		bw, err := analytic.Bandwidth(nw, x)
+		if err != nil {
+			return err
+		}
+		c := Candidate{
+			Network:     nw,
+			Scheme:      nw.Scheme(),
+			B:           nw.B(),
+			G:           g,
+			K:           k,
+			Bandwidth:   bw,
+			Connections: nw.NumConnections(),
+			MaxBusLoad:  nw.MaxBusLoad(),
+			FaultDegree: nw.FaultToleranceDegree(),
+		}
+		if !feasible(c, cons) {
+			return nil
+		}
+		out = append(out, c)
+		return nil
+	}
+	for b := 1; b <= n; b++ {
+		full, err := topology.Full(n, n, b)
+		if err != nil {
+			return nil, err
+		}
+		if err := add(full, 0, 0); err != nil {
+			return nil, err
+		}
+		single, err := topology.SingleBus(n, n, b)
+		if err != nil {
+			return nil, err
+		}
+		if err := add(single, 0, 0); err != nil {
+			return nil, err
+		}
+		for g := 2; g <= b; g++ {
+			if b%g != 0 || n%g != 0 {
+				continue
+			}
+			pg, err := topology.PartialGroups(n, n, b, g)
+			if err != nil {
+				return nil, err
+			}
+			if err := add(pg, g, 0); err != nil {
+				return nil, err
+			}
+		}
+		for k := 2; k <= b; k++ {
+			if n%k != 0 {
+				continue
+			}
+			kc, err := topology.EvenKClasses(n, n, b, k)
+			if err != nil {
+				return nil, err
+			}
+			if err := add(kc, 0, k); err != nil {
+				return nil, err
+			}
+		}
+	}
+	markPareto(out)
+	sortCandidates(out)
+	return out, nil
+}
+
+func feasible(c Candidate, cons Constraints) bool {
+	if c.Bandwidth < cons.MinBandwidth {
+		return false
+	}
+	if c.FaultDegree < cons.MinFaultDegree {
+		return false
+	}
+	if cons.MaxConnections > 0 && c.Connections > cons.MaxConnections {
+		return false
+	}
+	if cons.MaxBusLoad > 0 && c.MaxBusLoad > cons.MaxBusLoad {
+		return false
+	}
+	return true
+}
+
+// markPareto flags the non-dominated candidates. a dominates b when a is
+// ≥ b on bandwidth and fault degree, ≤ b on connections, and strictly
+// better on at least one (with a small bandwidth tolerance so float
+// noise does not create spurious frontier points).
+func markPareto(cs []Candidate) {
+	const bwTol = 1e-9
+	for i := range cs {
+		dominated := false
+		for j := range cs {
+			if i == j {
+				continue
+			}
+			a, b := &cs[j], &cs[i]
+			geq := a.Bandwidth >= b.Bandwidth-bwTol &&
+				a.FaultDegree >= b.FaultDegree &&
+				a.Connections <= b.Connections
+			strict := a.Bandwidth > b.Bandwidth+bwTol ||
+				a.FaultDegree > b.FaultDegree ||
+				a.Connections < b.Connections
+			if geq && strict {
+				dominated = true
+				break
+			}
+		}
+		cs[i].Pareto = !dominated
+	}
+}
+
+func sortCandidates(cs []Candidate) {
+	less := func(a, b *Candidate) bool {
+		if math.Abs(a.Bandwidth-b.Bandwidth) > 1e-12 {
+			return a.Bandwidth > b.Bandwidth
+		}
+		if a.Connections != b.Connections {
+			return a.Connections < b.Connections
+		}
+		if a.FaultDegree != b.FaultDegree {
+			return a.FaultDegree > b.FaultDegree
+		}
+		return a.B < b.B
+	}
+	// Insertion sort keeps the package sort-free; candidate lists are
+	// O(n²) at most and exploration dominates runtime anyway.
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && less(&cs[j], &cs[j-1]); j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}
+
+// Frontier filters a candidate list to its Pareto-optimal members.
+func Frontier(cs []Candidate) []Candidate {
+	var out []Candidate
+	for _, c := range cs {
+		if c.Pareto {
+			out = append(out, c)
+		}
+	}
+	return out
+}

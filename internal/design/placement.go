@@ -1,0 +1,200 @@
+package design
+
+import (
+	"fmt"
+	"math"
+
+	"multibus/internal/analytic"
+)
+
+// MaxExactAssignments bounds the exhaustive placement search; beyond it
+// OptimizePlacement falls back to the popularity heuristic.
+const MaxExactAssignments = 250000
+
+// Placement is a module-to-class assignment for a K-class network,
+// together with its predicted bandwidth.
+type Placement struct {
+	// ClassOf[j] is the 0-based class index module j is placed in
+	// (class c has prefix length PrefixLens[c]).
+	ClassOf []int
+	// Bandwidth is the heterogeneous closed-form bandwidth of this
+	// placement.
+	Bandwidth float64
+	// Exact reports whether the assignment is a proven optimum
+	// (exhaustive search) or the popularity heuristic (instance too
+	// large to enumerate).
+	Exact bool
+}
+
+// PlacementByPopularity assigns modules to classes by the paper's §II
+// principle: "the memory modules which are more frequently referenced
+// are connected to more [a greater] number of buses" — most-requested
+// modules go to the longest-prefix classes.
+//
+// The principle is a heuristic, not an optimum: under the two-step
+// bus-assignment procedure a deep bus is exclusive to the deepest class
+// and saturates once ANY of its modules is requested, so spreading heat
+// across classes can beat concentrating it (see OptimizePlacement and
+// EXPERIMENTS.md for a concrete inversion).
+func PlacementByPopularity(classSizes []int, prefixLens []int, b int, moduleXs []float64) (*Placement, error) {
+	if err := validatePlacementInputs(classSizes, prefixLens, b, moduleXs); err != nil {
+		return nil, err
+	}
+	classOrder := argsortDesc(intsToFloats(prefixLens))
+	moduleOrder := argsortDesc(moduleXs)
+	classOf := make([]int, len(moduleXs))
+	mi := 0
+	for _, c := range classOrder {
+		for s := 0; s < classSizes[c]; s++ {
+			classOf[moduleOrder[mi]] = c
+			mi++
+		}
+	}
+	bw, err := EvaluatePlacement(classSizes, prefixLens, b, moduleXs, classOf)
+	if err != nil {
+		return nil, err
+	}
+	return &Placement{ClassOf: classOf, Bandwidth: bw, Exact: false}, nil
+}
+
+// OptimizePlacement finds the bandwidth-maximizing module-to-class
+// assignment. For instances with at most MaxExactAssignments distinct
+// assignments it enumerates exhaustively (Exact = true in the result);
+// larger instances fall back to PlacementByPopularity.
+func OptimizePlacement(classSizes []int, prefixLens []int, b int, moduleXs []float64) (*Placement, error) {
+	if err := validatePlacementInputs(classSizes, prefixLens, b, moduleXs); err != nil {
+		return nil, err
+	}
+	if assignmentCount(classSizes, len(moduleXs)) > MaxExactAssignments {
+		return PlacementByPopularity(classSizes, prefixLens, b, moduleXs)
+	}
+	best := &Placement{Bandwidth: -1, Exact: true}
+	assign := make([]int, 0, len(moduleXs))
+	used := make([]int, len(classSizes))
+	var rec func() error
+	rec = func() error {
+		if len(assign) == len(moduleXs) {
+			bw, err := EvaluatePlacement(classSizes, prefixLens, b, moduleXs, assign)
+			if err != nil {
+				return err
+			}
+			if bw > best.Bandwidth {
+				best.Bandwidth = bw
+				best.ClassOf = append(best.ClassOf[:0], assign...)
+			}
+			return nil
+		}
+		for c := range classSizes {
+			if used[c] < classSizes[c] {
+				used[c]++
+				assign = append(assign, c)
+				if err := rec(); err != nil {
+					return err
+				}
+				assign = assign[:len(assign)-1]
+				used[c]--
+			}
+		}
+		return nil
+	}
+	if err := rec(); err != nil {
+		return nil, err
+	}
+	best.ClassOf = append([]int(nil), best.ClassOf...)
+	return best, nil
+}
+
+// assignmentCount returns the multinomial number of distinct
+// assignments, saturating at MaxExactAssignments+1.
+func assignmentCount(classSizes []int, modules int) int {
+	// Multinomial via repeated binomials; saturate early.
+	count := 1.0
+	remaining := modules
+	for _, sz := range classSizes {
+		// C(remaining, sz)
+		c := 1.0
+		for i := 1; i <= sz; i++ {
+			c = c * float64(remaining-sz+i) / float64(i)
+			if count*c > MaxExactAssignments+1 {
+				return MaxExactAssignments + 1
+			}
+		}
+		count *= c
+		remaining -= sz
+	}
+	return int(count)
+}
+
+// EvaluatePlacement computes the heterogeneous closed-form bandwidth of
+// an explicit module-to-class assignment.
+func EvaluatePlacement(classSizes []int, prefixLens []int, b int, moduleXs []float64, classOf []int) (float64, error) {
+	if len(classOf) != len(moduleXs) {
+		return 0, fmt.Errorf("%w: %d assignments vs %d modules", ErrBadInput, len(classOf), len(moduleXs))
+	}
+	classes := make([]analytic.HeteroClass, len(classSizes))
+	for c := range classes {
+		classes[c].PrefixLen = prefixLens[c]
+	}
+	for j, c := range classOf {
+		if c < 0 || c >= len(classes) {
+			return 0, fmt.Errorf("%w: module %d assigned to class %d of %d", ErrBadInput, j, c, len(classes))
+		}
+		classes[c].Xs = append(classes[c].Xs, moduleXs[j])
+	}
+	for c, cl := range classes {
+		if len(cl.Xs) != classSizes[c] {
+			return 0, fmt.Errorf("%w: class %d has %d modules, capacity %d",
+				ErrBadInput, c, len(cl.Xs), classSizes[c])
+		}
+	}
+	return analytic.BandwidthPrefixClassesHetero(classes, b)
+}
+
+func validatePlacementInputs(classSizes []int, prefixLens []int, b int, moduleXs []float64) error {
+	if len(classSizes) == 0 || len(classSizes) != len(prefixLens) {
+		return fmt.Errorf("%w: %d class sizes vs %d prefixes",
+			ErrBadInput, len(classSizes), len(prefixLens))
+	}
+	total := 0
+	for c, sz := range classSizes {
+		if sz < 0 {
+			return fmt.Errorf("%w: class %d size %d", ErrBadInput, c, sz)
+		}
+		if prefixLens[c] < 1 || prefixLens[c] > b {
+			return fmt.Errorf("%w: class %d prefix %d (B=%d)", ErrBadInput, c, prefixLens[c], b)
+		}
+		total += sz
+	}
+	if total != len(moduleXs) {
+		return fmt.Errorf("%w: %d slots vs %d modules", ErrBadInput, total, len(moduleXs))
+	}
+	for j, x := range moduleXs {
+		if x < 0 || x > 1 || math.IsNaN(x) {
+			return fmt.Errorf("%w: module %d probability %v", ErrBadInput, j, x)
+		}
+	}
+	return nil
+}
+
+func intsToFloats(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, v := range xs {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+// argsortDesc returns the indices of xs in descending value order
+// (stable for ties).
+func argsortDesc(xs []float64) []int {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && xs[idx[j]] > xs[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	return idx
+}

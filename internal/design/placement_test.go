@@ -1,0 +1,197 @@
+package design
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPlacementByPopularityFollowsPaperPrinciple(t *testing.T) {
+	// Two classes: prefix 1 (2 slots) and prefix 3 (2 slots), B=3. The
+	// paper's principle puts the hot pair in the long-prefix class.
+	classSizes := []int{2, 2}
+	prefixLens := []int{1, 3}
+	xs := []float64{0.9, 0.8, 0.2, 0.1}
+	pl, err := PlacementByPopularity(classSizes, prefixLens, 3, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.ClassOf[0] != 1 || pl.ClassOf[1] != 1 {
+		t.Errorf("hot modules placed in %v, want class 1 (prefix 3)", pl.ClassOf)
+	}
+	if pl.ClassOf[2] != 0 || pl.ClassOf[3] != 0 {
+		t.Errorf("cold modules placed in %v, want class 0", pl.ClassOf)
+	}
+	if pl.Exact {
+		t.Error("popularity placement must not claim exactness")
+	}
+}
+
+func TestOptimizePlacementIsBruteForceOptimal(t *testing.T) {
+	// Exhaustively re-check the optimizer against an independent
+	// enumeration on small instances.
+	classSizes := []int{1, 1, 2}
+	prefixLens := []int{1, 2, 4}
+	const b = 4
+	cases := [][]float64{
+		{0.9, 0.1, 0.5, 0.3},
+		{0.25, 0.25, 0.25, 0.25},
+		{1.0, 0.0, 0.7, 0.7},
+		{0.6, 0.59, 0.58, 0.57},
+	}
+	for _, xs := range cases {
+		pl, err := OptimizePlacement(classSizes, prefixLens, b, xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pl.Exact {
+			t.Fatal("small instance should be solved exactly")
+		}
+		best := -1.0
+		var enumerate func(assign []int, used []int)
+		enumerate = func(assign []int, used []int) {
+			if len(assign) == len(xs) {
+				v, err := EvaluatePlacement(classSizes, prefixLens, b, xs, assign)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if v > best {
+					best = v
+				}
+				return
+			}
+			for c := range classSizes {
+				if used[c] < classSizes[c] {
+					used[c]++
+					enumerate(append(assign, c), used)
+					used[c]--
+				}
+			}
+		}
+		enumerate(nil, make([]int, len(classSizes)))
+		if math.Abs(pl.Bandwidth-best) > 1e-12 {
+			t.Errorf("xs=%v: optimizer %.8f vs brute force %.8f", xs, pl.Bandwidth, best)
+		}
+		// The returned assignment reproduces the reported bandwidth.
+		v, err := EvaluatePlacement(classSizes, prefixLens, b, xs, pl.ClassOf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(v-pl.Bandwidth) > 1e-12 {
+			t.Errorf("assignment/bandwidth mismatch: %v vs %v", v, pl.Bandwidth)
+		}
+	}
+}
+
+func TestPaperPlacementPrincipleCanBeInverted(t *testing.T) {
+	// The EXPERIMENTS.md counterexample: 8 modules, classes {4,4} with
+	// prefixes {3,4} (K=2, B=4), one hot module (hot-spot 0.6, N=8).
+	// The exact optimizer places the hot module in the SHORT-prefix
+	// class, beating the paper's popularity placement: the deep bus is
+	// exclusive to the deep class and saturates once any of its modules
+	// is requested, so heat is better spent guaranteeing the shallow
+	// class's buses stay busy.
+	xHot := 1 - math.Pow(0.4, 8)
+	xCold := 1 - math.Pow(1-0.4/7, 8)
+	xs := []float64{xHot, xCold, xCold, xCold, xCold, xCold, xCold, xCold}
+	classSizes := []int{4, 4}
+	prefixLens := []int{3, 4}
+	const b = 4
+
+	pop, err := PlacementByPopularity(classSizes, prefixLens, b, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pop.ClassOf[0] != 1 {
+		t.Fatalf("popularity placement put hot module in class %d, want 1", pop.ClassOf[0])
+	}
+	opt, err := OptimizePlacement(classSizes, prefixLens, b, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opt.Exact {
+		t.Fatal("C(8,4)=70 assignments must be solved exactly")
+	}
+	if opt.ClassOf[0] != 0 {
+		t.Errorf("optimum placed hot module in class %d, want 0 (short prefix)", opt.ClassOf[0])
+	}
+	if opt.Bandwidth <= pop.Bandwidth+1e-9 {
+		t.Errorf("optimum %.6f does not beat popularity %.6f", opt.Bandwidth, pop.Bandwidth)
+	}
+}
+
+func TestOptimizePlacementFallsBackWhenHuge(t *testing.T) {
+	// 24 modules in classes {12, 12}: C(24,12) ≈ 2.7M > cap; must fall
+	// back to the heuristic without attempting enumeration.
+	classSizes := []int{12, 12}
+	prefixLens := []int{2, 4}
+	xs := make([]float64, 24)
+	for i := range xs {
+		xs[i] = float64(i+1) / 30
+	}
+	pl, err := OptimizePlacement(classSizes, prefixLens, 4, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Exact {
+		t.Error("huge instance must not claim exactness")
+	}
+	if len(pl.ClassOf) != 24 {
+		t.Errorf("assignment length %d", len(pl.ClassOf))
+	}
+}
+
+func TestPlacementValidation(t *testing.T) {
+	for _, fn := range []func([]int, []int, int, []float64) (*Placement, error){
+		OptimizePlacement, PlacementByPopularity,
+	} {
+		if _, err := fn(nil, nil, 2, []float64{0.5}); err == nil {
+			t.Error("empty classes should error")
+		}
+		if _, err := fn([]int{1}, []int{1, 2}, 2, []float64{0.5}); err == nil {
+			t.Error("size/prefix length mismatch should error")
+		}
+		if _, err := fn([]int{2}, []int{1}, 2, []float64{0.5}); err == nil {
+			t.Error("slot/module count mismatch should error")
+		}
+		if _, err := fn([]int{1}, []int{3}, 2, []float64{0.5}); err == nil {
+			t.Error("prefix beyond B should error")
+		}
+		if _, err := fn([]int{1}, []int{1}, 2, []float64{1.5}); err == nil {
+			t.Error("bad probability should error")
+		}
+		if _, err := fn([]int{-1, 2}, []int{1, 2}, 2, []float64{0.5}); err == nil {
+			t.Error("negative class size should error")
+		}
+	}
+}
+
+func TestEvaluatePlacementValidation(t *testing.T) {
+	if _, err := EvaluatePlacement([]int{1}, []int{1}, 1, []float64{0.5}, []int{0, 0}); err == nil {
+		t.Error("assignment length mismatch should error")
+	}
+	if _, err := EvaluatePlacement([]int{1}, []int{1}, 1, []float64{0.5}, []int{5}); err == nil {
+		t.Error("class index out of range should error")
+	}
+	if _, err := EvaluatePlacement([]int{1, 1}, []int{1, 2}, 2, []float64{0.5, 0.5}, []int{0, 0}); err == nil {
+		t.Error("overfull class should error")
+	}
+}
+
+func TestPlacementUniformIsPlacementInvariant(t *testing.T) {
+	// With identical module probabilities every placement has the same
+	// bandwidth; the optimizer's result must match any assignment.
+	classSizes := []int{2, 2}
+	prefixLens := []int{2, 4}
+	xs := []float64{0.5, 0.5, 0.5, 0.5}
+	pl, err := OptimizePlacement(classSizes, prefixLens, 4, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := EvaluatePlacement(classSizes, prefixLens, 4, xs, []int{1, 0, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pl.Bandwidth-other) > 1e-12 {
+		t.Errorf("uniform placement differs: %v vs %v", pl.Bandwidth, other)
+	}
+}

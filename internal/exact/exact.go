@@ -1,0 +1,358 @@
+// Package exact computes the exact effective memory bandwidth of small
+// multiple bus networks, without the independence approximation the
+// paper's closed forms make.
+//
+// The paper (like its references [4], [9]) approximates the number of
+// distinct requested modules as Binomial(M, X), treating per-module
+// request events as independent. In reality each processor issues at
+// most one request per cycle, which negatively correlates the events.
+// This package instead computes the full probability distribution over
+// the *subset* of requested modules by dynamic programming over
+// processors (2^M states), then applies the scheme's service function to
+// every subset:
+//
+//	E[served] = Σ_{S ⊆ modules} P[S requested] · served(S)
+//
+// where served(S) is min(|S|, B) for full connection, the per-group sum
+// for grouped networks, and the bus-busy count of the two-step
+// assignment procedure for nested-prefix (K-class) networks.
+//
+// Complexity is O(2^M · N · M); M ≤ 20 is enforced. Within that range
+// the result is exact to floating-point rounding, making it the ground
+// truth for validating both the closed forms and the simulator
+// (drop-mode bandwidth equals this expectation by linearity, regardless
+// of arbitration tie-breaking).
+package exact
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"multibus/internal/analytic"
+	"multibus/internal/numerics"
+	"multibus/internal/topology"
+)
+
+// MaxModules bounds the 2^M subset enumeration.
+const MaxModules = 20
+
+// Errors returned by the exact evaluator.
+var (
+	ErrTooLarge = errors.New("exact: module count exceeds MaxModules")
+	ErrBadInput = errors.New("exact: invalid input")
+)
+
+// ProbMatrix supplies per-processor destination probabilities: the
+// probability that processor p requests module j in a cycle is
+// r · Prob(p, j), with Σ_j Prob(p, j) = 1. Both hrm.Hierarchy and
+// hrm.HierarchyNM satisfy it via their ProbVector methods wrapped by
+// FromProbVectors.
+type ProbMatrix interface {
+	NProcessors() int
+	MModules() int
+	Prob(p, j int) float64
+}
+
+// matrix is a concrete ProbMatrix over explicit vectors.
+type matrix struct {
+	rows [][]float64
+	m    int
+}
+
+func (mx *matrix) NProcessors() int      { return len(mx.rows) }
+func (mx *matrix) MModules() int         { return mx.m }
+func (mx *matrix) Prob(p, j int) float64 { return mx.rows[p][j] }
+
+// VectorSource yields per-processor destination distributions; both
+// *hrm.Hierarchy and *hrm.HierarchyNM implement it.
+type VectorSource interface {
+	ProbVector(p int) ([]float64, error)
+}
+
+// FromProbVectors materializes a ProbMatrix from any VectorSource with n
+// processors and m modules.
+func FromProbVectors(src VectorSource, n, m int) (ProbMatrix, error) {
+	if src == nil || n < 1 || m < 1 {
+		return nil, fmt.Errorf("%w: src=%v n=%d m=%d", ErrBadInput, src, n, m)
+	}
+	rows := make([][]float64, n)
+	for p := 0; p < n; p++ {
+		v, err := src.ProbVector(p)
+		if err != nil {
+			return nil, err
+		}
+		if len(v) != m {
+			return nil, fmt.Errorf("%w: processor %d has %d-module vector, M=%d",
+				ErrBadInput, p, len(v), m)
+		}
+		rows[p] = v
+	}
+	return &matrix{rows: rows, m: m}, nil
+}
+
+// SubsetDistribution returns P[S requested] indexed by the subset
+// bitmask S over m modules, for processors requesting independently with
+// rate r and destinations drawn from pm.
+func SubsetDistribution(pm ProbMatrix, r float64) ([]float64, error) {
+	if pm == nil {
+		return nil, fmt.Errorf("%w: nil matrix", ErrBadInput)
+	}
+	n, m := pm.NProcessors(), pm.MModules()
+	if m > MaxModules {
+		return nil, fmt.Errorf("%w: M=%d", ErrTooLarge, m)
+	}
+	if n < 1 || m < 1 {
+		return nil, fmt.Errorf("%w: N=%d M=%d", ErrBadInput, n, m)
+	}
+	if r < 0 || r > 1 || math.IsNaN(r) {
+		return nil, fmt.Errorf("%w: r=%v", ErrBadInput, r)
+	}
+	size := 1 << m
+	dist := make([]float64, size)
+	next := make([]float64, size)
+	dist[0] = 1
+	for p := 0; p < n; p++ {
+		// Validate and pre-scale this processor's row.
+		probs := make([]float64, m)
+		var rowSum numerics.KahanSum
+		for j := 0; j < m; j++ {
+			pr := pm.Prob(p, j)
+			if pr < 0 || math.IsNaN(pr) {
+				return nil, fmt.Errorf("%w: Prob(%d,%d)=%v", ErrBadInput, p, j, pr)
+			}
+			probs[j] = r * pr
+			rowSum.Add(pr)
+		}
+		if math.Abs(rowSum.Value()-1) > 1e-6 {
+			return nil, fmt.Errorf("%w: processor %d distribution sums to %v",
+				ErrBadInput, p, rowSum.Value())
+		}
+		idle := 1 - r
+		for s := range next {
+			next[s] = 0
+		}
+		for s, ps := range dist {
+			if ps == 0 {
+				continue
+			}
+			next[s] += ps * idle
+			for j := 0; j < m; j++ {
+				if probs[j] == 0 {
+					continue
+				}
+				next[s|1<<j] += ps * probs[j]
+			}
+		}
+		dist, next = next, dist
+	}
+	return dist, nil
+}
+
+// Bandwidth computes the exact expected number of requests served per
+// cycle for a classifiable topology, by combining the subset
+// distribution with the scheme's service function. It returns
+// analytic.ErrNoClosedForm for unclassifiable wirings (the service
+// function of an arbitrary wiring under greedy assignment is
+// arbitration-dependent; use the simulator there).
+func Bandwidth(nw *topology.Network, pm ProbMatrix, r float64) (float64, error) {
+	if nw == nil {
+		return 0, fmt.Errorf("%w: nil network", ErrBadInput)
+	}
+	if pm == nil || pm.MModules() != nw.M() {
+		return 0, fmt.Errorf("%w: matrix modules %v vs network %d",
+			ErrBadInput, pm, nw.M())
+	}
+	structure, err := analytic.Classify(nw)
+	if err != nil {
+		return 0, err
+	}
+	dist, err := SubsetDistribution(pm, r)
+	if err != nil {
+		return 0, err
+	}
+	served, err := serviceFunction(nw, structure)
+	if err != nil {
+		return 0, err
+	}
+	var sum numerics.KahanSum
+	for s, p := range dist {
+		if p == 0 {
+			continue
+		}
+		sum.Add(p * float64(served(uint(s))))
+	}
+	return sum.Value(), nil
+}
+
+// serviceFunction returns served(S): how many of the requested modules S
+// are granted a bus this cycle. For both structure kinds the count is
+// determined by S alone (tie-breaking only chooses *which* modules win).
+func serviceFunction(nw *topology.Network, s *analytic.Structure) (func(uint) int, error) {
+	m := nw.M()
+	switch s.Kind {
+	case analytic.StructureIndependentGroups:
+		// Per-group masks and bus budgets.
+		masks := make([]uint, len(s.Groups))
+		for j := 0; j < m; j++ {
+			g := s.ModuleGroups[j]
+			if g >= 0 {
+				masks[g] |= 1 << uint(j)
+			}
+		}
+		buses := make([]int, len(s.Groups))
+		for q, g := range s.Groups {
+			buses[q] = g.Buses
+		}
+		return func(set uint) int {
+			total := 0
+			for q, mask := range masks {
+				c := bits.OnesCount(set & mask)
+				if c > buses[q] {
+					c = buses[q]
+				}
+				total += c
+			}
+			return total
+		}, nil
+	case analytic.StructurePrefixClasses:
+		// Bus i (1-based in formula space) is busy iff some class c with
+		// L_c ≥ i has at least L_c − i + 1 requests — the generalized
+		// equation (11) event, here evaluated per subset.
+		classMasks := make([]uint, len(s.Classes))
+		for j := 0; j < m; j++ {
+			c := s.ModuleClasses[j]
+			if c >= 0 {
+				classMasks[c] |= 1 << uint(j)
+			}
+		}
+		prefix := make([]int, len(s.Classes))
+		maxPrefix := 0
+		for c, cl := range s.Classes {
+			prefix[c] = cl.PrefixLen
+			if cl.PrefixLen > maxPrefix {
+				maxPrefix = cl.PrefixLen
+			}
+		}
+		return func(set uint) int {
+			busy := 0
+			for i := 1; i <= maxPrefix; i++ {
+				for c, mask := range classMasks {
+					if prefix[c] < i {
+						continue
+					}
+					if bits.OnesCount(set&mask) >= prefix[c]-i+1 {
+						busy++
+						break
+					}
+				}
+			}
+			return busy
+		}, nil
+	default:
+		return nil, fmt.Errorf("%w: structure %v", ErrBadInput, s.Kind)
+	}
+}
+
+// RequestedDistribution returns the exact probability mass function of
+// the number of distinct requested modules (the quantity the paper
+// approximates as Binomial(M, X)). Useful for quantifying the
+// independence approximation directly.
+func RequestedDistribution(pm ProbMatrix, r float64) ([]float64, error) {
+	dist, err := SubsetDistribution(pm, r)
+	if err != nil {
+		return nil, err
+	}
+	pmf := make([]float64, pm.MModules()+1)
+	for s, p := range dist {
+		pmf[bits.OnesCount(uint(s))] += p
+	}
+	return pmf, nil
+}
+
+// BusUtilization returns the exact per-physical-bus busy probabilities.
+// For nested-prefix networks bus attribution follows the paper's
+// two-step procedure (formula bus i busy iff some class c with L_c ≥ i
+// has at least L_c − i + 1 requests), mapped to physical buses through
+// the classifier's bus order. For independent-group networks it follows
+// the deterministic grouped assigner: the q-th bus of a group is busy
+// iff the group has more than q requested modules.
+func BusUtilization(nw *topology.Network, pm ProbMatrix, r float64) ([]float64, error) {
+	if nw == nil {
+		return nil, fmt.Errorf("%w: nil network", ErrBadInput)
+	}
+	if pm == nil || pm.MModules() != nw.M() {
+		return nil, fmt.Errorf("%w: matrix/network module mismatch", ErrBadInput)
+	}
+	s, err := analytic.Classify(nw)
+	if err != nil {
+		return nil, err
+	}
+	dist, err := SubsetDistribution(pm, r)
+	if err != nil {
+		return nil, err
+	}
+	m := nw.M()
+	out := make([]float64, nw.B())
+	sums := make([]numerics.KahanSum, nw.B())
+	switch s.Kind {
+	case analytic.StructureIndependentGroups:
+		masks := make([]uint, len(s.Groups))
+		for j := 0; j < m; j++ {
+			if g := s.ModuleGroups[j]; g >= 0 {
+				masks[g] |= 1 << uint(j)
+			}
+		}
+		// Physical buses of each group, ascending (the grouped
+		// assigner's attribution order).
+		groupBuses := make([][]int, len(s.Groups))
+		for bus, g := range s.BusGroups {
+			if g >= 0 {
+				groupBuses[g] = append(groupBuses[g], bus)
+			}
+		}
+		for set, p := range dist {
+			if p == 0 {
+				continue
+			}
+			for g, mask := range masks {
+				c := bits.OnesCount(uint(set) & mask)
+				for q, bus := range groupBuses[g] {
+					if c > q {
+						sums[bus].Add(p)
+					}
+				}
+			}
+		}
+	case analytic.StructurePrefixClasses:
+		classMasks := make([]uint, len(s.Classes))
+		for j := 0; j < m; j++ {
+			if c := s.ModuleClasses[j]; c >= 0 {
+				classMasks[c] |= 1 << uint(j)
+			}
+		}
+		for set, p := range dist {
+			if p == 0 {
+				continue
+			}
+			for i := 1; i <= len(s.BusOrder) && i <= nw.B(); i++ {
+				for c, mask := range classMasks {
+					if s.Classes[c].PrefixLen < i {
+						continue
+					}
+					if bits.OnesCount(uint(set)&mask) >= s.Classes[c].PrefixLen-i+1 {
+						sums[s.BusOrder[i-1]].Add(p)
+						break
+					}
+				}
+			}
+		}
+	default:
+		return nil, fmt.Errorf("%w: structure %v", ErrBadInput, s.Kind)
+	}
+	for i := range out {
+		out[i] = sums[i].Value()
+	}
+	return out, nil
+}

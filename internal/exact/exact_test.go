@@ -1,0 +1,504 @@
+package exact
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"multibus/internal/analytic"
+	"multibus/internal/hrm"
+	"multibus/internal/numerics"
+	"multibus/internal/sim"
+	"multibus/internal/topology"
+	"multibus/internal/workload"
+)
+
+func paperMatrix(t *testing.T, n int) ProbMatrix {
+	t.Helper()
+	h, err := hrm.TwoLevelPaper(n, 4, 0.6, 0.3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := FromProbVectors(h, n, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pm
+}
+
+func uniformMatrix(t *testing.T, n, m int) ProbMatrix {
+	t.Helper()
+	h, err := hrm.UniformNM(n, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := FromProbVectors(h, n, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pm
+}
+
+func TestSubsetDistributionSumsToOne(t *testing.T) {
+	pm := paperMatrix(t, 8)
+	for _, r := range []float64{0, 0.3, 0.5, 1.0} {
+		dist, err := SubsetDistribution(pm, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum numerics.KahanSum
+		for _, p := range dist {
+			if p < -1e-15 {
+				t.Fatalf("negative probability %v", p)
+			}
+			sum.Add(p)
+		}
+		if math.Abs(sum.Value()-1) > 1e-12 {
+			t.Errorf("r=%v: subset distribution sums to %v", r, sum.Value())
+		}
+	}
+}
+
+func TestSubsetDistributionMarginalsMatchX(t *testing.T) {
+	// P[module j requested] from the subset distribution must equal
+	// 1 − Π_p (1 − r·m_pj), which for the symmetric paper workload is X.
+	const n, r = 8, 0.7
+	pm := paperMatrix(t, n)
+	h, err := hrm.TwoLevelPaper(n, 4, 0.6, 0.3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := h.X(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := SubsetDistribution(pm, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < n; j++ {
+		var marg numerics.KahanSum
+		for s, p := range dist {
+			if s&(1<<j) != 0 {
+				marg.Add(p)
+			}
+		}
+		if math.Abs(marg.Value()-x) > 1e-12 {
+			t.Errorf("module %d marginal %v, want X=%v", j, marg.Value(), x)
+		}
+	}
+}
+
+func TestSubsetDistributionValidation(t *testing.T) {
+	pm := paperMatrix(t, 8)
+	if _, err := SubsetDistribution(nil, 0.5); err == nil {
+		t.Error("nil matrix should error")
+	}
+	if _, err := SubsetDistribution(pm, -0.1); err == nil {
+		t.Error("negative r should error")
+	}
+	if _, err := SubsetDistribution(pm, 1.1); err == nil {
+		t.Error("r>1 should error")
+	}
+	// M > MaxModules rejected.
+	big := uniformMatrix(t, 4, 21)
+	if _, err := SubsetDistribution(big, 0.5); err == nil {
+		t.Error("M=21 should be rejected")
+	}
+	// Unnormalized rows rejected.
+	bad := &matrix{rows: [][]float64{{0.5, 0.1}}, m: 2}
+	if _, err := SubsetDistribution(bad, 0.5); err == nil {
+		t.Error("unnormalized row should error")
+	}
+	neg := &matrix{rows: [][]float64{{1.5, -0.5}}, m: 2}
+	if _, err := SubsetDistribution(neg, 0.5); err == nil {
+		t.Error("negative probability should error")
+	}
+}
+
+func TestExactEqualsNXAtFullCapacity(t *testing.T) {
+	// With B = N there is no bus contention: exact bandwidth = N·X
+	// (linearity of expectation; the approximation is exact here).
+	const n = 8
+	pm := paperMatrix(t, n)
+	h, _ := hrm.TwoLevelPaper(n, 4, 0.6, 0.3, 0.1)
+	for _, r := range []float64{0.25, 0.5, 1.0} {
+		nw, err := topology.Full(n, n, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Bandwidth(nw, pm, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, _ := h.X(r)
+		if math.Abs(got-float64(n)*x) > 1e-10 {
+			t.Errorf("r=%v: exact %v, want N·X=%v", r, got, float64(n)*x)
+		}
+	}
+}
+
+func TestExactVsAnalyticDirection(t *testing.T) {
+	// The closed forms are pessimistic for grouped schemes: negative
+	// correlation narrows the requested-count distribution and min(·,B)
+	// is concave, so exact ≥ analytic. Verify on the paper's configs.
+	const n = 8
+	pm := paperMatrix(t, n)
+	h, _ := hrm.TwoLevelPaper(n, 4, 0.6, 0.3, 0.1)
+	for _, b := range []int{2, 4, 6} {
+		for _, r := range []float64{0.5, 1.0} {
+			x, _ := h.X(r)
+			for _, tc := range []struct {
+				name  string
+				build func() (*topology.Network, error)
+			}{
+				{"full", func() (*topology.Network, error) { return topology.Full(n, n, b) }},
+				{"single", func() (*topology.Network, error) { return topology.SingleBus(n, n, b) }},
+			} {
+				nw, err := tc.build()
+				if err != nil {
+					t.Fatal(err)
+				}
+				ex, err := Bandwidth(nw, pm, r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ap, err := analytic.Bandwidth(nw, x)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ex < ap-1e-9 {
+					t.Errorf("%s B=%d r=%v: exact %.6f < analytic %.6f", tc.name, b, r, ex, ap)
+				}
+				// And they stay within a few percent at paper scale.
+				if rel := (ex - ap) / ap; rel > 0.08 {
+					t.Errorf("%s B=%d r=%v: approximation error %.4f suspiciously large", tc.name, b, r, rel)
+				}
+			}
+		}
+	}
+}
+
+func TestExactMatchesSimulatorTightly(t *testing.T) {
+	// The simulator estimates exactly this expectation in drop mode:
+	// agreement must be within the Monte-Carlo CI, for every scheme
+	// including the two-step K-class procedure.
+	const n, b = 8, 4
+	pm := paperMatrix(t, n)
+	h, _ := hrm.TwoLevelPaper(n, 4, 0.6, 0.3, 0.1)
+	gen, err := workload.NewHierarchical(h, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name  string
+		build func() (*topology.Network, error)
+	}{
+		{"full", func() (*topology.Network, error) { return topology.Full(n, n, b) }},
+		{"single", func() (*topology.Network, error) { return topology.SingleBus(n, n, b) }},
+		{"partial", func() (*topology.Network, error) { return topology.PartialGroups(n, n, b, 2) }},
+		{"kclasses", func() (*topology.Network, error) { return topology.EvenKClasses(n, n, b, b) }},
+		{"kclasses-sparse", func() (*topology.Network, error) { return topology.EvenKClasses(n, n, b, 2) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			nw, err := tc.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ex, err := Bandwidth(nw, pm, 1.0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sim.Run(sim.Config{
+				Topology: nw, Workload: gen, Cycles: 60000, Seed: 21,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if diff := math.Abs(res.Bandwidth - ex); diff > 4*res.BandwidthCI95+0.01 {
+				t.Errorf("sim %.4f vs exact %.4f: diff %.4f beyond CI %.4f",
+					res.Bandwidth, ex, diff, res.BandwidthCI95)
+			}
+		})
+	}
+}
+
+func TestExactKnownTinyCase(t *testing.T) {
+	// 2 processors, 2 modules, 1 bus, uniform, r=1. Subsets: each
+	// processor picks module 0 or 1 with probability ½. P[|S|=1] = ½,
+	// P[|S|=2] = ½. served = min(|S|, 1) → E = 1.
+	pm := uniformMatrix(t, 2, 2)
+	nw, err := topology.Full(2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Bandwidth(nw, pm, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-12 {
+		t.Errorf("exact = %v, want 1", got)
+	}
+	// With 2 buses: E[|S|] = ½·1 + ½·2 = 1.5.
+	nw2, err := topology.Full(2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = Bandwidth(nw2, pm, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("exact = %v, want 1.5", got)
+	}
+}
+
+func TestExactStrandedBusFinding(t *testing.T) {
+	// EXPERIMENTS.md finding, confirmed exactly: with K=4 classes of 4
+	// modules (prefixes 5..8) no class can ever reach bus 1 under the
+	// two-step procedure, so exact served(S) ≤ 7 for every subset S.
+	pm := paperMatrix(t, 16)
+	nw, err := topology.EvenKClasses(16, 16, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := Bandwidth(nw, pm, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex > 7.0 {
+		t.Errorf("exact %.4f exceeds 7: bus 1 should be unreachable", ex)
+	}
+	// The full network with only 7 buses beats this configuration.
+	full7, err := topology.Full(16, 16, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exFull, err := Bandwidth(full7, pm, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exFull <= ex {
+		t.Errorf("full B=7 (%.4f) should beat stranded K=4 B=8 (%.4f)", exFull, ex)
+	}
+}
+
+func TestExactRejectsUnclassifiable(t *testing.T) {
+	conn := [][]bool{{true, false}, {true, true}, {false, true}}
+	nw, err := topology.Custom(4, conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := uniformMatrix(t, 4, 2)
+	if _, err := Bandwidth(nw, pm, 1.0); err == nil {
+		t.Error("unclassifiable wiring should error")
+	}
+	if _, err := Bandwidth(nil, pm, 1.0); err == nil {
+		t.Error("nil network should error")
+	}
+	full, _ := topology.Full(4, 4, 2)
+	if _, err := Bandwidth(full, pm, 1.0); err == nil {
+		t.Error("module-count mismatch should error")
+	}
+}
+
+func TestRequestedDistribution(t *testing.T) {
+	pm := paperMatrix(t, 8)
+	pmf, err := RequestedDistribution(pm, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pmf) != 9 {
+		t.Fatalf("pmf length %d, want 9", len(pmf))
+	}
+	var sum, mean numerics.KahanSum
+	for k, p := range pmf {
+		sum.Add(p)
+		mean.Add(float64(k) * p)
+	}
+	if math.Abs(sum.Value()-1) > 1e-12 {
+		t.Errorf("pmf sums to %v", sum.Value())
+	}
+	// Mean distinct requested modules = N·X exactly.
+	h, _ := hrm.TwoLevelPaper(8, 4, 0.6, 0.3, 0.1)
+	x, _ := h.X(1.0)
+	if math.Abs(mean.Value()-8*x) > 1e-10 {
+		t.Errorf("mean %v, want N·X=%v", mean.Value(), 8*x)
+	}
+	// With r=1 at least one module is always requested.
+	if pmf[0] != 0 {
+		t.Errorf("P[0 requested] = %v at r=1", pmf[0])
+	}
+	// Variance must be smaller than the Binomial(8, X) approximation's
+	// (the negative-correlation effect the closed forms ignore).
+	var variance numerics.KahanSum
+	for k, p := range pmf {
+		d := float64(k) - mean.Value()
+		variance.Add(p * d * d)
+	}
+	binomVar := 8 * x * (1 - x)
+	if variance.Value() >= binomVar {
+		t.Errorf("exact variance %v not below binomial %v", variance.Value(), binomVar)
+	}
+}
+
+func TestFromProbVectorsValidation(t *testing.T) {
+	h, _ := hrm.TwoLevelPaper(8, 4, 0.6, 0.3, 0.1)
+	if _, err := FromProbVectors(nil, 8, 8); err == nil {
+		t.Error("nil source should error")
+	}
+	if _, err := FromProbVectors(h, 9, 8); err == nil {
+		t.Error("too many processors should error")
+	}
+	if _, err := FromProbVectors(h, 8, 9); err == nil {
+		t.Error("module mismatch should error")
+	}
+}
+
+func TestExactPropertyBounds(t *testing.T) {
+	// 0 ≤ exact ≤ min(B, N·r); exact monotone in B.
+	f := func(nRaw, bRaw uint8, rRaw uint16) bool {
+		n := 8 + 4*int(nRaw%2) // 8 or 12 (divisible into 4 clusters)
+		b := int(bRaw)%n + 1
+		r := float64(rRaw) / 65535
+		h, err := hrm.TwoLevelPaper(n, 4, 0.6, 0.3, 0.1)
+		if err != nil {
+			return false
+		}
+		pm, err := FromProbVectors(h, n, n)
+		if err != nil {
+			return false
+		}
+		nw, err := topology.Full(n, n, b)
+		if err != nil {
+			return false
+		}
+		v, err := Bandwidth(nw, pm, r)
+		if err != nil {
+			return false
+		}
+		if v < -1e-12 || v > math.Min(float64(b), float64(n)*r)+1e-9 {
+			return false
+		}
+		if b < n {
+			nw2, err := topology.Full(n, n, b+1)
+			if err != nil {
+				return false
+			}
+			v2, err := Bandwidth(nw2, pm, r)
+			if err != nil {
+				return false
+			}
+			if v2 < v-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBusUtilizationSumsToBandwidth(t *testing.T) {
+	pm := paperMatrix(t, 8)
+	cases := []struct {
+		name  string
+		build func() (*topology.Network, error)
+	}{
+		{"full", func() (*topology.Network, error) { return topology.Full(8, 8, 4) }},
+		{"single", func() (*topology.Network, error) { return topology.SingleBus(8, 8, 4) }},
+		{"partial", func() (*topology.Network, error) { return topology.PartialGroups(8, 8, 4, 2) }},
+		{"kclasses", func() (*topology.Network, error) { return topology.EvenKClasses(8, 8, 4, 4) }},
+		{"kclasses-sparse", func() (*topology.Network, error) { return topology.EvenKClasses(8, 8, 4, 2) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			nw, err := tc.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ys, err := BusUtilization(nw, pm, 1.0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ys) != nw.B() {
+				t.Fatalf("got %d bus utilizations, want %d", len(ys), nw.B())
+			}
+			var sum numerics.KahanSum
+			for i, y := range ys {
+				if y < -1e-12 || y > 1+1e-12 {
+					t.Errorf("bus %d utilization %v outside [0,1]", i, y)
+				}
+				sum.Add(y)
+			}
+			bw, err := Bandwidth(nw, pm, 1.0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(sum.Value()-bw) > 1e-10 {
+				t.Errorf("Σ Y_i = %v, bandwidth %v", sum.Value(), bw)
+			}
+		})
+	}
+}
+
+func TestBusUtilizationSingleExactProductForm(t *testing.T) {
+	// Single connection: bus i busy iff any of its modules requested;
+	// exact probability is 1 − Π_p (1 − r·Σ_{j on bus} m_pj).
+	const n, b, r = 8, 4, 0.8
+	nw, err := topology.SingleBus(n, n, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := hrm.TwoLevelPaper(n, 4, 0.6, 0.3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := FromProbVectors(h, n, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ys, err := BusUtilization(nw, pm, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < b; i++ {
+		idle := 1.0
+		for p := 0; p < n; p++ {
+			onBus := 0.0
+			for _, j := range nw.ModulesOnBus(i) {
+				f, err := h.FractionFor(p, j)
+				if err != nil {
+					t.Fatal(err)
+				}
+				onBus += f
+			}
+			idle *= 1 - r*onBus
+		}
+		if want := 1 - idle; math.Abs(ys[i]-want) > 1e-12 {
+			t.Errorf("bus %d: exact %v, product form %v", i, ys[i], want)
+		}
+	}
+}
+
+func TestBusUtilizationValidation(t *testing.T) {
+	pm := paperMatrix(t, 8)
+	if _, err := BusUtilization(nil, pm, 0.5); err == nil {
+		t.Error("nil network should error")
+	}
+	full, _ := topology.Full(4, 4, 2)
+	if _, err := BusUtilization(full, pm, 0.5); err == nil {
+		t.Error("module mismatch should error")
+	}
+	conn := [][]bool{{true, false}, {true, true}, {false, true}}
+	custom, err := topology.Custom(4, conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm2 := uniformMatrix(t, 4, 2)
+	if _, err := BusUtilization(custom, pm2, 0.5); err == nil {
+		t.Error("unclassifiable wiring should error")
+	}
+}

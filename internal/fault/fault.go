@@ -1,0 +1,263 @@
+// Package fault quantifies the fault-tolerance claims of the paper's
+// §II-B and §IV: how the effective memory bandwidth of each multiple bus
+// network degrades as buses fail. The paper argues qualitatively that
+// K-class networks trade bandwidth for *flexible* fault tolerance; this
+// package makes the comparison quantitative by combining the topology's
+// bus-failure surgery with the closed-form bandwidth models.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"multibus/internal/analytic"
+	"multibus/internal/numerics"
+	"multibus/internal/topology"
+)
+
+// Errors returned by the analysis functions.
+var (
+	ErrBadInput     = errors.New("fault: invalid input")
+	ErrTooManyBuses = errors.New("fault: exhaustive enumeration limited to B ≤ 24")
+)
+
+// Degraded removes the given buses (original indices, duplicates
+// rejected) and returns the surviving network.
+func Degraded(nw *topology.Network, failures []int) (*topology.Network, error) {
+	if nw == nil {
+		return nil, fmt.Errorf("%w: nil network", ErrBadInput)
+	}
+	seen := make(map[int]bool, len(failures))
+	for _, f := range failures {
+		if f < 0 || f >= nw.B() {
+			return nil, fmt.Errorf("%w: bus %d of %d", ErrBadInput, f, nw.B())
+		}
+		if seen[f] {
+			return nil, fmt.Errorf("%w: bus %d listed twice", ErrBadInput, f)
+		}
+		seen[f] = true
+	}
+	if len(failures) >= nw.B() {
+		return nil, fmt.Errorf("%w: cannot fail all %d buses", ErrBadInput, nw.B())
+	}
+	cur := nw
+	// Remove in descending original order so earlier removals do not
+	// shift later indices.
+	sorted := append([]int(nil), failures...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j-1] < sorted[j]; j-- {
+			sorted[j-1], sorted[j] = sorted[j], sorted[j-1]
+		}
+	}
+	for _, f := range sorted {
+		next, err := cur.WithoutBus(f)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// Scenario is the outcome of one specific failure combination.
+type Scenario struct {
+	Failures     []int   // original bus indices that failed
+	Bandwidth    float64 // analytic bandwidth of the survivor
+	LostModules  int     // modules with no surviving bus
+	FullyServing bool    // true when no module was lost
+}
+
+// Level summarizes all C(B, f) failure combinations with exactly f
+// failed buses.
+type Level struct {
+	Failures      int
+	Scenarios     int
+	MinBandwidth  float64
+	MeanBandwidth float64
+	MaxBandwidth  float64
+	// WorstLostModules is the largest number of stranded modules over
+	// the level's scenarios; SurvivingFraction the fraction of scenarios
+	// in which every module stayed reachable.
+	WorstLostModules  int
+	SurvivingFraction float64
+}
+
+// SurvivabilityCurve evaluates bandwidth degradation for every failure
+// count f = 0 … maxFailures, exhaustively enumerating failure
+// combinations. The per-module request probability x is held fixed (the
+// workload does not know about failures). Requires B ≤ 24 to bound the
+// enumeration.
+func SurvivabilityCurve(nw *topology.Network, x float64, maxFailures int) ([]Level, error) {
+	if nw == nil {
+		return nil, fmt.Errorf("%w: nil network", ErrBadInput)
+	}
+	if nw.B() > 24 {
+		return nil, fmt.Errorf("%w: B=%d", ErrTooManyBuses, nw.B())
+	}
+	if maxFailures < 0 || maxFailures >= nw.B() {
+		return nil, fmt.Errorf("%w: maxFailures=%d with B=%d", ErrBadInput, maxFailures, nw.B())
+	}
+	levels := make([]Level, 0, maxFailures+1)
+	for f := 0; f <= maxFailures; f++ {
+		level := Level{Failures: f, MinBandwidth: math.Inf(1), MaxBandwidth: math.Inf(-1)}
+		var sum numerics.KahanSum
+		surviving := 0
+		err := combinations(nw.B(), f, func(failures []int) error {
+			sc, err := Evaluate(nw, x, failures)
+			if err != nil {
+				return err
+			}
+			level.Scenarios++
+			sum.Add(sc.Bandwidth)
+			if sc.Bandwidth < level.MinBandwidth {
+				level.MinBandwidth = sc.Bandwidth
+			}
+			if sc.Bandwidth > level.MaxBandwidth {
+				level.MaxBandwidth = sc.Bandwidth
+			}
+			if sc.LostModules > level.WorstLostModules {
+				level.WorstLostModules = sc.LostModules
+			}
+			if sc.FullyServing {
+				surviving++
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		level.MeanBandwidth = sum.Value() / float64(level.Scenarios)
+		level.SurvivingFraction = float64(surviving) / float64(level.Scenarios)
+		levels = append(levels, level)
+	}
+	return levels, nil
+}
+
+// Evaluate computes the outcome of one failure combination.
+func Evaluate(nw *topology.Network, x float64, failures []int) (*Scenario, error) {
+	deg := nw
+	var err error
+	if len(failures) > 0 {
+		deg, err = Degraded(nw, failures)
+		if err != nil {
+			return nil, err
+		}
+	}
+	bw, err := analytic.Bandwidth(deg, x)
+	if err != nil {
+		return nil, err
+	}
+	lost := len(deg.InaccessibleModules())
+	return &Scenario{
+		Failures:     append([]int(nil), failures...),
+		Bandwidth:    bw,
+		LostModules:  lost,
+		FullyServing: lost == 0,
+	}, nil
+}
+
+// ExpectedBandwidth returns E[bandwidth] when each bus independently
+// fails with probability p, together with the probability that every
+// module remains reachable. For B ≤ 20 the 2^B failure patterns are
+// enumerated exactly; beyond that, samples Monte-Carlo patterns are
+// drawn with the given seed (samples defaults to 20000 when 0).
+//
+// The pattern with all buses failed contributes zero bandwidth.
+func ExpectedBandwidth(nw *topology.Network, x, p float64, samples int, seed int64) (mean, reachProb float64, err error) {
+	if nw == nil {
+		return 0, 0, fmt.Errorf("%w: nil network", ErrBadInput)
+	}
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return 0, 0, fmt.Errorf("%w: failure probability %v", ErrBadInput, p)
+	}
+	b := nw.B()
+	if b <= 20 {
+		var bwSum, reachSum numerics.KahanSum
+		for mask := 0; mask < 1<<b; mask++ {
+			prob := 1.0
+			var failures []int
+			for i := 0; i < b; i++ {
+				if mask&(1<<i) != 0 {
+					prob *= p
+					failures = append(failures, i)
+				} else {
+					prob *= 1 - p
+				}
+			}
+			if prob == 0 {
+				continue
+			}
+			if len(failures) == b {
+				continue // total outage: zero bandwidth, nothing reachable
+			}
+			sc, err := Evaluate(nw, x, failures)
+			if err != nil {
+				return 0, 0, err
+			}
+			bwSum.Add(prob * sc.Bandwidth)
+			if sc.FullyServing {
+				reachSum.Add(prob)
+			}
+		}
+		return bwSum.Value(), reachSum.Value(), nil
+	}
+	if samples == 0 {
+		samples = 20000
+	}
+	if samples < 1 {
+		return 0, 0, fmt.Errorf("%w: samples=%d", ErrBadInput, samples)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var bwSum, reachSum numerics.KahanSum
+	for s := 0; s < samples; s++ {
+		var failures []int
+		for i := 0; i < b; i++ {
+			if rng.Float64() < p {
+				failures = append(failures, i)
+			}
+		}
+		if len(failures) == b {
+			continue
+		}
+		sc, err := Evaluate(nw, x, failures)
+		if err != nil {
+			return 0, 0, err
+		}
+		bwSum.Add(sc.Bandwidth)
+		if sc.FullyServing {
+			reachSum.Add(1)
+		}
+	}
+	return bwSum.Value() / float64(samples), reachSum.Value() / float64(samples), nil
+}
+
+// combinations invokes fn for every size-k subset of {0, …, n−1}. The
+// slice passed to fn is reused between calls.
+func combinations(n, k int, fn func([]int) error) error {
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	if k == 0 {
+		return fn(idx)
+	}
+	for {
+		if err := fn(idx); err != nil {
+			return err
+		}
+		// Advance.
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			return nil
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}

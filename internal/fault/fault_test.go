@@ -1,0 +1,300 @@
+package fault
+
+import (
+	"math"
+	"testing"
+
+	"multibus/internal/analytic"
+	"multibus/internal/topology"
+)
+
+const x = 0.746919 // paper two-level workload, N=8, r=1
+
+func fullNet(t *testing.T) *topology.Network {
+	t.Helper()
+	nw, err := topology.Full(8, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestDegraded(t *testing.T) {
+	nw := fullNet(t)
+	deg, err := Degraded(nw, []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg.B() != 2 {
+		t.Errorf("B = %d, want 2", deg.B())
+	}
+	got := deg.FailedBuses()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("FailedBuses = %v, want [1 3]", got)
+	}
+	// Empty failure list returns an equivalent network.
+	same, err := Degraded(nw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.B() != 4 {
+		t.Errorf("no-failure Degraded changed B to %d", same.B())
+	}
+}
+
+func TestDegradedValidation(t *testing.T) {
+	nw := fullNet(t)
+	if _, err := Degraded(nil, nil); err == nil {
+		t.Error("nil network should error")
+	}
+	if _, err := Degraded(nw, []int{4}); err == nil {
+		t.Error("out-of-range bus should error")
+	}
+	if _, err := Degraded(nw, []int{1, 1}); err == nil {
+		t.Error("duplicate bus should error")
+	}
+	if _, err := Degraded(nw, []int{0, 1, 2, 3}); err == nil {
+		t.Error("failing all buses should error")
+	}
+}
+
+func TestEvaluateFullNetworkDegradation(t *testing.T) {
+	nw := fullNet(t)
+	sc, err := Evaluate(nw, x, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := analytic.BandwidthFull(8, 3, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sc.Bandwidth-want) > 1e-12 {
+		t.Errorf("degraded bandwidth %.6f, want %.6f", sc.Bandwidth, want)
+	}
+	if !sc.FullyServing || sc.LostModules != 0 {
+		t.Errorf("full network lost modules after one failure: %+v", sc)
+	}
+	// Zero failures: pristine bandwidth.
+	sc0, err := Evaluate(nw, x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want0, _ := analytic.BandwidthFull(8, 4, x)
+	if math.Abs(sc0.Bandwidth-want0) > 1e-12 {
+		t.Errorf("pristine bandwidth %.6f, want %.6f", sc0.Bandwidth, want0)
+	}
+}
+
+func TestSurvivabilityCurveFullVsSingle(t *testing.T) {
+	// The full network never loses a module below B failures; the single
+	// network loses modules at the first failure. This is the paper's
+	// §II-B fault-tolerance contrast, made quantitative.
+	full := fullNet(t)
+	curveFull, err := SurvivabilityCurve(full, x, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curveFull) != 4 {
+		t.Fatalf("levels = %d, want 4", len(curveFull))
+	}
+	for f, level := range curveFull {
+		if level.Failures != f {
+			t.Errorf("level %d labelled %d", f, level.Failures)
+		}
+		if level.SurvivingFraction != 1 {
+			t.Errorf("full network: %d failures → surviving fraction %.3f, want 1",
+				f, level.SurvivingFraction)
+		}
+		if level.WorstLostModules != 0 {
+			t.Errorf("full network lost %d modules at %d failures", level.WorstLostModules, f)
+		}
+	}
+	// Expected scenario counts: C(4, f).
+	wantCounts := []int{1, 4, 6, 4}
+	for f, level := range curveFull {
+		if level.Scenarios != wantCounts[f] {
+			t.Errorf("f=%d scenarios = %d, want %d", f, level.Scenarios, wantCounts[f])
+		}
+	}
+	// Bandwidth decreases monotonically in failures.
+	for f := 1; f < len(curveFull); f++ {
+		if curveFull[f].MeanBandwidth > curveFull[f-1].MeanBandwidth+1e-12 {
+			t.Errorf("mean bandwidth increased at f=%d", f)
+		}
+	}
+
+	single, err := topology.SingleBus(8, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curveSingle, err := SurvivabilityCurve(single, x, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if curveSingle[1].SurvivingFraction != 0 {
+		t.Errorf("single network survived a failure: %.3f", curveSingle[1].SurvivingFraction)
+	}
+	if curveSingle[1].WorstLostModules != 2 {
+		t.Errorf("single network worst lost = %d, want 2", curveSingle[1].WorstLostModules)
+	}
+}
+
+func TestSurvivabilityCurveKClassesFlexibility(t *testing.T) {
+	// K-class network, B=4, K=2, classes of 4: C_1 on buses 1..3, C_2 on
+	// all 4. Degree B−K = 2: any 2 failures keep everything reachable;
+	// some 3-failure scenarios strand C_1.
+	nw, err := topology.KClasses(8, 4, []int{4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve, err := SurvivabilityCurve(nw, x, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if curve[2].SurvivingFraction != 1 {
+		t.Errorf("2 failures should always be survivable (degree 2), got %.3f",
+			curve[2].SurvivingFraction)
+	}
+	if curve[3].SurvivingFraction >= 1 {
+		t.Errorf("3 failures should sometimes strand class C_1, got %.3f",
+			curve[3].SurvivingFraction)
+	}
+	// When buses 1..3 (indices 0..2) fail, class C_1's 4 modules strand.
+	if curve[3].WorstLostModules != 4 {
+		t.Errorf("worst lost = %d, want 4", curve[3].WorstLostModules)
+	}
+}
+
+func TestSurvivabilityCurveValidation(t *testing.T) {
+	nw := fullNet(t)
+	if _, err := SurvivabilityCurve(nil, x, 1); err == nil {
+		t.Error("nil network should error")
+	}
+	if _, err := SurvivabilityCurve(nw, x, 4); err == nil {
+		t.Error("maxFailures ≥ B should error")
+	}
+	if _, err := SurvivabilityCurve(nw, x, -1); err == nil {
+		t.Error("negative maxFailures should error")
+	}
+	big, err := topology.Full(32, 32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SurvivabilityCurve(big, x, 2); err == nil {
+		t.Error("B > 24 should be rejected for exhaustive enumeration")
+	}
+}
+
+func TestExpectedBandwidthExactEnumeration(t *testing.T) {
+	nw := fullNet(t)
+	// p = 0: pristine bandwidth, reach probability 1.
+	mean, reach, err := ExpectedBandwidth(nw, x, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := analytic.BandwidthFull(8, 4, x)
+	if math.Abs(mean-want) > 1e-12 || reach != 1 {
+		t.Errorf("p=0: mean %.6f reach %.3f, want %.6f and 1", mean, reach, want)
+	}
+	// p = 1: everything fails.
+	mean, reach, err = ExpectedBandwidth(nw, x, 1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean != 0 || reach != 0 {
+		t.Errorf("p=1: mean %.6f reach %.3f, want 0, 0", mean, reach)
+	}
+	// Hand-check p = 0.5 for a 2-bus full network: patterns {} (¼, B=2),
+	// {0} and {1} (¼ each, B=1), both failed (¼, zero).
+	small, err := topology.Full(4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := analytic.BandwidthFull(4, 2, x)
+	b1, _ := analytic.BandwidthFull(4, 1, x)
+	wantMean := 0.25*b2 + 0.5*b1
+	mean, reach, err = ExpectedBandwidth(small, x, 0.5, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean-wantMean) > 1e-12 {
+		t.Errorf("p=0.5 mean %.6f, want %.6f", mean, wantMean)
+	}
+	if math.Abs(reach-0.75) > 1e-12 {
+		t.Errorf("p=0.5 reach %.3f, want 0.75 (full network reachable unless all fail)", reach)
+	}
+}
+
+func TestExpectedBandwidthMonteCarloPath(t *testing.T) {
+	// B = 25 forces sampling; verify it runs and lands near the exact
+	// value of an equivalent computation at p=0 (trivially pristine).
+	nw, err := topology.Full(25, 25, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, reach, err := ExpectedBandwidth(nw, x, 0, 500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := analytic.BandwidthFull(25, 25, x)
+	if math.Abs(mean-want) > 1e-9 || reach != 1 {
+		t.Errorf("MC p=0: mean %.6f reach %.3f, want %.6f, 1", mean, reach, want)
+	}
+	// Moderate p: sampled mean must lie between the all-failed and
+	// pristine extremes.
+	mean, _, err = ExpectedBandwidth(nw, x, 0.3, 300, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean <= 0 || mean >= want {
+		t.Errorf("MC p=0.3 mean %.6f out of (0, %.6f)", mean, want)
+	}
+}
+
+func TestExpectedBandwidthValidation(t *testing.T) {
+	nw := fullNet(t)
+	if _, _, err := ExpectedBandwidth(nil, x, 0.1, 0, 1); err == nil {
+		t.Error("nil network should error")
+	}
+	if _, _, err := ExpectedBandwidth(nw, x, -0.1, 0, 1); err == nil {
+		t.Error("negative p should error")
+	}
+	if _, _, err := ExpectedBandwidth(nw, x, 1.1, 0, 1); err == nil {
+		t.Error("p > 1 should error")
+	}
+	big, err := topology.Full(25, 25, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ExpectedBandwidth(big, x, 0.1, -5, 1); err == nil {
+		t.Error("negative samples should error")
+	}
+}
+
+func TestCombinations(t *testing.T) {
+	var got [][]int
+	err := combinations(4, 2, func(idx []int) error {
+		got = append(got, append([]int(nil), idx...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}
+	if len(got) != len(want) {
+		t.Fatalf("combinations = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i][0] != want[i][0] || got[i][1] != want[i][1] {
+			t.Fatalf("combinations = %v, want %v", got, want)
+		}
+	}
+	// k = 0: one empty combination.
+	count := 0
+	if err := combinations(5, 0, func([]int) error { count++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Errorf("k=0 invoked %d times, want 1", count)
+	}
+}

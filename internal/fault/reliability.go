@@ -1,0 +1,82 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+
+	"multibus/internal/topology"
+)
+
+// TrajectoryPoint is the expected state of a degrading network at one
+// instant of its mission.
+type TrajectoryPoint struct {
+	// Time is the evaluation instant (same unit as 1/λ).
+	Time float64
+	// FailureProb is the probability an individual bus has failed by
+	// Time: 1 − e^{−λ·Time}.
+	FailureProb float64
+	// ExpectedBandwidth is E[bandwidth] over the bus-failure pattern at
+	// Time, with the workload held fixed at per-module probability x.
+	ExpectedBandwidth float64
+	// ReachProbability is the probability every module is still
+	// reachable at Time.
+	ReachProbability float64
+}
+
+// BandwidthTrajectory evaluates the expected bandwidth and full-
+// reachability probability of a network whose buses fail independently
+// with rate λ (exponential lifetimes, no repair), at each requested
+// time. Times must be non-negative and λ ≥ 0.
+//
+// This turns the paper's static "degree of fault tolerance" column into
+// an operational metric: how much memory traffic a system is expected to
+// sustain over a mission, and for how long all data stays reachable.
+func BandwidthTrajectory(nw *topology.Network, x, lambda float64, times []float64) ([]TrajectoryPoint, error) {
+	if nw == nil {
+		return nil, fmt.Errorf("%w: nil network", ErrBadInput)
+	}
+	if lambda < 0 || math.IsNaN(lambda) {
+		return nil, fmt.Errorf("%w: λ=%v", ErrBadInput, lambda)
+	}
+	if len(times) == 0 {
+		return nil, fmt.Errorf("%w: no times", ErrBadInput)
+	}
+	out := make([]TrajectoryPoint, 0, len(times))
+	for _, t := range times {
+		if t < 0 || math.IsNaN(t) {
+			return nil, fmt.Errorf("%w: time %v", ErrBadInput, t)
+		}
+		p := -math.Expm1(-lambda * t)
+		mean, reach, err := ExpectedBandwidth(nw, x, p, 0, 1)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, TrajectoryPoint{
+			Time:              t,
+			FailureProb:       p,
+			ExpectedBandwidth: mean,
+			ReachProbability:  reach,
+		})
+	}
+	return out, nil
+}
+
+// MissionCapacity integrates a trajectory's expected bandwidth over time
+// (trapezoidal rule), yielding the expected total number of requests the
+// degrading network serves across the mission — a single figure for
+// comparing schemes whose degradation curves cross. Points must be in
+// strictly increasing time order.
+func MissionCapacity(traj []TrajectoryPoint) (float64, error) {
+	if len(traj) < 2 {
+		return 0, fmt.Errorf("%w: need at least 2 trajectory points", ErrBadInput)
+	}
+	total := 0.0
+	for i := 1; i < len(traj); i++ {
+		dt := traj[i].Time - traj[i-1].Time
+		if dt <= 0 {
+			return 0, fmt.Errorf("%w: times not increasing at index %d", ErrBadInput, i)
+		}
+		total += dt * (traj[i].ExpectedBandwidth + traj[i-1].ExpectedBandwidth) / 2
+	}
+	return total, nil
+}

@@ -1,0 +1,145 @@
+package fault
+
+import (
+	"math"
+	"testing"
+
+	"multibus/internal/analytic"
+	"multibus/internal/topology"
+)
+
+func TestBandwidthTrajectoryEndpoints(t *testing.T) {
+	nw := fullNet(t)
+	traj, err := BandwidthTrajectory(nw, x, 0.1, []float64{0, 1, 5, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traj) != 4 {
+		t.Fatalf("points = %d, want 4", len(traj))
+	}
+	// t=0: pristine.
+	pristine, _ := analytic.BandwidthFull(8, 4, x)
+	if math.Abs(traj[0].ExpectedBandwidth-pristine) > 1e-12 || traj[0].ReachProbability != 1 {
+		t.Errorf("t=0 point = %+v, want pristine %.4f", traj[0], pristine)
+	}
+	if traj[0].FailureProb != 0 {
+		t.Errorf("t=0 failure prob %v", traj[0].FailureProb)
+	}
+	// Monotone decay of bandwidth and reachability.
+	for i := 1; i < len(traj); i++ {
+		if traj[i].ExpectedBandwidth > traj[i-1].ExpectedBandwidth+1e-12 {
+			t.Errorf("bandwidth rose at %v: %v > %v", traj[i].Time,
+				traj[i].ExpectedBandwidth, traj[i-1].ExpectedBandwidth)
+		}
+		if traj[i].ReachProbability > traj[i-1].ReachProbability+1e-12 {
+			t.Errorf("reachability rose at %v", traj[i].Time)
+		}
+		if traj[i].FailureProb <= traj[i-1].FailureProb {
+			t.Errorf("failure prob not increasing at %v", traj[i].Time)
+		}
+	}
+	// Long horizon: essentially everything failed.
+	far, err := BandwidthTrajectory(nw, x, 0.1, []float64{1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if far[0].ExpectedBandwidth > 1e-6 {
+		t.Errorf("t→∞ bandwidth %v, want ≈0", far[0].ExpectedBandwidth)
+	}
+}
+
+func TestBandwidthTrajectoryLambdaZero(t *testing.T) {
+	nw := fullNet(t)
+	traj, err := BandwidthTrajectory(nw, x, 0, []float64{0, 10, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pristine, _ := analytic.BandwidthFull(8, 4, x)
+	for _, pt := range traj {
+		if math.Abs(pt.ExpectedBandwidth-pristine) > 1e-12 || pt.ReachProbability != 1 {
+			t.Errorf("λ=0 point %+v, want pristine forever", pt)
+		}
+	}
+}
+
+func TestBandwidthTrajectoryValidation(t *testing.T) {
+	nw := fullNet(t)
+	if _, err := BandwidthTrajectory(nil, x, 0.1, []float64{1}); err == nil {
+		t.Error("nil network should error")
+	}
+	if _, err := BandwidthTrajectory(nw, x, -1, []float64{1}); err == nil {
+		t.Error("negative λ should error")
+	}
+	if _, err := BandwidthTrajectory(nw, x, 0.1, nil); err == nil {
+		t.Error("no times should error")
+	}
+	if _, err := BandwidthTrajectory(nw, x, 0.1, []float64{-1}); err == nil {
+		t.Error("negative time should error")
+	}
+}
+
+func TestMissionCapacity(t *testing.T) {
+	// Constant bandwidth 4 over 10 time units integrates to 40.
+	traj := []TrajectoryPoint{
+		{Time: 0, ExpectedBandwidth: 4},
+		{Time: 5, ExpectedBandwidth: 4},
+		{Time: 10, ExpectedBandwidth: 4},
+	}
+	got, err := MissionCapacity(traj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-40) > 1e-12 {
+		t.Errorf("capacity = %v, want 40", got)
+	}
+	// Linear decay 4 → 0 over 10: area 20.
+	traj = []TrajectoryPoint{
+		{Time: 0, ExpectedBandwidth: 4},
+		{Time: 10, ExpectedBandwidth: 0},
+	}
+	got, err = MissionCapacity(traj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-20) > 1e-12 {
+		t.Errorf("capacity = %v, want 20", got)
+	}
+	if _, err := MissionCapacity(traj[:1]); err == nil {
+		t.Error("single point should error")
+	}
+	bad := []TrajectoryPoint{{Time: 5}, {Time: 5}}
+	if _, err := MissionCapacity(bad); err == nil {
+		t.Error("non-increasing times should error")
+	}
+}
+
+func TestMissionCapacityComparesSchemes(t *testing.T) {
+	// Over a long mission with failures, the full network's redundancy
+	// should buy more total served requests than the single-connection
+	// network, despite equal pristine B.
+	times := []float64{0, 2, 4, 6, 8, 10}
+	full := fullNet(t)
+	single, err := topology.SingleBus(8, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trajFull, err := BandwidthTrajectory(full, x, 0.05, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trajSingle, err := BandwidthTrajectory(single, x, 0.05, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capFull, err := MissionCapacity(trajFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capSingle, err := MissionCapacity(trajSingle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capFull <= capSingle {
+		t.Errorf("full mission capacity %.3f not above single %.3f", capFull, capSingle)
+	}
+}

@@ -1,0 +1,299 @@
+// Package hrm implements the hierarchical requesting model of Chen & Sheu:
+// an n-level cluster hierarchy of processors and memory modules in which a
+// processor references a memory module with a per-module fraction
+// m_0 > m_1 > … > m_n determined by the hierarchical distance between
+// them, subject to the normalization Σ_i m_i·N_i = 1 (paper equation (1)).
+//
+// Two variants are provided, exactly as in the paper:
+//
+//   - Hierarchy models the N×N×B case (one favorite module per processor;
+//     an n-level hierarchy has n+1 distinct request fractions m_0 … m_n).
+//   - HierarchyNM models the general N×M×B case (each (n−1)-level
+//     subcluster holds k_n processors and k'_n favorite modules; an
+//     n-level hierarchy has n distinct fractions m_0 … m_{n−1}).
+//
+// The uniform requesting model and the Das–Bhuyan favorite-memory model
+// are exposed as special-case constructors.
+package hrm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"multibus/internal/numerics"
+)
+
+// normTol is the tolerance for the Σ m_i·N_i = 1 normalization check.
+const normTol = 1e-9
+
+// Errors returned by hierarchy constructors and methods.
+var (
+	ErrBadShape      = errors.New("hrm: invalid hierarchy shape")
+	ErrBadFractions  = errors.New("hrm: invalid request fractions")
+	ErrNotNormalized = errors.New("hrm: fractions do not satisfy Σ m_i·N_i = 1")
+	ErrBadRate       = errors.New("hrm: request rate r outside [0, 1]")
+)
+
+// Hierarchy is an n-level hierarchical requesting model for an N×N×B
+// system: N = k_1·k_2···k_n processors, each with its own favorite memory
+// module, referencing modules at hierarchical distance i with per-module
+// fraction m_i. Immutable after construction.
+type Hierarchy struct {
+	ks        []int     // k_1 … k_n: branching factors, outermost first
+	fractions []float64 // m_0 … m_n: per-module request fractions
+	counts    []int     // N_0 … N_n: modules at each distance level, eq. (1)
+	n         int       // total processors = Π ks
+}
+
+// New builds an n-level hierarchy from branching factors ks = [k_1 … k_n]
+// and per-module fractions = [m_0 … m_n]. Every k_i must be ≥ 1 with
+// N = Π k_i ≥ 1, len(fractions) must be len(ks)+1, all fractions must be
+// in [0, 1], and Σ m_i·N_i must equal 1 within a small tolerance.
+func New(ks []int, fractions []float64) (*Hierarchy, error) {
+	if len(ks) == 0 {
+		return nil, fmt.Errorf("%w: no levels", ErrBadShape)
+	}
+	n := 1
+	for i, k := range ks {
+		if k < 1 {
+			return nil, fmt.Errorf("%w: k_%d = %d (must be ≥ 1)", ErrBadShape, i+1, k)
+		}
+		n *= k
+	}
+	if len(fractions) != len(ks)+1 {
+		return nil, fmt.Errorf("%w: %d levels need %d fractions, got %d",
+			ErrBadFractions, len(ks), len(ks)+1, len(fractions))
+	}
+	counts := levelCounts(ks)
+	var norm numerics.KahanSum
+	for i, m := range fractions {
+		if m < 0 || m > 1 || math.IsNaN(m) {
+			return nil, fmt.Errorf("%w: m_%d = %v", ErrBadFractions, i, m)
+		}
+		norm.Add(m * float64(counts[i]))
+	}
+	if math.Abs(norm.Value()-1) > normTol {
+		return nil, fmt.Errorf("%w: Σ m_i·N_i = %v", ErrNotNormalized, norm.Value())
+	}
+	h := &Hierarchy{
+		ks:        append([]int(nil), ks...),
+		fractions: append([]float64(nil), fractions...),
+		counts:    counts,
+		n:         n,
+	}
+	return h, nil
+}
+
+// levelCounts evaluates equation (1): N_0 = 1 and
+// N_i = (k_{n−i+1} − 1)·k_{n−i+2}···k_n for 1 ≤ i ≤ n.
+func levelCounts(ks []int) []int {
+	n := len(ks)
+	counts := make([]int, n+1)
+	counts[0] = 1
+	suffix := 1 // k_{n−i+2}···k_n
+	for i := 1; i <= n; i++ {
+		counts[i] = (ks[n-i] - 1) * suffix
+		suffix *= ks[n-i]
+	}
+	return counts
+}
+
+// NewFromAggregates builds a hierarchy from aggregate level probabilities
+// a_0 … a_n (the total fraction of a processor's references landing at
+// each distance level, Σ a_i = 1); per-module fractions are a_i / N_i.
+// This matches how the paper states its numerical workload: "probability
+// 0.6 addressing its favorite module, 0.3 other modules within the same
+// cluster, 0.1 modules in other clusters."
+//
+// A level with N_i = 0 (possible when some k_j = 1) must have a_i = 0.
+func NewFromAggregates(ks []int, aggregates []float64) (*Hierarchy, error) {
+	if len(aggregates) != len(ks)+1 {
+		return nil, fmt.Errorf("%w: %d levels need %d aggregates, got %d",
+			ErrBadFractions, len(ks), len(ks)+1, len(aggregates))
+	}
+	counts := levelCounts(ks)
+	fractions := make([]float64, len(aggregates))
+	for i, a := range aggregates {
+		if a < 0 || a > 1 || math.IsNaN(a) {
+			return nil, fmt.Errorf("%w: aggregate a_%d = %v", ErrBadFractions, i, a)
+		}
+		if counts[i] == 0 {
+			if a != 0 {
+				return nil, fmt.Errorf("%w: level %d is empty but a_%d = %v",
+					ErrBadFractions, i, i, a)
+			}
+			continue
+		}
+		fractions[i] = a / float64(counts[i])
+	}
+	return New(ks, fractions)
+}
+
+// Uniform returns the uniform requesting model over n processors/modules:
+// every module referenced with per-module fraction 1/n. It is expressed
+// as a one-level hierarchy with m_0 = m_1 = 1/n, the degenerate case the
+// paper compares against in every table.
+func Uniform(n int) (*Hierarchy, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("%w: n = %d", ErrBadShape, n)
+	}
+	m := 1 / float64(n)
+	return New([]int{n}, []float64{m, m})
+}
+
+// TwoLevelPaper returns the exact two-level workload used for every
+// numerical table in the paper: the N×N system is split into
+// numClusters clusters of N/numClusters processor–module pairs, and each
+// processor spends aggregate fraction aFavorite on its favorite module,
+// aCluster spread over the other modules of its cluster, and aRemote
+// spread over all modules of other clusters. The paper instantiates
+// numClusters = 4 and (0.6, 0.3, 0.1).
+func TwoLevelPaper(n, numClusters int, aFavorite, aCluster, aRemote float64) (*Hierarchy, error) {
+	if numClusters < 1 || n%numClusters != 0 {
+		return nil, fmt.Errorf("%w: n=%d not divisible into %d clusters", ErrBadShape, n, numClusters)
+	}
+	return NewFromAggregates(
+		[]int{numClusters, n / numClusters},
+		[]float64{aFavorite, aCluster, aRemote},
+	)
+}
+
+// DasBhuyan returns the favorite-memory model of Das & Bhuyan (the
+// paper's reference [4]): each processor references its favorite module
+// with probability q and spreads 1−q uniformly over the remaining n−1
+// modules. It is the one-level special case of the hierarchy.
+func DasBhuyan(n int, q float64) (*Hierarchy, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("%w: Das–Bhuyan model needs n ≥ 2, got %d", ErrBadShape, n)
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return nil, fmt.Errorf("%w: q = %v", ErrBadFractions, q)
+	}
+	return New([]int{n}, []float64{q, (1 - q) / float64(n-1)})
+}
+
+// N returns the number of processors (equal to the number of memory
+// modules in the N×N×B variant).
+func (h *Hierarchy) N() int { return h.n }
+
+// Levels returns n, the number of hierarchy levels.
+func (h *Hierarchy) Levels() int { return len(h.ks) }
+
+// Shape returns a copy of the branching factors k_1 … k_n.
+func (h *Hierarchy) Shape() []int { return append([]int(nil), h.ks...) }
+
+// Fractions returns a copy of the per-module fractions m_0 … m_n.
+func (h *Hierarchy) Fractions() []float64 { return append([]float64(nil), h.fractions...) }
+
+// LevelCounts returns a copy of N_0 … N_n as defined by equation (1).
+func (h *Hierarchy) LevelCounts() []int { return append([]int(nil), h.counts...) }
+
+// IsProper reports whether the fractions satisfy the paper's strict
+// ordering m_0 > m_1 > … > m_n. Uniform workloads are valid hierarchies
+// but not proper in this sense.
+func (h *Hierarchy) IsProper() bool {
+	for i := 1; i < len(h.fractions); i++ {
+		if !(h.fractions[i-1] > h.fractions[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// X returns equation (2): the probability that at least one processor
+// requests a particular memory module during a cycle, when each processor
+// independently generates a request with probability r.
+//
+//	X = 1 − (1 − r·m_0)·(1 − r·m_1)^{N_1} ··· (1 − r·m_n)^{N_n}
+func (h *Hierarchy) X(r float64) (float64, error) {
+	if r < 0 || r > 1 || math.IsNaN(r) {
+		return 0, fmt.Errorf("%w: r = %v", ErrBadRate, r)
+	}
+	// Work in log space: log Π (1−r·m_i)^{N_i} = Σ N_i·log1p(−r·m_i).
+	var logProd numerics.KahanSum
+	for i, m := range h.fractions {
+		if h.counts[i] == 0 {
+			continue
+		}
+		rm := r * m
+		if rm >= 1 {
+			return 1, nil // some processor requests this module surely
+		}
+		logProd.Add(float64(h.counts[i]) * math.Log1p(-rm))
+	}
+	return -math.Expm1(logProd.Value()), nil
+}
+
+// DistanceLevel returns the hierarchical distance class i ∈ [0, n] between
+// processor p and memory module j: the fraction of p's references going to
+// module j is m_i. Indices are 0-based in [0, N).
+//
+// Processors and modules are laid out in mixed radix (k_1, …, k_n):
+// index = d_1·(k_2···k_n) + d_2·(k_3···k_n) + … + d_n, so processor p's
+// favorite module is module p, and two indices sharing their first L
+// digits belong to the same level-L subcluster.
+func (h *Hierarchy) DistanceLevel(p, j int) (int, error) {
+	if p < 0 || p >= h.n || j < 0 || j >= h.n {
+		return 0, fmt.Errorf("%w: index out of range p=%d j=%d N=%d", ErrBadShape, p, j, h.n)
+	}
+	if p == j {
+		return 0, nil
+	}
+	// Find the deepest level L at which p and j share a subcluster.
+	// Distance class is n − L.
+	suffix := h.n
+	for l := 0; l < len(h.ks); l++ {
+		suffix /= h.ks[l]
+		if p/suffix != j/suffix {
+			return len(h.ks) - l, nil
+		}
+	}
+	// All digits equal would mean p == j, handled above.
+	return 0, fmt.Errorf("hrm: internal error: identical digits for p=%d j=%d", p, j)
+}
+
+// FractionFor returns the per-module fraction m_i with which processor p
+// references module j.
+func (h *Hierarchy) FractionFor(p, j int) (float64, error) {
+	lvl, err := h.DistanceLevel(p, j)
+	if err != nil {
+		return 0, err
+	}
+	return h.fractions[lvl], nil
+}
+
+// ProbVector returns the length-N vector of probabilities that processor
+// p's request (given one is generated) targets each module. The entries
+// sum to 1 by the hierarchy normalization. Used by the Monte-Carlo
+// simulator to draw destinations.
+func (h *Hierarchy) ProbVector(p int) ([]float64, error) {
+	if p < 0 || p >= h.n {
+		return nil, fmt.Errorf("%w: processor %d out of range [0,%d)", ErrBadShape, p, h.n)
+	}
+	v := make([]float64, h.n)
+	for j := 0; j < h.n; j++ {
+		lvl, err := h.DistanceLevel(p, j)
+		if err != nil {
+			return nil, err
+		}
+		v[j] = h.fractions[lvl]
+	}
+	return v, nil
+}
+
+// String describes the hierarchy compactly, e.g.
+// "hrm.Hierarchy{N=16, levels=[4 4], m=[0.6 0.1 0.008333]}".
+func (h *Hierarchy) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hrm.Hierarchy{N=%d, levels=%v, m=[", h.n, h.ks)
+	for i, m := range h.fractions {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%.6g", m)
+	}
+	b.WriteString("]}")
+	return b.String()
+}

@@ -1,0 +1,240 @@
+package hrm
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"multibus/internal/numerics"
+)
+
+// HierarchyNM is the general N×M×B hierarchical requesting model: an
+// n-level hierarchy with N = k_1···k_{n−1}·k_n processors and
+// M = k_1···k_{n−1}·k'_n memory modules. Each (n−1)-level subcluster
+// holds k_n processors sharing k'_n favorite modules; a processor
+// references each favorite with fraction m_0, each module of a sibling
+// subcluster at distance level i with fraction m_i. An n-level hierarchy
+// therefore has n distinct fractions m_0 … m_{n−1} (the paper, §III-A).
+type HierarchyNM struct {
+	ks        []int     // k_1 … k_n (processor branching)
+	kPrime    int       // k'_n: favorite modules per innermost subcluster
+	fractions []float64 // m_0 … m_{n−1}
+	memCounts []int     // M_i: modules a processor sees at distance level i
+	procCount []int     // P_i: processors referencing a module at level i
+	nProc     int
+	nMem      int
+}
+
+// NewNM builds the N×M×B model from processor branching factors
+// ks = [k_1 … k_n], the per-subcluster favorite module count kPrime, and
+// per-module fractions m_0 … m_{n−1}. The normalization Σ m_i·M_i = 1
+// must hold, where M_0 = k'_n and
+// M_i = (k_{n−i} − 1)·k_{n−i+1}···k_{n−1}·k'_n for 1 ≤ i ≤ n−1.
+func NewNM(ks []int, kPrime int, fractions []float64) (*HierarchyNM, error) {
+	if len(ks) < 1 {
+		return nil, fmt.Errorf("%w: no levels", ErrBadShape)
+	}
+	if kPrime < 1 {
+		return nil, fmt.Errorf("%w: kPrime = %d", ErrBadShape, kPrime)
+	}
+	if len(fractions) != len(ks) {
+		return nil, fmt.Errorf("%w: %d levels need %d fractions, got %d",
+			ErrBadFractions, len(ks), len(ks), len(fractions))
+	}
+	nProc := 1
+	for i, k := range ks {
+		if k < 1 {
+			return nil, fmt.Errorf("%w: k_%d = %d", ErrBadShape, i+1, k)
+		}
+		nProc *= k
+	}
+	n := len(ks)
+	nMem := nProc / ks[n-1] * kPrime
+
+	memCounts, procCount := nmLevelCounts(ks, kPrime)
+	var norm numerics.KahanSum
+	for i, m := range fractions {
+		if m < 0 || m > 1 || math.IsNaN(m) {
+			return nil, fmt.Errorf("%w: m_%d = %v", ErrBadFractions, i, m)
+		}
+		norm.Add(m * float64(memCounts[i]))
+	}
+	if math.Abs(norm.Value()-1) > normTol {
+		return nil, fmt.Errorf("%w: Σ m_i·M_i = %v", ErrNotNormalized, norm.Value())
+	}
+	return &HierarchyNM{
+		ks:        append([]int(nil), ks...),
+		kPrime:    kPrime,
+		fractions: append([]float64(nil), fractions...),
+		memCounts: memCounts,
+		procCount: procCount,
+		nProc:     nProc,
+		nMem:      nMem,
+	}, nil
+}
+
+// nmLevelCounts returns, for each distance level i in [0, n):
+//
+//	memCounts[i]  — modules a fixed processor references at fraction m_i
+//	procCount[i]  — processors that reference a fixed module at fraction m_i
+func nmLevelCounts(ks []int, kPrime int) (memCounts, procCount []int) {
+	n := len(ks)
+	memCounts = make([]int, n)
+	procCount = make([]int, n)
+	memCounts[0] = kPrime
+	procCount[0] = ks[n-1]
+	// suffixProc = k_{n−i+1}···k_{n−1} grows as i does.
+	suffixProc := 1
+	for i := 1; i < n; i++ {
+		memCounts[i] = (ks[n-1-i] - 1) * suffixProc * kPrime
+		procCount[i] = (ks[n-1-i] - 1) * suffixProc * ks[n-1]
+		suffixProc *= ks[n-1-i]
+	}
+	return memCounts, procCount
+}
+
+// NewNMFromAggregates builds the model from aggregate level fractions
+// a_0 … a_{n−1} (Σ a_i = 1); per-module fractions are a_i / M_i.
+func NewNMFromAggregates(ks []int, kPrime int, aggregates []float64) (*HierarchyNM, error) {
+	if len(aggregates) != len(ks) {
+		return nil, fmt.Errorf("%w: %d levels need %d aggregates, got %d",
+			ErrBadFractions, len(ks), len(ks), len(aggregates))
+	}
+	memCounts, _ := nmLevelCounts(ks, kPrime)
+	fractions := make([]float64, len(aggregates))
+	for i, a := range aggregates {
+		if a < 0 || a > 1 || math.IsNaN(a) {
+			return nil, fmt.Errorf("%w: aggregate a_%d = %v", ErrBadFractions, i, a)
+		}
+		if memCounts[i] == 0 {
+			if a != 0 {
+				return nil, fmt.Errorf("%w: level %d is empty but a_%d = %v", ErrBadFractions, i, i, a)
+			}
+			continue
+		}
+		fractions[i] = a / float64(memCounts[i])
+	}
+	return NewNM(ks, kPrime, fractions)
+}
+
+// UniformNM returns the uniform N×M requesting model: n processors each
+// referencing every one of m modules with fraction 1/m. Expressed as a
+// one-level N×M hierarchy (k_1 = n processors sharing m favorites — with
+// a single level all modules are favorites).
+func UniformNM(n, m int) (*HierarchyNM, error) {
+	if n < 1 || m < 1 {
+		return nil, fmt.Errorf("%w: n=%d m=%d", ErrBadShape, n, m)
+	}
+	return NewNM([]int{n}, m, []float64{1 / float64(m)})
+}
+
+// NProcessors returns N.
+func (h *HierarchyNM) NProcessors() int { return h.nProc }
+
+// MModules returns M.
+func (h *HierarchyNM) MModules() int { return h.nMem }
+
+// Levels returns n.
+func (h *HierarchyNM) Levels() int { return len(h.ks) }
+
+// Fractions returns a copy of m_0 … m_{n−1}.
+func (h *HierarchyNM) Fractions() []float64 { return append([]float64(nil), h.fractions...) }
+
+// MemLevelCounts returns a copy of M_0 … M_{n−1}: the number of modules a
+// processor references at each distance level.
+func (h *HierarchyNM) MemLevelCounts() []int { return append([]int(nil), h.memCounts...) }
+
+// ProcLevelCounts returns a copy of P_0 … P_{n−1}: the number of
+// processors that reference a given module at each distance level.
+func (h *HierarchyNM) ProcLevelCounts() []int { return append([]int(nil), h.procCount...) }
+
+// X returns the probability that at least one processor requests a
+// particular module in a cycle (the N×M analogue of equation (2)):
+//
+//	X = 1 − Π_{i=0}^{n−1} (1 − r·m_i)^{P_i}
+func (h *HierarchyNM) X(r float64) (float64, error) {
+	if r < 0 || r > 1 || math.IsNaN(r) {
+		return 0, fmt.Errorf("%w: r = %v", ErrBadRate, r)
+	}
+	var logProd numerics.KahanSum
+	for i, m := range h.fractions {
+		if h.procCount[i] == 0 {
+			continue
+		}
+		rm := r * m
+		if rm >= 1 {
+			return 1, nil
+		}
+		logProd.Add(float64(h.procCount[i]) * math.Log1p(-rm))
+	}
+	return -math.Expm1(logProd.Value()), nil
+}
+
+// DistanceLevel returns the distance class i ∈ [0, n) between processor p
+// and module j. Processors use mixed radix (k_1, …, k_n); modules use
+// (k_1, …, k_{n−1}, k'_n). Two indices in the same (n−1)-level subcluster
+// (equal first n−1 digits) are at level 0 (favorite relation).
+func (h *HierarchyNM) DistanceLevel(p, j int) (int, error) {
+	if p < 0 || p >= h.nProc {
+		return 0, fmt.Errorf("%w: processor %d out of range [0,%d)", ErrBadShape, p, h.nProc)
+	}
+	if j < 0 || j >= h.nMem {
+		return 0, fmt.Errorf("%w: module %d out of range [0,%d)", ErrBadShape, j, h.nMem)
+	}
+	n := len(h.ks)
+	// Subcluster ids at the (n−1)th level.
+	pSub := p / h.ks[n-1]
+	jSub := j / h.kPrime
+	if pSub == jSub {
+		return 0, nil
+	}
+	// Walk levels outermost-in over the common prefix of subcluster digits.
+	suffix := h.nProc / h.ks[n-1] // number of (n−1)-level subclusters
+	for l := 0; l < n-1; l++ {
+		suffix /= h.ks[l]
+		if pSub/suffix != jSub/suffix {
+			return n - 1 - l, nil
+		}
+	}
+	return 0, fmt.Errorf("hrm: internal error: identical subclusters for p=%d j=%d", p, j)
+}
+
+// FractionFor returns the fraction with which processor p references
+// module j.
+func (h *HierarchyNM) FractionFor(p, j int) (float64, error) {
+	lvl, err := h.DistanceLevel(p, j)
+	if err != nil {
+		return 0, err
+	}
+	return h.fractions[lvl], nil
+}
+
+// ProbVector returns processor p's length-M destination distribution.
+func (h *HierarchyNM) ProbVector(p int) ([]float64, error) {
+	if p < 0 || p >= h.nProc {
+		return nil, fmt.Errorf("%w: processor %d out of range [0,%d)", ErrBadShape, p, h.nProc)
+	}
+	v := make([]float64, h.nMem)
+	for j := 0; j < h.nMem; j++ {
+		lvl, err := h.DistanceLevel(p, j)
+		if err != nil {
+			return nil, err
+		}
+		v[j] = h.fractions[lvl]
+	}
+	return v, nil
+}
+
+// String describes the model compactly.
+func (h *HierarchyNM) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hrm.HierarchyNM{N=%d, M=%d, levels=%v, k'=%d, m=[", h.nProc, h.nMem, h.ks, h.kPrime)
+	for i, m := range h.fractions {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%.6g", m)
+	}
+	b.WriteString("]}")
+	return b.String()
+}

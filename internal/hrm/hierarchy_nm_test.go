@@ -1,0 +1,290 @@
+package hrm
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewNMValidation(t *testing.T) {
+	tests := []struct {
+		name      string
+		ks        []int
+		kPrime    int
+		fractions []float64
+	}{
+		{"no levels", nil, 2, []float64{1}},
+		{"bad kPrime", []int{4, 2}, 0, []float64{0.5, 0.1}},
+		{"bad branching", []int{4, 0}, 2, []float64{0.5, 0.1}},
+		{"wrong fraction count", []int{4, 2}, 2, []float64{0.5}},
+		{"negative fraction", []int{4, 2}, 2, []float64{-0.5, 0.3}},
+		{"not normalized", []int{4, 2}, 2, []float64{0.5, 0.5}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewNM(tt.ks, tt.kPrime, tt.fractions); err == nil {
+				t.Errorf("NewNM(%v,%d,%v) succeeded, want error", tt.ks, tt.kPrime, tt.fractions)
+			}
+		})
+	}
+}
+
+func TestNMLevelCountsThreeLevel(t *testing.T) {
+	// Paper example: N = k1·k2·k3, M = k1·k2·k3'. A processor has k3'
+	// favorites (m_0), (k2−1)·k3' same-cluster modules (m_1), and
+	// (k1−1)·k2·k3' remote modules (m_2). Symmetrically for processors
+	// referencing a module.
+	mem, proc := nmLevelCounts([]int{2, 3, 4}, 5)
+	wantMem := []int{5, 10, 15} // 5, (3−1)·5, (2−1)·3·5
+	wantProc := []int{4, 8, 12} // 4, (3−1)·4, (2−1)·3·4
+	for i := range wantMem {
+		if mem[i] != wantMem[i] {
+			t.Errorf("M_%d = %d, want %d", i, mem[i], wantMem[i])
+		}
+		if proc[i] != wantProc[i] {
+			t.Errorf("P_%d = %d, want %d", i, proc[i], wantProc[i])
+		}
+	}
+	// Totals: Σ M_i = M, Σ P_i = N.
+	sumM, sumP := 0, 0
+	for i := range mem {
+		sumM += mem[i]
+		sumP += proc[i]
+	}
+	if sumM != 2*3*5 {
+		t.Errorf("Σ M_i = %d, want 30", sumM)
+	}
+	if sumP != 2*3*4 {
+		t.Errorf("Σ P_i = %d, want 24", sumP)
+	}
+}
+
+func TestNMUniformMatchesClosedForm(t *testing.T) {
+	// Uniform N×M: X = 1 − (1 − r/M)^N.
+	for _, tc := range []struct{ n, m int }{{8, 4}, {8, 16}, {12, 12}} {
+		h, err := UniformNM(tc.n, tc.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.NProcessors() != tc.n || h.MModules() != tc.m {
+			t.Fatalf("UniformNM(%d,%d): N=%d M=%d", tc.n, tc.m, h.NProcessors(), h.MModules())
+		}
+		for _, r := range []float64{0.3, 1.0} {
+			x, err := h.X(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := 1 - math.Pow(1-r/float64(tc.m), float64(tc.n))
+			if math.Abs(x-want) > 1e-12 {
+				t.Errorf("UniformNM(%d,%d).X(%v) = %v, want %v", tc.n, tc.m, r, x, want)
+			}
+		}
+	}
+	if _, err := UniformNM(0, 4); err == nil {
+		t.Error("UniformNM(0,4) should error")
+	}
+}
+
+func TestNMDegeneratesToSquareWhenSymmetric(t *testing.T) {
+	// Two-level N×M with k'_2 = k_2 and aggregates (a0+a1', a2) can't be
+	// directly compared to the N×N model (the N×N model singles out one
+	// favorite). But with every processor treating all subcluster modules
+	// as favorites, X must still match the direct per-module product.
+	h, err := NewNMFromAggregates([]int{4, 2}, 2, []float64{0.9, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const r = 0.7
+	x, err := h.X(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Direct: module 0 is referenced by its 2 subcluster processors at
+	// m_0 = 0.9/2 and the other 6 processors at m_1 = 0.1/(3·2).
+	m0, m1 := 0.9/2, 0.1/6
+	want := 1 - math.Pow(1-r*m0, 2)*math.Pow(1-r*m1, 6)
+	if math.Abs(x-want) > 1e-12 {
+		t.Errorf("X = %v, want %v", x, want)
+	}
+}
+
+func TestNMDistanceLevel(t *testing.T) {
+	// ks = [2, 2], kPrime = 3: N = 4, M = 6; subclusters
+	// {P0,P1}↔{M0,M1,M2}, {P2,P3}↔{M3,M4,M5}.
+	h, err := NewNMFromAggregates([]int{2, 2}, 3, []float64{0.8, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct{ p, j, want int }{
+		{0, 0, 0}, {0, 2, 0}, {1, 1, 0},
+		{0, 3, 1}, {1, 5, 1},
+		{2, 0, 1}, {3, 4, 0},
+	}
+	for _, tt := range tests {
+		got, err := h.DistanceLevel(tt.p, tt.j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tt.want {
+			t.Errorf("DistanceLevel(%d,%d) = %d, want %d", tt.p, tt.j, got, tt.want)
+		}
+	}
+	if _, err := h.DistanceLevel(4, 0); err == nil {
+		t.Error("out-of-range processor should error")
+	}
+	if _, err := h.DistanceLevel(0, 6); err == nil {
+		t.Error("out-of-range module should error")
+	}
+}
+
+func TestNMDistanceCountsMatchFormula(t *testing.T) {
+	h, err := NewNMFromAggregates([]int{2, 3, 2}, 3, []float64{0.5, 0.3, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMem := h.MemLevelCounts()
+	for p := 0; p < h.NProcessors(); p++ {
+		got := make([]int, h.Levels())
+		for j := 0; j < h.MModules(); j++ {
+			lvl, err := h.DistanceLevel(p, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got[lvl]++
+		}
+		for i := range wantMem {
+			if got[i] != wantMem[i] {
+				t.Fatalf("processor %d: level %d has %d modules, want %d", p, i, got[i], wantMem[i])
+			}
+		}
+	}
+	// Dual check: processors per module.
+	wantProc := h.ProcLevelCounts()
+	for j := 0; j < h.MModules(); j++ {
+		got := make([]int, h.Levels())
+		for p := 0; p < h.NProcessors(); p++ {
+			lvl, err := h.DistanceLevel(p, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got[lvl]++
+		}
+		for i := range wantProc {
+			if got[i] != wantProc[i] {
+				t.Fatalf("module %d: level %d has %d processors, want %d", j, i, got[i], wantProc[i])
+			}
+		}
+	}
+}
+
+func TestNMProbVectorSumsToOne(t *testing.T) {
+	h, err := NewNMFromAggregates([]int{3, 2}, 4, []float64{0.75, 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < h.NProcessors(); p++ {
+		v, err := h.ProbVector(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(v) != h.MModules() {
+			t.Fatalf("ProbVector length %d, want %d", len(v), h.MModules())
+		}
+		sum := 0.0
+		for _, x := range v {
+			sum += x
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("p=%d: ProbVector sums to %v", p, sum)
+		}
+	}
+	if _, err := h.ProbVector(-1); err == nil {
+		t.Error("negative processor should error")
+	}
+}
+
+func TestNMXEdgeCases(t *testing.T) {
+	h, err := UniformNM(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x, err := h.X(0); err != nil || x != 0 {
+		t.Errorf("X(0) = %v,%v want 0,nil", x, err)
+	}
+	if _, err := h.X(1.01); err == nil {
+		t.Error("r>1 should error")
+	}
+	if _, err := h.X(math.NaN()); err == nil {
+		t.Error("r=NaN should error")
+	}
+}
+
+func TestNMXMatchesDirectProductProperty(t *testing.T) {
+	f := func(k1r, k2r, kpr uint8, rRaw uint16) bool {
+		k1 := int(k1r%3) + 2
+		k2 := int(k2r%3) + 1
+		kp := int(kpr%3) + 1
+		h, err := NewNMFromAggregates([]int{k1, k2}, kp, []float64{0.7, 0.3})
+		if err != nil {
+			return false
+		}
+		r := float64(rRaw) / 65535
+		direct := 1.0
+		for p := 0; p < h.NProcessors(); p++ {
+			fr, err := h.FractionFor(p, 0)
+			if err != nil {
+				return false
+			}
+			direct *= 1 - r*fr
+		}
+		x, err := h.X(r)
+		if err != nil {
+			return false
+		}
+		return math.Abs(x-(1-direct)) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNMFromAggregatesEmptyLevelRejected(t *testing.T) {
+	// ks = [1, 4]: only one cluster, so the remote level is empty.
+	if _, err := NewNMFromAggregates([]int{1, 4}, 2, []float64{0.8, 0.2}); err == nil {
+		t.Error("nonzero aggregate on empty level should error")
+	}
+	h, err := NewNMFromAggregates([]int{1, 4}, 2, []float64{1, 0})
+	if err != nil {
+		t.Fatalf("zero aggregate on empty level: %v", err)
+	}
+	if h.NProcessors() != 4 || h.MModules() != 2 {
+		t.Errorf("N=%d M=%d, want 4, 2", h.NProcessors(), h.MModules())
+	}
+}
+
+func TestNMString(t *testing.T) {
+	h, err := NewNMFromAggregates([]int{4, 2}, 3, []float64{0.8, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := h.String()
+	for _, frag := range []string{"N=8", "M=12", "k'=3"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestNMAccessorsReturnCopies(t *testing.T) {
+	h, err := NewNMFromAggregates([]int{4, 2}, 3, []float64{0.8, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Fractions()[0] = 99
+	h.MemLevelCounts()[0] = 99
+	h.ProcLevelCounts()[0] = 99
+	if h.Fractions()[0] == 99 || h.MemLevelCounts()[0] == 99 || h.ProcLevelCounts()[0] == 99 {
+		t.Error("accessors must return defensive copies")
+	}
+}

@@ -1,0 +1,476 @@
+package hrm
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustTwoLevelPaper(t *testing.T, n int) *Hierarchy {
+	t.Helper()
+	h, err := TwoLevelPaper(n, 4, 0.6, 0.3, 0.1)
+	if err != nil {
+		t.Fatalf("TwoLevelPaper(%d): %v", n, err)
+	}
+	return h
+}
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name      string
+		ks        []int
+		fractions []float64
+	}{
+		{"no levels", nil, []float64{1}},
+		{"zero branching", []int{4, 0}, []float64{0.5, 0.25, 0.1}},
+		{"negative branching", []int{-2}, []float64{0.5, 0.5}},
+		{"wrong fraction count", []int{4, 2}, []float64{0.5, 0.5}},
+		{"negative fraction", []int{2}, []float64{-0.1, 1.1}},
+		{"fraction above one", []int{2}, []float64{1.5, -0.5}},
+		{"nan fraction", []int{2}, []float64{math.NaN(), 0.5}},
+		{"not normalized", []int{4, 2}, []float64{0.5, 0.5, 0.5}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := New(tt.ks, tt.fractions); err == nil {
+				t.Errorf("New(%v, %v) succeeded, want error", tt.ks, tt.fractions)
+			}
+		})
+	}
+}
+
+func TestLevelCountsThreeLevelExample(t *testing.T) {
+	// Paper example: N = k1·k2·k3 gives N_0 = 1, N_1 = k3−1,
+	// N_2 = (k2−1)·k3, N_3 = (k1−1)·k2·k3.
+	got := levelCounts([]int{2, 3, 4})
+	want := []int{1, 3, 8, 12} // 1, 4−1, (3−1)·4, (2−1)·3·4
+	if len(got) != len(want) {
+		t.Fatalf("levelCounts length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("N_%d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	// Sanity: 1 + Σ N_i = N.
+	sum := 0
+	for _, c := range got {
+		sum += c
+	}
+	if sum != 24 {
+		t.Errorf("Σ N_i = %d, want N = 24", sum)
+	}
+}
+
+func TestLevelCountsSumToN(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		ks := []int{int(a%5) + 1, int(b%5) + 1, int(c%5) + 1}
+		n := ks[0] * ks[1] * ks[2]
+		sum := 0
+		for _, v := range levelCounts(ks) {
+			sum += v
+		}
+		return sum == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTwoLevelPaperFractions(t *testing.T) {
+	// N=8, 4 clusters of 2: N_1 = 1, N_2 = 6,
+	// so m = [0.6, 0.3, 0.1/6].
+	h := mustTwoLevelPaper(t, 8)
+	want := []float64{0.6, 0.3, 0.1 / 6}
+	got := h.Fractions()
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("m_%d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if !h.IsProper() {
+		t.Error("paper workload should satisfy m_0 > m_1 > m_2")
+	}
+	if h.N() != 8 {
+		t.Errorf("N = %d, want 8", h.N())
+	}
+	if h.Levels() != 2 {
+		t.Errorf("Levels = %d, want 2", h.Levels())
+	}
+}
+
+func TestTwoLevelPaperRejectsBadSplit(t *testing.T) {
+	if _, err := TwoLevelPaper(10, 4, 0.6, 0.3, 0.1); err == nil {
+		t.Error("n=10 with 4 clusters should fail")
+	}
+	if _, err := TwoLevelPaper(8, 0, 0.6, 0.3, 0.1); err == nil {
+		t.Error("0 clusters should fail")
+	}
+}
+
+func TestXPaperValues(t *testing.T) {
+	// Hand-verified values from reproducing Table II/III (N·X at B=N
+	// equals the crossbar row of the paper). Tolerance 0.02 absorbs the
+	// paper's own last-digit rounding (e.g. it prints 5.98 where the
+	// double-precision value is 5.9749).
+	tests := []struct {
+		n    int
+		r    float64
+		hier bool
+		want float64 // N·X, paper crossbar row
+	}{
+		{8, 1.0, true, 5.98},
+		{8, 1.0, false, 5.25},
+		{12, 1.0, true, 8.86},
+		{12, 1.0, false, 7.78},
+		{16, 1.0, true, 11.78},
+		{16, 1.0, false, 10.30},
+		{8, 0.5, true, 3.47},
+		{8, 0.5, false, 3.23},
+		{12, 0.5, true, 5.16},
+		{12, 0.5, false, 4.80},
+		{16, 0.5, true, 6.87},
+		{16, 0.5, false, 6.37},
+		{32, 1.0, true, 23.48},
+		{32, 1.0, false, 20.41},
+		{32, 0.5, true, 13.69},
+		{32, 0.5, false, 12.67},
+	}
+	for _, tt := range tests {
+		var h *Hierarchy
+		var err error
+		if tt.hier {
+			h = mustTwoLevelPaper(t, tt.n)
+		} else {
+			h, err = Uniform(tt.n)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		x, err := h.X(tt.r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := float64(tt.n) * x; math.Abs(got-tt.want) > 0.02 {
+			t.Errorf("N=%d r=%v hier=%v: N·X = %.4f, want %.2f", tt.n, tt.r, tt.hier, got, tt.want)
+		}
+	}
+}
+
+func TestXEdgeCases(t *testing.T) {
+	h := mustTwoLevelPaper(t, 8)
+	if x, err := h.X(0); err != nil || x != 0 {
+		t.Errorf("X(0) = %v, %v; want 0, nil", x, err)
+	}
+	for _, r := range []float64{-0.1, 1.1, math.NaN()} {
+		if _, err := h.X(r); err == nil {
+			t.Errorf("X(%v) should error", r)
+		}
+	}
+	// Degenerate: one processor referencing itself always.
+	single, err := New([]int{1}, []float64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x, err := single.X(1); err != nil || x != 1 {
+		t.Errorf("single-processor X(1) = %v, %v; want 1, nil", x, err)
+	}
+}
+
+func TestXMonotoneInR(t *testing.T) {
+	h := mustTwoLevelPaper(t, 16)
+	prev := -1.0
+	for r := 0.0; r <= 1.0; r += 0.05 {
+		x, err := h.X(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if x < prev {
+			t.Fatalf("X not monotone in r at r=%v: %v < %v", r, x, prev)
+		}
+		if x < 0 || x > 1 {
+			t.Fatalf("X(%v) = %v outside [0,1]", r, x)
+		}
+		prev = x
+	}
+}
+
+func TestUniformXClosedForm(t *testing.T) {
+	// Uniform: X = 1 − (1 − r/N)^N.
+	for _, n := range []int{2, 8, 16, 32} {
+		for _, r := range []float64{0.25, 0.5, 1.0} {
+			h, err := Uniform(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			x, err := h.X(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := 1 - math.Pow(1-r/float64(n), float64(n))
+			if math.Abs(x-want) > 1e-12 {
+				t.Errorf("Uniform(%d).X(%v) = %v, want %v", n, r, x, want)
+			}
+		}
+	}
+	if _, err := Uniform(0); err == nil {
+		t.Error("Uniform(0) should error")
+	}
+}
+
+func TestDasBhuyanSpecialCases(t *testing.T) {
+	// q = 1/N reduces to uniform.
+	n := 8
+	db, err := DasBhuyan(n, 1/float64(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := Uniform(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xd, _ := db.X(0.7)
+	xu, _ := u.X(0.7)
+	if math.Abs(xd-xu) > 1e-12 {
+		t.Errorf("DasBhuyan(1/N) X = %v, uniform X = %v", xd, xu)
+	}
+	// q = 1: every processor only ever requests its own module; X = r.
+	db1, err := DasBhuyan(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := db1.X(0.35)
+	if math.Abs(x-0.35) > 1e-12 {
+		t.Errorf("DasBhuyan(q=1).X(0.35) = %v, want 0.35", x)
+	}
+	if _, err := DasBhuyan(1, 0.5); err == nil {
+		t.Error("DasBhuyan(n=1) should error")
+	}
+	if _, err := DasBhuyan(8, 1.5); err == nil {
+		t.Error("DasBhuyan(q=1.5) should error")
+	}
+}
+
+func TestDistanceLevelTwoLevel(t *testing.T) {
+	// N=8, 4 clusters of 2. Processor 0's favorite is module 0; module 1
+	// is in the same cluster; modules 2..7 are remote.
+	h := mustTwoLevelPaper(t, 8)
+	tests := []struct {
+		p, j, want int
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{1, 0, 1},
+		{0, 2, 2},
+		{0, 7, 2},
+		{6, 7, 1},
+		{6, 6, 0},
+		{7, 0, 2},
+	}
+	for _, tt := range tests {
+		got, err := h.DistanceLevel(tt.p, tt.j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tt.want {
+			t.Errorf("DistanceLevel(%d,%d) = %d, want %d", tt.p, tt.j, got, tt.want)
+		}
+	}
+	if _, err := h.DistanceLevel(-1, 0); err == nil {
+		t.Error("negative index should error")
+	}
+	if _, err := h.DistanceLevel(0, 8); err == nil {
+		t.Error("out-of-range module should error")
+	}
+}
+
+func TestDistanceLevelCountsMatchFormula(t *testing.T) {
+	// For every processor, the number of modules at each distance level
+	// must equal N_i from equation (1).
+	h, err := New([]int{2, 3, 2}, mustFractions(t, []int{2, 3, 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := h.LevelCounts()
+	for p := 0; p < h.N(); p++ {
+		got := make([]int, h.Levels()+1)
+		for j := 0; j < h.N(); j++ {
+			lvl, err := h.DistanceLevel(p, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got[lvl]++
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("processor %d: level %d has %d modules, want %d", p, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// mustFractions builds an arbitrary proper fraction vector for shape ks.
+func mustFractions(t *testing.T, ks []int) []float64 {
+	t.Helper()
+	counts := levelCounts(ks)
+	// Aggregate weights decreasing geometrically, then normalized.
+	aggs := make([]float64, len(counts))
+	total := 0.0
+	w := 1.0
+	for i := range aggs {
+		if counts[i] == 0 {
+			continue
+		}
+		aggs[i] = w
+		total += w
+		w /= 2
+	}
+	fr := make([]float64, len(counts))
+	for i := range aggs {
+		if counts[i] > 0 {
+			fr[i] = aggs[i] / total / float64(counts[i])
+		}
+	}
+	return fr
+}
+
+func TestProbVectorSumsToOne(t *testing.T) {
+	for _, n := range []int{8, 12, 16} {
+		h := mustTwoLevelPaper(t, n)
+		for p := 0; p < n; p++ {
+			v, err := h.ProbVector(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum := 0.0
+			for _, x := range v {
+				sum += x
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Errorf("N=%d p=%d: ProbVector sums to %v", n, p, sum)
+			}
+			if math.Abs(v[p]-0.6) > 1e-12 {
+				t.Errorf("N=%d p=%d: favorite fraction %v, want 0.6", n, p, v[p])
+			}
+		}
+	}
+	h := mustTwoLevelPaper(t, 8)
+	if _, err := h.ProbVector(8); err == nil {
+		t.Error("ProbVector out of range should error")
+	}
+}
+
+func TestFractionForSymmetryTwoLevel(t *testing.T) {
+	// In an N×N hierarchy distance is symmetric, so fractions are too.
+	h := mustTwoLevelPaper(t, 16)
+	for p := 0; p < 16; p++ {
+		for j := 0; j < 16; j++ {
+			a, err := h.FractionFor(p, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := h.FractionFor(j, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Fatalf("FractionFor(%d,%d)=%v != FractionFor(%d,%d)=%v", p, j, a, j, p, b)
+			}
+		}
+	}
+}
+
+func TestNewFromAggregatesEmptyLevel(t *testing.T) {
+	// ks = [4, 1]: each cluster has one processor, so level 1
+	// (same-cluster others) is empty; its aggregate must be zero.
+	if _, err := NewFromAggregates([]int{4, 1}, []float64{0.6, 0.3, 0.1}); err == nil {
+		t.Error("nonzero aggregate on empty level should error")
+	}
+	h, err := NewFromAggregates([]int{4, 1}, []float64{0.7, 0, 0.3})
+	if err != nil {
+		t.Fatalf("empty level with zero aggregate: %v", err)
+	}
+	if h.N() != 4 {
+		t.Errorf("N = %d, want 4", h.N())
+	}
+}
+
+func TestStringDescription(t *testing.T) {
+	h := mustTwoLevelPaper(t, 8)
+	s := h.String()
+	for _, frag := range []string{"N=8", "[4 2]", "0.6"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestAccessorsReturnCopies(t *testing.T) {
+	h := mustTwoLevelPaper(t, 8)
+	h.Fractions()[0] = 99
+	h.Shape()[0] = 99
+	h.LevelCounts()[0] = 99
+	if h.Fractions()[0] == 99 || h.Shape()[0] == 99 || h.LevelCounts()[0] == 99 {
+		t.Error("accessors must return defensive copies")
+	}
+}
+
+func TestThreeLevelHierarchyX(t *testing.T) {
+	// A 3-level hierarchy with N = 2·2·2 = 8 and aggregates
+	// (0.5, 0.25, 0.15, 0.1). Verify X against a direct per-processor
+	// computation: X = 1 − Π_j (1 − r·m(p,j)) for any fixed module,
+	// using the fractions of the processors referencing it.
+	h, err := NewFromAggregates([]int{2, 2, 2}, []float64{0.5, 0.25, 0.15, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const r = 0.8
+	want := 1.0
+	for p := 0; p < h.N(); p++ {
+		f, err := h.FractionFor(p, 3) // arbitrary module
+		if err != nil {
+			t.Fatal(err)
+		}
+		want *= 1 - r*f
+	}
+	want = 1 - want
+	got, err := h.X(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("X = %v, want %v (direct product)", got, want)
+	}
+}
+
+func TestXPropertyMatchesDirectProduct(t *testing.T) {
+	// Property: equation (2) equals the direct product over processors
+	// for random two-level shapes and random rates.
+	f := func(c, s uint8, rRaw uint16) bool {
+		clusters := int(c%4) + 2
+		size := int(s%4) + 2
+		h, err := TwoLevelPaper(clusters*size, clusters, 0.6, 0.3, 0.1)
+		if err != nil {
+			return false
+		}
+		r := float64(rRaw) / 65535
+		direct := 1.0
+		for p := 0; p < h.N(); p++ {
+			fr, err := h.FractionFor(p, 0)
+			if err != nil {
+				return false
+			}
+			direct *= 1 - r*fr
+		}
+		direct = 1 - direct
+		x, err := h.X(r)
+		if err != nil {
+			return false
+		}
+		return math.Abs(x-direct) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

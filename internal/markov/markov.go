@@ -1,0 +1,378 @@
+// Package markov computes the exact steady state of small multiple bus
+// multiprocessors in the resubmission regime, where blocked processors
+// hold their request and retry — the regime the paper's assumption 5
+// idealizes away and its references [8], [11], [12] attack with Markov
+// and semi-Markov models.
+//
+// The chain state is the vector of held requests at the start of a cycle
+// (one entry per processor: the module it is retrying, or idle). Each
+// cycle, idle processors draw fresh requests (rate r, destinations from
+// the request model); the two-stage arbitration then serves at most one
+// request per module and respects per-group bus budgets; losers carry
+// their request into the next state. The transition matrix is built by
+// exhaustive enumeration of draws, bus allocations, and stage-1 winner
+// choices, and the stationary distribution is found by power iteration.
+//
+// Randomized arbitration is assumed throughout: stage-1 winners are
+// uniform among requesters, and when a group's requests exceed its buses
+// the served subset is uniform among the C(R, B) possibilities. This
+// matches the simulator's PolicyRandom stage 1; its stage 2 uses
+// round-robin rather than uniform subsets, which has the same
+// throughput by symmetry.
+//
+// The state space is (M+1)^N, and enumeration multiplies further, so the
+// package enforces MaxStates; it is a verification oracle for N, M ≤ 5,
+// not a scalable solver. Only independent-group topologies (full,
+// single, partial) are supported — the K-class two-step procedure's
+// served set depends on intra-class selection order, which has no
+// clean uniform-subset formulation.
+package markov
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"multibus/internal/analytic"
+	"multibus/internal/numerics"
+	"multibus/internal/topology"
+)
+
+// MaxStates bounds the (M+1)^N state space.
+const MaxStates = 20000
+
+// Errors returned by the solver.
+var (
+	ErrTooLarge    = errors.New("markov: state space exceeds MaxStates")
+	ErrBadInput    = errors.New("markov: invalid input")
+	ErrUnsupported = errors.New("markov: only independent-group topologies are supported")
+	ErrNoConverge  = errors.New("markov: power iteration did not converge")
+)
+
+// ProbMatrix supplies per-processor destination probabilities; identical
+// to the exact package's interface so hrm models plug in the same way.
+type ProbMatrix interface {
+	NProcessors() int
+	MModules() int
+	Prob(p, j int) float64
+}
+
+// Result is the exact steady state of the resubmission regime.
+type Result struct {
+	// States is the size of the chain's state space, (M+1)^N.
+	States int
+	// Throughput is the stationary expected requests served per cycle.
+	Throughput float64
+	// MeanPending is the stationary expected number of processors
+	// holding a blocked request at a cycle start.
+	MeanPending float64
+	// MeanWaitCycles is the mean cycles a request waits before service
+	// (0 when served in its issue cycle), by Little's law:
+	// MeanPending / Throughput.
+	MeanWaitCycles float64
+	// Iterations the power iteration took.
+	Iterations int
+}
+
+// Solve builds and solves the resubmission chain for nw under the
+// request model pm at fresh-request rate r.
+func Solve(nw *topology.Network, pm ProbMatrix, r float64) (*Result, error) {
+	if nw == nil || pm == nil {
+		return nil, fmt.Errorf("%w: nil network or matrix", ErrBadInput)
+	}
+	n, m := pm.NProcessors(), pm.MModules()
+	if n != nw.N() || m != nw.M() {
+		return nil, fmt.Errorf("%w: matrix %d×%d vs network %d×%d", ErrBadInput, n, m, nw.N(), nw.M())
+	}
+	if r < 0 || r > 1 || math.IsNaN(r) {
+		return nil, fmt.Errorf("%w: r=%v", ErrBadInput, r)
+	}
+	s, err := analytic.Classify(nw)
+	if err != nil {
+		return nil, err
+	}
+	if s.Kind != analytic.StructureIndependentGroups {
+		return nil, fmt.Errorf("%w: %v", ErrUnsupported, s.Kind)
+	}
+	states := 1
+	for p := 0; p < n; p++ {
+		states *= m + 1
+		if states > MaxStates {
+			return nil, fmt.Errorf("%w: (M+1)^N = (%d+1)^%d", ErrTooLarge, m, n)
+		}
+	}
+
+	ch := &chain{
+		n: n, m: m, r: r,
+		pm:       pm,
+		groupOf:  s.ModuleGroups,
+		buses:    make([]int, len(s.Groups)),
+		states:   states,
+		rows:     make([]map[int]float64, states),
+		reward:   make([]float64, states),
+		requests: make([]int, n),
+	}
+	for q, g := range s.Groups {
+		ch.buses[q] = g.Buses
+	}
+	for st := 0; st < states; st++ {
+		ch.buildRow(st)
+	}
+	return ch.solve()
+}
+
+// chain holds the transition construction state.
+type chain struct {
+	n, m    int
+	r       float64
+	pm      ProbMatrix
+	groupOf []int
+	buses   []int
+
+	states int
+	rows   []map[int]float64 // sparse transition rows
+	reward []float64         // expected served per cycle from each state
+
+	requests []int // scratch: current full request vector
+	curState int
+}
+
+// decode writes state st's pending vector into out (-1 = idle).
+func (c *chain) decode(st int, out []int) {
+	for p := 0; p < c.n; p++ {
+		out[p] = st%(c.m+1) - 1
+		st /= c.m + 1
+	}
+}
+
+// encode converts a pending vector into a state index.
+func (c *chain) encode(pending []int) int {
+	st := 0
+	for p := c.n - 1; p >= 0; p-- {
+		st = st*(c.m+1) + pending[p] + 1
+	}
+	return st
+}
+
+// buildRow enumerates all transitions out of state st.
+func (c *chain) buildRow(st int) {
+	c.rows[st] = make(map[int]float64)
+	c.curState = st
+	pending := make([]int, c.n)
+	c.decode(st, pending)
+	copy(c.requests, pending)
+	c.enumerateDraws(0, pending, 1)
+}
+
+// enumerateDraws fills in fresh requests for idle processors, then hands
+// each complete request vector to the arbitration enumeration.
+func (c *chain) enumerateDraws(p int, pending []int, prob float64) {
+	if prob == 0 {
+		return
+	}
+	if p == c.n {
+		c.enumerateService(prob)
+		return
+	}
+	if pending[p] != -1 {
+		c.requests[p] = pending[p]
+		c.enumerateDraws(p+1, pending, prob)
+		return
+	}
+	// Idle: no request with probability 1−r …
+	c.requests[p] = -1
+	c.enumerateDraws(p+1, pending, prob*(1-c.r))
+	// … or module j with probability r·m_pj.
+	if c.r > 0 {
+		for j := 0; j < c.m; j++ {
+			pj := c.pm.Prob(p, j)
+			if pj == 0 {
+				continue
+			}
+			c.requests[p] = j
+			c.enumerateDraws(p+1, pending, prob*c.r*pj)
+		}
+	}
+	c.requests[p] = -1
+}
+
+// enumerateService resolves arbitration for the current request vector:
+// per group, a uniform subset of requested modules within the bus
+// budget; per served module, a uniform stage-1 winner.
+func (c *chain) enumerateService(prob float64) {
+	// Requesters per module.
+	reqsPerModule := make([][]int, c.m)
+	for p := 0; p < c.n; p++ {
+		if j := c.requests[p]; j >= 0 {
+			reqsPerModule[j] = append(reqsPerModule[j], p)
+		}
+	}
+	// Requested modules per group.
+	perGroup := make(map[int][]int)
+	for j := 0; j < c.m; j++ {
+		if len(reqsPerModule[j]) == 0 {
+			continue
+		}
+		g := c.groupOf[j]
+		if g < 0 {
+			continue // stranded: never served; requester keeps holding
+		}
+		perGroup[g] = append(perGroup[g], j)
+	}
+	// Enumerate, group by group, the served-module subsets.
+	groups := make([]int, 0, len(perGroup))
+	for g := range perGroup {
+		groups = append(groups, g)
+	}
+	// Deterministic order for reproducibility.
+	sortInts(groups)
+	served := make([]int, 0, c.m)
+	c.enumerateGroupSubsets(groups, 0, perGroup, served, prob, reqsPerModule)
+}
+
+func (c *chain) enumerateGroupSubsets(groups []int, gi int, perGroup map[int][]int,
+	served []int, prob float64, reqsPerModule [][]int) {
+	if gi == len(groups) {
+		c.enumerateWinners(served, 0, prob, reqsPerModule, nil)
+		return
+	}
+	g := groups[gi]
+	mods := perGroup[g]
+	budget := c.buses[g]
+	if len(mods) <= budget {
+		c.enumerateGroupSubsets(groups, gi+1, perGroup, append(served, mods...), prob, reqsPerModule)
+		return
+	}
+	// Uniform over the C(len, budget) subsets.
+	total := numerics.Choose(len(mods), budget)
+	sub := make([]int, budget)
+	var rec func(start, k int)
+	rec = func(start, k int) {
+		if k == budget {
+			chosen := make([]int, budget)
+			for i, idx := range sub {
+				chosen[i] = mods[idx]
+			}
+			c.enumerateGroupSubsets(groups, gi+1, perGroup,
+				append(served, chosen...), prob/total, reqsPerModule)
+			return
+		}
+		for i := start; i <= len(mods)-(budget-k); i++ {
+			sub[k] = i
+			rec(i+1, k+1)
+		}
+	}
+	rec(0, 0)
+}
+
+// enumerateWinners picks, for each served module, the uniform stage-1
+// winner, then records the resulting transition.
+func (c *chain) enumerateWinners(served []int, si int, prob float64,
+	reqsPerModule [][]int, winners []int) {
+	if si == len(served) {
+		c.record(served, winners, prob)
+		return
+	}
+	j := served[si]
+	reqs := reqsPerModule[j]
+	for _, w := range reqs {
+		c.enumerateWinners(served, si+1, prob/float64(len(reqs)), reqsPerModule, append(winners, w))
+	}
+}
+
+// record accumulates one fully resolved outcome into the row.
+func (c *chain) record(served, winners []int, prob float64) {
+	next := make([]int, c.n)
+	for p := 0; p < c.n; p++ {
+		next[p] = c.requests[p] // everyone holding or requesting carries over
+	}
+	for _, w := range winners {
+		next[w] = -1 // served processors go idle
+	}
+	// Requests to stranded modules are dropped, as in the simulator.
+	for p := 0; p < c.n; p++ {
+		if j := next[p]; j >= 0 && c.groupOf[j] < 0 {
+			next[p] = -1
+		}
+	}
+	ns := c.encode(next)
+	c.rows[c.curState][ns] += prob
+	c.reward[c.curState] += prob * float64(len(winners))
+}
+
+// solve runs power iteration to the stationary distribution and derives
+// the result metrics.
+func (c *chain) solve() (*Result, error) {
+	pi := make([]float64, c.states)
+	pi[c.encode(allIdle(c.n))] = 1
+	nextPi := make([]float64, c.states)
+	const maxIter = 200000
+	for it := 1; it <= maxIter; it++ {
+		for i := range nextPi {
+			nextPi[i] = 0
+		}
+		for st, row := range c.rows {
+			p := pi[st]
+			if p == 0 {
+				continue
+			}
+			for ns, tp := range row {
+				nextPi[ns] += p * tp
+			}
+		}
+		delta := 0.0
+		for i := range pi {
+			delta += math.Abs(nextPi[i] - pi[i])
+		}
+		pi, nextPi = nextPi, pi
+		if delta < 1e-13 {
+			return c.finish(pi, it)
+		}
+	}
+	return nil, ErrNoConverge
+}
+
+func (c *chain) finish(pi []float64, iters int) (*Result, error) {
+	var throughput, pendingMean numerics.KahanSum
+	pending := make([]int, c.n)
+	for st, p := range pi {
+		if p == 0 {
+			continue
+		}
+		throughput.Add(p * c.reward[st])
+		c.decode(st, pending)
+		cnt := 0
+		for _, v := range pending {
+			if v != -1 {
+				cnt++
+			}
+		}
+		pendingMean.Add(p * float64(cnt))
+	}
+	res := &Result{
+		States:      c.states,
+		Throughput:  throughput.Value(),
+		MeanPending: pendingMean.Value(),
+		Iterations:  iters,
+	}
+	if res.Throughput > 0 {
+		res.MeanWaitCycles = res.MeanPending / res.Throughput
+	}
+	return res, nil
+}
+
+func allIdle(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = -1
+	}
+	return out
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j-1] > xs[j]; j-- {
+			xs[j-1], xs[j] = xs[j], xs[j-1]
+		}
+	}
+}

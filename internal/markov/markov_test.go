@@ -1,0 +1,238 @@
+package markov
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"multibus/internal/analytic"
+	"multibus/internal/exact"
+	"multibus/internal/hrm"
+	"multibus/internal/sim"
+	"multibus/internal/topology"
+	"multibus/internal/workload"
+)
+
+func uniformPM(t *testing.T, n, m int) ProbMatrix {
+	t.Helper()
+	h, err := hrm.UniformNM(n, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := exact.FromProbVectors(h, n, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pm
+}
+
+func clusteredPM(t *testing.T, n int) (ProbMatrix, *hrm.Hierarchy) {
+	t.Helper()
+	h, err := hrm.TwoLevelPaper(n, 2, 0.6, 0.3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := exact.FromProbVectors(h, n, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pm, h
+}
+
+func TestSolveValidation(t *testing.T) {
+	nw, err := topology.Full(4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := uniformPM(t, 4, 4)
+	if _, err := Solve(nil, pm, 0.5); err == nil {
+		t.Error("nil network should error")
+	}
+	if _, err := Solve(nw, nil, 0.5); err == nil {
+		t.Error("nil matrix should error")
+	}
+	if _, err := Solve(nw, pm, -0.1); err == nil {
+		t.Error("negative r should error")
+	}
+	if _, err := Solve(nw, pm, 1.5); err == nil {
+		t.Error("r>1 should error")
+	}
+	small := uniformPM(t, 2, 2)
+	if _, err := Solve(nw, small, 0.5); err == nil {
+		t.Error("dimension mismatch should error")
+	}
+	// K-class topologies are unsupported.
+	kc, err := topology.EvenKClasses(4, 4, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Solve(kc, pm, 0.5); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("K-class: %v, want ErrUnsupported", err)
+	}
+	// Oversized state spaces rejected: (8+1)^8 ≫ MaxStates.
+	big, err := topology.Full(8, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigPM := uniformPM(t, 8, 8)
+	if _, err := Solve(big, bigPM, 0.5); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("big: %v, want ErrTooLarge", err)
+	}
+}
+
+func TestSolveSaturatedSingleBusThroughputIsOne(t *testing.T) {
+	// N=M=2, B=1, r=1: some module is requested every cycle, so exactly
+	// one request is served per cycle in steady state.
+	nw, err := topology.Full(2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := uniformPM(t, 2, 2)
+	res, err := Solve(nw, pm, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.States != 9 {
+		t.Errorf("states = %d, want 9", res.States)
+	}
+	if math.Abs(res.Throughput-1) > 1e-10 {
+		t.Errorf("throughput %.6f, want 1", res.Throughput)
+	}
+	if res.MeanWaitCycles <= 0 {
+		t.Errorf("wait %.4f, want > 0 under saturation", res.MeanWaitCycles)
+	}
+}
+
+func TestSolveZeroRate(t *testing.T) {
+	nw, err := topology.Full(3, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := uniformPM(t, 3, 3)
+	res, err := Solve(nw, pm, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput != 0 || res.MeanPending != 0 || res.MeanWaitCycles != 0 {
+		t.Errorf("idle chain result %+v", res)
+	}
+}
+
+func TestSolveNoContentionMatchesFreshRate(t *testing.T) {
+	// B = M = N with distinct favorite modules and q=1: each processor
+	// only ever requests its own module — never blocked, so throughput is
+	// N·r and nothing pends.
+	nw, err := topology.Full(3, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := hrm.DasBhuyan(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := exact.FromProbVectors(h, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(nw, pm, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Throughput-3*0.6) > 1e-9 {
+		t.Errorf("throughput %.6f, want 1.8", res.Throughput)
+	}
+	if res.MeanPending > 1e-9 {
+		t.Errorf("pending %.6f, want 0", res.MeanPending)
+	}
+}
+
+func TestSolveMatchesResubmitSimulator(t *testing.T) {
+	// The chain is the exact law of the simulated protocol (up to the
+	// stage-2 subset-vs-round-robin detail, which is throughput-neutral
+	// by symmetry); agreement must be tight.
+	cases := []struct {
+		name  string
+		build func() (*topology.Network, error)
+		r     float64
+	}{
+		{"full-B2-r07", func() (*topology.Network, error) { return topology.Full(4, 4, 2) }, 0.7},
+		{"full-B2-r10", func() (*topology.Network, error) { return topology.Full(4, 4, 2) }, 1.0},
+		{"single-B2", func() (*topology.Network, error) { return topology.SingleBus(4, 4, 2) }, 0.8},
+		{"partial-g2", func() (*topology.Network, error) { return topology.PartialGroups(4, 4, 2, 2) }, 0.9},
+	}
+	pm, h := clusteredPM(t, 4)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			nw, err := tc.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Solve(nw, pm, tc.r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gen, err := workload.NewHierarchical(h, tc.r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			simRes, err := sim.Run(sim.Config{
+				Topology: nw, Workload: gen, Mode: sim.ModeResubmit,
+				Cycles: 120000, Seed: 61,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rel := math.Abs(res.Throughput-simRes.Bandwidth) / simRes.Bandwidth; rel > 0.01 {
+				t.Errorf("throughput: markov %.4f vs sim %.4f (rel %.4f)",
+					res.Throughput, simRes.Bandwidth, rel)
+			}
+			if diff := math.Abs(res.MeanWaitCycles - simRes.MeanWaitCycles); diff > 0.05 &&
+				diff > 0.05*res.MeanWaitCycles {
+				t.Errorf("wait: markov %.4f vs sim %.4f", res.MeanWaitCycles, simRes.MeanWaitCycles)
+			}
+		})
+	}
+}
+
+func TestSolveVsFixedPointApproximation(t *testing.T) {
+	// The adjusted-rate fixed point should land within ~10% of the exact
+	// chain on a small contended system.
+	nw, err := topology.Full(4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, h := clusteredPM(t, 4)
+	res, err := Solve(nw, pm, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := analytic.EstimateResubmit(nw, 4, h, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(est.Bandwidth-res.Throughput) / res.Throughput; rel > 0.10 {
+		t.Errorf("fixed point %.4f vs exact chain %.4f (rel %.3f)",
+			est.Bandwidth, res.Throughput, rel)
+	}
+}
+
+func TestSolveStrandedModulesDropped(t *testing.T) {
+	// Degraded single-bus network: requests to stranded modules are
+	// dropped rather than deadlocking the chain.
+	nw, err := topology.SingleBus(4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg, err := nw.WithoutBus(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := uniformPM(t, 4, 4)
+	res, err := Solve(deg, pm, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput <= 0 || res.Throughput > 1 {
+		t.Errorf("degraded throughput %.4f out of (0, 1]", res.Throughput)
+	}
+}

@@ -1,0 +1,177 @@
+// Package numerics provides numerically stable primitives used by the
+// analytic bandwidth models: binomial PMF/CDF evaluation, log-space
+// combinatorics, compensated summation, and truncated binomial
+// expectations of the form Σ_{i=b+1}^{n} (i−b)·Binom(n,i,p) that appear in
+// equations (4), (8), and (9) of Chen & Sheu.
+//
+// All probabilities are plain float64. The table sizes in the paper
+// (N ≤ 32) are tiny, but the package is written to stay stable for n in
+// the thousands so that sweeps far beyond the paper's range remain exact
+// to ~1e-12 relative error.
+package numerics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrInvalidProbability is returned when a probability argument lies
+// outside [0, 1].
+var ErrInvalidProbability = errors.New("numerics: probability outside [0, 1]")
+
+// ErrInvalidRange is returned when integer arguments are negative or
+// inconsistent (for example k > n for a binomial coefficient).
+var ErrInvalidRange = errors.New("numerics: invalid integer range")
+
+// LogChoose returns ln C(n, k). It returns negative infinity when k < 0 or
+// k > n, matching the convention that the corresponding binomial
+// coefficient is zero.
+func LogChoose(n, k int) float64 {
+	if k < 0 || k > n || n < 0 {
+		return math.Inf(-1)
+	}
+	if k == 0 || k == n {
+		return 0
+	}
+	// lgamma is exact enough for every n we care about and avoids
+	// overflow for large n.
+	lg := func(x float64) float64 {
+		v, _ := math.Lgamma(x)
+		return v
+	}
+	return lg(float64(n)+1) - lg(float64(k)+1) - lg(float64(n-k)+1)
+}
+
+// Choose returns C(n, k) as a float64. For n ≤ 62 the result is computed
+// exactly with integer arithmetic; beyond that it falls back to the
+// log-gamma form. Out-of-range (k < 0, k > n, n < 0) yields 0.
+func Choose(n, k int) float64 {
+	if k < 0 || k > n || n < 0 {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	if n <= 62 {
+		// Exact in uint64 for n ≤ 62 (C(62,31) < 2^63).
+		var acc uint64 = 1
+		for i := 1; i <= k; i++ {
+			acc = acc * uint64(n-k+i) / uint64(i)
+		}
+		return float64(acc)
+	}
+	return math.Exp(LogChoose(n, k))
+}
+
+// BinomialPMF returns P[X = k] for X ~ Binomial(n, p).
+// It is evaluated in log space to remain stable for extreme p.
+func BinomialPMF(n, k int, p float64) (float64, error) {
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return 0, fmt.Errorf("%w: p=%v", ErrInvalidProbability, p)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("%w: n=%d", ErrInvalidRange, n)
+	}
+	if k < 0 || k > n {
+		return 0, nil
+	}
+	switch p {
+	case 0:
+		if k == 0 {
+			return 1, nil
+		}
+		return 0, nil
+	case 1:
+		if k == n {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	logPMF := LogChoose(n, k) + float64(k)*math.Log(p) + float64(n-k)*math.Log1p(-p)
+	return math.Exp(logPMF), nil
+}
+
+// BinomialCDF returns P[X ≤ k] for X ~ Binomial(n, p), by direct stable
+// summation of the PMF (n is small in every caller; no need for the
+// regularized incomplete beta function).
+func BinomialCDF(n, k int, p float64) (float64, error) {
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return 0, fmt.Errorf("%w: p=%v", ErrInvalidProbability, p)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("%w: n=%d", ErrInvalidRange, n)
+	}
+	if k < 0 {
+		return 0, nil
+	}
+	if k >= n {
+		return 1, nil
+	}
+	var sum KahanSum
+	for i := 0; i <= k; i++ {
+		pmf, err := BinomialPMF(n, i, p)
+		if err != nil {
+			return 0, err
+		}
+		sum.Add(pmf)
+	}
+	v := sum.Value()
+	if v > 1 {
+		v = 1
+	}
+	return v, nil
+}
+
+// TruncatedExcess returns Σ_{i=b+1}^{n} (i − b) · Binom(n, i, p), the
+// expected number of requests beyond a capacity of b out of n Bernoulli(p)
+// sources. This is exactly the correction term subtracted from N·X in
+// equations (4), (8), and (9) of the paper.
+//
+// For b ≥ n the sum is empty and the result is 0. b < 0 is rejected.
+func TruncatedExcess(n, b int, p float64) (float64, error) {
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return 0, fmt.Errorf("%w: p=%v", ErrInvalidProbability, p)
+	}
+	if n < 0 || b < 0 {
+		return 0, fmt.Errorf("%w: n=%d b=%d", ErrInvalidRange, n, b)
+	}
+	if b >= n {
+		return 0, nil
+	}
+	var sum KahanSum
+	for i := b + 1; i <= n; i++ {
+		pmf, err := BinomialPMF(n, i, p)
+		if err != nil {
+			return 0, err
+		}
+		sum.Add(float64(i-b) * pmf)
+	}
+	return sum.Value(), nil
+}
+
+// ExpectedMin returns E[min(X, b)] for X ~ Binomial(n, p): the expected
+// number of the n sources that can be served by b servers. Identically
+// n·p − TruncatedExcess(n, b, p).
+func ExpectedMin(n, b int, p float64) (float64, error) {
+	excess, err := TruncatedExcess(n, b, p)
+	if err != nil {
+		return 0, err
+	}
+	return float64(n)*p - excess, nil
+}
+
+// Pow1mXN returns (1−x)^n computed via exp(n·log1p(−x)) for accuracy when
+// x is tiny and n is large. n must be ≥ 0.
+func Pow1mXN(x float64, n int) float64 {
+	if n == 0 {
+		return 1
+	}
+	if x >= 1 {
+		return 0
+	}
+	if x == 0 {
+		return 1
+	}
+	return math.Exp(float64(n) * math.Log1p(-x))
+}

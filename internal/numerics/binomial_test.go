@@ -1,0 +1,292 @@
+package numerics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	if diff <= tol {
+		return true
+	}
+	return diff <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestChooseSmallValues(t *testing.T) {
+	tests := []struct {
+		n, k int
+		want float64
+	}{
+		{0, 0, 1},
+		{1, 0, 1},
+		{1, 1, 1},
+		{4, 2, 6},
+		{8, 4, 70},
+		{8, 6, 28},
+		{8, 7, 8},
+		{12, 6, 924},
+		{16, 8, 12870},
+		{32, 16, 601080390},
+		{52, 5, 2598960},
+		{62, 31, 465428353255261088},
+	}
+	for _, tt := range tests {
+		if got := Choose(tt.n, tt.k); got != tt.want {
+			t.Errorf("Choose(%d,%d) = %v, want %v", tt.n, tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestChooseOutOfRange(t *testing.T) {
+	for _, tt := range []struct{ n, k int }{{5, -1}, {5, 6}, {-1, 0}, {-3, -2}} {
+		if got := Choose(tt.n, tt.k); got != 0 {
+			t.Errorf("Choose(%d,%d) = %v, want 0", tt.n, tt.k, got)
+		}
+	}
+}
+
+func TestChooseLargeMatchesLogForm(t *testing.T) {
+	// Above the exact-integer threshold Choose switches to log space; the
+	// two regimes must agree where they overlap.
+	for n := 50; n <= 62; n++ {
+		for k := 0; k <= n; k += 7 {
+			exact := Choose(n, k)
+			logged := math.Exp(LogChoose(n, k))
+			if !almostEqual(exact, logged, 1e-10) {
+				t.Errorf("n=%d k=%d: exact %v vs log form %v", n, k, exact, logged)
+			}
+		}
+	}
+}
+
+func TestLogChooseSymmetry(t *testing.T) {
+	f := func(n uint8, k uint8) bool {
+		nn := int(n%100) + 1
+		kk := int(k) % (nn + 1)
+		a := LogChoose(nn, kk)
+		b := LogChoose(nn, nn-kk)
+		return almostEqual(a, b, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogChoosePascal(t *testing.T) {
+	// C(n,k) = C(n-1,k-1) + C(n-1,k) in linear space.
+	for n := 2; n <= 40; n++ {
+		for k := 1; k < n; k++ {
+			lhs := math.Exp(LogChoose(n, k))
+			rhs := math.Exp(LogChoose(n-1, k-1)) + math.Exp(LogChoose(n-1, k))
+			if !almostEqual(lhs, rhs, 1e-9) {
+				t.Fatalf("Pascal identity fails at n=%d k=%d: %v vs %v", n, k, lhs, rhs)
+			}
+		}
+	}
+}
+
+func TestBinomialPMFSumsToOne(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 8, 16, 32, 100} {
+		for _, p := range []float64{0, 0.001, 0.25, 0.5, 0.6564, 0.9, 1} {
+			var sum KahanSum
+			for k := 0; k <= n; k++ {
+				v, err := BinomialPMF(n, k, p)
+				if err != nil {
+					t.Fatalf("BinomialPMF(%d,%d,%v): %v", n, k, p, err)
+				}
+				if v < 0 || v > 1 {
+					t.Fatalf("BinomialPMF(%d,%d,%v) = %v out of [0,1]", n, k, p, v)
+				}
+				sum.Add(v)
+			}
+			if !almostEqual(sum.Value(), 1, 1e-12) {
+				t.Errorf("PMF(n=%d,p=%v) sums to %v, want 1", n, p, sum.Value())
+			}
+		}
+	}
+}
+
+func TestBinomialPMFDegenerate(t *testing.T) {
+	v, err := BinomialPMF(10, 0, 0)
+	if err != nil || v != 1 {
+		t.Errorf("PMF(10,0,0) = %v,%v want 1,nil", v, err)
+	}
+	v, err = BinomialPMF(10, 10, 1)
+	if err != nil || v != 1 {
+		t.Errorf("PMF(10,10,1) = %v,%v want 1,nil", v, err)
+	}
+	v, err = BinomialPMF(10, 3, 1)
+	if err != nil || v != 0 {
+		t.Errorf("PMF(10,3,1) = %v,%v want 0,nil", v, err)
+	}
+	if _, err := BinomialPMF(10, 3, 1.5); err == nil {
+		t.Error("PMF with p=1.5 should error")
+	}
+	if _, err := BinomialPMF(10, 3, math.NaN()); err == nil {
+		t.Error("PMF with p=NaN should error")
+	}
+	if _, err := BinomialPMF(-1, 0, 0.5); err == nil {
+		t.Error("PMF with n=-1 should error")
+	}
+	// Out-of-range k is a zero, not an error.
+	if v, err := BinomialPMF(5, 9, 0.5); err != nil || v != 0 {
+		t.Errorf("PMF(5,9,0.5) = %v,%v want 0,nil", v, err)
+	}
+}
+
+func TestBinomialCDFBounds(t *testing.T) {
+	for _, n := range []int{1, 4, 16} {
+		for _, p := range []float64{0, 0.3, 0.7, 1} {
+			prev := 0.0
+			for k := 0; k <= n; k++ {
+				c, err := BinomialCDF(n, k, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if c < prev-1e-15 {
+					t.Errorf("CDF not monotone at n=%d p=%v k=%d: %v < %v", n, p, k, c, prev)
+				}
+				prev = c
+			}
+			if !almostEqual(prev, 1, 1e-12) {
+				t.Errorf("CDF(n=%d,p=%v,k=n) = %v, want 1", n, p, prev)
+			}
+		}
+	}
+	if c, err := BinomialCDF(5, -1, 0.5); err != nil || c != 0 {
+		t.Errorf("CDF(k=-1) = %v,%v want 0,nil", c, err)
+	}
+	if c, err := BinomialCDF(5, 99, 0.5); err != nil || c != 1 {
+		t.Errorf("CDF(k>n) = %v,%v want 1,nil", c, err)
+	}
+	if _, err := BinomialCDF(5, 2, -0.1); err == nil {
+		t.Error("CDF with negative p should error")
+	}
+}
+
+func TestTruncatedExcessHandComputed(t *testing.T) {
+	// The value hand-verified against the paper: N=8, B=4, X=0.746919
+	// (two-level hierarchy, r=1) gives MBW 3.97 = 8X − excess.
+	const x = 0.746919
+	excess, err := TruncatedExcess(8, 4, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbw := 8*x - excess
+	if math.Abs(mbw-3.97) > 0.005 {
+		t.Errorf("paper cross-check: MBW = %v, want ≈3.97", mbw)
+	}
+}
+
+func TestTruncatedExcessEdges(t *testing.T) {
+	// b ≥ n: empty sum.
+	for _, b := range []int{8, 9, 100} {
+		v, err := TruncatedExcess(8, b, 0.5)
+		if err != nil || v != 0 {
+			t.Errorf("TruncatedExcess(8,%d,0.5) = %v,%v want 0,nil", b, v, err)
+		}
+	}
+	// p = 1: all n request, excess is exactly n − b.
+	v, err := TruncatedExcess(10, 4, 1)
+	if err != nil || !almostEqual(v, 6, 1e-12) {
+		t.Errorf("TruncatedExcess(10,4,1) = %v,%v want 6", v, err)
+	}
+	// p = 0: nobody requests.
+	v, err = TruncatedExcess(10, 4, 0)
+	if err != nil || v != 0 {
+		t.Errorf("TruncatedExcess(10,4,0) = %v,%v want 0", v, err)
+	}
+	if _, err := TruncatedExcess(10, -1, 0.5); err == nil {
+		t.Error("negative b should error")
+	}
+	if _, err := TruncatedExcess(-2, 1, 0.5); err == nil {
+		t.Error("negative n should error")
+	}
+	if _, err := TruncatedExcess(8, 4, 2); err == nil {
+		t.Error("p=2 should error")
+	}
+}
+
+func TestTruncatedExcessMatchesDirectSum(t *testing.T) {
+	f := func(nRaw, bRaw uint8, pRaw uint16) bool {
+		n := int(nRaw%40) + 1
+		b := int(bRaw) % (n + 2)
+		p := float64(pRaw) / 65535
+		want := 0.0
+		for i := b + 1; i <= n; i++ {
+			pmf, _ := BinomialPMF(n, i, p)
+			want += float64(i-b) * pmf
+		}
+		got, err := TruncatedExcess(n, b, p)
+		return err == nil && almostEqual(got, want, 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpectedMinProperties(t *testing.T) {
+	// E[min(X,b)] ≤ min(n·p, b) and equals n·p when b ≥ n.
+	f := func(nRaw, bRaw uint8, pRaw uint16) bool {
+		n := int(nRaw%32) + 1
+		b := int(bRaw)%n + 1
+		p := float64(pRaw) / 65535
+		em, err := ExpectedMin(n, b, p)
+		if err != nil {
+			return false
+		}
+		if em < -1e-12 || em > float64(n)*p+1e-12 || em > float64(b)+1e-12 {
+			return false
+		}
+		full, err := ExpectedMin(n, n, p)
+		return err == nil && almostEqual(full, float64(n)*p, 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpectedMinMonotoneInB(t *testing.T) {
+	const n, p = 16, 0.6
+	prev := -1.0
+	for b := 1; b <= n; b++ {
+		em, err := ExpectedMin(n, b, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if em < prev-1e-12 {
+			t.Fatalf("ExpectedMin not monotone in b: b=%d gives %v < %v", b, em, prev)
+		}
+		prev = em
+	}
+}
+
+func TestPow1mXN(t *testing.T) {
+	tests := []struct {
+		x    float64
+		n    int
+		want float64
+	}{
+		{0, 10, 1},
+		{1, 10, 0},
+		{0.5, 0, 1},
+		{0.5, 2, 0.25},
+		{0.125, 8, math.Pow(0.875, 8)},
+	}
+	for _, tt := range tests {
+		if got := Pow1mXN(tt.x, tt.n); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("Pow1mXN(%v,%d) = %v, want %v", tt.x, tt.n, got, tt.want)
+		}
+	}
+	// Tiny x, huge n: compare against big-exponent identity.
+	got := Pow1mXN(1e-12, 1000000)
+	want := math.Exp(-1e-6) // (1-x)^n ≈ e^{-nx} to first order; tolerance covers the rest
+	if !almostEqual(got, want, 1e-9) {
+		t.Errorf("Pow1mXN tiny-x = %v, want ≈%v", got, want)
+	}
+}

@@ -1,0 +1,76 @@
+package numerics
+
+import (
+	"fmt"
+	"math"
+)
+
+// PoissonBinomialPMF returns the distribution of the number of successes
+// among independent Bernoulli trials with the given (possibly distinct)
+// probabilities: out[k] = P[exactly k successes]. Computed by the
+// standard O(n²) convolution DP, exact to floating-point rounding.
+//
+// The homogeneous case reduces to the binomial PMF; heterogeneous
+// probabilities arise in bandwidth analysis when modules have unequal
+// request probabilities (hot-spot traffic, popularity-aware placement).
+func PoissonBinomialPMF(probs []float64) ([]float64, error) {
+	out := make([]float64, len(probs)+1)
+	out[0] = 1
+	for i, p := range probs {
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			return nil, fmt.Errorf("%w: probs[%d]=%v", ErrInvalidProbability, i, p)
+		}
+		// Fold trial i in, descending so out[k-1] is still the old value.
+		for k := i + 1; k >= 1; k-- {
+			out[k] = out[k]*(1-p) + out[k-1]*p
+		}
+		out[0] *= 1 - p
+	}
+	return out, nil
+}
+
+// PoissonBinomialCDF returns P[successes ≤ k] for the trial
+// probabilities. k < 0 yields 0; k ≥ len(probs) yields 1.
+func PoissonBinomialCDF(probs []float64, k int) (float64, error) {
+	if k < 0 {
+		return 0, nil
+	}
+	if k >= len(probs) {
+		return 1, nil
+	}
+	pmf, err := PoissonBinomialPMF(probs)
+	if err != nil {
+		return 0, err
+	}
+	var sum KahanSum
+	for i := 0; i <= k; i++ {
+		sum.Add(pmf[i])
+	}
+	v := sum.Value()
+	if v > 1 {
+		v = 1
+	}
+	return v, nil
+}
+
+// ExpectedMinHetero returns E[min(S, b)] where S is the Poisson-binomial
+// success count of the trials — the expected served requests when b
+// servers face modules with unequal request probabilities.
+func ExpectedMinHetero(probs []float64, b int) (float64, error) {
+	if b < 0 {
+		return 0, fmt.Errorf("%w: b=%d", ErrInvalidRange, b)
+	}
+	pmf, err := PoissonBinomialPMF(probs)
+	if err != nil {
+		return 0, err
+	}
+	var sum KahanSum
+	for k, p := range pmf {
+		served := k
+		if served > b {
+			served = b
+		}
+		sum.Add(float64(served) * p)
+	}
+	return sum.Value(), nil
+}

@@ -1,0 +1,148 @@
+package numerics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPoissonBinomialHomogeneousMatchesBinomial(t *testing.T) {
+	for _, n := range []int{1, 4, 12} {
+		for _, p := range []float64{0, 0.25, 0.6564, 1} {
+			probs := make([]float64, n)
+			for i := range probs {
+				probs[i] = p
+			}
+			pmf, err := PoissonBinomialPMF(probs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := 0; k <= n; k++ {
+				want, err := BinomialPMF(n, k, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Abs(pmf[k]-want) > 1e-12 {
+					t.Errorf("n=%d p=%v k=%d: %v vs binomial %v", n, p, k, pmf[k], want)
+				}
+			}
+		}
+	}
+}
+
+func TestPoissonBinomialHandComputed(t *testing.T) {
+	// Trials 0.5 and 0.2: P0 = 0.4, P1 = 0.5·0.8 + 0.5·0.2 = 0.5, P2 = 0.1.
+	pmf, err := PoissonBinomialPMF([]float64{0.5, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.4, 0.5, 0.1}
+	for k, w := range want {
+		if math.Abs(pmf[k]-w) > 1e-12 {
+			t.Errorf("P[%d] = %v, want %v", k, pmf[k], w)
+		}
+	}
+	// Empty trial list: the count is surely 0.
+	pmf, err = PoissonBinomialPMF(nil)
+	if err != nil || len(pmf) != 1 || pmf[0] != 1 {
+		t.Errorf("empty trials: %v, %v", pmf, err)
+	}
+}
+
+func TestPoissonBinomialValidation(t *testing.T) {
+	if _, err := PoissonBinomialPMF([]float64{0.5, -0.1}); err == nil {
+		t.Error("negative probability should error")
+	}
+	if _, err := PoissonBinomialPMF([]float64{1.5}); err == nil {
+		t.Error("probability > 1 should error")
+	}
+	if _, err := PoissonBinomialCDF([]float64{math.NaN()}, 0); err == nil {
+		t.Error("NaN should error")
+	}
+	if _, err := ExpectedMinHetero([]float64{0.5}, -1); err == nil {
+		t.Error("negative b should error")
+	}
+}
+
+func TestPoissonBinomialCDFEdges(t *testing.T) {
+	probs := []float64{0.3, 0.7, 0.5}
+	if v, err := PoissonBinomialCDF(probs, -1); err != nil || v != 0 {
+		t.Errorf("CDF(-1) = %v, %v", v, err)
+	}
+	if v, err := PoissonBinomialCDF(probs, 3); err != nil || v != 1 {
+		t.Errorf("CDF(3) = %v, %v", v, err)
+	}
+	v, err := PoissonBinomialCDF(probs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pmf, _ := PoissonBinomialPMF(probs)
+	if math.Abs(v-(pmf[0]+pmf[1])) > 1e-12 {
+		t.Errorf("CDF(1) = %v, want %v", v, pmf[0]+pmf[1])
+	}
+}
+
+func TestPoissonBinomialProperties(t *testing.T) {
+	f := func(raw []uint16, bRaw uint8) bool {
+		if len(raw) == 0 || len(raw) > 12 {
+			return true
+		}
+		probs := make([]float64, len(raw))
+		mean := 0.0
+		for i, v := range raw {
+			probs[i] = float64(v) / 65535
+			mean += probs[i]
+		}
+		pmf, err := PoissonBinomialPMF(probs)
+		if err != nil {
+			return false
+		}
+		sum, pmfMean := 0.0, 0.0
+		for k, p := range pmf {
+			if p < -1e-15 {
+				return false
+			}
+			sum += p
+			pmfMean += float64(k) * p
+		}
+		if math.Abs(sum-1) > 1e-9 || math.Abs(pmfMean-mean) > 1e-9 {
+			return false
+		}
+		// E[min(S,b)] ≤ min(E[S], b) and equals E[S] at b ≥ n.
+		b := int(bRaw)%len(raw) + 1
+		em, err := ExpectedMinHetero(probs, b)
+		if err != nil {
+			return false
+		}
+		if em > math.Min(mean, float64(b))+1e-9 || em < -1e-12 {
+			return false
+		}
+		full, err := ExpectedMinHetero(probs, len(raw))
+		if err != nil {
+			return false
+		}
+		return math.Abs(full-mean) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpectedMinHeteroMatchesHomogeneous(t *testing.T) {
+	const n, b, p = 10, 4, 0.6
+	probs := make([]float64, n)
+	for i := range probs {
+		probs[i] = p
+	}
+	hetero, err := ExpectedMinHetero(probs, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	homo, err := ExpectedMin(n, b, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(hetero-homo) > 1e-12 {
+		t.Errorf("hetero %v vs homo %v", hetero, homo)
+	}
+}

@@ -1,0 +1,61 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunFullPipeline(t *testing.T) {
+	rep, err := Run(40000, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.TablesOK {
+		t.Error("table comparisons failed")
+	}
+	if !rep.CostOK {
+		t.Error("Table I check failed")
+	}
+	if !rep.FiguresOK {
+		t.Error("Fig. 3 check failed")
+	}
+	if !rep.DropOK {
+		t.Errorf("drop validation failed: %+v", rep.DropValidation)
+	}
+	if !rep.ResubmitOK {
+		t.Errorf("resubmit validation failed: fp %.4f markov %.4f sim %.4f",
+			rep.ResubmitFixedPoint, rep.ResubmitMarkov, rep.ResubmitSim)
+	}
+	if !rep.OK() {
+		t.Error("overall verdict failed")
+	}
+	var buf strings.Builder
+	if err := rep.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{
+		"Reproduction report", "[OK] Tables II–VI", "Table Va:",
+		"drop regime", "resubmission regime", "verdict: OK",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("report missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestRunDefaults(t *testing.T) {
+	// Zero arguments pick defaults; a cheap run (fewer cycles) keeps the
+	// suite fast, so only exercise the default-substitution path lightly
+	// via explicit small values.
+	rep, err := Run(5000, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.TableComparisons) != 8 {
+		t.Errorf("compared %d tables, want 8", len(rep.TableComparisons))
+	}
+	if len(rep.DropValidation) != 4 {
+		t.Errorf("validated %d schemes, want 4", len(rep.DropValidation))
+	}
+}

@@ -1,0 +1,679 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"multibus/internal/analytic"
+	"multibus/internal/arbiter"
+	"multibus/internal/hrm"
+	"multibus/internal/topology"
+	"multibus/internal/workload"
+)
+
+func paperWorkload(t *testing.T, n int, r float64) workload.Generator {
+	t.Helper()
+	h, err := hrm.TwoLevelPaper(n, 4, 0.6, 0.3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := workload.NewHierarchical(h, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func paperX(t *testing.T, n int, r float64) float64 {
+	t.Helper()
+	h, err := hrm.TwoLevelPaper(n, 4, 0.6, 0.3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := h.X(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+func TestRunValidation(t *testing.T) {
+	nw, err := topology.Full(8, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := paperWorkload(t, 8, 1.0)
+	if _, err := Run(Config{Workload: gen}); err == nil {
+		t.Error("missing topology should error")
+	}
+	if _, err := Run(Config{Topology: nw}); err == nil {
+		t.Error("missing workload should error")
+	}
+	small := paperWorkload(t, 16, 1.0)
+	if _, err := Run(Config{Topology: nw, Workload: small}); err == nil {
+		t.Error("dimension mismatch should error")
+	}
+	if _, err := Run(Config{Topology: nw, Workload: gen, Mode: Mode(9)}); err == nil {
+		t.Error("unknown mode should error")
+	}
+	if _, err := Run(Config{Topology: nw, Workload: gen, Cycles: -5}); err == nil {
+		t.Error("negative cycles should error")
+	}
+	if _, err := Run(Config{Topology: nw, Workload: gen, Warmup: -1}); err == nil {
+		t.Error("negative warmup should error")
+	}
+	if _, err := Run(Config{Topology: nw, Workload: gen, Batches: 1}); err == nil {
+		t.Error("batches < 2 should error")
+	}
+	if _, err := Run(Config{Topology: nw, Workload: gen, Cycles: 10, Batches: 11}); err == nil {
+		t.Error("batches > cycles should error")
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	nw, err := topology.Full(8, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(seed int64) *Result {
+		res, err := Run(Config{
+			Topology: nw,
+			Workload: paperWorkload(t, 8, 1.0),
+			Cycles:   2000,
+			Seed:     seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(42), run(42)
+	if a.Bandwidth != b.Bandwidth || a.Accepted != b.Accepted || a.MemoryBlocked != b.MemoryBlocked {
+		t.Errorf("same seed diverged: %+v vs %+v", a, b)
+	}
+	c := run(43)
+	if a.Accepted == c.Accepted && a.MemoryBlocked == c.MemoryBlocked {
+		t.Error("different seeds produced identical counters (suspicious)")
+	}
+}
+
+func TestConservationInvariant(t *testing.T) {
+	// Offered = Accepted + MemoryBlocked + BusBlocked + StrandedBlocked,
+	// in both modes, for several schemes.
+	builds := []func() (*topology.Network, error){
+		func() (*topology.Network, error) { return topology.Full(8, 8, 4) },
+		func() (*topology.Network, error) { return topology.SingleBus(8, 8, 4) },
+		func() (*topology.Network, error) { return topology.PartialGroups(8, 8, 4, 2) },
+		func() (*topology.Network, error) { return topology.EvenKClasses(8, 8, 4, 4) },
+	}
+	for _, build := range builds {
+		nw, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range []Mode{ModeDrop, ModeResubmit} {
+			res, err := Run(Config{
+				Topology: nw,
+				Workload: paperWorkload(t, 8, 0.7),
+				Mode:     mode,
+				Cycles:   5000,
+				Seed:     7,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum := res.Accepted + res.MemoryBlocked + res.BusBlocked +
+				res.StrandedBlocked + res.ModuleBusyBlocked
+			if sum != res.Offered {
+				t.Errorf("%v %v: %d+%d+%d+%d+%d = %d != offered %d", nw, mode,
+					res.Accepted, res.MemoryBlocked, res.BusBlocked, res.StrandedBlocked,
+					res.ModuleBusyBlocked, sum, res.Offered)
+			}
+			if res.Accepted > int64(res.Cycles)*int64(nw.B()) {
+				t.Errorf("%v: accepted %d exceeds B×cycles", nw, res.Accepted)
+			}
+		}
+	}
+}
+
+func TestDropModeMatchesAnalyticAllSchemes(t *testing.T) {
+	// The closed forms approximate the simulated protocol; agreement
+	// within a few percent validates both sides.
+	const n, b = 16, 8
+	const r = 1.0
+	x := paperX(t, n, r)
+	cases := []struct {
+		name     string
+		build    func() (*topology.Network, error)
+		analytic func() (float64, error)
+	}{
+		{"full", func() (*topology.Network, error) { return topology.Full(n, n, b) },
+			func() (float64, error) { return analytic.BandwidthFull(n, b, x) }},
+		{"single", func() (*topology.Network, error) { return topology.SingleBus(n, n, b) },
+			func() (float64, error) {
+				return analytic.BandwidthSingle([]int{2, 2, 2, 2, 2, 2, 2, 2}, x)
+			}},
+		{"partial-g2", func() (*topology.Network, error) { return topology.PartialGroups(n, n, b, 2) },
+			func() (float64, error) { return analytic.BandwidthPartialGroups(n, b, 2, x) }},
+		{"kclasses", func() (*topology.Network, error) { return topology.EvenKClasses(n, n, b, b) },
+			func() (float64, error) {
+				return analytic.BandwidthKClasses([]int{2, 2, 2, 2, 2, 2, 2, 2}, b, x)
+			}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			nw, err := tc.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := tc.analytic()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(Config{
+				Topology: nw,
+				Workload: paperWorkload(t, n, r),
+				Cycles:   40000,
+				Seed:     11,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			relErr := math.Abs(res.Bandwidth-want) / want
+			if relErr > 0.05 {
+				t.Errorf("sim %.4f vs analytic %.4f: rel err %.3f > 5%%",
+					res.Bandwidth, want, relErr)
+			}
+		})
+	}
+}
+
+func TestDropModeExactAtBEqualsN(t *testing.T) {
+	// With B = N (no bus contention) the analytic value N·X is exact, so
+	// the simulator must land within its own confidence interval of it.
+	const n = 8
+	x := paperX(t, n, 1.0)
+	nw, err := topology.Full(n, n, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Topology: nw,
+		Workload: paperWorkload(t, n, 1.0),
+		Cycles:   60000,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(n) * x
+	if diff := math.Abs(res.Bandwidth - want); diff > 3*res.BandwidthCI95+0.02 {
+		t.Errorf("sim %.4f vs exact %.4f: diff %.4f beyond CI %.4f",
+			res.Bandwidth, want, diff, res.BandwidthCI95)
+	}
+	if res.BusBlocked != 0 {
+		t.Errorf("B=N run had %d bus-blocked requests, want 0", res.BusBlocked)
+	}
+}
+
+func TestResubmitModeThroughputAccounting(t *testing.T) {
+	// Every new request is served or still pending at the end:
+	// |NewRequests − Accepted| ≤ N.
+	nw, err := topology.Full(8, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Topology: nw,
+		Workload: paperWorkload(t, 8, 0.9),
+		Mode:     ModeResubmit,
+		Cycles:   8000,
+		Seed:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := res.NewRequests - res.Accepted; diff < 0 || diff > 8 {
+		t.Errorf("new %d vs accepted %d: leak beyond pending window", res.NewRequests, res.Accepted)
+	}
+	if res.MeanWaitCycles <= 0 {
+		t.Error("saturated resubmit run should have positive mean wait")
+	}
+	// Offered ≥ NewRequests because resubmissions re-offer.
+	if res.Offered < res.NewRequests {
+		t.Errorf("offered %d < new %d", res.Offered, res.NewRequests)
+	}
+}
+
+func TestResubmitNoContentionHasZeroWait(t *testing.T) {
+	// One processor, one module, B=1: every request is served immediately.
+	nw, err := topology.Full(1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewUniform(1, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Topology: nw,
+		Workload: gen,
+		Mode:     ModeResubmit,
+		Cycles:   3000,
+		Seed:     9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanWaitCycles != 0 {
+		t.Errorf("wait %.4f, want 0 (no contention)", res.MeanWaitCycles)
+	}
+	if res.AcceptanceProbability != 1 {
+		t.Errorf("acceptance %.4f, want 1", res.AcceptanceProbability)
+	}
+}
+
+func TestStrandedModulesAreCountedAndDropped(t *testing.T) {
+	// Degraded single-bus network: bus 0's modules become unreachable.
+	nw, err := topology.SingleBus(8, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg, err := nw.WithoutBus(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []Mode{ModeDrop, ModeResubmit} {
+		res, err := Run(Config{
+			Topology: deg,
+			Workload: paperWorkload(t, 8, 1.0),
+			Mode:     mode,
+			Cycles:   20000,
+			Seed:     13,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.StrandedBlocked == 0 {
+			t.Errorf("%v: no stranded requests counted", mode)
+		}
+		for _, j := range []int{0, 1} {
+			if res.ModuleServiceRate[j] != 0 {
+				t.Errorf("%v: stranded module %d has service rate %v", mode, j, res.ModuleServiceRate[j])
+			}
+		}
+	}
+	// Drop-mode bandwidth tracks the EXACT expectation. (The paper's
+	// closed form assumes module-request independence and is ≈6% low on
+	// this heavily clustered degraded configuration, so the test compares
+	// against the exact product form: for each surviving bus,
+	// Y = 1 − Π_p (1 − r·Σ_{j on bus} m_{p,j}); see EXPERIMENTS.md.)
+	h, err := hrm.TwoLevelPaper(8, 4, 0.6, 0.3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := 0.0
+	for i := 0; i < deg.B(); i++ {
+		idle := 1.0
+		for p := 0; p < 8; p++ {
+			sum := 0.0
+			for _, j := range deg.ModulesOnBus(i) {
+				f, err := h.FractionFor(p, j)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sum += f
+			}
+			idle *= 1 - sum // r = 1
+		}
+		exact += 1 - idle
+	}
+	res, err := Run(Config{Topology: deg, Workload: paperWorkload(t, 8, 1.0), Cycles: 40000, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr := math.Abs(res.Bandwidth-exact) / exact; relErr > 0.01 {
+		t.Errorf("degraded sim %.4f vs exact %.4f (rel err %.4f)", res.Bandwidth, exact, relErr)
+	}
+	// And the analytic approximation should be within 10% of the exact
+	// value even here.
+	x := paperX(t, 8, 1.0)
+	approx, err := analytic.Bandwidth(deg, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr := math.Abs(approx-exact) / exact; relErr > 0.10 {
+		t.Errorf("analytic %.4f vs exact %.4f (rel err %.4f)", approx, exact, relErr)
+	}
+}
+
+func TestFairnessUniformWorkload(t *testing.T) {
+	// Under a symmetric workload and random stage-1 arbitration, accepted
+	// counts must be roughly equal across processors.
+	nw, err := topology.Full(8, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewUniform(8, 8, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Topology: nw, Workload: gen, Cycles: 30000, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := float64(res.Accepted) / 8
+	for p, acc := range res.ProcessorAccepted {
+		if dev := math.Abs(float64(acc)-mean) / mean; dev > 0.05 {
+			t.Errorf("processor %d accepted %d, mean %.0f (dev %.3f)", p, acc, mean, dev)
+		}
+	}
+	// Module service rates symmetric too.
+	rate0 := res.ModuleServiceRate[0]
+	for j, rate := range res.ModuleServiceRate {
+		if math.Abs(rate-rate0) > 0.03 {
+			t.Errorf("module %d service rate %.4f vs module 0 %.4f", j, rate, rate0)
+		}
+	}
+}
+
+func TestHotSpotSkewsModuleService(t *testing.T) {
+	nw, err := topology.Full(8, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewHotSpot(8, 8, 1.0, 2, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Topology: nw, Workload: gen, Cycles: 20000, Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hot module is requested nearly every cycle.
+	if res.ModuleServiceRate[2] < 0.95 {
+		t.Errorf("hot module service rate %.4f, want ≈1", res.ModuleServiceRate[2])
+	}
+	for j, rate := range res.ModuleServiceRate {
+		if j != 2 && rate > res.ModuleServiceRate[2] {
+			t.Errorf("module %d rate %.4f exceeds hot module", j, rate)
+		}
+	}
+}
+
+func TestTraceDrivenDeterministicCounts(t *testing.T) {
+	// 2 processors both hammer module 0 on a 2×2×1 full network with
+	// fixed-priority arbitration: exactly one acceptance per cycle, all
+	// for processor 0.
+	nw, err := topology.Full(2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewTrace(2, 2, [][]workload.Request{
+		{{Processor: 0, Module: 0}, {Processor: 1, Module: 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Topology:     nw,
+		Workload:     gen,
+		Stage1Policy: arbiter.PolicyFixedPriority,
+		Cycles:       100,
+		Warmup:       0,
+		Seed:         1,
+		Batches:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted != 100 || res.Bandwidth != 1.0 {
+		t.Errorf("accepted %d bandwidth %.2f, want 100 and 1.0", res.Accepted, res.Bandwidth)
+	}
+	if res.ProcessorAccepted[0] != 100 || res.ProcessorAccepted[1] != 0 {
+		t.Errorf("fixed priority split %v, want [100 0]", res.ProcessorAccepted)
+	}
+	if res.MemoryBlocked != 100 {
+		t.Errorf("memory blocked %d, want 100", res.MemoryBlocked)
+	}
+	if res.AcceptanceProbability != 0.5 {
+		t.Errorf("acceptance %.3f, want 0.5", res.AcceptanceProbability)
+	}
+}
+
+func TestTraceDrivenRoundRobinIsFair(t *testing.T) {
+	nw, err := topology.Full(2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewTrace(2, 2, [][]workload.Request{
+		{{Processor: 0, Module: 0}, {Processor: 1, Module: 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Topology:     nw,
+		Workload:     gen,
+		Stage1Policy: arbiter.PolicyRoundRobin,
+		Cycles:       100,
+		Warmup:       0,
+		Seed:         1,
+		Batches:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ProcessorAccepted[0] != 50 || res.ProcessorAccepted[1] != 50 {
+		t.Errorf("round robin split %v, want [50 50]", res.ProcessorAccepted)
+	}
+}
+
+func TestCustomTopologyRunsViaGreedy(t *testing.T) {
+	// A crossing wiring (no closed form) still simulates.
+	conn := [][]bool{
+		{true, true, false, false},
+		{false, true, true, false},
+		{false, false, true, true},
+	}
+	nw, err := topology.Custom(6, conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewUniform(6, 4, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Topology: nw, Workload: gen, Cycles: 10000, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bandwidth <= 0 || res.Bandwidth > 3 {
+		t.Errorf("custom bandwidth %.4f out of (0, B]", res.Bandwidth)
+	}
+}
+
+func TestBandwidthCIShrinksWithCycles(t *testing.T) {
+	nw, err := topology.Full(8, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(cycles int) float64 {
+		res, err := Run(Config{Topology: nw, Workload: paperWorkload(t, 8, 1.0), Cycles: cycles, Seed: 29})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.BandwidthCI95
+	}
+	small, large := run(2000), run(50000)
+	if large >= small {
+		t.Errorf("CI did not shrink: %d cycles → %.5f, %d cycles → %.5f",
+			2000, small, 50000, large)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if !strings.Contains(ModeDrop.String(), "drop") {
+		t.Error("ModeDrop string")
+	}
+	if !strings.Contains(ModeResubmit.String(), "resubmit") {
+		t.Error("ModeResubmit string")
+	}
+	if !strings.Contains(Mode(7).String(), "7") {
+		t.Error("unknown mode string")
+	}
+}
+
+func TestZeroRateRun(t *testing.T) {
+	nw, err := topology.Full(4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewUniform(4, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Topology: nw, Workload: gen, Cycles: 500, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bandwidth != 0 || res.Offered != 0 {
+		t.Errorf("idle run produced bandwidth %.4f offered %d", res.Bandwidth, res.Offered)
+	}
+	if res.AcceptanceProbability != 1 {
+		t.Errorf("idle acceptance %.4f, want 1 by convention", res.AcceptanceProbability)
+	}
+}
+
+func TestModuleServiceCyclesDefaultMatchesLegacy(t *testing.T) {
+	// k = 1 must be bit-identical to the unset default.
+	nw, err := topology.Full(8, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(k int) *Result {
+		res, err := Run(Config{
+			Topology:            nw,
+			Workload:            paperWorkload(t, 8, 1.0),
+			Cycles:              3000,
+			Seed:                5,
+			ModuleServiceCycles: k,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(0), run(1)
+	if a.Accepted != b.Accepted || a.MemoryBlocked != b.MemoryBlocked {
+		t.Errorf("k=0 default and k=1 diverge: %d/%d vs %d/%d",
+			a.Accepted, a.MemoryBlocked, b.Accepted, b.MemoryBlocked)
+	}
+	if a.ModuleBusyBlocked != 0 {
+		t.Errorf("k=1 run blocked %d requests on busy modules", a.ModuleBusyBlocked)
+	}
+	if _, err := Run(Config{
+		Topology: nw, Workload: paperWorkload(t, 8, 1.0),
+		Cycles: 100, ModuleServiceCycles: -2,
+	}); err == nil {
+		t.Error("negative service cycles should error")
+	}
+}
+
+func TestModuleServiceCyclesThrottleModules(t *testing.T) {
+	// All processors hammer one module; with service k the module can
+	// accept at most every k-th cycle, so bandwidth → 1/k.
+	nw, err := topology.Full(4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewHotSpot(4, 4, 1.0, 0, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 2, 4} {
+		res, err := Run(Config{
+			Topology:            nw,
+			Workload:            gen,
+			Cycles:              8000,
+			Seed:                9,
+			ModuleServiceCycles: k,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1.0 / float64(k)
+		if math.Abs(res.Bandwidth-want) > 0.01 {
+			t.Errorf("k=%d: bandwidth %.4f, want %.4f", k, res.Bandwidth, want)
+		}
+		if k > 1 && res.ModuleBusyBlocked == 0 {
+			t.Errorf("k=%d: no busy-blocked requests recorded", k)
+		}
+		if res.ModuleServiceRate[0] > want+0.01 {
+			t.Errorf("k=%d: module service rate %.4f exceeds 1/k", k, res.ModuleServiceRate[0])
+		}
+	}
+}
+
+func TestModuleServiceCyclesResubmitHolds(t *testing.T) {
+	// In resubmit mode, requests to busy modules are held and eventually
+	// served; no request is lost.
+	nw, err := topology.Full(2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewHotSpot(2, 2, 0.5, 0, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Topology:            nw,
+		Workload:            gen,
+		Mode:                ModeResubmit,
+		Cycles:              6000,
+		Seed:                3,
+		ModuleServiceCycles: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := res.NewRequests - res.Accepted; diff < 0 || diff > 2 {
+		t.Errorf("new %d vs accepted %d beyond pending window", res.NewRequests, res.Accepted)
+	}
+	if res.MeanWaitCycles <= 0 {
+		t.Error("busy-module contention should produce waiting")
+	}
+	// Throughput cannot exceed the module's 1/3 service ceiling.
+	if res.Bandwidth > 1.0/3+0.01 {
+		t.Errorf("bandwidth %.4f exceeds 1/k ceiling", res.Bandwidth)
+	}
+}
+
+func TestJainFairness(t *testing.T) {
+	// Perfectly equal counts → 1; one-processor monopoly → 1/N.
+	r := &Result{ProcessorAccepted: []int64{10, 10, 10, 10}}
+	if got := r.JainFairness(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("equal counts fairness %v, want 1", got)
+	}
+	r = &Result{ProcessorAccepted: []int64{40, 0, 0, 0}}
+	if got := r.JainFairness(); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("monopoly fairness %v, want 0.25", got)
+	}
+	r = &Result{ProcessorAccepted: []int64{0, 0}}
+	if got := r.JainFairness(); got != 1 {
+		t.Errorf("idle fairness %v, want 1", got)
+	}
+	// Real run under symmetric workload is near 1.
+	nw, err := topology.Full(8, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Topology: nw, Workload: paperWorkload(t, 8, 1.0), Cycles: 20000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.JainFairness() < 0.999 {
+		t.Errorf("symmetric fairness %v, want ≈1", res.JainFairness())
+	}
+}

@@ -1,0 +1,210 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"multibus/internal/analytic"
+	"multibus/internal/exact"
+	"multibus/internal/hrm"
+	"multibus/internal/topology"
+	"multibus/internal/workload"
+)
+
+// TestPerBusUtilizationMatchesEquation11 validates the paper's per-bus
+// request probabilities Y_i (generalized equation (11)) against the
+// simulated per-bus service rates on a K-class network — including the
+// stranded-bus case Y_1 = 0.
+func TestPerBusUtilizationMatchesEquation11(t *testing.T) {
+	const n, b, k = 16, 8, 4
+	nw, err := topology.EvenKClasses(n, n, b, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := hrm.TwoLevelPaper(n, 4, 0.6, 0.3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := h.X(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Analytic Y_i in formula space (classes of 4 with prefixes 5..8).
+	classes := []analytic.PrefixClass{
+		{Size: 4, PrefixLen: 5}, {Size: 4, PrefixLen: 6},
+		{Size: 4, PrefixLen: 7}, {Size: 4, PrefixLen: 8},
+	}
+	ys, err := analytic.BusUtilizationPrefixClasses(classes, b, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewHierarchical(h, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Topology: nw, Workload: gen, Cycles: 60000, Seed: 37})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pristine K-class topologies use the identity bus order, so formula
+	// bus i corresponds to physical bus i−1.
+	if ys[0] != 0 {
+		t.Fatalf("Y_1 = %v, expected exactly 0 (stranded bus)", ys[0])
+	}
+	if res.BusServiceRate[0] != 0 {
+		t.Errorf("bus 1 simulated rate %v, want 0", res.BusServiceRate[0])
+	}
+	// Against the EXACT per-bus busy probabilities the simulator must be
+	// tight; against the closed-form Y_i only loosely — low-numbered
+	// buses of this clustered configuration are busy only on heavily
+	// correlated events (e.g. bus 2 needs all four class-C1 modules
+	// requested at once), where the independence approximation
+	// overestimates by up to ~0.09 absolute.
+	pm, err := exact.FromProbVectors(h, n, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactYs, err := exact.BusUtilization(nw, pm, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < b; i++ {
+		if diff := math.Abs(res.BusServiceRate[i] - exactYs[i]); diff > 0.01 {
+			t.Errorf("bus %d: simulated %.4f vs exact %.4f (diff %.4f)",
+				i+1, res.BusServiceRate[i], exactYs[i], diff)
+		}
+		if diff := math.Abs(exactYs[i] - ys[i]); diff > 0.1 {
+			t.Errorf("bus %d: exact %.4f vs analytic Y_%d %.4f beyond documented regime",
+				i+1, exactYs[i], i+1, ys[i])
+		}
+	}
+	// Per-bus rates must sum to the bandwidth exactly.
+	sum := 0.0
+	for _, v := range res.BusServiceRate {
+		sum += v
+	}
+	if math.Abs(sum-res.Bandwidth) > 1e-9 {
+		t.Errorf("Σ bus rates %.6f != bandwidth %.6f", sum, res.Bandwidth)
+	}
+}
+
+// TestPerBusUtilizationMatchesEquation5 validates Y_i = 1 − (1−X)^{M_i}
+// per physical bus on a single-connection network.
+func TestPerBusUtilizationMatchesEquation5(t *testing.T) {
+	const n, b = 16, 4
+	nw, err := topology.SingleBus(n, n, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := hrm.Uniform(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := h.X(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewUniform(n, n, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Topology: nw, Workload: gen, Cycles: 60000, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < b; i++ {
+		want := 1 - math.Pow(1-x, float64(len(nw.ModulesOnBus(i))))
+		if diff := math.Abs(res.BusServiceRate[i] - want); diff > 0.02 {
+			t.Errorf("bus %d: simulated %.4f vs Y %.4f", i, res.BusServiceRate[i], want)
+		}
+	}
+}
+
+// TestResubmitFixedPointMatchesSimulation checks the adjusted-rate model
+// against the resubmit-mode simulator across load levels.
+func TestResubmitFixedPointMatchesSimulation(t *testing.T) {
+	const n, b = 16, 8
+	nw, err := topology.Full(n, n, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := hrm.TwoLevelPaper(n, 4, 0.6, 0.3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []float64{0.2, 0.5, 0.8} {
+		est, err := analytic.EstimateResubmit(nw, n, h, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen, err := workload.NewHierarchical(h, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(Config{
+			Topology: nw, Workload: gen, Mode: ModeResubmit,
+			Cycles: 40000, Seed: 43,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Throughput: the fixed point inherits the independence
+		// approximation; 5% agreement expected.
+		if rel := math.Abs(est.Bandwidth-res.Bandwidth) / res.Bandwidth; rel > 0.05 {
+			t.Errorf("r=%v: estimated throughput %.4f vs simulated %.4f (rel %.3f)",
+				r, est.Bandwidth, res.Bandwidth, rel)
+		}
+		// Mean wait: geometric-retry is cruder; accept 25% relative or
+		// 0.1 cycles absolute.
+		diff := math.Abs(est.MeanWaitCycles - res.MeanWaitCycles)
+		if diff > 0.1 && diff > 0.25*res.MeanWaitCycles {
+			t.Errorf("r=%v: estimated wait %.3f vs simulated %.3f",
+				r, est.MeanWaitCycles, res.MeanWaitCycles)
+		}
+	}
+}
+
+// TestSimMatchesExactExpectation ties the three legs together: the
+// drop-mode simulator must estimate the exact subset-DP expectation, and
+// the analytic value must sit within its documented approximation error.
+func TestSimMatchesExactExpectation(t *testing.T) {
+	const n, b = 12, 6
+	nw, err := topology.Full(n, n, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := hrm.TwoLevelPaper(n, 4, 0.6, 0.3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := exact.FromProbVectors(h, n, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := exact.Bandwidth(nw, pm, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewHierarchical(h, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Topology: nw, Workload: gen, Cycles: 80000, Seed: 47})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(res.Bandwidth - ex); diff > 4*res.BandwidthCI95+0.01 {
+		t.Errorf("sim %.4f vs exact %.4f beyond CI %.4f", res.Bandwidth, ex, res.BandwidthCI95)
+	}
+	x, _ := h.X(1.0)
+	ap, err := analytic.BandwidthFull(n, b, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap > ex+1e-9 {
+		t.Errorf("analytic %.4f above exact %.4f (must be pessimistic)", ap, ex)
+	}
+	if rel := (ex - ap) / ex; rel > 0.05 {
+		t.Errorf("approximation error %.4f beyond documented 5%% regime", rel)
+	}
+}

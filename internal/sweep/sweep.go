@@ -1,0 +1,204 @@
+// Package sweep runs parameter sweeps over the multiple bus design
+// space: network size N, bus count B, request rate r, connection scheme,
+// and workload, evaluating the analytic bandwidth models and optionally
+// cross-checking each point with the Monte-Carlo simulator. It powers the
+// mbsweep command and the ablation benchmarks.
+package sweep
+
+import (
+	"errors"
+	"fmt"
+
+	"multibus/internal/analytic"
+	"multibus/internal/hrm"
+	"multibus/internal/sim"
+	"multibus/internal/topology"
+	"multibus/internal/workload"
+)
+
+// Scheme selects a connection scheme family for sweeping.
+type Scheme int
+
+// Sweepable schemes. PartialG2 skips points where 2 does not divide B;
+// KClassesEven skips points where B does not divide N.
+const (
+	Full Scheme = iota
+	Single
+	PartialG2
+	KClassesEven
+	Crossbar
+)
+
+// String names the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case Full:
+		return "full"
+	case Single:
+		return "single"
+	case PartialG2:
+		return "partial-g2"
+	case KClassesEven:
+		return "kclasses"
+	case Crossbar:
+		return "crossbar"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// ErrBadSpec is returned for invalid sweep specifications.
+var ErrBadSpec = errors.New("sweep: invalid specification")
+
+// Spec describes the sweep grid. Points with B > N, or violating a
+// scheme's divisibility constraints, are skipped silently (they do not
+// exist in the design space).
+type Spec struct {
+	Ns      []int
+	Bs      []int
+	Rs      []float64
+	Schemes []Scheme
+	// Hierarchical toggles the paper's two-level workload (4 clusters,
+	// 0.6/0.3/0.1); otherwise the uniform workload is used. N must be
+	// divisible by 4 for hierarchical points.
+	Hierarchical bool
+	// WithSim additionally runs the simulator at each point.
+	WithSim   bool
+	SimCycles int   // default 20000
+	Seed      int64 // default 1
+}
+
+// Point is one evaluated configuration.
+type Point struct {
+	Scheme    Scheme
+	N, B      int
+	R         float64
+	X         float64 // per-module request probability
+	Bandwidth float64 // analytic
+	// Simulated fields are populated when Spec.WithSim is set.
+	Simulated    bool
+	SimBandwidth float64
+	SimCI95      float64
+}
+
+// Run evaluates the sweep and returns its points in deterministic order
+// (scheme, then N, then B, then r).
+func Run(spec Spec) ([]Point, error) {
+	if len(spec.Ns) == 0 || len(spec.Bs) == 0 || len(spec.Rs) == 0 || len(spec.Schemes) == 0 {
+		return nil, fmt.Errorf("%w: empty dimension", ErrBadSpec)
+	}
+	var points []Point
+	for _, scheme := range spec.Schemes {
+		for _, n := range spec.Ns {
+			model, err := buildModel(n, spec.Hierarchical)
+			if err != nil {
+				return nil, err
+			}
+			for _, b := range spec.Bs {
+				if b > n || b < 1 {
+					continue
+				}
+				nw, ok, err := buildTopology(scheme, n, b)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+				for _, r := range spec.Rs {
+					x, err := model.X(r)
+					if err != nil {
+						return nil, err
+					}
+					var bw float64
+					if scheme == Crossbar {
+						bw, err = analytic.BandwidthCrossbar(n, x)
+					} else {
+						bw, err = analytic.Bandwidth(nw, x)
+					}
+					if err != nil {
+						return nil, err
+					}
+					pt := Point{Scheme: scheme, N: n, B: b, R: r, X: x, Bandwidth: bw}
+					if spec.WithSim && scheme != Crossbar {
+						gen, err := workload.NewHierarchical(model, r)
+						if err != nil {
+							return nil, err
+						}
+						cycles := spec.SimCycles
+						if cycles == 0 {
+							cycles = 20000
+						}
+						seed := spec.Seed
+						if seed == 0 {
+							seed = 1
+						}
+						res, err := sim.Run(sim.Config{
+							Topology: nw,
+							Workload: gen,
+							Cycles:   cycles,
+							Seed:     seed,
+						})
+						if err != nil {
+							return nil, err
+						}
+						pt.Simulated = true
+						pt.SimBandwidth = res.Bandwidth
+						pt.SimCI95 = res.BandwidthCI95
+					}
+					points = append(points, pt)
+				}
+			}
+		}
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("%w: no valid points in grid", ErrBadSpec)
+	}
+	return points, nil
+}
+
+// buildModel returns the request model for size n.
+func buildModel(n int, hierarchical bool) (*hrm.Hierarchy, error) {
+	if hierarchical {
+		return hrm.TwoLevelPaper(n, 4, 0.6, 0.3, 0.1)
+	}
+	return hrm.Uniform(n)
+}
+
+// buildTopology returns (network, ok, err); ok=false skips the point.
+func buildTopology(scheme Scheme, n, b int) (*topology.Network, bool, error) {
+	switch scheme {
+	case Full, Crossbar:
+		nw, err := topology.Full(n, n, b)
+		return nw, err == nil, err
+	case Single:
+		nw, err := topology.SingleBus(n, n, b)
+		return nw, err == nil, err
+	case PartialG2:
+		if b%2 != 0 || n%2 != 0 {
+			return nil, false, nil
+		}
+		nw, err := topology.PartialGroups(n, n, b, 2)
+		return nw, err == nil, err
+	case KClassesEven:
+		if n%b != 0 {
+			return nil, false, nil
+		}
+		nw, err := topology.EvenKClasses(n, n, b, b)
+		return nw, err == nil, err
+	default:
+		return nil, false, fmt.Errorf("%w: unknown scheme %d", ErrBadSpec, int(scheme))
+	}
+}
+
+// Series extracts, for one scheme and rate, the bandwidth-vs-B curve at a
+// fixed N (analytic values), returning parallel B and bandwidth slices.
+func Series(points []Point, scheme Scheme, n int, r float64) (bs []int, bws []float64) {
+	for _, p := range points {
+		if p.Scheme == scheme && p.N == n && p.R == r {
+			bs = append(bs, p.B)
+			bws = append(bws, p.Bandwidth)
+		}
+	}
+	return bs, bws
+}

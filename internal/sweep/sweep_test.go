@@ -1,0 +1,169 @@
+package sweep
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRunBasicGrid(t *testing.T) {
+	points, err := Run(Spec{
+		Ns:           []int{8, 16},
+		Bs:           []int{2, 4, 8, 16},
+		Rs:           []float64{0.5, 1.0},
+		Schemes:      []Scheme{Full, Single, PartialG2, KClassesEven},
+		Hierarchical: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every scheme covers all valid (N, B) pairs: B ≤ N, scheme
+	// divisibility holds for these powers of two.
+	// Full: (8: 2,4,8)+(16: 2,4,8,16) = 7 pairs × 2 rates = 14 points.
+	count := map[Scheme]int{}
+	for _, p := range points {
+		count[p.Scheme]++
+		if p.B > p.N {
+			t.Errorf("point %+v has B > N", p)
+		}
+		if p.Bandwidth <= 0 || p.Bandwidth > float64(p.B)+1e-9 {
+			t.Errorf("point %+v bandwidth out of range", p)
+		}
+		if p.X <= 0 || p.X > 1 {
+			t.Errorf("point %+v X out of range", p)
+		}
+		if p.Simulated {
+			t.Errorf("point %+v simulated without WithSim", p)
+		}
+	}
+	for _, s := range []Scheme{Full, Single, PartialG2, KClassesEven} {
+		if count[s] != 14 {
+			t.Errorf("scheme %v has %d points, want 14", s, count[s])
+		}
+	}
+}
+
+func TestRunSpecValidation(t *testing.T) {
+	if _, err := Run(Spec{}); err == nil {
+		t.Error("empty spec should error")
+	}
+	if _, err := Run(Spec{Ns: []int{8}, Bs: []int{16}, Rs: []float64{1}, Schemes: []Scheme{Full}}); err == nil {
+		t.Error("grid with no valid points should error")
+	}
+	if _, err := Run(Spec{Ns: []int{8}, Bs: []int{4}, Rs: []float64{1}, Schemes: []Scheme{Scheme(99)}}); err == nil {
+		t.Error("unknown scheme should error")
+	}
+	// Hierarchical with N not divisible by 4 errors via hrm.
+	if _, err := Run(Spec{Ns: []int{6}, Bs: []int{2}, Rs: []float64{1}, Schemes: []Scheme{Full}, Hierarchical: true}); err == nil {
+		t.Error("N=6 hierarchical should error")
+	}
+}
+
+func TestRunSkipsInvalidCombinations(t *testing.T) {
+	// Odd B skips PartialG2; B not dividing N skips KClassesEven.
+	points, err := Run(Spec{
+		Ns:      []int{8},
+		Bs:      []int{3},
+		Rs:      []float64{1.0},
+		Schemes: []Scheme{Full, PartialG2, KClassesEven},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		if p.Scheme == PartialG2 {
+			t.Errorf("PartialG2 evaluated at odd B: %+v", p)
+		}
+		if p.Scheme == KClassesEven && p.N%p.B != 0 {
+			t.Errorf("KClassesEven at non-dividing B: %+v", p)
+		}
+	}
+}
+
+func TestRunWithSim(t *testing.T) {
+	points, err := Run(Spec{
+		Ns:           []int{8},
+		Bs:           []int{4},
+		Rs:           []float64{1.0},
+		Schemes:      []Scheme{Full},
+		Hierarchical: true,
+		WithSim:      true,
+		SimCycles:    20000,
+		Seed:         3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 1 {
+		t.Fatalf("points = %d, want 1", len(points))
+	}
+	p := points[0]
+	if !p.Simulated || p.SimBandwidth <= 0 || p.SimCI95 <= 0 {
+		t.Fatalf("sim fields not populated: %+v", p)
+	}
+	if rel := math.Abs(p.SimBandwidth-p.Bandwidth) / p.Bandwidth; rel > 0.05 {
+		t.Errorf("sim %.4f vs analytic %.4f beyond 5%%", p.SimBandwidth, p.Bandwidth)
+	}
+}
+
+func TestCrossbarScheme(t *testing.T) {
+	points, err := Run(Spec{
+		Ns:           []int{8},
+		Bs:           []int{8},
+		Rs:           []float64{1.0},
+		Schemes:      []Scheme{Crossbar, Full},
+		Hierarchical: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var xb, full float64
+	for _, p := range points {
+		switch p.Scheme {
+		case Crossbar:
+			xb = p.Bandwidth
+		case Full:
+			full = p.Bandwidth
+		}
+	}
+	if math.Abs(xb-full) > 1e-9 {
+		t.Errorf("crossbar %.6f != full B=N %.6f", xb, full)
+	}
+}
+
+func TestSeriesExtraction(t *testing.T) {
+	points, err := Run(Spec{
+		Ns:      []int{16},
+		Bs:      []int{2, 4, 8, 16},
+		Rs:      []float64{0.5, 1.0},
+		Schemes: []Scheme{Full},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, bws := Series(points, Full, 16, 1.0)
+	if len(bs) != 4 || len(bws) != 4 {
+		t.Fatalf("series lengths %d, %d; want 4", len(bs), len(bws))
+	}
+	for i := 1; i < len(bws); i++ {
+		if bws[i] < bws[i-1]-1e-12 {
+			t.Errorf("bandwidth not monotone in B: %v", bws)
+		}
+	}
+	// Non-existent slice is empty.
+	if bs, _ := Series(points, Single, 16, 1.0); len(bs) != 0 {
+		t.Errorf("unexpected series %v", bs)
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	names := map[Scheme]string{
+		Full: "full", Single: "single", PartialG2: "partial",
+		KClassesEven: "kclasses", Crossbar: "crossbar", Scheme(9): "9",
+	}
+	for s, want := range names {
+		if got := s.String(); !strings.Contains(got, want) {
+			t.Errorf("Scheme(%d).String() = %q", int(s), got)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package tables
+
+import (
+	"fmt"
+	"math"
+)
+
+// Comparison summarizes agreement between a computed table and the
+// paper's printed values.
+type Comparison struct {
+	ID            string
+	CellsCompared int
+	CellsSkipped  int // NaN in either table
+	MaxAbsError   float64
+	MeanAbsError  float64
+	WorstRow      string
+	WorstColumn   string
+	ComputedWorst float64
+	PaperWorst    float64
+	// WithinTolerance is true when every compared cell agrees within
+	// tol (passed to Compare).
+	WithinTolerance bool
+	Tolerance       float64
+}
+
+// Compare matches a computed table against the paper reference cell by
+// cell, skipping NaN cells on either side, and reports error statistics.
+// tol is the acceptance threshold per cell; the paper prints two
+// decimals with occasional last-digit drift, so 0.02 is the natural
+// setting.
+func Compare(computed, paper *Table, tol float64) (*Comparison, error) {
+	if computed == nil || paper == nil {
+		return nil, fmt.Errorf("tables: Compare with nil table")
+	}
+	if len(computed.Values) != len(paper.Values) {
+		return nil, fmt.Errorf("tables: %s has %d rows computed vs %d paper",
+			computed.ID, len(computed.Values), len(paper.Values))
+	}
+	c := &Comparison{ID: computed.ID, Tolerance: tol, WithinTolerance: true}
+	var total float64
+	for ri := range computed.Values {
+		if len(computed.Values[ri]) != len(paper.Values[ri]) {
+			return nil, fmt.Errorf("tables: %s row %d has %d cols computed vs %d paper",
+				computed.ID, ri, len(computed.Values[ri]), len(paper.Values[ri]))
+		}
+		for ci := range computed.Values[ri] {
+			cv, pv := computed.Values[ri][ci], paper.Values[ri][ci]
+			if math.IsNaN(cv) || math.IsNaN(pv) {
+				c.CellsSkipped++
+				// A value the paper prints must exist in the computed
+				// table: a computed NaN against a real paper value is a
+				// reproduction failure, not a skip.
+				if math.IsNaN(cv) && !math.IsNaN(pv) {
+					return nil, fmt.Errorf("tables: %s cell (%s, %s) computed as empty but paper prints %.2f",
+						computed.ID, computed.RowLabels[ri], computed.Columns[ci], pv)
+				}
+				continue
+			}
+			diff := math.Abs(cv - pv)
+			c.CellsCompared++
+			total += diff
+			if diff > c.MaxAbsError {
+				c.MaxAbsError = diff
+				c.WorstRow = computed.RowLabels[ri]
+				c.WorstColumn = computed.Columns[ci]
+				c.ComputedWorst = cv
+				c.PaperWorst = pv
+			}
+			if diff > tol {
+				c.WithinTolerance = false
+			}
+		}
+	}
+	if c.CellsCompared > 0 {
+		c.MeanAbsError = total / float64(c.CellsCompared)
+	}
+	return c, nil
+}
+
+// String renders a one-line verdict, e.g.
+// "Table Va: 24/30 cells vs paper, max |err| 0.005 (B=8, N=16 Hier), mean 0.002 — OK (tol 0.02)".
+func (c *Comparison) String() string {
+	verdict := "OK"
+	if !c.WithinTolerance {
+		verdict = "MISMATCH"
+	}
+	return fmt.Sprintf("Table %s: %d cells vs paper (%d skipped), max |err| %.4f at (B=%s, %s), mean %.4f — %s (tol %.2f)",
+		c.ID, c.CellsCompared, c.CellsSkipped, c.MaxAbsError, c.WorstRow, c.WorstColumn,
+		c.MeanAbsError, verdict, c.Tolerance)
+}
+
+// CompareAll generates every table, compares it against the paper, and
+// returns the comparisons in paper order.
+func CompareAll(tol float64) ([]*Comparison, error) {
+	var out []*Comparison
+	for _, id := range AllIDs() {
+		computed, err := Generate(id)
+		if err != nil {
+			return nil, err
+		}
+		paper := PaperTable(id)
+		if paper == nil {
+			return nil, fmt.Errorf("tables: no paper data for %s", id)
+		}
+		c, err := Compare(computed, paper, tol)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}

@@ -1,0 +1,123 @@
+package tables
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateExtensionIDs(t *testing.T) {
+	for _, id := range ExtensionIDs() {
+		tab, err := GenerateExtension(id)
+		if err != nil {
+			t.Fatalf("GenerateExtension(%s): %v", id, err)
+		}
+		if tab.ID != id {
+			t.Errorf("ID = %s, want %s", tab.ID, id)
+		}
+		if len(tab.Values) == 0 || len(tab.Columns) == 0 {
+			t.Errorf("%s: empty table", id)
+		}
+		for ri, row := range tab.Values {
+			if len(row) != len(tab.Columns) {
+				t.Errorf("%s row %d: %d cells, %d columns", id, ri, len(row), len(tab.Columns))
+			}
+			for ci, v := range row {
+				if math.IsNaN(v) || v < 0 {
+					t.Errorf("%s cell (%d,%d) = %v", id, ri, ci, v)
+				}
+			}
+		}
+		// Extension tables have no paper reference.
+		if PaperTable(id) != nil {
+			t.Errorf("%s should have no paper data", id)
+		}
+	}
+	if _, err := GenerateExtension("XX"); err == nil {
+		t.Error("unknown extension should error")
+	}
+}
+
+func TestExtensionNMProperties(t *testing.T) {
+	tab, err := ExtensionNM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Columns: M=8 H/U, M=16 H/U, M=32 H/U; rows B = 1,2,4,8,16.
+	if len(tab.Columns) != 6 || len(tab.Values) != 5 {
+		t.Fatalf("layout %d×%d", len(tab.Values), len(tab.Columns))
+	}
+	lastRow := tab.Values[len(tab.Values)-1] // B = 16
+	// More modules dilute interference: at B=16, bandwidth rises with M
+	// for the uniform workload.
+	if !(lastRow[5] > lastRow[3] && lastRow[3] > lastRow[1]) {
+		t.Errorf("uniform bandwidth not increasing in M at B=16: %v", lastRow)
+	}
+	// Hierarchical beats uniform in every cell (locality reduces
+	// conflicts).
+	for ri, row := range tab.Values {
+		for c := 0; c+1 < len(row); c += 2 {
+			if row[c] < row[c+1]-1e-9 {
+				t.Errorf("row %d col %d: hier %.4f < unif %.4f", ri, c, row[c], row[c+1])
+			}
+		}
+	}
+	// With M=8 < N=16 and B=16 > M the bandwidth is capped by M·X ≤ 8.
+	if lastRow[0] > 8+1e-9 || lastRow[1] > 8+1e-9 {
+		t.Errorf("M=8 bandwidth exceeds module count: %v", lastRow[:2])
+	}
+}
+
+func TestExtensionLevelsOrdering(t *testing.T) {
+	tab, err := ExtensionLevels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Columns: Uniform, 2-level, 3-level. Deeper hierarchies concentrate
+	// references, so each level dominates the previous at every B where
+	// the network is not bus-saturated (at saturation all equal B).
+	for ri, row := range tab.Values {
+		unif, two, three := row[0], row[1], row[2]
+		if two < unif-1e-9 {
+			t.Errorf("row %s: 2-level %.4f below uniform %.4f", tab.RowLabels[ri], two, unif)
+		}
+		if three < two-1e-9 {
+			t.Errorf("row %s: 3-level %.4f below 2-level %.4f", tab.RowLabels[ri], three, two)
+		}
+	}
+	// The crossbar row matches the paper's 11.78 for the 2-level model.
+	last := tab.Values[len(tab.Values)-1]
+	if math.Abs(last[1]-11.78) > 0.02 {
+		t.Errorf("2-level crossbar %.4f, want ≈11.78", last[1])
+	}
+}
+
+func TestExtensionScaleProperties(t *testing.T) {
+	tab, err := ExtensionScale()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Values) != 8 { // N = 8 … 1024
+		t.Fatalf("rows %d, want 8", len(tab.Values))
+	}
+	for ri, row := range tab.Values {
+		for ci, v := range row {
+			if v <= 0 || v > 1 {
+				t.Errorf("row %s col %d: per-processor bandwidth %v out of (0,1]",
+					tab.RowLabels[ri], ci, v)
+			}
+		}
+		// Hier beats unif at every scale; full ≥ partial ≥ single.
+		if row[0] < row[1]-1e-9 {
+			t.Errorf("row %s: full hier %v below full unif %v", tab.RowLabels[ri], row[0], row[1])
+		}
+		if !(row[0] >= row[2]-1e-9 && row[2] >= row[3]-1e-9) {
+			t.Errorf("row %s: scheme ordering violated: %v", tab.RowLabels[ri], row)
+		}
+	}
+	// The uniform full column converges: the last two rows differ by
+	// little (X → 1 − 1/e).
+	last, prev := tab.Values[7][1], tab.Values[6][1]
+	if math.Abs(last-prev) > 0.005 {
+		t.Errorf("uniform per-processor bandwidth not converging: %v vs %v", prev, last)
+	}
+}

@@ -1,0 +1,185 @@
+package tables
+
+import "math"
+
+// nan marks a cell the paper leaves empty (B > N) or that is illegible in
+// the available scan of the paper; comparisons skip NaN cells.
+var nan = math.NaN()
+
+// PaperTable returns the values printed in the paper for the given table
+// ID, in exactly the layout Generate produces, or nil for unknown IDs.
+// Sources: Chen & Sheu, Tables II–VI. Cells lost to the source scan are
+// NaN; the complete column sets (all of Tables V and VI, Table II N=8 and
+// N=12, Table IVa) are verbatim.
+func PaperTable(id string) *Table {
+	switch id {
+	case "II":
+		return paperTableII()
+	case "III":
+		return paperTableIII()
+	case "IVa":
+		return paperTableIVa()
+	case "IVb":
+		return paperTableIVb()
+	case "Va":
+		return paperTableVa()
+	case "Vb":
+		return paperTableVb()
+	case "VIa":
+		return paperTableVIa()
+	case "VIb":
+		return paperTableVIb()
+	default:
+		return nil
+	}
+}
+
+func fullLayout(id, title string, values [][]float64) *Table {
+	t := &Table{ID: id, Title: title}
+	for _, n := range []int{8, 12, 16} {
+		t.Columns = append(t.Columns,
+			"N="+itoa(n)+" Hier", "N="+itoa(n)+" Unif")
+	}
+	for b := 1; b <= 16; b++ {
+		t.RowLabels = append(t.RowLabels, itoa(b))
+	}
+	t.RowLabels = append(t.RowLabels, "N×N crossbar")
+	t.Values = values
+	return t
+}
+
+func powerLayout(id, title string, minB int, values [][]float64) *Table {
+	t := &Table{ID: id, Title: title}
+	for _, n := range []int{8, 16, 32} {
+		t.Columns = append(t.Columns,
+			"N="+itoa(n)+" Hier", "N="+itoa(n)+" Unif")
+	}
+	for b := minB; b <= 32; b *= 2 {
+		t.RowLabels = append(t.RowLabels, itoa(b))
+	}
+	t.Values = values
+	return t
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func paperTableII() *Table {
+	// Columns: N=8 H, N=8 U, N=12 H, N=12 U, N=16 H, N=16 U.
+	return fullLayout("II", "Paper Table II (full connection, r=1.0)", [][]float64{
+		{1.0, 1.0, 1.0, 1.0, 1.0, 1.0},
+		{2.0, 2.0, 2.0, 2.0, 2.0, 2.0},
+		{3.0, 2.97, 3.0, 3.0, 3.0, 3.0},
+		{3.97, 3.87, 4.0, 3.99, 4.0, 4.0},
+		{4.85, 4.59, 5.0, 4.97, 5.0, 5.0},
+		{5.52, 5.04, 5.98, 5.88, 6.0, 6.0},
+		{5.88, 5.22, 6.91, 6.66, 7.0, 6.97},
+		{5.98, 5.25, 7.73, 7.24, 7.99, 7.89},
+		{nan, nan, 8.34, 7.58, 8.95, nan},
+		{nan, nan, 8.70, 7.73, 9.85, nan},
+		{nan, nan, 8.84, 7.77, 10.62, 9.86},
+		{nan, nan, 8.86, 7.78, 11.20, 10.13},
+		{nan, nan, nan, nan, 11.56, 10.25},
+		{nan, nan, nan, nan, 11.72, 10.29},
+		{nan, nan, nan, nan, 11.77, 10.30},
+		{nan, nan, nan, nan, nan, nan},         // B=16 row lost in scan
+		{5.98, 5.25, 8.86, 7.78, 11.78, 10.30}, // crossbar
+	})
+}
+
+func paperTableIII() *Table {
+	return fullLayout("III", "Paper Table III (full connection, r=0.5)", [][]float64{
+		{0.99, 0.98, 1.0, 1.0, 1.0, 1.0},
+		{1.91, 1.88, 1.99, 1.98, 2.0, 2.0},
+		{2.67, 2.57, 2.93, 2.89, 2.99, 2.98},
+		{3.15, 2.99, 3.76, 3.67, 3.95, 3.91},
+		{3.38, 3.16, 4.41, 4.23, 4.83, 4.74},
+		{3.46, 3.22, 4.83, 4.57, nan, nan}, // N=16 B=6 row lost in scan
+		{3.47, 3.23, 5.04, 4.72, 6.15, 5.87},
+		{3.47, 3.23, 5.13, 4.78, 6.52, 6.15},
+		{nan, nan, 5.16, 4.80, 6.73, 6.29},
+		{nan, nan, 5.16, 4.80, 6.82, 6.35},
+		{nan, nan, 5.16, 4.80, 6.85, 6.37},
+		{nan, nan, nan, nan, 6.87, 6.37}, // N=12 B=12 row lost in scan
+		{nan, nan, nan, nan, 6.87, 6.37},
+		{nan, nan, nan, nan, 6.87, 6.37},
+		{nan, nan, nan, nan, 6.87, 6.37},
+		{nan, nan, nan, nan, nan, nan},       // B=16 row lost in scan
+		{3.47, 3.23, 5.16, 4.80, 6.87, 6.37}, // crossbar
+	})
+}
+
+func paperTableIVa() *Table {
+	// Columns: N=8 H, N=8 U, N=16 H, N=16 U, N=32 H, N=32 U.
+	return powerLayout("IVa", "Paper Table IV (single connection, r=1.0)", 1, [][]float64{
+		{1.0, 1.0, 1.0, 1.0, 1.0, 1.0},
+		{1.99, 1.97, 2.0, 2.0, 2.0, 2.0},
+		{3.74, 3.53, 3.98, 3.94, 4.0, 4.0},
+		{5.97, 5.25, 7.44, 6.99, 7.96, 7.86},
+		{nan, nan, 11.78, 10.30, 14.87, 13.90},
+		{nan, nan, nan, nan, 23.48, 20.41},
+	})
+}
+
+func paperTableIVb() *Table {
+	// Several cells of the r=0.5 half are illegible in the scan (NaN).
+	return powerLayout("IVb", "Paper Table IV (single connection, r=0.5)", 1, [][]float64{
+		{nan, 0.98, 1.0, 1.0, 1.0, 1.0},
+		{nan, 1.75, 1.98, nan, 2.0, 2.0},
+		{nan, 2.58, 3.58, nan, 3.95, 3.93},
+		{3.47, 3.23, 5.39, nan, 7.14, 6.93},
+		{nan, nan, 6.87, 6.37, 10.76, 10.16},
+		{nan, nan, nan, nan, 13.69, 12.67},
+	})
+}
+
+func paperTableVa() *Table {
+	return powerLayout("Va", "Paper Table V (partial bus, g=2, r=1.0)", 2, [][]float64{
+		{1.99, 1.97, 2.0, 2.0, 2.0, 2.0},
+		{3.89, 3.73, 4.0, 3.99, 4.0, 4.0},
+		{5.97, 5.25, 7.92, 7.71, 8.0, 8.0},
+		{nan, nan, 11.78, 10.30, 15.97, 15.76},
+		{nan, nan, nan, nan, 23.48, 20.41},
+	})
+}
+
+func paperTableVb() *Table {
+	return powerLayout("Vb", "Paper Table V (partial bus, g=2, r=0.5)", 2, [][]float64{
+		{1.79, 1.75, 1.98, 1.97, 2.0, 2.0},
+		{2.96, 2.81, 3.82, 3.75, 4.0, 3.99},
+		{3.47, 3.23, 6.25, 5.92, 7.89, 7.81},
+		{nan, nan, 6.87, 6.37, 13.02, 12.24},
+		{nan, nan, nan, nan, 13.69, 12.67},
+	})
+}
+
+func paperTableVIa() *Table {
+	return powerLayout("VIa", "Paper Table VI (K=B classes, r=1.0)", 2, [][]float64{
+		{2.0, 1.98, 2.0, 2.0, 2.0, 2.0},
+		{3.85, 3.68, 3.99, 3.98, 4.0, 4.0},
+		{5.97, 5.25, 7.71, 7.35, 7.99, 7.97},
+		{nan, nan, 11.78, 10.30, 15.44, 14.70},
+		{nan, nan, nan, nan, 23.48, 20.41},
+	})
+}
+
+func paperTableVIb() *Table {
+	return powerLayout("VIb", "Paper Table VI (K=B classes, r=0.5)", 2, [][]float64{
+		{1.85, 1.81, 1.99, 1.98, 2.0, 2.0},
+		{2.90, 2.75, 3.78, 3.70, 3.99, 3.98},
+		{3.47, 3.23, 5.81, 5.51, 7.64, 7.49},
+		{nan, nan, 6.87, 6.37, 11.66, 11.02},
+		{nan, nan, nan, nan, 13.69, 12.67},
+	})
+}

@@ -1,0 +1,128 @@
+package tables
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Render writes the table as aligned plain text, with "-" for empty
+// cells:
+//
+//	Table Va — Memory bandwidth …
+//	B       N=8 Hier  N=8 Unif  …
+//	2           1.99      1.97  …
+func (t *Table) Render(w io.Writer) error {
+	const labelWidth, cellWidth = 14, 10
+	if _, err := fmt.Fprintf(w, "Table %s — %s\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-*s", labelWidth, t.rowHeader())
+	for _, col := range t.Columns {
+		fmt.Fprintf(&b, "%*s", cellWidth, col)
+	}
+	b.WriteByte('\n')
+	for ri, row := range t.Values {
+		fmt.Fprintf(&b, "%-*s", labelWidth, t.RowLabels[ri])
+		for _, v := range row {
+			if math.IsNaN(v) {
+				fmt.Fprintf(&b, "%*s", cellWidth, "-")
+			} else {
+				fmt.Fprintf(&b, "%*.2f", cellWidth, v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderMarkdown writes the table as a GitHub-flavored markdown table.
+func (t *Table) RenderMarkdown(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "**Table %s — %s**\n\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "| %s |", t.rowHeader())
+	for _, col := range t.Columns {
+		fmt.Fprintf(&b, " %s |", col)
+	}
+	b.WriteString("\n|---|")
+	for range t.Columns {
+		b.WriteString("---|")
+	}
+	b.WriteByte('\n')
+	for ri, row := range t.Values {
+		fmt.Fprintf(&b, "| %s |", t.RowLabels[ri])
+		for _, v := range row {
+			if math.IsNaN(v) {
+				b.WriteString(" – |")
+			} else {
+				fmt.Fprintf(&b, " %.2f |", v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderCSV writes the table as CSV with an empty string for NaN cells.
+func (t *Table) RenderCSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString(t.rowHeader())
+	for _, col := range t.Columns {
+		b.WriteByte(',')
+		b.WriteString(col)
+	}
+	b.WriteByte('\n')
+	for ri, row := range t.Values {
+		b.WriteString(t.RowLabels[ri])
+		for _, v := range row {
+			b.WriteByte(',')
+			if !math.IsNaN(v) {
+				fmt.Fprintf(&b, "%.4f", v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderSideBySide writes computed and paper values interleaved
+// ("computed/paper") for visual inspection, with "-" for cells missing
+// on either side.
+func RenderSideBySide(w io.Writer, computed, paper *Table) error {
+	if len(computed.Values) != len(paper.Values) {
+		return fmt.Errorf("tables: row mismatch %d vs %d", len(computed.Values), len(paper.Values))
+	}
+	const labelWidth, cellWidth = 14, 14
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table %s — computed/paper\n", computed.ID)
+	fmt.Fprintf(&b, "%-*s", labelWidth, computed.rowHeader())
+	for _, col := range computed.Columns {
+		fmt.Fprintf(&b, "%*s", cellWidth, col)
+	}
+	b.WriteByte('\n')
+	for ri, row := range computed.Values {
+		fmt.Fprintf(&b, "%-*s", labelWidth, computed.RowLabels[ri])
+		for ci, cv := range row {
+			pv := paper.Cell(ri, ci)
+			cell := "-"
+			switch {
+			case math.IsNaN(cv) && math.IsNaN(pv):
+			case math.IsNaN(pv):
+				cell = fmt.Sprintf("%.2f/-", cv)
+			case math.IsNaN(cv):
+				cell = fmt.Sprintf("-/%.2f", pv)
+			default:
+				cell = fmt.Sprintf("%.2f/%.2f", cv, pv)
+			}
+			fmt.Fprintf(&b, "%*s", cellWidth, cell)
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

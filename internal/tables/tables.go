@@ -1,0 +1,260 @@
+// Package tables regenerates the paper's numerical tables (II–VI) from
+// the analytic models, embeds the values the paper actually printed, and
+// compares the two. It is the reproduction harness behind EXPERIMENTS.md,
+// the mbtables command, and the per-table benchmarks.
+//
+// Cell values are float64; NaN marks an empty cell (configurations the
+// paper does not evaluate, e.g. B > N) both in generated and in paper
+// reference tables (where NaN additionally marks entries lost to the
+// source scan).
+package tables
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"multibus/internal/analytic"
+	"multibus/internal/hrm"
+)
+
+// Errors returned by table generation.
+var ErrBadTable = errors.New("tables: unknown table")
+
+// Table is a rectangular grid of bandwidth values with labelled rows
+// (bus counts) and columns (N / workload combinations).
+type Table struct {
+	ID        string // "II" … "VI"
+	Title     string
+	RowHeader string // label of the row dimension; "" renders as "B"
+	RowLabels []string
+	Columns   []string
+	Values    [][]float64 // [row][col]; NaN = empty cell
+}
+
+// rowHeader returns the row-dimension label, defaulting to "B".
+func (t *Table) rowHeader() string {
+	if t.RowHeader == "" {
+		return "B"
+	}
+	return t.RowHeader
+}
+
+// Cell returns the value at (row, col) or NaN if out of range.
+func (t *Table) Cell(row, col int) float64 {
+	if row < 0 || row >= len(t.Values) || col < 0 || col >= len(t.Values[row]) {
+		return math.NaN()
+	}
+	return t.Values[row][col]
+}
+
+// paperHier returns the per-module request probability X of the paper's
+// standard workload (two-level hierarchy, 4 clusters, 0.6/0.3/0.1).
+func paperHier(n int, r float64) (float64, error) {
+	h, err := hrm.TwoLevelPaper(n, 4, 0.6, 0.3, 0.1)
+	if err != nil {
+		return 0, err
+	}
+	return h.X(r)
+}
+
+// paperUnif returns X for the uniform workload.
+func paperUnif(n int, r float64) (float64, error) {
+	h, err := hrm.Uniform(n)
+	if err != nil {
+		return 0, err
+	}
+	return h.X(r)
+}
+
+// bothX returns (hier X, unif X) for the given N and r.
+func bothX(n int, r float64) (xh, xu float64, err error) {
+	xh, err = paperHier(n, r)
+	if err != nil {
+		return 0, 0, err
+	}
+	xu, err = paperUnif(n, r)
+	return xh, xu, err
+}
+
+// fullConnectionTable generates Table II (r = 1.0) or Table III
+// (r = 0.5): memory bandwidth of N×N×B networks with full bus–memory
+// connection, for N ∈ {8, 12, 16}, B = 1 … N, hierarchical and uniform
+// workloads, plus the N×N crossbar row.
+func fullConnectionTable(id string, r float64) (*Table, error) {
+	ns := []int{8, 12, 16}
+	maxN := ns[len(ns)-1]
+	t := &Table{
+		ID:    id,
+		Title: fmt.Sprintf("Memory bandwidth of N×N×B networks with full bus-memory connection, r=%.1f", r),
+	}
+	for _, n := range ns {
+		t.Columns = append(t.Columns, fmt.Sprintf("N=%d Hier", n), fmt.Sprintf("N=%d Unif", n))
+	}
+	for b := 1; b <= maxN; b++ {
+		t.RowLabels = append(t.RowLabels, fmt.Sprintf("%d", b))
+		row := make([]float64, 0, len(ns)*2)
+		for _, n := range ns {
+			if b > n {
+				row = append(row, math.NaN(), math.NaN())
+				continue
+			}
+			xh, xu, err := bothX(n, r)
+			if err != nil {
+				return nil, err
+			}
+			vh, err := analytic.BandwidthFull(n, b, xh)
+			if err != nil {
+				return nil, err
+			}
+			vu, err := analytic.BandwidthFull(n, b, xu)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, vh, vu)
+		}
+		t.Values = append(t.Values, row)
+	}
+	// Crossbar row.
+	t.RowLabels = append(t.RowLabels, "N×N crossbar")
+	row := make([]float64, 0, len(ns)*2)
+	for _, n := range ns {
+		xh, xu, err := bothX(n, r)
+		if err != nil {
+			return nil, err
+		}
+		vh, err := analytic.BandwidthCrossbar(n, xh)
+		if err != nil {
+			return nil, err
+		}
+		vu, err := analytic.BandwidthCrossbar(n, xu)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, vh, vu)
+	}
+	t.Values = append(t.Values, row)
+	return t, nil
+}
+
+// TableII generates the paper's Table II (full connection, r = 1.0).
+func TableII() (*Table, error) { return fullConnectionTable("II", 1.0) }
+
+// TableIII generates the paper's Table III (full connection, r = 0.5).
+func TableIII() (*Table, error) { return fullConnectionTable("III", 0.5) }
+
+// powerTable builds the shared layout of Tables IV–VI: N ∈ {8, 16, 32},
+// B running over powers of two from minB to 32, NaN above B > N.
+func powerTable(id, scheme string, r float64, minB int,
+	eval func(n, b int, x float64) (float64, error)) (*Table, error) {
+	ns := []int{8, 16, 32}
+	t := &Table{
+		ID:    id,
+		Title: fmt.Sprintf("Memory bandwidth of N×N×B %s, r=%.1f", scheme, r),
+	}
+	for _, n := range ns {
+		t.Columns = append(t.Columns, fmt.Sprintf("N=%d Hier", n), fmt.Sprintf("N=%d Unif", n))
+	}
+	for b := minB; b <= 32; b *= 2 {
+		t.RowLabels = append(t.RowLabels, fmt.Sprintf("%d", b))
+		row := make([]float64, 0, len(ns)*2)
+		for _, n := range ns {
+			if b > n {
+				row = append(row, math.NaN(), math.NaN())
+				continue
+			}
+			xh, xu, err := bothX(n, r)
+			if err != nil {
+				return nil, err
+			}
+			vh, err := eval(n, b, xh)
+			if err != nil {
+				return nil, err
+			}
+			vu, err := eval(n, b, xu)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, vh, vu)
+		}
+		t.Values = append(t.Values, row)
+	}
+	return t, nil
+}
+
+// TableIV generates the paper's Table IV (single bus–memory connection,
+// N/B modules per bus) for r = 1.0 or r = 0.5.
+func TableIV(r float64) (*Table, error) {
+	id := "IVa"
+	if r == 0.5 {
+		id = "IVb"
+	}
+	return powerTable(id, "networks with single bus-memory connection", r, 1,
+		func(n, b int, x float64) (float64, error) {
+			counts := make([]int, b)
+			for i := range counts {
+				counts[i] = n / b
+			}
+			return analytic.BandwidthSingle(counts, x)
+		})
+}
+
+// TableV generates the paper's Table V (partial bus networks, g = 2) for
+// r = 1.0 or r = 0.5.
+func TableV(r float64) (*Table, error) {
+	id := "Va"
+	if r == 0.5 {
+		id = "Vb"
+	}
+	return powerTable(id, "partial bus networks with g=2", r, 2,
+		func(n, b int, x float64) (float64, error) {
+			return analytic.BandwidthPartialGroups(n, b, 2, x)
+		})
+}
+
+// TableVI generates the paper's Table VI (partial bus networks with
+// K = B classes of N/K modules each) for r = 1.0 or r = 0.5.
+func TableVI(r float64) (*Table, error) {
+	id := "VIa"
+	if r == 0.5 {
+		id = "VIb"
+	}
+	return powerTable(id, "partial bus networks with K=B classes", r, 2,
+		func(n, b int, x float64) (float64, error) {
+			sizes := make([]int, b)
+			for i := range sizes {
+				sizes[i] = n / b
+			}
+			return analytic.BandwidthKClasses(sizes, b, x)
+		})
+}
+
+// Generate returns the computed table with the given ID: "II", "III",
+// "IVa", "IVb", "Va", "Vb", "VIa", "VIb".
+func Generate(id string) (*Table, error) {
+	switch id {
+	case "II":
+		return TableII()
+	case "III":
+		return TableIII()
+	case "IVa":
+		return TableIV(1.0)
+	case "IVb":
+		return TableIV(0.5)
+	case "Va":
+		return TableV(1.0)
+	case "Vb":
+		return TableV(0.5)
+	case "VIa":
+		return TableVI(1.0)
+	case "VIb":
+		return TableVI(0.5)
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrBadTable, id)
+	}
+}
+
+// AllIDs lists every generatable table ID in paper order.
+func AllIDs() []string {
+	return []string{"II", "III", "IVa", "IVb", "Va", "Vb", "VIa", "VIb"}
+}

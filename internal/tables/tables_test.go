@@ -1,0 +1,301 @@
+package tables
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGenerateKnownIDs(t *testing.T) {
+	for _, id := range AllIDs() {
+		tab, err := Generate(id)
+		if err != nil {
+			t.Fatalf("Generate(%s): %v", id, err)
+		}
+		if tab.ID != id {
+			t.Errorf("Generate(%s).ID = %s", id, tab.ID)
+		}
+		if len(tab.Values) != len(tab.RowLabels) {
+			t.Errorf("%s: %d rows vs %d labels", id, len(tab.Values), len(tab.RowLabels))
+		}
+		for ri, row := range tab.Values {
+			if len(row) != len(tab.Columns) {
+				t.Errorf("%s row %d: %d cells vs %d columns", id, ri, len(row), len(tab.Columns))
+			}
+		}
+	}
+	if _, err := Generate("XX"); err == nil {
+		t.Error("unknown table should error")
+	}
+}
+
+func TestReproduceAllPaperTables(t *testing.T) {
+	// The headline reproduction check: every legible cell of every table
+	// in the paper agrees with our closed forms within 0.02 (the paper's
+	// own last-digit rounding slack).
+	comps, err := CompareAll(0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != len(AllIDs()) {
+		t.Fatalf("compared %d tables, want %d", len(comps), len(AllIDs()))
+	}
+	totalCells := 0
+	for _, c := range comps {
+		totalCells += c.CellsCompared
+		if !c.WithinTolerance {
+			t.Errorf("%s", c)
+		}
+		if c.CellsCompared == 0 {
+			t.Errorf("Table %s compared no cells", c.ID)
+		}
+	}
+	// The paper's tables carry a few hundred values; most must be legible
+	// and compared.
+	if totalCells < 150 {
+		t.Errorf("only %d cells compared across all tables", totalCells)
+	}
+}
+
+func TestPaperTableLayoutsMatchGenerated(t *testing.T) {
+	for _, id := range AllIDs() {
+		computed, err := Generate(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paper := PaperTable(id)
+		if paper == nil {
+			t.Fatalf("no paper data for %s", id)
+		}
+		if len(paper.Values) != len(computed.Values) {
+			t.Errorf("%s: paper %d rows, computed %d", id, len(paper.Values), len(computed.Values))
+		}
+		if len(paper.Columns) != len(computed.Columns) {
+			t.Errorf("%s: paper %d cols, computed %d", id, len(paper.Columns), len(computed.Columns))
+		}
+		for i, col := range computed.Columns {
+			if paper.Columns[i] != col {
+				t.Errorf("%s col %d: paper %q vs computed %q", id, i, paper.Columns[i], col)
+			}
+		}
+	}
+	if PaperTable("nope") != nil {
+		t.Error("unknown paper table should be nil")
+	}
+}
+
+func TestEmptyCellsOnlyWhereBExceedsN(t *testing.T) {
+	tab, err := Generate("Va")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Column layout: N=8, N=16, N=32 (Hier/Unif); rows B=2,4,8,16,32.
+	bs := []int{2, 4, 8, 16, 32}
+	ns := []int{8, 8, 16, 16, 32, 32}
+	for ri, b := range bs {
+		for ci, n := range ns {
+			got := math.IsNaN(tab.Values[ri][ci])
+			want := b > n
+			if got != want {
+				t.Errorf("Va cell (B=%d, N=%d): NaN=%v, want %v", b, n, got, want)
+			}
+		}
+	}
+}
+
+func TestSectionIVRatioClaims(t *testing.T) {
+	// §IV quantitative claims about Table IV (single connection):
+	// uniform r=1.0: MBW(B=N) / MBW(B=N/2) ≈ 1.5; at r=0.5 ≈ 1.2;
+	// hierarchical: ≈1.6 at r=1.0 and ≈1.28 at r=0.5.
+	ratio := func(id string, hier bool) float64 {
+		tab, err := Generate(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Use N=32: rows B=32 (last) and B=16 (second last), columns 4/5.
+		col := 4
+		if !hier {
+			col = 5
+		}
+		last := len(tab.Values) - 1
+		return tab.Values[last][col] / tab.Values[last-1][col]
+	}
+	checks := []struct {
+		id    string
+		hier  bool
+		want  float64
+		slack float64
+	}{
+		{"IVa", false, 1.5, 0.05},
+		{"IVb", false, 1.2, 0.06},
+		{"IVa", true, 1.6, 0.05},
+		{"IVb", true, 1.28, 0.06},
+	}
+	for _, c := range checks {
+		got := ratio(c.id, c.hier)
+		if math.Abs(got-c.want) > c.slack {
+			t.Errorf("%s hier=%v: B=N vs B=N/2 ratio = %.3f, want ≈%.2f",
+				c.id, c.hier, got, c.want)
+		}
+	}
+}
+
+func TestHierAlwaysBeatsUniform(t *testing.T) {
+	// The paper's headline observation: hierarchical bandwidth ≥ uniform
+	// in every cell of every table.
+	for _, id := range AllIDs() {
+		tab, err := Generate(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ri, row := range tab.Values {
+			for ci := 0; ci+1 < len(row); ci += 2 {
+				h, u := row[ci], row[ci+1]
+				if math.IsNaN(h) || math.IsNaN(u) {
+					continue
+				}
+				if h < u-1e-9 {
+					t.Errorf("%s row %s col %s: hier %.4f < unif %.4f",
+						id, tab.RowLabels[ri], tab.Columns[ci], h, u)
+				}
+			}
+		}
+	}
+}
+
+func TestCompareDetectsMismatch(t *testing.T) {
+	computed, err := Generate("Va")
+	if err != nil {
+		t.Fatal(err)
+	}
+	paper := PaperTable("Va")
+	// Corrupt one paper cell beyond tolerance.
+	paper.Values[0][0] = 9.99
+	c, err := Compare(computed, paper, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.WithinTolerance {
+		t.Error("corrupted cell not detected")
+	}
+	if c.MaxAbsError < 7 {
+		t.Errorf("max error %.3f, want ≈8", c.MaxAbsError)
+	}
+	if !strings.Contains(c.String(), "MISMATCH") {
+		t.Errorf("String() = %q, want MISMATCH verdict", c.String())
+	}
+}
+
+func TestCompareRejectsComputedGapsAgainstPaperValues(t *testing.T) {
+	computed, err := Generate("Va")
+	if err != nil {
+		t.Fatal(err)
+	}
+	paper := PaperTable("Va")
+	computed.Values[0][0] = math.NaN() // pretend we failed to compute it
+	if _, err := Compare(computed, paper, 0.02); err == nil {
+		t.Error("computed NaN against a printed paper value must be an error")
+	}
+}
+
+func TestCompareShapeErrors(t *testing.T) {
+	a, _ := Generate("Va")
+	b, _ := Generate("II")
+	if _, err := Compare(a, b, 0.02); err == nil {
+		t.Error("shape mismatch should error")
+	}
+	if _, err := Compare(nil, a, 0.02); err == nil {
+		t.Error("nil table should error")
+	}
+}
+
+func TestRenderFormats(t *testing.T) {
+	tab, err := Generate("Va")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var text strings.Builder
+	if err := tab.Render(&text); err != nil {
+		t.Fatal(err)
+	}
+	out := text.String()
+	for _, frag := range []string{"Table Va", "N=8 Hier", "1.99", "-"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Render missing %q:\n%s", frag, out)
+		}
+	}
+
+	var md strings.Builder
+	if err := tab.RenderMarkdown(&md); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md.String(), "| B |") || !strings.Contains(md.String(), "|---|") {
+		t.Errorf("markdown malformed:\n%s", md.String())
+	}
+
+	var csv strings.Builder
+	if err := tab.RenderCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 1+len(tab.Values) {
+		t.Errorf("CSV has %d lines, want %d", len(lines), 1+len(tab.Values))
+	}
+	if !strings.HasPrefix(lines[0], "B,N=8 Hier,") {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+
+	var sbs strings.Builder
+	paper := PaperTable("Va")
+	if err := RenderSideBySide(&sbs, tab, paper); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sbs.String(), "/") {
+		t.Errorf("side-by-side missing computed/paper pairs:\n%s", sbs.String())
+	}
+	// Mismatched shapes rejected.
+	if err := RenderSideBySide(&sbs, tab, PaperTable("II")); err == nil {
+		t.Error("side-by-side shape mismatch should error")
+	}
+}
+
+func TestCellAccessor(t *testing.T) {
+	tab, err := Generate("Va")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := tab.Cell(0, 0); math.Abs(v-1.99) > 0.02 {
+		t.Errorf("Cell(0,0) = %v", v)
+	}
+	if !math.IsNaN(tab.Cell(-1, 0)) || !math.IsNaN(tab.Cell(0, 99)) {
+		t.Error("out-of-range Cell should be NaN")
+	}
+}
+
+func TestCrossTableConsistency(t *testing.T) {
+	// Structural identities the paper notes:
+	// (1) Table IV B=N equals the crossbar (Tables II/III last row).
+	// (2) Table V at B=N equals Table IV at B=N (one bus per group of 1
+	//     module… both equal the crossbar).
+	iva, _ := Generate("IVa")
+	ii, _ := Generate("II")
+	// IVa N=16 B=16: row index 4, cols 2,3. II crossbar: last row cols 4,5.
+	for d := 0; d < 2; d++ {
+		got := iva.Values[4][2+d]
+		want := ii.Values[len(ii.Values)-1][4+d]
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("IVa B=N=16 col %d = %.4f, crossbar %.4f", d, got, want)
+		}
+	}
+	va, _ := Generate("Va")
+	via, _ := Generate("VIa")
+	// At B=N (pure per-module buses), V, VI, and IV all agree.
+	for d := 0; d < 2; d++ {
+		if diff := math.Abs(va.Values[2][0+d] - via.Values[2][0+d]); diff > 1e-9 {
+			t.Errorf("Va vs VIa at B=N=8 col %d differ by %.6f", d, diff)
+		}
+		if diff := math.Abs(va.Values[2][0+d] - iva.Values[3][0+d]); diff > 1e-9 {
+			t.Errorf("Va vs IVa at B=N=8 col %d differ by %.6f", d, diff)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package topology
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Diagram renders the network as an ASCII figure in the style of the
+// paper's Figs. 1–4: one horizontal line per bus, processor columns on
+// the left (always connected), module columns on the right with '●' at
+// wired crossings and '─' where the bus passes a module unconnected.
+// For KClasses networks a class annotation row is added; for
+// PartialGroups a group annotation row.
+//
+// Example (the paper's Fig. 3, a 3×6×4 partial bus network with three
+// classes):
+//
+//	       P0  P1  P2 │  M0  M1  M2  M3  M4  M5
+//	                  │  C1  C1  C2  C2  C3  C3
+//	bus 1 ──●───●───●─┼───●───●───●───●───●───●
+//	bus 2 ──●───●───●─┼───●───●───●───●───●───●
+//	bus 3 ──●───●───●─┼───────────●───●───●───●
+//	bus 4 ──●───●───●─┼───────────────────●───●
+func (nw *Network) Diagram() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n\n", nw.String())
+
+	const cell = 4 // width of one device column
+	gutter := len("bus 99 ")
+
+	// Header row: processor and module labels.
+	b.WriteString(strings.Repeat(" ", gutter))
+	for p := 0; p < nw.n; p++ {
+		fmt.Fprintf(&b, "%*s", cell, fmt.Sprintf("P%d", p))
+	}
+	b.WriteString(" │")
+	for j := 0; j < nw.m; j++ {
+		fmt.Fprintf(&b, "%*s", cell, fmt.Sprintf("M%d", j))
+	}
+	b.WriteByte('\n')
+
+	// Annotation row for classes or groups.
+	switch nw.scheme {
+	case SchemeKClasses:
+		b.WriteString(strings.Repeat(" ", gutter+cell*nw.n))
+		b.WriteString(" │")
+		for j := 0; j < nw.m; j++ {
+			class, _ := nw.ClassOf(j)
+			fmt.Fprintf(&b, "%*s", cell, fmt.Sprintf("C%d", class))
+		}
+		b.WriteByte('\n')
+	case SchemePartialGroups:
+		b.WriteString(strings.Repeat(" ", gutter+cell*nw.n))
+		b.WriteString(" │")
+		for j := 0; j < nw.m; j++ {
+			group, _ := nw.GroupOf(j)
+			fmt.Fprintf(&b, "%*s", cell, fmt.Sprintf("g%d", group))
+		}
+		b.WriteByte('\n')
+	}
+
+	// One line per bus.
+	for i := 0; i < nw.b; i++ {
+		fmt.Fprintf(&b, "bus %-3d", i+1)
+		for p := 0; p < nw.n; p++ {
+			_ = p
+			b.WriteString("───●")
+		}
+		b.WriteString("─┼")
+		for j := 0; j < nw.m; j++ {
+			if nw.conn[i][j] {
+				b.WriteString("───●")
+			} else {
+				b.WriteString("────")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ConnectionMatrix renders the B×M wiring as a compact 0/1 grid, one row
+// per bus — useful in logs and golden tests.
+func (nw *Network) ConnectionMatrix() string {
+	var b strings.Builder
+	for i := 0; i < nw.b; i++ {
+		for j := 0; j < nw.m; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			if nw.conn[i][j] {
+				b.WriteByte('1')
+			} else {
+				b.WriteByte('0')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,100 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDiagramFigure3(t *testing.T) {
+	// Paper Fig. 3: 3×6×4 with three classes of two modules.
+	nw, err := KClasses(3, 4, []int{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := nw.Diagram()
+	// Header names every device and class.
+	for _, frag := range []string{"P0", "P2", "M0", "M5", "C1", "C3", "bus 1", "bus 4"} {
+		if !strings.Contains(d, frag) {
+			t.Errorf("diagram missing %q:\n%s", frag, d)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(d, "\n"), "\n")
+	// Title + blank + header + class row + 4 bus rows.
+	if len(lines) != 8 {
+		t.Fatalf("diagram has %d lines, want 8:\n%s", len(lines), d)
+	}
+	// Bus 1 reaches all 6 modules; bus 4 only the last 2: count '●' after
+	// the '┼' separator.
+	countDots := func(line string) int {
+		_, after, ok := strings.Cut(line, "┼")
+		if !ok {
+			t.Fatalf("bus line missing separator: %q", line)
+		}
+		return strings.Count(after, "●")
+	}
+	if got := countDots(lines[4]); got != 6 {
+		t.Errorf("bus 1 connects %d modules, want 6", got)
+	}
+	if got := countDots(lines[7]); got != 2 {
+		t.Errorf("bus 4 connects %d modules, want 2", got)
+	}
+}
+
+func TestDiagramFullAndSingle(t *testing.T) {
+	full, err := Full(4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := full.Diagram()
+	if !strings.Contains(d, "full bus-memory connection") {
+		t.Errorf("full diagram missing scheme title:\n%s", d)
+	}
+	// Each of the 2 bus rows should show 4 processor + 4 module dots.
+	for _, line := range strings.Split(d, "\n") {
+		if strings.HasPrefix(line, "bus ") {
+			if got := strings.Count(line, "●"); got != 8 {
+				t.Errorf("full bus row has %d dots, want 8: %q", got, line)
+			}
+		}
+	}
+
+	single, err := SingleBus(4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := single.Diagram()
+	for _, line := range strings.Split(ds, "\n") {
+		if strings.HasPrefix(line, "bus ") {
+			// 4 processors + 2 modules per bus.
+			if got := strings.Count(line, "●"); got != 6 {
+				t.Errorf("single bus row has %d dots, want 6: %q", got, line)
+			}
+		}
+	}
+}
+
+func TestDiagramPartialGroupsAnnotation(t *testing.T) {
+	pg, err := PartialGroups(4, 4, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := pg.Diagram()
+	if !strings.Contains(d, "g0") || !strings.Contains(d, "g1") {
+		t.Errorf("partial-groups diagram missing group annotations:\n%s", d)
+	}
+}
+
+func TestConnectionMatrix(t *testing.T) {
+	nw, err := KClasses(3, 4, []int{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := nw.ConnectionMatrix()
+	want := "1 1 1 1 1 1\n" +
+		"1 1 1 1 1 1\n" +
+		"0 0 1 1 1 1\n" +
+		"0 0 0 0 1 1\n"
+	if got != want {
+		t.Errorf("ConnectionMatrix =\n%s\nwant\n%s", got, want)
+	}
+}

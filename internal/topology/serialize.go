@@ -1,0 +1,104 @@
+package topology
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Wiring file format (plain text, line-oriented):
+//
+//	# comments and blank lines are ignored
+//	n=<processors> b=<buses> m=<modules>
+//	1 1 0 0          <- bus 1: one 0/1 flag per module
+//	0 1 1 0          <- bus 2
+//	...
+//
+// The format captures arbitrary bus–module wirings, so custom topologies
+// can be built in any editor and fed to the tools (mbfig -wiring,
+// mbsim -wiring).
+
+// ErrBadWiring is returned for malformed wiring files.
+var ErrBadWiring = errors.New("topology: malformed wiring file")
+
+// WriteWiring serializes the network's wiring.
+func (nw *Network) WriteWiring(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# multibus wiring: %v\n", nw)
+	fmt.Fprintf(bw, "n=%d b=%d m=%d\n", nw.n, nw.b, nw.m)
+	for i := 0; i < nw.b; i++ {
+		for j := 0; j < nw.m; j++ {
+			if j > 0 {
+				bw.WriteByte(' ')
+			}
+			if nw.conn[i][j] {
+				bw.WriteByte('1')
+			} else {
+				bw.WriteByte('0')
+			}
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// ReadWiring parses a wiring file and builds the (custom-scheme)
+// network it describes.
+func ReadWiring(r io.Reader) (*Network, error) {
+	sc := bufio.NewScanner(r)
+	var n, b, m int
+	sawHeader := false
+	var conn [][]bool
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		if !sawHeader {
+			if _, err := fmt.Sscanf(text, "n=%d b=%d m=%d", &n, &b, &m); err != nil {
+				return nil, fmt.Errorf("%w: line %d: want \"n=<int> b=<int> m=<int>\": %v",
+					ErrBadWiring, line, err)
+			}
+			if n < 1 || b < 1 || m < 1 {
+				return nil, fmt.Errorf("%w: line %d: n=%d b=%d m=%d", ErrBadWiring, line, n, b, m)
+			}
+			sawHeader = true
+			continue
+		}
+		if len(conn) >= b {
+			return nil, fmt.Errorf("%w: line %d: more than %d bus rows", ErrBadWiring, line, b)
+		}
+		fields := strings.Fields(text)
+		if len(fields) != m {
+			return nil, fmt.Errorf("%w: line %d: %d flags, want M=%d", ErrBadWiring, line, len(fields), m)
+		}
+		row := make([]bool, m)
+		for j, f := range fields {
+			v, err := strconv.Atoi(f)
+			if err != nil || (v != 0 && v != 1) {
+				return nil, fmt.Errorf("%w: line %d: flag %q (want 0 or 1)", ErrBadWiring, line, f)
+			}
+			row[j] = v == 1
+		}
+		conn = append(conn, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("%w: missing header", ErrBadWiring)
+	}
+	if len(conn) != b {
+		return nil, fmt.Errorf("%w: %d bus rows, want B=%d", ErrBadWiring, len(conn), b)
+	}
+	return Custom(n, conn)
+}

@@ -1,0 +1,77 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWiringRoundTrip(t *testing.T) {
+	builds := []func() (*Network, error){
+		func() (*Network, error) { return Full(4, 4, 2) },
+		func() (*Network, error) { return SingleBus(8, 8, 4) },
+		func() (*Network, error) { return PartialGroups(8, 8, 4, 2) },
+		func() (*Network, error) { return KClasses(3, 4, []int{2, 2, 2}) },
+	}
+	for _, build := range builds {
+		orig, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf strings.Builder
+		if err := orig.WriteWiring(&buf); err != nil {
+			t.Fatal(err)
+		}
+		parsed, err := ReadWiring(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("%v: %v", orig, err)
+		}
+		if !parsed.Equal(orig) {
+			t.Errorf("%v: round trip changed the wiring", orig)
+		}
+		if parsed.Scheme() != SchemeCustom {
+			t.Errorf("parsed scheme = %v, want custom", parsed.Scheme())
+		}
+	}
+}
+
+func TestReadWiringMalformed(t *testing.T) {
+	cases := []struct{ name, input string }{
+		{"empty", ""},
+		{"bad header", "n=x b=2 m=2\n1 1\n1 1\n"},
+		{"zero dims", "n=0 b=2 m=2\n1 1\n1 1\n"},
+		{"short row", "n=2 b=2 m=3\n1 1\n1 1 1\n"},
+		{"bad flag", "n=2 b=1 m=2\n1 2\n"},
+		{"too many rows", "n=2 b=1 m=2\n1 1\n1 1\n"},
+		{"too few rows", "n=2 b=2 m=2\n1 1\n"},
+		{"rows before header", "1 1\nn=2 b=1 m=2\n"},
+		{"disconnected module", "n=2 b=2 m=2\n1 0\n1 0\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadWiring(strings.NewReader(tc.input)); err == nil {
+				t.Errorf("input %q parsed without error", tc.input)
+			}
+		})
+	}
+}
+
+func TestReadWiringComments(t *testing.T) {
+	input := `
+# custom crossing wiring
+n=4 b=3 m=4   # header comment
+1 1 0 0
+0 1 1 0       # middle bus
+0 0 1 1
+`
+	nw, err := ReadWiring(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.N() != 4 || nw.B() != 3 || nw.M() != 4 {
+		t.Errorf("dims %d×%d×%d", nw.N(), nw.M(), nw.B())
+	}
+	ok, _ := nw.Connected(1, 2)
+	if !ok {
+		t.Error("bus 1 module 2 should be wired")
+	}
+}

@@ -1,0 +1,517 @@
+// Package topology models the physical structure of N×M×B multiple bus
+// interconnection networks: which memory module is wired to which bus.
+// Every processor is connected to every bus in all of the paper's schemes,
+// so a topology is fully described by its B×M bus–module connection
+// matrix plus the processor count.
+//
+// The four schemes of the paper are provided as constructors:
+//
+//   - Full          — every module on every bus (paper Fig. 1)
+//   - SingleBus     — each module on exactly one bus (paper Fig. 4)
+//   - PartialGroups — Lang et al.'s g-group partial bus network (Fig. 2)
+//   - KClasses      — the paper's proposal: class C_j modules on buses
+//     1 … j+B−K (Fig. 3)
+//
+// plus Custom for arbitrary bus–module wirings. The package also computes
+// the cost metrics of the paper's Table I (connection counts, per-bus
+// load, degree of fault tolerance) directly from the wiring, and supports
+// bus-failure surgery for degraded-mode analysis.
+package topology
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Scheme identifies the bus–memory connection scheme of a Network.
+type Scheme int
+
+// Connection schemes, in the order the paper introduces them.
+const (
+	SchemeCustom Scheme = iota
+	SchemeFull
+	SchemeSingleBus
+	SchemePartialGroups
+	SchemeKClasses
+)
+
+// String returns the scheme name as used in the paper.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeFull:
+		return "full bus-memory connection"
+	case SchemeSingleBus:
+		return "single bus-memory connection"
+	case SchemePartialGroups:
+		return "partial bus network"
+	case SchemeKClasses:
+		return "partial bus network with K classes"
+	case SchemeCustom:
+		return "custom bus-memory connection"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Errors returned by topology constructors and methods.
+var (
+	ErrBadDimensions = errors.New("topology: invalid dimensions")
+	ErrBadGrouping   = errors.New("topology: invalid group/class structure")
+	ErrBusOutOfRange = errors.New("topology: bus index out of range")
+	ErrModOutOfRange = errors.New("topology: module index out of range")
+	ErrDisconnected  = errors.New("topology: module connected to no bus")
+)
+
+// Network is an immutable N×M×B multiple bus network topology. The zero
+// value is not usable; build one with a constructor.
+type Network struct {
+	n, m, b int
+	scheme  Scheme
+	conn    [][]bool // conn[bus][module]
+
+	groups     int   // PartialGroups only
+	classSizes []int // KClasses only: M_1 … M_K
+
+	failedBuses []int // buses removed by WithoutBus, ascending
+}
+
+// checkDims validates the basic N×M×B constraints. The paper assumes
+// B ≤ min(M, N) for its analysis, but its own Fig. 3 (a 3×6×4 network)
+// violates that bound, so structurally any positive dimensions are
+// accepted; extra buses are simply never useful.
+func checkDims(n, m, b int) error {
+	if n < 1 || m < 1 || b < 1 {
+		return fmt.Errorf("%w: N=%d M=%d B=%d (all must be ≥ 1)", ErrBadDimensions, n, m, b)
+	}
+	return nil
+}
+
+// Full returns the multiple bus network with full bus–memory connection:
+// every module is wired to all B buses (paper Fig. 1).
+func Full(n, m, b int) (*Network, error) {
+	if err := checkDims(n, m, b); err != nil {
+		return nil, err
+	}
+	conn := newConn(b, m)
+	for i := range conn {
+		for j := range conn[i] {
+			conn[i][j] = true
+		}
+	}
+	return &Network{n: n, m: m, b: b, scheme: SchemeFull, conn: conn}, nil
+}
+
+// SingleBus returns the multiple bus network with single bus–memory
+// connection (paper Fig. 4): module j is wired only to bus
+// ⌊j·B/M⌋, which distributes the M modules over the B buses as evenly as
+// possible (exactly M/B per bus when B divides M, as in the paper's
+// Table IV where each bus carries N/B modules).
+func SingleBus(n, m, b int) (*Network, error) {
+	if err := checkDims(n, m, b); err != nil {
+		return nil, err
+	}
+	conn := newConn(b, m)
+	for j := 0; j < m; j++ {
+		conn[j*b/m][j] = true
+	}
+	return &Network{n: n, m: m, b: b, scheme: SchemeSingleBus, conn: conn}, nil
+}
+
+// PartialGroups returns Lang et al.'s partial bus network (paper Fig. 2):
+// modules and buses are split into g equal groups; group q's M/g modules
+// are wired to its B/g buses. g must divide both M and B.
+func PartialGroups(n, m, b, g int) (*Network, error) {
+	if err := checkDims(n, m, b); err != nil {
+		return nil, err
+	}
+	if g < 1 || m%g != 0 || b%g != 0 {
+		return nil, fmt.Errorf("%w: g=%d must divide M=%d and B=%d", ErrBadGrouping, g, m, b)
+	}
+	mg, bg := m/g, b/g
+	conn := newConn(b, m)
+	for q := 0; q < g; q++ {
+		for i := q * bg; i < (q+1)*bg; i++ {
+			for j := q * mg; j < (q+1)*mg; j++ {
+				conn[i][j] = true
+			}
+		}
+	}
+	return &Network{n: n, m: m, b: b, scheme: SchemePartialGroups, conn: conn, groups: g}, nil
+}
+
+// KClasses returns the paper's proposed partial bus network with K
+// classes. classSizes[j−1] is M_j, the number of modules in class C_j for
+// 1 ≤ j ≤ K (K = len(classSizes) ≤ B); Σ M_j = M. Modules are laid out in
+// class order (class C_1 first). Class C_j modules are wired to buses
+// 1 … j+B−K (paper Fig. 3), so C_K sees all buses and C_1 sees B−K+1.
+func KClasses(n, b int, classSizes []int) (*Network, error) {
+	k := len(classSizes)
+	if k == 0 {
+		return nil, fmt.Errorf("%w: no classes", ErrBadGrouping)
+	}
+	if k > b {
+		return nil, fmt.Errorf("%w: K=%d exceeds B=%d", ErrBadGrouping, k, b)
+	}
+	m := 0
+	for j, sz := range classSizes {
+		if sz < 0 {
+			return nil, fmt.Errorf("%w: class C_%d has negative size %d", ErrBadGrouping, j+1, sz)
+		}
+		m += sz
+	}
+	if m == 0 {
+		return nil, fmt.Errorf("%w: all classes empty", ErrBadGrouping)
+	}
+	if err := checkDims(n, m, b); err != nil {
+		return nil, err
+	}
+	conn := newConn(b, m)
+	mod := 0
+	for j := 1; j <= k; j++ {
+		buses := j + b - k // class C_j is wired to buses 1 … j+B−K
+		for c := 0; c < classSizes[j-1]; c++ {
+			for i := 0; i < buses; i++ {
+				conn[i][mod] = true
+			}
+			mod++
+		}
+	}
+	return &Network{
+		n: n, m: m, b: b,
+		scheme:     SchemeKClasses,
+		conn:       conn,
+		classSizes: append([]int(nil), classSizes...),
+	}, nil
+}
+
+// EvenKClasses is a convenience wrapper for the configuration used in the
+// paper's Table VI: K classes of M/K modules each. K must divide M.
+func EvenKClasses(n, m, b, k int) (*Network, error) {
+	if k < 1 || m%k != 0 {
+		return nil, fmt.Errorf("%w: K=%d must divide M=%d", ErrBadGrouping, k, m)
+	}
+	sizes := make([]int, k)
+	for j := range sizes {
+		sizes[j] = m / k
+	}
+	return KClasses(n, b, sizes)
+}
+
+// Custom returns a network with an arbitrary bus–module wiring.
+// conn[i][j] reports whether bus i reaches module j; all rows must share
+// one length, and every module must be wired to at least one bus.
+func Custom(n int, conn [][]bool) (*Network, error) {
+	b := len(conn)
+	if n < 1 || b < 1 || len(conn[0]) < 1 {
+		return nil, fmt.Errorf("%w: N=%d B=%d", ErrBadDimensions, n, b)
+	}
+	m := len(conn[0])
+	cp := newConn(b, m)
+	for i, row := range conn {
+		if len(row) != m {
+			return nil, fmt.Errorf("%w: row %d has %d modules, row 0 has %d",
+				ErrBadDimensions, i, len(row), m)
+		}
+		copy(cp[i], row)
+	}
+	nw := &Network{n: n, m: m, b: b, scheme: SchemeCustom, conn: cp}
+	for j := 0; j < m; j++ {
+		if len(nw.BusesForModule(j)) == 0 {
+			return nil, fmt.Errorf("%w: module %d", ErrDisconnected, j)
+		}
+	}
+	return nw, nil
+}
+
+func newConn(b, m int) [][]bool {
+	conn := make([][]bool, b)
+	cells := make([]bool, b*m)
+	for i := range conn {
+		conn[i], cells = cells[:m], cells[m:]
+	}
+	return conn
+}
+
+// N returns the number of processors.
+func (nw *Network) N() int { return nw.n }
+
+// M returns the number of memory modules.
+func (nw *Network) M() int { return nw.m }
+
+// B returns the number of (surviving) buses.
+func (nw *Network) B() int { return nw.b }
+
+// Scheme returns the connection scheme this network was built with.
+func (nw *Network) Scheme() Scheme { return nw.scheme }
+
+// Groups returns g for a PartialGroups network and 0 otherwise.
+func (nw *Network) Groups() int { return nw.groups }
+
+// ClassSizes returns a copy of M_1 … M_K for a KClasses network and nil
+// otherwise.
+func (nw *Network) ClassSizes() []int {
+	if nw.classSizes == nil {
+		return nil
+	}
+	return append([]int(nil), nw.classSizes...)
+}
+
+// FailedBuses returns the original indices of buses removed by
+// WithoutBus, in ascending order, or nil for a pristine network.
+func (nw *Network) FailedBuses() []int {
+	if nw.failedBuses == nil {
+		return nil
+	}
+	return append([]int(nil), nw.failedBuses...)
+}
+
+// Connected reports whether bus i is wired to module j.
+func (nw *Network) Connected(bus, module int) (bool, error) {
+	if bus < 0 || bus >= nw.b {
+		return false, fmt.Errorf("%w: %d (B=%d)", ErrBusOutOfRange, bus, nw.b)
+	}
+	if module < 0 || module >= nw.m {
+		return false, fmt.Errorf("%w: %d (M=%d)", ErrModOutOfRange, module, nw.m)
+	}
+	return nw.conn[bus][module], nil
+}
+
+// BusesForModule returns the ascending list of buses wired to module j.
+// An out-of-range module yields nil.
+func (nw *Network) BusesForModule(j int) []int {
+	if j < 0 || j >= nw.m {
+		return nil
+	}
+	var buses []int
+	for i := 0; i < nw.b; i++ {
+		if nw.conn[i][j] {
+			buses = append(buses, i)
+		}
+	}
+	return buses
+}
+
+// ModulesOnBus returns the ascending list of modules wired to bus i.
+// An out-of-range bus yields nil.
+func (nw *Network) ModulesOnBus(i int) []int {
+	if i < 0 || i >= nw.b {
+		return nil
+	}
+	var mods []int
+	for j := 0; j < nw.m; j++ {
+		if nw.conn[i][j] {
+			mods = append(mods, j)
+		}
+	}
+	return mods
+}
+
+// ClassOf returns the 1-based class index of module j in a KClasses
+// network.
+func (nw *Network) ClassOf(j int) (int, error) {
+	if nw.scheme != SchemeKClasses {
+		return 0, fmt.Errorf("topology: ClassOf on %v", nw.scheme)
+	}
+	if j < 0 || j >= nw.m {
+		return 0, fmt.Errorf("%w: %d (M=%d)", ErrModOutOfRange, j, nw.m)
+	}
+	acc := 0
+	for c, sz := range nw.classSizes {
+		acc += sz
+		if j < acc {
+			return c + 1, nil
+		}
+	}
+	return 0, fmt.Errorf("topology: internal error: module %d beyond class sizes", j)
+}
+
+// GroupOf returns the 0-based group index of module j in a PartialGroups
+// network.
+func (nw *Network) GroupOf(j int) (int, error) {
+	if nw.scheme != SchemePartialGroups {
+		return 0, fmt.Errorf("topology: GroupOf on %v", nw.scheme)
+	}
+	if j < 0 || j >= nw.m {
+		return 0, fmt.Errorf("%w: %d (M=%d)", ErrModOutOfRange, j, nw.m)
+	}
+	return j / (nw.m / nw.groups), nil
+}
+
+// NumConnections returns the total connection count of the network:
+// B·N processor connections (every processor on every bus) plus one
+// connection per wired bus–module pair. This is the cost metric of the
+// paper's Table I.
+func (nw *Network) NumConnections() int {
+	return nw.b*nw.n + nw.MemoryConnections()
+}
+
+// MemoryConnections returns the number of bus–module connections only.
+func (nw *Network) MemoryConnections() int {
+	total := 0
+	for i := range nw.conn {
+		for _, c := range nw.conn[i] {
+			if c {
+				total++
+			}
+		}
+	}
+	return total
+}
+
+// BusLoad returns the electrical load of bus i: the number of devices
+// wired to it, N processors plus the modules on the bus (Table I).
+func (nw *Network) BusLoad(i int) (int, error) {
+	if i < 0 || i >= nw.b {
+		return 0, fmt.Errorf("%w: %d (B=%d)", ErrBusOutOfRange, i, nw.b)
+	}
+	return nw.n + len(nw.ModulesOnBus(i)), nil
+}
+
+// MaxBusLoad returns the largest per-bus load, the figure of merit for
+// bus drive requirements.
+func (nw *Network) MaxBusLoad() int {
+	maxLoad := 0
+	for i := 0; i < nw.b; i++ {
+		load, _ := nw.BusLoad(i)
+		if load > maxLoad {
+			maxLoad = load
+		}
+	}
+	return maxLoad
+}
+
+// ModuleFaultTolerance returns the number of bus failures module j can
+// tolerate while remaining accessible: (buses wired to j) − 1.
+func (nw *Network) ModuleFaultTolerance(j int) (int, error) {
+	if j < 0 || j >= nw.m {
+		return 0, fmt.Errorf("%w: %d (M=%d)", ErrModOutOfRange, j, nw.m)
+	}
+	return len(nw.BusesForModule(j)) - 1, nil
+}
+
+// FaultToleranceDegree returns the degree of fault tolerance of the whole
+// network: the largest f such that after any f bus failures every module
+// is still reachable. It equals min over modules of
+// ModuleFaultTolerance, reproducing Table I's column: B−1 (full),
+// 0 (single), B/g−1 (partial), B−K (K classes).
+func (nw *Network) FaultToleranceDegree() int {
+	deg := nw.b // upper bound; lowered below
+	for j := 0; j < nw.m; j++ {
+		d := len(nw.BusesForModule(j)) - 1
+		if d < deg {
+			deg = d
+		}
+	}
+	return deg
+}
+
+// WithoutBus returns a copy of the network with bus i removed (a bus
+// failure). The returned network has B−1 buses; modules that lose their
+// last bus remain present but inaccessible (see InaccessibleModules).
+// The removed bus's original index is recorded in FailedBuses.
+func (nw *Network) WithoutBus(i int) (*Network, error) {
+	if i < 0 || i >= nw.b {
+		return nil, fmt.Errorf("%w: %d (B=%d)", ErrBusOutOfRange, i, nw.b)
+	}
+	if nw.b == 1 {
+		return nil, fmt.Errorf("%w: cannot remove the last bus", ErrBadDimensions)
+	}
+	conn := newConn(nw.b-1, nw.m)
+	for bi := 0; bi < nw.b; bi++ {
+		switch {
+		case bi < i:
+			copy(conn[bi], nw.conn[bi])
+		case bi > i:
+			copy(conn[bi-1], nw.conn[bi])
+		}
+	}
+	// Map the removed index back to the original bus numbering.
+	orig := i
+	for _, f := range nw.failedBuses {
+		if f <= orig {
+			orig++
+		}
+	}
+	failed := append(append([]int(nil), nw.failedBuses...), orig)
+	sortInts(failed)
+	return &Network{
+		n: nw.n, m: nw.m, b: nw.b - 1,
+		scheme:      nw.scheme,
+		conn:        conn,
+		groups:      nw.groups,
+		classSizes:  nw.ClassSizes(),
+		failedBuses: failed,
+	}, nil
+}
+
+// InaccessibleModules returns the modules wired to no surviving bus, in
+// ascending order. Empty for every pristine scheme network.
+func (nw *Network) InaccessibleModules() []int {
+	var out []int
+	for j := 0; j < nw.m; j++ {
+		if len(nw.BusesForModule(j)) == 0 {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Validate re-checks structural invariants. Constructors always return
+// valid networks; Validate exists for defensive use after surgery.
+func (nw *Network) Validate() error {
+	if nw.n < 1 || nw.m < 1 || nw.b < 1 {
+		return fmt.Errorf("%w: N=%d M=%d B=%d", ErrBadDimensions, nw.n, nw.m, nw.b)
+	}
+	if len(nw.conn) != nw.b {
+		return fmt.Errorf("%w: conn has %d rows, B=%d", ErrBadDimensions, len(nw.conn), nw.b)
+	}
+	for i, row := range nw.conn {
+		if len(row) != nw.m {
+			return fmt.Errorf("%w: bus %d row has %d modules, M=%d",
+				ErrBadDimensions, i, len(row), nw.m)
+		}
+	}
+	return nil
+}
+
+// Equal reports whether two networks have identical dimensions and
+// wiring (scheme labels are ignored).
+func (nw *Network) Equal(other *Network) bool {
+	if other == nil || nw.n != other.n || nw.m != other.m || nw.b != other.b {
+		return false
+	}
+	for i := range nw.conn {
+		for j := range nw.conn[i] {
+			if nw.conn[i][j] != other.conn[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String describes the network compactly,
+// e.g. "3×6×4 partial bus network with K classes".
+func (nw *Network) String() string {
+	s := fmt.Sprintf("%d×%d×%d %v", nw.n, nw.m, nw.b, nw.scheme)
+	if nw.scheme == SchemePartialGroups {
+		s += fmt.Sprintf(" (g=%d)", nw.groups)
+	}
+	if nw.scheme == SchemeKClasses {
+		s += fmt.Sprintf(" (K=%d)", len(nw.classSizes))
+	}
+	if len(nw.failedBuses) > 0 {
+		s += fmt.Sprintf(" [failed buses %v]", nw.failedBuses)
+	}
+	return s
+}
+
+// sortInts is a tiny insertion sort; failure lists are short and this
+// avoids importing sort for one call site.
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j-1] > xs[j]; j-- {
+			xs[j-1], xs[j] = xs[j], xs[j-1]
+		}
+	}
+}

@@ -1,0 +1,609 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustFull(t *testing.T, n, m, b int) *Network {
+	t.Helper()
+	nw, err := Full(n, m, b)
+	if err != nil {
+		t.Fatalf("Full(%d,%d,%d): %v", n, m, b, err)
+	}
+	return nw
+}
+
+func TestFullConnectionCounts(t *testing.T) {
+	// Table I: B(N+M) connections, load N+M per bus, fault degree B−1.
+	tests := []struct{ n, m, b int }{
+		{8, 8, 4}, {16, 16, 8}, {3, 6, 3}, {32, 32, 32},
+	}
+	for _, tt := range tests {
+		nw := mustFull(t, tt.n, tt.m, tt.b)
+		if got, want := nw.NumConnections(), tt.b*(tt.n+tt.m); got != want {
+			t.Errorf("Full(%d,%d,%d) connections = %d, want %d", tt.n, tt.m, tt.b, got, want)
+		}
+		for i := 0; i < tt.b; i++ {
+			load, err := nw.BusLoad(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if load != tt.n+tt.m {
+				t.Errorf("bus %d load = %d, want %d", i, load, tt.n+tt.m)
+			}
+		}
+		if got, want := nw.FaultToleranceDegree(), tt.b-1; got != want {
+			t.Errorf("fault degree = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestFullRejectsBadDims(t *testing.T) {
+	for _, tt := range []struct{ n, m, b int }{
+		{0, 8, 4}, {8, 0, 4}, {8, 8, 0}, {-1, 2, 1},
+	} {
+		if _, err := Full(tt.n, tt.m, tt.b); err == nil {
+			t.Errorf("Full(%d,%d,%d) should fail", tt.n, tt.m, tt.b)
+		}
+	}
+}
+
+func TestSingleBusStructure(t *testing.T) {
+	// Table I: BN+M connections, bus i load N+M_i, fault degree 0.
+	nw, err := SingleBus(8, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := nw.NumConnections(), 4*8+8; got != want {
+		t.Errorf("connections = %d, want %d", got, want)
+	}
+	// Even distribution: each bus carries exactly M/B = 2 modules.
+	for i := 0; i < 4; i++ {
+		mods := nw.ModulesOnBus(i)
+		if len(mods) != 2 {
+			t.Errorf("bus %d carries %d modules, want 2", i, len(mods))
+		}
+		load, _ := nw.BusLoad(i)
+		if load != 8+2 {
+			t.Errorf("bus %d load = %d, want 10", i, load)
+		}
+	}
+	if got := nw.FaultToleranceDegree(); got != 0 {
+		t.Errorf("fault degree = %d, want 0", got)
+	}
+	// Every module on exactly one bus.
+	for j := 0; j < 8; j++ {
+		if buses := nw.BusesForModule(j); len(buses) != 1 {
+			t.Errorf("module %d on %d buses, want 1", j, len(buses))
+		}
+	}
+}
+
+func TestSingleBusUnevenDistribution(t *testing.T) {
+	// M=7 over B=3: loads must differ by at most 1 and cover all modules.
+	nw, err := SingleBus(8, 7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	minMods, maxMods := 8, 0
+	for i := 0; i < 3; i++ {
+		c := len(nw.ModulesOnBus(i))
+		total += c
+		if c < minMods {
+			minMods = c
+		}
+		if c > maxMods {
+			maxMods = c
+		}
+	}
+	if total != 7 {
+		t.Errorf("total modules on buses = %d, want 7", total)
+	}
+	if maxMods-minMods > 1 {
+		t.Errorf("unbalanced distribution: min %d, max %d", minMods, maxMods)
+	}
+}
+
+func TestPartialGroupsStructure(t *testing.T) {
+	// Table I: B(N+M/g) connections, load N+M/g, fault degree B/g−1.
+	nw, err := PartialGroups(8, 8, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := nw.NumConnections(), 4*(8+8/2); got != want {
+		t.Errorf("connections = %d, want %d", got, want)
+	}
+	for i := 0; i < 4; i++ {
+		load, _ := nw.BusLoad(i)
+		if load != 8+4 {
+			t.Errorf("bus %d load = %d, want 12", i, load)
+		}
+	}
+	if got, want := nw.FaultToleranceDegree(), 4/2-1; got != want {
+		t.Errorf("fault degree = %d, want %d", got, want)
+	}
+	// Group 0: modules 0–3 on buses 0–1; group 1: modules 4–7 on buses 2–3.
+	for j := 0; j < 8; j++ {
+		wantGroup := j / 4
+		g, err := nw.GroupOf(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g != wantGroup {
+			t.Errorf("GroupOf(%d) = %d, want %d", j, g, wantGroup)
+		}
+		buses := nw.BusesForModule(j)
+		if len(buses) != 2 {
+			t.Fatalf("module %d on %d buses, want 2", j, len(buses))
+		}
+		for _, bus := range buses {
+			if bus/2 != wantGroup {
+				t.Errorf("module %d (group %d) wired to bus %d of group %d",
+					j, wantGroup, bus, bus/2)
+			}
+		}
+	}
+}
+
+func TestPartialGroupsRejectsBadGrouping(t *testing.T) {
+	for _, tt := range []struct{ n, m, b, g int }{
+		{8, 8, 4, 3}, // g does not divide b
+		{8, 9, 4, 2}, // g does not divide m
+		{8, 8, 4, 0},
+		{8, 8, 4, -2},
+	} {
+		if _, err := PartialGroups(tt.n, tt.m, tt.b, tt.g); err == nil {
+			t.Errorf("PartialGroups(%d,%d,%d,%d) should fail", tt.n, tt.m, tt.b, tt.g)
+		}
+	}
+}
+
+func TestKClassesPaperFigure3(t *testing.T) {
+	// Fig. 3: a 3×6×4 partial bus network with three classes of two
+	// modules each. C_1 → buses 1..2, C_2 → buses 1..3, C_3 → buses 1..4.
+	nw, err := KClasses(3, 4, []int{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.M() != 6 || nw.B() != 4 || nw.N() != 3 {
+		t.Fatalf("dims = %d×%d×%d, want 3×6×4", nw.N(), nw.M(), nw.B())
+	}
+	wantBuses := map[int]int{0: 2, 1: 2, 2: 3, 3: 3, 4: 4, 5: 4}
+	for j, want := range wantBuses {
+		if got := len(nw.BusesForModule(j)); got != want {
+			t.Errorf("module %d on %d buses, want %d", j, got, want)
+		}
+	}
+	// Connections: BN + Σ M_j(j+B−K) = 12 + 2·2 + 2·3 + 2·4 = 30.
+	if got := nw.NumConnections(); got != 30 {
+		t.Errorf("connections = %d, want 30", got)
+	}
+	// Fault degree B−K = 1.
+	if got := nw.FaultToleranceDegree(); got != 1 {
+		t.Errorf("fault degree = %d, want 1", got)
+	}
+	// Class membership.
+	for j := 0; j < 6; j++ {
+		c, err := nw.ClassOf(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := j/2 + 1; c != want {
+			t.Errorf("ClassOf(%d) = %d, want %d", j, c, want)
+		}
+	}
+	// Bus loads per Table I: bus i carries classes C_K … C_{max(i+K−B,1)}.
+	// Bus 1,2 → all 6 modules; bus 3 → classes 2,3 (4 modules);
+	// bus 4 → class 3 (2 modules).
+	wantLoads := []int{3 + 6, 3 + 6, 3 + 4, 3 + 2}
+	for i, want := range wantLoads {
+		load, _ := nw.BusLoad(i)
+		if load != want {
+			t.Errorf("bus %d load = %d, want %d", i+1, load, want)
+		}
+	}
+}
+
+func TestKClassesTableIFormula(t *testing.T) {
+	// Connections must equal BN + Σ_j M_j(j+B−K) for assorted shapes.
+	cases := []struct {
+		n, b  int
+		sizes []int
+	}{
+		{8, 4, []int{2, 2, 2, 2}},
+		{16, 8, []int{2, 2, 2, 2, 2, 2, 2, 2}},
+		{16, 8, []int{1, 3, 5, 7}},
+		{4, 4, []int{4}},
+	}
+	for _, tc := range cases {
+		nw, err := KClasses(tc.n, tc.b, tc.sizes)
+		if err != nil {
+			t.Fatalf("KClasses(%d,%d,%v): %v", tc.n, tc.b, tc.sizes, err)
+		}
+		k := len(tc.sizes)
+		want := tc.b * tc.n
+		for j := 1; j <= k; j++ {
+			want += tc.sizes[j-1] * (j + tc.b - k)
+		}
+		if got := nw.NumConnections(); got != want {
+			t.Errorf("KClasses(%d,%d,%v) connections = %d, want %d", tc.n, tc.b, tc.sizes, got, want)
+		}
+		if got, want := nw.FaultToleranceDegree(), tc.b-k; got != want {
+			t.Errorf("KClasses(%d,%d,%v) fault degree = %d, want %d", tc.n, tc.b, tc.sizes, got, want)
+		}
+	}
+}
+
+func TestKClassesRejectsBadShapes(t *testing.T) {
+	cases := []struct {
+		n, b  int
+		sizes []int
+	}{
+		{8, 4, nil},
+		{8, 4, []int{2, 2, 2, 2, 2}}, // K > B
+		{8, 4, []int{-1, 9}},
+		{8, 4, []int{0, 0}},
+	}
+	for _, tc := range cases {
+		if _, err := KClasses(tc.n, tc.b, tc.sizes); err == nil {
+			t.Errorf("KClasses(%d,%d,%v) should fail", tc.n, tc.b, tc.sizes)
+		}
+	}
+}
+
+func TestEvenKClasses(t *testing.T) {
+	nw, err := EvenKClasses(16, 16, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := nw.ClassSizes()
+	if len(sizes) != 8 {
+		t.Fatalf("K = %d, want 8", len(sizes))
+	}
+	for _, sz := range sizes {
+		if sz != 2 {
+			t.Errorf("class size %d, want 2", sz)
+		}
+	}
+	// Table VI cost note: NB + (B+1)·N/2 when K=B and M=N.
+	if got, want := nw.NumConnections(), 16*8+(8+1)*16/2; got != want {
+		t.Errorf("connections = %d, want %d", got, want)
+	}
+	if _, err := EvenKClasses(16, 16, 8, 3); err == nil {
+		t.Error("K not dividing M should fail")
+	}
+}
+
+func TestCustomNetwork(t *testing.T) {
+	conn := [][]bool{
+		{true, false, true},
+		{false, true, true},
+	}
+	nw, err := Custom(4, conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.N() != 4 || nw.M() != 3 || nw.B() != 2 {
+		t.Fatalf("dims = %d×%d×%d, want 4×3×2", nw.N(), nw.M(), nw.B())
+	}
+	ok, err := nw.Connected(0, 0)
+	if err != nil || !ok {
+		t.Errorf("Connected(0,0) = %v,%v want true", ok, err)
+	}
+	ok, err = nw.Connected(1, 0)
+	if err != nil || ok {
+		t.Errorf("Connected(1,0) = %v,%v want false", ok, err)
+	}
+	// Mutating the input must not affect the network.
+	conn[0][0] = false
+	ok, _ = nw.Connected(0, 0)
+	if !ok {
+		t.Error("Custom did not defensively copy the connection matrix")
+	}
+	// A module with no bus is rejected.
+	if _, err := Custom(4, [][]bool{{true, false}, {true, false}}); err == nil {
+		t.Error("disconnected module should fail")
+	}
+	if _, err := Custom(0, conn); err == nil {
+		t.Error("N=0 should fail")
+	}
+}
+
+func TestConnectedOutOfRange(t *testing.T) {
+	nw := mustFull(t, 4, 4, 2)
+	if _, err := nw.Connected(-1, 0); err == nil {
+		t.Error("negative bus should error")
+	}
+	if _, err := nw.Connected(2, 0); err == nil {
+		t.Error("bus ≥ B should error")
+	}
+	if _, err := nw.Connected(0, 4); err == nil {
+		t.Error("module ≥ M should error")
+	}
+	if _, err := nw.BusLoad(9); err == nil {
+		t.Error("BusLoad out of range should error")
+	}
+	if _, err := nw.ModuleFaultTolerance(-1); err == nil {
+		t.Error("ModuleFaultTolerance out of range should error")
+	}
+	if nw.BusesForModule(-1) != nil {
+		t.Error("BusesForModule(-1) should be nil")
+	}
+	if nw.ModulesOnBus(99) != nil {
+		t.Error("ModulesOnBus(99) should be nil")
+	}
+}
+
+func TestWithoutBusFullDegrades(t *testing.T) {
+	nw := mustFull(t, 8, 8, 4)
+	deg, err := nw.WithoutBus(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg.B() != 3 {
+		t.Errorf("B after failure = %d, want 3", deg.B())
+	}
+	if got := deg.FaultToleranceDegree(); got != 2 {
+		t.Errorf("degraded fault degree = %d, want 2", got)
+	}
+	if mods := deg.InaccessibleModules(); len(mods) != 0 {
+		t.Errorf("full network lost modules %v after one failure", mods)
+	}
+	if got := deg.FailedBuses(); len(got) != 1 || got[0] != 2 {
+		t.Errorf("FailedBuses = %v, want [2]", got)
+	}
+	// Original is untouched.
+	if nw.B() != 4 {
+		t.Error("WithoutBus mutated the original")
+	}
+}
+
+func TestWithoutBusSingleLosesModules(t *testing.T) {
+	nw, err := SingleBus(8, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg, err := nw.WithoutBus(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost := deg.InaccessibleModules()
+	if len(lost) != 2 {
+		t.Fatalf("lost %v modules, want the 2 on bus 0", lost)
+	}
+	for _, j := range lost {
+		if j != 0 && j != 1 {
+			t.Errorf("unexpected lost module %d", j)
+		}
+	}
+}
+
+func TestWithoutBusSequentialTracksOriginalIndices(t *testing.T) {
+	nw := mustFull(t, 8, 8, 4)
+	d1, err := nw.WithoutBus(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In d1, buses are original [0, 2, 3]. Removing index 1 of d1 removes
+	// original bus 2.
+	d2, err := d1.WithoutBus(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := d2.FailedBuses()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("FailedBuses = %v, want [1 2]", got)
+	}
+	if _, err := d2.WithoutBus(5); err == nil {
+		t.Error("out-of-range removal should error")
+	}
+}
+
+func TestWithoutBusLastBusRejected(t *testing.T) {
+	nw := mustFull(t, 2, 2, 1)
+	if _, err := nw.WithoutBus(0); err == nil {
+		t.Error("removing the last bus should error")
+	}
+}
+
+func TestKClassesDegradedFaultBehaviour(t *testing.T) {
+	// The paper's claim: class C_j modules tolerate j+B−K−1 failures. With
+	// Fig. 3's network, failing the highest-numbered bus keeps everything
+	// accessible; failing the two highest strands nothing of class C_3 but
+	// removes C_1's margin entirely.
+	nw, err := KClasses(3, 4, []int{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 6; j++ {
+		class, _ := nw.ClassOf(j)
+		ft, _ := nw.ModuleFaultTolerance(j)
+		if want := class + 4 - 3 - 1; ft != want {
+			t.Errorf("module %d (class %d) tolerance = %d, want %d", j, class, ft, want)
+		}
+	}
+	// Fail bus 4 (index 3), then bus 3 (index 2 in degraded indexing).
+	d1, err := nw.WithoutBus(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lost := d1.InaccessibleModules(); len(lost) != 0 {
+		t.Errorf("one failure lost modules %v, want none", lost)
+	}
+	d2, err := d1.WithoutBus(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lost := d2.InaccessibleModules(); len(lost) != 0 {
+		t.Errorf("two high-bus failures lost modules %v, want none (C_1 still on buses 1,2)", lost)
+	}
+	// Failing buses 1 and 2 instead strands class C_1.
+	e1, _ := nw.WithoutBus(0)
+	e2, err := e1.WithoutBus(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost := e2.InaccessibleModules()
+	if len(lost) != 2 || lost[0] != 0 || lost[1] != 1 {
+		t.Errorf("failing buses 1,2 lost %v, want [0 1] (class C_1)", lost)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := mustFull(t, 4, 4, 2)
+	b := mustFull(t, 4, 4, 2)
+	if !a.Equal(b) {
+		t.Error("identical full networks should be Equal")
+	}
+	c, _ := SingleBus(4, 4, 2)
+	if a.Equal(c) {
+		t.Error("full and single networks should differ")
+	}
+	if a.Equal(nil) {
+		t.Error("Equal(nil) should be false")
+	}
+	d := mustFull(t, 4, 4, 4)
+	if a.Equal(d) {
+		t.Error("different B should differ")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	nw := mustFull(t, 4, 4, 2)
+	if err := nw.Validate(); err != nil {
+		t.Errorf("valid network fails Validate: %v", err)
+	}
+	var zero Network
+	if err := zero.Validate(); err == nil {
+		t.Error("zero Network should fail Validate")
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	tests := []struct {
+		s    Scheme
+		want string
+	}{
+		{SchemeFull, "full"},
+		{SchemeSingleBus, "single"},
+		{SchemePartialGroups, "partial bus"},
+		{SchemeKClasses, "K classes"},
+		{SchemeCustom, "custom"},
+		{Scheme(42), "Scheme(42)"},
+	}
+	for _, tt := range tests {
+		if got := tt.s.String(); !strings.Contains(got, tt.want) {
+			t.Errorf("Scheme(%d).String() = %q, want substring %q", tt.s, got, tt.want)
+		}
+	}
+}
+
+func TestStringAnnotations(t *testing.T) {
+	pg, _ := PartialGroups(8, 8, 4, 2)
+	if s := pg.String(); !strings.Contains(s, "g=2") {
+		t.Errorf("PartialGroups String = %q, missing g=2", s)
+	}
+	kc, _ := EvenKClasses(8, 8, 4, 4)
+	if s := kc.String(); !strings.Contains(s, "K=4") {
+		t.Errorf("KClasses String = %q, missing K=4", s)
+	}
+	deg, _ := kc.WithoutBus(1)
+	if s := deg.String(); !strings.Contains(s, "failed buses [1]") {
+		t.Errorf("degraded String = %q, missing failure annotation", s)
+	}
+}
+
+func TestClassSizesCopy(t *testing.T) {
+	kc, _ := EvenKClasses(8, 8, 4, 4)
+	kc.ClassSizes()[0] = 99
+	if kc.ClassSizes()[0] == 99 {
+		t.Error("ClassSizes must return a copy")
+	}
+	full := mustFull(t, 4, 4, 2)
+	if full.ClassSizes() != nil {
+		t.Error("non-KClasses network should have nil ClassSizes")
+	}
+	if full.Groups() != 0 {
+		t.Error("non-PartialGroups network should have Groups() == 0")
+	}
+}
+
+func TestClassAndGroupOfErrors(t *testing.T) {
+	full := mustFull(t, 4, 4, 2)
+	if _, err := full.ClassOf(0); err == nil {
+		t.Error("ClassOf on full network should error")
+	}
+	if _, err := full.GroupOf(0); err == nil {
+		t.Error("GroupOf on full network should error")
+	}
+	kc, _ := EvenKClasses(8, 8, 4, 4)
+	if _, err := kc.ClassOf(8); err == nil {
+		t.Error("ClassOf out of range should error")
+	}
+	pg, _ := PartialGroups(8, 8, 4, 2)
+	if _, err := pg.GroupOf(-1); err == nil {
+		t.Error("GroupOf out of range should error")
+	}
+}
+
+func TestPropertyConnectionCountConsistency(t *testing.T) {
+	// For every scheme, NumConnections == B·N + Σ_j |BusesForModule(j)|.
+	check := func(nw *Network) bool {
+		want := nw.B() * nw.N()
+		for j := 0; j < nw.M(); j++ {
+			want += len(nw.BusesForModule(j))
+		}
+		return nw.NumConnections() == want
+	}
+	f := func(nRaw, bRaw uint8) bool {
+		n := (int(nRaw%4) + 1) * 4 // 4, 8, 12, 16
+		b := 1 << (bRaw % 3)       // 1, 2, 4
+		full, err := Full(n, n, b)
+		if err != nil {
+			return false
+		}
+		single, err := SingleBus(n, n, b)
+		if err != nil {
+			return false
+		}
+		if !check(full) || !check(single) {
+			return false
+		}
+		if b >= 2 {
+			pg, err := PartialGroups(n, n, b, 2)
+			if err != nil {
+				return false
+			}
+			if !check(pg) {
+				return false
+			}
+		}
+		if n%b == 0 {
+			kc, err := EvenKClasses(n, n, b, b)
+			if err != nil {
+				return false
+			}
+			if !check(kc) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxBusLoad(t *testing.T) {
+	// K classes: bus 1 carries every module, bus B only class C_K.
+	nw, err := KClasses(3, 4, []int{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := nw.MaxBusLoad(), 3+6; got != want {
+		t.Errorf("MaxBusLoad = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,227 @@
+package multibus
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAnalyzePaperHeadlineValue(t *testing.T) {
+	// N=8, B=4, r=1.0, paper workload: Table II prints 3.97.
+	h, err := NewTwoLevelHierarchy(8, 4, 0.6, 0.3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := NewFullNetwork(8, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(nw, h, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Bandwidth-3.97) > 0.02 {
+		t.Errorf("bandwidth %.4f, want ≈3.97", a.Bandwidth)
+	}
+	if math.Abs(a.CrossbarBandwidth-5.98) > 0.02 {
+		t.Errorf("crossbar %.4f, want ≈5.98", a.CrossbarBandwidth)
+	}
+	if a.BusUtilization <= 0 || a.BusUtilization > 1 {
+		t.Errorf("bus utilization %.4f", a.BusUtilization)
+	}
+	if a.PerformanceCostRatio <= 0 {
+		t.Errorf("perf/cost %.6f", a.PerformanceCostRatio)
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	h, _ := NewUniformModel(8)
+	nw, _ := NewFullNetwork(8, 8, 4)
+	if _, err := Analyze(nil, h, 1.0); err == nil {
+		t.Error("nil network should error")
+	}
+	if _, err := Analyze(nw, nil, 1.0); err == nil {
+		t.Error("nil model should error")
+	}
+	if _, err := Analyze(nw, h, 1.5); err == nil {
+		t.Error("bad rate should error")
+	}
+	// Model sized for 16 modules against an 8-module network.
+	h16, _ := NewUniformModel(16)
+	if _, err := Analyze(nw, h16, 1.0); err == nil {
+		t.Error("dimension mismatch should error")
+	}
+	// Custom crossing wiring has no closed form.
+	conn := [][]bool{{true, false}, {true, true}, {false, true}}
+	cn, err := NewCustomNetwork(4, conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, _ := NewUniformModel(2)
+	_, err = Analyze(cn, h2, 1.0)
+	if err == nil || !IsNoClosedForm(err) {
+		t.Errorf("custom wiring: err = %v, want no-closed-form", err)
+	}
+}
+
+func TestSimulateWithOptions(t *testing.T) {
+	h, err := NewTwoLevelHierarchy(8, 4, 0.6, 0.3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewHierarchicalWorkload(h, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := NewFullNetwork(8, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(nw, w,
+		WithCycles(20000), WithSeed(7), WithWarmup(500), WithBatches(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(nw, h, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(res.Bandwidth-a.Bandwidth) / a.Bandwidth; rel > 0.05 {
+		t.Errorf("sim %.4f vs analytic %.4f beyond 5%%", res.Bandwidth, a.Bandwidth)
+	}
+	// Resubmit mode runs and waits are recorded under saturation.
+	res2, err := Simulate(nw, w, WithResubmit(), WithCycles(5000), WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.MeanWaitCycles <= 0 {
+		t.Error("saturated resubmit run should wait")
+	}
+	// Round-robin stage 1 also runs.
+	if _, err := Simulate(nw, w, WithRoundRobinMemoryArbiters(), WithCycles(2000)); err != nil {
+		t.Errorf("round-robin option: %v", err)
+	}
+}
+
+func TestCostAndCompareSchemes(t *testing.T) {
+	nw, err := NewEvenKClassNetwork(16, 16, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Cost(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Connections != 200 || c.FaultDegree != 0 {
+		t.Errorf("cost = %+v", c)
+	}
+	h, _ := NewTwoLevelHierarchy(16, 4, 0.6, 0.3, 0.1)
+	rows, err := CompareSchemes(16, 16, 8, 2, 8, h, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+}
+
+func TestSurvivabilityFacade(t *testing.T) {
+	nw, err := NewKClassNetwork(8, 4, []int{4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := NewTwoLevelHierarchy(8, 4, 0.6, 0.3, 0.1)
+	levels, err := Survivability(nw, h, 1.0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != 3 {
+		t.Fatalf("levels = %d, want 3", len(levels))
+	}
+	if levels[2].SurvivingFraction != 1 {
+		t.Errorf("degree-2 network should survive 2 failures: %+v", levels[2])
+	}
+	mean, reach, err := ExpectedBandwidthUnderFailures(nw, h, 1.0, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean <= 0 || mean > levels[0].MeanBandwidth {
+		t.Errorf("expected bandwidth %.4f out of range", mean)
+	}
+	if reach <= 0.9 || reach > 1 {
+		t.Errorf("reach probability %.4f suspicious for p=0.1, degree 2", reach)
+	}
+}
+
+func TestDasBhuyanAndHotSpotFacade(t *testing.T) {
+	db, err := NewDasBhuyanModel(8, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, _ := NewFullNetwork(8, 8, 4)
+	a, err := Analyze(nw, db, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Bandwidth <= 0 {
+		t.Errorf("Das–Bhuyan bandwidth %.4f", a.Bandwidth)
+	}
+	hs, err := NewHotSpotWorkload(8, 8, 1.0, 0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Simulate(nw, hs, WithCycles(2000)); err != nil {
+		t.Errorf("hot-spot simulate: %v", err)
+	}
+}
+
+func TestHierarchyNMFacade(t *testing.T) {
+	h, err := NewHierarchyNMFromAggregates([]int{4, 2}, 3, []float64{0.8, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 processors, 12 modules.
+	nw, err := NewFullNetwork(8, 12, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(nw, h, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Bandwidth <= 0 || a.Bandwidth > 6 {
+		t.Errorf("N×M bandwidth %.4f", a.Bandwidth)
+	}
+	w, err := NewHierarchicalWorkloadNM(h, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(nw, w, WithCycles(20000), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(res.Bandwidth-a.Bandwidth) / a.Bandwidth; rel > 0.06 {
+		t.Errorf("N×M sim %.4f vs analytic %.4f beyond 6%%", res.Bandwidth, a.Bandwidth)
+	}
+	// Mismatched module count caught.
+	small, _ := NewFullNetwork(8, 8, 4)
+	if _, err := Analyze(small, h, 1.0); err == nil {
+		t.Error("N×M mismatch should error")
+	}
+}
+
+func TestTraceWorkloadFacade(t *testing.T) {
+	tr, err := NewTraceWorkload(2, 2, [][]TraceRequest{
+		{{Processor: 0, Module: 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, _ := NewFullNetwork(2, 2, 1)
+	res, err := Simulate(nw, tr, WithCycles(10), WithWarmup(0), WithBatches(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted != 10 {
+		t.Errorf("accepted %d, want 10", res.Accepted)
+	}
+}
