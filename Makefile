@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build test race bench repro examples fmt vet cover clean
+.PHONY: all build test race bench repro examples fmt vet cover clean check
 
 all: build vet test
+
+# Full gate: compile, vet, unit tests, and the race detector over the
+# concurrent packages (the sweep worker pool and replication runner).
+check: build vet test race
 
 build:
 	$(GO) build ./...
@@ -13,10 +17,14 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race ./internal/sim/... ./internal/sweep/...
 
+# Benchmark-regression harness: runs the full Benchmark* suite and
+# records (name, ns/op, allocs/op, custom metrics) in BENCH_sim.json so
+# future PRs have a perf trajectory to compare against. Commit the
+# refreshed file alongside perf-sensitive changes.
 bench:
-	$(GO) test -bench=. -benchmem -run=NONE .
+	$(GO) test -bench=. -benchmem -run=NONE . | $(GO) run ./cmd/benchjson -o BENCH_sim.json
 
 # Full reproduction verdict: every paper table/figure plus the
 # cross-validation ladder; exits nonzero on any mismatch.

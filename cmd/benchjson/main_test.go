@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: multibus
+cpu: Intel Xeon
+BenchmarkSimFull-8   	  215438	      5563 ns/op	         2.723 req/cycle	       0 B/op	       0 allocs/op
+BenchmarkTableII-8   	    1200	    995031 ns/op	         0.000 maxerr(×1e-3)
+PASS
+ok  	multibus	12.3s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	var echo bytes.Buffer
+	report, err := parse(strings.NewReader(sample), &echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if echo.String() != sample {
+		t.Error("input not echoed verbatim")
+	}
+	if report.GOOS != "linux" || report.GOARCH != "amd64" || report.Package != "multibus" || report.CPU != "Intel Xeon" {
+		t.Errorf("bad environment: %+v", report)
+	}
+	if len(report.Benchmarks) != 2 {
+		t.Fatalf("benchmarks = %d, want 2", len(report.Benchmarks))
+	}
+	b := report.Benchmarks[0]
+	if b.Name != "BenchmarkSimFull-8" || b.Iterations != 215438 || b.NsPerOp != 5563 {
+		t.Errorf("bad first benchmark: %+v", b)
+	}
+	if b.AllocsPerOp == nil || *b.AllocsPerOp != 0 {
+		t.Errorf("allocs/op not parsed: %+v", b)
+	}
+	if b.BytesPerOp == nil || *b.BytesPerOp != 0 {
+		t.Errorf("B/op not parsed: %+v", b)
+	}
+	if b.Extra["req/cycle"] != 2.723 {
+		t.Errorf("custom metric not parsed: %+v", b.Extra)
+	}
+	second := report.Benchmarks[1]
+	if second.AllocsPerOp != nil {
+		t.Errorf("absent allocs/op should stay nil: %+v", second)
+	}
+	if second.Extra["maxerr(×1e-3)"] != 0 {
+		t.Errorf("maxerr metric not parsed: %+v", second.Extra)
+	}
+}
+
+func TestParseBenchLineRejectsGarbage(t *testing.T) {
+	if _, ok := parseBenchLine("BenchmarkBroken-8 notanumber 5 ns/op"); ok {
+		t.Error("accepted garbage iteration count")
+	}
+	if _, ok := parseBenchLine("BenchmarkShort-8"); ok {
+		t.Error("accepted truncated line")
+	}
+}

@@ -25,16 +25,17 @@ func main() {
 		withSim = flag.Bool("sim", false, "cross-check each point with the simulator")
 		cycles  = flag.Int("cycles", 20000, "simulation cycles per point with -sim")
 		seed    = flag.Int64("seed", 1, "simulation seed")
+		workers = flag.Int("workers", 0, "parallel point evaluations (0 = all CPUs, 1 = sequential)")
 		asCSV   = flag.Bool("csv", false, "emit CSV instead of chart + table")
 	)
 	flag.Parse()
-	if err := run(*n, *r, *wl, *withSim, *cycles, *seed, *asCSV); err != nil {
+	if err := run(*n, *r, *wl, *withSim, *cycles, *seed, *workers, *asCSV); err != nil {
 		fmt.Fprintln(os.Stderr, "mbsweep:", err)
 		os.Exit(1)
 	}
 }
 
-func run(n int, r float64, wl string, withSim bool, cycles int, seed int64, asCSV bool) error {
+func run(n int, r float64, wl string, withSim bool, cycles int, seed int64, workers int, asCSV bool) error {
 	hier := wl == "hier"
 	if !hier && wl != "unif" {
 		return fmt.Errorf("unknown workload %q (want hier|unif)", wl)
@@ -53,6 +54,7 @@ func run(n int, r float64, wl string, withSim bool, cycles int, seed int64, asCS
 		WithSim:      withSim,
 		SimCycles:    cycles,
 		Seed:         seed,
+		Workers:      workers,
 	})
 	if err != nil {
 		return err

@@ -9,7 +9,7 @@ import (
 
 func TestRunChartAndTable(t *testing.T) {
 	out := testutil.CaptureStdout(t, func() error {
-		return run(16, 1.0, "hier", false, 0, 1, false)
+		return run(16, 1.0, "hier", false, 0, 1, 0, false)
 	})
 	for _, frag := range []string{
 		"Memory bandwidth vs number of buses", "legend:", "crossbar",
@@ -23,7 +23,7 @@ func TestRunChartAndTable(t *testing.T) {
 
 func TestRunWithSim(t *testing.T) {
 	out := testutil.CaptureStdout(t, func() error {
-		return run(8, 1.0, "unif", true, 2000, 3, false)
+		return run(8, 1.0, "unif", true, 2000, 3, 0, false)
 	})
 	if !strings.Contains(out, "simulated") || !strings.Contains(out, "Δ%") {
 		t.Errorf("sim columns missing:\n%s", out)
@@ -32,7 +32,7 @@ func TestRunWithSim(t *testing.T) {
 
 func TestRunCSV(t *testing.T) {
 	out := testutil.CaptureStdout(t, func() error {
-		return run(8, 1.0, "hier", false, 0, 1, true)
+		return run(8, 1.0, "hier", false, 0, 1, 0, true)
 	})
 	if !strings.HasPrefix(out, "scheme,n,b,r,x,analytic") {
 		t.Errorf("csv header wrong: %q", out[:40])
@@ -43,7 +43,7 @@ func TestRunCSV(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(16, 1.0, "zipf", false, 0, 1, false); err == nil {
+	if err := run(16, 1.0, "zipf", false, 0, 1, 0, false); err == nil {
 		t.Error("unknown workload should error")
 	}
 }

@@ -24,7 +24,10 @@ type BusAssigner interface {
 	// duplicates.
 	Assign(requested []int, rng *rand.Rand) []int
 	// AssignDetailed is Assign with bus attribution: which physical bus
-	// carries each granted module.
+	// carries each granted module. The returned slice is scratch owned
+	// by the assigner, valid only until its next Assign/AssignDetailed
+	// call — copy it to retain it. (The simulator consumes it within
+	// the cycle; reusing the slice keeps the hot path allocation-free.)
 	AssignDetailed(requested []int, rng *rand.Rand) []BusGrant
 	// Reset clears any round-robin pointers.
 	Reset()
@@ -48,6 +51,11 @@ type groupedAssigner struct {
 	groupOf []int   // module -> group, -1 for stranded modules
 	busIDs  [][]int // per group: physical bus ids
 	next    []int   // per group: round-robin start module id
+
+	// scratch, reset in place per call so steady-state arbitration
+	// allocates nothing.
+	perGroup [][]int    // per group: requested modules this call
+	grants   []BusGrant // backing store of the returned grant list
 }
 
 // NewGroupedAssigner builds a stage-2 assigner for a network that splits
@@ -89,9 +97,10 @@ func NewGroupedAssignerWithBuses(moduleGroups []int, busIDs [][]int) (BusAssigne
 		cp[q] = append([]int(nil), ids...)
 	}
 	return &groupedAssigner{
-		groupOf: append([]int(nil), moduleGroups...),
-		busIDs:  cp,
-		next:    make([]int, len(busIDs)),
+		groupOf:  append([]int(nil), moduleGroups...),
+		busIDs:   cp,
+		next:     make([]int, len(busIDs)),
+		perGroup: make([][]int, len(busIDs)),
 	}, nil
 }
 
@@ -99,7 +108,9 @@ func NewGroupedAssignerWithBuses(moduleGroups []int, busIDs [][]int) (BusAssigne
 // modules in cyclic module order starting at the group's round-robin
 // pointer, pairing the i-th granted module with the group's i-th bus.
 func (a *groupedAssigner) AssignDetailed(requested []int, _ *rand.Rand) []BusGrant {
-	perGroup := make(map[int][]int)
+	for g := range a.perGroup {
+		a.perGroup[g] = a.perGroup[g][:0]
+	}
 	for _, j := range requested {
 		if j < 0 || j >= len(a.groupOf) {
 			continue
@@ -108,10 +119,13 @@ func (a *groupedAssigner) AssignDetailed(requested []int, _ *rand.Rand) []BusGra
 		if g < 0 {
 			continue // stranded module: no bus can serve it
 		}
-		perGroup[g] = append(perGroup[g], j)
+		a.perGroup[g] = append(a.perGroup[g], j)
 	}
-	var grants []BusGrant
-	for g, mods := range perGroup {
+	grants := a.grants[:0]
+	for g, mods := range a.perGroup {
+		if len(mods) == 0 {
+			continue
+		}
 		buses := a.busIDs[g]
 		if len(buses) == 0 {
 			continue
@@ -139,6 +153,7 @@ func (a *groupedAssigner) AssignDetailed(requested []int, _ *rand.Rand) []BusGra
 		}
 		a.next[g] = mods[(start+len(buses))%len(mods)]
 	}
+	a.grants = grants
 	return grants
 }
 
@@ -165,6 +180,12 @@ type prefixAssigner struct {
 	busOrder  []int // formula position (0-based) -> physical bus id
 	nextMod   []int // per class: round-robin start for step 1
 	nextBus   []int // per formula bus: rotation counter for step 2
+
+	// scratch, reset in place per call so steady-state arbitration
+	// allocates nothing.
+	perClass   [][]int    // per class: requested modules this call
+	contenders [][]int    // per formula bus: step-1 tentative modules
+	grants     []BusGrant // backing store of the returned grant list
 }
 
 // NewPrefixAssigner builds the two-step assigner. moduleClasses[j] gives
@@ -201,20 +222,28 @@ func NewPrefixAssignerWithOrder(moduleClasses []int, prefixLens []int, b int, bu
 		}
 	}
 	return &prefixAssigner{
-		classOf:   append([]int(nil), moduleClasses...),
-		prefixLen: append([]int(nil), prefixLens...),
-		b:         b,
-		busOrder:  append([]int(nil), busOrder...),
-		nextMod:   make([]int, len(prefixLens)),
-		nextBus:   make([]int, b),
+		classOf:    append([]int(nil), moduleClasses...),
+		prefixLen:  append([]int(nil), prefixLens...),
+		b:          b,
+		busOrder:   append([]int(nil), busOrder...),
+		nextMod:    make([]int, len(prefixLens)),
+		nextBus:    make([]int, b),
+		perClass:   make([][]int, len(prefixLens)),
+		contenders: make([][]int, b),
 	}, nil
 }
 
 func (a *prefixAssigner) AssignDetailed(requested []int, rng *rand.Rand) []BusGrant {
 	// Step 1: per class, select up to L_c modules and map them to formula
 	// buses L_c−1, L_c−2, … (0-based positions).
-	contenders := make([][]int, a.b) // formula bus -> contending modules
-	perClass := make([][]int, len(a.prefixLen))
+	contenders := a.contenders // formula bus -> contending modules
+	for i := range contenders {
+		contenders[i] = contenders[i][:0]
+	}
+	perClass := a.perClass
+	for i := range perClass {
+		perClass[i] = perClass[i][:0]
+	}
 	for _, j := range requested {
 		if j < 0 || j >= len(a.classOf) {
 			continue
@@ -259,7 +288,7 @@ func (a *prefixAssigner) AssignDetailed(requested []int, rng *rand.Rand) []BusGr
 	// Step 2: each bus grants one contender, rotating across classes via
 	// a per-bus pointer; with at most one contender per class per bus the
 	// pointer rotation is equivalent to cycling classes.
-	var grants []BusGrant
+	grants := a.grants[:0]
 	for bus, mods := range contenders {
 		if len(mods) == 0 {
 			continue
@@ -275,6 +304,7 @@ func (a *prefixAssigner) AssignDetailed(requested []int, rng *rand.Rand) []BusGr
 		}
 		grants = append(grants, BusGrant{Module: mods[pick], Bus: a.busOrder[bus]})
 	}
+	a.grants = grants
 	return grants
 }
 
@@ -297,12 +327,20 @@ func (a *prefixAssigner) Reset() {
 // the natural hardware daisy-chain arbitration for custom topologies that
 // fit none of the paper's schemes.
 type greedyAssigner struct {
-	nw       *topology.Network
+	m        int // module count (bitset width)
 	busOrder []int
-	next     []int // per bus: round-robin pointer over module ids
+	modsOn   [][]int // per bus: wired modules, ascending (precomputed wiring)
+	next     []int   // per bus: round-robin pointer over module ids
+
+	// scratch, reset in place per call so steady-state arbitration
+	// allocates nothing.
+	pending []uint64   // bitset over module ids: requested and not yet served
+	grants  []BusGrant // backing store of the returned grant list
 }
 
 // NewGreedyAssigner builds a fallback stage-2 assigner for any topology.
+// The bus wiring is captured at construction; the assigner does not
+// track later surgery on nw (build a new assigner after WithoutBus).
 func NewGreedyAssigner(nw *topology.Network) (BusAssigner, error) {
 	if err := nw.Validate(); err != nil {
 		return nil, err
@@ -313,26 +351,38 @@ func NewGreedyAssigner(nw *topology.Network) (BusAssigner, error) {
 	for i := range order {
 		order[i] = i
 	}
-	degree := make([]int, nw.B())
+	modsOn := make([][]int, nw.B())
 	for i := 0; i < nw.B(); i++ {
-		degree[i] = len(nw.ModulesOnBus(i))
+		modsOn[i] = nw.ModulesOnBus(i)
 	}
 	for i := 1; i < len(order); i++ {
-		for j := i; j > 0 && degree[order[j-1]] > degree[order[j]]; j-- {
+		for j := i; j > 0 && len(modsOn[order[j-1]]) > len(modsOn[order[j]]); j-- {
 			order[j-1], order[j] = order[j], order[j-1]
 		}
 	}
-	return &greedyAssigner{nw: nw, busOrder: order, next: make([]int, nw.B())}, nil
+	return &greedyAssigner{
+		m:        nw.M(),
+		busOrder: order,
+		modsOn:   modsOn,
+		next:     make([]int, nw.B()),
+		pending:  make([]uint64, (nw.M()+63)/64),
+	}, nil
 }
 
 func (a *greedyAssigner) AssignDetailed(requested []int, _ *rand.Rand) []BusGrant {
-	pending := make(map[int]bool, len(requested))
-	for _, j := range requested {
-		pending[j] = true
+	pending := a.pending
+	for i := range pending {
+		pending[i] = 0
 	}
-	var grants []BusGrant
+	for _, j := range requested {
+		if j < 0 || j >= a.m {
+			continue
+		}
+		pending[j>>6] |= 1 << uint(j&63)
+	}
+	grants := a.grants[:0]
 	for _, bus := range a.busOrder {
-		mods := a.nw.ModulesOnBus(bus)
+		mods := a.modsOn[bus]
 		if len(mods) == 0 {
 			continue
 		}
@@ -346,14 +396,15 @@ func (a *greedyAssigner) AssignDetailed(requested []int, _ *rand.Rand) []BusGran
 		}
 		for i := 0; i < len(mods); i++ {
 			j := mods[(start+i)%len(mods)]
-			if pending[j] {
+			if pending[j>>6]&(1<<uint(j&63)) != 0 {
 				grants = append(grants, BusGrant{Module: j, Bus: bus})
-				delete(pending, j)
+				pending[j>>6] &^= 1 << uint(j&63)
 				a.next[bus] = j + 1
 				break
 			}
 		}
 	}
+	a.grants = grants
 	return grants
 }
 

@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"testing"
+
+	"multibus/internal/arbiter"
+	"multibus/internal/hrm"
+	"multibus/internal/topology"
+	"multibus/internal/workload"
+)
+
+// TestStepSteadyStateAllocations guards the engine's zero-allocation
+// invariant: once scratch slices have grown to their working size, a
+// simulated cycle must not allocate — in either blocked-request mode and
+// under every stage-2 assigner family (grouped, two-step prefix, and the
+// greedy fallback). If this test starts failing, some per-cycle state
+// regressed to a map or a fresh slice; see the engine doc comment.
+func TestStepSteadyStateAllocations(t *testing.T) {
+	h, err := hrm.TwoLevelPaper(16, 4, 0.6, 0.3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewHierarchical(h, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fullNw, err := topology.Full(16, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kclassNw, err := topology.EvenKClasses(16, 16, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := arbiter.NewGreedyAssigner(fullNw)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"drop/grouped", Config{Topology: fullNw, Workload: gen, Mode: ModeDrop}},
+		{"resubmit/grouped", Config{Topology: fullNw, Workload: gen, Mode: ModeResubmit}},
+		{"drop/prefix", Config{Topology: kclassNw, Workload: gen, Mode: ModeDrop}},
+		{"resubmit/prefix", Config{Topology: kclassNw, Workload: gen, Mode: ModeResubmit}},
+		{"drop/greedy", Config{Topology: fullNw, Workload: gen, Assigner: greedy, Mode: ModeDrop}},
+		{"resubmit/greedy", Config{Topology: fullNw, Workload: gen, Assigner: greedy, Mode: ModeResubmit}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg
+			cfg.Cycles = 100
+			cfg.Seed = 1
+			eng, _, err := newEngine(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Measured steps update Result counters, so wire up a Result
+			// exactly as Run does before reaching steady state.
+			eng.res = &Result{
+				ModuleServiceRate: make([]float64, eng.m),
+				BusServiceRate:    make([]float64, cfg.Topology.B()),
+				ProcessorAccepted: make([]int64, eng.n),
+				ProcessorOffered:  make([]int64, eng.n),
+			}
+			for c := 0; c < 1000; c++ {
+				eng.step(true)
+			}
+			avg := testing.AllocsPerRun(500, func() {
+				eng.step(true)
+			})
+			if avg != 0 {
+				t.Errorf("steady-state step allocates %.2f allocs/op, want 0", avg)
+			}
+		})
+	}
+}

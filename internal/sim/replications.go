@@ -39,10 +39,10 @@ func RunReplications(cfg Config, reps int) (*ReplicatedResult, error) {
 	if cfg.Assigner != nil {
 		return nil, fmt.Errorf("%w: RunReplications builds per-replication assigners; leave Assigner nil", ErrBadConfig)
 	}
-	baseSeed := cfg.Seed
-	if baseSeed == 0 {
-		baseSeed = 1
-	}
+	// Replication i runs with seed base+i; the PCG seed-derivation rule
+	// (see newRNG) guarantees consecutive seeds yield independent
+	// streams.
+	baseSeed := EffectiveSeed(cfg.Seed)
 	results := make([]*Result, reps)
 	errs := make([]error, reps)
 	var wg sync.WaitGroup

@@ -73,7 +73,10 @@ type Config struct {
 	Cycles int
 	// Warmup cycles run before measurement begins (default Cycles/10).
 	Warmup int
-	// Seed makes the run reproducible (default 1).
+	// Seed makes the run reproducible. The zero value selects the
+	// default seed via EffectiveSeed (the one place the default is
+	// defined); Run, RunReplications, and sweep.Run all share that
+	// normalization.
 	Seed int64
 	// Batches is the number of batch-means batches for the confidence
 	// interval (default 20; must divide into at least 2 cycles each).
@@ -142,76 +145,79 @@ type Result struct {
 	MeanWaitCycles float64
 }
 
-// Run executes one simulation and returns its measurements.
-func Run(cfg Config) (*Result, error) {
+// runPlan carries the normalized run lengths derived from a Config.
+type runPlan struct {
+	cycles, warmup, batches int
+}
+
+// newEngine validates cfg, applies defaults, and builds a ready-to-step
+// engine. Separated from Run so tests can drive the cycle loop directly
+// (the allocation-regression guard steps a bare engine).
+func newEngine(cfg Config) (*engine, runPlan, error) {
+	var plan runPlan
 	if cfg.Topology == nil || cfg.Workload == nil {
-		return nil, fmt.Errorf("%w: topology and workload are required", ErrBadConfig)
+		return nil, plan, fmt.Errorf("%w: topology and workload are required", ErrBadConfig)
 	}
 	if err := cfg.Topology.Validate(); err != nil {
-		return nil, err
+		return nil, plan, err
 	}
 	n, m := cfg.Topology.N(), cfg.Topology.M()
 	if cfg.Workload.NProcessors() != n || cfg.Workload.MModules() != m {
-		return nil, fmt.Errorf("%w: workload %d×%d vs topology %d×%d",
+		return nil, plan, fmt.Errorf("%w: workload %d×%d vs topology %d×%d",
 			ErrMismatch, cfg.Workload.NProcessors(), cfg.Workload.MModules(), n, m)
 	}
 	switch cfg.Mode {
 	case ModeDrop, ModeResubmit:
 	default:
-		return nil, fmt.Errorf("%w: unknown mode %d", ErrBadConfig, int(cfg.Mode))
+		return nil, plan, fmt.Errorf("%w: unknown mode %d", ErrBadConfig, int(cfg.Mode))
 	}
-	cycles := cfg.Cycles
-	if cycles == 0 {
-		cycles = 20000
+	plan.cycles = cfg.Cycles
+	if plan.cycles == 0 {
+		plan.cycles = 20000
 	}
-	if cycles < 1 {
-		return nil, fmt.Errorf("%w: cycles=%d", ErrBadConfig, cycles)
+	if plan.cycles < 1 {
+		return nil, plan, fmt.Errorf("%w: cycles=%d", ErrBadConfig, plan.cycles)
 	}
-	warmup := cfg.Warmup
-	if warmup == 0 {
-		warmup = cycles / 10
+	plan.warmup = cfg.Warmup
+	if plan.warmup == 0 {
+		plan.warmup = plan.cycles / 10
 	}
-	if warmup < 0 {
-		return nil, fmt.Errorf("%w: warmup=%d", ErrBadConfig, warmup)
+	if plan.warmup < 0 {
+		return nil, plan, fmt.Errorf("%w: warmup=%d", ErrBadConfig, plan.warmup)
 	}
-	batches := cfg.Batches
-	if batches == 0 {
-		batches = 20
+	plan.batches = cfg.Batches
+	if plan.batches == 0 {
+		plan.batches = 20
 	}
-	if batches < 2 || batches > cycles {
-		return nil, fmt.Errorf("%w: batches=%d for %d cycles", ErrBadConfig, batches, cycles)
-	}
-	seed := cfg.Seed
-	if seed == 0 {
-		seed = 1
+	if plan.batches < 2 || plan.batches > plan.cycles {
+		return nil, plan, fmt.Errorf("%w: batches=%d for %d cycles", ErrBadConfig, plan.batches, plan.cycles)
 	}
 	service := cfg.ModuleServiceCycles
 	if service == 0 {
 		service = 1
 	}
 	if service < 1 {
-		return nil, fmt.Errorf("%w: module service cycles=%d", ErrBadConfig, service)
+		return nil, plan, fmt.Errorf("%w: module service cycles=%d", ErrBadConfig, service)
 	}
 	assigner := cfg.Assigner
 	if assigner == nil {
 		var err error
 		assigner, err = arbiter.ForTopology(cfg.Topology)
 		if err != nil {
-			return nil, err
+			return nil, plan, err
 		}
 	}
 	stage1, err := arbiter.NewStage1(m, cfg.Stage1Policy)
 	if err != nil {
-		return nil, err
+		return nil, plan, err
 	}
 
-	rng := rand.New(rand.NewSource(seed))
 	eng := &engine{
 		cfg:      cfg,
 		n:        n,
 		m:        m,
 		service:  int64(service),
-		rng:      rng,
+		rng:      newRNG(EffectiveSeed(cfg.Seed)),
 		stage1:   stage1,
 		assigner: assigner,
 		stranded: strandedSet(cfg.Topology),
@@ -221,6 +227,9 @@ func Run(cfg Config) (*Result, error) {
 		busyUntil:     make([]int64, m),
 		reqProcs:      make([][]int, m),
 		winner:        make([]int, m),
+		requester:     make([]int, n),
+		reqModules:    make([]int, 0, m),
+		granted:       make([]bool, m),
 	}
 	for j := 0; j < m; j++ {
 		eng.busyUntil[j] = -1
@@ -228,6 +237,17 @@ func Run(cfg Config) (*Result, error) {
 	for p := 0; p < n; p++ {
 		eng.pendingModule[p] = workload.NoRequest
 	}
+	return eng, plan, nil
+}
+
+// Run executes one simulation and returns its measurements.
+func Run(cfg Config) (*Result, error) {
+	eng, plan, err := newEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cycles, warmup, batches := plan.cycles, plan.warmup, plan.batches
+	n, m := eng.n, eng.m
 
 	for c := 0; c < warmup; c++ {
 		eng.step(false)
@@ -284,6 +304,11 @@ func Run(cfg Config) (*Result, error) {
 }
 
 // engine holds the mutable per-run state.
+//
+// Invariant: after warmup, step allocates nothing — all per-cycle state
+// lives in the scratch slices below, reset in place each cycle. The
+// allocation-regression test (TestStepSteadyStateAllocations) guards
+// this; keep new per-cycle state out of maps and fresh slices.
 type engine struct {
 	cfg      Config
 	n, m     int
@@ -291,7 +316,7 @@ type engine struct {
 	rng      *rand.Rand
 	stage1   *arbiter.Stage1
 	assigner arbiter.BusAssigner
-	stranded map[int]bool
+	stranded []bool // per module: wired to no surviving bus
 	res      *Result
 
 	cycle         int64
@@ -301,8 +326,11 @@ type engine struct {
 	busyUntil     []int64 // per module: last cycle of its current service
 
 	// scratch, reused across cycles
-	reqProcs [][]int
-	winner   []int
+	reqProcs   [][]int
+	winner     []int
+	requester  []int  // per processor: module requested this cycle, or NoRequest
+	reqModules []int  // modules with at least one request this cycle, ascending
+	granted    []bool // per module: granted a bus this cycle
 }
 
 // step simulates one cycle; returns the number of accepted requests.
@@ -313,9 +341,11 @@ func (e *engine) step(measure bool) int {
 	// Gather this cycle's requests per module.
 	for j := 0; j < e.m; j++ {
 		e.reqProcs[j] = e.reqProcs[j][:0]
+		e.granted[j] = false
 	}
-	requester := make(map[int]int, e.n) // processor -> module (for stats)
+	requester := e.requester // per processor: module requested (for resubmit settle)
 	for p := 0; p < e.n; p++ {
+		requester[p] = workload.NoRequest
 		var mod int
 		isNew := false
 		if e.cfg.Mode == ModeResubmit && e.pendingModule[p] != workload.NoRequest {
@@ -363,7 +393,7 @@ func (e *engine) step(measure bool) int {
 	}
 
 	// Stage 1: one winner per requested module.
-	var requestedModules []int
+	requestedModules := e.reqModules[:0]
 	for j := 0; j < e.m; j++ {
 		procs := e.reqProcs[j]
 		if len(procs) == 0 {
@@ -380,19 +410,22 @@ func (e *engine) step(measure bool) int {
 			e.res.MemoryBlocked += int64(len(procs) - 1)
 		}
 	}
+	e.reqModules = requestedModules
 
-	// Stage 2: bus assignment with bus attribution.
+	// Stage 2: bus assignment with bus attribution. The grant slice is
+	// the assigner's scratch, valid only until its next call.
 	grants := e.assigner.AssignDetailed(requestedModules, e.rng)
-	grantedSet := make(map[int]bool, len(grants))
 	for _, g := range grants {
-		grantedSet[g.Module] = true
+		if g.Module >= 0 && g.Module < e.m {
+			e.granted[g.Module] = true
+		}
 		if measure && g.Bus >= 0 && g.Bus < len(e.res.BusServiceRate) {
 			e.res.BusServiceRate[g.Bus]++
 		}
 	}
 	if measure {
 		for _, j := range requestedModules {
-			if !grantedSet[j] {
+			if !e.granted[j] {
 				e.res.BusBlocked++
 			}
 		}
@@ -418,8 +451,12 @@ func (e *engine) step(measure bool) int {
 		}
 	}
 	if e.cfg.Mode == ModeResubmit {
-		for p, mod := range requester {
-			if grantedSet[mod] && e.winner[mod] == p {
+		for p := 0; p < e.n; p++ {
+			mod := requester[p]
+			if mod == workload.NoRequest {
+				continue
+			}
+			if e.granted[mod] && e.winner[mod] == p {
 				continue // served
 			}
 			if e.stranded[mod] {
@@ -431,9 +468,10 @@ func (e *engine) step(measure bool) int {
 	return accepted
 }
 
-// strandedSet returns the modules connected to no surviving bus.
-func strandedSet(nw *topology.Network) map[int]bool {
-	out := make(map[int]bool)
+// strandedSet returns, per module, whether it is connected to no
+// surviving bus.
+func strandedSet(nw *topology.Network) []bool {
+	out := make([]bool, nw.M())
 	for _, j := range nw.InaccessibleModules() {
 		out[j] = true
 	}

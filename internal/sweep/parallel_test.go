@@ -1,0 +1,87 @@
+package sweep
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestParallelDeterminism checks the worker pool's core contract: the
+// []Point a parallel sweep returns is byte-identical — same order, same
+// values — to a sequential one, across all five schemes.
+func TestParallelDeterminism(t *testing.T) {
+	spec := Spec{
+		Ns:           []int{8, 16},
+		Bs:           []int{1, 2, 4, 8, 16},
+		Rs:           []float64{0.5, 1.0},
+		Schemes:      []Scheme{Full, Single, PartialG2, KClassesEven, Crossbar},
+		Hierarchical: true,
+	}
+	spec.Workers = 1
+	seq, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Workers = 8
+	par, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("parallel sweep diverged from sequential:\nseq: %+v\npar: %+v", seq, par)
+	}
+}
+
+// TestParallelDeterminismWithSim repeats the cross-check with the
+// Monte-Carlo simulator enabled on a subset: every point is seeded
+// independently of worker scheduling, so simulated bandwidths and
+// confidence intervals must also match exactly.
+func TestParallelDeterminismWithSim(t *testing.T) {
+	spec := Spec{
+		Ns:           []int{8},
+		Bs:           []int{2, 4, 8},
+		Rs:           []float64{1.0},
+		Schemes:      []Scheme{Full, Single, PartialG2, KClassesEven, Crossbar},
+		Hierarchical: true,
+		WithSim:      true,
+		SimCycles:    2000,
+		Seed:         7,
+	}
+	spec.Workers = 1
+	seq, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Workers = 8
+	par, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("parallel WithSim sweep diverged from sequential:\nseq: %+v\npar: %+v", seq, par)
+	}
+	simulated := 0
+	for _, p := range par {
+		if p.Simulated {
+			simulated++
+		}
+	}
+	if simulated == 0 {
+		t.Fatal("no simulated points in WithSim sweep")
+	}
+}
+
+// TestWorkersDefault exercises the GOMAXPROCS default path (Workers: 0).
+func TestWorkersDefault(t *testing.T) {
+	points, err := Run(Spec{
+		Ns:      []int{8},
+		Bs:      []int{2, 4},
+		Rs:      []float64{1.0},
+		Schemes: []Scheme{Full},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d, want 2", len(points))
+	}
+}

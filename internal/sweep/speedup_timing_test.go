@@ -1,0 +1,45 @@
+package sweep
+
+import (
+	"os"
+	"testing"
+	"time"
+)
+
+func TestSpeedupTiming(t *testing.T) {
+	if os.Getenv("SWEEP_TIMING") == "" {
+		t.Skip("set SWEEP_TIMING=1")
+	}
+	spec := Spec{
+		Ns:           []int{16, 32},
+		Bs:           []int{1, 2, 4, 8, 16},
+		Rs:           []float64{0.5, 1.0},
+		Schemes:      []Scheme{Full, Single, PartialG2, KClassesEven},
+		Hierarchical: true,
+		WithSim:      true,
+		SimCycles:    20000,
+		Seed:         1,
+	}
+	spec.Workers = 1
+	t0 := time.Now()
+	seq, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqD := time.Since(t0)
+	spec.Workers = 8
+	t1 := time.Now()
+	par, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parD := time.Since(t1)
+	same := len(seq) == len(par)
+	for i := range seq {
+		if seq[i] != par[i] {
+			same = false
+		}
+	}
+	t.Logf("points=%d seq=%v par=%v speedup=%.2fx identical=%v",
+		len(seq), seqD, parD, float64(seqD)/float64(parD), same)
+}

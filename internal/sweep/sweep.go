@@ -8,6 +8,9 @@ package sweep
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"multibus/internal/analytic"
 	"multibus/internal/hrm"
@@ -65,7 +68,12 @@ type Spec struct {
 	// WithSim additionally runs the simulator at each point.
 	WithSim   bool
 	SimCycles int   // default 20000
-	Seed      int64 // default 1
+	Seed      int64 // default 1 (normalized by sim.EffectiveSeed)
+	// Workers bounds how many grid points are evaluated concurrently.
+	// 0 means runtime.GOMAXPROCS(0); 1 forces sequential evaluation.
+	// The result is byte-identical regardless of Workers: every point
+	// is seeded independently and reassembled in grid order.
+	Workers int
 }
 
 // Point is one evaluated configuration.
@@ -81,13 +89,90 @@ type Point struct {
 	SimCI95      float64
 }
 
+// job is one enumerated grid point awaiting evaluation. The model and
+// topology are built during (sequential) enumeration and shared between
+// jobs; both are read-only after construction, so workers may evaluate
+// jobs that share them concurrently.
+type job struct {
+	scheme Scheme
+	n, b   int
+	r      float64
+	model  *hrm.Hierarchy
+	nw     *topology.Network
+}
+
 // Run evaluates the sweep and returns its points in deterministic order
-// (scheme, then N, then B, then r).
+// (scheme, then N, then B, then r). Points are evaluated concurrently by
+// a Spec.Workers-sized pool — each point is an independent analytic
+// evaluation plus (with WithSim) an independently seeded simulation, so
+// the returned slice is identical for every worker count. The first
+// evaluation error (lowest grid index) aborts the sweep: no new points
+// start, in-flight points finish, and that error is returned.
 func Run(spec Spec) ([]Point, error) {
 	if len(spec.Ns) == 0 || len(spec.Bs) == 0 || len(spec.Rs) == 0 || len(spec.Schemes) == 0 {
 		return nil, fmt.Errorf("%w: empty dimension", ErrBadSpec)
 	}
-	var points []Point
+	jobs, err := enumerate(spec)
+	if err != nil {
+		return nil, err
+	}
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("%w: no valid points in grid", ErrBadSpec)
+	}
+
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	points := make([]Point, len(jobs))
+	var (
+		cursor   atomic.Int64 // next job index to claim
+		aborted  atomic.Bool
+		mu       sync.Mutex
+		firstErr error
+		firstIdx int
+		wg       sync.WaitGroup
+	)
+	cursor.Store(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1))
+				if i >= len(jobs) || aborted.Load() {
+					return
+				}
+				pt, err := evaluate(spec, jobs[i])
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil || i < firstIdx {
+						firstErr, firstIdx = err, i
+					}
+					mu.Unlock()
+					aborted.Store(true)
+					return
+				}
+				points[i] = pt
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return points, nil
+}
+
+// enumerate walks the grid in deterministic order (scheme, N, B, r),
+// building each point's shared model and topology and surfacing
+// construction errors exactly as the evaluation loop would.
+func enumerate(spec Spec) ([]job, error) {
+	var jobs []job
 	for _, scheme := range spec.Schemes {
 		for _, n := range spec.Ns {
 			model, err := buildModel(n, spec.Hierarchical)
@@ -106,55 +191,54 @@ func Run(spec Spec) ([]Point, error) {
 					continue
 				}
 				for _, r := range spec.Rs {
-					x, err := model.X(r)
-					if err != nil {
-						return nil, err
-					}
-					var bw float64
-					if scheme == Crossbar {
-						bw, err = analytic.BandwidthCrossbar(n, x)
-					} else {
-						bw, err = analytic.Bandwidth(nw, x)
-					}
-					if err != nil {
-						return nil, err
-					}
-					pt := Point{Scheme: scheme, N: n, B: b, R: r, X: x, Bandwidth: bw}
-					if spec.WithSim && scheme != Crossbar {
-						gen, err := workload.NewHierarchical(model, r)
-						if err != nil {
-							return nil, err
-						}
-						cycles := spec.SimCycles
-						if cycles == 0 {
-							cycles = 20000
-						}
-						seed := spec.Seed
-						if seed == 0 {
-							seed = 1
-						}
-						res, err := sim.Run(sim.Config{
-							Topology: nw,
-							Workload: gen,
-							Cycles:   cycles,
-							Seed:     seed,
-						})
-						if err != nil {
-							return nil, err
-						}
-						pt.Simulated = true
-						pt.SimBandwidth = res.Bandwidth
-						pt.SimCI95 = res.BandwidthCI95
-					}
-					points = append(points, pt)
+					jobs = append(jobs, job{scheme: scheme, n: n, b: b, r: r, model: model, nw: nw})
 				}
 			}
 		}
 	}
-	if len(points) == 0 {
-		return nil, fmt.Errorf("%w: no valid points in grid", ErrBadSpec)
+	return jobs, nil
+}
+
+// evaluate computes one grid point: the analytic bandwidth and, with
+// WithSim, an independently seeded simulator cross-check.
+func evaluate(spec Spec, jb job) (Point, error) {
+	x, err := jb.model.X(jb.r)
+	if err != nil {
+		return Point{}, err
 	}
-	return points, nil
+	var bw float64
+	if jb.scheme == Crossbar {
+		bw, err = analytic.BandwidthCrossbar(jb.n, x)
+	} else {
+		bw, err = analytic.Bandwidth(jb.nw, x)
+	}
+	if err != nil {
+		return Point{}, err
+	}
+	pt := Point{Scheme: jb.scheme, N: jb.n, B: jb.b, R: jb.r, X: x, Bandwidth: bw}
+	if spec.WithSim && jb.scheme != Crossbar {
+		gen, err := workload.NewHierarchical(jb.model, jb.r)
+		if err != nil {
+			return Point{}, err
+		}
+		cycles := spec.SimCycles
+		if cycles == 0 {
+			cycles = 20000
+		}
+		res, err := sim.Run(sim.Config{
+			Topology: jb.nw,
+			Workload: gen,
+			Cycles:   cycles,
+			Seed:     sim.EffectiveSeed(spec.Seed),
+		})
+		if err != nil {
+			return Point{}, err
+		}
+		pt.Simulated = true
+		pt.SimBandwidth = res.Bandwidth
+		pt.SimCI95 = res.BandwidthCI95
+	}
+	return pt, nil
 }
 
 // buildModel returns the request model for size n.
