@@ -2,13 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build test race bench repro examples fmt vet cover clean check
+.PHONY: all build test race bench repro examples fmt vet cover clean check lint serve-smoke
 
 all: build vet test
 
-# Full gate: compile, vet, unit tests, and the race detector over the
-# concurrent packages (the sweep worker pool and replication runner).
-check: build vet test race
+# Full gate: compile, lint, unit tests, the race detector over the
+# concurrent packages, and an end-to-end boot of the HTTP service.
+check: build lint test race serve-smoke
 
 build:
 	$(GO) build ./...
@@ -17,7 +17,22 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sim/... ./internal/sweep/...
+	$(GO) test -race ./internal/sim/... ./internal/sweep/... ./internal/cache/... ./internal/service/...
+
+# Static analysis: go vet always; staticcheck when it is on PATH (the CI
+# image may not ship it, and we do not install tools on the fly).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; skipping (go vet ran)"; \
+	fi
+
+# End-to-end smoke test of cmd/mbserve: boots the server on an
+# ephemeral port, curls /healthz and one /v1/analyze, fails on non-200.
+serve-smoke:
+	$(GO) build -o /tmp/mbserve-smoke ./cmd/mbserve
+	./scripts/serve-smoke.sh /tmp/mbserve-smoke
 
 # Benchmark-regression harness: runs the full Benchmark* suite and
 # records (name, ns/op, allocs/op, custom metrics) in BENCH_sim.json so

@@ -1,0 +1,102 @@
+// Command mbserve runs the multibus evaluation service: a JSON HTTP API
+// in front of the analytic solver, the Monte-Carlo simulator, and the
+// sweep engine, with a shared singleflight LRU so repeated and
+// concurrent-identical requests are computed once.
+//
+// Usage:
+//
+//	mbserve -addr :8080
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/analyze -d '{
+//	  "network": {"scheme": "full", "n": 16, "b": 8},
+//	  "model":   {"kind": "hier"},
+//	  "r": 1.0
+//	}'
+//
+// Endpoints: POST /v1/analyze, /v1/simulate, /v1/sweep; GET /healthz,
+// /metrics (expvar), /debug/pprof/. The server drains in-flight
+// requests on SIGINT/SIGTERM before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"multibus/internal/service"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		cacheSize = flag.Int("cache-size", service.DefaultCacheSize, "analysis cache capacity (entries)")
+		timeout   = flag.Duration("timeout", service.DefaultTimeout, "per-request computation deadline")
+		maxBody   = flag.Int64("max-body", service.DefaultMaxBodyBytes, "request body size limit (bytes)")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
+	)
+	flag.Parse()
+	if err := run(*addr, *cacheSize, *timeout, *maxBody, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "mbserve:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the server and blocks until a termination signal has been
+// handled. It is separated from main for testability.
+func run(addr string, cacheSize int, timeout time.Duration, maxBody int64, drain time.Duration) error {
+	srv, err := service.New(service.Options{
+		CacheSize:    cacheSize,
+		Timeout:      timeout,
+		MaxBodyBytes: maxBody,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	// The resolved address is logged (not just the flag value) so
+	// scripts can use -addr :0 and scrape the chosen port.
+	log.Printf("mbserve: listening on %s", ln.Addr())
+
+	httpSrv := &http.Server{
+		Handler: srv.Handler(),
+		// Network-level guards; the computation deadline is enforced
+		// per-request inside the handler.
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("mbserve: shutting down (draining up to %v)", drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("mbserve: stopped")
+	return nil
+}

@@ -11,10 +11,10 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 
 	"multibus/internal/cliutil"
+	"multibus/internal/sim"
 	"multibus/internal/workload"
 )
 
@@ -49,7 +49,10 @@ func run(w *os.File, wl string, n, m int, r, s float64, cycles int, seed int64) 
 	if err != nil {
 		return err
 	}
-	recorded, err := workload.Record(gen, cycles, rand.New(rand.NewSource(seed)))
+	// sim.NewSeededRand is the repo's one seed-derivation path: the same
+	// seed names the same PCG-DXSM stream here, in the simulator, and in
+	// the façade's RecordWorkload.
+	recorded, err := workload.Record(gen, cycles, sim.NewSeededRand(seed))
 	if err != nil {
 		return err
 	}

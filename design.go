@@ -22,7 +22,7 @@ type DesignCandidate = design.Candidate
 // ordered by descending bandwidth, then ascending cost.
 func ExploreDesigns(n int, model RequestModel, r float64, cons DesignConstraints) ([]DesignCandidate, error) {
 	if model == nil {
-		return nil, fmt.Errorf("multibus: ExploreDesigns requires a model")
+		return nil, fmt.Errorf("%w: ExploreDesigns requires a model", ErrNilArgument)
 	}
 	return design.Explore(n, model, r, cons)
 }

@@ -40,7 +40,7 @@ type probSource interface {
 // below; see EXPERIMENTS.md.
 func ExactAnalyze(nw *Network, model RequestModel, r float64) (*ExactAnalysis, error) {
 	if nw == nil || model == nil {
-		return nil, fmt.Errorf("multibus: ExactAnalyze requires a network and a model")
+		return nil, fmt.Errorf("%w: ExactAnalyze requires a network and a model", ErrNilArgument)
 	}
 	src, ok := model.(probSource)
 	if !ok {
@@ -54,12 +54,12 @@ func ExactAnalyze(nw *Network, model RequestModel, r float64) (*ExactAnalysis, e
 	case *Hierarchy:
 		if hm.N() != nw.N() {
 			return nil, fmt.Errorf("%w: model has %d processors, network %d",
-				ErrModelMismatch, hm.N(), nw.N())
+				ErrDimensionMismatch, hm.N(), nw.N())
 		}
 	case *HierarchyNM:
 		if hm.NProcessors() != nw.N() {
 			return nil, fmt.Errorf("%w: model has %d processors, network %d",
-				ErrModelMismatch, hm.NProcessors(), nw.N())
+				ErrDimensionMismatch, hm.NProcessors(), nw.N())
 		}
 		n = hm.NProcessors()
 	}
@@ -92,7 +92,7 @@ type ResubmissionEstimate = analytic.ResubmitEstimate
 // Simulate(..., WithResubmit()).
 func EstimateResubmission(nw *Network, model RequestModel, r float64) (*ResubmissionEstimate, error) {
 	if nw == nil || model == nil {
-		return nil, fmt.Errorf("multibus: EstimateResubmission requires a network and a model")
+		return nil, fmt.Errorf("%w: EstimateResubmission requires a network and a model", ErrNilArgument)
 	}
 	if err := checkModelDims(nw, model); err != nil {
 		return nil, err
@@ -116,7 +116,7 @@ type ChainResult = markov.Result
 // verification oracle for N, M ≤ 5 rather than a scalable solver.
 func ExactResubmission(nw *Network, model RequestModel, r float64) (*ChainResult, error) {
 	if nw == nil || model == nil {
-		return nil, fmt.Errorf("multibus: ExactResubmission requires a network and a model")
+		return nil, fmt.Errorf("%w: ExactResubmission requires a network and a model", ErrNilArgument)
 	}
 	src, ok := model.(probSource)
 	if !ok {

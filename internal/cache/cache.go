@@ -1,0 +1,185 @@
+// Package cache provides the memoization layer of the serving stack: a
+// size-bounded, concurrency-safe LRU with singleflight deduplication.
+//
+// Interconnect-evaluation traffic is heavily repetitive — capacity
+// planners and design explorers hammer the same (topology, model, r)
+// points — so the service and the sweep engine put this cache in front
+// of the analytic solver and the simulator. Keys are canonical strings
+// built from structural fingerprints (topology.Network.Fingerprint,
+// hrm fingerprints) plus the exact bit patterns of the numeric
+// parameters; see keys.go. Values are immutable result objects shared
+// by reference between all readers, so callers must never mutate a
+// cached value.
+//
+// Do is the single entry point: a hit returns the cached value, a miss
+// computes it exactly once even under concurrent identical requests
+// (singleflight), and errors are returned to every waiter but never
+// cached (a transient failure should not poison the key).
+package cache
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrBadCapacity is returned by New for non-positive capacities.
+var ErrBadCapacity = errors.New("cache: capacity must be ≥ 1")
+
+// Cache is a concurrency-safe LRU with singleflight computation. The
+// zero value is not usable; build one with New.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List               // front = most recently used
+	items    map[string]*list.Element // key → element whose Value is *entry
+	inflight map[string]*call         // keys being computed right now
+
+	stats Stats
+}
+
+// entry is one resident key/value pair.
+type entry struct {
+	key string
+	val any
+}
+
+// call is one in-flight computation; waiters block on done.
+type call struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Stats is a snapshot of the cache's counters. All counters are
+// cumulative since New.
+type Stats struct {
+	// Hits counts Do/Get calls answered from the LRU.
+	Hits int64
+	// Misses counts Do calls that ran (or joined) a computation.
+	Misses int64
+	// SharedFlights counts Do calls that joined another caller's
+	// in-flight computation instead of starting their own — the requests
+	// singleflight saved.
+	SharedFlights int64
+	// Evictions counts entries dropped to respect the capacity bound.
+	Evictions int64
+	// Errors counts computations that returned an error (never cached).
+	Errors int64
+	// Size is the current number of resident entries.
+	Size int
+	// Capacity is the configured bound.
+	Capacity int
+}
+
+// New returns an empty cache bounded to capacity entries.
+func New(capacity int) (*Cache, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("%w: %d", ErrBadCapacity, capacity)
+	}
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		inflight: make(map[string]*call),
+	}, nil
+}
+
+// Do returns the value for key, computing it with compute on a miss.
+// Concurrent Do calls for the same key run compute exactly once: one
+// caller computes, the rest wait and share the result. hit reports
+// whether the value came from the LRU without waiting on any
+// computation (joined flights count as misses — the work was in
+// progress, not done).
+//
+// compute runs without the cache lock held and always runs to
+// completion once started — ctx cancels this caller's wait, not the
+// shared computation, so a slow result still lands in the cache for the
+// next request. A compute error is handed to every waiter of that
+// flight and nothing is cached.
+func (c *Cache) Do(ctx context.Context, key string, compute func() (any, error)) (val any, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.stats.Hits++
+		v := el.Value.(*entry).val
+		c.mu.Unlock()
+		return v, true, nil
+	}
+	c.stats.Misses++
+	if fl, ok := c.inflight[key]; ok {
+		c.stats.SharedFlights++
+		c.mu.Unlock()
+		select {
+		case <-fl.done:
+			return fl.val, false, fl.err
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	fl := &call{done: make(chan struct{})}
+	c.inflight[key] = fl
+	c.mu.Unlock()
+
+	fl.val, fl.err = compute()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if fl.err != nil {
+		c.stats.Errors++
+	} else {
+		c.add(key, fl.val)
+	}
+	c.mu.Unlock()
+	close(fl.done)
+	return fl.val, false, fl.err
+}
+
+// Get returns the cached value for key without computing anything.
+func (c *Cache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.stats.Hits++
+	return el.Value.(*entry).val, true
+}
+
+// add inserts or refreshes key under the lock, evicting from the LRU
+// tail to respect the capacity bound.
+func (c *Cache) add(key string, val any) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&entry{key: key, val: val})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*entry).key)
+		c.stats.Evictions++
+	}
+}
+
+// Len returns the number of resident entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Size = c.ll.Len()
+	s.Capacity = c.capacity
+	return s
+}

@@ -1,0 +1,236 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func mustNew(t *testing.T, capacity int) *Cache {
+	t.Helper()
+	c, err := New(capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewRejectsBadCapacity(t *testing.T) {
+	for _, capacity := range []int{0, -1} {
+		if _, err := New(capacity); !errors.Is(err, ErrBadCapacity) {
+			t.Errorf("New(%d) = %v, want ErrBadCapacity", capacity, err)
+		}
+	}
+}
+
+func TestDoHitMiss(t *testing.T) {
+	c := mustNew(t, 4)
+	ctx := context.Background()
+	calls := 0
+	compute := func() (any, error) { calls++; return 42, nil }
+
+	v, hit, err := c.Do(ctx, "k", compute)
+	if err != nil || hit || v.(int) != 42 {
+		t.Fatalf("cold Do = (%v, %v, %v), want (42, false, nil)", v, hit, err)
+	}
+	v, hit, err = c.Do(ctx, "k", compute)
+	if err != nil || !hit || v.(int) != 42 {
+		t.Fatalf("warm Do = (%v, %v, %v), want (42, true, nil)", v, hit, err)
+	}
+	if calls != 1 {
+		t.Errorf("compute ran %d times, want 1", calls)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Size != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss / size 1", s)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := mustNew(t, 2)
+	ctx := context.Background()
+	put := func(k string) {
+		t.Helper()
+		if _, _, err := c.Do(ctx, k, func() (any, error) { return k, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("a")
+	put("b")
+	if _, ok := c.Get("a"); !ok { // touch a → b is now least recent
+		t.Fatal("a missing before eviction")
+	}
+	put("c") // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction; LRU order not respected")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s evicted, want resident", k)
+		}
+	}
+	if s := c.Stats(); s.Evictions != 1 || s.Size != 2 {
+		t.Errorf("stats = %+v, want 1 eviction / size 2", s)
+	}
+}
+
+func TestErrorsAreNotCached(t *testing.T) {
+	c := mustNew(t, 4)
+	ctx := context.Background()
+	boom := errors.New("boom")
+	calls := 0
+	if _, _, err := c.Do(ctx, "k", func() (any, error) { calls++; return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("Do error = %v, want boom", err)
+	}
+	v, _, err := c.Do(ctx, "k", func() (any, error) { calls++; return 7, nil })
+	if err != nil || v.(int) != 7 {
+		t.Fatalf("Do after error = (%v, %v), want (7, nil)", v, err)
+	}
+	if calls != 2 {
+		t.Errorf("compute ran %d times, want 2 (errors must not be cached)", calls)
+	}
+	if s := c.Stats(); s.Errors != 1 {
+		t.Errorf("stats.Errors = %d, want 1", s.Errors)
+	}
+}
+
+func TestSingleflightComputesOnce(t *testing.T) {
+	c := mustNew(t, 4)
+	const waiters = 32
+	var computes atomic.Int64
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+
+	var wg sync.WaitGroup
+	results := make([]any, waiters)
+	errs := make([]error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], _, errs[i] = c.Do(context.Background(), "k", func() (any, error) {
+				once.Do(func() { close(started) })
+				computes.Add(1)
+				<-release // hold every concurrent caller in the same flight
+				return "shared", nil
+			})
+		}(i)
+	}
+	<-started
+	// Give the remaining goroutines a moment to pile onto the flight.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times under %d concurrent callers, want exactly 1", n, waiters)
+	}
+	for i := 0; i < waiters; i++ {
+		if errs[i] != nil || results[i].(string) != "shared" {
+			t.Fatalf("waiter %d got (%v, %v), want (shared, nil)", i, results[i], errs[i])
+		}
+	}
+	s := c.Stats()
+	if s.SharedFlights != waiters-1 {
+		t.Errorf("SharedFlights = %d, want %d", s.SharedFlights, waiters-1)
+	}
+}
+
+func TestDoContextCancelsWaitNotComputation(t *testing.T) {
+	c := mustNew(t, 4)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go c.Do(context.Background(), "k", func() (any, error) {
+		close(started)
+		<-release
+		return 1, nil
+	})
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(ctx, "k", func() (any, error) {
+			t.Error("second compute ran; singleflight should have joined the flight")
+			return nil, nil
+		})
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter got %v, want context.Canceled", err)
+	}
+
+	close(release) // the original computation still completes and lands
+	deadline := time.After(time.Second)
+	for {
+		if _, ok := c.Get("k"); ok {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("computation result never cached after waiter cancellation")
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+func TestConcurrentMixedKeys(t *testing.T) {
+	// Hammer a small cache from many goroutines across a keyspace larger
+	// than the capacity; run under -race this checks the locking.
+	c := mustNew(t, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d", (g+i)%24)
+				v, _, err := c.Do(context.Background(), k, func() (any, error) { return k, nil })
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if v.(string) != k {
+					t.Errorf("key %s returned value %v", k, v)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := c.Len(); n > 8 {
+		t.Errorf("cache holds %d entries, capacity 8", n)
+	}
+}
+
+func TestKeyCanonicality(t *testing.T) {
+	if AnalyzeKey(1, 2, 0.5) != AnalyzeKey(1, 2, 0.5) {
+		t.Error("equal analyze parameters produced different keys")
+	}
+	distinct := []string{
+		AnalyzeKey(1, 2, 0.5),
+		AnalyzeKey(2, 2, 0.5),
+		AnalyzeKey(1, 3, 0.5),
+		AnalyzeKey(1, 2, 0.25),
+		SimulateKey(1, 2, 0.5, SimParams{Cycles: 1000, Seed: 1}),
+		SimulateKey(1, 2, 0.5, SimParams{Cycles: 1000, Seed: 2}),
+		SimulateKey(1, 2, 0.5, SimParams{Cycles: 1000, Seed: 1, Resubmit: true}),
+		SweepPointKey("full", 1, 2, 0.5, false, 0, 1),
+		SweepPointKey("crossbar", 1, 2, 0.5, false, 0, 1),
+		SweepPointKey("full", 1, 2, 0.5, true, 20000, 1),
+	}
+	seen := map[string]int{}
+	for i, k := range distinct {
+		if prev, dup := seen[k]; dup {
+			t.Errorf("key collision between cases %d and %d: %q", prev, i, k)
+		}
+		seen[k] = i
+	}
+}

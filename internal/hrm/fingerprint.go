@@ -1,0 +1,59 @@
+package hrm
+
+import "math"
+
+// fnv64a accumulates 64-bit words into a 64-bit FNV-1a hash, matching
+// the encoding convention of topology.(*Network).Fingerprint so the two
+// fingerprints compose into one cache key space.
+type fnv64a uint64
+
+func newFNV64a() fnv64a { return 14695981039346656037 }
+
+func (h *fnv64a) word(v uint64) {
+	const prime64 = 1099511628211
+	x := uint64(*h)
+	for s := 0; s < 64; s += 8 {
+		x ^= (v >> s) & 0xff
+		x *= prime64
+	}
+	*h = fnv64a(x)
+}
+
+// Fingerprint returns a canonical 64-bit hash of the model's parameters:
+// the branching factors k_1…k_n and the per-module fractions m_0…m_n
+// (hashed by their exact IEEE-754 bits). Two hierarchies built through
+// different constructors but with identical parameters — e.g.
+// Uniform(16) and New([]int{16}, …) with the same fractions —
+// fingerprint identically, because X(r) and every downstream evaluation
+// depend only on these parameters. Used as the request-model component
+// of analysis cache keys.
+func (h *Hierarchy) Fingerprint() uint64 {
+	f := newFNV64a()
+	f.word(1) // variant tag: N×N hierarchy
+	f.word(uint64(len(h.ks)))
+	for _, k := range h.ks {
+		f.word(uint64(k))
+	}
+	for _, m := range h.fractions {
+		f.word(math.Float64bits(m))
+	}
+	return uint64(f)
+}
+
+// Fingerprint returns a canonical 64-bit hash of the N×M model's
+// parameters (branching factors, k'_n, and fractions); see
+// (*Hierarchy).Fingerprint. The variant tag differs from the N×N
+// hierarchy's so the two families never collide on equal parameters.
+func (h *HierarchyNM) Fingerprint() uint64 {
+	f := newFNV64a()
+	f.word(2) // variant tag: N×M hierarchy
+	f.word(uint64(len(h.ks)))
+	for _, k := range h.ks {
+		f.word(uint64(k))
+	}
+	f.word(uint64(h.kPrime))
+	for _, m := range h.fractions {
+		f.word(math.Float64bits(m))
+	}
+	return uint64(f)
+}

@@ -1,0 +1,73 @@
+package hrm
+
+import "testing"
+
+func TestHierarchyFingerprint(t *testing.T) {
+	a, err := TwoLevelPaper(16, 4, 0.6, 0.3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TwoLevelPaper(16, 4, 0.6, 0.3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("equal models fingerprint differently: %#x vs %#x", a.Fingerprint(), b.Fingerprint())
+	}
+	c, err := TwoLevelPaper(16, 4, 0.5, 0.4, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Error("different fractions, same fingerprint")
+	}
+	d, err := TwoLevelPaper(32, 4, 0.6, 0.3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() == d.Fingerprint() {
+		t.Error("different N, same fingerprint")
+	}
+	u, err := Uniform(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() == u.Fingerprint() {
+		t.Error("hierarchical and uniform models share a fingerprint")
+	}
+}
+
+func TestHierarchyNMFingerprintVariantTag(t *testing.T) {
+	// An N×M model must never collide with an N×N model, even when the
+	// raw parameter words coincide; the variant tag separates them.
+	nn, err := Uniform(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm, err := NewNMFromAggregates([]int{4}, 1, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nn.Fingerprint() == nm.Fingerprint() {
+		t.Error("N×N and N×M models share a fingerprint")
+	}
+
+	a, err := NewNMFromAggregates([]int{4, 2}, 2, []float64{0.7, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewNMFromAggregates([]int{4, 2}, 2, []float64{0.7, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("equal N×M models fingerprint differently: %#x vs %#x", a.Fingerprint(), b.Fingerprint())
+	}
+	c, err := NewNMFromAggregates([]int{4, 2}, 1, []float64{0.7, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Error("different k', same fingerprint")
+	}
+}

@@ -1,0 +1,71 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"net/http"
+
+	"multibus"
+	"multibus/internal/analytic"
+	"multibus/internal/hrm"
+	"multibus/internal/sim"
+	"multibus/internal/sweep"
+	"multibus/internal/topology"
+)
+
+// apiError is the JSON error body: {"error": {"code": ..., "message": ...}}.
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+type errorResponse struct {
+	Error apiError `json:"error"`
+}
+
+// badInputSentinels are the typed validation errors of the domain
+// layers; any error matching one of them is the client's fault. This
+// list is why the API overhaul replaced ad-hoc fmt.Errorf validation
+// with sentinels: the service classifies errors with errors.Is, never
+// by substring.
+var badInputSentinels = []error{
+	errBadRequest,
+	multibus.ErrNilArgument,
+	multibus.ErrDimensionMismatch,
+	multibus.ErrInvalidOption,
+	topology.ErrBadDimensions,
+	topology.ErrBadGrouping,
+	topology.ErrDisconnected,
+	topology.ErrBusOutOfRange,
+	topology.ErrModOutOfRange,
+	hrm.ErrBadShape,
+	hrm.ErrBadFractions,
+	hrm.ErrNotNormalized,
+	hrm.ErrBadRate,
+	sim.ErrBadConfig,
+	sim.ErrMismatch,
+	sweep.ErrBadSpec,
+}
+
+// classify maps an evaluation error to its HTTP status and stable error
+// code.
+func classify(err error) (status int, code string) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "deadline_exceeded"
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status is written for logging
+		// middleware more than for the (absent) reader.
+		return http.StatusServiceUnavailable, "canceled"
+	case errors.Is(err, analytic.ErrNoClosedForm):
+		// Valid input outside the closed-form families: the request is
+		// well-formed but unanswerable by this endpoint.
+		return http.StatusUnprocessableEntity, "no_closed_form"
+	}
+	for _, sentinel := range badInputSentinels {
+		if errors.Is(err, sentinel) {
+			return http.StatusBadRequest, "invalid_request"
+		}
+	}
+	return http.StatusInternalServerError, "internal_error"
+}

@@ -1,0 +1,226 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+
+	"multibus"
+	"multibus/internal/cache"
+	"multibus/internal/sim"
+	"multibus/internal/sweep"
+)
+
+// errBadRequest tags request-shape errors the domain layer cannot see:
+// unknown scheme names, missing fields, malformed JSON. It maps to
+// HTTP 400 alongside the domain's own validation sentinels.
+var errBadRequest = errors.New("service: invalid request")
+
+// NetworkSpec selects a topology. M defaults to N. Scheme is one of
+// "full", "single", "partial" (Groups groups), "kclass" (Classes even
+// classes, or explicit ClassSizes).
+type NetworkSpec struct {
+	Scheme     string `json:"scheme"`
+	N          int    `json:"n"`
+	M          int    `json:"m,omitempty"`
+	B          int    `json:"b"`
+	Groups     int    `json:"groups,omitempty"`
+	Classes    int    `json:"classes,omitempty"`
+	ClassSizes []int  `json:"classSizes,omitempty"`
+}
+
+// ModelSpec selects a request model over the network's M modules. Kind
+// is "uniform", "hier" (the paper's two-level workload; Clusters
+// defaults to 4 and the aggregates to 0.6/0.3/0.1), or "dasbhuyan"
+// (favorite-memory fraction Q).
+type ModelSpec struct {
+	Kind      string  `json:"kind"`
+	Clusters  int     `json:"clusters,omitempty"`
+	AFavorite float64 `json:"aFavorite,omitempty"`
+	ACluster  float64 `json:"aCluster,omitempty"`
+	ARemote   float64 `json:"aRemote,omitempty"`
+	Q         float64 `json:"q,omitempty"`
+}
+
+// SimSpec carries simulator knobs; zero values mean the simulator
+// defaults (20000 cycles, cycles/10 warmup, 20 batches, 1 service
+// cycle, seed 1).
+type SimSpec struct {
+	Cycles        int   `json:"cycles,omitempty"`
+	Warmup        int   `json:"warmup,omitempty"`
+	Batches       int   `json:"batches,omitempty"`
+	Seed          int64 `json:"seed,omitempty"`
+	Resubmit      bool  `json:"resubmit,omitempty"`
+	RoundRobin    bool  `json:"roundRobin,omitempty"`
+	ServiceCycles int   `json:"serviceCycles,omitempty"`
+}
+
+// AnalyzeRequest is the body of POST /v1/analyze.
+type AnalyzeRequest struct {
+	Network NetworkSpec `json:"network"`
+	Model   ModelSpec   `json:"model"`
+	R       float64     `json:"r"`
+}
+
+// SimulateRequest is the body of POST /v1/simulate.
+type SimulateRequest struct {
+	Network NetworkSpec `json:"network"`
+	Model   ModelSpec   `json:"model"`
+	R       float64     `json:"r"`
+	Sim     SimSpec     `json:"sim,omitempty"`
+}
+
+// SweepRequest is the body of POST /v1/sweep; it mirrors sweep.Spec.
+// Schemes entries are "full", "single", "partial-g2", "kclasses", or
+// "crossbar".
+type SweepRequest struct {
+	Ns           []int     `json:"ns"`
+	Bs           []int     `json:"bs"`
+	Rs           []float64 `json:"rs"`
+	Schemes      []string  `json:"schemes"`
+	Hierarchical bool      `json:"hierarchical,omitempty"`
+	WithSim      bool      `json:"withSim,omitempty"`
+	SimCycles    int       `json:"simCycles,omitempty"`
+	Seed         int64     `json:"seed,omitempty"`
+}
+
+// buildNetwork constructs the topology a NetworkSpec names.
+func buildNetwork(spec NetworkSpec) (*multibus.Network, error) {
+	m := spec.M
+	if m == 0 {
+		m = spec.N
+	}
+	switch spec.Scheme {
+	case "full":
+		return multibus.NewFullNetwork(spec.N, m, spec.B)
+	case "single":
+		return multibus.NewSingleBusNetwork(spec.N, m, spec.B)
+	case "partial":
+		g := spec.Groups
+		if g == 0 {
+			g = 2
+		}
+		return multibus.NewPartialBusNetwork(spec.N, m, spec.B, g)
+	case "kclass":
+		if len(spec.ClassSizes) > 0 {
+			return multibus.NewKClassNetwork(spec.N, spec.B, spec.ClassSizes)
+		}
+		k := spec.Classes
+		if k == 0 {
+			k = spec.B
+		}
+		return multibus.NewEvenKClassNetwork(spec.N, m, spec.B, k)
+	case "":
+		return nil, fmt.Errorf("%w: network.scheme is required (full|single|partial|kclass)", errBadRequest)
+	default:
+		return nil, fmt.Errorf("%w: unknown network.scheme %q (want full|single|partial|kclass)",
+			errBadRequest, spec.Scheme)
+	}
+}
+
+// buildModel constructs the request model a ModelSpec names, sized to
+// the network's module count (the dimension Analyze validates against).
+func buildModel(spec ModelSpec, modules int) (*multibus.Hierarchy, error) {
+	switch spec.Kind {
+	case "uniform":
+		return multibus.NewUniformModel(modules)
+	case "hier":
+		clusters := spec.Clusters
+		if clusters == 0 {
+			clusters = 4
+		}
+		aF, aC, aR := spec.AFavorite, spec.ACluster, spec.ARemote
+		if aF == 0 && aC == 0 && aR == 0 {
+			aF, aC, aR = 0.6, 0.3, 0.1 // the paper's workload
+		}
+		return multibus.NewTwoLevelHierarchy(modules, clusters, aF, aC, aR)
+	case "dasbhuyan":
+		return multibus.NewDasBhuyanModel(modules, spec.Q)
+	case "":
+		return nil, fmt.Errorf("%w: model.kind is required (uniform|hier|dasbhuyan)", errBadRequest)
+	default:
+		return nil, fmt.Errorf("%w: unknown model.kind %q (want uniform|hier|dasbhuyan)",
+			errBadRequest, spec.Kind)
+	}
+}
+
+// simParams normalizes a SimSpec to the simulator's effective defaults,
+// so a request that spells the defaults out and one that omits them
+// share a cache key. Out-of-range values pass through unchanged — the
+// compute path rejects them with a typed error before anything is
+// cached.
+func simParams(spec SimSpec) cache.SimParams {
+	p := cache.SimParams{
+		Cycles:        spec.Cycles,
+		Warmup:        spec.Warmup,
+		Batches:       spec.Batches,
+		ServiceCycles: spec.ServiceCycles,
+		Seed:          sim.EffectiveSeed(spec.Seed),
+		Resubmit:      spec.Resubmit,
+		RoundRobin:    spec.RoundRobin,
+	}
+	if p.Cycles == 0 {
+		p.Cycles = 20000
+	}
+	if p.Warmup == 0 {
+		p.Warmup = p.Cycles / 10
+	}
+	if p.Batches == 0 {
+		p.Batches = 20
+	}
+	if p.ServiceCycles == 0 {
+		p.ServiceCycles = 1
+	}
+	return p
+}
+
+// simOptions converts a SimSpec into façade options, applying only the
+// knobs the request actually set (invalid explicit values surface as
+// multibus.ErrInvalidOption from the compute path).
+func simOptions(spec SimSpec) []multibus.SimOption {
+	var opts []multibus.SimOption
+	if spec.Cycles != 0 {
+		opts = append(opts, multibus.WithCycles(spec.Cycles))
+	}
+	if spec.Warmup != 0 {
+		opts = append(opts, multibus.WithWarmup(spec.Warmup))
+	}
+	if spec.Batches != 0 {
+		opts = append(opts, multibus.WithBatches(spec.Batches))
+	}
+	if spec.ServiceCycles != 0 {
+		opts = append(opts, multibus.WithModuleServiceCycles(spec.ServiceCycles))
+	}
+	if spec.Seed != 0 {
+		opts = append(opts, multibus.WithSeed(spec.Seed))
+	}
+	if spec.Resubmit {
+		opts = append(opts, multibus.WithResubmit())
+	}
+	if spec.RoundRobin {
+		opts = append(opts, multibus.WithRoundRobinMemoryArbiters())
+	}
+	return opts
+}
+
+// parseSweepSchemes maps scheme names to sweep schemes.
+func parseSweepSchemes(names []string) ([]sweep.Scheme, error) {
+	schemes := make([]sweep.Scheme, 0, len(names))
+	for _, name := range names {
+		switch name {
+		case "full":
+			schemes = append(schemes, sweep.Full)
+		case "single":
+			schemes = append(schemes, sweep.Single)
+		case "partial-g2":
+			schemes = append(schemes, sweep.PartialG2)
+		case "kclasses":
+			schemes = append(schemes, sweep.KClassesEven)
+		case "crossbar":
+			schemes = append(schemes, sweep.Crossbar)
+		default:
+			return nil, fmt.Errorf("%w: unknown sweep scheme %q (want full|single|partial-g2|kclasses|crossbar)",
+				errBadRequest, name)
+		}
+	}
+	return schemes, nil
+}

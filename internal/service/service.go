@@ -1,0 +1,392 @@
+// Package service implements the mbserve HTTP JSON API: a long-running,
+// concurrent evaluation service in front of the multibus library.
+//
+// Endpoints:
+//
+//	POST /v1/analyze   — closed-form bandwidth analysis (cached)
+//	POST /v1/simulate  — Monte-Carlo simulation (cached)
+//	POST /v1/sweep     — design-space sweep (per-point cached)
+//	GET  /healthz      — liveness probe
+//	GET  /metrics      — expvar counters (requests, cache hits/misses)
+//	     /debug/pprof/ — runtime profiling
+//
+// Every evaluation goes through one shared singleflight LRU
+// (internal/cache): concurrent identical requests compute once, repeat
+// requests are served from memory, and sweep grid points share the same
+// key space across requests. Evaluation results are deterministic
+// functions of the request, so a cache hit is byte-identical to a cold
+// computation; the X-Cache response header (hit|miss) is the only
+// difference.
+//
+// Request handling is defensive by construction: bodies are
+// size-limited, JSON is decoded with unknown fields rejected, every
+// computation runs under a per-request deadline, and validation
+// failures map to typed 4xx responses via the domain's sentinel errors
+// (see errors.go) — never by matching error strings.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"multibus"
+	"multibus/internal/cache"
+	"multibus/internal/sweep"
+)
+
+// Defaults for Options zero values.
+const (
+	DefaultCacheSize    = 4096
+	DefaultTimeout      = 30 * time.Second
+	DefaultMaxBodyBytes = 1 << 20 // 1 MiB
+)
+
+// Options configures a Server; zero values take the defaults above.
+type Options struct {
+	// CacheSize bounds the shared analysis/simulation LRU (entries).
+	CacheSize int
+	// Timeout is the per-request computation deadline.
+	Timeout time.Duration
+	// MaxBodyBytes bounds request bodies.
+	MaxBodyBytes int64
+	// AnalyzeFunc overrides the analysis computation (tests count
+	// invocations through this seam). Nil means multibus.AnalyzeContext.
+	AnalyzeFunc func(ctx context.Context, nw *multibus.Network, model multibus.RequestModel, r float64) (*multibus.Analysis, error)
+	// SimulateFunc overrides the simulation computation. Nil means
+	// multibus.SimulateContext.
+	SimulateFunc func(ctx context.Context, nw *multibus.Network, w multibus.Workload, opts ...multibus.SimOption) (*multibus.SimResult, error)
+}
+
+// Server is the mbserve request handler. Build one with New; it is
+// safe for concurrent use.
+type Server struct {
+	opts  Options
+	cache *cache.Cache
+}
+
+// metrics are process-global expvar counters. The request map is
+// shared by every Server in the process (counters only ever add);
+// cache gauges are published for the first Server, the daemon case.
+var (
+	metricRequests  = expvar.NewMap("mbserve_requests")
+	metricResponses = expvar.NewMap("mbserve_responses")
+	cacheVarOnce    sync.Once
+)
+
+// New builds a Server.
+func New(opts Options) (*Server, error) {
+	if opts.CacheSize == 0 {
+		opts.CacheSize = DefaultCacheSize
+	}
+	if opts.Timeout == 0 {
+		opts.Timeout = DefaultTimeout
+	}
+	if opts.MaxBodyBytes == 0 {
+		opts.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if opts.AnalyzeFunc == nil {
+		opts.AnalyzeFunc = multibus.AnalyzeContext
+	}
+	if opts.SimulateFunc == nil {
+		opts.SimulateFunc = multibus.SimulateContext
+	}
+	c, err := cache.New(opts.CacheSize)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{opts: opts, cache: c}
+	cacheVarOnce.Do(func() {
+		expvar.Publish("mbserve_cache", expvar.Func(func() any { return s.cache.Stats() }))
+	})
+	return s, nil
+}
+
+// Cache exposes the server's memoization layer (shared with sweep
+// evaluation; tests assert on its stats).
+func (s *Server) Cache() *cache.Cache { return s.cache }
+
+// Handler returns the service's routing handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/analyze", s.instrument("analyze", s.handleAnalyze))
+	mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
+	mux.HandleFunc("POST /v1/sweep", s.instrument("sweep", s.handleSweep))
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.Handle("GET /metrics", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// instrument wraps an evaluation handler with the request counter, the
+// per-request deadline, and the body size limit.
+func (s *Server) instrument(name string, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		metricRequests.Add(name, 1)
+		ctx, cancel := context.WithTimeout(r.Context(), s.opts.Timeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+		r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+		h(w, r)
+	}
+}
+
+// decodeJSON parses a request body strictly: unknown fields and
+// trailing garbage are 400s, an oversized body is a 413. It writes the
+// error response itself and reports whether decoding succeeded.
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	err := dec.Decode(dst)
+	if err == nil {
+		// A second value in the body is a malformed request, not data to
+		// silently ignore.
+		if dec.More() {
+			err = fmt.Errorf("%w: trailing data after JSON body", errBadRequest)
+		}
+	}
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "body_too_large",
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "invalid_json", err.Error())
+		return false
+	}
+	return true
+}
+
+// handleAnalyze serves POST /v1/analyze.
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req AnalyzeRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	nw, model, ok := s.buildPoint(w, req.Network, req.Model)
+	if !ok {
+		return
+	}
+	key := cache.AnalyzeKey(nw.Fingerprint(), model.Fingerprint(), req.R)
+	v, hit, err := s.cache.Do(r.Context(), key, func() (any, error) {
+		return s.opts.AnalyzeFunc(r.Context(), nw, model, req.R)
+	})
+	if err != nil {
+		writeClassified(w, err)
+		return
+	}
+	a := v.(*multibus.Analysis)
+	writeCached(w, hit)
+	writeJSON(w, http.StatusOK, analysisBody{
+		X:                    a.X,
+		Bandwidth:            a.Bandwidth,
+		CrossbarBandwidth:    a.CrossbarBandwidth,
+		BusUtilization:       a.BusUtilization,
+		PerformanceCostRatio: a.PerformanceCostRatio,
+	})
+}
+
+// handleSimulate serves POST /v1/simulate. The workload is the
+// hierarchical adapter of the request model, so the cache key —
+// topology fingerprint, model fingerprint, rate, normalized simulator
+// parameters — fully determines the run.
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	nw, model, ok := s.buildPoint(w, req.Network, req.Model)
+	if !ok {
+		return
+	}
+	gen, err := multibus.NewHierarchicalWorkload(model, req.R)
+	if err != nil {
+		writeClassified(w, err)
+		return
+	}
+	key := cache.SimulateKey(nw.Fingerprint(), model.Fingerprint(), req.R, simParams(req.Sim))
+	v, hit, err := s.cache.Do(r.Context(), key, func() (any, error) {
+		return s.opts.SimulateFunc(r.Context(), nw, gen, simOptions(req.Sim)...)
+	})
+	if err != nil {
+		writeClassified(w, err)
+		return
+	}
+	res := v.(*multibus.SimResult)
+	writeCached(w, hit)
+	writeJSON(w, http.StatusOK, simBody{
+		Cycles:                res.Cycles,
+		Mode:                  res.Mode.String(),
+		Bandwidth:             res.Bandwidth,
+		BandwidthCI95:         res.BandwidthCI95,
+		AcceptanceProbability: res.AcceptanceProbability,
+		BusUtilization:        res.BusUtilization,
+		MeanWaitCycles:        res.MeanWaitCycles,
+		Offered:               res.Offered,
+		Accepted:              res.Accepted,
+		NewRequests:           res.NewRequests,
+		MemoryBlocked:         res.MemoryBlocked,
+		BusBlocked:            res.BusBlocked,
+		StrandedBlocked:       res.StrandedBlocked,
+		ModuleBusyBlocked:     res.ModuleBusyBlocked,
+		JainFairness:          res.JainFairness(),
+	})
+}
+
+// handleSweep serves POST /v1/sweep. Grid points are memoized in the
+// shared cache, so overlapping grids across requests — and identical
+// points requested concurrently — are computed once.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	schemes, err := parseSweepSchemes(req.Schemes)
+	if err != nil {
+		writeClassified(w, err)
+		return
+	}
+	points, err := sweep.Run(sweep.Spec{
+		Ns:           req.Ns,
+		Bs:           req.Bs,
+		Rs:           req.Rs,
+		Schemes:      schemes,
+		Hierarchical: req.Hierarchical,
+		WithSim:      req.WithSim,
+		SimCycles:    req.SimCycles,
+		Seed:         req.Seed,
+		Context:      r.Context(),
+		Memo:         s.cache,
+	})
+	if err != nil {
+		writeClassified(w, err)
+		return
+	}
+	body := sweepBody{Points: make([]sweepPointBody, len(points))}
+	for i, p := range points {
+		body.Points[i] = sweepPointBody{
+			Scheme:       p.Scheme.String(),
+			N:            p.N,
+			B:            p.B,
+			R:            p.R,
+			X:            p.X,
+			Bandwidth:    p.Bandwidth,
+			Simulated:    p.Simulated,
+			SimBandwidth: p.SimBandwidth,
+			SimCI95:      p.SimCI95,
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// buildPoint constructs the (network, model) pair shared by analyze and
+// simulate, writing the 400 itself on failure.
+func (s *Server) buildPoint(w http.ResponseWriter, nspec NetworkSpec, mspec ModelSpec) (*multibus.Network, *multibus.Hierarchy, bool) {
+	nw, err := buildNetwork(nspec)
+	if err != nil {
+		writeClassified(w, err)
+		return nil, nil, false
+	}
+	model, err := buildModel(mspec, nw.M())
+	if err != nil {
+		writeClassified(w, err)
+		return nil, nil, false
+	}
+	return nw, model, true
+}
+
+// Response bodies. Field order is fixed and encoding/json is
+// deterministic for these types, so equal results render to identical
+// bytes — the property the cache tests pin down.
+
+type analysisBody struct {
+	X                    float64 `json:"x"`
+	Bandwidth            float64 `json:"bandwidth"`
+	CrossbarBandwidth    float64 `json:"crossbarBandwidth"`
+	BusUtilization       float64 `json:"busUtilization"`
+	PerformanceCostRatio float64 `json:"performanceCostRatio"`
+}
+
+type simBody struct {
+	Cycles                int     `json:"cycles"`
+	Mode                  string  `json:"mode"`
+	Bandwidth             float64 `json:"bandwidth"`
+	BandwidthCI95         float64 `json:"bandwidthCI95"`
+	AcceptanceProbability float64 `json:"acceptanceProbability"`
+	BusUtilization        float64 `json:"busUtilization"`
+	MeanWaitCycles        float64 `json:"meanWaitCycles"`
+	Offered               int64   `json:"offered"`
+	Accepted              int64   `json:"accepted"`
+	NewRequests           int64   `json:"newRequests"`
+	MemoryBlocked         int64   `json:"memoryBlocked"`
+	BusBlocked            int64   `json:"busBlocked"`
+	StrandedBlocked       int64   `json:"strandedBlocked"`
+	ModuleBusyBlocked     int64   `json:"moduleBusyBlocked"`
+	JainFairness          float64 `json:"jainFairness"`
+}
+
+type sweepPointBody struct {
+	Scheme       string  `json:"scheme"`
+	N            int     `json:"n"`
+	B            int     `json:"b"`
+	R            float64 `json:"r"`
+	X            float64 `json:"x"`
+	Bandwidth    float64 `json:"bandwidth"`
+	Simulated    bool    `json:"simulated,omitempty"`
+	SimBandwidth float64 `json:"simBandwidth,omitempty"`
+	SimCI95      float64 `json:"simCI95,omitempty"`
+}
+
+type sweepBody struct {
+	Points []sweepPointBody `json:"points"`
+}
+
+// writeCached sets the X-Cache header; it must run before writeJSON
+// (headers flush with the status line).
+func writeCached(w http.ResponseWriter, hit bool) {
+	if hit {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+}
+
+// writeJSON marshals v and writes it with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		// Response bodies are plain data structs; this cannot happen.
+		http.Error(w, `{"error":{"code":"internal_error","message":"response encoding failed"}}`,
+			http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(buf, '\n'))
+	metricResponses.Add(fmt.Sprintf("%d", status), 1)
+}
+
+// writeError writes an explicit error response.
+func writeError(w http.ResponseWriter, status int, code, message string) {
+	writeJSON(w, status, errorResponse{Error: apiError{Code: code, Message: message}})
+}
+
+// writeClassified maps a domain error to its HTTP status via the
+// sentinel classification.
+func writeClassified(w http.ResponseWriter, err error) {
+	status, code := classify(err)
+	writeError(w, status, code, err.Error())
+}

@@ -1,0 +1,331 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"multibus"
+	"multibus/internal/analytic"
+)
+
+func newTestServer(t *testing.T, opts Options) *Server {
+	t.Helper()
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func postJSON(t *testing.T, h http.Handler, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+const analyzeBody = `{"network":{"scheme":"full","n":16,"b":8},"model":{"kind":"hier"},"r":1.0}`
+
+func TestHealthz(t *testing.T) {
+	h := newTestServer(t, Options{}).Handler()
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), `"ok"`) {
+		t.Errorf("healthz body = %q", rec.Body.String())
+	}
+}
+
+func TestAnalyzeColdAndCachedAreByteIdentical(t *testing.T) {
+	s := newTestServer(t, Options{})
+	h := s.Handler()
+
+	cold := postJSON(t, h, "/v1/analyze", analyzeBody)
+	if cold.Code != http.StatusOK {
+		t.Fatalf("cold analyze = %d: %s", cold.Code, cold.Body.String())
+	}
+	if got := cold.Header().Get("X-Cache"); got != "miss" {
+		t.Errorf("cold X-Cache = %q, want miss", got)
+	}
+	warm := postJSON(t, h, "/v1/analyze", analyzeBody)
+	if warm.Code != http.StatusOK {
+		t.Fatalf("warm analyze = %d: %s", warm.Code, warm.Body.String())
+	}
+	if got := warm.Header().Get("X-Cache"); got != "hit" {
+		t.Errorf("warm X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(cold.Body.Bytes(), warm.Body.Bytes()) {
+		t.Errorf("cache hit differs from cold response:\ncold: %s\nwarm: %s", cold.Body, warm.Body)
+	}
+	// Sanity: the numbers mean something — full 16×16×8 under the
+	// paper's workload at r=1 has bandwidth within (0, 8].
+	var resp struct {
+		Bandwidth float64 `json:"bandwidth"`
+	}
+	if err := json.Unmarshal(cold.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Bandwidth <= 0 || resp.Bandwidth > 8 {
+		t.Errorf("bandwidth = %v, want in (0, 8]", resp.Bandwidth)
+	}
+}
+
+func TestConcurrentIdenticalAnalyzeComputesOnce(t *testing.T) {
+	var computations atomic.Int64
+	release := make(chan struct{})
+	s := newTestServer(t, Options{
+		AnalyzeFunc: func(ctx context.Context, nw *multibus.Network, model multibus.RequestModel, r float64) (*multibus.Analysis, error) {
+			computations.Add(1)
+			<-release // hold the flight open so every request piles on
+			return multibus.AnalyzeContext(ctx, nw, model, r)
+		},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const clients = 16
+	bodies := make([][]byte, clients)
+	codes := make([]int, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/analyze", "application/json", strings.NewReader(analyzeBody))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			codes[i] = resp.StatusCode
+			bodies[i], _ = io.ReadAll(resp.Body)
+		}(i)
+	}
+	// Wait for the first request to enter the computation, give the rest
+	// a moment to join its flight, then release.
+	deadline := time.After(5 * time.Second)
+	for computations.Load() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("no computation started")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if n := computations.Load(); n != 1 {
+		t.Errorf("%d identical concurrent requests ran the computation %d times, want exactly 1", clients, n)
+	}
+	for i := 1; i < clients; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("client %d got status %d: %s", i, codes[i], bodies[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Errorf("client %d body differs: %s vs %s", i, bodies[i], bodies[0])
+		}
+	}
+	stats := s.Cache().Stats()
+	if stats.SharedFlights != clients-1 {
+		t.Errorf("SharedFlights = %d, want %d", stats.SharedFlights, clients-1)
+	}
+}
+
+func TestSimulateCachedSecondCall(t *testing.T) {
+	var computations atomic.Int64
+	s := newTestServer(t, Options{
+		SimulateFunc: func(ctx context.Context, nw *multibus.Network, w multibus.Workload, opts ...multibus.SimOption) (*multibus.SimResult, error) {
+			computations.Add(1)
+			return multibus.SimulateContext(ctx, nw, w, opts...)
+		},
+	})
+	h := s.Handler()
+	body := `{"network":{"scheme":"full","n":8,"b":4},"model":{"kind":"uniform"},"r":0.8,"sim":{"cycles":2000,"seed":7}}`
+	cold := postJSON(t, h, "/v1/simulate", body)
+	if cold.Code != http.StatusOK {
+		t.Fatalf("cold simulate = %d: %s", cold.Code, cold.Body.String())
+	}
+	// Spelling out the defaults must land on the same cache key.
+	explicit := `{"network":{"scheme":"full","n":8,"b":4},"model":{"kind":"uniform"},"r":0.8,"sim":{"cycles":2000,"warmup":200,"batches":20,"seed":7}}`
+	warm := postJSON(t, h, "/v1/simulate", explicit)
+	if warm.Code != http.StatusOK {
+		t.Fatalf("warm simulate = %d: %s", warm.Code, warm.Body.String())
+	}
+	if n := computations.Load(); n != 1 {
+		t.Errorf("simulation computed %d times, want 1 (default-normalized key mismatch?)", n)
+	}
+	if !bytes.Equal(cold.Body.Bytes(), warm.Body.Bytes()) {
+		t.Errorf("cached simulate differs from cold:\n%s\n%s", cold.Body, warm.Body)
+	}
+	if got := warm.Header().Get("X-Cache"); got != "hit" {
+		t.Errorf("warm X-Cache = %q, want hit", got)
+	}
+}
+
+func TestSweepEndpointAndCrossRequestMemo(t *testing.T) {
+	s := newTestServer(t, Options{})
+	h := s.Handler()
+	body := `{"ns":[8,16],"bs":[2,4,8],"rs":[0.5,1.0],"schemes":["full","single","crossbar"]}`
+	first := postJSON(t, h, "/v1/sweep", body)
+	if first.Code != http.StatusOK {
+		t.Fatalf("sweep = %d: %s", first.Code, first.Body.String())
+	}
+	var resp struct {
+		Points []struct {
+			Scheme    string  `json:"scheme"`
+			Bandwidth float64 `json:"bandwidth"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(first.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Points) == 0 {
+		t.Fatal("sweep returned no points")
+	}
+	missesAfterFirst := s.Cache().Stats().Misses
+
+	second := postJSON(t, h, "/v1/sweep", body)
+	if second.Code != http.StatusOK {
+		t.Fatalf("second sweep = %d", second.Code)
+	}
+	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+		t.Error("repeated sweep returned different bytes")
+	}
+	if misses := s.Cache().Stats().Misses; misses != missesAfterFirst {
+		t.Errorf("repeated sweep recomputed points: misses %d → %d", missesAfterFirst, misses)
+	}
+}
+
+func TestValidationMapsToTyped400(t *testing.T) {
+	h := newTestServer(t, Options{}).Handler()
+	cases := []struct {
+		name, path, body string
+		wantCode         string
+	}{
+		{"unknown scheme", "/v1/analyze", `{"network":{"scheme":"mesh","n":8,"b":4},"model":{"kind":"uniform"},"r":1}`, "invalid_request"},
+		{"missing scheme", "/v1/analyze", `{"network":{"n":8,"b":4},"model":{"kind":"uniform"},"r":1}`, "invalid_request"},
+		{"bad dimensions", "/v1/analyze", `{"network":{"scheme":"full","n":0,"b":4},"model":{"kind":"uniform"},"r":1}`, "invalid_request"},
+		{"bad grouping", "/v1/analyze", `{"network":{"scheme":"partial","n":8,"b":4,"groups":3},"model":{"kind":"uniform"},"r":1}`, "invalid_request"},
+		{"unknown model", "/v1/analyze", `{"network":{"scheme":"full","n":8,"b":4},"model":{"kind":"zipf"},"r":1}`, "invalid_request"},
+		{"rate out of range", "/v1/analyze", `{"network":{"scheme":"full","n":8,"b":4},"model":{"kind":"uniform"},"r":1.5}`, "invalid_request"},
+		{"bad hier clusters", "/v1/analyze", `{"network":{"scheme":"full","n":9,"b":4},"model":{"kind":"hier"},"r":1}`, "invalid_request"},
+		{"bad q", "/v1/analyze", `{"network":{"scheme":"full","n":8,"b":4},"model":{"kind":"dasbhuyan","q":1.5},"r":1}`, "invalid_request"},
+		{"bad sim cycles", "/v1/simulate", `{"network":{"scheme":"full","n":8,"b":4},"model":{"kind":"uniform"},"r":1,"sim":{"cycles":-5}}`, "invalid_request"},
+		{"bad sim batches", "/v1/simulate", `{"network":{"scheme":"full","n":8,"b":4},"model":{"kind":"uniform"},"r":1,"sim":{"batches":-1}}`, "invalid_request"},
+		{"sweep empty grid", "/v1/sweep", `{"ns":[],"bs":[4],"rs":[1],"schemes":["full"]}`, "invalid_request"},
+		{"sweep bad scheme", "/v1/sweep", `{"ns":[8],"bs":[4],"rs":[1],"schemes":["hypercube"]}`, "invalid_request"},
+		{"unknown field", "/v1/analyze", `{"network":{"scheme":"full","n":8,"b":4},"model":{"kind":"uniform"},"r":1,"frobnicate":true}`, "invalid_json"},
+		{"malformed json", "/v1/analyze", `{"network":`, "invalid_json"},
+		{"trailing garbage", "/v1/analyze", analyzeBody + `{"again":true}`, "invalid_json"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := postJSON(t, h, tc.path, tc.body)
+			if rec.Code != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400; body: %s", rec.Code, rec.Body.String())
+			}
+			var er errorResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil {
+				t.Fatalf("error body is not JSON: %v: %s", err, rec.Body.String())
+			}
+			if er.Error.Code != tc.wantCode {
+				t.Errorf("error code = %q, want %q (message: %s)", er.Error.Code, tc.wantCode, er.Error.Message)
+			}
+		})
+	}
+}
+
+func TestBodySizeLimit(t *testing.T) {
+	h := newTestServer(t, Options{MaxBodyBytes: 64}).Handler()
+	big := `{"network":{"scheme":"full","n":16,"b":8},"model":{"kind":"hier"},"r":1.0,` +
+		`"pad":"` + strings.Repeat("x", 200) + `"}`
+	rec := postJSON(t, h, "/v1/analyze", big)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body = %d, want 413; %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestRequestDeadlineMapsTo504(t *testing.T) {
+	s := newTestServer(t, Options{Timeout: time.Nanosecond})
+	h := s.Handler()
+	body := `{"network":{"scheme":"full","n":16,"b":8},"model":{"kind":"uniform"},"r":1,"sim":{"cycles":1000000}}`
+	rec := postJSON(t, h, "/v1/simulate", body)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("timed-out simulate = %d, want 504; %s", rec.Code, rec.Body.String())
+	}
+	var er errorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Error.Code != "deadline_exceeded" {
+		t.Errorf("error code = %q, want deadline_exceeded", er.Error.Code)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	h := newTestServer(t, Options{}).Handler()
+	req := httptest.NewRequest(http.MethodGet, "/v1/analyze", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/analyze = %d, want 405", rec.Code)
+	}
+}
+
+func TestMetricsAndPprofExposed(t *testing.T) {
+	h := newTestServer(t, Options{}).Handler()
+	postJSON(t, h, "/v1/analyze", analyzeBody)
+	for _, path := range []string{"/metrics", "/debug/pprof/"} {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", path, rec.Code)
+		}
+	}
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if !strings.Contains(rec.Body.String(), "mbserve_requests") {
+		t.Error("/metrics does not expose mbserve_requests")
+	}
+}
+
+func TestClassifyNoClosedForm(t *testing.T) {
+	// The API cannot currently express an unclassifiable wiring, but the
+	// mapping must hold for when Custom networks are exposed.
+	status, code := classify(fmt.Errorf("wrapped: %w", analytic.ErrNoClosedForm))
+	if status != http.StatusUnprocessableEntity || code != "no_closed_form" {
+		t.Errorf("classify(ErrNoClosedForm) = (%d, %s), want (422, no_closed_form)", status, code)
+	}
+}
+
+func TestCacheEvictionBound(t *testing.T) {
+	s := newTestServer(t, Options{CacheSize: 4})
+	h := s.Handler()
+	for i := 0; i < 10; i++ {
+		body := fmt.Sprintf(`{"network":{"scheme":"full","n":8,"b":%d},"model":{"kind":"uniform"},"r":1.0}`, i%8+1)
+		if rec := postJSON(t, h, "/v1/analyze", body); rec.Code != http.StatusOK {
+			t.Fatalf("analyze b=%d: %d", i%8+1, rec.Code)
+		}
+	}
+	if n := s.Cache().Len(); n > 4 {
+		t.Errorf("cache grew to %d entries, capacity 4", n)
+	}
+}

@@ -44,6 +44,19 @@ func (s *pcgSource) Seed(seed int64) {
 	s.pcg.Seed(uint64(seed), splitmix64(uint64(seed)))
 }
 
+// NewSeededRand returns a deterministic *rand.Rand drawing from the
+// same math/rand/v2 PCG-DXSM stream family as the simulator engine,
+// with the seed normalized through EffectiveSeed. It is the one
+// seed-derivation path for the whole repo: façade helpers
+// (multibus.RecordWorkload) and the cmd/ tools (mbtrace) route through
+// it, so "seed s" names the same stream everywhere a *rand.Rand is
+// needed. The legacy math/rand type is kept only because the workload
+// and arbiter interfaces take *rand.Rand; the bits underneath are
+// rand/v2's.
+func NewSeededRand(seed int64) *rand.Rand {
+	return newRNG(EffectiveSeed(seed))
+}
+
 // newRNG builds the engine RNG for a (normalized) seed.
 //
 // Seed-derivation rule: a 64-bit seed s expands to the 128-bit PCG

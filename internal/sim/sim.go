@@ -14,6 +14,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -89,6 +90,11 @@ type Config struct {
 	// bus is held only for the accepting cycle (the transfer), so bus
 	// capacity is unchanged.
 	ModuleServiceCycles int
+	// Err records a configuration-building failure (the multibus façade's
+	// option validators park bad option values here, since an option
+	// cannot return an error itself). Run refuses any config with Err
+	// set, returning it unchanged so errors.Is matching survives.
+	Err error
 }
 
 // Result carries the measured statistics of a run.
@@ -155,6 +161,9 @@ type runPlan struct {
 // (the allocation-regression guard steps a bare engine).
 func newEngine(cfg Config) (*engine, runPlan, error) {
 	var plan runPlan
+	if cfg.Err != nil {
+		return nil, plan, cfg.Err
+	}
 	if cfg.Topology == nil || cfg.Workload == nil {
 		return nil, plan, fmt.Errorf("%w: topology and workload are required", ErrBadConfig)
 	}
@@ -242,14 +251,33 @@ func newEngine(cfg Config) (*engine, runPlan, error) {
 
 // Run executes one simulation and returns its measurements.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// warmupCheckInterval is how many warmup cycles run between context
+// checks; measured cycles check at batch boundaries instead.
+const warmupCheckInterval = 4096
+
+// RunContext executes one simulation, honouring ctx: cancellation is
+// checked between batches (and periodically during warmup), so a run is
+// abandoned within one batch of the deadline rather than at the end.
+// The context error is returned unwrapped, matchable with errors.Is
+// against context.Canceled / context.DeadlineExceeded.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	eng, plan, err := newEngine(cfg)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	cycles, warmup, batches := plan.cycles, plan.warmup, plan.batches
 	n, m := eng.n, eng.m
 
 	for c := 0; c < warmup; c++ {
+		if c%warmupCheckInterval == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		eng.step(false)
 	}
 	res := &Result{
@@ -264,6 +292,9 @@ func Run(cfg Config) (*Result, error) {
 	batchAccepted := make([]float64, batches)
 	batchSize := cycles / batches
 	for c := 0; c < cycles; c++ {
+		if c%batchSize == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		accepted := eng.step(true)
 		bi := c / batchSize
 		if bi >= batches {

@@ -1,0 +1,107 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"multibus/internal/cache"
+)
+
+func memoSpec(memo *cache.Cache) Spec {
+	return Spec{
+		Ns:      []int{8, 16},
+		Bs:      []int{2, 4, 8},
+		Rs:      []float64{0.5, 1.0},
+		Schemes: []Scheme{Full, Single, Crossbar},
+		Memo:    memo,
+	}
+}
+
+func TestMemoizedSweepMatchesDirect(t *testing.T) {
+	direct, err := Run(memoSpec(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	memo, err := cache.New(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memoized, err := Run(memoSpec(memo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct) != len(memoized) {
+		t.Fatalf("point counts differ: %d vs %d", len(direct), len(memoized))
+	}
+	for i := range direct {
+		if direct[i] != memoized[i] {
+			t.Errorf("point %d differs: %+v vs %+v", i, direct[i], memoized[i])
+		}
+	}
+}
+
+func TestRepeatedSweepHitsCache(t *testing.T) {
+	memo, err := cache.New(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := Run(memoSpec(memo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := memo.Stats()
+	if after.Misses != int64(len(first)) {
+		t.Errorf("first sweep: %d misses for %d points", after.Misses, len(first))
+	}
+	second, err := Run(memoSpec(memo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := memo.Stats()
+	if final.Misses != after.Misses {
+		t.Errorf("second identical sweep recomputed: misses %d → %d", after.Misses, final.Misses)
+	}
+	if got := final.Hits - after.Hits; got != int64(len(second)) {
+		t.Errorf("second sweep: %d hits for %d points", got, len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Errorf("cached point %d differs from cold point: %+v vs %+v", i, second[i], first[i])
+		}
+	}
+}
+
+func TestMemoKeysSeparateCrossbarFromFull(t *testing.T) {
+	// Crossbar points are computed on a Full topology; the scheme tag in
+	// the memo key must keep the two apart.
+	memo, err := cache.New(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{
+		Ns: []int{8}, Bs: []int{4}, Rs: []float64{1.0},
+		Schemes: []Scheme{Full, Crossbar},
+		Memo:    memo,
+	}
+	pts, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2", len(pts))
+	}
+	if pts[0].Bandwidth == pts[1].Bandwidth {
+		t.Errorf("full and crossbar bandwidths identical (%.4f); memo keys collided?", pts[0].Bandwidth)
+	}
+}
+
+func TestSweepContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	spec := memoSpec(nil)
+	spec.Context = ctx
+	if _, err := Run(spec); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled sweep = %v, want context.Canceled", err)
+	}
+}

@@ -6,6 +6,7 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -13,6 +14,7 @@ import (
 	"sync/atomic"
 
 	"multibus/internal/analytic"
+	"multibus/internal/cache"
 	"multibus/internal/hrm"
 	"multibus/internal/sim"
 	"multibus/internal/topology"
@@ -74,6 +76,20 @@ type Spec struct {
 	// The result is byte-identical regardless of Workers: every point
 	// is seeded independently and reassembled in grid order.
 	Workers int
+	// Context, when non-nil, cancels the sweep: it is checked before
+	// each grid point starts (and, for simulated points, between
+	// simulation batches), so Run returns the context error within one
+	// point of cancellation. Nil means context.Background().
+	Context context.Context
+	// Memo, when non-nil, memoizes grid-point evaluations, keyed by the
+	// point's structural fingerprints and every parameter that affects
+	// its value (scheme, topology wiring, request model, rate, and — for
+	// simulated points — cycles and seed). Overlapping grids across Run
+	// calls sharing one cache hit it instead of recomputing; results are
+	// deterministic, so a hit is byte-identical to a recompute.
+	// Concurrent identical points (within one sweep or across sweeps
+	// sharing the cache) compute once via singleflight.
+	Memo *cache.Cache
 }
 
 // Point is one evaluated configuration.
@@ -128,6 +144,11 @@ func Run(spec Spec) ([]Point, error) {
 		workers = len(jobs)
 	}
 
+	ctx := spec.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
 	points := make([]Point, len(jobs))
 	var (
 		cursor   atomic.Int64 // next job index to claim
@@ -147,7 +168,11 @@ func Run(spec Spec) ([]Point, error) {
 				if i >= len(jobs) || aborted.Load() {
 					return
 				}
-				pt, err := evaluate(spec, jobs[i])
+				err := ctx.Err()
+				var pt Point
+				if err == nil {
+					pt, err = evaluatePoint(ctx, spec, jobs[i])
+				}
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil || i < firstIdx {
@@ -199,9 +224,43 @@ func enumerate(spec Spec) ([]job, error) {
 	return jobs, nil
 }
 
+// evaluatePoint evaluates one grid point through Spec.Memo when one is
+// configured, and directly otherwise. Memoized evaluation is
+// transparent: every point is deterministic given its key, so a cache
+// hit returns exactly the Point a recompute would.
+func evaluatePoint(ctx context.Context, spec Spec, jb job) (Point, error) {
+	if spec.Memo == nil {
+		return evaluate(ctx, spec, jb)
+	}
+	cycles := spec.SimCycles
+	if cycles == 0 {
+		cycles = defaultSimCycles
+	}
+	key := cache.SweepPointKey(
+		jb.scheme.String(), jb.nw.Fingerprint(), jb.model.Fingerprint(), jb.r,
+		spec.WithSim, cycles, sim.EffectiveSeed(spec.Seed),
+	)
+	v, _, err := spec.Memo.Do(ctx, key, func() (any, error) {
+		pt, err := evaluate(ctx, spec, jb)
+		if err != nil {
+			return nil, err
+		}
+		return pt, nil
+	})
+	if err != nil {
+		return Point{}, err
+	}
+	return v.(Point), nil
+}
+
+// defaultSimCycles is the simulated-cycle count used when Spec.SimCycles
+// is zero; it must match the normalization in evaluate so memo keys and
+// actual runs agree.
+const defaultSimCycles = 20000
+
 // evaluate computes one grid point: the analytic bandwidth and, with
 // WithSim, an independently seeded simulator cross-check.
-func evaluate(spec Spec, jb job) (Point, error) {
+func evaluate(ctx context.Context, spec Spec, jb job) (Point, error) {
 	x, err := jb.model.X(jb.r)
 	if err != nil {
 		return Point{}, err
@@ -223,9 +282,9 @@ func evaluate(spec Spec, jb job) (Point, error) {
 		}
 		cycles := spec.SimCycles
 		if cycles == 0 {
-			cycles = 20000
+			cycles = defaultSimCycles
 		}
-		res, err := sim.Run(sim.Config{
+		res, err := sim.RunContext(ctx, sim.Config{
 			Topology: jb.nw,
 			Workload: gen,
 			Cycles:   cycles,

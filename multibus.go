@@ -30,6 +30,7 @@
 package multibus
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -201,17 +202,48 @@ type Analysis struct {
 	PerformanceCostRatio float64
 }
 
-// ErrModelMismatch is returned when a request model's module count does
-// not match the network's.
-var ErrModelMismatch = errors.New("multibus: request model and network disagree on module count")
+// Sentinel errors of the façade, matchable with errors.Is. Input
+// validation failures all wrap one of these (or a typed error from an
+// internal package, e.g. sim.ErrBadConfig), so callers — the HTTP
+// service layer in particular — can classify an error as "bad request"
+// without string matching.
+var (
+	// ErrDimensionMismatch is returned when a request model's dimensions
+	// do not match the network it is evaluated against.
+	ErrDimensionMismatch = errors.New("multibus: request model and network disagree on module count")
+	// ErrNilArgument is returned when a required network, model, or
+	// workload argument is nil.
+	ErrNilArgument = errors.New("multibus: nil argument")
+	// ErrInvalidOption is returned by Simulate and SimulateReplicated
+	// when a SimOption carries an out-of-range value, e.g. WithCycles(0).
+	ErrInvalidOption = errors.New("multibus: invalid simulation option")
+)
+
+// ErrModelMismatch is the former name of [ErrDimensionMismatch]; the two
+// are the same value, so errors.Is matches either.
+//
+// Deprecated: use ErrDimensionMismatch.
+var ErrModelMismatch = ErrDimensionMismatch
 
 // Analyze evaluates the closed-form bandwidth of a classifiable network
 // under the given request model at request rate r. It returns
 // analytic.ErrNoClosedForm (via errors.Is) for wirings that require the
 // simulator.
 func Analyze(nw *Network, model RequestModel, r float64) (*Analysis, error) {
+	return AnalyzeContext(context.Background(), nw, model, r)
+}
+
+// AnalyzeContext is Analyze honouring a context: evaluation is skipped
+// if ctx is already done. The closed forms themselves are microsecond-
+// scale, so no further cancellation points exist inside; the context
+// parameter is for uniformity with SimulateContext and for the serving
+// layer's per-request deadlines.
+func AnalyzeContext(ctx context.Context, nw *Network, model RequestModel, r float64) (*Analysis, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if nw == nil || model == nil {
-		return nil, fmt.Errorf("multibus: Analyze requires a network and a model")
+		return nil, fmt.Errorf("%w: Analyze requires a network and a model", ErrNilArgument)
 	}
 	if err := checkModelDims(nw, model); err != nil {
 		return nil, err
@@ -247,11 +279,11 @@ func checkModelDims(nw *Network, model RequestModel) error {
 	switch m := model.(type) {
 	case *Hierarchy:
 		if m.N() != nw.M() {
-			return fmt.Errorf("%w: model %d vs network %d", ErrModelMismatch, m.N(), nw.M())
+			return fmt.Errorf("%w: model %d vs network %d", ErrDimensionMismatch, m.N(), nw.M())
 		}
 	case *HierarchyNM:
 		if m.MModules() != nw.M() {
-			return fmt.Errorf("%w: model %d vs network %d", ErrModelMismatch, m.MModules(), nw.M())
+			return fmt.Errorf("%w: model %d vs network %d", ErrDimensionMismatch, m.MModules(), nw.M())
 		}
 	}
 	return nil
@@ -261,15 +293,42 @@ func checkModelDims(nw *Network, model RequestModel) error {
 // for field documentation.
 type SimResult = sim.Result
 
-// SimOption configures Simulate.
+// SimOption configures Simulate. An option given an out-of-range value
+// does not panic or silently misbehave: it records a typed error
+// (wrapping [ErrInvalidOption]) that Simulate returns before running
+// anything.
 type SimOption func(*sim.Config)
 
+// optionErr parks an invalid-option error on the config; Simulate and
+// SimulateReplicated surface it before running. Multiple bad options
+// accumulate via errors.Join, all matchable against ErrInvalidOption.
+func optionErr(c *sim.Config, format string, args ...any) {
+	c.Err = errors.Join(c.Err, fmt.Errorf("%w: "+format, append([]any{ErrInvalidOption}, args...)...))
+}
+
 // WithCycles sets the number of measured cycles (default 20000).
-func WithCycles(cycles int) SimOption { return func(c *sim.Config) { c.Cycles = cycles } }
+// cycles must be ≥ 1.
+func WithCycles(cycles int) SimOption {
+	return func(c *sim.Config) {
+		if cycles < 1 {
+			optionErr(c, "WithCycles(%d): cycles must be ≥ 1", cycles)
+			return
+		}
+		c.Cycles = cycles
+	}
+}
 
 // WithWarmup sets the warmup cycles run before measurement (default
-// cycles/10).
-func WithWarmup(cycles int) SimOption { return func(c *sim.Config) { c.Warmup = cycles } }
+// cycles/10). cycles must be ≥ 0.
+func WithWarmup(cycles int) SimOption {
+	return func(c *sim.Config) {
+		if cycles < 0 {
+			optionErr(c, "WithWarmup(%d): warmup must be ≥ 0", cycles)
+			return
+		}
+		c.Warmup = cycles
+	}
+}
 
 // WithSeed fixes the RNG seed (default 1); runs are reproducible per
 // seed.
@@ -287,25 +346,63 @@ func WithRoundRobinMemoryArbiters() SimOption {
 }
 
 // WithBatches sets the number of batch-means batches used for the
-// bandwidth confidence interval (default 20).
-func WithBatches(n int) SimOption { return func(c *sim.Config) { c.Batches = n } }
+// bandwidth confidence interval (default 20). n must be ≥ 2 (a
+// confidence interval needs at least two batches).
+func WithBatches(n int) SimOption {
+	return func(c *sim.Config) {
+		if n < 2 {
+			optionErr(c, "WithBatches(%d): batches must be ≥ 2", n)
+			return
+		}
+		c.Batches = n
+	}
+}
 
 // WithModuleServiceCycles makes each memory module stay busy for k
 // cycles per accepted request (default 1, the paper's assumption);
 // requests arriving at a busy module are blocked — the "referenced
-// module might be busy" interference of the paper's §II.
+// module might be busy" interference of the paper's §II. k must be ≥ 1.
 func WithModuleServiceCycles(k int) SimOption {
-	return func(c *sim.Config) { c.ModuleServiceCycles = k }
+	return func(c *sim.Config) {
+		if k < 1 {
+			optionErr(c, "WithModuleServiceCycles(%d): service cycles must be ≥ 1", k)
+			return
+		}
+		c.ModuleServiceCycles = k
+	}
 }
 
 // Simulate runs the cycle-level Monte-Carlo simulator of the two-stage
 // arbitration protocol on the given network and workload.
 func Simulate(nw *Network, w Workload, opts ...SimOption) (*SimResult, error) {
+	return SimulateContext(context.Background(), nw, w, opts...)
+}
+
+// SimulateContext is Simulate honouring a context: cancellation is
+// checked between simulation batches (and periodically during warmup),
+// so a run respecting a deadline stops within one batch of it. The
+// context error is returned unwrapped, matchable against
+// context.Canceled and context.DeadlineExceeded.
+func SimulateContext(ctx context.Context, nw *Network, w Workload, opts ...SimOption) (*SimResult, error) {
+	cfg, err := buildSimConfig(nw, w, opts)
+	if err != nil {
+		return nil, err
+	}
+	return sim.RunContext(ctx, cfg)
+}
+
+// buildSimConfig assembles and pre-validates a simulator config from
+// façade arguments: nil checks, then option application, surfacing any
+// invalid-option error the options recorded.
+func buildSimConfig(nw *Network, w Workload, opts []SimOption) (sim.Config, error) {
+	if nw == nil || w == nil {
+		return sim.Config{}, fmt.Errorf("%w: Simulate requires a network and a workload", ErrNilArgument)
+	}
 	cfg := sim.Config{Topology: nw, Workload: w}
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	return sim.Run(cfg)
+	return cfg, cfg.Err
 }
 
 // CostSummary carries the Table I cost metrics of a network.
@@ -358,12 +455,12 @@ func ExpectedBandwidthUnderFailures(nw *Network, model RequestModel, r, p float6
 // closed-form families (use Simulate for those networks).
 func IsNoClosedForm(err error) bool { return errors.Is(err, analytic.ErrNoClosedForm) }
 
-// newSeededRand returns a deterministic RNG for facade helpers.
+// newSeededRand returns a deterministic RNG for facade helpers, drawing
+// from the simulator's PCG-DXSM stream family via the one documented
+// seed-derivation path (sim.EffectiveSeed + the (s, splitmix64(s))
+// expansion; see internal/sim/rng.go).
 func newSeededRand(seed int64) *rand.Rand {
-	if seed == 0 {
-		seed = 1
-	}
-	return rand.New(rand.NewSource(seed))
+	return sim.NewSeededRand(seed)
 }
 
 // ReplicatedSimResult aggregates independent simulation replications;
@@ -374,9 +471,9 @@ type ReplicatedSimResult = sim.ReplicatedResult
 // seeds in parallel and aggregates them, giving a cross-replication
 // confidence interval free of batch-means assumptions.
 func SimulateReplicated(nw *Network, w Workload, reps int, opts ...SimOption) (*ReplicatedSimResult, error) {
-	cfg := sim.Config{Topology: nw, Workload: w}
-	for _, opt := range opts {
-		opt(&cfg)
+	cfg, err := buildSimConfig(nw, w, opts)
+	if err != nil {
+		return nil, err
 	}
 	return sim.RunReplications(cfg, reps)
 }

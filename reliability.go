@@ -18,7 +18,7 @@ type TrajectoryPoint = fault.TrajectoryPoint
 // the workload runs at request rate r.
 func BandwidthTrajectory(nw *Network, model RequestModel, r, lambda float64, times []float64) ([]TrajectoryPoint, error) {
 	if nw == nil || model == nil {
-		return nil, fmt.Errorf("multibus: BandwidthTrajectory requires a network and a model")
+		return nil, fmt.Errorf("%w: BandwidthTrajectory requires a network and a model", ErrNilArgument)
 	}
 	if err := checkModelDims(nw, model); err != nil {
 		return nil, err

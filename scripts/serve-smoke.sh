@@ -1,0 +1,37 @@
+#!/bin/sh
+# serve-smoke: boot mbserve on an ephemeral port, hit /healthz and one
+# /v1/analyze, and fail on any non-200. Used by `make serve-smoke`.
+set -eu
+
+BIN="${1:?usage: serve-smoke.sh <mbserve binary>}"
+LOG="$(mktemp)"
+trap 'kill "$PID" 2>/dev/null || true; rm -f "$LOG"' EXIT INT TERM
+
+"$BIN" -addr 127.0.0.1:0 >"$LOG" 2>&1 &
+PID=$!
+
+# mbserve logs the resolved listen address so -addr :0 is scriptable.
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR="$(sed -n 's/.*listening on \(.*\)/\1/p' "$LOG" | head -n1)"
+    [ -n "$ADDR" ] && break
+    kill -0 "$PID" 2>/dev/null || { echo "serve-smoke: mbserve exited early:"; cat "$LOG"; exit 1; }
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "serve-smoke: never saw listen address:"; cat "$LOG"; exit 1; }
+
+check() {
+    desc="$1"; shift
+    status="$(curl -s -o /dev/null -w '%{http_code}' "$@")"
+    if [ "$status" != "200" ]; then
+        echo "serve-smoke: $desc returned HTTP $status (want 200)"
+        exit 1
+    fi
+    echo "serve-smoke: $desc ok"
+}
+
+check "GET /healthz" "http://$ADDR/healthz"
+check "POST /v1/analyze" -X POST "http://$ADDR/v1/analyze" \
+    -d '{"network":{"scheme":"full","n":16,"b":8},"model":{"kind":"hier"},"r":1.0}'
+
+echo "serve-smoke: PASS"
