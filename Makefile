@@ -2,13 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build test race bench repro examples fmt vet cover clean check lint serve-smoke
+.PHONY: all build test race bench repro examples fmt vet cover clean check lint serve-smoke scenarios-check
 
 all: build vet test
 
 # Full gate: compile, lint, unit tests, the race detector over the
-# concurrent packages, and an end-to-end boot of the HTTP service.
-check: build lint test race serve-smoke
+# concurrent packages, scenario-file validation, and an end-to-end boot
+# of the HTTP service.
+check: build lint test race scenarios-check serve-smoke
 
 build:
 	$(GO) build ./...
@@ -17,7 +18,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sim/... ./internal/sweep/... ./internal/cache/... ./internal/service/...
+	$(GO) test -race ./internal/scenario/... ./internal/sim/... ./internal/sweep/... ./internal/cache/... ./internal/service/...
+
+# Validate every committed example scenario against the canonical
+# scenario layer (strict parse + build + key derivation).
+scenarios-check:
+	$(GO) run ./cmd/mbscenario -quiet examples/scenarios/*.json
+	@echo "scenarios-check: PASS"
 
 # Static analysis: go vet always; staticcheck when it is on PATH (the CI
 # image may not ship it, and we do not install tools on the fly).

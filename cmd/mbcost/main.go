@@ -7,6 +7,7 @@
 //
 //	mbcost -n 16 -b 8
 //	mbcost -n 32 -b 16 -g 2 -k 16 -r 0.5 -workload unif
+//	mbcost -scenario examples/scenarios/full16-hier.json
 package main
 
 import (
@@ -14,34 +15,52 @@ import (
 	"fmt"
 	"os"
 
-	"multibus/internal/cliutil"
 	"multibus/internal/cost"
+	"multibus/internal/scenario"
 )
 
 func main() {
 	var (
-		n  = flag.Int("n", 16, "number of processors")
-		m  = flag.Int("m", 0, "number of memory modules (default n)")
-		b  = flag.Int("b", 8, "number of buses")
-		g  = flag.Int("g", 2, "groups for the partial bus network row")
-		k  = flag.Int("k", 0, "classes for the K-class row (default b)")
-		r  = flag.Float64("r", 1.0, "request rate for the effectiveness ranking")
-		wl = flag.String("workload", "hier", "workload for the ranking: hier or unif")
+		file = flag.String("scenario", "", "take dimensions, workload, and rate from a scenario JSON file")
+		n    = flag.Int("n", 16, "number of processors")
+		m    = flag.Int("m", 0, "number of memory modules (default n)")
+		b    = flag.Int("b", 8, "number of buses")
+		g    = flag.Int("g", 2, "groups for the partial bus network row")
+		k    = flag.Int("k", 0, "classes for the K-class row (default b)")
+		r    = flag.Float64("r", 1.0, "request rate for the effectiveness ranking")
+		wl   = flag.String("workload", "hier", "workload for the ranking: hier, unif, dasbhuyan")
+		q    = flag.Float64("q", 0.5, "favorite-memory fraction for -workload dasbhuyan")
 	)
 	flag.Parse()
+	model := scenario.Model{Kind: *wl, Q: *q}
+	if *file != "" {
+		s, err := scenario.Load(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mbcost:", err)
+			os.Exit(1)
+		}
+		// Table I wants every scheme's parameters; the file's network
+		// fills the dimensions and whatever row parameters it carries.
+		*n, *m, *b = s.Network.N, s.Network.M, s.Network.B
+		if s.Network.Groups > 0 {
+			*g = s.Network.Groups
+		}
+		*k = s.Network.Classes
+		model, *r = s.Model, s.R
+	}
 	if *m == 0 {
 		*m = *n
 	}
 	if *k == 0 {
 		*k = *b
 	}
-	if err := run(*n, *m, *b, *g, *k, *r, *wl); err != nil {
+	if err := run(*n, *m, *b, *g, *k, *r, model); err != nil {
 		fmt.Fprintln(os.Stderr, "mbcost:", err)
 		os.Exit(1)
 	}
 }
 
-func run(n, m, b, g, k int, r float64, wl string) error {
+func run(n, m, b, g, k int, r float64, mspec scenario.Model) error {
 	rows, err := cost.TableI(n, m, b, g, k)
 	if err != nil {
 		return err
@@ -56,7 +75,7 @@ func run(n, m, b, g, k int, r float64, wl string) error {
 			row.FaultDegreeExpr, row.FaultDegree)
 	}
 
-	model, err := cliutil.BuildModel(wl, m)
+	model, err := mspec.Build(m)
 	if err != nil {
 		return err
 	}
@@ -68,7 +87,7 @@ func run(n, m, b, g, k int, r float64, wl string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("\nEffectiveness at %s workload, r=%.2f (X=%.4f):\n\n", wl, r, x)
+	fmt.Printf("\nEffectiveness at %s workload, r=%.2f (X=%.4f):\n\n", mspec.AxisName(), r, x)
 	fmt.Printf("%-38s %10s %12s %14s %7s\n", "scheme", "bandwidth", "connections", "BW/connection", "degree")
 	for _, e := range eff {
 		fmt.Printf("%-38s %10.4f %12d %14.6f %7d\n",

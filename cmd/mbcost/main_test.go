@@ -4,12 +4,13 @@ import (
 	"strings"
 	"testing"
 
+	"multibus/internal/scenario"
 	"multibus/internal/testutil"
 )
 
 func TestRunTableIAndRanking(t *testing.T) {
 	out := testutil.CaptureStdout(t, func() error {
-		return run(16, 16, 8, 2, 8, 1.0, "hier")
+		return run(16, 16, 8, 2, 8, 1.0, scenario.Model{Kind: "hier"})
 	})
 	for _, frag := range []string{
 		"Table I", "B(N+M)", "256", "BN+M", "144",
@@ -21,14 +22,23 @@ func TestRunTableIAndRanking(t *testing.T) {
 	}
 }
 
+func TestRunDasBhuyanRanking(t *testing.T) {
+	out := testutil.CaptureStdout(t, func() error {
+		return run(16, 16, 8, 2, 8, 1.0, scenario.Model{Kind: "dasbhuyan", Q: 0.7})
+	})
+	if !strings.Contains(out, "dasbhuyan-q0.7 workload") {
+		t.Errorf("das workload label missing:\n%s", out)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run(16, 16, 8, 3, 8, 1.0, "hier"); err == nil {
+	if err := run(16, 16, 8, 3, 8, 1.0, scenario.Model{Kind: "hier"}); err == nil {
 		t.Error("bad g should error")
 	}
-	if err := run(16, 16, 8, 2, 8, 1.0, "zipf"); err == nil {
+	if err := run(16, 16, 8, 2, 8, 1.0, scenario.Model{Kind: "zipf"}); err == nil {
 		t.Error("bad workload should error")
 	}
-	if err := run(16, 16, 8, 2, 8, 1.5, "hier"); err == nil {
+	if err := run(16, 16, 8, 2, 8, 1.5, scenario.Model{Kind: "hier"}); err == nil {
 		t.Error("bad rate should error")
 	}
 }

@@ -7,6 +7,7 @@
 //
 //	mbfault -scheme kclass -n 16 -b 8 -k 4 -maxfail 4
 //	mbfault -scheme partial -n 16 -b 8 -g 2 -p 0.05
+//	mbfault -scenario examples/scenarios/partial-g4.json -maxfail 2
 package main
 
 import (
@@ -17,54 +18,49 @@ import (
 	"multibus/internal/asciiplot"
 	"multibus/internal/cliutil"
 	"multibus/internal/fault"
+	"multibus/internal/scenario"
 )
 
 func main() {
+	spec := cliutil.RegisterScenarioFlags(flag.CommandLine,
+		cliutil.Defaults{Scheme: "kclass"})
 	var (
-		scheme  = flag.String("scheme", "kclass", "connection scheme: full, single, partial, kclass")
-		n       = flag.Int("n", 16, "number of processors")
-		m       = flag.Int("m", 0, "number of memory modules (default n)")
-		b       = flag.Int("b", 8, "number of buses")
-		g       = flag.Int("g", 2, "groups for -scheme partial")
-		k       = flag.Int("k", 0, "classes for -scheme kclass (default b/2)")
-		r       = flag.Float64("r", 1.0, "request rate")
-		wl      = flag.String("workload", "hier", "workload: hier or unif")
 		maxFail = flag.Int("maxfail", 3, "largest failure count for the survivability curve")
 		p       = flag.Float64("p", 0.05, "independent per-bus failure probability")
 		lambda  = flag.Float64("lambda", 0, "per-bus failure rate for the mission trajectory (0 disables)")
 		horizon = flag.Float64("horizon", 10, "mission length for the trajectory")
 	)
 	flag.Parse()
-	if *m == 0 {
-		*m = *n
-	}
-	if *k == 0 {
-		*k = *b / 2
-		if *k == 0 {
-			*k = 1
+	s, _, err := spec.Scenario()
+	if err == nil {
+		// This tool's historical K-class default is B/2 classes (the
+		// sweet spot of §V), not the canonical B.
+		if s.Network.Classes == 0 && len(s.Network.ClassSizes) == 0 {
+			s.Network.Classes = max(s.Network.B/2, 1)
 		}
+		err = run(s, *maxFail, *p, *lambda, *horizon)
 	}
-	if err := run(*scheme, *n, *m, *b, *g, *k, *r, *wl, *maxFail, *p, *lambda, *horizon); err != nil {
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mbfault:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scheme string, n, m, b, g, k int, r float64, wl string, maxFail int, p, lambda, horizon float64) error {
-	nw, err := cliutil.BuildNetwork(scheme, n, m, b, g, k)
+func run(s scenario.Scenario, maxFail int, p, lambda, horizon float64) error {
+	nw, err := s.Network.Build()
 	if err != nil {
 		return err
 	}
-	model, err := cliutil.BuildModel(wl, m)
+	model, err := s.Model.Build(nw.M())
 	if err != nil {
 		return err
 	}
-	x, err := model.X(r)
+	x, err := model.X(s.R)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("network: %v (fault degree %d)\n", nw, nw.FaultToleranceDegree())
-	fmt.Printf("workload: %s, r=%.2f (X=%.4f)\n\n", wl, r, x)
+	fmt.Printf("workload: %s, r=%.2f (X=%.4f)\n\n", s.Model.AxisName(), s.R, x)
 
 	if maxFail >= nw.B() {
 		maxFail = nw.B() - 1

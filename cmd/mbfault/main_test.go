@@ -4,12 +4,21 @@ import (
 	"strings"
 	"testing"
 
+	"multibus/internal/scenario"
 	"multibus/internal/testutil"
 )
 
+func spec(scheme string, n, b, k int) scenario.Scenario {
+	return scenario.Scenario{
+		Network: scenario.Network{Scheme: scheme, N: n, B: b, Classes: k},
+		Model:   scenario.Model{Kind: "hier"},
+		R:       1.0,
+	}
+}
+
 func TestRunSurvivabilityAndTrajectory(t *testing.T) {
 	out := testutil.CaptureStdout(t, func() error {
-		return run("kclass", 16, 16, 8, 2, 4, 1.0, "hier", 3, 0.05, 0.05, 10)
+		return run(spec("kclass", 16, 8, 4), 3, 0.05, 0.05, 10)
 	})
 	for _, frag := range []string{
 		"fault degree 4", "failures", "reach frac",
@@ -24,18 +33,30 @@ func TestRunSurvivabilityAndTrajectory(t *testing.T) {
 func TestRunMaxFailClamped(t *testing.T) {
 	// maxfail ≥ B is clamped rather than erroring.
 	out := testutil.CaptureStdout(t, func() error {
-		return run("full", 8, 8, 4, 2, 2, 1.0, "hier", 10, 0.05, 0, 10)
+		return run(spec("full", 8, 4, 0), 10, 0.05, 0, 10)
 	})
 	if !strings.Contains(out, "reach frac") {
 		t.Errorf("clamped run malformed:\n%s", out)
 	}
 }
 
+func TestRunExplicitClassSizes(t *testing.T) {
+	s := spec("kclass", 16, 4, 0)
+	s.Network.ClassSizes = []int{2, 6, 8}
+	s.Model = scenario.Model{Kind: "unif"}
+	out := testutil.CaptureStdout(t, func() error {
+		return run(s, 2, 0.05, 0, 10)
+	})
+	if !strings.Contains(out, "K classes (K=3)") {
+		t.Errorf("explicit class-size network missing:\n%s", out)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run("mesh", 8, 8, 4, 2, 2, 1.0, "hier", 2, 0.05, 0, 10); err == nil {
+	if err := run(spec("mesh", 8, 4, 2), 2, 0.05, 0, 10); err == nil {
 		t.Error("unknown scheme should error")
 	}
-	if err := run("full", 8, 8, 4, 2, 2, 1.0, "hier", 2, 1.5, 0, 10); err == nil {
+	if err := run(spec("full", 8, 4, 2), 2, 1.5, 0, 10); err == nil {
 		t.Error("bad p should error")
 	}
 }

@@ -1,0 +1,63 @@
+// Command mbscenario validates scenario JSON files against the
+// canonical scenario layer. For each file it parses strictly, builds
+// the topology and request model, and prints the canonical form
+// alongside the cache key the scenario evaluates under — the same key
+// every consumer (CLI, HTTP, sweep) derives. Exit status 1 if any file
+// fails.
+//
+// Usage:
+//
+//	mbscenario examples/scenarios/*.json
+//	mbscenario -quiet examples/scenarios/*.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"multibus/internal/scenario"
+)
+
+func main() {
+	quiet := flag.Bool("quiet", false, "only report failures")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: mbscenario [-quiet] file.json...")
+		os.Exit(2)
+	}
+	failed := 0
+	for _, path := range flag.Args() {
+		if err := check(path, *quiet, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "mbscenario: %s: %v\n", path, err)
+			failed++
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func check(path string, quiet bool, w *os.File) error {
+	s, err := scenario.Load(path)
+	if err != nil {
+		return err
+	}
+	b, err := s.Build()
+	if err != nil {
+		return err
+	}
+	if quiet {
+		return nil
+	}
+	canonical, err := json.Marshal(b.Scenario)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s: ok\n", path)
+	fmt.Fprintf(w, "  network:   %v\n", b.Network)
+	fmt.Fprintf(w, "  canonical: %s\n", canonical)
+	fmt.Fprintf(w, "  key:       %s\n", b.Key())
+	return nil
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"multibus/internal/testutil"
+)
+
+func write(t *testing.T, name, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckValid(t *testing.T) {
+	path := write(t, "ok.json",
+		`{"network":{"scheme":"full","n":16,"b":8},"model":{"kind":"hier"},"r":1}`)
+	out := testutil.CaptureStdout(t, func() error {
+		return check(path, false, os.Stdout)
+	})
+	for _, frag := range []string{": ok", "canonical:", `"m":16`, "key:", "analyze|"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestCheckSimKey(t *testing.T) {
+	path := write(t, "sim.json",
+		`{"network":{"scheme":"single","n":8,"b":2},"model":{"kind":"unif"},"r":0.5,"sim":{"cycles":1000}}`)
+	out := testutil.CaptureStdout(t, func() error {
+		return check(path, false, os.Stdout)
+	})
+	if !strings.Contains(out, "simulate|") {
+		t.Errorf("sim scenario should key as a simulation:\n%s", out)
+	}
+}
+
+func TestCheckFailures(t *testing.T) {
+	if err := check(filepath.Join(t.TempDir(), "absent.json"), true, os.Stdout); err == nil {
+		t.Error("missing file should error")
+	}
+	bad := write(t, "bad.json",
+		`{"network":{"scheme":"full","n":16,"b":8},"model":{"kind":"hier"},"r":1,"typo":true}`)
+	if err := check(bad, true, os.Stdout); err == nil {
+		t.Error("unknown field should error (strict parse)")
+	}
+	unsat := write(t, "unsat.json",
+		`{"network":{"scheme":"partial","n":16,"b":8,"groups":3},"model":{"kind":"hier"},"r":1}`)
+	if err := check(unsat, true, os.Stdout); err == nil {
+		t.Error("unsatisfiable constraint should error")
+	}
+}

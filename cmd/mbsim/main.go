@@ -11,6 +11,7 @@
 //	mbsim -scheme kclass -n 16 -b 8 -k 8 -cycles 100000 -exact
 //	mbsim -scheme partial -n 32 -b 16 -g 2 -mode resubmit
 //	mbsim -scheme full -n 4 -b 2 -trace requests.txt
+//	mbsim -scenario examples/scenarios/simulate-resubmit.json
 package main
 
 import (
@@ -21,65 +22,72 @@ import (
 	"multibus/internal/analytic"
 	"multibus/internal/cliutil"
 	"multibus/internal/exact"
+	"multibus/internal/scenario"
 	"multibus/internal/sim"
 	"multibus/internal/topology"
 	"multibus/internal/workload"
 )
 
 func main() {
-	var (
-		scheme    = flag.String("scheme", "full", "connection scheme: full, single, partial, kclass")
-		n         = flag.Int("n", 16, "number of processors")
-		m         = flag.Int("m", 0, "number of memory modules (default n)")
-		b         = flag.Int("b", 8, "number of buses")
-		g         = flag.Int("g", 2, "groups for -scheme partial")
-		k         = flag.Int("k", 0, "classes for -scheme kclass (default b)")
-		r         = flag.Float64("r", 1.0, "per-cycle request probability")
-		wl        = flag.String("workload", "hier", "workload: hier, unif, hotspot")
-		tracePath = flag.String("trace", "", "replay a request trace file instead of a stochastic workload")
-		wiring    = flag.String("wiring", "", "load a custom wiring file instead of -scheme")
-		cycles    = flag.Int("cycles", 50000, "measured cycles")
-		seed      = flag.Int64("seed", 1, "RNG seed")
-		mode      = flag.String("mode", "drop", "blocked request handling: drop (paper) or resubmit")
-		service   = flag.Int("service", 1, "cycles a module stays busy per accepted request")
-		withExact = flag.Bool("exact", false, "also compute the exact expectation (M ≤ 20)")
-		verbose   = flag.Bool("v", false, "print per-module, per-bus, and per-processor statistics")
-	)
+	var o options
+	o.spec = cliutil.RegisterScenarioFlags(flag.CommandLine, cliutil.Defaults{})
+	flag.StringVar(&o.tracePath, "trace", "", "replay a request trace file instead of a stochastic workload")
+	flag.StringVar(&o.wiringPath, "wiring", "", "load a custom wiring file instead of -scheme")
+	flag.IntVar(&o.cycles, "cycles", 50000, "measured cycles")
+	flag.Int64Var(&o.seed, "seed", 1, "RNG seed")
+	flag.StringVar(&o.mode, "mode", "drop", "blocked request handling: drop (paper) or resubmit")
+	flag.IntVar(&o.service, "service", 1, "cycles a module stays busy per accepted request")
+	flag.BoolVar(&o.withExact, "exact", false, "also compute the exact expectation (M ≤ 20)")
+	flag.BoolVar(&o.verbose, "v", false, "print per-module, per-bus, and per-processor statistics")
 	flag.Parse()
-	if *m == 0 {
-		*m = *n
-	}
-	if *k == 0 {
-		*k = *b
-	}
-	if err := run(options{
-		scheme: *scheme, n: *n, m: *m, b: *b, g: *g, k: *k, r: *r,
-		wl: *wl, tracePath: *tracePath, wiringPath: *wiring,
-		cycles: *cycles, seed: *seed, service: *service,
-		mode: *mode, withExact: *withExact, verbose: *verbose,
-	}); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "mbsim:", err)
 		os.Exit(1)
 	}
 }
 
 type options struct {
-	scheme        string
-	n, m, b, g, k int
-	r             float64
-	wl, tracePath string
-	wiringPath    string
-	cycles        int
-	seed          int64
-	service       int
-	mode          string
-	withExact     bool
-	verbose       bool
+	spec       *cliutil.ScenarioFlags
+	tracePath  string
+	wiringPath string
+	cycles     int
+	seed       int64
+	service    int
+	mode       string
+	withExact  bool
+	verbose    bool
 }
 
 func run(o options) error {
+	switch o.mode {
+	case "drop", "resubmit":
+	default:
+		return fmt.Errorf("unknown mode %q", o.mode)
+	}
+	sc, _, err := o.spec.Scenario()
+	if err != nil {
+		return err
+	}
+	// The engine knobs are tool-local flags; a -scenario file's sim block
+	// wins field-by-field where it is explicit.
+	if sc.Sim == nil {
+		sc.Sim = &scenario.Sim{}
+	}
+	if sc.Sim.Cycles == 0 {
+		sc.Sim.Cycles = o.cycles
+	}
+	if sc.Sim.Seed == 0 {
+		sc.Sim.Seed = o.seed
+	}
+	if sc.Sim.ServiceCycles == 0 {
+		sc.Sim.ServiceCycles = o.service
+	}
+	if o.mode == "resubmit" {
+		sc.Sim.Resubmit = true
+	}
+
 	var nw *topology.Network
-	var err error
+	var gen workload.Generator
 	if o.wiringPath != "" {
 		f, ferr := os.Open(o.wiringPath)
 		if ferr != nil {
@@ -90,14 +98,34 @@ func run(o options) error {
 		if err != nil {
 			return err
 		}
-		o.n, o.m, o.b = nw.N(), nw.M(), nw.B()
+		if o.tracePath == "" {
+			gen, err = sc.Model.BuildWorkload(nw.N(), nw.M(), sc.R)
+			if err != nil {
+				return err
+			}
+		}
 	} else {
-		nw, err = cliutil.BuildNetwork(o.scheme, o.n, o.m, o.b, o.g, o.k)
-		if err != nil {
+		bt, berr := sc.Build()
+		if berr != nil {
+			return berr
+		}
+		if err := bt.CanSimulate(); err != nil {
 			return err
 		}
+		nw = bt.Network
+		sc = bt.Scenario // canonical: sim defaults and model fields normalized
+		if o.tracePath == "" {
+			gen, err = bt.Workload()
+			if err != nil {
+				return err
+			}
+		}
 	}
-	var gen workload.Generator
+
+	wl := sc.Model.Kind
+	if wl == "" {
+		wl = o.spec.Workload
+	}
 	if o.tracePath != "" {
 		f, err := os.Open(o.tracePath)
 		if err != nil {
@@ -108,27 +136,20 @@ func run(o options) error {
 		if err != nil {
 			return err
 		}
-		if gen.NProcessors() != o.n || gen.MModules() != o.m {
+		if gen.NProcessors() != nw.N() || gen.MModules() != nw.M() {
 			return fmt.Errorf("trace is %d×%d but network is %d×%d",
-				gen.NProcessors(), gen.MModules(), o.n, o.m)
+				gen.NProcessors(), gen.MModules(), nw.N(), nw.M())
 		}
-		o.wl = "trace:" + o.tracePath
-	} else {
-		gen, err = cliutil.BuildWorkload(o.wl, o.n, o.m, o.r)
-		if err != nil {
-			return err
-		}
+		wl = "trace:" + o.tracePath
 	}
+
 	cfg := sim.Config{
-		Topology: nw, Workload: gen, Cycles: o.cycles, Seed: o.seed,
-		ModuleServiceCycles: o.service,
+		Topology: nw, Workload: gen,
+		Cycles: sc.Sim.Cycles, Warmup: sc.Sim.Warmup, Batches: sc.Sim.Batches,
+		Seed: sc.Sim.Seed, ModuleServiceCycles: sc.Sim.ServiceCycles,
 	}
-	switch o.mode {
-	case "drop":
-	case "resubmit":
+	if sc.Sim.Resubmit {
 		cfg.Mode = sim.ModeResubmit
-	default:
-		return fmt.Errorf("unknown mode %q", o.mode)
 	}
 	res, err := sim.Run(cfg)
 	if err != nil {
@@ -136,7 +157,7 @@ func run(o options) error {
 	}
 	fmt.Printf("network:    %v\n", nw)
 	fmt.Printf("workload:   %s, r=%.2f, mode=%v, %d cycles, seed %d\n",
-		o.wl, gen.Rate(), cfg.Mode, o.cycles, o.seed)
+		wl, gen.Rate(), cfg.Mode, cfg.Cycles, cfg.Seed)
 	fmt.Printf("bandwidth:  %.4f ± %.4f requests/cycle (95%% CI)\n", res.Bandwidth, res.BandwidthCI95)
 	fmt.Printf("acceptance: %.4f  (offered %d, accepted %d)\n", res.AcceptanceProbability, res.Offered, res.Accepted)
 	fmt.Printf("blocked:    memory %d, bus %d, stranded %d, module-busy %d\n",
@@ -147,11 +168,11 @@ func run(o options) error {
 		fmt.Printf("mean wait:  %.4f cycles\n", res.MeanWaitCycles)
 	}
 
-	// Model-based cross-checks where a matching request model exists.
-	if o.wl == "hier" || o.wl == "unif" {
-		model, err := cliutil.BuildModel(o.wl, o.n)
-		if err == nil && o.n == o.m {
-			if x, xerr := model.X(o.r); xerr == nil {
+	// Model-based cross-checks where a matching request model exists; the
+	// scenario layer decides which kinds have one (hotspot does not).
+	if o.tracePath == "" && nw.N() == nw.M() {
+		if model, merr := sc.Model.Build(nw.M()); merr == nil {
+			if x, xerr := model.X(sc.R); xerr == nil {
 				if pred, aerr := analytic.Bandwidth(nw, x); aerr == nil {
 					diff := res.Bandwidth - pred
 					fmt.Printf("analytic:   %.4f (X=%.4f, sim−analytic = %+.4f, %.2f%%)\n",
@@ -159,8 +180,8 @@ func run(o options) error {
 				}
 			}
 			if o.withExact {
-				if pm, err := exact.FromProbVectors(model, o.n, o.m); err == nil {
-					if ex, err := exact.Bandwidth(nw, pm, o.r); err != nil {
+				if pm, err := exact.FromProbVectors(model, nw.N(), nw.M()); err == nil {
+					if ex, err := exact.Bandwidth(nw, pm, sc.R); err != nil {
 						fmt.Printf("exact:      unavailable (%v)\n", err)
 					} else {
 						fmt.Printf("exact:      %.4f (sim−exact = %+.4f)\n", ex, res.Bandwidth-ex)
@@ -168,7 +189,7 @@ func run(o options) error {
 				}
 			}
 			if cfg.Mode == sim.ModeResubmit {
-				if est, err := analytic.EstimateResubmit(nw, o.n, model, o.r); err == nil {
+				if est, err := analytic.EstimateResubmit(nw, nw.N(), model, sc.R); err == nil {
 					fmt.Printf("fixed point: throughput %.4f, wait %.4f cycles (adjusted rate %.4f)\n",
 						est.Bandwidth, est.MeanWaitCycles, est.AdjustedRate)
 				}

@@ -6,13 +6,16 @@ import (
 	"strings"
 	"testing"
 
+	"multibus/internal/cliutil"
 	"multibus/internal/testutil"
 )
 
 func baseOptions() options {
 	return options{
-		scheme: "full", n: 8, m: 8, b: 4, g: 2, k: 4,
-		r: 1.0, wl: "hier", cycles: 3000, seed: 1, mode: "drop",
+		spec: &cliutil.ScenarioFlags{
+			Scheme: "full", N: 8, B: 4, Workload: "hier", R: 1.0,
+		},
+		cycles: 3000, seed: 1, service: 1, mode: "drop",
 	}
 }
 
@@ -63,7 +66,7 @@ func TestRunTraceReplay(t *testing.T) {
 		t.Errorf("trace label missing:\n%s", out)
 	}
 	// Dimension mismatch rejected.
-	o.n, o.m = 4, 4
+	o.spec.N = 4
 	if err := run(o); err == nil {
 		t.Error("trace/network mismatch should error")
 	}
@@ -82,14 +85,20 @@ func TestRunErrors(t *testing.T) {
 		t.Error("unknown mode should error")
 	}
 	o = baseOptions()
-	o.scheme = "mesh"
+	o.spec.Scheme = "mesh"
 	if err := run(o); err == nil {
 		t.Error("unknown scheme should error")
 	}
 	o = baseOptions()
-	o.wl = "zipf"
+	o.spec.Workload = "zipf"
 	if err := run(o); err == nil {
 		t.Error("unknown workload should error")
+	}
+	// The crossbar reference curve is not a simulatable network.
+	o = baseOptions()
+	o.spec.Scheme = "crossbar"
+	if err := run(o); err == nil {
+		t.Error("crossbar should be rejected for simulation")
 	}
 }
 
@@ -102,7 +111,7 @@ func TestRunCustomWiring(t *testing.T) {
 	}
 	o := baseOptions()
 	o.wiringPath = path
-	o.wl = "unif"
+	o.spec.Workload = "unif"
 	o.cycles = 500
 	out := testutil.CaptureStdout(t, func() error { return run(o) })
 	if !strings.Contains(out, "4×4×3 custom") {
@@ -111,5 +120,28 @@ func TestRunCustomWiring(t *testing.T) {
 	o.wiringPath = filepath.Join(dir, "absent.txt")
 	if err := run(o); err == nil {
 		t.Error("missing wiring file should error")
+	}
+}
+
+// TestRunScenarioFile: -scenario drives the whole run, including the
+// sim block, through the canonical layer.
+func TestRunScenarioFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.json")
+	body := `{
+		"network": {"scheme": "partial", "n": 8, "b": 4, "groups": 4},
+		"model": {"kind": "unif"},
+		"r": 0.75,
+		"sim": {"cycles": 2000, "seed": 7, "resubmit": true}
+	}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o := baseOptions()
+	o.spec = &cliutil.ScenarioFlags{File: path}
+	out := testutil.CaptureStdout(t, func() error { return run(o) })
+	for _, frag := range []string{"8×8×4 partial bus network (g=4)", "2000 cycles", "seed 7", "mean wait:"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
 	}
 }

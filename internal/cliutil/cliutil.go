@@ -1,85 +1,153 @@
-// Package cliutil holds the flag-to-object plumbing shared by the cmd/
-// tools: building networks and request models from string specifiers.
+// Package cliutil is the flag-and-file adapter between the cmd/ tools
+// and the canonical scenario layer (internal/scenario). It registers
+// the shared specification flags — scheme, dimensions, request model,
+// rate, and the -scenario JSON file — on a tool's FlagSet and assembles
+// them into a scenario.Scenario. All interpretation of scheme names,
+// model kinds, and defaults happens in internal/scenario; this package
+// only moves strings.
 package cliutil
 
 import (
 	"errors"
+	"flag"
 	"fmt"
+	"strconv"
+	"strings"
 
 	"multibus/internal/hrm"
+	"multibus/internal/scenario"
 	"multibus/internal/topology"
 	"multibus/internal/workload"
 )
 
-// ErrBadFlag is returned for unparseable tool arguments.
+// ErrBadFlag is returned for unparseable tool arguments (list syntax
+// and the like); scenario content errors carry scenario.ErrInvalid.
 var ErrBadFlag = errors.New("cliutil: invalid flag value")
 
-// BuildNetwork constructs a topology from a scheme name: "full",
-// "single", "partial" (g groups), or "kclass" (k even classes).
+// ScenarioFlags holds the shared specification flags after parsing.
+// Build it with RegisterScenarioFlags and convert with Scenario.
+type ScenarioFlags struct {
+	File       string // -scenario: JSON file overriding the spec flags
+	Scheme     string
+	N, M, B    int
+	Groups     int
+	Classes    int
+	ClassSizes string // comma-separated, e.g. "2,6,8"
+	Workload   string
+	Clusters   int
+	Q          float64
+	R          float64
+}
+
+// Defaults parameterizes per-tool flag defaults; zero values take the
+// paper's canonical configuration (full 16×16×8, hier workload, r=1).
+type Defaults struct {
+	Scheme   string
+	N, B     int
+	Workload string
+	R        float64
+}
+
+// RegisterScenarioFlags registers the shared scenario flags on fs and
+// returns the struct they parse into.
+func RegisterScenarioFlags(fs *flag.FlagSet, d Defaults) *ScenarioFlags {
+	if d.Scheme == "" {
+		d.Scheme = "full"
+	}
+	if d.N == 0 {
+		d.N = 16
+	}
+	if d.B == 0 {
+		d.B = 8
+	}
+	if d.Workload == "" {
+		d.Workload = "hier"
+	}
+	if d.R == 0 {
+		d.R = 1.0
+	}
+	f := &ScenarioFlags{}
+	fs.StringVar(&f.File, "scenario", "", "load the full scenario from a JSON file (overrides the spec flags)")
+	fs.StringVar(&f.Scheme, "scheme", d.Scheme, "connection scheme: full, single, partial, kclass")
+	fs.IntVar(&f.N, "n", d.N, "number of processors")
+	fs.IntVar(&f.M, "m", 0, "number of memory modules (default n)")
+	fs.IntVar(&f.B, "b", d.B, "number of buses")
+	fs.IntVar(&f.Groups, "g", 0, "groups for -scheme partial (default 2)")
+	fs.IntVar(&f.Classes, "k", 0, "classes for -scheme kclass (default b)")
+	fs.StringVar(&f.ClassSizes, "classsizes", "", "explicit kclass module counts, e.g. 2,6,8 (overrides -k and -m)")
+	fs.StringVar(&f.Workload, "workload", d.Workload, "request model: hier, unif, dasbhuyan, hotspot")
+	fs.IntVar(&f.Clusters, "clusters", 0, "clusters for -workload hier (default 4, falling back to 2)")
+	fs.Float64Var(&f.Q, "q", 0.5, "favorite-memory fraction for -workload dasbhuyan")
+	fs.Float64Var(&f.R, "r", d.R, "per-cycle request probability")
+	return f
+}
+
+// Scenario assembles the parsed flags into a scenario — or, when
+// -scenario was given, loads the file instead (fromFile reports which).
+// The scenario is not yet canonicalized; scheme-irrelevant flags (a -g
+// next to -scheme full) are pruned by scenario canonicalization, so no
+// scheme or model names are interpreted here.
+func (f *ScenarioFlags) Scenario() (s scenario.Scenario, fromFile bool, err error) {
+	if f.File != "" {
+		s, err = scenario.Load(f.File)
+		return s, true, err
+	}
+	sizes, err := ParseInts(f.ClassSizes)
+	if err != nil {
+		return scenario.Scenario{}, false, err
+	}
+	return scenario.Scenario{
+		Network: scenario.Network{
+			Scheme:     f.Scheme,
+			N:          f.N,
+			M:          f.M,
+			B:          f.B,
+			Groups:     f.Groups,
+			Classes:    f.Classes,
+			ClassSizes: sizes,
+		},
+		Model: scenario.Model{Kind: f.Workload, Clusters: f.Clusters, Q: f.Q},
+		R:     f.R,
+	}, false, nil
+}
+
+// ParseInts parses a comma-separated integer list ("" means nil).
+func ParseInts(list string) ([]int, error) {
+	if list == "" {
+		return nil, nil
+	}
+	parts := strings.Split(list, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("%w: %q is not an integer list", ErrBadFlag, list)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// BuildNetwork constructs a topology from a scheme name.
+//
+// Deprecated: assemble a scenario.Network (directly or via
+// RegisterScenarioFlags) and call its Build method; this delegate
+// exists for tools that predate the scenario layer.
 func BuildNetwork(scheme string, n, m, b, g, k int) (*topology.Network, error) {
-	switch scheme {
-	case "full":
-		return topology.Full(n, m, b)
-	case "single":
-		return topology.SingleBus(n, m, b)
-	case "partial":
-		return topology.PartialGroups(n, m, b, g)
-	case "kclass":
-		return topology.EvenKClasses(n, m, b, k)
-	default:
-		return nil, fmt.Errorf("%w: scheme %q (want full|single|partial|kclass)", ErrBadFlag, scheme)
-	}
+	return scenario.Network{Scheme: scheme, N: n, M: m, B: b, Groups: g, Classes: k}.Build()
 }
 
-// BuildModel constructs a request model from a workload name: "hier"
-// (the paper's two-level 4-cluster 0.6/0.3/0.1 workload; systems too
-// small for 4 clusters fall back to 2) or "unif".
+// BuildModel constructs a request model from a workload name over n
+// modules.
+//
+// Deprecated: use scenario.Model.Build.
 func BuildModel(name string, n int) (*hrm.Hierarchy, error) {
-	switch name {
-	case "hier":
-		clusters, err := hierClusters(n)
-		if err != nil {
-			return nil, err
-		}
-		return hrm.TwoLevelPaper(n, clusters, 0.6, 0.3, 0.1)
-	case "unif":
-		return hrm.Uniform(n)
-	default:
-		return nil, fmt.Errorf("%w: workload %q (want hier|unif)", ErrBadFlag, name)
-	}
+	return scenario.Model{Kind: name}.Build(n)
 }
 
-// hierClusters picks the paper's 4-cluster split when it fits, else 2
-// clusters; the hierarchical model needs at least 2 modules per cluster.
-func hierClusters(n int) (int, error) {
-	switch {
-	case n%4 == 0 && n/4 >= 2:
-		return 4, nil
-	case n%2 == 0 && n/2 >= 2:
-		return 2, nil
-	default:
-		return 0, fmt.Errorf("%w: N=%d cannot form the two-level hier workload (need N divisible by 2 with clusters of ≥ 2)", ErrBadFlag, n)
-	}
-}
-
-// BuildWorkload constructs a simulator workload from a workload name:
-// "hier", "unif", or "hotspot" (50% of traffic on module 0).
+// BuildWorkload constructs a simulator workload from a workload name.
+//
+// Deprecated: use scenario.Model.BuildWorkload.
 func BuildWorkload(name string, n, m int, r float64) (workload.Generator, error) {
-	switch name {
-	case "hier":
-		if n != m {
-			return nil, fmt.Errorf("%w: hier workload needs N == M, got %d×%d", ErrBadFlag, n, m)
-		}
-		h, err := BuildModel("hier", n)
-		if err != nil {
-			return nil, err
-		}
-		return workload.NewHierarchical(h, r)
-	case "unif":
-		return workload.NewUniform(n, m, r)
-	case "hotspot":
-		return workload.NewHotSpot(n, m, r, 0, 0.5)
-	default:
-		return nil, fmt.Errorf("%w: workload %q (want hier|unif|hotspot)", ErrBadFlag, name)
-	}
+	return scenario.Model{Kind: name}.BuildWorkload(n, m, r)
 }

@@ -1,9 +1,14 @@
 package cliutil
 
 import (
+	"encoding/json"
 	"errors"
+	"flag"
+	"os"
+	"path/filepath"
 	"testing"
 
+	"multibus/internal/scenario"
 	"multibus/internal/topology"
 )
 
@@ -26,11 +31,11 @@ func TestBuildNetworkSchemes(t *testing.T) {
 			t.Errorf("scheme %s built %v", tt.scheme, nw.Scheme())
 		}
 	}
-	if _, err := BuildNetwork("mesh", 16, 16, 8, 2, 8); !errors.Is(err, ErrBadFlag) {
-		t.Errorf("unknown scheme: %v, want ErrBadFlag", err)
+	if _, err := BuildNetwork("mesh", 16, 16, 8, 2, 8); !errors.Is(err, scenario.ErrInvalid) {
+		t.Errorf("unknown scheme: %v, want scenario.ErrInvalid", err)
 	}
 	if _, err := BuildNetwork("partial", 16, 16, 8, 3, 8); err == nil {
-		t.Error("bad g should propagate topology error")
+		t.Error("bad g should propagate a constraint error")
 	}
 }
 
@@ -49,7 +54,7 @@ func TestBuildModel(t *testing.T) {
 	if u.N() != 8 {
 		t.Errorf("unif model N=%d", u.N())
 	}
-	if _, err := BuildModel("zipf", 8); !errors.Is(err, ErrBadFlag) {
+	if _, err := BuildModel("zipf", 8); !errors.Is(err, scenario.ErrInvalid) {
 		t.Errorf("unknown model: %v", err)
 	}
 	if _, err := BuildModel("hier", 7); err == nil {
@@ -67,10 +72,10 @@ func TestBuildWorkload(t *testing.T) {
 			t.Errorf("%s dims %d×%d", name, gen.NProcessors(), gen.MModules())
 		}
 	}
-	if _, err := BuildWorkload("hier", 16, 8, 0.5); !errors.Is(err, ErrBadFlag) {
-		t.Errorf("hier with N≠M: %v, want ErrBadFlag", err)
+	if _, err := BuildWorkload("hier", 16, 8, 0.5); !errors.Is(err, scenario.ErrUnsatisfiable) {
+		t.Errorf("hier with N≠M: %v, want scenario.ErrUnsatisfiable", err)
 	}
-	if _, err := BuildWorkload("nope", 16, 16, 0.5); !errors.Is(err, ErrBadFlag) {
+	if _, err := BuildWorkload("nope", 16, 16, 0.5); !errors.Is(err, scenario.ErrInvalid) {
 		t.Errorf("unknown workload: %v", err)
 	}
 }
@@ -103,5 +108,120 @@ func TestHierClustersFallback(t *testing.T) {
 	}
 	if got := h.Shape()[0]; got != 2 {
 		t.Errorf("N=10 clusters = %d, want 2", got)
+	}
+}
+
+// TestScenarioFlagsAssembly: flags become a scenario verbatim, and the
+// scheme-irrelevant ones vanish under canonicalization rather than
+// being special-cased here.
+func TestScenarioFlagsAssembly(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := RegisterScenarioFlags(fs, Defaults{})
+	if err := fs.Parse([]string{"-scheme", "full", "-n", "8", "-b", "4", "-g", "2", "-k", "3", "-r", "0.5"}); err != nil {
+		t.Fatal(err)
+	}
+	s, fromFile, err := f.Scenario()
+	if err != nil || fromFile {
+		t.Fatalf("Scenario() = fromFile=%v, err=%v", fromFile, err)
+	}
+	c, err := s.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Network.Groups != 0 || c.Network.Classes != 0 {
+		t.Errorf("irrelevant flags survived canonicalization: %+v", c.Network)
+	}
+	if c.Network.N != 8 || c.Network.M != 8 || c.Network.B != 4 || c.R != 0.5 {
+		t.Errorf("canonical network = %+v, r = %v", c.Network, c.R)
+	}
+}
+
+func TestScenarioFlagsClassSizes(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := RegisterScenarioFlags(fs, Defaults{})
+	if err := fs.Parse([]string{"-scheme", "kclass", "-n", "16", "-b", "4", "-classsizes", "2,6,8", "-workload", "dasbhuyan", "-q", "0.7"}); err != nil {
+		t.Fatal(err)
+	}
+	s, _, err := f.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Network.ClassSizes(); len(got) != 3 || got[0] != 2 || got[1] != 6 || got[2] != 8 {
+		t.Errorf("class sizes = %v", got)
+	}
+	if b.Scenario.Model.Kind != scenario.ModelDasBhuyan || b.Scenario.Model.Q != 0.7 {
+		t.Errorf("model = %+v", b.Scenario.Model)
+	}
+
+	fs2 := flag.NewFlagSet("test", flag.ContinueOnError)
+	f2 := RegisterScenarioFlags(fs2, Defaults{})
+	if err := fs2.Parse([]string{"-classsizes", "2,x"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f2.Scenario(); !errors.Is(err, ErrBadFlag) {
+		t.Errorf("bad class size list: %v, want ErrBadFlag", err)
+	}
+}
+
+// TestScenarioFlagsFile: -scenario loads the file and wins over flags.
+func TestScenarioFlagsFile(t *testing.T) {
+	s := scenario.Scenario{
+		Network: scenario.Network{Scheme: "partial", N: 8, B: 4, Groups: 4},
+		Model:   scenario.Model{Kind: "uniform"},
+		R:       0.25,
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := RegisterScenarioFlags(fs, Defaults{})
+	if err := fs.Parse([]string{"-scenario", path, "-n", "999"}); err != nil {
+		t.Fatal(err)
+	}
+	got, fromFile, err := f.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fromFile {
+		t.Error("fromFile = false for -scenario")
+	}
+	if got.Network.Scheme != "partial" || got.Network.N != 8 || got.R != 0.25 {
+		t.Errorf("loaded scenario = %+v", got)
+	}
+	// A file with an unknown field is rejected (strict decoding).
+	badPath := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(badPath, []byte(`{"network":{},"model":{},"r":1,"nope":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fsb := flag.NewFlagSet("test", flag.ContinueOnError)
+	fb := RegisterScenarioFlags(fsb, Defaults{})
+	if err := fsb.Parse([]string{"-scenario", badPath}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fb.Scenario(); !errors.Is(err, scenario.ErrInvalid) {
+		t.Errorf("bad file: %v, want scenario.ErrInvalid", err)
+	}
+}
+
+// TestParseInts covers the list flag syntax.
+func TestParseInts(t *testing.T) {
+	got, err := ParseInts("2, 6,8")
+	if err != nil || len(got) != 3 || got[0] != 2 || got[1] != 6 || got[2] != 8 {
+		t.Errorf("ParseInts = %v, %v", got, err)
+	}
+	if got, err := ParseInts(""); err != nil || got != nil {
+		t.Errorf("ParseInts(\"\") = %v, %v", got, err)
+	}
+	if _, err := ParseInts("a,b"); !errors.Is(err, ErrBadFlag) {
+		t.Errorf("ParseInts(a,b) = %v, want ErrBadFlag", err)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"multibus"
 	"multibus/internal/analytic"
 	"multibus/internal/hrm"
+	"multibus/internal/scenario"
 	"multibus/internal/sim"
 	"multibus/internal/sweep"
 	"multibus/internal/topology"
@@ -30,6 +31,7 @@ type errorResponse struct {
 // by substring.
 var badInputSentinels = []error{
 	errBadRequest,
+	scenario.ErrInvalid,
 	multibus.ErrNilArgument,
 	multibus.ErrDimensionMismatch,
 	multibus.ErrInvalidOption,

@@ -5,60 +5,38 @@ import (
 	"fmt"
 
 	"multibus"
-	"multibus/internal/cache"
-	"multibus/internal/sim"
-	"multibus/internal/sweep"
+	"multibus/internal/scenario"
 )
 
 // errBadRequest tags request-shape errors the domain layer cannot see:
-// unknown scheme names, missing fields, malformed JSON. It maps to
-// HTTP 400 alongside the domain's own validation sentinels.
+// malformed JSON, trailing bodies, unknown batch operations. Scenario
+// content errors carry scenario.ErrInvalid instead; both map to 400.
 var errBadRequest = errors.New("service: invalid request")
 
-// NetworkSpec selects a topology. M defaults to N. Scheme is one of
-// "full", "single", "partial" (Groups groups), "kclass" (Classes even
-// classes, or explicit ClassSizes).
-type NetworkSpec struct {
-	Scheme     string `json:"scheme"`
-	N          int    `json:"n"`
-	M          int    `json:"m,omitempty"`
-	B          int    `json:"b"`
-	Groups     int    `json:"groups,omitempty"`
-	Classes    int    `json:"classes,omitempty"`
-	ClassSizes []int  `json:"classSizes,omitempty"`
-}
-
-// ModelSpec selects a request model over the network's M modules. Kind
-// is "uniform", "hier" (the paper's two-level workload; Clusters
-// defaults to 4 and the aggregates to 0.6/0.3/0.1), or "dasbhuyan"
-// (favorite-memory fraction Q).
-type ModelSpec struct {
-	Kind      string  `json:"kind"`
-	Clusters  int     `json:"clusters,omitempty"`
-	AFavorite float64 `json:"aFavorite,omitempty"`
-	ACluster  float64 `json:"aCluster,omitempty"`
-	ARemote   float64 `json:"aRemote,omitempty"`
-	Q         float64 `json:"q,omitempty"`
-}
-
-// SimSpec carries simulator knobs; zero values mean the simulator
-// defaults (20000 cycles, cycles/10 warmup, 20 batches, 1 service
-// cycle, seed 1).
-type SimSpec struct {
-	Cycles        int   `json:"cycles,omitempty"`
-	Warmup        int   `json:"warmup,omitempty"`
-	Batches       int   `json:"batches,omitempty"`
-	Seed          int64 `json:"seed,omitempty"`
-	Resubmit      bool  `json:"resubmit,omitempty"`
-	RoundRobin    bool  `json:"roundRobin,omitempty"`
-	ServiceCycles int   `json:"serviceCycles,omitempty"`
-}
+// The request spec types are the canonical scenario types — the JSON
+// wire shapes and the validation/defaulting rules live in
+// internal/scenario, shared byte-for-byte with the CLI's -scenario
+// files and the sweep grid axes.
+type (
+	// NetworkSpec selects a topology; see scenario.Network.
+	NetworkSpec = scenario.Network
+	// ModelSpec selects a request model; see scenario.Model.
+	ModelSpec = scenario.Model
+	// SimSpec carries simulator knobs; see scenario.Sim.
+	SimSpec = scenario.Sim
+)
 
 // AnalyzeRequest is the body of POST /v1/analyze.
 type AnalyzeRequest struct {
 	Network NetworkSpec `json:"network"`
 	Model   ModelSpec   `json:"model"`
 	R       float64     `json:"r"`
+}
+
+// scenario renders the request as a canonical scenario (no sim block:
+// analysis is closed-form).
+func (req AnalyzeRequest) scenario() scenario.Scenario {
+	return scenario.Scenario{Network: req.Network, Model: req.Model, R: req.R}
 }
 
 // SimulateRequest is the body of POST /v1/simulate.
@@ -69,158 +47,97 @@ type SimulateRequest struct {
 	Sim     SimSpec     `json:"sim,omitempty"`
 }
 
+func (req SimulateRequest) scenario() scenario.Scenario {
+	s := req.Sim
+	return scenario.Scenario{Network: req.Network, Model: req.Model, R: req.R, Sim: &s}
+}
+
 // SweepRequest is the body of POST /v1/sweep; it mirrors sweep.Spec.
-// Schemes entries are "full", "single", "partial-g2", "kclasses", or
-// "crossbar".
+// Schemes entries are sweep axis names ("full", "single", "partial",
+// "partial-g<G>", "kclasses", "crossbar"); Networks optionally adds
+// explicit network templates (e.g. kclass with ClassSizes) and Models
+// adds request-model axes beyond the Hierarchical default.
 type SweepRequest struct {
-	Ns           []int     `json:"ns"`
-	Bs           []int     `json:"bs"`
-	Rs           []float64 `json:"rs"`
-	Schemes      []string  `json:"schemes"`
-	Hierarchical bool      `json:"hierarchical,omitempty"`
-	WithSim      bool      `json:"withSim,omitempty"`
-	SimCycles    int       `json:"simCycles,omitempty"`
-	Seed         int64     `json:"seed,omitempty"`
+	Ns           []int         `json:"ns"`
+	Bs           []int         `json:"bs"`
+	Rs           []float64     `json:"rs"`
+	Schemes      []string      `json:"schemes,omitempty"`
+	Networks     []NetworkSpec `json:"networks,omitempty"`
+	Models       []ModelSpec   `json:"models,omitempty"`
+	Hierarchical bool          `json:"hierarchical,omitempty"`
+	WithSim      bool          `json:"withSim,omitempty"`
+	SimCycles    int           `json:"simCycles,omitempty"`
+	Seed         int64         `json:"seed,omitempty"`
 }
 
-// buildNetwork constructs the topology a NetworkSpec names.
-func buildNetwork(spec NetworkSpec) (*multibus.Network, error) {
-	m := spec.M
-	if m == 0 {
-		m = spec.N
+// schemeTemplates resolves the request's named schemes and explicit
+// network templates into the sweep's scheme axis.
+func (req SweepRequest) schemeTemplates() ([]scenario.Network, error) {
+	templates := make([]scenario.Network, 0, len(req.Schemes)+len(req.Networks))
+	for _, name := range req.Schemes {
+		nw, err := scenario.SweepScheme(name)
+		if err != nil {
+			return nil, err
+		}
+		templates = append(templates, nw)
 	}
-	switch spec.Scheme {
-	case "full":
-		return multibus.NewFullNetwork(spec.N, m, spec.B)
-	case "single":
-		return multibus.NewSingleBusNetwork(spec.N, m, spec.B)
-	case "partial":
-		g := spec.Groups
-		if g == 0 {
-			g = 2
-		}
-		return multibus.NewPartialBusNetwork(spec.N, m, spec.B, g)
-	case "kclass":
-		if len(spec.ClassSizes) > 0 {
-			return multibus.NewKClassNetwork(spec.N, spec.B, spec.ClassSizes)
-		}
-		k := spec.Classes
-		if k == 0 {
-			k = spec.B
-		}
-		return multibus.NewEvenKClassNetwork(spec.N, m, spec.B, k)
+	templates = append(templates, req.Networks...)
+	return templates, nil
+}
+
+// BatchItem is one entry of POST /v1/batch: a full scenario plus an
+// optional operation override. Op is "analyze" or "simulate"; empty
+// means simulate when a sim block is present and analyze otherwise.
+type BatchItem struct {
+	scenario.Scenario
+	Op string `json:"op,omitempty"`
+}
+
+// operation resolves the item's effective operation.
+func (it BatchItem) operation() (string, error) {
+	switch it.Op {
+	case "analyze", "simulate":
+		return it.Op, nil
 	case "":
-		return nil, fmt.Errorf("%w: network.scheme is required (full|single|partial|kclass)", errBadRequest)
-	default:
-		return nil, fmt.Errorf("%w: unknown network.scheme %q (want full|single|partial|kclass)",
-			errBadRequest, spec.Scheme)
-	}
-}
-
-// buildModel constructs the request model a ModelSpec names, sized to
-// the network's module count (the dimension Analyze validates against).
-func buildModel(spec ModelSpec, modules int) (*multibus.Hierarchy, error) {
-	switch spec.Kind {
-	case "uniform":
-		return multibus.NewUniformModel(modules)
-	case "hier":
-		clusters := spec.Clusters
-		if clusters == 0 {
-			clusters = 4
+		if it.Sim != nil {
+			return "simulate", nil
 		}
-		aF, aC, aR := spec.AFavorite, spec.ACluster, spec.ARemote
-		if aF == 0 && aC == 0 && aR == 0 {
-			aF, aC, aR = 0.6, 0.3, 0.1 // the paper's workload
-		}
-		return multibus.NewTwoLevelHierarchy(modules, clusters, aF, aC, aR)
-	case "dasbhuyan":
-		return multibus.NewDasBhuyanModel(modules, spec.Q)
-	case "":
-		return nil, fmt.Errorf("%w: model.kind is required (uniform|hier|dasbhuyan)", errBadRequest)
+		return "analyze", nil
 	default:
-		return nil, fmt.Errorf("%w: unknown model.kind %q (want uniform|hier|dasbhuyan)",
-			errBadRequest, spec.Kind)
+		return "", fmt.Errorf("%w: unknown op %q (want analyze|simulate)", errBadRequest, it.Op)
 	}
 }
 
-// simParams normalizes a SimSpec to the simulator's effective defaults,
-// so a request that spells the defaults out and one that omits them
-// share a cache key. Out-of-range values pass through unchanged — the
-// compute path rejects them with a typed error before anything is
-// cached.
-func simParams(spec SimSpec) cache.SimParams {
-	p := cache.SimParams{
-		Cycles:        spec.Cycles,
-		Warmup:        spec.Warmup,
-		Batches:       spec.Batches,
-		ServiceCycles: spec.ServiceCycles,
-		Seed:          sim.EffectiveSeed(spec.Seed),
-		Resubmit:      spec.Resubmit,
-		RoundRobin:    spec.RoundRobin,
-	}
-	if p.Cycles == 0 {
-		p.Cycles = 20000
-	}
-	if p.Warmup == 0 {
-		p.Warmup = p.Cycles / 10
-	}
-	if p.Batches == 0 {
-		p.Batches = 20
-	}
-	if p.ServiceCycles == 0 {
-		p.ServiceCycles = 1
-	}
-	return p
+// BatchRequest is the body of POST /v1/batch.
+type BatchRequest struct {
+	Scenarios []BatchItem `json:"scenarios"`
 }
 
-// simOptions converts a SimSpec into façade options, applying only the
-// knobs the request actually set (invalid explicit values surface as
-// multibus.ErrInvalidOption from the compute path).
-func simOptions(spec SimSpec) []multibus.SimOption {
-	var opts []multibus.SimOption
-	if spec.Cycles != 0 {
-		opts = append(opts, multibus.WithCycles(spec.Cycles))
+// maxBatchItems bounds one batch request; it exists so a single body
+// cannot occupy the worker pool indefinitely (sweep grids have the same
+// role's implicit bound via Ns×Bs×Rs sizes).
+const maxBatchItems = 1024
+
+// simOptions renders a canonical sim block (every default spelled out by
+// scenario canonicalization) as façade options for the SimulateFunc
+// seam. A nil block means the canonical defaults.
+func simOptions(s *scenario.Sim) []multibus.SimOption {
+	if s == nil {
+		def := scenario.DefaultSim()
+		s = &def
 	}
-	if spec.Warmup != 0 {
-		opts = append(opts, multibus.WithWarmup(spec.Warmup))
+	opts := []multibus.SimOption{
+		multibus.WithCycles(s.Cycles),
+		multibus.WithWarmup(s.Warmup),
+		multibus.WithBatches(s.Batches),
+		multibus.WithModuleServiceCycles(s.ServiceCycles),
+		multibus.WithSeed(s.Seed),
 	}
-	if spec.Batches != 0 {
-		opts = append(opts, multibus.WithBatches(spec.Batches))
-	}
-	if spec.ServiceCycles != 0 {
-		opts = append(opts, multibus.WithModuleServiceCycles(spec.ServiceCycles))
-	}
-	if spec.Seed != 0 {
-		opts = append(opts, multibus.WithSeed(spec.Seed))
-	}
-	if spec.Resubmit {
+	if s.Resubmit {
 		opts = append(opts, multibus.WithResubmit())
 	}
-	if spec.RoundRobin {
+	if s.RoundRobin {
 		opts = append(opts, multibus.WithRoundRobinMemoryArbiters())
 	}
 	return opts
-}
-
-// parseSweepSchemes maps scheme names to sweep schemes.
-func parseSweepSchemes(names []string) ([]sweep.Scheme, error) {
-	schemes := make([]sweep.Scheme, 0, len(names))
-	for _, name := range names {
-		switch name {
-		case "full":
-			schemes = append(schemes, sweep.Full)
-		case "single":
-			schemes = append(schemes, sweep.Single)
-		case "partial-g2":
-			schemes = append(schemes, sweep.PartialG2)
-		case "kclasses":
-			schemes = append(schemes, sweep.KClassesEven)
-		case "crossbar":
-			schemes = append(schemes, sweep.Crossbar)
-		default:
-			return nil, fmt.Errorf("%w: unknown sweep scheme %q (want full|single|partial-g2|kclasses|crossbar)",
-				errBadRequest, name)
-		}
-	}
-	return schemes, nil
 }

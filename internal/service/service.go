@@ -6,17 +6,21 @@
 //	POST /v1/analyze   — closed-form bandwidth analysis (cached)
 //	POST /v1/simulate  — Monte-Carlo simulation (cached)
 //	POST /v1/sweep     — design-space sweep (per-point cached)
+//	POST /v1/batch     — list of scenarios on the sweep worker pool (cached)
 //	GET  /healthz      — liveness probe
 //	GET  /metrics      — expvar counters (requests, cache hits/misses)
 //	     /debug/pprof/ — runtime profiling
 //
-// Every evaluation goes through one shared singleflight LRU
-// (internal/cache): concurrent identical requests compute once, repeat
-// requests are served from memory, and sweep grid points share the same
-// key space across requests. Evaluation results are deterministic
-// functions of the request, so a cache hit is byte-identical to a cold
-// computation; the X-Cache response header (hit|miss) is the only
-// difference.
+// Request bodies are canonical scenarios (internal/scenario): the same
+// JSON a -scenario file holds and the same canonicalization the CLI and
+// sweep layers apply, so one configuration keys identically no matter
+// which frontend expressed it. Every evaluation goes through one shared
+// singleflight LRU (internal/cache): concurrent identical requests
+// compute once, repeat requests are served from memory, and sweep grid
+// points share the same key space across requests. Evaluation results
+// are deterministic functions of the request, so a cache hit is
+// byte-identical to a cold computation; the X-Cache response header
+// (hit|miss) is the only difference.
 //
 // Request handling is defensive by construction: bodies are
 // size-limited, JSON is decoded with unknown fields rejected, every
@@ -38,6 +42,7 @@ import (
 
 	"multibus"
 	"multibus/internal/cache"
+	"multibus/internal/scenario"
 	"multibus/internal/sweep"
 )
 
@@ -118,6 +123,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/analyze", s.instrument("analyze", s.handleAnalyze))
 	mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
 	mux.HandleFunc("POST /v1/sweep", s.instrument("sweep", s.handleSweep))
+	mux.HandleFunc("POST /v1/batch", s.instrument("batch", s.handleBatch))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -170,64 +176,47 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
 	return true
 }
 
-// handleAnalyze serves POST /v1/analyze.
-func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
-	var req AnalyzeRequest
-	if !decodeJSON(w, r, &req) {
-		return
+// analyzeScenario evaluates one analyze-op scenario through the shared
+// cache, returning the response body and whether it was a cache hit.
+func (s *Server) analyzeScenario(ctx context.Context, built *scenario.Built) (*analysisBody, bool, error) {
+	if err := built.CanAnalyze(); err != nil {
+		return nil, false, err
 	}
-	nw, model, ok := s.buildPoint(w, req.Network, req.Model)
-	if !ok {
-		return
-	}
-	key := cache.AnalyzeKey(nw.Fingerprint(), model.Fingerprint(), req.R)
-	v, hit, err := s.cache.Do(r.Context(), key, func() (any, error) {
-		return s.opts.AnalyzeFunc(r.Context(), nw, model, req.R)
+	v, hit, err := s.cache.Do(ctx, built.AnalyzeKey(), func() (any, error) {
+		return s.opts.AnalyzeFunc(ctx, built.Network, built.Model, built.Scenario.R)
 	})
 	if err != nil {
-		writeClassified(w, err)
-		return
+		return nil, false, err
 	}
 	a := v.(*multibus.Analysis)
-	writeCached(w, hit)
-	writeJSON(w, http.StatusOK, analysisBody{
+	return &analysisBody{
 		X:                    a.X,
 		Bandwidth:            a.Bandwidth,
 		CrossbarBandwidth:    a.CrossbarBandwidth,
 		BusUtilization:       a.BusUtilization,
 		PerformanceCostRatio: a.PerformanceCostRatio,
-	})
+	}, hit, nil
 }
 
-// handleSimulate serves POST /v1/simulate. The workload is the
-// hierarchical adapter of the request model, so the cache key —
-// topology fingerprint, model fingerprint, rate, normalized simulator
-// parameters — fully determines the run.
-func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
-	var req SimulateRequest
-	if !decodeJSON(w, r, &req) {
-		return
+// simulateScenario evaluates one simulate-op scenario through the
+// shared cache. The cache key — the canonical scenario's fingerprints,
+// rate, and normalized simulator parameters — fully determines the run.
+func (s *Server) simulateScenario(ctx context.Context, built *scenario.Built) (*simBody, bool, error) {
+	if err := built.CanSimulate(); err != nil {
+		return nil, false, err
 	}
-	nw, model, ok := s.buildPoint(w, req.Network, req.Model)
-	if !ok {
-		return
-	}
-	gen, err := multibus.NewHierarchicalWorkload(model, req.R)
+	gen, err := built.Workload()
 	if err != nil {
-		writeClassified(w, err)
-		return
+		return nil, false, err
 	}
-	key := cache.SimulateKey(nw.Fingerprint(), model.Fingerprint(), req.R, simParams(req.Sim))
-	v, hit, err := s.cache.Do(r.Context(), key, func() (any, error) {
-		return s.opts.SimulateFunc(r.Context(), nw, gen, simOptions(req.Sim)...)
+	v, hit, err := s.cache.Do(ctx, built.SimulateKey(), func() (any, error) {
+		return s.opts.SimulateFunc(ctx, built.Network, gen, simOptions(built.Scenario.Sim)...)
 	})
 	if err != nil {
-		writeClassified(w, err)
-		return
+		return nil, false, err
 	}
 	res := v.(*multibus.SimResult)
-	writeCached(w, hit)
-	writeJSON(w, http.StatusOK, simBody{
+	return &simBody{
 		Cycles:                res.Cycles,
 		Mode:                  res.Mode.String(),
 		Bandwidth:             res.Bandwidth,
@@ -243,27 +232,69 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		StrandedBlocked:       res.StrandedBlocked,
 		ModuleBusyBlocked:     res.ModuleBusyBlocked,
 		JainFairness:          res.JainFairness(),
-	})
+	}, hit, nil
+}
+
+// handleAnalyze serves POST /v1/analyze.
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req AnalyzeRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	built, err := req.scenario().Build()
+	if err != nil {
+		writeClassified(w, err)
+		return
+	}
+	body, hit, err := s.analyzeScenario(r.Context(), built)
+	if err != nil {
+		writeClassified(w, err)
+		return
+	}
+	writeCached(w, hit)
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleSimulate serves POST /v1/simulate.
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	built, err := req.scenario().Build()
+	if err != nil {
+		writeClassified(w, err)
+		return
+	}
+	body, hit, err := s.simulateScenario(r.Context(), built)
+	if err != nil {
+		writeClassified(w, err)
+		return
+	}
+	writeCached(w, hit)
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleSweep serves POST /v1/sweep. Grid points are memoized in the
 // shared cache, so overlapping grids across requests — and identical
-// points requested concurrently — are computed once.
+// points requested concurrently — are computed once. Skipped grid
+// combinations are reported, never silently dropped.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req SweepRequest
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	schemes, err := parseSweepSchemes(req.Schemes)
+	templates, err := req.schemeTemplates()
 	if err != nil {
 		writeClassified(w, err)
 		return
 	}
-	points, err := sweep.Run(sweep.Spec{
+	res, err := sweep.Run(sweep.Spec{
 		Ns:           req.Ns,
 		Bs:           req.Bs,
 		Rs:           req.Rs,
-		Schemes:      schemes,
+		Schemes:      templates,
+		Models:       req.Models,
 		Hierarchical: req.Hierarchical,
 		WithSim:      req.WithSim,
 		SimCycles:    req.SimCycles,
@@ -275,10 +306,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeClassified(w, err)
 		return
 	}
-	body := sweepBody{Points: make([]sweepPointBody, len(points))}
-	for i, p := range points {
+	body := sweepBody{
+		Points:  make([]sweepPointBody, len(res.Points)),
+		Skipped: make([]sweepSkipBody, len(res.Skipped)),
+	}
+	for i, p := range res.Points {
 		body.Points[i] = sweepPointBody{
-			Scheme:       p.Scheme.String(),
+			Scheme:       p.Scheme,
+			Model:        p.Model,
 			N:            p.N,
 			B:            p.B,
 			R:            p.R,
@@ -289,23 +324,73 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			SimCI95:      p.SimCI95,
 		}
 	}
+	for i, sk := range res.Skipped {
+		body.Skipped[i] = sweepSkipBody{
+			Scheme: sk.Scheme, Model: sk.Model, N: sk.N, B: sk.B, Reason: sk.Reason,
+		}
+	}
 	writeJSON(w, http.StatusOK, body)
 }
 
-// buildPoint constructs the (network, model) pair shared by analyze and
-// simulate, writing the 400 itself on failure.
-func (s *Server) buildPoint(w http.ResponseWriter, nspec NetworkSpec, mspec ModelSpec) (*multibus.Network, *multibus.Hierarchy, bool) {
-	nw, err := buildNetwork(nspec)
-	if err != nil {
-		writeClassified(w, err)
-		return nil, nil, false
+// handleBatch serves POST /v1/batch: a list of scenarios evaluated on
+// the sweep worker pool through the shared memo cache. Items fail
+// independently — a bad scenario yields a per-item error while the rest
+// evaluate — and the X-Cache header reads "hit" only when every item
+// was served from cache.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !decodeJSON(w, r, &req) {
+		return
 	}
-	model, err := buildModel(mspec, nw.M())
-	if err != nil {
-		writeClassified(w, err)
-		return nil, nil, false
+	if len(req.Scenarios) == 0 {
+		writeClassified(w, fmt.Errorf("%w: scenarios list is empty", errBadRequest))
+		return
 	}
-	return nw, model, true
+	if len(req.Scenarios) > maxBatchItems {
+		writeClassified(w, fmt.Errorf("%w: %d scenarios exceed the %d-item batch limit",
+			errBadRequest, len(req.Scenarios), maxBatchItems))
+		return
+	}
+	items := make([]batchItemBody, len(req.Scenarios))
+	// Item evaluation never returns an error to the pool: failures are
+	// recorded per item so one bad scenario cannot abort its neighbors.
+	sweep.ForEach(r.Context(), len(req.Scenarios), 0, func(ctx context.Context, i int) error {
+		items[i] = s.evalBatchItem(ctx, i, req.Scenarios[i])
+		return nil
+	})
+	allHit := true
+	for i := range items {
+		if !items[i].Cached {
+			allHit = false
+		}
+	}
+	writeCached(w, allHit)
+	writeJSON(w, http.StatusOK, batchBody{Items: items})
+}
+
+// evalBatchItem evaluates one batch entry, folding any failure into the
+// item body as a classified error.
+func (s *Server) evalBatchItem(ctx context.Context, index int, item BatchItem) batchItemBody {
+	body := batchItemBody{Index: index}
+	op, err := item.operation()
+	if err == nil {
+		body.Op = op
+		var built *scenario.Built
+		built, err = item.Scenario.Build()
+		if err == nil {
+			switch op {
+			case "analyze":
+				body.Analysis, body.Cached, err = s.analyzeScenario(ctx, built)
+			case "simulate":
+				body.Simulation, body.Cached, err = s.simulateScenario(ctx, built)
+			}
+		}
+	}
+	if err != nil {
+		_, code := classify(err)
+		body.Error = &apiError{Code: code, Message: err.Error()}
+	}
+	return body
 }
 
 // Response bodies. Field order is fixed and encoding/json is
@@ -340,6 +425,7 @@ type simBody struct {
 
 type sweepPointBody struct {
 	Scheme       string  `json:"scheme"`
+	Model        string  `json:"model"`
 	N            int     `json:"n"`
 	B            int     `json:"b"`
 	R            float64 `json:"r"`
@@ -350,8 +436,30 @@ type sweepPointBody struct {
 	SimCI95      float64 `json:"simCI95,omitempty"`
 }
 
+type sweepSkipBody struct {
+	Scheme string `json:"scheme"`
+	Model  string `json:"model"`
+	N      int    `json:"n"`
+	B      int    `json:"b"`
+	Reason string `json:"reason"`
+}
+
 type sweepBody struct {
-	Points []sweepPointBody `json:"points"`
+	Points  []sweepPointBody `json:"points"`
+	Skipped []sweepSkipBody  `json:"skipped"`
+}
+
+type batchItemBody struct {
+	Index      int           `json:"index"`
+	Op         string        `json:"op,omitempty"`
+	Cached     bool          `json:"cached"`
+	Error      *apiError     `json:"error,omitempty"`
+	Analysis   *analysisBody `json:"analysis,omitempty"`
+	Simulation *simBody      `json:"simulation,omitempty"`
+}
+
+type batchBody struct {
+	Items []batchItemBody `json:"items"`
 }
 
 // writeCached sets the X-Cache header; it must run before writeJSON

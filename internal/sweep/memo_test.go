@@ -6,15 +6,20 @@ import (
 	"testing"
 
 	"multibus/internal/cache"
+	"multibus/internal/scenario"
 )
 
 func memoSpec(memo *cache.Cache) Spec {
 	return Spec{
-		Ns:      []int{8, 16},
-		Bs:      []int{2, 4, 8},
-		Rs:      []float64{0.5, 1.0},
-		Schemes: []Scheme{Full, Single, Crossbar},
-		Memo:    memo,
+		Ns: []int{8, 16},
+		Bs: []int{2, 4, 8},
+		Rs: []float64{0.5, 1.0},
+		Schemes: []scenario.Network{
+			{Scheme: scenario.SchemeFull},
+			{Scheme: scenario.SchemeSingle},
+			{Scheme: scenario.SchemeCrossbar},
+		},
+		Memo: memo,
 	}
 }
 
@@ -31,12 +36,12 @@ func TestMemoizedSweepMatchesDirect(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(direct) != len(memoized) {
-		t.Fatalf("point counts differ: %d vs %d", len(direct), len(memoized))
+	if len(direct.Points) != len(memoized.Points) {
+		t.Fatalf("point counts differ: %d vs %d", len(direct.Points), len(memoized.Points))
 	}
-	for i := range direct {
-		if direct[i] != memoized[i] {
-			t.Errorf("point %d differs: %+v vs %+v", i, direct[i], memoized[i])
+	for i := range direct.Points {
+		if direct.Points[i] != memoized.Points[i] {
+			t.Errorf("point %d differs: %+v vs %+v", i, direct.Points[i], memoized.Points[i])
 		}
 	}
 }
@@ -51,8 +56,8 @@ func TestRepeatedSweepHitsCache(t *testing.T) {
 		t.Fatal(err)
 	}
 	after := memo.Stats()
-	if after.Misses != int64(len(first)) {
-		t.Errorf("first sweep: %d misses for %d points", after.Misses, len(first))
+	if after.Misses != int64(len(first.Points)) {
+		t.Errorf("first sweep: %d misses for %d points", after.Misses, len(first.Points))
 	}
 	second, err := Run(memoSpec(memo))
 	if err != nil {
@@ -62,12 +67,12 @@ func TestRepeatedSweepHitsCache(t *testing.T) {
 	if final.Misses != after.Misses {
 		t.Errorf("second identical sweep recomputed: misses %d → %d", after.Misses, final.Misses)
 	}
-	if got := final.Hits - after.Hits; got != int64(len(second)) {
-		t.Errorf("second sweep: %d hits for %d points", got, len(second))
+	if got := final.Hits - after.Hits; got != int64(len(second.Points)) {
+		t.Errorf("second sweep: %d hits for %d points", got, len(second.Points))
 	}
-	for i := range first {
-		if first[i] != second[i] {
-			t.Errorf("cached point %d differs from cold point: %+v vs %+v", i, second[i], first[i])
+	for i := range first.Points {
+		if first.Points[i] != second.Points[i] {
+			t.Errorf("cached point %d differs from cold point: %+v vs %+v", i, second.Points[i], first.Points[i])
 		}
 	}
 }
@@ -81,18 +86,57 @@ func TestMemoKeysSeparateCrossbarFromFull(t *testing.T) {
 	}
 	spec := Spec{
 		Ns: []int{8}, Bs: []int{4}, Rs: []float64{1.0},
-		Schemes: []Scheme{Full, Crossbar},
+		Schemes: []scenario.Network{{Scheme: scenario.SchemeFull}, {Scheme: scenario.SchemeCrossbar}},
 		Memo:    memo,
 	}
-	pts, err := Run(spec)
+	res, err := Run(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(pts) != 2 {
-		t.Fatalf("got %d points, want 2", len(pts))
+	if len(res.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(res.Points))
 	}
-	if pts[0].Bandwidth == pts[1].Bandwidth {
-		t.Errorf("full and crossbar bandwidths identical (%.4f); memo keys collided?", pts[0].Bandwidth)
+	if res.Points[0].Bandwidth == res.Points[1].Bandwidth {
+		t.Errorf("full and crossbar bandwidths identical (%.4f); memo keys collided?", res.Points[0].Bandwidth)
+	}
+}
+
+// TestMemoKeyMatchesScenarioKey: the key a sweep stores a point under is
+// exactly the scenario-layer SweepPointKey — the cross-layer contract
+// that lets the batch endpoint and sweeps share the memo cache.
+func TestMemoKeyMatchesScenarioKey(t *testing.T) {
+	memo, err := cache.New(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{
+		Ns: []int{8}, Bs: []int{4}, Rs: []float64{1.0},
+		Schemes:      []scenario.Network{{Scheme: scenario.SchemeFull}},
+		Hierarchical: true,
+		Memo:         memo,
+	}
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 1 {
+		t.Fatalf("points = %d, want 1", len(res.Points))
+	}
+	built, err := (scenario.Scenario{
+		Network: scenario.Network{Scheme: scenario.SchemeFull, N: 8, B: 4},
+		Model:   scenario.Model{Kind: scenario.ModelHier},
+		R:       1.0,
+		Sim:     &scenario.Sim{},
+	}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := memo.Get(built.SweepPointKey("full", false))
+	if !ok {
+		t.Fatal("scenario-derived sweep key not found in memo cache")
+	}
+	if got := v.(Point); got != res.Points[0] {
+		t.Errorf("memoized point %+v != returned point %+v", got, res.Points[0])
 	}
 }
 

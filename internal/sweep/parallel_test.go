@@ -6,14 +6,14 @@ import (
 )
 
 // TestParallelDeterminism checks the worker pool's core contract: the
-// []Point a parallel sweep returns is byte-identical — same order, same
-// values — to a sequential one, across all five schemes.
+// Result a parallel sweep returns is byte-identical — same order, same
+// values, same skip list — to a sequential one, across all five schemes.
 func TestParallelDeterminism(t *testing.T) {
 	spec := Spec{
 		Ns:           []int{8, 16},
 		Bs:           []int{1, 2, 4, 8, 16},
 		Rs:           []float64{0.5, 1.0},
-		Schemes:      []Scheme{Full, Single, PartialG2, KClassesEven, Crossbar},
+		Schemes:      schemes(t, "full", "single", "partial", "kclasses", "crossbar"),
 		Hierarchical: true,
 	}
 	spec.Workers = 1
@@ -40,7 +40,7 @@ func TestParallelDeterminismWithSim(t *testing.T) {
 		Ns:           []int{8},
 		Bs:           []int{2, 4, 8},
 		Rs:           []float64{1.0},
-		Schemes:      []Scheme{Full, Single, PartialG2, KClassesEven, Crossbar},
+		Schemes:      schemes(t, "full", "single", "partial", "kclasses", "crossbar"),
 		Hierarchical: true,
 		WithSim:      true,
 		SimCycles:    2000,
@@ -60,7 +60,7 @@ func TestParallelDeterminismWithSim(t *testing.T) {
 		t.Fatalf("parallel WithSim sweep diverged from sequential:\nseq: %+v\npar: %+v", seq, par)
 	}
 	simulated := 0
-	for _, p := range par {
+	for _, p := range par.Points {
 		if p.Simulated {
 			simulated++
 		}
@@ -72,16 +72,16 @@ func TestParallelDeterminismWithSim(t *testing.T) {
 
 // TestWorkersDefault exercises the GOMAXPROCS default path (Workers: 0).
 func TestWorkersDefault(t *testing.T) {
-	points, err := Run(Spec{
+	res, err := Run(Spec{
 		Ns:      []int{8},
 		Bs:      []int{2, 4},
 		Rs:      []float64{1.0},
-		Schemes: []Scheme{Full},
+		Schemes: schemes(t, "full"),
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(points) != 2 {
-		t.Fatalf("points = %d, want 2", len(points))
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d, want 2", len(res.Points))
 	}
 }

@@ -14,7 +14,7 @@ func TestSpeedupTiming(t *testing.T) {
 		Ns:           []int{16, 32},
 		Bs:           []int{1, 2, 4, 8, 16},
 		Rs:           []float64{0.5, 1.0},
-		Schemes:      []Scheme{Full, Single, PartialG2, KClassesEven},
+		Schemes:      schemes(t, "full", "single", "partial", "kclasses"),
 		Hierarchical: true,
 		WithSim:      true,
 		SimCycles:    20000,
@@ -34,12 +34,12 @@ func TestSpeedupTiming(t *testing.T) {
 		t.Fatal(err)
 	}
 	parD := time.Since(t1)
-	same := len(seq) == len(par)
-	for i := range seq {
-		if seq[i] != par[i] {
+	same := len(seq.Points) == len(par.Points)
+	for i := range seq.Points {
+		if seq.Points[i] != par.Points[i] {
 			same = false
 		}
 	}
 	t.Logf("points=%d seq=%v par=%v speedup=%.2fx identical=%v",
-		len(seq), seqD, parD, float64(seqD)/float64(parD), same)
+		len(seq.Points), seqD, parD, float64(seqD)/float64(parD), same)
 }

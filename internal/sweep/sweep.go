@@ -1,8 +1,17 @@
 // Package sweep runs parameter sweeps over the multiple bus design
 // space: network size N, bus count B, request rate r, connection scheme,
-// and workload, evaluating the analytic bandwidth models and optionally
-// cross-checking each point with the Monte-Carlo simulator. It powers the
-// mbsweep command and the ablation benchmarks.
+// and request model, evaluating the analytic bandwidth models and
+// optionally cross-checking each point with the Monte-Carlo simulator.
+// It powers the mbsweep command, the mbserve /v1/sweep and /v1/batch
+// endpoints, and the ablation benchmarks.
+//
+// The grid axes are scenario templates (internal/scenario): each
+// (scheme, model, N, B, r) tuple is stamped into one Scenario and built
+// through the canonical layer, so sweeps share validation, defaults, and
+// cache keys with the single-point CLI and HTTP paths. Grid points that
+// violate a structural constraint (groups or classes not dividing the
+// module count, hierarchical workloads that do not split) are skipped
+// and reported in Result.Skipped — never dropped silently.
 package sweep
 
 import (
@@ -15,57 +24,31 @@ import (
 
 	"multibus/internal/analytic"
 	"multibus/internal/cache"
-	"multibus/internal/hrm"
+	"multibus/internal/scenario"
 	"multibus/internal/sim"
-	"multibus/internal/topology"
-	"multibus/internal/workload"
 )
-
-// Scheme selects a connection scheme family for sweeping.
-type Scheme int
-
-// Sweepable schemes. PartialG2 skips points where 2 does not divide B;
-// KClassesEven skips points where B does not divide N.
-const (
-	Full Scheme = iota
-	Single
-	PartialG2
-	KClassesEven
-	Crossbar
-)
-
-// String names the scheme.
-func (s Scheme) String() string {
-	switch s {
-	case Full:
-		return "full"
-	case Single:
-		return "single"
-	case PartialG2:
-		return "partial-g2"
-	case KClassesEven:
-		return "kclasses"
-	case Crossbar:
-		return "crossbar"
-	default:
-		return fmt.Sprintf("Scheme(%d)", int(s))
-	}
-}
 
 // ErrBadSpec is returned for invalid sweep specifications.
 var ErrBadSpec = errors.New("sweep: invalid specification")
 
-// Spec describes the sweep grid. Points with B > N, or violating a
-// scheme's divisibility constraints, are skipped silently (they do not
-// exist in the design space).
+// Spec describes the sweep grid.
 type Spec struct {
-	Ns      []int
-	Bs      []int
-	Rs      []float64
-	Schemes []Scheme
-	// Hierarchical toggles the paper's two-level workload (4 clusters,
-	// 0.6/0.3/0.1); otherwise the uniform workload is used. N must be
-	// divisible by 4 for hierarchical points.
+	Ns []int
+	Bs []int
+	Rs []float64
+	// Schemes are network templates: Scheme (plus Groups, Classes, or
+	// ClassSizes where relevant) is taken from the template while N, M,
+	// and B are filled per grid point. Build them by hand or parse sweep
+	// scheme names with scenario.SweepScheme ("full", "partial-g4",
+	// "kclasses", "crossbar", ...).
+	Schemes []scenario.Network
+	// Models are the request-model axis. Empty means one default model:
+	// the paper's hierarchical workload when Hierarchical is set, the
+	// uniform model otherwise.
+	Models []scenario.Model
+	// Hierarchical selects the default model when Models is empty (the
+	// paper's two-level 0.6/0.3/0.1 workload, clusters per the shared
+	// scenario.HierClusters rule).
 	Hierarchical bool
 	// WithSim additionally runs the simulator at each point.
 	WithSim   bool
@@ -82,19 +65,20 @@ type Spec struct {
 	// point of cancellation. Nil means context.Background().
 	Context context.Context
 	// Memo, when non-nil, memoizes grid-point evaluations, keyed by the
-	// point's structural fingerprints and every parameter that affects
-	// its value (scheme, topology wiring, request model, rate, and — for
-	// simulated points — cycles and seed). Overlapping grids across Run
-	// calls sharing one cache hit it instead of recomputing; results are
-	// deterministic, so a hit is byte-identical to a recompute.
-	// Concurrent identical points (within one sweep or across sweeps
-	// sharing the cache) compute once via singleflight.
+	// point's scenario (scheme axis, structural fingerprints, rate, and
+	// simulator parameters) via scenario.Built.SweepPointKey.
+	// Overlapping grids across Run calls sharing one cache hit it
+	// instead of recomputing; results are deterministic, so a hit is
+	// byte-identical to a recompute. Concurrent identical points
+	// compute once via singleflight.
 	Memo *cache.Cache
 }
 
-// Point is one evaluated configuration.
+// Point is one evaluated configuration. Scheme and Model are the axis
+// names (scenario.Network.AxisName / scenario.Model.AxisName).
 type Point struct {
-	Scheme    Scheme
+	Scheme    string
+	Model     string
 	N, B      int
 	R         float64
 	X         float64 // per-module request probability
@@ -105,43 +89,50 @@ type Point struct {
 	SimCI95      float64
 }
 
-// job is one enumerated grid point awaiting evaluation. The model and
-// topology are built during (sequential) enumeration and shared between
-// jobs; both are read-only after construction, so workers may evaluate
-// jobs that share them concurrently.
+// Skip records one (scheme, model, N, B) grid combination that was not
+// evaluated, and why. Rates are not enumerated: a structural skip
+// applies to every r.
+type Skip struct {
+	Scheme string
+	Model  string
+	N, B   int
+	Reason string
+}
+
+// Result is a completed sweep: the evaluated points in deterministic
+// grid order plus every skipped combination.
+type Result struct {
+	Points  []Point
+	Skipped []Skip
+}
+
+// job is one enumerated grid point awaiting evaluation. The built
+// scenario is constructed during (sequential) enumeration; it is
+// read-only afterwards, so workers evaluate jobs concurrently.
 type job struct {
-	scheme Scheme
-	n, b   int
-	r      float64
-	model  *hrm.Hierarchy
-	nw     *topology.Network
+	axis  string // scheme axis name, the key and output tag
+	model string // model axis name
+	built *scenario.Built
 }
 
 // Run evaluates the sweep and returns its points in deterministic order
-// (scheme, then N, then B, then r). Points are evaluated concurrently by
-// a Spec.Workers-sized pool — each point is an independent analytic
-// evaluation plus (with WithSim) an independently seeded simulation, so
-// the returned slice is identical for every worker count. The first
-// evaluation error (lowest grid index) aborts the sweep: no new points
-// start, in-flight points finish, and that error is returned.
-func Run(spec Spec) ([]Point, error) {
+// (scheme, then model, then N, then B, then r). Points are evaluated
+// concurrently by a Spec.Workers-sized pool — each point is an
+// independent analytic evaluation plus (with WithSim) an independently
+// seeded simulation, so the returned points are identical for every
+// worker count. The first evaluation error (lowest grid index) aborts
+// the sweep: no new points start, in-flight points finish, and that
+// error is returned.
+func Run(spec Spec) (*Result, error) {
 	if len(spec.Ns) == 0 || len(spec.Bs) == 0 || len(spec.Rs) == 0 || len(spec.Schemes) == 0 {
 		return nil, fmt.Errorf("%w: empty dimension", ErrBadSpec)
 	}
-	jobs, err := enumerate(spec)
+	jobs, skipped, err := enumerate(spec)
 	if err != nil {
 		return nil, err
 	}
 	if len(jobs) == 0 {
-		return nil, fmt.Errorf("%w: no valid points in grid", ErrBadSpec)
-	}
-
-	workers := spec.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(jobs) {
-		workers = len(jobs)
+		return nil, fmt.Errorf("%w: no valid points in grid (%d combinations skipped)", ErrBadSpec, len(skipped))
 	}
 
 	ctx := spec.Context
@@ -150,8 +141,37 @@ func Run(spec Spec) ([]Point, error) {
 	}
 
 	points := make([]Point, len(jobs))
+	err = ForEach(ctx, len(jobs), spec.Workers, func(ctx context.Context, i int) error {
+		pt, err := evaluatePoint(ctx, spec, jobs[i])
+		if err != nil {
+			return err
+		}
+		points[i] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Points: points, Skipped: skipped}, nil
+}
+
+// ForEach runs fn(ctx, i) for i in [0, n) on a pool of workers (0 means
+// GOMAXPROCS, 1 forces sequential). The context is checked before each
+// index starts. The first error by lowest index aborts the pool — no new
+// indices start, in-flight calls finish — and is returned. It is the
+// shared evaluation pool behind Run and the service's batch endpoint.
+func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
 	var (
-		cursor   atomic.Int64 // next job index to claim
+		cursor   atomic.Int64 // next index to claim
 		aborted  atomic.Bool
 		mu       sync.Mutex
 		firstErr error
@@ -165,13 +185,12 @@ func Run(spec Spec) ([]Point, error) {
 			defer wg.Done()
 			for {
 				i := int(cursor.Add(1))
-				if i >= len(jobs) || aborted.Load() {
+				if i >= n || aborted.Load() {
 					return
 				}
 				err := ctx.Err()
-				var pt Point
 				if err == nil {
-					pt, err = evaluatePoint(ctx, spec, jobs[i])
+					err = fn(ctx, i)
 				}
 				if err != nil {
 					mu.Lock()
@@ -182,46 +201,95 @@ func Run(spec Spec) ([]Point, error) {
 					aborted.Store(true)
 					return
 				}
-				points[i] = pt
 			}
 		}()
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return points, nil
+	return firstErr
 }
 
-// enumerate walks the grid in deterministic order (scheme, N, B, r),
-// building each point's shared model and topology and surfacing
-// construction errors exactly as the evaluation loop would.
-func enumerate(spec Spec) ([]job, error) {
-	var jobs []job
-	for _, scheme := range spec.Schemes {
-		for _, n := range spec.Ns {
-			model, err := buildModel(n, spec.Hierarchical)
-			if err != nil {
-				return nil, err
+// enumerate walks the grid in deterministic order (scheme, model, N, B,
+// r), building each point's scenario through the canonical layer.
+// Combinations whose constraints are unsatisfiable are recorded in the
+// skip list (once per (scheme, model, N, B), since satisfiability does
+// not depend on r); out-of-range bus counts are recorded the same way.
+// Genuinely invalid input — unknown names, bad rates — aborts with an
+// error instead.
+func enumerate(spec Spec) ([]job, []Skip, error) {
+	models := spec.Models
+	if len(models) == 0 {
+		if spec.Hierarchical {
+			models = []scenario.Model{{Kind: scenario.ModelHier}}
+		} else {
+			models = []scenario.Model{{Kind: scenario.ModelUniform}}
+		}
+	}
+	var (
+		jobs    []job
+		skipped []Skip
+	)
+	for _, tmpl := range spec.Schemes {
+		axis := tmpl.AxisName()
+		for _, model := range models {
+			if model.Kind == scenario.ModelHotSpot {
+				return nil, nil, fmt.Errorf("%w: hotspot has no closed form; sweeps need an analytic model", ErrBadSpec)
 			}
-			for _, b := range spec.Bs {
-				if b > n || b < 1 {
-					continue
-				}
-				nw, ok, err := buildTopology(scheme, n, b)
-				if err != nil {
-					return nil, err
-				}
-				if !ok {
-					continue
-				}
-				for _, r := range spec.Rs {
-					jobs = append(jobs, job{scheme: scheme, n: n, b: b, r: r, model: model, nw: nw})
+			modelAxis := model.AxisName()
+			for _, n := range spec.Ns {
+				for _, b := range spec.Bs {
+					if b < 1 || b > n {
+						skipped = append(skipped, Skip{
+							Scheme: axis, Model: modelAxis, N: n, B: b,
+							Reason: fmt.Sprintf("B=%d outside [1, N=%d]", b, n),
+						})
+						continue
+					}
+					built, skip, err := buildCombination(spec, tmpl, model, n, b)
+					if err != nil {
+						return nil, nil, err
+					}
+					if skip != "" {
+						skipped = append(skipped, Skip{Scheme: axis, Model: modelAxis, N: n, B: b, Reason: skip})
+						continue
+					}
+					for _, bl := range built {
+						jobs = append(jobs, job{axis: axis, model: modelAxis, built: bl})
+					}
 				}
 			}
 		}
 	}
-	return jobs, nil
+	return jobs, skipped, nil
+}
+
+// buildCombination builds one (scheme, model, N, B) combination at every
+// rate, returning a skip reason (and no error) when the combination is
+// structurally unsatisfiable.
+func buildCombination(spec Spec, tmpl scenario.Network, model scenario.Model, n, b int) ([]*scenario.Built, string, error) {
+	built := make([]*scenario.Built, 0, len(spec.Rs))
+	for _, r := range spec.Rs {
+		nw := tmpl
+		nw.N, nw.M, nw.B = n, 0, b
+		s := scenario.Scenario{
+			Network: nw,
+			Model:   model,
+			R:       r,
+			// The sim block is always present so memo keys embed the
+			// cycle count and seed whether or not WithSim is set —
+			// matching the key layout a simulated sweep of the same grid
+			// would use.
+			Sim: &scenario.Sim{Cycles: spec.SimCycles, Seed: spec.Seed},
+		}
+		bl, err := s.Build()
+		if errors.Is(err, scenario.ErrUnsatisfiable) {
+			return nil, err.Error(), nil
+		}
+		if err != nil {
+			return nil, "", err
+		}
+		built = append(built, bl)
+	}
+	return built, "", nil
 }
 
 // evaluatePoint evaluates one grid point through Spec.Memo when one is
@@ -232,14 +300,7 @@ func evaluatePoint(ctx context.Context, spec Spec, jb job) (Point, error) {
 	if spec.Memo == nil {
 		return evaluate(ctx, spec, jb)
 	}
-	cycles := spec.SimCycles
-	if cycles == 0 {
-		cycles = defaultSimCycles
-	}
-	key := cache.SweepPointKey(
-		jb.scheme.String(), jb.nw.Fingerprint(), jb.model.Fingerprint(), jb.r,
-		spec.WithSim, cycles, sim.EffectiveSeed(spec.Seed),
-	)
+	key := jb.built.SweepPointKey(jb.axis, spec.WithSim)
 	v, _, err := spec.Memo.Do(ctx, key, func() (any, error) {
 		pt, err := evaluate(ctx, spec, jb)
 		if err != nil {
@@ -253,43 +314,35 @@ func evaluatePoint(ctx context.Context, spec Spec, jb job) (Point, error) {
 	return v.(Point), nil
 }
 
-// defaultSimCycles is the simulated-cycle count used when Spec.SimCycles
-// is zero; it must match the normalization in evaluate so memo keys and
-// actual runs agree.
-const defaultSimCycles = 20000
-
 // evaluate computes one grid point: the analytic bandwidth and, with
-// WithSim, an independently seeded simulator cross-check.
+// WithSim, an independently seeded simulator cross-check. Crossbar
+// points use the crossbar formula on the model's X and are never
+// simulated (the reference curve has no bus contention to simulate).
 func evaluate(ctx context.Context, spec Spec, jb job) (Point, error) {
-	x, err := jb.model.X(jb.r)
+	x, err := jb.built.Model.X(jb.built.Scenario.R)
 	if err != nil {
 		return Point{}, err
 	}
 	var bw float64
-	if jb.scheme == Crossbar {
-		bw, err = analytic.BandwidthCrossbar(jb.n, x)
+	if jb.built.Crossbar {
+		bw, err = analytic.BandwidthCrossbar(jb.built.Network.M(), x)
 	} else {
-		bw, err = analytic.Bandwidth(jb.nw, x)
+		bw, err = analytic.Bandwidth(jb.built.Network, x)
 	}
 	if err != nil {
 		return Point{}, err
 	}
-	pt := Point{Scheme: jb.scheme, N: jb.n, B: jb.b, R: jb.r, X: x, Bandwidth: bw}
-	if spec.WithSim && jb.scheme != Crossbar {
-		gen, err := workload.NewHierarchical(jb.model, jb.r)
+	pt := Point{
+		Scheme: jb.axis, Model: jb.model,
+		N: jb.built.Network.N(), B: jb.built.Network.B(), R: jb.built.Scenario.R,
+		X: x, Bandwidth: bw,
+	}
+	if spec.WithSim && !jb.built.Crossbar {
+		cfg, err := jb.built.SimConfig()
 		if err != nil {
 			return Point{}, err
 		}
-		cycles := spec.SimCycles
-		if cycles == 0 {
-			cycles = defaultSimCycles
-		}
-		res, err := sim.RunContext(ctx, sim.Config{
-			Topology: jb.nw,
-			Workload: gen,
-			Cycles:   cycles,
-			Seed:     sim.EffectiveSeed(spec.Seed),
-		})
+		res, err := sim.RunContext(ctx, cfg)
 		if err != nil {
 			return Point{}, err
 		}
@@ -300,43 +353,10 @@ func evaluate(ctx context.Context, spec Spec, jb job) (Point, error) {
 	return pt, nil
 }
 
-// buildModel returns the request model for size n.
-func buildModel(n int, hierarchical bool) (*hrm.Hierarchy, error) {
-	if hierarchical {
-		return hrm.TwoLevelPaper(n, 4, 0.6, 0.3, 0.1)
-	}
-	return hrm.Uniform(n)
-}
-
-// buildTopology returns (network, ok, err); ok=false skips the point.
-func buildTopology(scheme Scheme, n, b int) (*topology.Network, bool, error) {
-	switch scheme {
-	case Full, Crossbar:
-		nw, err := topology.Full(n, n, b)
-		return nw, err == nil, err
-	case Single:
-		nw, err := topology.SingleBus(n, n, b)
-		return nw, err == nil, err
-	case PartialG2:
-		if b%2 != 0 || n%2 != 0 {
-			return nil, false, nil
-		}
-		nw, err := topology.PartialGroups(n, n, b, 2)
-		return nw, err == nil, err
-	case KClassesEven:
-		if n%b != 0 {
-			return nil, false, nil
-		}
-		nw, err := topology.EvenKClasses(n, n, b, b)
-		return nw, err == nil, err
-	default:
-		return nil, false, fmt.Errorf("%w: unknown scheme %d", ErrBadSpec, int(scheme))
-	}
-}
-
-// Series extracts, for one scheme and rate, the bandwidth-vs-B curve at a
-// fixed N (analytic values), returning parallel B and bandwidth slices.
-func Series(points []Point, scheme Scheme, n int, r float64) (bs []int, bws []float64) {
+// Series extracts, for one scheme axis and rate, the bandwidth-vs-B
+// curve at a fixed N (analytic values), returning parallel B and
+// bandwidth slices.
+func Series(points []Point, scheme string, n int, r float64) (bs []int, bws []float64) {
 	for _, p := range points {
 		if p.Scheme == scheme && p.N == n && p.R == r {
 			bs = append(bs, p.B)

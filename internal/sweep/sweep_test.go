@@ -1,17 +1,34 @@
 package sweep
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
+
+	"multibus/internal/scenario"
 )
 
+// schemes parses sweep axis names, failing the test on bad names.
+func schemes(t *testing.T, names ...string) []scenario.Network {
+	t.Helper()
+	out := make([]scenario.Network, len(names))
+	for i, name := range names {
+		nw, err := scenario.SweepScheme(name)
+		if err != nil {
+			t.Fatalf("SweepScheme(%q): %v", name, err)
+		}
+		out[i] = nw
+	}
+	return out
+}
+
 func TestRunBasicGrid(t *testing.T) {
-	points, err := Run(Spec{
+	res, err := Run(Spec{
 		Ns:           []int{8, 16},
 		Bs:           []int{2, 4, 8, 16},
 		Rs:           []float64{0.5, 1.0},
-		Schemes:      []Scheme{Full, Single, PartialG2, KClassesEven},
+		Schemes:      schemes(t, "full", "single", "partial", "kclasses"),
 		Hierarchical: true,
 	})
 	if err != nil {
@@ -20,8 +37,8 @@ func TestRunBasicGrid(t *testing.T) {
 	// Every scheme covers all valid (N, B) pairs: B ≤ N, scheme
 	// divisibility holds for these powers of two.
 	// Full: (8: 2,4,8)+(16: 2,4,8,16) = 7 pairs × 2 rates = 14 points.
-	count := map[Scheme]int{}
-	for _, p := range points {
+	count := map[string]int{}
+	for _, p := range res.Points {
 		count[p.Scheme]++
 		if p.B > p.N {
 			t.Errorf("point %+v has B > N", p)
@@ -35,10 +52,23 @@ func TestRunBasicGrid(t *testing.T) {
 		if p.Simulated {
 			t.Errorf("point %+v simulated without WithSim", p)
 		}
+		if p.Model != "hier" {
+			t.Errorf("point %+v model tag != hier", p)
+		}
 	}
-	for _, s := range []Scheme{Full, Single, PartialG2, KClassesEven} {
+	for _, s := range []string{"full", "single", "partial-g2", "kclasses"} {
 		if count[s] != 14 {
 			t.Errorf("scheme %v has %d points, want 14", s, count[s])
+		}
+	}
+	// The only invalid combinations here are B=16 at N=8 (one per
+	// scheme/model combination), and they are reported, not silent.
+	if len(res.Skipped) != 4 {
+		t.Errorf("skipped = %d combinations, want 4: %+v", len(res.Skipped), res.Skipped)
+	}
+	for _, sk := range res.Skipped {
+		if sk.N != 8 || sk.B != 16 || sk.Reason == "" {
+			t.Errorf("unexpected skip %+v", sk)
 		}
 	}
 }
@@ -47,45 +77,125 @@ func TestRunSpecValidation(t *testing.T) {
 	if _, err := Run(Spec{}); err == nil {
 		t.Error("empty spec should error")
 	}
-	if _, err := Run(Spec{Ns: []int{8}, Bs: []int{16}, Rs: []float64{1}, Schemes: []Scheme{Full}}); err == nil {
+	if _, err := Run(Spec{Ns: []int{8}, Bs: []int{16}, Rs: []float64{1}, Schemes: schemes(t, "full")}); err == nil {
 		t.Error("grid with no valid points should error")
 	}
-	if _, err := Run(Spec{Ns: []int{8}, Bs: []int{4}, Rs: []float64{1}, Schemes: []Scheme{Scheme(99)}}); err == nil {
+	bad := []scenario.Network{{Scheme: "mesh"}}
+	if _, err := Run(Spec{Ns: []int{8}, Bs: []int{4}, Rs: []float64{1}, Schemes: bad}); !errors.Is(err, scenario.ErrInvalid) {
 		t.Error("unknown scheme should error")
 	}
-	// Hierarchical with N not divisible by 4 errors via hrm.
-	if _, err := Run(Spec{Ns: []int{6}, Bs: []int{2}, Rs: []float64{1}, Schemes: []Scheme{Full}, Hierarchical: true}); err == nil {
-		t.Error("N=6 hierarchical should error")
+	// A bad rate is invalid input, not a structural skip.
+	if _, err := Run(Spec{Ns: []int{8}, Bs: []int{4}, Rs: []float64{1.5}, Schemes: schemes(t, "full")}); !errors.Is(err, scenario.ErrInvalid) {
+		t.Error("r > 1 should error")
+	}
+	// Hotspot has no closed form and cannot be swept.
+	if _, err := Run(Spec{
+		Ns: []int{8}, Bs: []int{4}, Rs: []float64{1},
+		Schemes: schemes(t, "full"),
+		Models:  []scenario.Model{{Kind: scenario.ModelHotSpot}},
+	}); !errors.Is(err, ErrBadSpec) {
+		t.Error("hotspot model should be rejected")
 	}
 }
 
-func TestRunSkipsInvalidCombinations(t *testing.T) {
-	// Odd B skips PartialG2; B not dividing N skips KClassesEven.
-	points, err := Run(Spec{
-		Ns:      []int{8},
-		Bs:      []int{3},
-		Rs:      []float64{1.0},
-		Schemes: []Scheme{Full, PartialG2, KClassesEven},
+// TestHierFallbackInSweep: the shared cluster rule means N=6 runs with 2
+// clusters (it used to abort the whole sweep), while N=5 is reported as
+// skipped.
+func TestHierFallbackInSweep(t *testing.T) {
+	res, err := Run(Spec{
+		Ns:           []int{5, 6},
+		Bs:           []int{2},
+		Rs:           []float64{1},
+		Schemes:      schemes(t, "full"),
+		Hierarchical: true,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, p := range points {
-		if p.Scheme == PartialG2 {
-			t.Errorf("PartialG2 evaluated at odd B: %+v", p)
+	if len(res.Points) != 1 || res.Points[0].N != 6 {
+		t.Fatalf("points = %+v, want exactly N=6", res.Points)
+	}
+	if len(res.Skipped) != 1 || res.Skipped[0].N != 5 {
+		t.Fatalf("skipped = %+v, want exactly N=5", res.Skipped)
+	}
+	if !strings.Contains(res.Skipped[0].Reason, "hier") {
+		t.Errorf("skip reason %q does not mention the hier constraint", res.Skipped[0].Reason)
+	}
+}
+
+func TestRunSkipsInvalidCombinations(t *testing.T) {
+	// Odd B skips partial-g2; B not dividing N skips kclasses — and both
+	// skips are reported with reasons.
+	res, err := Run(Spec{
+		Ns:      []int{8},
+		Bs:      []int{3},
+		Rs:      []float64{1.0},
+		Schemes: schemes(t, "full", "partial", "kclasses"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Points {
+		if p.Scheme != "full" {
+			t.Errorf("unexpected evaluated point %+v", p)
 		}
-		if p.Scheme == KClassesEven && p.N%p.B != 0 {
-			t.Errorf("KClassesEven at non-dividing B: %+v", p)
+	}
+	if len(res.Skipped) != 2 {
+		t.Fatalf("skipped = %+v, want partial-g2 and kclasses", res.Skipped)
+	}
+	for _, sk := range res.Skipped {
+		if sk.Scheme != "partial-g2" && sk.Scheme != "kclasses" {
+			t.Errorf("unexpected skip %+v", sk)
+		}
+		if sk.Reason == "" {
+			t.Errorf("skip %+v has empty reason", sk)
 		}
 	}
 }
 
+// TestDasBhuyanAndClassSizesAxes: the scenario axes reach grid points
+// the old enum could not — Das–Bhuyan workloads and explicit class
+// sizes.
+func TestDasBhuyanAndClassSizesAxes(t *testing.T) {
+	res, err := Run(Spec{
+		Ns:      []int{16},
+		Bs:      []int{4},
+		Rs:      []float64{1.0},
+		Schemes: []scenario.Network{{Scheme: scenario.SchemeKClass, ClassSizes: []int{2, 6, 8}}},
+		Models:  []scenario.Model{{Kind: scenario.ModelDasBhuyan, Q: 0.7}, {Kind: scenario.ModelUniform}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %+v, want 2", res.Points)
+	}
+	byModel := map[string]Point{}
+	for _, p := range res.Points {
+		if p.Scheme != "kclass[2,6,8]" {
+			t.Errorf("scheme tag = %q", p.Scheme)
+		}
+		byModel[p.Model] = p
+	}
+	das, ok := byModel["dasbhuyan-q0.7"]
+	if !ok {
+		t.Fatalf("no dasbhuyan point in %+v", res.Points)
+	}
+	unif := byModel["uniform"]
+	if das.Bandwidth <= 0 || unif.Bandwidth <= 0 {
+		t.Errorf("non-positive bandwidths: %+v", res.Points)
+	}
+	if das.X == unif.X {
+		t.Error("dasbhuyan and uniform produced identical X; model axis ignored?")
+	}
+}
+
 func TestRunWithSim(t *testing.T) {
-	points, err := Run(Spec{
+	res, err := Run(Spec{
 		Ns:           []int{8},
 		Bs:           []int{4},
 		Rs:           []float64{1.0},
-		Schemes:      []Scheme{Full},
+		Schemes:      schemes(t, "full"),
 		Hierarchical: true,
 		WithSim:      true,
 		SimCycles:    20000,
@@ -94,10 +204,10 @@ func TestRunWithSim(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(points) != 1 {
-		t.Fatalf("points = %d, want 1", len(points))
+	if len(res.Points) != 1 {
+		t.Fatalf("points = %d, want 1", len(res.Points))
 	}
-	p := points[0]
+	p := res.Points[0]
 	if !p.Simulated || p.SimBandwidth <= 0 || p.SimCI95 <= 0 {
 		t.Fatalf("sim fields not populated: %+v", p)
 	}
@@ -107,22 +217,22 @@ func TestRunWithSim(t *testing.T) {
 }
 
 func TestCrossbarScheme(t *testing.T) {
-	points, err := Run(Spec{
+	res, err := Run(Spec{
 		Ns:           []int{8},
 		Bs:           []int{8},
 		Rs:           []float64{1.0},
-		Schemes:      []Scheme{Crossbar, Full},
+		Schemes:      schemes(t, "crossbar", "full"),
 		Hierarchical: true,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	var xb, full float64
-	for _, p := range points {
+	for _, p := range res.Points {
 		switch p.Scheme {
-		case Crossbar:
+		case "crossbar":
 			xb = p.Bandwidth
-		case Full:
+		case "full":
 			full = p.Bandwidth
 		}
 	}
@@ -132,16 +242,16 @@ func TestCrossbarScheme(t *testing.T) {
 }
 
 func TestSeriesExtraction(t *testing.T) {
-	points, err := Run(Spec{
+	res, err := Run(Spec{
 		Ns:      []int{16},
 		Bs:      []int{2, 4, 8, 16},
 		Rs:      []float64{0.5, 1.0},
-		Schemes: []Scheme{Full},
+		Schemes: schemes(t, "full"),
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	bs, bws := Series(points, Full, 16, 1.0)
+	bs, bws := Series(res.Points, "full", 16, 1.0)
 	if len(bs) != 4 || len(bws) != 4 {
 		t.Fatalf("series lengths %d, %d; want 4", len(bs), len(bws))
 	}
@@ -151,19 +261,7 @@ func TestSeriesExtraction(t *testing.T) {
 		}
 	}
 	// Non-existent slice is empty.
-	if bs, _ := Series(points, Single, 16, 1.0); len(bs) != 0 {
+	if bs, _ := Series(res.Points, "single", 16, 1.0); len(bs) != 0 {
 		t.Errorf("unexpected series %v", bs)
-	}
-}
-
-func TestSchemeString(t *testing.T) {
-	names := map[Scheme]string{
-		Full: "full", Single: "single", PartialG2: "partial",
-		KClassesEven: "kclasses", Crossbar: "crossbar", Scheme(9): "9",
-	}
-	for s, want := range names {
-		if got := s.String(); !strings.Contains(got, want) {
-			t.Errorf("Scheme(%d).String() = %q", int(s), got)
-		}
 	}
 }

@@ -34,4 +34,17 @@ check "GET /healthz" "http://$ADDR/healthz"
 check "POST /v1/analyze" -X POST "http://$ADDR/v1/analyze" \
     -d '{"network":{"scheme":"full","n":16,"b":8},"model":{"kind":"hier"},"r":1.0}'
 
+# Batch endpoint: scenarios the bus-count sweep alone cannot express
+# (explicit class sizes, a Das–Bhuyan workload), evaluated twice — the
+# repeat must be served entirely from the scenario-keyed cache.
+BATCH='{"scenarios":[{"network":{"scheme":"kclass","n":16,"b":4,"classSizes":[2,6,8]},"model":{"kind":"dasbhuyan","q":0.7},"r":1.0},{"network":{"scheme":"full","n":16,"b":8},"model":{"kind":"hier"},"r":1.0}]}'
+check "POST /v1/batch" -X POST "http://$ADDR/v1/batch" -d "$BATCH"
+XCACHE="$(curl -s -D - -o /dev/null -X POST "http://$ADDR/v1/batch" -d "$BATCH" \
+    | tr -d '\r' | sed -n 's/^X-Cache: //p')"
+if [ "$XCACHE" != "hit" ]; then
+    echo "serve-smoke: repeated POST /v1/batch X-Cache = '$XCACHE' (want hit)"
+    exit 1
+fi
+echo "serve-smoke: repeated POST /v1/batch served from cache"
+
 echo "serve-smoke: PASS"
