@@ -18,7 +18,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/scenario/... ./internal/sim/... ./internal/sweep/... ./internal/cache/... ./internal/service/...
+	$(GO) test -race ./internal/scenario/... ./internal/sim/... ./internal/sweep/... ./internal/cache/... ./internal/service/... ./internal/obs/...
 
 # Validate every committed example scenario against the canonical
 # scenario layer (strict parse + build + key derivation).

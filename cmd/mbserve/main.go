@@ -13,9 +13,11 @@
 //	  "r": 1.0
 //	}'
 //
-// Endpoints: POST /v1/analyze, /v1/simulate, /v1/sweep; GET /healthz,
-// /metrics (expvar), /debug/pprof/. The server drains in-flight
-// requests on SIGINT/SIGTERM before exiting.
+// Endpoints: POST /v1/analyze, /v1/simulate, /v1/sweep, /v1/batch; GET
+// /healthz, /metrics (Prometheus text), /debug/vars (expvar JSON),
+// /debug/pprof/. Structured access logs go to stderr; tune them with
+// -log-level and -log-format. The server drains in-flight requests on
+// SIGINT/SIGTERM before exiting.
 package main
 
 import (
@@ -23,7 +25,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -31,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"multibus/internal/cliutil"
 	"multibus/internal/service"
 )
 
@@ -41,9 +44,14 @@ func main() {
 		timeout   = flag.Duration("timeout", service.DefaultTimeout, "per-request computation deadline")
 		maxBody   = flag.Int64("max-body", service.DefaultMaxBodyBytes, "request body size limit (bytes)")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
+		logFlags  = cliutil.RegisterLogFlags(flag.CommandLine)
 	)
 	flag.Parse()
-	if err := run(*addr, *cacheSize, *timeout, *maxBody, *drain); err != nil {
+	logger, err := logFlags.Logger(os.Stderr)
+	if err == nil {
+		err = run(logger, *addr, *cacheSize, *timeout, *maxBody, *drain)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mbserve:", err)
 		os.Exit(1)
 	}
@@ -51,11 +59,12 @@ func main() {
 
 // run starts the server and blocks until a termination signal has been
 // handled. It is separated from main for testability.
-func run(addr string, cacheSize int, timeout time.Duration, maxBody int64, drain time.Duration) error {
+func run(logger *slog.Logger, addr string, cacheSize int, timeout time.Duration, maxBody int64, drain time.Duration) error {
 	srv, err := service.New(service.Options{
 		CacheSize:    cacheSize,
 		Timeout:      timeout,
 		MaxBodyBytes: maxBody,
+		Logger:       logger,
 	})
 	if err != nil {
 		return err
@@ -67,7 +76,7 @@ func run(addr string, cacheSize int, timeout time.Duration, maxBody int64, drain
 	}
 	// The resolved address is logged (not just the flag value) so
 	// scripts can use -addr :0 and scrape the chosen port.
-	log.Printf("mbserve: listening on %s", ln.Addr())
+	logger.Info("listening", "addr", ln.Addr().String())
 
 	httpSrv := &http.Server{
 		Handler: srv.Handler(),
@@ -88,7 +97,7 @@ func run(addr string, cacheSize int, timeout time.Duration, maxBody int64, drain
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("mbserve: shutting down (draining up to %v)", drain)
+	logger.Info("shutting down", "drain", drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
@@ -97,6 +106,6 @@ func run(addr string, cacheSize int, timeout time.Duration, maxBody int64, drain
 	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	log.Printf("mbserve: stopped")
+	logger.Info("stopped")
 	return nil
 }

@@ -14,11 +14,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"strings"
+	"time"
 
 	"multibus/internal/asciiplot"
 	"multibus/internal/cliutil"
+	"multibus/internal/obs"
 	"multibus/internal/scenario"
 	"multibus/internal/sweep"
 )
@@ -36,6 +40,7 @@ type options struct {
 	seed         int64
 	workers      int
 	asCSV        bool
+	logger       *slog.Logger // nil disables diagnostics
 }
 
 func main() {
@@ -53,8 +58,14 @@ func main() {
 	flag.Int64Var(&o.seed, "seed", 1, "simulation seed")
 	flag.IntVar(&o.workers, "workers", 0, "parallel point evaluations (0 = all CPUs, 1 = sequential)")
 	flag.BoolVar(&o.asCSV, "csv", false, "emit CSV instead of chart + table")
+	logFlags := cliutil.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
-	if err := run(o); err != nil {
+	logger, err := logFlags.Logger(os.Stderr)
+	if err == nil {
+		o.logger = logger
+		err = run(o)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mbsweep:", err)
 		os.Exit(1)
 	}
@@ -104,6 +115,10 @@ func axes(o *options) ([]scenario.Network, []scenario.Model, error) {
 }
 
 func run(o options) error {
+	logger := o.logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelError + 1}))
+	}
 	schemes, models, err := axes(&o)
 	if err != nil {
 		return err
@@ -112,6 +127,10 @@ func run(o options) error {
 	for b := 1; b <= o.n; b *= 2 {
 		bs = append(bs, b)
 	}
+	// The progress counter rides the sweep's worker pool; at -log-level
+	// debug the completion summary reports points and throughput.
+	points := obs.NewRegistry().Counter("mbsweep_points_total", "sweep points evaluated")
+	start := time.Now()
 	res, err := sweep.Run(sweep.Spec{
 		Ns:        []int{o.n},
 		Bs:        bs,
@@ -122,10 +141,17 @@ func run(o options) error {
 		SimCycles: o.cycles,
 		Seed:      o.seed,
 		Workers:   o.workers,
+		Progress:  points,
 	})
 	if err != nil {
 		return err
 	}
+	elapsed := time.Since(start)
+	logger.Debug("sweep complete",
+		"points", points.Value(),
+		"skipped", len(res.Skipped),
+		"elapsed", elapsed,
+		"points_per_sec", float64(points.Value())/elapsed.Seconds())
 
 	if o.asCSV {
 		fmt.Println("scheme,model,n,b,r,x,analytic,simulated,sim_ci95")

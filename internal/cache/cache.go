@@ -46,11 +46,15 @@ type entry struct {
 	val any
 }
 
-// call is one in-flight computation; waiters block on done.
+// call is one in-flight computation; waiters block on done. retry is
+// set (before done closes) when the leader failed because of its *own*
+// context: that failure must not be inherited by healthy waiters, who
+// re-dispatch instead.
 type call struct {
-	done chan struct{}
-	val  any
-	err  error
+	done  chan struct{}
+	val   any
+	err   error
+	retry bool
 }
 
 // Stats is a snapshot of the cache's counters. All counters are
@@ -58,7 +62,9 @@ type call struct {
 type Stats struct {
 	// Hits counts Do/Get calls answered from the LRU.
 	Hits int64
-	// Misses counts Do calls that ran (or joined) a computation.
+	// Misses counts Do calls that ran (or joined) a computation plus
+	// Get lookups that found nothing; Hits+Misses is the total probe
+	// count, so hit rate is Hits/(Hits+Misses).
 	Misses int64
 	// SharedFlights counts Do calls that joined another caller's
 	// in-flight computation instead of starting their own — the requests
@@ -98,51 +104,80 @@ func New(capacity int) (*Cache, error) {
 // completion once started — ctx cancels this caller's wait, not the
 // shared computation, so a slow result still lands in the cache for the
 // next request. A compute error is handed to every waiter of that
-// flight and nothing is cached.
+// flight and nothing is cached — with one exception: a flight whose
+// leader failed because its *own* context was canceled (or timed out)
+// is re-dispatched, not inherited. A healthy waiter joining such a
+// flight loops back, re-checks the cache, and becomes the next leader
+// under its own context instead of receiving the leader's
+// context.Canceled. Without this, one impatient client could turn
+// every concurrent identical request into a spurious failure.
 func (c *Cache) Do(ctx context.Context, key string, compute func() (any, error)) (val any, hit bool, err error) {
-	c.mu.Lock()
-	if el, ok := c.items[key]; ok {
-		c.ll.MoveToFront(el)
-		c.stats.Hits++
-		v := el.Value.(*entry).val
-		c.mu.Unlock()
-		return v, true, nil
-	}
-	c.stats.Misses++
-	if fl, ok := c.inflight[key]; ok {
-		c.stats.SharedFlights++
-		c.mu.Unlock()
-		select {
-		case <-fl.done:
-			return fl.val, false, fl.err
-		case <-ctx.Done():
-			return nil, false, ctx.Err()
+	// Each Do call counts exactly one of Hits/Misses, decided on the
+	// first pass; re-dispatch iterations neither recount nor report a
+	// hit (the caller did wait on a computation).
+	for attempt := 0; ; attempt++ {
+		c.mu.Lock()
+		if el, ok := c.items[key]; ok {
+			c.ll.MoveToFront(el)
+			v := el.Value.(*entry).val
+			if attempt == 0 {
+				c.stats.Hits++
+			}
+			c.mu.Unlock()
+			return v, attempt == 0, nil
 		}
-	}
-	fl := &call{done: make(chan struct{})}
-	c.inflight[key] = fl
-	c.mu.Unlock()
+		if attempt == 0 {
+			c.stats.Misses++
+		}
+		if fl, ok := c.inflight[key]; ok {
+			if attempt == 0 {
+				c.stats.SharedFlights++
+			}
+			c.mu.Unlock()
+			select {
+			case <-fl.done:
+				if fl.retry {
+					continue // leader-context failure; re-dispatch
+				}
+				return fl.val, false, fl.err
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+		}
+		fl := &call{done: make(chan struct{})}
+		c.inflight[key] = fl
+		c.mu.Unlock()
 
-	fl.val, fl.err = compute()
+		fl.val, fl.err = compute()
 
-	c.mu.Lock()
-	delete(c.inflight, key)
-	if fl.err != nil {
-		c.stats.Errors++
-	} else {
-		c.add(key, fl.val)
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if fl.err != nil {
+			c.stats.Errors++
+			// A failure caused by this leader's own context is private to
+			// the leader; mark the flight so waiters re-dispatch.
+			if ctxErr := ctx.Err(); ctxErr != nil && errors.Is(fl.err, ctxErr) {
+				fl.retry = true
+			}
+		} else {
+			c.add(key, fl.val)
+		}
+		c.mu.Unlock()
+		close(fl.done)
+		return fl.val, false, fl.err
 	}
-	c.mu.Unlock()
-	close(fl.done)
-	return fl.val, false, fl.err
 }
 
 // Get returns the cached value for key without computing anything.
+// Both outcomes count: a hit increments Stats.Hits, a lookup miss
+// increments Stats.Misses, so the hit rate dashboards derive from the
+// two counters reflects every probe, not just the successful ones.
 func (c *Cache) Get(key string) (any, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
+		c.stats.Misses++
 		return nil, false
 	}
 	c.ll.MoveToFront(el)

@@ -181,6 +181,156 @@ func TestDoContextCancelsWaitNotComputation(t *testing.T) {
 	}
 }
 
+// TestWaiterSurvivesLeaderCancellation is the regression test for the
+// singleflight context bug: a leader whose own request context is
+// canceled used to hand context.Canceled to every healthy waiter of
+// that flight. Waiters must instead re-dispatch and receive a computed
+// value.
+func TestWaiterSurvivesLeaderCancellation(t *testing.T) {
+	c := mustNew(t, 4)
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	entered := make(chan struct{})
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(leaderCtx, "k", func() (any, error) {
+			close(entered)
+			<-leaderCtx.Done() // the computation itself dies with the leader
+			return nil, leaderCtx.Err()
+		})
+		leaderErr <- err
+	}()
+	<-entered
+
+	// A healthy waiter joins the leader's flight before the cancel.
+	type result struct {
+		val any
+		err error
+	}
+	waiter := make(chan result, 1)
+	go func() {
+		v, _, err := c.Do(context.Background(), "k", func() (any, error) {
+			return "recomputed", nil
+		})
+		waiter <- result{v, err}
+	}()
+	deadline := time.After(5 * time.Second)
+	for c.Stats().SharedFlights == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("waiter never joined the flight")
+		case <-time.After(time.Millisecond):
+		}
+	}
+
+	cancelLeader()
+	if err := <-leaderErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader got %v, want context.Canceled", err)
+	}
+	res := <-waiter
+	if res.err != nil {
+		t.Fatalf("healthy waiter inherited the leader's failure: %v", res.err)
+	}
+	if res.val.(string) != "recomputed" {
+		t.Fatalf("waiter value = %v, want recomputed", res.val)
+	}
+	// The re-dispatched result is cached for the next request.
+	if v, ok := c.Get("k"); !ok || v.(string) != "recomputed" {
+		t.Errorf("re-dispatched value not cached: (%v, %v)", v, ok)
+	}
+}
+
+// TestLeaderDeadlineDoesNotPoisonWaiters: same detachment semantics for
+// a leader that timed out rather than being canceled.
+func TestLeaderDeadlineDoesNotPoisonWaiters(t *testing.T) {
+	c := mustNew(t, 4)
+	leaderCtx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	entered := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _, _ = c.Do(leaderCtx, "k", func() (any, error) {
+			close(entered)
+			<-leaderCtx.Done()
+			return nil, leaderCtx.Err()
+		})
+	}()
+	<-entered
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(context.Background(), "k", func() (any, error) { return 1, nil })
+		waiterDone <- err
+	}()
+	if err := <-waiterDone; err != nil {
+		t.Fatalf("waiter after leader deadline got %v, want nil", err)
+	}
+	<-done
+}
+
+// TestComputeOwnErrorStillSharedWithWaiters: a genuine compute failure
+// (not attributable to the leader's context) is still handed to every
+// waiter and never retried — the pre-existing semantics.
+func TestComputeOwnErrorStillSharedWithWaiters(t *testing.T) {
+	c := mustNew(t, 4)
+	boom := errors.New("boom")
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(context.Background(), "k", func() (any, error) {
+			close(entered)
+			<-release
+			return nil, boom
+		})
+		leaderDone <- err
+	}()
+	<-entered
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(context.Background(), "k", func() (any, error) {
+			t.Error("waiter recomputed a non-context failure")
+			return nil, nil
+		})
+		waiterDone <- err
+	}()
+	deadline := time.After(5 * time.Second)
+	for c.Stats().SharedFlights == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("waiter never joined the flight")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(release)
+	if err := <-leaderDone; !errors.Is(err, boom) {
+		t.Fatalf("leader err = %v, want boom", err)
+	}
+	if err := <-waiterDone; !errors.Is(err, boom) {
+		t.Fatalf("waiter err = %v, want boom", err)
+	}
+}
+
+// TestGetCountsMisses pins the Stats semantics every dashboard now
+// displays: lookup misses count, so Hits/(Hits+Misses) is a real hit
+// rate.
+func TestGetCountsMisses(t *testing.T) {
+	c := mustNew(t, 4)
+	if _, ok := c.Get("absent"); ok {
+		t.Fatal("empty cache returned a value")
+	}
+	if _, _, err := c.Do(context.Background(), "k", func() (any, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("resident key missing")
+	}
+	s := c.Stats()
+	// Get(absent)=miss, Do(k)=miss, Get(k)=hit.
+	if s.Misses != 2 || s.Hits != 1 {
+		t.Errorf("stats = %d hits / %d misses, want 1 / 2", s.Hits, s.Misses)
+	}
+}
+
 func TestConcurrentMixedKeys(t *testing.T) {
 	// Hammer a small cache from many goroutines across a keyspace larger
 	// than the capacity; run under -race this checks the locking.

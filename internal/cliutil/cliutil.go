@@ -11,6 +11,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"strconv"
 	"strings"
 
@@ -109,6 +111,49 @@ func (f *ScenarioFlags) Scenario() (s scenario.Scenario, fromFile bool, err erro
 		Model: scenario.Model{Kind: f.Workload, Clusters: f.Clusters, Q: f.Q},
 		R:     f.R,
 	}, false, nil
+}
+
+// LogFlags holds the shared logging flags after parsing. Build it with
+// RegisterLogFlags and convert with Logger.
+type LogFlags struct {
+	Level  string // -log-level: debug, info, warn, error
+	Format string // -log-format: text, json
+}
+
+// RegisterLogFlags registers the shared -log-level/-log-format flags on
+// fs and returns the struct they parse into.
+func RegisterLogFlags(fs *flag.FlagSet) *LogFlags {
+	f := &LogFlags{}
+	fs.StringVar(&f.Level, "log-level", "info", "log level: debug, info, warn, error")
+	fs.StringVar(&f.Format, "log-format", "text", "log format: text, json")
+	return f
+}
+
+// Logger builds the slog.Logger the flags describe, writing to w.
+// Unknown level or format names are flag errors, not silent defaults.
+func (f *LogFlags) Logger(w io.Writer) (*slog.Logger, error) {
+	var level slog.Level
+	switch strings.ToLower(f.Level) {
+	case "debug":
+		level = slog.LevelDebug
+	case "info", "":
+		level = slog.LevelInfo
+	case "warn", "warning":
+		level = slog.LevelWarn
+	case "error":
+		level = slog.LevelError
+	default:
+		return nil, fmt.Errorf("%w: -log-level %q (want debug, info, warn, or error)", ErrBadFlag, f.Level)
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	switch strings.ToLower(f.Format) {
+	case "text", "":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("%w: -log-format %q (want text or json)", ErrBadFlag, f.Format)
+	}
 }
 
 // ParseInts parses a comma-separated integer list ("" means nil).

@@ -6,6 +6,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"multibus/internal/scenario"
@@ -223,5 +224,58 @@ func TestParseInts(t *testing.T) {
 	}
 	if _, err := ParseInts("a,b"); !errors.Is(err, ErrBadFlag) {
 		t.Errorf("ParseInts(a,b) = %v, want ErrBadFlag", err)
+	}
+}
+
+func TestRegisterLogFlags(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	f := RegisterLogFlags(fs)
+	if err := fs.Parse([]string{"-log-level", "debug", "-log-format", "json"}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Level != "debug" || f.Format != "json" {
+		t.Fatalf("parsed flags = %+v", f)
+	}
+}
+
+func TestLogFlagsLogger(t *testing.T) {
+	cases := []struct {
+		name    string
+		flags   LogFlags
+		wantErr bool
+		logged  string // substring a Warn record must contain; "" if the record is filtered
+	}{
+		{"text info", LogFlags{Level: "info", Format: "text"}, false, "level=WARN"},
+		{"json warn", LogFlags{Level: "warn", Format: "json"}, false, `"level":"WARN"`},
+		{"error filters warn", LogFlags{Level: "error", Format: "text"}, false, ""},
+		{"defaults on empty", LogFlags{}, false, "level=WARN"},
+		{"bad level", LogFlags{Level: "loud"}, true, ""},
+		{"bad format", LogFlags{Format: "xml"}, true, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf strings.Builder
+			logger, err := tc.flags.Logger(&buf)
+			if tc.wantErr {
+				if !errors.Is(err, ErrBadFlag) {
+					t.Fatalf("err = %v, want ErrBadFlag", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			logger.Warn("probe")
+			out := buf.String()
+			if tc.logged == "" {
+				if out != "" {
+					t.Errorf("record not filtered: %q", out)
+				}
+				return
+			}
+			if !strings.Contains(out, tc.logged) || !strings.Contains(out, "probe") {
+				t.Errorf("record %q missing %q", out, tc.logged)
+			}
+		})
 	}
 }

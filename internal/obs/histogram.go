@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// DefLatencyBuckets are the default histogram bucket upper bounds in
+// seconds (the Prometheus client defaults): 5ms up to 10s, plus the
+// implicit +Inf overflow bucket. They span HTTP request latencies from
+// a cache hit (~10µs, first bucket) to a request-deadline timeout.
+var DefLatencyBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// Histogram is a fixed-bucket distribution metric. Observations are
+// non-negative (latencies, sizes); each lands in the first bucket whose
+// upper bound is ≥ the value, Prometheus `le` semantics. The memory
+// footprint is bounded by the bucket count at construction — no
+// per-observation allocation, safe for concurrent use.
+type Histogram struct {
+	bounds  []float64 // finite upper bounds, strictly increasing
+	counts  []atomic.Uint64
+	inf     atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)),
+	}
+}
+
+// validateBounds panics on a non-increasing bucket layout — a
+// construction-time programming error, like a malformed metric name.
+func validateBounds(name string, bounds []float64) {
+	if len(bounds) == 0 {
+		panic(fmt.Sprintf("obs: histogram %q needs at least one finite bucket", name))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q buckets not strictly increasing at index %d", name, i))
+		}
+	}
+	if math.IsInf(bounds[len(bounds)-1], +1) {
+		panic(fmt.Sprintf("obs: histogram %q must not include +Inf explicitly", name))
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if i := sort.SearchFloat64s(h.bounds, v); i < len(h.bounds) {
+		h.counts[i].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state.
+// Counts are per-bucket (not cumulative); Counts[len(Bounds)] is the
+// +Inf overflow bucket. The same count/sum/bucket shape appears in the
+// Prometheus exposition and can be embedded in BENCH_*.json records.
+type HistogramSnapshot struct {
+	Count  uint64
+	Sum    float64
+	Bounds []float64
+	Counts []uint64
+}
+
+// Snapshot copies the histogram's current state. Concurrent Observe
+// calls may straddle the copy; each individual bucket is read
+// atomically and Count ≥ the bucket total is not guaranteed during a
+// race, which is fine for monitoring reads.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sumBits.Load()),
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.bounds)+1),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	s.Counts[len(h.bounds)] = h.inf.Load()
+	return s
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucketed
+// distribution by linear interpolation inside the containing bucket,
+// the same estimate Prometheus's histogram_quantile computes. The
+// lower edge of the first bucket is 0; a quantile landing in the +Inf
+// bucket reports the highest finite bound. An empty snapshot returns
+// NaN.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum uint64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i == len(s.Bounds) {
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = s.Bounds[i-1]
+		}
+		t := (rank - float64(prev)) / float64(c)
+		if t < 0 {
+			t = 0
+		}
+		if t > 1 {
+			t = 1
+		}
+		return lower + (s.Bounds[i]-lower)*t
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries pins the `le` edge semantics: an
+// observation equal to a bound lands in that bound's bucket, one just
+// above lands in the next, and anything beyond the last finite bound
+// lands in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	bounds := []float64{0.01, 0.1, 1}
+	cases := []struct {
+		name       string
+		observe    []float64
+		wantCounts []uint64 // per-bucket, last is +Inf
+	}{
+		{"below first", []float64{0.001}, []uint64{1, 0, 0, 0}},
+		{"exactly first bound", []float64{0.01}, []uint64{1, 0, 0, 0}},
+		{"just above first bound", []float64{0.010001}, []uint64{0, 1, 0, 0}},
+		{"zero", []float64{0}, []uint64{1, 0, 0, 0}},
+		{"exact middle and last bounds", []float64{0.1, 1}, []uint64{0, 1, 1, 0}},
+		{"overflow", []float64{1.5, 100}, []uint64{0, 0, 0, 2}},
+		{"one per bucket", []float64{0.005, 0.05, 0.5, 5}, []uint64{1, 1, 1, 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := newHistogram(bounds)
+			var sum float64
+			for _, v := range tc.observe {
+				h.Observe(v)
+				sum += v
+			}
+			s := h.Snapshot()
+			if s.Count != uint64(len(tc.observe)) {
+				t.Errorf("Count = %d, want %d", s.Count, len(tc.observe))
+			}
+			if math.Abs(s.Sum-sum) > 1e-12 {
+				t.Errorf("Sum = %v, want %v", s.Sum, sum)
+			}
+			for i, want := range tc.wantCounts {
+				if s.Counts[i] != want {
+					t.Errorf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], want, s.Counts)
+				}
+			}
+		})
+	}
+}
+
+// TestHistogramQuantiles pins the interpolated quantile estimate
+// against hand-computed values.
+func TestHistogramQuantiles(t *testing.T) {
+	cases := []struct {
+		name    string
+		bounds  []float64
+		observe []float64
+		q       float64
+		want    float64
+	}{
+		// 10 observations uniform in the (0, 10] bucket: p50 rank 5 of 10
+		// interpolates to the bucket midpoint.
+		{"uniform one bucket p50", []float64{10}, seq(1, 10), 0.5, 5},
+		{"uniform one bucket p90", []float64{10}, seq(1, 10), 0.9, 9},
+		// Two buckets, 2 obs low + 8 obs high: p50 rank 5 → 3 of 8 into
+		// (1, 2]: 1 + 1*(3/8).
+		{"weighted two buckets", []float64{1, 2}, append(seq01(2), rep(1.5, 8)...), 0.5, 1.375},
+		// Everything in the first bucket: quantiles interpolate from the
+		// 0 lower edge.
+		{"first bucket lower edge", []float64{4, 8}, rep(3, 4), 0.5, 2},
+		// Quantile landing in +Inf reports the highest finite bound.
+		{"overflow clamps to last bound", []float64{1, 2}, rep(99, 10), 0.99, 2},
+		{"q0 is first nonempty bucket lower edge", []float64{1, 2}, rep(1.5, 5), 0, 1},
+		{"q1 is containing bucket upper edge", []float64{1, 2}, rep(1.5, 5), 1, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := newHistogram(tc.bounds)
+			for _, v := range tc.observe {
+				h.Observe(v)
+			}
+			got := h.Snapshot().Quantile(tc.q)
+			if math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestQuantileEmptyIsNaN(t *testing.T) {
+	h := newHistogram([]float64{1})
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		if got := h.Snapshot().Quantile(q); !math.IsNaN(got) {
+			t.Errorf("empty Quantile(%v) = %v, want NaN", q, got)
+		}
+	}
+}
+
+func TestDefaultBucketsCoverServiceLatencies(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "", nil)
+	h.Observe(12e-6) // a cache hit
+	h.Observe(30)    // a timed-out request
+	s := h.Snapshot()
+	if s.Counts[0] != 1 {
+		t.Errorf("microsecond hit not in first bucket: %v", s.Counts)
+	}
+	if s.Counts[len(s.Bounds)] != 1 {
+		t.Errorf("30s request not in +Inf bucket: %v", s.Counts)
+	}
+	if p99 := s.Quantile(0.99); p99 < DefLatencyBuckets[0] || p99 > DefLatencyBuckets[len(DefLatencyBuckets)-1] {
+		t.Errorf("p99 = %v outside bucket range", p99)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := newHistogram([]float64{0.5})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.25)
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != 8000 || s.Counts[0] != 8000 {
+		t.Errorf("count = %d / bucket %d, want 8000", s.Count, s.Counts[0])
+	}
+	if math.Abs(s.Sum-8000*0.25) > 1e-6 {
+		t.Errorf("sum = %v, want %v", s.Sum, 8000*0.25)
+	}
+}
+
+// seq returns [lo, lo+1, ..., hi] as float64s.
+func seq(lo, hi int) []float64 {
+	out := make([]float64, 0, hi-lo+1)
+	for v := lo; v <= hi; v++ {
+		out = append(out, float64(v))
+	}
+	return out
+}
+
+// seq01 returns n observations inside the (0, 1] bucket.
+func seq01(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 0.5
+	}
+	return out
+}
+
+// rep returns v repeated n times.
+func rep(v float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}

@@ -1,9 +1,16 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
+
+	"multibus"
 )
 
 func decodeBatch(t *testing.T, body []byte) batchBody {
@@ -141,6 +148,64 @@ func TestBatchValidation(t *testing.T) {
 	sb.WriteString(`]}`)
 	if rec := postJSON(t, h, "/v1/batch", sb.String()); rec.Code != 400 {
 		t.Errorf("oversized batch status %d: %s", rec.Code, rec.Body)
+	}
+}
+
+// TestBatchCanceledMidFlight is the regression test for the discarded
+// ForEach error: a request context canceled mid-batch used to return
+// HTTP 200 with zero-valued items (Index 0, no error field). It must be
+// classified and propagated like every other handler — 503 "canceled".
+func TestBatchCanceledMidFlight(t *testing.T) {
+	var started atomic.Int64
+	s := newTestServer(t, Options{
+		AnalyzeFunc: func(ctx context.Context, nw *multibus.Network, model multibus.RequestModel, r float64) (*multibus.Analysis, error) {
+			started.Add(1)
+			<-ctx.Done() // hold every item until the request dies
+			return nil, ctx.Err()
+		},
+	})
+	h := s.Handler()
+
+	// Four distinct scenarios so no two items share a singleflight key.
+	body := `{"scenarios":[
+		{"network":{"scheme":"full","n":8,"b":1},"model":{"kind":"unif"},"r":1.0},
+		{"network":{"scheme":"full","n":8,"b":2},"model":{"kind":"unif"},"r":1.0},
+		{"network":{"scheme":"full","n":8,"b":4},"model":{"kind":"unif"},"r":1.0},
+		{"network":{"scheme":"full","n":8,"b":8},"model":{"kind":"unif"},"r":1.0}
+	]}`
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest(http.MethodPost, "/v1/batch", strings.NewReader(body)).WithContext(ctx)
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		h.ServeHTTP(rec, req)
+	}()
+	deadline := time.After(5 * time.Second)
+	for started.Load() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("no batch item started")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	cancel()
+	<-done
+
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("canceled batch = %d, want 503; body: %s", rec.Code, rec.Body.String())
+	}
+	var er errorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil {
+		t.Fatalf("error body is not JSON: %v: %s", err, rec.Body.String())
+	}
+	if er.Error.Code != "canceled" {
+		t.Errorf("error code = %q, want canceled", er.Error.Code)
+	}
+	if strings.Contains(rec.Body.String(), `"items"`) {
+		t.Errorf("canceled batch still shipped items: %s", rec.Body.String())
 	}
 }
 

@@ -1,0 +1,116 @@
+package service
+
+import (
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+
+	"multibus/internal/cache"
+	"multibus/internal/obs"
+)
+
+// Metric families exposed at GET /metrics. The vocabulary is shared
+// with the bench pipeline: request latencies use the same
+// count/sum/bucket histogram shape BENCH_*.json records, and cache
+// gauges mirror cache.Stats field for field.
+const (
+	metricRequestsTotal   = "mbserve_requests_total"
+	metricResponsesTotal  = "mbserve_responses_total"
+	metricDurationSeconds = "mbserve_request_duration_seconds"
+	metricCacheRequests   = "mbserve_cache_requests_total"
+	metricBatchItems      = "mbserve_batch_items_total"
+	metricSweepPoints     = "mbserve_sweep_points_total"
+)
+
+// serverMetrics bundles one Server's obs registry and the instruments
+// its handlers touch on the hot path. Everything here is per-instance:
+// two Servers in one process (a daemon plus a test fixture, or two test
+// servers side by side) report independent numbers — the property the
+// old process-global expvar publication violated.
+type serverMetrics struct {
+	reg         *obs.Registry
+	batchItems  *obs.Counter
+	sweepPoints *obs.Counter
+}
+
+// newServerMetrics builds the registry and binds the cache's stats to
+// instance-scoped gauges, read live at scrape time.
+func newServerMetrics(c *cache.Cache) *serverMetrics {
+	reg := obs.NewRegistry()
+	m := &serverMetrics{
+		reg: reg,
+		batchItems: reg.Counter(metricBatchItems,
+			"batch scenarios evaluated on the worker pool"),
+		sweepPoints: reg.Counter(metricSweepPoints,
+			"sweep grid points evaluated on the worker pool"),
+	}
+	stat := func(name, help string, read func(cache.Stats) int64) {
+		reg.GaugeFunc(name, help, func() float64 { return float64(read(c.Stats())) })
+	}
+	stat("mbserve_cache_hits", "cumulative cache lookups answered from the LRU",
+		func(s cache.Stats) int64 { return s.Hits })
+	stat("mbserve_cache_misses", "cumulative cache lookups that missed (computed, joined a flight, or found nothing)",
+		func(s cache.Stats) int64 { return s.Misses })
+	stat("mbserve_cache_shared_flights", "cumulative lookups that joined another caller's in-flight computation",
+		func(s cache.Stats) int64 { return s.SharedFlights })
+	stat("mbserve_cache_evictions", "cumulative entries evicted to respect the capacity bound",
+		func(s cache.Stats) int64 { return s.Evictions })
+	stat("mbserve_cache_errors", "cumulative computations that failed (never cached)",
+		func(s cache.Stats) int64 { return s.Errors })
+	stat("mbserve_cache_entries", "resident cache entries",
+		func(s cache.Stats) int64 { return int64(s.Size) })
+	stat("mbserve_cache_capacity", "configured cache capacity",
+		func(s cache.Stats) int64 { return int64(s.Capacity) })
+	return m
+}
+
+// statusRecorder captures the status code and body size a handler
+// writes, for the response counter and the access log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status      int
+	bytes       int64
+	wroteHeader bool
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if !r.wroteHeader {
+		r.status = code
+		r.wroteHeader = true
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	r.wroteHeader = true
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// observe records one completed request in the registry and emits the
+// access log record. It runs after the handler, outside the request's
+// critical path only in the sense that the response bytes are already
+// flushed.
+func (s *Server) observe(route string, r *http.Request, rec *statusRecorder, elapsed time.Duration, latency *obs.Histogram, cacheHit, cacheMiss *obs.Counter) {
+	latency.Observe(elapsed.Seconds())
+	s.metrics.reg.Counter(metricResponsesTotal, "HTTP responses by route and status",
+		obs.L("route", route), obs.L("status", strconv.Itoa(rec.status))).Inc()
+	xc := rec.Header().Get("X-Cache")
+	switch xc {
+	case "hit":
+		cacheHit.Inc()
+	case "miss":
+		cacheMiss.Inc()
+	}
+	s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+		slog.String("method", r.Method),
+		slog.String("route", route),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", rec.status),
+		slog.Int64("bytes", rec.bytes),
+		slog.Duration("duration", elapsed),
+		slog.String("cache", xc),
+	)
+}

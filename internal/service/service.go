@@ -8,8 +8,16 @@
 //	POST /v1/sweep     — design-space sweep (per-point cached)
 //	POST /v1/batch     — list of scenarios on the sweep worker pool (cached)
 //	GET  /healthz      — liveness probe
-//	GET  /metrics      — expvar counters (requests, cache hits/misses)
+//	GET  /metrics      — Prometheus text exposition (per-route request
+//	                     counters, latency histograms, cache gauges)
+//	GET  /debug/vars   — expvar JSON (process-wide request counters)
 //	     /debug/pprof/ — runtime profiling
+//
+// Observability is per-instance: every Server owns an obs.Registry
+// (internal/obs) recording per-route request counts, response statuses,
+// latency histograms, and X-Cache outcomes, plus live gauges over its
+// own cache's stats. Structured access logs go to Options.Logger (one
+// log/slog record per request). See DESIGN.md §10.
 //
 // Request bodies are canonical scenarios (internal/scenario): the same
 // JSON a -scenario file holds and the same canonicalization the CLI and
@@ -35,13 +43,15 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
-	"sync"
 	"time"
 
 	"multibus"
 	"multibus/internal/cache"
+	"multibus/internal/obs"
 	"multibus/internal/scenario"
 	"multibus/internal/sweep"
 )
@@ -67,23 +77,37 @@ type Options struct {
 	// SimulateFunc overrides the simulation computation. Nil means
 	// multibus.SimulateContext.
 	SimulateFunc func(ctx context.Context, nw *multibus.Network, w multibus.Workload, opts ...multibus.SimOption) (*multibus.SimResult, error)
+	// Logger receives one structured access-log record per instrumented
+	// request (method, route, status, bytes, duration, cache outcome).
+	// Nil disables access logging.
+	Logger *slog.Logger
 }
 
 // Server is the mbserve request handler. Build one with New; it is
 // safe for concurrent use.
 type Server struct {
-	opts  Options
-	cache *cache.Cache
+	opts    Options
+	cache   *cache.Cache
+	logger  *slog.Logger
+	metrics *serverMetrics
 }
 
-// metrics are process-global expvar counters. The request map is
-// shared by every Server in the process (counters only ever add);
-// cache gauges are published for the first Server, the daemon case.
+// metrics are process-global expvar counters kept for /debug/vars
+// compatibility: the maps are shared by every Server in the process and
+// only ever add, so they stay correct with multiple instances. Every
+// per-instance number — cache stats included — lives in the Server's
+// obs registry instead (see metrics.go); publishing one Server's cache
+// process-wide under a sync.Once was the bug this layer replaced.
 var (
 	metricRequests  = expvar.NewMap("mbserve_requests")
 	metricResponses = expvar.NewMap("mbserve_responses")
-	cacheVarOnce    sync.Once
 )
+
+// nopLogger drops everything cheaply: the Error+1 level gate rejects
+// records before they are formatted.
+var nopLogger = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{
+	Level: slog.LevelError + 1,
+}))
 
 // New builds a Server.
 func New(opts Options) (*Server, error) {
@@ -102,20 +126,24 @@ func New(opts Options) (*Server, error) {
 	if opts.SimulateFunc == nil {
 		opts.SimulateFunc = multibus.SimulateContext
 	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = nopLogger
+	}
 	c, err := cache.New(opts.CacheSize)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{opts: opts, cache: c}
-	cacheVarOnce.Do(func() {
-		expvar.Publish("mbserve_cache", expvar.Func(func() any { return s.cache.Stats() }))
-	})
-	return s, nil
+	return &Server{opts: opts, cache: c, logger: logger, metrics: newServerMetrics(c)}, nil
 }
 
 // Cache exposes the server's memoization layer (shared with sweep
 // evaluation; tests assert on its stats).
 func (s *Server) Cache() *cache.Cache { return s.cache }
+
+// Metrics exposes the server's per-instance registry (tests and
+// embedders scrape it directly; HTTP clients use GET /metrics).
+func (s *Server) Metrics() *obs.Registry { return s.metrics.reg }
 
 // Handler returns the service's routing handler.
 func (s *Server) Handler() http.Handler {
@@ -124,10 +152,15 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
 	mux.HandleFunc("POST /v1/sweep", s.instrument("sweep", s.handleSweep))
 	mux.HandleFunc("POST /v1/batch", s.instrument("batch", s.handleBatch))
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	}))
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", obs.ContentType)
+		// A failed write means the scraper hung up; nothing to report to.
+		_ = s.metrics.reg.WritePrometheus(w)
 	})
-	mux.Handle("GET /metrics", expvar.Handler())
+	mux.Handle("GET /debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -136,16 +169,33 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// instrument wraps an evaluation handler with the request counter, the
-// per-request deadline, and the body size limit.
-func (s *Server) instrument(name string, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+// instrument wraps a handler with the per-route observability layer —
+// request counter, latency histogram, response-status counter, X-Cache
+// outcome counters, access log — plus the per-request deadline and the
+// body size limit. The per-route instruments are resolved once, at
+// route registration, not per request.
+func (s *Server) instrument(route string, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	var (
+		requests = s.metrics.reg.Counter(metricRequestsTotal,
+			"HTTP requests by route", obs.L("route", route))
+		latency = s.metrics.reg.Histogram(metricDurationSeconds,
+			"request latency by route (seconds)", nil, obs.L("route", route))
+		cacheHit = s.metrics.reg.Counter(metricCacheRequests,
+			"requests by route and X-Cache outcome", obs.L("route", route), obs.L("result", "hit"))
+		cacheMiss = s.metrics.reg.Counter(metricCacheRequests,
+			"requests by route and X-Cache outcome", obs.L("route", route), obs.L("result", "miss"))
+	)
 	return func(w http.ResponseWriter, r *http.Request) {
-		metricRequests.Add(name, 1)
+		start := time.Now()
+		requests.Inc()
+		metricRequests.Add(route, 1)
 		ctx, cancel := context.WithTimeout(r.Context(), s.opts.Timeout)
 		defer cancel()
 		r = r.WithContext(ctx)
 		r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
-		h(w, r)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		s.observe(route, r, rec, time.Since(start), latency, cacheHit, cacheMiss)
 	}
 }
 
@@ -301,6 +351,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		Seed:         req.Seed,
 		Context:      r.Context(),
 		Memo:         s.cache,
+		Progress:     s.metrics.sweepPoints,
 	})
 	if err != nil {
 		writeClassified(w, err)
@@ -354,10 +405,24 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	items := make([]batchItemBody, len(req.Scenarios))
 	// Item evaluation never returns an error to the pool: failures are
 	// recorded per item so one bad scenario cannot abort its neighbors.
-	sweep.ForEach(r.Context(), len(req.Scenarios), 0, func(ctx context.Context, i int) error {
+	err := sweep.ForEachPool(r.Context(), len(req.Scenarios), sweep.PoolOptions{
+		Label: "batch",
+		Done:  s.metrics.batchItems,
+	}, func(ctx context.Context, i int) error {
 		items[i] = s.evalBatchItem(ctx, i, req.Scenarios[i])
 		return nil
 	})
+	// Items fail independently only while the request itself is alive: a
+	// canceled or timed-out request context aborts the pool mid-batch,
+	// leaving zero-valued items that must not ship as a 200 — classify
+	// and propagate like every other handler.
+	if err == nil {
+		err = r.Context().Err()
+	}
+	if err != nil {
+		writeClassified(w, err)
+		return
+	}
 	allHit := true
 	for i := range items {
 		if !items[i].Cached {

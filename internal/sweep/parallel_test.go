@@ -1,8 +1,14 @@
 package sweep
 
 import (
+	"context"
+	"errors"
 	"reflect"
+	"runtime/pprof"
+	"sync/atomic"
 	"testing"
+
+	"multibus/internal/obs"
 )
 
 // TestParallelDeterminism checks the worker pool's core contract: the
@@ -67,6 +73,91 @@ func TestParallelDeterminismWithSim(t *testing.T) {
 	}
 	if simulated == 0 {
 		t.Fatal("no simulated points in WithSim sweep")
+	}
+}
+
+// tick is a minimal Progress implementation for tests.
+type tick struct{ n atomic.Int64 }
+
+func (t *tick) Add(delta int64) { t.n.Add(delta) }
+func (t *tick) Load() int64     { return t.n.Load() }
+
+// TestForEachPoolProgressCounters: Started/Done tick once per index on
+// success; on an aborted run Done stays below n.
+func TestForEachPoolProgressCounters(t *testing.T) {
+	var started, done tick
+	err := ForEachPool(context.Background(), 20, PoolOptions{
+		Workers: 4,
+		Started: &started,
+		Done:    &done,
+	}, func(ctx context.Context, i int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if started.Load() != 20 || done.Load() != 20 {
+		t.Errorf("started/done = %d/%d, want 20/20", started.Load(), done.Load())
+	}
+
+	boom := errors.New("boom")
+	var started2, done2 tick
+	err = ForEachPool(context.Background(), 20, PoolOptions{
+		Workers: 1,
+		Started: &started2,
+		Done:    &done2,
+	}, func(ctx context.Context, i int) error {
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if done2.Load() != 3 {
+		t.Errorf("done after abort at index 3 = %d, want 3", done2.Load())
+	}
+}
+
+// TestForEachPoolObsCounter: obs.Counter satisfies Progress — the
+// wiring the service's batch endpoint and Spec.Progress rely on.
+func TestForEachPoolObsCounter(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("sweep_points_total", "grid points evaluated")
+	spec := Spec{
+		Ns:       []int{8},
+		Bs:       []int{2, 4},
+		Rs:       []float64{1.0},
+		Schemes:  schemes(t, "full"),
+		Progress: c,
+	}
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Value(); got != int64(len(res.Points)) {
+		t.Errorf("progress counter = %d, want %d", got, len(res.Points))
+	}
+}
+
+// TestForEachPoolPprofLabel: worker goroutines carry the pool label
+// while fn runs.
+func TestForEachPoolPprofLabel(t *testing.T) {
+	seen := make([]string, 2)
+	err := ForEachPool(context.Background(), 2, PoolOptions{
+		Workers: 1,
+		Label:   "unit-test",
+	}, func(ctx context.Context, i int) error {
+		v, _ := pprof.Label(ctx, "pool")
+		seen[i] = v
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range seen {
+		if v != "unit-test" {
+			t.Errorf("index %d ran without pool label (got %q)", i, v)
+		}
 	}
 }
 

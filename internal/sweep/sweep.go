@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 
@@ -72,6 +73,17 @@ type Spec struct {
 	// byte-identical to a recompute. Concurrent identical points
 	// compute once via singleflight.
 	Memo *cache.Cache
+	// Progress, when non-nil, is incremented once per completed grid
+	// point as workers finish them — wire an obs.Counter here so a long
+	// sweep's throughput is visible while it runs.
+	Progress Progress
+}
+
+// Progress receives completion ticks from the worker pool. obs.Counter
+// satisfies it; any atomic counter will do. Implementations must be
+// safe for concurrent use.
+type Progress interface {
+	Add(delta int64)
 }
 
 // Point is one evaluated configuration. Scheme and Model are the axis
@@ -141,7 +153,11 @@ func Run(spec Spec) (*Result, error) {
 	}
 
 	points := make([]Point, len(jobs))
-	err = ForEach(ctx, len(jobs), spec.Workers, func(ctx context.Context, i int) error {
+	err = ForEachPool(ctx, len(jobs), PoolOptions{
+		Workers: spec.Workers,
+		Label:   "sweep",
+		Done:    spec.Progress,
+	}, func(ctx context.Context, i int) error {
 		pt, err := evaluatePoint(ctx, spec, jobs[i])
 		if err != nil {
 			return err
@@ -161,9 +177,34 @@ func Run(spec Spec) (*Result, error) {
 // indices start, in-flight calls finish — and is returned. It is the
 // shared evaluation pool behind Run and the service's batch endpoint.
 func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
+	return ForEachPool(ctx, n, PoolOptions{Workers: workers}, fn)
+}
+
+// PoolOptions configures ForEachPool beyond the worker count; the zero
+// value behaves exactly like plain ForEach.
+type PoolOptions struct {
+	// Workers bounds concurrency: 0 means GOMAXPROCS, 1 forces
+	// sequential evaluation.
+	Workers int
+	// Label, when non-empty, tags worker goroutines with the pprof
+	// label pool=<Label>, so CPU profiles of a busy server attribute
+	// pool time to the caller (sweep vs batch) instead of one
+	// anonymous worker-pool frame.
+	Label string
+	// Started and Done, when non-nil, are incremented as indices begin
+	// and complete — progress/throughput counters for long fan-outs.
+	Started Progress
+	Done    Progress
+}
+
+// ForEachPool is ForEach with observability options: progress counters
+// ticking as indices start and finish, and a pprof goroutine label on
+// the workers. Error and ordering semantics are identical to ForEach.
+func ForEachPool(ctx context.Context, n int, opts PoolOptions, fn func(ctx context.Context, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
+	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -179,28 +220,41 @@ func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i
 		wg       sync.WaitGroup
 	)
 	cursor.Store(-1)
+	work := func(ctx context.Context) {
+		for {
+			i := int(cursor.Add(1))
+			if i >= n || aborted.Load() {
+				return
+			}
+			if opts.Started != nil {
+				opts.Started.Add(1)
+			}
+			err := ctx.Err()
+			if err == nil {
+				err = fn(ctx, i)
+			}
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil || i < firstIdx {
+					firstErr, firstIdx = err, i
+				}
+				mu.Unlock()
+				aborted.Store(true)
+				return
+			}
+			if opts.Done != nil {
+				opts.Done.Add(1)
+			}
+		}
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
-				i := int(cursor.Add(1))
-				if i >= n || aborted.Load() {
-					return
-				}
-				err := ctx.Err()
-				if err == nil {
-					err = fn(ctx, i)
-				}
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil || i < firstIdx {
-						firstErr, firstIdx = err, i
-					}
-					mu.Unlock()
-					aborted.Store(true)
-					return
-				}
+			if opts.Label != "" {
+				pprof.Do(ctx, pprof.Labels("pool", opts.Label), work)
+			} else {
+				work(ctx)
 			}
 		}()
 	}

@@ -10,10 +10,11 @@ trap 'kill "$PID" 2>/dev/null || true; rm -f "$LOG"' EXIT INT TERM
 "$BIN" -addr 127.0.0.1:0 >"$LOG" 2>&1 &
 PID=$!
 
-# mbserve logs the resolved listen address so -addr :0 is scriptable.
+# mbserve logs the resolved listen address (slog text: `msg=listening
+# addr=host:port`) so -addr :0 is scriptable.
 ADDR=""
 for _ in $(seq 1 50); do
-    ADDR="$(sed -n 's/.*listening on \(.*\)/\1/p' "$LOG" | head -n1)"
+    ADDR="$(sed -n 's/.*msg=listening addr=\([^ ]*\).*/\1/p' "$LOG" | head -n1)"
     [ -n "$ADDR" ] && break
     kill -0 "$PID" 2>/dev/null || { echo "serve-smoke: mbserve exited early:"; cat "$LOG"; exit 1; }
     sleep 0.1
@@ -46,5 +47,20 @@ if [ "$XCACHE" != "hit" ]; then
     exit 1
 fi
 echo "serve-smoke: repeated POST /v1/batch served from cache"
+
+# /metrics serves Prometheus text exposition, and the traffic above is
+# visible in it: a nonzero per-route request counter and the histogram
+# TYPE line.
+METRICS="$(curl -s "http://$ADDR/metrics")"
+echo "$METRICS" | grep -q '^# TYPE mbserve_request_duration_seconds histogram$' || {
+    echo "serve-smoke: /metrics missing histogram TYPE line"
+    echo "$METRICS" | head -n 20
+    exit 1
+}
+REQS="$(echo "$METRICS" | sed -n 's/^mbserve_requests_total{route="analyze"} //p')"
+case "$REQS" in
+    ''|0) echo "serve-smoke: /metrics analyze request counter = '$REQS' (want nonzero)"; exit 1 ;;
+esac
+echo "serve-smoke: GET /metrics reports $REQS analyze request(s)"
 
 echo "serve-smoke: PASS"
