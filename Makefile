@@ -2,14 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build test race bench repro examples fmt vet cover clean check lint serve-smoke scenarios-check
+.PHONY: all build test race bench repro examples fmt vet cover clean check lint serve-smoke chaos-smoke scenarios-check
 
 all: build vet test
 
 # Full gate: compile, lint, unit tests, the race detector over the
-# concurrent packages, scenario-file validation, and an end-to-end boot
-# of the HTTP service.
-check: build lint test race scenarios-check serve-smoke
+# concurrent packages, scenario-file validation, and end-to-end boots
+# of the HTTP service (healthy and under chaos injection).
+check: build lint test race scenarios-check serve-smoke chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/scenario/... ./internal/sim/... ./internal/sweep/... ./internal/cache/... ./internal/service/... ./internal/obs/...
+	$(GO) test -race ./internal/scenario/... ./internal/sim/... ./internal/sweep/... ./internal/cache/... ./internal/chaos/... ./internal/service/... ./internal/obs/...
 
 # Validate every committed example scenario against the canonical
 # scenario layer (strict parse + build + key derivation).
@@ -40,6 +40,13 @@ lint: vet
 serve-smoke:
 	$(GO) build -o /tmp/mbserve-smoke ./cmd/mbserve
 	./scripts/serve-smoke.sh /tmp/mbserve-smoke
+
+# Chaos smoke test: boots mbserve with -admit 1 and injected 2s compute
+# latency, then asserts the saturated server sheds the overflow request
+# with 429 + Retry-After and recovers to 200 once the slot frees.
+chaos-smoke:
+	$(GO) build -o /tmp/mbserve-smoke ./cmd/mbserve
+	./scripts/serve-smoke.sh /tmp/mbserve-smoke chaos
 
 # Benchmark-regression harness: runs the full Benchmark* suite and
 # records (name, ns/op, allocs/op, custom metrics) in BENCH_sim.json so

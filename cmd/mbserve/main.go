@@ -17,7 +17,17 @@
 // /healthz, /metrics (Prometheus text), /debug/vars (expvar JSON),
 // /debug/pprof/. Structured access logs go to stderr; tune them with
 // -log-level and -log-format. The server drains in-flight requests on
-// SIGINT/SIGTERM before exiting.
+// SIGINT/SIGTERM before exiting; /healthz answers 503 draining during
+// the drain window so load balancers stop routing here.
+//
+// The robustness layer is tunable: -admit bounds concurrent compute (in
+// admission units — see the README's Robustness section), -queue bounds
+// the wait queue behind it (full queue sheds 429 + Retry-After),
+// -fresh-ttl and -stale-ttl control stale-while-revalidate degradation.
+// The hidden -chaos flag injects seeded faults (latency, errors,
+// panics) into every computation for resilience testing — e.g.
+// -chaos "latency=2s,latencyRate=1,seed=7" — and must never be set in
+// production.
 package main
 
 import (
@@ -33,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"multibus/internal/chaos"
 	"multibus/internal/cliutil"
 	"multibus/internal/service"
 )
@@ -44,12 +55,36 @@ func main() {
 		timeout   = flag.Duration("timeout", service.DefaultTimeout, "per-request computation deadline")
 		maxBody   = flag.Int64("max-body", service.DefaultMaxBodyBytes, "request body size limit (bytes)")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
+		admit     = flag.Int("admit", 0, "admission limit in compute units (0 = 2×GOMAXPROCS, min 4)")
+		queue     = flag.Int("queue", 0, "admission wait-queue depth (0 = default, negative = shed immediately)")
+		freshTTL  = flag.Duration("fresh-ttl", 0, "cache freshness horizon before revalidation (0 = default, negative = never)")
+		staleTTL  = flag.Duration("stale-ttl", 0, "max age of stale answers served on compute failure (0 = default, negative = disabled)")
+		chaosSpec = flag.String("chaos", "", "fault injection spec, e.g. \"latency=2s,latencyRate=1,seed=7\" (testing only)")
 		logFlags  = cliutil.RegisterLogFlags(flag.CommandLine)
 	)
 	flag.Parse()
 	logger, err := logFlags.Logger(os.Stderr)
 	if err == nil {
-		err = run(logger, *addr, *cacheSize, *timeout, *maxBody, *drain)
+		var injector *chaos.Injector
+		injector, err = buildInjector(logger, *chaosSpec)
+		if err == nil {
+			err = run(logger, *addr, *drain, service.Options{
+				CacheSize:    *cacheSize,
+				Timeout:      *timeout,
+				MaxBodyBytes: *maxBody,
+				Logger:       logger,
+				AdmissionLimit: func() int {
+					if *admit < 0 {
+						return 0
+					}
+					return *admit
+				}(),
+				QueueDepth: *queue,
+				FreshTTL:   *freshTTL,
+				StaleTTL:   *staleTTL,
+				Chaos:      injector,
+			})
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mbserve:", err)
@@ -57,15 +92,29 @@ func main() {
 	}
 }
 
+// buildInjector parses the -chaos spec into an injector (nil for an
+// empty spec), logging loudly when fault injection is live: a chaos
+// profile left on in production should be impossible to miss.
+func buildInjector(logger *slog.Logger, spec string) (*chaos.Injector, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	cfg, err := chaos.Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	in, err := chaos.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	logger.Warn("chaos injection enabled", "spec", spec)
+	return in, nil
+}
+
 // run starts the server and blocks until a termination signal has been
 // handled. It is separated from main for testability.
-func run(logger *slog.Logger, addr string, cacheSize int, timeout time.Duration, maxBody int64, drain time.Duration) error {
-	srv, err := service.New(service.Options{
-		CacheSize:    cacheSize,
-		Timeout:      timeout,
-		MaxBodyBytes: maxBody,
-		Logger:       logger,
-	})
+func run(logger *slog.Logger, addr string, drain time.Duration, opts service.Options) error {
+	srv, err := service.New(opts)
 	if err != nil {
 		return err
 	}
@@ -97,7 +146,19 @@ func run(logger *slog.Logger, addr string, cacheSize int, timeout time.Duration,
 		return err
 	case <-ctx.Done():
 	}
+	// Flip /healthz to 503 draining before Shutdown so load balancers
+	// stop sending new work while in-flight requests finish. The
+	// lame-duck pause keeps the listener accepting while health checks
+	// fail — Shutdown closes the listener immediately, and a balancer
+	// that never observes the 503 would keep routing here until its
+	// connections start being refused.
+	srv.BeginDrain()
 	logger.Info("shutting down", "drain", drain)
+	lameDuck := 500 * time.Millisecond
+	if drain < 2*lameDuck {
+		lameDuck = drain / 4
+	}
+	time.Sleep(lameDuck)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {

@@ -1,0 +1,337 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives entry aging deterministically; install it with
+// c.now = clock.Now immediately after New, before any concurrent use.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 8, 6, 0, 0, 0, 0, time.UTC)}
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+func TestDoFreshRevalidatesAgedEntries(t *testing.T) {
+	c := mustNew(t, 4)
+	clock := newFakeClock()
+	c.now = clock.Now
+	ctx := context.Background()
+	calls := 0
+	compute := func() (any, error) { calls++; return calls, nil }
+
+	if _, hit, err := c.DoFresh(ctx, "k", time.Minute, compute); err != nil || hit {
+		t.Fatalf("cold DoFresh hit=%v err=%v", hit, err)
+	}
+	// Within the horizon: a plain hit, no recompute.
+	clock.Advance(30 * time.Second)
+	v, hit, err := c.DoFresh(ctx, "k", time.Minute, compute)
+	if err != nil || !hit || v.(int) != 1 {
+		t.Fatalf("fresh DoFresh = (%v, %v, %v), want (1, true, nil)", v, hit, err)
+	}
+	// Past the horizon: revalidate — compute reruns, generation bumps.
+	clock.Advance(2 * time.Minute)
+	v, hit, err = c.DoFresh(ctx, "k", time.Minute, compute)
+	if err != nil || hit || v.(int) != 2 {
+		t.Fatalf("aged DoFresh = (%v, %v, %v), want (2, false, nil)", v, hit, err)
+	}
+	if calls != 2 {
+		t.Errorf("compute ran %d times, want 2", calls)
+	}
+	sv, ok := c.Stale("k", 0)
+	if !ok || sv.Gen != 2 {
+		t.Errorf("after revalidation Stale = (%+v, %v), want gen 2", sv, ok)
+	}
+	s := c.Stats()
+	if s.Revalidations != 1 {
+		t.Errorf("Revalidations = %d, want 1", s.Revalidations)
+	}
+	if s.Hits != 1 || s.Misses != 2 {
+		t.Errorf("hits/misses = %d/%d, want 1/2 (revalidation counts as a miss)", s.Hits, s.Misses)
+	}
+}
+
+func TestFailedRevalidationLeavesStaleValueServable(t *testing.T) {
+	c := mustNew(t, 4)
+	clock := newFakeClock()
+	c.now = clock.Now
+	ctx := context.Background()
+
+	original := &struct{ V int }{V: 7}
+	if _, _, err := c.Do(ctx, "k", func() (any, error) { return original, nil }); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(time.Hour)
+
+	boom := errors.New("backend down")
+	if _, _, err := c.DoFresh(ctx, "k", time.Minute, func() (any, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("failed revalidation returned %v, want boom", err)
+	}
+	// The aged entry survived the failure and is servable as stale —
+	// and it is the *same object*, so a re-marshaled response is
+	// byte-identical to the fresh original.
+	sv, ok := c.Stale("k", 2*time.Hour)
+	if !ok {
+		t.Fatal("Stale found nothing after failed revalidation")
+	}
+	if sv.Value != any(original) {
+		t.Errorf("stale value is not the original object: %v", sv.Value)
+	}
+	if sv.Age != time.Hour || sv.Gen != 1 {
+		t.Errorf("stale age/gen = %v/%d, want 1h/1", sv.Age, sv.Gen)
+	}
+	// Outside the stale bound nothing is served.
+	if _, ok := c.Stale("k", 30*time.Minute); ok {
+		t.Error("Stale served a value older than staleFor")
+	}
+	if got := c.Stats().StaleHits; got != 1 {
+		t.Errorf("StaleHits = %d, want 1", got)
+	}
+}
+
+func TestRefreshRecomputesInBackground(t *testing.T) {
+	c := mustNew(t, 4)
+	ctx := context.Background()
+	if _, _, err := c.Do(ctx, "k", func() (any, error) { return "old", nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Refresh("k", func() (any, error) { return "new", nil }) {
+		t.Fatal("Refresh did not dispatch")
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		if v, ok := c.Get("k"); ok && v.(string) == "new" {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("refreshed value never landed")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	sv, ok := c.Stale("k", 0)
+	if !ok || sv.Gen != 2 {
+		t.Errorf("after refresh Stale = (%+v, %v), want gen 2", sv, ok)
+	}
+	if got := c.Stats().Refreshes; got != 1 {
+		t.Errorf("Refreshes = %d, want 1", got)
+	}
+}
+
+// TestDoJoinsRefreshFlight: a Do call arriving while a background
+// refresh runs joins it like any other flight and receives its result —
+// value on success, error on failure, never a silent (nil, nil).
+func TestDoJoinsRefreshFlight(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		val  any
+		err  error
+	}{
+		{"success", "refreshed", nil},
+		{"failure", nil, errors.New("backend down")},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c := mustNew(t, 4)
+			entered := make(chan struct{})
+			release := make(chan struct{})
+			if !c.Refresh("k", func() (any, error) {
+				close(entered)
+				<-release
+				return tc.val, tc.err
+			}) {
+				t.Fatal("Refresh did not dispatch")
+			}
+			<-entered
+			got := make(chan error, 1)
+			var v any
+			go func() {
+				var err error
+				v, _, err = c.Do(context.Background(), "k", func() (any, error) {
+					t.Error("waiter recomputed instead of joining the refresh flight")
+					return nil, nil
+				})
+				got <- err
+			}()
+			deadline := time.After(5 * time.Second)
+			for c.Stats().SharedFlights == 0 {
+				select {
+				case <-deadline:
+					t.Fatal("Do never joined the refresh flight")
+				case <-time.After(time.Millisecond):
+				}
+			}
+			close(release)
+			err := <-got
+			if tc.err == nil {
+				if err != nil || v != tc.val {
+					t.Fatalf("joined refresh returned (%v, %v), want (%v, nil)", v, err, tc.val)
+				}
+			} else if !errors.Is(err, tc.err) {
+				t.Fatalf("joined failing refresh returned (%v, %v), want the refresh error", v, err)
+			}
+		})
+	}
+}
+
+func TestRefreshDeclinesWhileFlightActive(t *testing.T) {
+	c := mustNew(t, 4)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _, _ = c.Do(context.Background(), "k", func() (any, error) {
+			close(entered)
+			<-release
+			return 1, nil
+		})
+	}()
+	<-entered
+	if c.Refresh("k", func() (any, error) { return 2, nil }) {
+		t.Error("Refresh dispatched on top of an active flight")
+	}
+	close(release)
+	<-done
+	if got := c.Stats().Refreshes; got != 0 {
+		t.Errorf("Refreshes = %d, want 0", got)
+	}
+}
+
+// TestPanickingComputeReleasesWaiters: a panic inside compute must not
+// strand the flight's waiters — they get ErrComputePanicked, the leader
+// re-panics up its own stack, and the key stays usable.
+func TestPanickingComputeReleasesWaiters(t *testing.T) {
+	c := mustNew(t, 4)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	leaderPanic := make(chan any, 1)
+	go func() {
+		defer func() { leaderPanic <- recover() }()
+		_, _, _ = c.Do(context.Background(), "k", func() (any, error) {
+			close(entered)
+			<-release
+			panic("kaboom")
+		})
+	}()
+	<-entered
+
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(context.Background(), "k", func() (any, error) {
+			t.Error("waiter recomputed while the panicking flight was active")
+			return nil, nil
+		})
+		waiterErr <- err
+	}()
+	deadline := time.After(5 * time.Second)
+	for c.Stats().SharedFlights == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("waiter never joined the flight")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(release)
+
+	if err := <-waiterErr; !errors.Is(err, ErrComputePanicked) {
+		t.Fatalf("waiter got %v, want ErrComputePanicked", err)
+	}
+	if r := <-leaderPanic; r != "kaboom" {
+		t.Fatalf("leader recovered %v, want the original panic value", r)
+	}
+	// Nothing cached, key not poisoned: the next Do computes normally.
+	v, _, err := c.Do(context.Background(), "k", func() (any, error) { return "fine", nil })
+	if err != nil || v.(string) != "fine" {
+		t.Fatalf("Do after panic = (%v, %v), want (fine, nil)", v, err)
+	}
+}
+
+func TestRefreshPanicIsContained(t *testing.T) {
+	c := mustNew(t, 4)
+	if !c.Refresh("k", func() (any, error) { panic("background kaboom") }) {
+		t.Fatal("Refresh did not dispatch")
+	}
+	// The flight must complete (inflight slot released) so the key is
+	// computable again.
+	deadline := time.After(5 * time.Second)
+	for {
+		v, _, err := c.Do(context.Background(), "k", func() (any, error) { return 1, nil })
+		if err == nil && v.(int) == 1 {
+			break
+		}
+		if errors.Is(err, ErrComputePanicked) {
+			continue // joined the panicking flight; retry
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("key unusable after background panic: %v", err)
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// TestEvictionNeverStarvesInflightWaiters is the LRU-vs-singleflight
+// race test: concurrent Do calls on distinct keys exceeding capacity
+// churn the LRU with evictions while waiters are joining flights.
+// Every caller must receive the value its key computes — a waiter's
+// result comes from the flight, never from an entry an eviction could
+// snatch away. Run under -race (make race covers internal/cache).
+func TestEvictionNeverStarvesInflightWaiters(t *testing.T) {
+	c := mustNew(t, 2) // far smaller than the live keyspace
+	const (
+		goroutines = 16
+		rounds     = 50
+		keyspace   = 8
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				k := fmt.Sprintf("k%d", (g*rounds+i)%keyspace)
+				v, _, err := c.Do(context.Background(), k, func() (any, error) {
+					// Hold the flight open long enough for waiters to
+					// join and for other keys to evict through the LRU.
+					time.Sleep(100 * time.Microsecond)
+					return "value-" + k, nil
+				})
+				if err != nil {
+					t.Errorf("Do(%s): %v", k, err)
+					return
+				}
+				if v.(string) != "value-"+k {
+					t.Errorf("Do(%s) returned %v — waiter received another key's value", k, v)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := c.Len(); n > 2 {
+		t.Errorf("cache grew to %d entries, capacity 2", n)
+	}
+	if s := c.Stats(); s.Evictions == 0 {
+		t.Error("test never evicted; increase churn (keyspace must exceed capacity)")
+	}
+}

@@ -1,0 +1,157 @@
+package service
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// testBreaker builds a breaker with an injectable clock and a
+// transition recorder.
+func testBreaker(threshold int, cooldown time.Duration) (*breaker, *fakeBreakerClock, *[]string) {
+	clock := &fakeBreakerClock{t: time.Date(2026, 8, 6, 0, 0, 0, 0, time.UTC)}
+	var transitions []string
+	b := newBreaker(threshold, cooldown, func(from, to breakerState) {
+		transitions = append(transitions, from.String()+"->"+to.String())
+	})
+	b.now = clock.Now
+	return b, clock, &transitions
+}
+
+type fakeBreakerClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (f *fakeBreakerClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeBreakerClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+func TestBreakerTripsAtThreshold(t *testing.T) {
+	b, _, transitions := testBreaker(3, time.Second)
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.Allow(); !ok {
+			t.Fatalf("Allow refused before threshold (failure %d)", i)
+		}
+		b.Failure()
+	}
+	if got := b.State(); got != breakerClosed {
+		t.Fatalf("state after 2/3 failures = %v, want closed", got)
+	}
+	b.Allow()
+	b.Failure() // third consecutive failure trips it
+	if got := b.State(); got != breakerOpen {
+		t.Fatalf("state after 3/3 failures = %v, want open", got)
+	}
+	ok, retry := b.Allow()
+	if ok {
+		t.Fatal("open breaker allowed a call inside the cooldown")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Fatalf("open breaker Retry-After = %v, want (0, 1s]", retry)
+	}
+	if len(*transitions) != 1 || (*transitions)[0] != "closed->open" {
+		t.Fatalf("transitions = %v, want [closed->open]", *transitions)
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b, _, _ := testBreaker(3, time.Second)
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if got := b.State(); got != breakerClosed {
+		t.Fatalf("state = %v, want closed (success reset the streak)", got)
+	}
+}
+
+func TestBreakerHalfOpenProbeCycle(t *testing.T) {
+	b, clock, transitions := testBreaker(1, time.Second)
+	b.Allow()
+	b.Failure() // trips immediately at threshold 1
+	if got := b.State(); got != breakerOpen {
+		t.Fatalf("state = %v, want open", got)
+	}
+	// Cooldown elapses: exactly one probe is admitted, concurrent calls
+	// keep fast-failing.
+	clock.Advance(time.Second + time.Millisecond)
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("post-cooldown probe refused")
+	}
+	if got := b.State(); got != breakerHalfOpen {
+		t.Fatalf("state during probe = %v, want half_open", got)
+	}
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("second concurrent probe allowed in half-open")
+	}
+	// Probe fails: straight back to open for another cooldown.
+	b.Failure()
+	if got := b.State(); got != breakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", got)
+	}
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("re-opened breaker allowed a call before the new cooldown")
+	}
+	// Second cooldown, successful probe: circuit closes.
+	clock.Advance(time.Second + time.Millisecond)
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("second probe refused")
+	}
+	b.Success()
+	if got := b.State(); got != breakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", got)
+	}
+	want := []string{"closed->open", "open->half_open", "half_open->open", "open->half_open", "half_open->closed"}
+	if len(*transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", *transitions, want)
+	}
+	for i := range want {
+		if (*transitions)[i] != want[i] {
+			t.Fatalf("transition %d = %s, want %s", i, (*transitions)[i], want[i])
+		}
+	}
+}
+
+func TestBreakerCancelProbeFreesSlot(t *testing.T) {
+	b, clock, _ := testBreaker(1, time.Second)
+	b.Allow()
+	b.Failure()
+	clock.Advance(2 * time.Second)
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("probe refused")
+	}
+	// The probe was shed by admission — its outcome says nothing about
+	// the backend; the slot must free so the next Allow can probe.
+	b.CancelProbe()
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("probe slot not freed by CancelProbe")
+	}
+	if got := b.State(); got != breakerHalfOpen {
+		t.Fatalf("state = %v, want half_open", got)
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b := newBreaker(-1, time.Second, func(from, to breakerState) {
+		t.Errorf("disabled breaker transitioned %v->%v", from, to)
+	})
+	for i := 0; i < 100; i++ {
+		b.Failure()
+	}
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("disabled breaker refused a call")
+	}
+	if got := b.State(); got != breakerClosed {
+		t.Fatalf("disabled breaker state = %v, want closed", got)
+	}
+}

@@ -3,7 +3,9 @@ package service
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net/http"
+	"time"
 
 	"multibus"
 	"multibus/internal/analytic"
@@ -13,6 +15,49 @@ import (
 	"multibus/internal/sweep"
 	"multibus/internal/topology"
 )
+
+// ErrOverloaded tags requests shed by admission control: the semaphore
+// was full and the wait queue at its bound. Clients see 429 with a
+// Retry-After hint. Match with errors.Is.
+var ErrOverloaded = errors.New("service: overloaded")
+
+// ErrCircuitOpen tags requests fast-failed by an open circuit breaker.
+// Clients see 503 circuit_open with the remaining cooldown as
+// Retry-After. Match with errors.Is.
+var ErrCircuitOpen = errors.New("service: circuit open")
+
+// retryAfterHint is implemented by errors that carry a client backoff
+// hint; writeClassified surfaces it as a Retry-After header.
+type retryAfterHint interface {
+	RetryAfter() time.Duration
+}
+
+// overloadedError is the concrete shed error: ErrOverloaded plus the
+// admission layer's backoff estimate.
+type overloadedError struct {
+	retryAfter time.Duration
+}
+
+func (e *overloadedError) Error() string {
+	return fmt.Sprintf("service: overloaded: admission queue full, retry in %s",
+		e.retryAfter.Round(time.Second))
+}
+func (e *overloadedError) Is(target error) bool      { return target == ErrOverloaded }
+func (e *overloadedError) RetryAfter() time.Duration { return e.retryAfter }
+
+// circuitOpenError is the concrete fast-fail error: ErrCircuitOpen plus
+// the route and remaining cooldown.
+type circuitOpenError struct {
+	route      string
+	retryAfter time.Duration
+}
+
+func (e *circuitOpenError) Error() string {
+	return fmt.Sprintf("service: %s circuit open, retry in %s",
+		e.route, e.retryAfter.Round(time.Second))
+}
+func (e *circuitOpenError) Is(target error) bool      { return target == ErrCircuitOpen }
+func (e *circuitOpenError) RetryAfter() time.Duration { return e.retryAfter }
 
 // apiError is the JSON error body: {"error": {"code": ..., "message": ...}}.
 type apiError struct {
@@ -53,6 +98,10 @@ var badInputSentinels = []error{
 // code.
 func classify(err error) (status int, code string) {
 	switch {
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests, "overloaded"
+	case errors.Is(err, ErrCircuitOpen):
+		return http.StatusServiceUnavailable, "circuit_open"
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout, "deadline_exceeded"
 	case errors.Is(err, context.Canceled):
@@ -70,4 +119,33 @@ func classify(err error) (status int, code string) {
 		}
 	}
 	return http.StatusInternalServerError, "internal_error"
+}
+
+// breakerFailure decides which errors count toward a breaker's
+// consecutive-failure streak: genuine compute failures (internal
+// errors, deadlines, panics) do; sheds and open-circuit short-circuits
+// (the robustness layer's own refusals), client cancellations, and
+// client-fault 4xx classifications do not — a stream of invalid
+// requests must never trip a healthy backend's breaker.
+func breakerFailure(err error) bool {
+	if err == nil ||
+		errors.Is(err, ErrOverloaded) ||
+		errors.Is(err, ErrCircuitOpen) ||
+		errors.Is(err, context.Canceled) {
+		return false
+	}
+	status, _ := classify(err)
+	return status >= http.StatusInternalServerError
+}
+
+// servableStale decides which failures the degraded path may paper over
+// with a resident stale answer: only the service's own faults — compute
+// errors, deadlines, sheds, open circuits. Client faults (4xx) surface
+// unchanged, and a client that hung up gets nothing at all.
+func servableStale(err error) bool {
+	if errors.Is(err, context.Canceled) {
+		return false
+	}
+	status, _ := classify(err)
+	return status == http.StatusTooManyRequests || status >= http.StatusInternalServerError
 }

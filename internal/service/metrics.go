@@ -21,6 +21,17 @@ const (
 	metricCacheRequests   = "mbserve_cache_requests_total"
 	metricBatchItems      = "mbserve_batch_items_total"
 	metricSweepPoints     = "mbserve_sweep_points_total"
+
+	// Robustness-layer families (DESIGN.md §11).
+	metricInflightCompute    = "mbserve_inflight_compute"
+	metricQueueDepth         = "mbserve_queue_depth"
+	metricAdmissionCapacity  = "mbserve_admission_capacity"
+	metricQueueWaitSeconds   = "mbserve_queue_wait_seconds"
+	metricShedTotal          = "mbserve_shed_total"
+	metricStaleServedTotal   = "mbserve_stale_served_total"
+	metricBreakerState       = "mbserve_breaker_state"
+	metricBreakerTransitions = "mbserve_breaker_transitions_total"
+	metricPanicsTotal        = "mbserve_panics_total"
 )
 
 // serverMetrics bundles one Server's obs registry and the instruments
@@ -32,6 +43,59 @@ type serverMetrics struct {
 	reg         *obs.Registry
 	batchItems  *obs.Counter
 	sweepPoints *obs.Counter
+	panics      *obs.Counter
+	queueWait   *obs.Histogram
+}
+
+// shed resolves the per-route shed counter (admission queue full →
+// 429). Registry lookups are a mutex and a map probe — cheap enough for
+// the shedding path, which is by definition not doing compute.
+func (m *serverMetrics) shed(route string) *obs.Counter {
+	return m.reg.Counter(metricShedTotal,
+		"requests shed by admission control (429 overloaded)", obs.L("route", route))
+}
+
+// stale resolves the per-route stale-served counter (degraded answers
+// handed out on compute failure or shed).
+func (m *serverMetrics) stale(route string) *obs.Counter {
+	return m.reg.Counter(metricStaleServedTotal,
+		"degraded responses served from stale cache entries", obs.L("route", route))
+}
+
+// bindAdmission registers the semaphore's live gauges and the queue
+// wait histogram.
+func (m *serverMetrics) bindAdmission(a *admission) {
+	m.queueWait = m.reg.Histogram(metricQueueWaitSeconds,
+		"time spent queued for admission before compute (seconds)", nil)
+	m.reg.GaugeFunc(metricInflightCompute,
+		"admission units currently held by in-flight compute",
+		func() float64 { return float64(a.Inflight()) })
+	m.reg.GaugeFunc(metricQueueDepth,
+		"acquisitions waiting in the admission queue",
+		func() float64 { return float64(a.Queued()) })
+	m.reg.GaugeFunc(metricAdmissionCapacity,
+		"configured admission capacity (units)",
+		func() float64 { return float64(a.Capacity()) })
+}
+
+// bindBreaker registers a route's breaker-state gauge
+// (0 closed, 1 half-open, 2 open).
+func (m *serverMetrics) bindBreaker(route string, b *breaker) {
+	m.reg.GaugeFunc(metricBreakerState,
+		"circuit breaker state by route (0 closed, 1 half-open, 2 open)",
+		func() float64 { return float64(b.State()) },
+		obs.L("route", route))
+}
+
+// breakerTransition returns a route's transition hook: one counter tick
+// per state change, labeled by destination, so open/half-open/closed
+// journeys are reconstructible from /metrics.
+func (m *serverMetrics) breakerTransition(route string) func(from, to breakerState) {
+	return func(from, to breakerState) {
+		m.reg.Counter(metricBreakerTransitions,
+			"circuit breaker state transitions by route and destination state",
+			obs.L("route", route), obs.L("to", to.String())).Inc()
+	}
 }
 
 // newServerMetrics builds the registry and binds the cache's stats to
@@ -44,6 +108,8 @@ func newServerMetrics(c *cache.Cache) *serverMetrics {
 			"batch scenarios evaluated on the worker pool"),
 		sweepPoints: reg.Counter(metricSweepPoints,
 			"sweep grid points evaluated on the worker pool"),
+		panics: reg.Counter(metricPanicsTotal,
+			"panics recovered by the middleware or background refresh"),
 	}
 	stat := func(name, help string, read func(cache.Stats) int64) {
 		reg.GaugeFunc(name, help, func() float64 { return float64(read(c.Stats())) })
@@ -62,6 +128,12 @@ func newServerMetrics(c *cache.Cache) *serverMetrics {
 		func(s cache.Stats) int64 { return int64(s.Size) })
 	stat("mbserve_cache_capacity", "configured cache capacity",
 		func(s cache.Stats) int64 { return int64(s.Capacity) })
+	stat("mbserve_cache_revalidations", "cumulative entries recomputed after aging past the freshness horizon",
+		func(s cache.Stats) int64 { return s.Revalidations })
+	stat("mbserve_cache_stale_hits", "cumulative stale probes served from resident entries",
+		func(s cache.Stats) int64 { return s.StaleHits })
+	stat("mbserve_cache_refreshes", "cumulative background refresh computations dispatched",
+		func(s cache.Stats) int64 { return s.Refreshes })
 	return m
 }
 
@@ -93,16 +165,18 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 // access log record. It runs after the handler, outside the request's
 // critical path only in the sense that the response bytes are already
 // flushed.
-func (s *Server) observe(route string, r *http.Request, rec *statusRecorder, elapsed time.Duration, latency *obs.Histogram, cacheHit, cacheMiss *obs.Counter) {
+func (s *Server) observe(route string, r *http.Request, rec *statusRecorder, elapsed time.Duration, latency *obs.Histogram, cacheHit, cacheMiss, cacheStale *obs.Counter) {
 	latency.Observe(elapsed.Seconds())
 	s.metrics.reg.Counter(metricResponsesTotal, "HTTP responses by route and status",
 		obs.L("route", route), obs.L("status", strconv.Itoa(rec.status))).Inc()
 	xc := rec.Header().Get("X-Cache")
 	switch xc {
-	case "hit":
+	case cacheHitState:
 		cacheHit.Inc()
-	case "miss":
+	case cacheMissState:
 		cacheMiss.Inc()
+	case cacheStaleState:
+		cacheStale.Inc()
 	}
 	s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
 		slog.String("method", r.Method),

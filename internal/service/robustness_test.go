@@ -1,0 +1,356 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"multibus"
+	"multibus/internal/chaos"
+)
+
+func mustInjector(t *testing.T, cfg chaos.Config) *chaos.Injector {
+	t.Helper()
+	in, err := chaos.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func getPath(h http.Handler, path string) *httptest.ResponseRecorder {
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	return rec
+}
+
+// TestStaleServingUnderTotalComputeFailure is the acceptance scenario:
+// warm the cache, then flip chaos to 100% compute failure. /v1/analyze
+// must keep answering — X-Cache: stale, Warning header set, body
+// byte-identical to the fresh original — while the breaker walks
+// closed→open, and must recover (half-open probe → closed, fresh
+// answers) once the faults stop.
+func TestStaleServingUnderTotalComputeFailure(t *testing.T) {
+	in := mustInjector(t, chaos.Config{Seed: 1}) // quiet: warm-up succeeds
+	s := newTestServer(t, Options{
+		Chaos: in,
+		// Nanosecond freshness: every repeat request revalidates through
+		// compute, so injected failures are actually exercised.
+		FreshTTL:         time.Nanosecond,
+		StaleTTL:         time.Hour,
+		BreakerThreshold: 2,
+		BreakerCooldown:  500 * time.Millisecond,
+	})
+	h := s.Handler()
+
+	warm := postJSON(t, h, "/v1/analyze", analyzeBody)
+	if warm.Code != http.StatusOK || warm.Header().Get("X-Cache") != "miss" {
+		t.Fatalf("warm-up = %d (X-Cache %q), want 200 miss", warm.Code, warm.Header().Get("X-Cache"))
+	}
+	freshBody := warm.Body.Bytes()
+
+	if err := in.Configure(chaos.Config{Seed: 1, ErrorRate: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		rec := postJSON(t, h, "/v1/analyze", analyzeBody)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("degraded request %d = %d: %s", i, rec.Code, rec.Body.String())
+		}
+		if got := rec.Header().Get("X-Cache"); got != "stale" {
+			t.Fatalf("degraded request %d X-Cache = %q, want stale", i, got)
+		}
+		if w := rec.Header().Get("Warning"); !strings.Contains(w, "110") || !strings.Contains(w, "stale") {
+			t.Fatalf("degraded request %d Warning = %q, want a 110 stale warning", i, w)
+		}
+		if !bytes.Equal(rec.Body.Bytes(), freshBody) {
+			t.Fatalf("stale body differs from fresh original:\nfresh: %s\nstale: %s", freshBody, rec.Body.Bytes())
+		}
+	}
+
+	// Two genuine failures tripped the breaker: open is observable in
+	// /metrics, as is the closed→open transition.
+	mBody := scrapeMetrics(t, h)
+	if got := metricValue(t, mBody, `mbserve_breaker_state{route="analyze"}`); got != 2 {
+		t.Errorf("breaker state gauge = %v, want 2 (open)", got)
+	}
+	if got := metricValue(t, mBody, `mbserve_breaker_transitions_total{route="analyze",to="open"}`); got < 1 {
+		t.Errorf("transitions to=open = %v, want ≥ 1", got)
+	}
+	if got := metricValue(t, mBody, `mbserve_stale_served_total{route="analyze"}`); got != 4 {
+		t.Errorf("stale served counter = %v, want 4", got)
+	}
+
+	// Recovery: faults stop, the cooldown elapses, and the next
+	// revalidation is the half-open probe that closes the circuit. A
+	// request may still join a failing background-refresh flight, so
+	// retry until a fresh (non-stale) 200 lands.
+	if err := in.Configure(chaos.Config{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(600 * time.Millisecond)
+	deadline := time.After(5 * time.Second)
+	for {
+		rec := postJSON(t, h, "/v1/analyze", analyzeBody)
+		if rec.Code == http.StatusOK && rec.Header().Get("X-Cache") != "stale" {
+			if !bytes.Equal(rec.Body.Bytes(), freshBody) {
+				t.Fatalf("recovered body differs from original: %s", rec.Body.Bytes())
+			}
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("service never recovered: %d %s", rec.Code, rec.Body.String())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	mBody = scrapeMetrics(t, h)
+	if got := metricValue(t, mBody, `mbserve_breaker_state{route="analyze"}`); got != 0 {
+		t.Errorf("breaker state after recovery = %v, want 0 (closed)", got)
+	}
+	for _, to := range []string{"half_open", "closed"} {
+		series := fmt.Sprintf(`mbserve_breaker_transitions_total{route="analyze",to=%q}`, to)
+		if got := metricValue(t, mBody, series); got < 1 {
+			t.Errorf("transitions %s = %v, want ≥ 1", series, got)
+		}
+	}
+}
+
+// TestStaleServingDisabledSurfacesErrors: with StaleTTL < 0 the
+// degraded path is off and compute failures reach the client.
+func TestStaleServingDisabledSurfacesErrors(t *testing.T) {
+	in := mustInjector(t, chaos.Config{})
+	s := newTestServer(t, Options{
+		Chaos:            in,
+		FreshTTL:         time.Nanosecond,
+		StaleTTL:         -1,
+		BreakerThreshold: -1,
+	})
+	h := s.Handler()
+	if rec := postJSON(t, h, "/v1/analyze", analyzeBody); rec.Code != http.StatusOK {
+		t.Fatalf("warm-up = %d", rec.Code)
+	}
+	if err := in.Configure(chaos.Config{ErrorRate: 1}); err != nil {
+		t.Fatal(err)
+	}
+	rec := postJSON(t, h, "/v1/analyze", analyzeBody)
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("with stale serving disabled, failure = %d, want 500; %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestShedUnderSaturatingBurst is the overload acceptance scenario:
+// admission limit 1, no queue, one slow compute holding the slot. Every
+// concurrent distinct request is shed with 429 + Retry-After while
+// in-flight compute stays at the limit (inflight gauge and a direct
+// concurrency counter both assert it).
+func TestShedUnderSaturatingBurst(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var enterOnce sync.Once
+	var inCompute, maxInCompute atomic.Int64
+	s := newTestServer(t, Options{
+		AdmissionLimit: 1,
+		QueueDepth:     -1, // no queue: saturated means shed
+		AnalyzeFunc: func(ctx context.Context, nw *multibus.Network, model multibus.RequestModel, r float64) (*multibus.Analysis, error) {
+			cur := inCompute.Add(1)
+			for {
+				prev := maxInCompute.Load()
+				if cur <= prev || maxInCompute.CompareAndSwap(prev, cur) {
+					break
+				}
+			}
+			defer inCompute.Add(-1)
+			enterOnce.Do(func() { close(entered) })
+			<-release
+			return &multibus.Analysis{Bandwidth: 1}, nil
+		},
+	})
+	h := s.Handler()
+
+	slowBody := `{"network":{"scheme":"full","n":16,"b":8},"model":{"kind":"unif"},"r":1.0}`
+	slowDone := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/v1/analyze", strings.NewReader(slowBody))
+		req.Header.Set("Content-Type", "application/json")
+		h.ServeHTTP(rec, req)
+		slowDone <- rec
+	}()
+	<-entered // the slot is held
+
+	const burst = 7
+	for i := 0; i < burst; i++ {
+		body := fmt.Sprintf(`{"network":{"scheme":"full","n":16,"b":8},"model":{"kind":"unif"},"r":0.%d}`, i+1)
+		rec := postJSON(t, h, "/v1/analyze", body)
+		if rec.Code != http.StatusTooManyRequests {
+			t.Fatalf("burst request %d = %d, want 429; %s", i, rec.Code, rec.Body.String())
+		}
+		ra := rec.Header().Get("Retry-After")
+		if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+			t.Fatalf("burst request %d Retry-After = %q, want integer seconds ≥ 1", i, ra)
+		}
+		if cc := rec.Header().Get("Cache-Control"); cc != "no-store" {
+			t.Fatalf("shed response Cache-Control = %q, want no-store", cc)
+		}
+		var er errorResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || er.Error.Code != "overloaded" {
+			t.Fatalf("shed error body = %s (err %v), want code overloaded", rec.Body.String(), err)
+		}
+	}
+
+	// While saturated, the inflight gauge reads exactly the limit.
+	mBody := scrapeMetrics(t, h)
+	if got := metricValue(t, mBody, "mbserve_inflight_compute"); got != 1 {
+		t.Errorf("inflight gauge under saturation = %v, want 1 (the admission limit)", got)
+	}
+	if got := metricValue(t, mBody, `mbserve_shed_total{route="analyze"}`); got != burst {
+		t.Errorf("shed counter = %v, want %d", got, burst)
+	}
+
+	close(release)
+	if rec := <-slowDone; rec.Code != http.StatusOK {
+		t.Fatalf("admitted request = %d, want 200; %s", rec.Code, rec.Body.String())
+	}
+	if got := maxInCompute.Load(); got > 1 {
+		t.Errorf("max concurrent compute = %d, want ≤ 1 (the admission limit)", got)
+	}
+	if got := s.adm.Inflight(); got != 0 {
+		t.Errorf("inflight after completion = %d, want 0", got)
+	}
+}
+
+// TestQueueDelaysInsteadOfShedding: with queue depth available, a
+// request that arrives while the semaphore is full waits its turn and
+// succeeds — and its wait shows up in the queue-wait histogram.
+func TestQueueDelaysInsteadOfShedding(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var enterOnce, releaseOnce sync.Once
+	s := newTestServer(t, Options{
+		AdmissionLimit: 1,
+		QueueDepth:     4,
+		AnalyzeFunc: func(ctx context.Context, nw *multibus.Network, model multibus.RequestModel, r float64) (*multibus.Analysis, error) {
+			enterOnce.Do(func() { close(entered) })
+			<-release
+			return &multibus.Analysis{Bandwidth: r}, nil
+		},
+	})
+	h := s.Handler()
+
+	first := make(chan int, 1)
+	go func() {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/v1/analyze",
+			strings.NewReader(`{"network":{"scheme":"full","n":16,"b":8},"model":{"kind":"unif"},"r":1.0}`))
+		h.ServeHTTP(rec, req)
+		first <- rec.Code
+	}()
+	<-entered
+
+	second := make(chan int, 1)
+	go func() {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/v1/analyze",
+			strings.NewReader(`{"network":{"scheme":"full","n":16,"b":8},"model":{"kind":"unif"},"r":0.5}`))
+		h.ServeHTTP(rec, req)
+		second <- rec.Code
+	}()
+	waitForQueued(t, s.adm, 1)
+	releaseOnce.Do(func() { close(release) })
+
+	if code := <-first; code != http.StatusOK {
+		t.Fatalf("first request = %d", code)
+	}
+	if code := <-second; code != http.StatusOK {
+		t.Fatalf("queued request = %d, want 200 (waited, not shed)", code)
+	}
+	mBody := scrapeMetrics(t, h)
+	if got := metricValue(t, mBody, "mbserve_queue_wait_seconds_count"); got < 2 {
+		t.Errorf("queue wait histogram count = %v, want ≥ 2", got)
+	}
+}
+
+// TestPanicRecoveryMiddleware (satellite): a chaos-injected panic in
+// compute unwinds through the singleflight leader into the instrument
+// middleware — the client gets a 500 internal_error, the panic counter
+// ticks, and the server keeps serving afterwards.
+func TestPanicRecoveryMiddleware(t *testing.T) {
+	in := mustInjector(t, chaos.Config{PanicRate: 1})
+	s := newTestServer(t, Options{Chaos: in, BreakerThreshold: -1})
+	h := s.Handler()
+
+	rec := postJSON(t, h, "/v1/analyze", analyzeBody)
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking request = %d, want 500; %s", rec.Code, rec.Body.String())
+	}
+	var er errorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || er.Error.Code != "internal_error" {
+		t.Fatalf("panic response body = %s, want internal_error", rec.Body.String())
+	}
+	if cc := rec.Header().Get("Cache-Control"); cc != "no-store" {
+		t.Errorf("panic response Cache-Control = %q, want no-store", cc)
+	}
+	if got := metricValue(t, scrapeMetrics(t, h), "mbserve_panics_total"); got != 1 {
+		t.Errorf("mbserve_panics_total = %v, want 1", got)
+	}
+	// The server survives: quiet chaos, same request, normal answer.
+	if err := in.Configure(chaos.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if rec := postJSON(t, h, "/v1/analyze", analyzeBody); rec.Code != http.StatusOK {
+		t.Fatalf("request after recovered panic = %d, want 200; %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestHealthzDraining (satellite): /healthz reports 200 until drain
+// begins, then 503 draining — while in-flight requests still complete.
+func TestHealthzDraining(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	s := newTestServer(t, Options{
+		AnalyzeFunc: func(ctx context.Context, nw *multibus.Network, model multibus.RequestModel, r float64) (*multibus.Analysis, error) {
+			close(entered)
+			<-release
+			return &multibus.Analysis{Bandwidth: 1}, nil
+		},
+	})
+	h := s.Handler()
+
+	if rec := getPath(h, "/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("healthz before drain = %d, want 200", rec.Code)
+	}
+
+	inflight := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/v1/analyze", strings.NewReader(analyzeBody))
+		h.ServeHTTP(rec, req)
+		inflight <- rec
+	}()
+	<-entered
+
+	s.BeginDrain()
+	rec := getPath(h, "/healthz")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz during drain = %d, want 503; %s", rec.Code, rec.Body.String())
+	}
+	var er errorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || er.Error.Code != "draining" {
+		t.Fatalf("draining body = %s, want code draining", rec.Body.String())
+	}
+
+	close(release)
+	if got := <-inflight; got.Code != http.StatusOK {
+		t.Fatalf("in-flight request during drain = %d, want 200; %s", got.Code, got.Body.String())
+	}
+}

@@ -28,13 +28,30 @@
 // points share the same key space across requests. Evaluation results
 // are deterministic functions of the request, so a cache hit is
 // byte-identical to a cold computation; the X-Cache response header
-// (hit|miss) is the only difference.
+// (hit|miss|stale) is the only difference.
 //
 // Request handling is defensive by construction: bodies are
 // size-limited, JSON is decoded with unknown fields rejected, every
 // computation runs under a per-request deadline, and validation
 // failures map to typed 4xx responses via the domain's sentinel errors
 // (see errors.go) — never by matching error strings.
+//
+// The robustness layer (DESIGN.md §11) guards the compute seam. Every
+// flight leader passes three gates before computing: a per-route
+// circuit breaker (consecutive compute failures trip it open;
+// fast-fails 503 circuit_open until a half-open probe succeeds), a
+// weighted admission semaphore with a bounded FIFO queue (full queue
+// sheds 429 overloaded + Retry-After; weights come from the canonical
+// scenario, see weights.go), and the optional chaos injector
+// (internal/chaos — the fault harness the robustness tests drive).
+// When the gated compute fails for a reason that is the service's
+// fault, a within-StaleTTL resident answer is served instead —
+// X-Cache: stale plus a Warning header, body byte-identical to the
+// fresh original — and a background refresh is dispatched on spare
+// capacity. Handler panics are recovered by the instrument middleware
+// into 500s and counted. GET /healthz flips to 503 draining once
+// shutdown begins, so load balancers stop routing into the drain
+// window.
 package service
 
 import (
@@ -47,10 +64,14 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
+	"sync/atomic"
 	"time"
 
 	"multibus"
 	"multibus/internal/cache"
+	"multibus/internal/chaos"
 	"multibus/internal/obs"
 	"multibus/internal/scenario"
 	"multibus/internal/sweep"
@@ -61,7 +82,34 @@ const (
 	DefaultCacheSize    = 4096
 	DefaultTimeout      = 30 * time.Second
 	DefaultMaxBodyBytes = 1 << 20 // 1 MiB
+	// DefaultQueueDepth bounds the admission wait queue (acquisitions,
+	// not units): deep enough to absorb a burst, shallow enough that
+	// queued requests still meet typical deadlines.
+	DefaultQueueDepth = 64
+	// DefaultFreshTTL is the age past which a resident entry is
+	// revalidated through compute instead of served as a hit.
+	DefaultFreshTTL = 10 * time.Minute
+	// DefaultStaleTTL is how old a resident answer may be and still be
+	// served as a degraded response when compute fails or is shed.
+	DefaultStaleTTL = 2 * time.Hour
+	// DefaultBreakerThreshold is the consecutive-failure streak that
+	// trips a route's circuit breaker open.
+	DefaultBreakerThreshold = 5
+	// DefaultBreakerCooldown is how long an open circuit fast-fails
+	// before admitting a half-open probe.
+	DefaultBreakerCooldown = 5 * time.Second
 )
+
+// DefaultAdmissionLimit is the default compute capacity in admission
+// units: twice the scheduler parallelism, floored at 4 so small
+// containers still overlap compute with request handling.
+func DefaultAdmissionLimit() int {
+	limit := 2 * runtime.GOMAXPROCS(0)
+	if limit < 4 {
+		limit = 4
+	}
+	return limit
+}
 
 // Options configures a Server; zero values take the defaults above.
 type Options struct {
@@ -81,6 +129,34 @@ type Options struct {
 	// request (method, route, status, bytes, duration, cache outcome).
 	// Nil disables access logging.
 	Logger *slog.Logger
+
+	// AdmissionLimit caps concurrently admitted compute units (see
+	// weights.go for the unit calibration). 0 means
+	// DefaultAdmissionLimit(); negative is rejected by New.
+	AdmissionLimit int
+	// QueueDepth bounds the admission FIFO wait queue. 0 means
+	// DefaultQueueDepth; negative means no queue (shed immediately
+	// when the semaphore is full).
+	QueueDepth int
+	// FreshTTL is the freshness horizon: resident answers older than
+	// this are revalidated through compute instead of served as hits.
+	// 0 means DefaultFreshTTL; negative means entries never go stale.
+	FreshTTL time.Duration
+	// StaleTTL bounds how old a degraded (stale-served) answer may be.
+	// 0 means DefaultStaleTTL; negative disables stale serving.
+	StaleTTL time.Duration
+	// BreakerThreshold is the consecutive compute failures that trip a
+	// route's circuit breaker. 0 means DefaultBreakerThreshold;
+	// negative disables the breakers.
+	BreakerThreshold int
+	// BreakerCooldown is the open-circuit fast-fail window before a
+	// half-open probe. 0 means DefaultBreakerCooldown.
+	BreakerCooldown time.Duration
+	// Chaos, when non-nil, injects faults (latency, errors, panics) at
+	// the top of every gated computation — the chaos harness the
+	// robustness tests and the mbserve -chaos flag wire in. Nil injects
+	// nothing.
+	Chaos *chaos.Injector
 }
 
 // Server is the mbserve request handler. Build one with New; it is
@@ -90,6 +166,14 @@ type Server struct {
 	cache   *cache.Cache
 	logger  *slog.Logger
 	metrics *serverMetrics
+
+	adm      *admission
+	breakers map[string]*breaker
+	// freshFor/staleFor are the normalized TTLs (0 = disabled), kept
+	// apart from opts so the zero-means-default dance happens once.
+	freshFor time.Duration
+	staleFor time.Duration
+	draining atomic.Bool
 }
 
 // metrics are process-global expvar counters kept for /debug/vars
@@ -126,6 +210,41 @@ func New(opts Options) (*Server, error) {
 	if opts.SimulateFunc == nil {
 		opts.SimulateFunc = multibus.SimulateContext
 	}
+	if opts.AdmissionLimit < 0 {
+		return nil, fmt.Errorf("service: admission limit %d must be ≥ 0", opts.AdmissionLimit)
+	}
+	if opts.AdmissionLimit == 0 {
+		opts.AdmissionLimit = DefaultAdmissionLimit()
+	}
+	queueDepth := opts.QueueDepth
+	switch {
+	case queueDepth == 0:
+		queueDepth = DefaultQueueDepth
+	case queueDepth < 0:
+		queueDepth = 0
+	}
+	freshFor := opts.FreshTTL
+	switch {
+	case freshFor == 0:
+		freshFor = DefaultFreshTTL
+	case freshFor < 0:
+		freshFor = 0 // never revalidate
+	}
+	staleFor := opts.StaleTTL
+	switch {
+	case staleFor == 0:
+		staleFor = DefaultStaleTTL
+	case staleFor < 0:
+		staleFor = 0 // stale serving disabled
+	}
+	threshold := opts.BreakerThreshold
+	if threshold == 0 {
+		threshold = DefaultBreakerThreshold
+	}
+	cooldown := opts.BreakerCooldown
+	if cooldown == 0 {
+		cooldown = DefaultBreakerCooldown
+	}
 	logger := opts.Logger
 	if logger == nil {
 		logger = nopLogger
@@ -134,8 +253,33 @@ func New(opts Options) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{opts: opts, cache: c, logger: logger, metrics: newServerMetrics(c)}, nil
+	s := &Server{
+		opts:     opts,
+		cache:    c,
+		logger:   logger,
+		metrics:  newServerMetrics(c),
+		adm:      newAdmission(int64(opts.AdmissionLimit), queueDepth),
+		breakers: make(map[string]*breaker),
+		freshFor: freshFor,
+		staleFor: staleFor,
+	}
+	s.metrics.bindAdmission(s.adm)
+	for _, route := range []string{"analyze", "simulate", "sweep"} {
+		br := newBreaker(threshold, cooldown, s.metrics.breakerTransition(route))
+		s.breakers[route] = br
+		s.metrics.bindBreaker(route, br)
+	}
+	return s, nil
 }
+
+// BeginDrain flips the server into draining mode: GET /healthz starts
+// answering 503 draining so load balancers stop routing here, while
+// in-flight requests keep being served. Call it when graceful shutdown
+// starts, before http.Server.Shutdown.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Cache exposes the server's memoization layer (shared with sweep
 // evaluation; tests assert on its stats).
@@ -153,6 +297,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sweep", s.instrument("sweep", s.handleSweep))
 	mux.HandleFunc("POST /v1/batch", s.instrument("batch", s.handleBatch))
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			writeError(w, http.StatusServiceUnavailable, "draining",
+				"server is draining; stop routing new requests here")
+			return
+		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	}))
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -171,9 +320,11 @@ func (s *Server) Handler() http.Handler {
 
 // instrument wraps a handler with the per-route observability layer —
 // request counter, latency histogram, response-status counter, X-Cache
-// outcome counters, access log — plus the per-request deadline and the
-// body size limit. The per-route instruments are resolved once, at
-// route registration, not per request.
+// outcome counters, access log — plus the per-request deadline, the
+// body size limit, and panic recovery (a panicking handler becomes a
+// logged 500 and a mbserve_panics_total tick instead of a connection
+// reset). The per-route instruments are resolved once, at route
+// registration, not per request.
 func (s *Server) instrument(route string, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
 	var (
 		requests = s.metrics.reg.Counter(metricRequestsTotal,
@@ -184,6 +335,8 @@ func (s *Server) instrument(route string, h func(http.ResponseWriter, *http.Requ
 			"requests by route and X-Cache outcome", obs.L("route", route), obs.L("result", "hit"))
 		cacheMiss = s.metrics.reg.Counter(metricCacheRequests,
 			"requests by route and X-Cache outcome", obs.L("route", route), obs.L("result", "miss"))
+		cacheStale = s.metrics.reg.Counter(metricCacheRequests,
+			"requests by route and X-Cache outcome", obs.L("route", route), obs.L("result", "stale"))
 	)
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -194,8 +347,26 @@ func (s *Server) instrument(route string, h func(http.ResponseWriter, *http.Requ
 		r = r.WithContext(ctx)
 		r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			if p := recover(); p != nil {
+				if p == http.ErrAbortHandler {
+					// net/http's own deliberate-abort protocol; not ours to
+					// swallow.
+					panic(p)
+				}
+				s.metrics.panics.Inc()
+				s.logger.LogAttrs(r.Context(), slog.LevelError, "panic",
+					slog.String("route", route),
+					slog.Any("value", p),
+					slog.String("stack", string(debug.Stack())))
+				if !rec.wroteHeader {
+					writeError(rec, http.StatusInternalServerError, "internal_error",
+						"internal server error")
+				}
+			}
+			s.observe(route, r, rec, time.Since(start), latency, cacheHit, cacheMiss, cacheStale)
+		}()
 		h(rec, r)
-		s.observe(route, r, rec, time.Since(start), latency, cacheHit, cacheMiss)
 	}
 }
 
@@ -226,17 +397,144 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
 	return true
 }
 
-// analyzeScenario evaluates one analyze-op scenario through the shared
-// cache, returning the response body and whether it was a cache hit.
-func (s *Server) analyzeScenario(ctx context.Context, built *scenario.Built) (*analysisBody, bool, error) {
-	if err := built.CanAnalyze(); err != nil {
-		return nil, false, err
+// Cache outcome states, as sent in the X-Cache response header.
+const (
+	cacheHitState   = "hit"
+	cacheMissState  = "miss"
+	cacheStaleState = "stale"
+)
+
+// cacheOutcome is how an evaluation's answer was obtained: a fresh hit,
+// a computed miss, or a degraded stale serve (with the answer's age,
+// surfaced in the Warning header).
+type cacheOutcome struct {
+	State string
+	Age   time.Duration
+}
+
+// gate runs one computation through the robustness gates, in order:
+// circuit breaker (fast-fail while open), admission semaphore (bounded
+// queue, shed when full — background work uses TryAcquire and never
+// queues), then the chaos injector, then the computation itself. It
+// records the breaker outcome: success closes, genuine failures count
+// toward the trip threshold, the layer's own refusals cancel a pending
+// half-open probe. gate is only ever called as (or from) a singleflight
+// leader, so admission units bound actual compute, not waiter count.
+func (s *Server) gate(ctx context.Context, route string, weight int64, background bool, compute func(context.Context) (any, error)) (v any, err error) {
+	br := s.breakers[route]
+	if ok, retry := br.Allow(); !ok {
+		return nil, &circuitOpenError{route: route, retryAfter: retry}
 	}
-	v, hit, err := s.cache.Do(ctx, built.AnalyzeKey(), func() (any, error) {
-		return s.opts.AnalyzeFunc(ctx, built.Network, built.Model, built.Scenario.R)
+	finished := false
+	defer func() {
+		switch {
+		case !finished:
+			// Unwinding on a panic: the breaker counts it like any other
+			// compute failure; the panic keeps going to the recovery
+			// middleware (foreground) or the refresh recovery (background).
+			br.Failure()
+		case err == nil:
+			br.Success()
+		case breakerFailure(err):
+			br.Failure()
+		default:
+			br.CancelProbe()
+		}
+	}()
+	var release func()
+	if background {
+		var ok bool
+		if release, ok = s.adm.TryAcquire(weight); !ok {
+			err = &overloadedError{retryAfter: time.Second}
+			finished = true
+			return nil, err
+		}
+	} else {
+		var wait time.Duration
+		var aerr error
+		release, wait, aerr = s.adm.Acquire(ctx, weight)
+		if aerr != nil {
+			if errors.Is(aerr, ErrOverloaded) {
+				s.metrics.shed(route).Inc()
+			}
+			finished = true
+			return nil, aerr
+		}
+		s.metrics.queueWait.Observe(wait.Seconds())
+	}
+	defer release()
+	v, err = func() (any, error) {
+		if cerr := s.opts.Chaos.Inject(ctx); cerr != nil {
+			return nil, cerr
+		}
+		return compute(ctx)
+	}()
+	finished = true
+	return v, err
+}
+
+// evalScenario is the degradation pipeline around the cache: DoFresh
+// with the gated compute; on a service-fault failure, a within-StaleTTL
+// resident answer is served instead (byte-identical to its fresh
+// original — staleness is signaled in headers, never the body) and a
+// background refresh is dispatched on spare capacity.
+func (s *Server) evalScenario(ctx context.Context, route, key string, weight int64, compute func(context.Context) (any, error)) (any, cacheOutcome, error) {
+	v, hit, err := s.cache.DoFresh(ctx, key, s.freshFor, func() (any, error) {
+		return s.gate(ctx, route, weight, false, compute)
 	})
+	if err == nil {
+		if hit {
+			return v, cacheOutcome{State: cacheHitState}, nil
+		}
+		return v, cacheOutcome{State: cacheMissState}, nil
+	}
+	if s.staleFor > 0 && servableStale(err) {
+		if sv, ok := s.cache.Stale(key, s.staleFor); ok {
+			s.metrics.stale(route).Inc()
+			s.tryBackgroundRefresh(route, key, weight, compute)
+			return sv.Value, cacheOutcome{State: cacheStaleState, Age: sv.Age}, nil
+		}
+	}
+	return nil, cacheOutcome{}, err
+}
+
+// tryBackgroundRefresh re-dispatches a computation whose key was just
+// served stale, so the next caller may get a fresh answer. Strictly
+// best-effort: capacity is taken only if free right now (TryAcquire —
+// repair work never queues ahead of foreground requests), the breaker
+// still applies, and a panic is contained here — there is no request
+// stack above a detached goroutine for the middleware to catch.
+func (s *Server) tryBackgroundRefresh(route, key string, weight int64, compute func(context.Context) (any, error)) {
+	s.cache.Refresh(key, func() (v any, err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				s.metrics.panics.Inc()
+				s.logger.LogAttrs(context.Background(), slog.LevelError, "panic",
+					slog.String("route", route),
+					slog.Bool("background", true),
+					slog.Any("value", p),
+					slog.String("stack", string(debug.Stack())))
+				err = fmt.Errorf("background refresh panicked: %v", p)
+			}
+		}()
+		ctx, cancel := context.WithTimeout(context.Background(), s.opts.Timeout)
+		defer cancel()
+		return s.gate(ctx, route, weight, true, compute)
+	})
+}
+
+// analyzeScenario evaluates one analyze-op scenario through the shared
+// cache and the robustness pipeline.
+func (s *Server) analyzeScenario(ctx context.Context, built *scenario.Built) (*analysisBody, cacheOutcome, error) {
+	if err := built.CanAnalyze(); err != nil {
+		return nil, cacheOutcome{}, err
+	}
+	v, out, err := s.evalScenario(ctx, "analyze", built.AnalyzeKey(), analyzeWeight(built),
+		func(ctx context.Context) (any, error) {
+			return s.opts.AnalyzeFunc(ctx, built.Network, built.Model, built.Scenario.R)
+		})
 	if err != nil {
-		return nil, false, err
+		return nil, out, err
 	}
 	a := v.(*multibus.Analysis)
 	return &analysisBody{
@@ -245,25 +543,28 @@ func (s *Server) analyzeScenario(ctx context.Context, built *scenario.Built) (*a
 		CrossbarBandwidth:    a.CrossbarBandwidth,
 		BusUtilization:       a.BusUtilization,
 		PerformanceCostRatio: a.PerformanceCostRatio,
-	}, hit, nil
+	}, out, nil
 }
 
 // simulateScenario evaluates one simulate-op scenario through the
-// shared cache. The cache key — the canonical scenario's fingerprints,
-// rate, and normalized simulator parameters — fully determines the run.
-func (s *Server) simulateScenario(ctx context.Context, built *scenario.Built) (*simBody, bool, error) {
+// shared cache and the robustness pipeline. The cache key — the
+// canonical scenario's fingerprints, rate, and normalized simulator
+// parameters — fully determines the run; the admission weight comes
+// from the same canonical form (weights.go).
+func (s *Server) simulateScenario(ctx context.Context, built *scenario.Built) (*simBody, cacheOutcome, error) {
 	if err := built.CanSimulate(); err != nil {
-		return nil, false, err
+		return nil, cacheOutcome{}, err
 	}
 	gen, err := built.Workload()
 	if err != nil {
-		return nil, false, err
+		return nil, cacheOutcome{}, err
 	}
-	v, hit, err := s.cache.Do(ctx, built.SimulateKey(), func() (any, error) {
-		return s.opts.SimulateFunc(ctx, built.Network, gen, simOptions(built.Scenario.Sim)...)
-	})
+	v, out, err := s.evalScenario(ctx, "simulate", built.SimulateKey(), simulateWeight(built),
+		func(ctx context.Context) (any, error) {
+			return s.opts.SimulateFunc(ctx, built.Network, gen, simOptions(built.Scenario.Sim)...)
+		})
 	if err != nil {
-		return nil, false, err
+		return nil, out, err
 	}
 	res := v.(*multibus.SimResult)
 	return &simBody{
@@ -282,7 +583,7 @@ func (s *Server) simulateScenario(ctx context.Context, built *scenario.Built) (*
 		StrandedBlocked:       res.StrandedBlocked,
 		ModuleBusyBlocked:     res.ModuleBusyBlocked,
 		JainFairness:          res.JainFairness(),
-	}, hit, nil
+	}, out, nil
 }
 
 // handleAnalyze serves POST /v1/analyze.
@@ -296,12 +597,12 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeClassified(w, err)
 		return
 	}
-	body, hit, err := s.analyzeScenario(r.Context(), built)
+	body, out, err := s.analyzeScenario(r.Context(), built)
 	if err != nil {
 		writeClassified(w, err)
 		return
 	}
-	writeCached(w, hit)
+	writeOutcome(w, out)
 	writeJSON(w, http.StatusOK, body)
 }
 
@@ -316,12 +617,12 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeClassified(w, err)
 		return
 	}
-	body, hit, err := s.simulateScenario(r.Context(), built)
+	body, out, err := s.simulateScenario(r.Context(), built)
 	if err != nil {
 		writeClassified(w, err)
 		return
 	}
-	writeCached(w, hit)
+	writeOutcome(w, out)
 	writeJSON(w, http.StatusOK, body)
 }
 
@@ -339,7 +640,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeClassified(w, err)
 		return
 	}
-	res, err := sweep.Run(sweep.Spec{
+	spec := sweep.Spec{
 		Ns:           req.Ns,
 		Bs:           req.Bs,
 		Rs:           req.Rs,
@@ -349,14 +650,22 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		WithSim:      req.WithSim,
 		SimCycles:    req.SimCycles,
 		Seed:         req.Seed,
-		Context:      r.Context(),
 		Memo:         s.cache,
 		Progress:     s.metrics.sweepPoints,
-	})
+	}
+	// The whole grid goes through the gates as one weighted admission:
+	// individual points still memoize per-point in the shared cache, but
+	// a wide sweep cannot start while the semaphore is saturated.
+	v, err := s.gate(r.Context(), "sweep", sweepWeight(spec), false,
+		func(ctx context.Context) (any, error) {
+			spec.Context = ctx
+			return sweep.Run(spec)
+		})
 	if err != nil {
 		writeClassified(w, err)
 		return
 	}
+	res := v.(*sweep.Result)
 	body := sweepBody{
 		Points:  make([]sweepPointBody, len(res.Points)),
 		Skipped: make([]sweepSkipBody, len(res.Skipped)),
@@ -423,13 +732,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeClassified(w, err)
 		return
 	}
-	allHit := true
+	out := cacheOutcome{State: cacheHitState}
 	for i := range items {
 		if !items[i].Cached {
-			allHit = false
+			out.State = cacheMissState
 		}
 	}
-	writeCached(w, allHit)
+	writeOutcome(w, out)
 	writeJSON(w, http.StatusOK, batchBody{Items: items})
 }
 
@@ -443,12 +752,15 @@ func (s *Server) evalBatchItem(ctx context.Context, index int, item BatchItem) b
 		var built *scenario.Built
 		built, err = item.Scenario.Build()
 		if err == nil {
+			var out cacheOutcome
 			switch op {
 			case "analyze":
-				body.Analysis, body.Cached, err = s.analyzeScenario(ctx, built)
+				body.Analysis, out, err = s.analyzeScenario(ctx, built)
 			case "simulate":
-				body.Simulation, body.Cached, err = s.simulateScenario(ctx, built)
+				body.Simulation, out, err = s.simulateScenario(ctx, built)
 			}
+			body.Cached = out.State == cacheHitState
+			body.Stale = out.State == cacheStaleState
 		}
 	}
 	if err != nil {
@@ -515,9 +827,13 @@ type sweepBody struct {
 }
 
 type batchItemBody struct {
-	Index      int           `json:"index"`
-	Op         string        `json:"op,omitempty"`
-	Cached     bool          `json:"cached"`
+	Index  int    `json:"index"`
+	Op     string `json:"op,omitempty"`
+	Cached bool   `json:"cached"`
+	// Stale marks a degraded answer: compute failed or was shed and a
+	// within-TTL resident value was served instead (the Warning-style
+	// response field the HTTP header carries for single-scenario routes).
+	Stale      bool          `json:"stale,omitempty"`
 	Error      *apiError     `json:"error,omitempty"`
 	Analysis   *analysisBody `json:"analysis,omitempty"`
 	Simulation *simBody      `json:"simulation,omitempty"`
@@ -527,13 +843,17 @@ type batchBody struct {
 	Items []batchItemBody `json:"items"`
 }
 
-// writeCached sets the X-Cache header; it must run before writeJSON
-// (headers flush with the status line).
-func writeCached(w http.ResponseWriter, hit bool) {
-	if hit {
-		w.Header().Set("X-Cache", "hit")
-	} else {
-		w.Header().Set("X-Cache", "miss")
+// writeOutcome sets the X-Cache header — and, for a degraded answer,
+// the Warning header carrying its age. It must run before writeJSON
+// (headers flush with the status line). The body of a stale response
+// is byte-identical to the fresh original; these headers are the only
+// signal of degradation.
+func writeOutcome(w http.ResponseWriter, out cacheOutcome) {
+	w.Header().Set("X-Cache", out.State)
+	if out.State == cacheStaleState {
+		w.Header().Set("Warning",
+			fmt.Sprintf(`110 mbserve "stale response served on compute failure; age=%s"`,
+				out.Age.Round(time.Second)))
 	}
 }
 
@@ -552,14 +872,27 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	metricResponses.Add(fmt.Sprintf("%d", status), 1)
 }
 
-// writeError writes an explicit error response.
+// writeError writes an explicit error response. Every error carries
+// Cache-Control: no-store so intermediaries never cache a 4xx/5xx body
+// (a cached 429 would keep shedding a client after the overload ends).
 func writeError(w http.ResponseWriter, status int, code, message string) {
+	w.Header().Set("Cache-Control", "no-store")
 	writeJSON(w, status, errorResponse{Error: apiError{Code: code, Message: message}})
 }
 
 // writeClassified maps a domain error to its HTTP status via the
-// sentinel classification.
+// sentinel classification, surfacing any backoff hint (sheds, open
+// circuits) as a Retry-After header in whole seconds, rounded up and
+// floored at 1 so clients never retry immediately.
 func writeClassified(w http.ResponseWriter, err error) {
 	status, code := classify(err)
+	var hint retryAfterHint
+	if errors.As(err, &hint) {
+		seconds := int64((hint.RetryAfter() + time.Second - 1) / time.Second)
+		if seconds < 1 {
+			seconds = 1
+		}
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", seconds))
+	}
 	writeError(w, status, code, err.Error())
 }

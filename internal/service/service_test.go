@@ -247,6 +247,12 @@ func TestValidationMapsToTyped400(t *testing.T) {
 			if er.Error.Code != tc.wantCode {
 				t.Errorf("error code = %q, want %q (message: %s)", er.Error.Code, tc.wantCode, er.Error.Message)
 			}
+			// Error responses must never be cached by intermediaries: a
+			// stored 4xx/5xx would keep failing a client after the cause
+			// is gone.
+			if cc := rec.Header().Get("Cache-Control"); cc != "no-store" {
+				t.Errorf("Cache-Control = %q, want no-store on error responses", cc)
+			}
 		})
 	}
 }
@@ -258,6 +264,9 @@ func TestBodySizeLimit(t *testing.T) {
 	rec := postJSON(t, h, "/v1/analyze", big)
 	if rec.Code != http.StatusRequestEntityTooLarge {
 		t.Fatalf("oversized body = %d, want 413; %s", rec.Code, rec.Body.String())
+	}
+	if cc := rec.Header().Get("Cache-Control"); cc != "no-store" {
+		t.Errorf("Cache-Control = %q, want no-store on error responses", cc)
 	}
 }
 

@@ -1,0 +1,87 @@
+package service
+
+import (
+	"multibus/internal/scenario"
+	"multibus/internal/sweep"
+)
+
+// Admission weights are estimated work, derived from the *canonical*
+// scenario — never the raw request body — so two spellings of the same
+// configuration (defaults elided vs. spelled out) weigh the same, just
+// as they share one cache key. See DESIGN.md §11.
+//
+// The unit is calibrated to the two cheap operations: one closed-form
+// analysis, or one default-sized simulation (20 000 cycles of a
+// 16-processor network), each cost 1. Heavier simulations scale by
+// cycles×N; sweeps by their grid cardinality.
+const (
+	weightUnitCycles = 20000
+	weightUnitProcs  = 16
+	weightUnitWork   = weightUnitCycles * weightUnitProcs
+
+	// analyticPointsPerUnit batches closed-form sweep points: a pure
+	// analytic grid point is far cheaper than a simulation, so 16 of
+	// them make one unit.
+	analyticPointsPerUnit = 16
+)
+
+func ceilDiv(a, b int64) int64 {
+	if a <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}
+
+// analyzeWeight is the admission cost of one closed-form analysis.
+func analyzeWeight(*scenario.Built) int64 { return 1 }
+
+// simulateWeight estimates one simulation's admission cost from its
+// canonical cycle count and network size.
+func simulateWeight(built *scenario.Built) int64 {
+	cycles := 0
+	if built.Scenario.Sim != nil {
+		cycles = built.Scenario.Sim.Cycles
+	}
+	if cycles <= 0 {
+		cycles = scenario.DefaultSim().Cycles
+	}
+	w := ceilDiv(int64(cycles)*int64(built.Network.N()), weightUnitWork)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// sweepWeight estimates a sweep's admission cost from its grid
+// cardinality: analytic points batched analyticPointsPerUnit to the
+// unit, simulated points each costing a per-point simulation weight at
+// the grid's largest N. Acquire clamps the result to the semaphore
+// capacity, so a huge sweep runs alone rather than deadlocking.
+func sweepWeight(spec sweep.Spec) int64 {
+	points := int64(spec.EstimatePoints())
+	if points < 1 {
+		points = 1
+	}
+	if !spec.WithSim {
+		w := ceilDiv(points, analyticPointsPerUnit)
+		if w < 1 {
+			w = 1
+		}
+		return w
+	}
+	cycles := spec.SimCycles
+	if cycles <= 0 {
+		cycles = weightUnitCycles
+	}
+	maxN := 1
+	for _, n := range spec.Ns {
+		if n > maxN {
+			maxN = n
+		}
+	}
+	perPoint := ceilDiv(int64(cycles)*int64(maxN), weightUnitWork)
+	if perPoint < 1 {
+		perPoint = 1
+	}
+	return points * perPoint
+}

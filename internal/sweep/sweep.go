@@ -79,6 +79,20 @@ type Spec struct {
 	Progress Progress
 }
 
+// EstimatePoints returns the grid cardinality a Run of this Spec will
+// attempt: the product of the axis lengths, with an empty Models axis
+// counting as the one default model Run substitutes. The admission
+// layer weighs sweep requests by it before any evaluation starts, so it
+// deliberately counts infeasible combinations too (skips are only
+// discovered during the run) — an upper bound, cheap and allocation-free.
+func (s Spec) EstimatePoints() int {
+	models := len(s.Models)
+	if models == 0 {
+		models = 1
+	}
+	return len(s.Ns) * len(s.Bs) * len(s.Rs) * len(s.Schemes) * models
+}
+
 // Progress receives completion ticks from the worker pool. obs.Counter
 // satisfies it; any atomic counter will do. Implementations must be
 // safe for concurrent use.

@@ -265,3 +265,25 @@ func TestSeriesExtraction(t *testing.T) {
 		t.Errorf("unexpected series %v", bs)
 	}
 }
+
+// TestEstimatePoints: the admission layer weighs sweeps by grid
+// cardinality before Run starts; the estimate must match the grid
+// product, substituting one default model for an empty Models axis.
+func TestEstimatePoints(t *testing.T) {
+	spec := Spec{
+		Ns:      []int{8, 16},
+		Bs:      []int{2, 4, 8},
+		Rs:      []float64{0.5, 1.0},
+		Schemes: schemes(t, "full", "partial-g4"),
+	}
+	if got := spec.EstimatePoints(); got != 2*3*2*2 {
+		t.Errorf("EstimatePoints = %d, want 24 (empty Models counts as one default)", got)
+	}
+	spec.Models = []scenario.Model{{Kind: scenario.ModelUniform}, {Kind: scenario.ModelHier}, {Kind: scenario.ModelDasBhuyan}}
+	if got := spec.EstimatePoints(); got != 2*3*2*2*3 {
+		t.Errorf("EstimatePoints with models = %d, want 72", got)
+	}
+	if got := (Spec{}).EstimatePoints(); got != 0 {
+		t.Errorf("empty Spec EstimatePoints = %d, want 0", got)
+	}
+}

@@ -1,13 +1,39 @@
 #!/bin/sh
-# serve-smoke: boot mbserve on an ephemeral port, hit /healthz and one
-# /v1/analyze, and fail on any non-200. Used by `make serve-smoke`.
+# serve-smoke: boot mbserve on an ephemeral port and exercise it end to
+# end. Two modes:
+#
+#   serve-smoke.sh <binary>         normal boot: /healthz, /v1/analyze,
+#                                   /v1/batch cache hit, /metrics
+#   serve-smoke.sh <binary> chaos   robustness: boot with -admit 1 and
+#                                   injected 2s latency, saturate the
+#                                   single compute slot, assert the
+#                                   overflow request is shed with
+#                                   429 + Retry-After, then assert the
+#                                   server recovers to 200
+#
+# Used by `make serve-smoke` and `make chaos-smoke`.
 set -eu
 
-BIN="${1:?usage: serve-smoke.sh <mbserve binary>}"
+BIN="${1:?usage: serve-smoke.sh <mbserve binary> [chaos]}"
+MODE="${2:-normal}"
 LOG="$(mktemp)"
 trap 'kill "$PID" 2>/dev/null || true; rm -f "$LOG"' EXIT INT TERM
 
-"$BIN" -addr 127.0.0.1:0 >"$LOG" 2>&1 &
+case "$MODE" in
+normal)
+    "$BIN" -addr 127.0.0.1:0 >"$LOG" 2>&1 &
+    ;;
+chaos)
+    # One admission unit, no wait queue, and every computation delayed
+    # 2s: the second concurrent request MUST be shed, deterministically.
+    "$BIN" -addr 127.0.0.1:0 -admit 1 -queue -1 \
+        -chaos "latency=2s,latencyRate=1,seed=1" >"$LOG" 2>&1 &
+    ;;
+*)
+    echo "serve-smoke: unknown mode '$MODE' (want 'chaos' or nothing)"
+    exit 2
+    ;;
+esac
 PID=$!
 
 # mbserve logs the resolved listen address (slog text: `msg=listening
@@ -31,9 +57,50 @@ check() {
     echo "serve-smoke: $desc ok"
 }
 
+ANALYZE='{"network":{"scheme":"full","n":16,"b":8},"model":{"kind":"hier"},"r":1.0}'
+
+if [ "$MODE" = "chaos" ]; then
+    # Saturate the single admission unit with a slow (2s injected
+    # latency) analyze in the background.
+    SLOW_STATUS="$(mktemp)"
+    curl -s -o /dev/null -w '%{http_code}' -X POST "http://$ADDR/v1/analyze" \
+        -d "$ANALYZE" >"$SLOW_STATUS" &
+    SLOW=$!
+    sleep 0.5
+
+    # A second, distinct scenario now finds the slot held and no queue:
+    # it must be shed with 429 and a Retry-After hint.
+    HDRS="$(curl -s -D - -o /dev/null -X POST "http://$ADDR/v1/analyze" \
+        -d '{"network":{"scheme":"full","n":16,"b":8},"model":{"kind":"hier"},"r":0.9}' \
+        | tr -d '\r')"
+    STATUS="$(echo "$HDRS" | sed -n 's|^HTTP/[^ ]* \([0-9]*\).*|\1|p' | head -n1)"
+    RETRY="$(echo "$HDRS" | sed -n 's/^Retry-After: //p' | head -n1)"
+    if [ "$STATUS" != "429" ]; then
+        echo "chaos-smoke: overflow request returned HTTP $STATUS (want 429 shed)"
+        exit 1
+    fi
+    case "$RETRY" in
+        ''|*[!0-9]*) echo "chaos-smoke: shed response Retry-After = '$RETRY' (want integer seconds)"; exit 1 ;;
+    esac
+    echo "chaos-smoke: saturated server shed overflow with 429, Retry-After: $RETRY"
+
+    wait "$SLOW"
+    if [ "$(cat "$SLOW_STATUS")" != "200" ]; then
+        echo "chaos-smoke: slow in-flight request returned HTTP $(cat "$SLOW_STATUS") (want 200)"
+        rm -f "$SLOW_STATUS"
+        exit 1
+    fi
+    rm -f "$SLOW_STATUS"
+
+    # Slot released: the same scenario now completes (2s latency, but it
+    # is admitted and served).
+    check "recovered POST /v1/analyze" -X POST "http://$ADDR/v1/analyze" -d "$ANALYZE"
+    echo "chaos-smoke: PASS"
+    exit 0
+fi
+
 check "GET /healthz" "http://$ADDR/healthz"
-check "POST /v1/analyze" -X POST "http://$ADDR/v1/analyze" \
-    -d '{"network":{"scheme":"full","n":16,"b":8},"model":{"kind":"hier"},"r":1.0}'
+check "POST /v1/analyze" -X POST "http://$ADDR/v1/analyze" -d "$ANALYZE"
 
 # Batch endpoint: scenarios the bus-count sweep alone cannot express
 # (explicit class sizes, a Das–Bhuyan workload), evaluated twice — the
