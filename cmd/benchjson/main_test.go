@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -59,5 +62,141 @@ func TestParseBenchLineRejectsGarbage(t *testing.T) {
 	}
 	if _, ok := parseBenchLine("BenchmarkShort-8"); ok {
 		t.Error("accepted truncated line")
+	}
+}
+
+// writeReport marshals a report to a temp file for compare-mode tests.
+func writeReport(t *testing.T, r *Report) string {
+	t.Helper()
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func fp(v float64) *float64 { return &v }
+
+func TestCollapseBest(t *testing.T) {
+	in := []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 500, AllocsPerOp: fp(12)},
+		{Name: "BenchmarkB", NsPerOp: 900},
+		{Name: "BenchmarkA", NsPerOp: 300, AllocsPerOp: fp(10)},
+		{Name: "BenchmarkA", NsPerOp: 400, AllocsPerOp: fp(11)},
+	}
+	out := collapseBest(in)
+	if len(out) != 2 {
+		t.Fatalf("len = %d, want 2", len(out))
+	}
+	if out[0].Name != "BenchmarkA" || out[1].Name != "BenchmarkB" {
+		t.Errorf("first-seen order not preserved: %+v", out)
+	}
+	if out[0].NsPerOp != 300 || out[0].AllocsPerOp == nil || *out[0].AllocsPerOp != 10 {
+		t.Errorf("best run not kept: %+v", out[0])
+	}
+	if out[1].NsPerOp != 900 {
+		t.Errorf("singleton changed: %+v", out[1])
+	}
+}
+
+func TestCompareReports(t *testing.T) {
+	old := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkTableII", NsPerOp: 1000, AllocsPerOp: fp(50)},
+		{Name: "BenchmarkAnalyticFull", NsPerOp: 2000, AllocsPerOp: fp(10000)},
+		{Name: "BenchmarkSimFull", NsPerOp: 100, AllocsPerOp: fp(1)}, // not pinned
+	}}
+	pins := []string{"BenchmarkTable", "BenchmarkAnalytic", "BenchmarkBinomialRow"}
+
+	cases := []struct {
+		name     string
+		cur      []Benchmark
+		failures int
+		want     string
+	}{
+		{"identical", []Benchmark{
+			{Name: "BenchmarkTableII", NsPerOp: 1000, AllocsPerOp: fp(50)},
+			{Name: "BenchmarkAnalyticFull", NsPerOp: 2000, AllocsPerOp: fp(10)},
+			{Name: "BenchmarkSimFull", NsPerOp: 100, AllocsPerOp: fp(1)},
+		}, 0, "ok   BenchmarkTableII"},
+		{"within tolerance and faster", []Benchmark{
+			{Name: "BenchmarkTableII", NsPerOp: 1150, AllocsPerOp: fp(50)},
+			{Name: "BenchmarkAnalyticFull", NsPerOp: 500, AllocsPerOp: fp(5)},
+			{Name: "BenchmarkSimFull", NsPerOp: 100, AllocsPerOp: fp(1)},
+		}, 0, "ok   BenchmarkAnalyticFull"},
+		{"ns regression", []Benchmark{
+			{Name: "BenchmarkTableII", NsPerOp: 1300, AllocsPerOp: fp(50)},
+			{Name: "BenchmarkAnalyticFull", NsPerOp: 2000, AllocsPerOp: fp(10)},
+			{Name: "BenchmarkSimFull", NsPerOp: 100, AllocsPerOp: fp(1)},
+		}, 1, "FAIL BenchmarkTableII: ns/op"},
+		{"alloc regression", []Benchmark{
+			{Name: "BenchmarkTableII", NsPerOp: 1000, AllocsPerOp: fp(51)},
+			{Name: "BenchmarkAnalyticFull", NsPerOp: 2000, AllocsPerOp: fp(10)},
+			{Name: "BenchmarkSimFull", NsPerOp: 100, AllocsPerOp: fp(1)},
+		}, 1, "FAIL BenchmarkTableII: allocs/op"},
+		{"missing pinned benchmark", []Benchmark{
+			{Name: "BenchmarkAnalyticFull", NsPerOp: 2000, AllocsPerOp: fp(10)},
+		}, 1, "FAIL BenchmarkTableII: missing"},
+		{"unpinned regression ignored", []Benchmark{
+			{Name: "BenchmarkTableII", NsPerOp: 1000, AllocsPerOp: fp(50)},
+			{Name: "BenchmarkAnalyticFull", NsPerOp: 2000, AllocsPerOp: fp(10)},
+			{Name: "BenchmarkSimFull", NsPerOp: 9999, AllocsPerOp: fp(99)},
+		}, 0, "ok   BenchmarkTableII"},
+		{"large-count alloc jitter within slack", []Benchmark{
+			{Name: "BenchmarkTableII", NsPerOp: 1000, AllocsPerOp: fp(50)},
+			{Name: "BenchmarkAnalyticFull", NsPerOp: 2000, AllocsPerOp: fp(10005)}, // +0.05% < 0.1% slack
+		}, 0, "ok   BenchmarkAnalyticFull"},
+		{"large-count alloc growth beyond slack", []Benchmark{
+			{Name: "BenchmarkTableII", NsPerOp: 1000, AllocsPerOp: fp(50)},
+			{Name: "BenchmarkAnalyticFull", NsPerOp: 2000, AllocsPerOp: fp(10011)}, // +0.11% > 0.1% slack
+		}, 1, "FAIL BenchmarkAnalyticFull: allocs/op"},
+		{"count=N repeats collapse to best run", []Benchmark{
+			{Name: "BenchmarkTableII", NsPerOp: 5000, AllocsPerOp: fp(50)}, // noisy run
+			{Name: "BenchmarkTableII", NsPerOp: 990, AllocsPerOp: fp(50)},  // best run
+			{Name: "BenchmarkAnalyticFull", NsPerOp: 2000, AllocsPerOp: fp(10)},
+		}, 0, "ok   BenchmarkTableII: ns/op 1000 -> 990"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			got := compareReports(old, &Report{Benchmarks: tc.cur}, pins, 0.20, &buf)
+			if got != tc.failures {
+				t.Errorf("failures = %d, want %d\n%s", got, tc.failures, buf.String())
+			}
+			if !strings.Contains(buf.String(), tc.want) {
+				t.Errorf("output missing %q:\n%s", tc.want, buf.String())
+			}
+		})
+	}
+}
+
+func TestRunCompare(t *testing.T) {
+	old := writeReport(t, &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkTableII", NsPerOp: 1000, AllocsPerOp: fp(50)},
+	}})
+	good := writeReport(t, &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkTableII", NsPerOp: 900, AllocsPerOp: fp(50)},
+	}})
+	bad := writeReport(t, &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkTableII", NsPerOp: 9000, AllocsPerOp: fp(50)},
+	}})
+	var buf bytes.Buffer
+	if code := runCompare([]string{old, good}, []string{"BenchmarkTable"}, 0.2, &buf); code != 0 {
+		t.Errorf("good compare exit %d:\n%s", code, buf.String())
+	}
+	buf.Reset()
+	if code := runCompare([]string{old, bad}, []string{"BenchmarkTable"}, 0.2, &buf); code != 1 {
+		t.Errorf("regressed compare exit %d, want 1:\n%s", code, buf.String())
+	}
+	buf.Reset()
+	if code := runCompare([]string{old}, nil, 0.2, &buf); code != 2 {
+		t.Errorf("bad usage exit %d, want 2", code)
+	}
+	buf.Reset()
+	if code := runCompare([]string{old, filepath.Join(t.TempDir(), "missing.json")}, nil, 0.2, &buf); code != 1 {
+		t.Errorf("missing file exit %d, want 1", code)
 	}
 }

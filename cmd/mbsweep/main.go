@@ -9,6 +9,7 @@
 //	mbsweep -n 16 -schemes full,partial-g4 -workload dasbhuyan -q 0.7
 //	mbsweep -n 16 -classsizes 2,6,8 -csv
 //	mbsweep -scenario examples/scenarios/kclass-explicit.json
+//	mbsweep -n 64 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -59,11 +60,21 @@ func main() {
 	flag.IntVar(&o.workers, "workers", 0, "parallel point evaluations (0 = all CPUs, 1 = sequential)")
 	flag.BoolVar(&o.asCSV, "csv", false, "emit CSV instead of chart + table")
 	logFlags := cliutil.RegisterLogFlags(flag.CommandLine)
+	profFlags := cliutil.RegisterProfileFlags(flag.CommandLine)
 	flag.Parse()
 	logger, err := logFlags.Logger(os.Stderr)
 	if err == nil {
 		o.logger = logger
-		err = run(o)
+		var stopProfiles func() error
+		stopProfiles, err = profFlags.Start()
+		if err == nil {
+			err = run(o)
+			// Stop explicitly rather than defer: os.Exit below would skip
+			// the CPU-profile flush and heap write.
+			if stopErr := stopProfiles(); err == nil {
+				err = stopErr
+			}
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mbsweep:", err)

@@ -48,13 +48,7 @@ func checkX(x float64) error {
 // formula depends only on the number of memory-request arbiters, which is
 // the number of modules.
 func BandwidthFull(m, b int, x float64) (float64, error) {
-	if err := checkX(x); err != nil {
-		return 0, err
-	}
-	if m < 1 || b < 1 {
-		return 0, fmt.Errorf("%w: M=%d B=%d", ErrBadStructure, m, b)
-	}
-	return numerics.ExpectedMin(m, b, x)
+	return pooledEval(func(e *Evaluator) (float64, error) { return e.BandwidthFull(m, b, x) })
 }
 
 // BandwidthSingle evaluates equation (6): the memory bandwidth of a
@@ -105,17 +99,7 @@ func BusUtilizationSingle(moduleCounts []int, x float64) ([]float64, error) {
 // g must divide both m and b; g = 1 reduces to equation (4), as the paper
 // notes.
 func BandwidthPartialGroups(m, b, g int, x float64) (float64, error) {
-	if err := checkX(x); err != nil {
-		return 0, err
-	}
-	if m < 1 || b < 1 || g < 1 || m%g != 0 || b%g != 0 {
-		return 0, fmt.Errorf("%w: M=%d B=%d g=%d (g must divide M and B)", ErrBadStructure, m, b, g)
-	}
-	per, err := numerics.ExpectedMin(m/g, b/g, x)
-	if err != nil {
-		return 0, err
-	}
-	return float64(g) * per, nil
+	return pooledEval(func(e *Evaluator) (float64, error) { return e.BandwidthPartialGroups(m, b, g, x) })
 }
 
 // GroupSpec describes one independent subnetwork: modules sharing buses
@@ -135,27 +119,7 @@ type GroupSpec struct {
 // covers unequal group sizes, which arise when bus failures degrade a
 // partial bus network.
 func BandwidthIndependentGroups(groups []GroupSpec, x float64) (float64, error) {
-	if err := checkX(x); err != nil {
-		return 0, err
-	}
-	if len(groups) == 0 {
-		return 0, fmt.Errorf("%w: no groups", ErrBadStructure)
-	}
-	var sum numerics.KahanSum
-	for q, g := range groups {
-		if g.Modules < 0 || g.Buses < 0 {
-			return 0, fmt.Errorf("%w: group %d has M=%d B=%d", ErrBadStructure, q, g.Modules, g.Buses)
-		}
-		if g.Modules == 0 || g.Buses == 0 {
-			continue // nothing to serve, or no way to serve it
-		}
-		per, err := numerics.ExpectedMin(g.Modules, g.Buses, x)
-		if err != nil {
-			return 0, err
-		}
-		sum.Add(per)
-	}
-	return sum.Value(), nil
+	return pooledEval(func(e *Evaluator) (float64, error) { return e.BandwidthIndependentGroups(groups, x) })
 }
 
 // PrefixClass describes one class of a nested-prefix network: Size
@@ -179,55 +143,50 @@ type PrefixClass struct {
 // failures in a K-class network yield general prefix lengths, which this
 // function handles directly.
 func BandwidthPrefixClasses(classes []PrefixClass, b int, x float64) (float64, error) {
-	ys, err := BusUtilizationPrefixClasses(classes, b, x)
-	if err != nil {
-		return 0, err
+	return pooledEval(func(e *Evaluator) (float64, error) { return e.BandwidthPrefixClasses(classes, b, x) })
+}
+
+// validatePrefixClasses checks the structural arguments of equation (11).
+func validatePrefixClasses(classes []PrefixClass, b int, x float64) error {
+	if err := checkX(x); err != nil {
+		return err
 	}
-	var sum numerics.KahanSum
-	for _, y := range ys {
-		sum.Add(y)
+	if b < 1 {
+		return fmt.Errorf("%w: B=%d", ErrBadStructure, b)
 	}
-	return sum.Value(), nil
+	if len(classes) == 0 {
+		return fmt.Errorf("%w: no classes", ErrBadStructure)
+	}
+	for c, cl := range classes {
+		if cl.Size < 0 {
+			return fmt.Errorf("%w: class %d has size %d", ErrBadStructure, c, cl.Size)
+		}
+		if cl.PrefixLen < 0 || cl.PrefixLen > b {
+			return fmt.Errorf("%w: class %d has prefix %d (B=%d)", ErrBadStructure, c, cl.PrefixLen, b)
+		}
+		if cl.Size > 0 && cl.PrefixLen == 0 {
+			return fmt.Errorf("%w: class %d has modules but no buses", ErrBadStructure, c)
+		}
+	}
+	return nil
 }
 
 // BusUtilizationPrefixClasses returns the per-bus request probabilities
 // Y_1 … Y_b of the generalized equation (11). ys[i−1] is the probability
 // bus i carries a transfer in a cycle.
 func BusUtilizationPrefixClasses(classes []PrefixClass, b int, x float64) ([]float64, error) {
-	if err := checkX(x); err != nil {
+	if err := validatePrefixClasses(classes, b, x); err != nil {
 		return nil, err
 	}
-	if b < 1 {
-		return nil, fmt.Errorf("%w: B=%d", ErrBadStructure, b)
-	}
-	if len(classes) == 0 {
-		return nil, fmt.Errorf("%w: no classes", ErrBadStructure)
-	}
-	for c, cl := range classes {
-		if cl.Size < 0 {
-			return nil, fmt.Errorf("%w: class %d has size %d", ErrBadStructure, c, cl.Size)
-		}
-		if cl.PrefixLen < 0 || cl.PrefixLen > b {
-			return nil, fmt.Errorf("%w: class %d has prefix %d (B=%d)", ErrBadStructure, c, cl.PrefixLen, b)
-		}
-		if cl.Size > 0 && cl.PrefixLen == 0 {
-			return nil, fmt.Errorf("%w: class %d has modules but no buses", ErrBadStructure, c)
-		}
-	}
 	ys := make([]float64, b)
+	e := evalPool.Get().(*Evaluator)
+	defer evalPool.Put(e)
 	for i := 1; i <= b; i++ {
-		idle := 1.0
-		for _, cl := range classes {
-			if cl.PrefixLen < i || cl.Size == 0 {
-				continue
-			}
-			cdf, err := numerics.BinomialCDF(cl.Size, cl.PrefixLen-i, x)
-			if err != nil {
-				return nil, err
-			}
-			idle *= cdf
+		y, err := e.busUtilizationPrefix(classes, i, x)
+		if err != nil {
+			return nil, err
 		}
-		ys[i-1] = 1 - idle
+		ys[i-1] = y
 	}
 	return ys, nil
 }
@@ -236,15 +195,7 @@ func BusUtilizationPrefixClasses(classes []PrefixClass, b int, x float64) ([]flo
 // bandwidth of a partial bus network with K classes, where classSizes[j−1]
 // is M_j and class C_j is wired to buses 1 … j+B−K.
 func BandwidthKClasses(classSizes []int, b int, x float64) (float64, error) {
-	k := len(classSizes)
-	if k == 0 || k > b {
-		return 0, fmt.Errorf("%w: K=%d B=%d", ErrBadStructure, k, b)
-	}
-	classes := make([]PrefixClass, k)
-	for j := 1; j <= k; j++ {
-		classes[j-1] = PrefixClass{Size: classSizes[j-1], PrefixLen: j + b - k}
-	}
-	return BandwidthPrefixClasses(classes, b, x)
+	return pooledEval(func(e *Evaluator) (float64, error) { return e.BandwidthKClasses(classSizes, b, x) })
 }
 
 // BandwidthCrossbar returns the bandwidth of an m-module crossbar: with a

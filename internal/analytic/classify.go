@@ -74,20 +74,18 @@ func Classify(nw *topology.Network) (*Structure, error) {
 
 // Bandwidth evaluates the effective memory bandwidth of an arbitrary
 // classifiable topology at per-module request probability x, dispatching
-// to the appropriate closed form.
+// to the appropriate closed form. Callers evaluating one topology at
+// many rates should Classify once and use BandwidthStructure.
 func Bandwidth(nw *topology.Network, x float64) (float64, error) {
-	s, err := Classify(nw)
-	if err != nil {
-		return 0, err
-	}
-	switch s.Kind {
-	case StructureIndependentGroups:
-		return BandwidthIndependentGroups(s.Groups, x)
-	case StructurePrefixClasses:
-		return BandwidthPrefixClasses(s.Classes, nw.B(), x)
-	default:
-		return 0, fmt.Errorf("%w: unknown structure %v", ErrNoClosedForm, s.Kind)
-	}
+	return pooledEval(func(e *Evaluator) (float64, error) { return e.Bandwidth(nw, x) })
+}
+
+// BandwidthStructure evaluates a pre-classified topology (the Structure
+// from Classify plus the topology's bus count) with a pooled Evaluator.
+// The sweep layer classifies each grid combination once and calls this
+// per (rate, model) point.
+func BandwidthStructure(s *Structure, buses int, x float64) (float64, error) {
+	return pooledEval(func(e *Evaluator) (float64, error) { return e.BandwidthStructure(s, buses, x) })
 }
 
 // classifyGroups attempts the complete-bipartite-components decomposition.

@@ -1,0 +1,168 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+// TestEvaluatorMatchesPackageFunctions pins the Evaluator methods
+// bit-for-bit against the package-level entry points across every
+// formula family: both run the same code on the same row values, so any
+// divergence is a caching bug (stale row served for the wrong (n, p)).
+func TestEvaluatorMatchesPackageFunctions(t *testing.T) {
+	e := NewEvaluator()
+	for _, x := range []float64{0, 0.25, 0.6, 1} {
+		for _, n := range []int{4, 16, 32} {
+			for b := 1; b <= n; b *= 2 {
+				want, err := BandwidthFull(n, b, x)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := e.BandwidthFull(n, b, x)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Errorf("BandwidthFull(%d,%d,%v): evaluator %v, package %v", n, b, x, got, want)
+				}
+			}
+			want, err := BandwidthPartialGroups(n, n/2, 2, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := e.BandwidthPartialGroups(n, n/2, 2, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("BandwidthPartialGroups(%d,%d,2,%v): evaluator %v, package %v", n, n/2, x, got, want)
+			}
+		}
+		sizes := []int{4, 4, 8}
+		want, err := BandwidthKClasses(sizes, 4, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.BandwidthKClasses(sizes, 4, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("BandwidthKClasses(%v,4,%v): evaluator %v, package %v", sizes, x, got, want)
+		}
+	}
+}
+
+// TestEvaluatorSingleEvenMatchesSlice pins BandwidthSingleEven against
+// BandwidthSingle with an explicit equal-count slice: the even form
+// accumulates the same addend the same number of times through the same
+// compensated sum, so the results must be bit-identical.
+func TestEvaluatorSingleEvenMatchesSlice(t *testing.T) {
+	e := NewEvaluator()
+	for _, x := range []float64{0, 0.3, 0.87, 1} {
+		for _, b := range []int{1, 3, 8} {
+			counts := make([]int, b)
+			for i := range counts {
+				counts[i] = 4
+			}
+			want, err := BandwidthSingle(counts, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := e.BandwidthSingleEven(4, b, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("BandwidthSingleEven(4,%d,%v) = %v, BandwidthSingle = %v", b, x, got, want)
+			}
+		}
+	}
+}
+
+// TestEvaluatorRowEviction exercises the round-robin recycling path by
+// demanding more distinct rows than the cache holds, then re-verifying
+// values — recycled scratch must not leak stale distributions.
+func TestEvaluatorRowEviction(t *testing.T) {
+	e := NewEvaluator()
+	for round := 0; round < 2; round++ {
+		for n := 1; n <= 2*evaluatorMaxRows; n++ {
+			got, err := e.BandwidthFull(n, 1, 0.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := BandwidthFull(n, 1, 0.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("after eviction, BandwidthFull(%d,1,0.5) = %v, want %v", n, got, want)
+			}
+		}
+	}
+}
+
+// TestEvaluatorSteadyStateDoesNotAllocate pins the hot-path contract:
+// once an Evaluator has served a working set, re-evaluating the same
+// distributions performs zero allocations — the row cache, the class
+// scratch, and every query path reuse existing backing arrays.
+func TestEvaluatorSteadyStateDoesNotAllocate(t *testing.T) {
+	e := NewEvaluator()
+	sizes := []int{8, 8, 16}
+	warm := func() {
+		for b := 1; b <= 16; b *= 2 {
+			if _, err := e.BandwidthFull(32, b, 0.37); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := e.BandwidthPartialGroups(32, 8, 2, 0.37); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.BandwidthKClasses(sizes, 4, 0.37); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.BandwidthSingleEven(4, 8, 0.37); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm()
+	if allocs := testing.AllocsPerRun(100, warm); allocs != 0 {
+		t.Errorf("steady-state evaluation allocates %v times per run, want 0", allocs)
+	}
+}
+
+// TestEvaluatorStructureDispatch checks BandwidthStructure against the
+// direct formulas for both structure kinds and rejects a nil structure.
+func TestEvaluatorStructureDispatch(t *testing.T) {
+	e := NewEvaluator()
+	groups := &Structure{Kind: StructureIndependentGroups, Groups: []GroupSpec{{Modules: 8, Buses: 2}, {Modules: 8, Buses: 2}}}
+	got, err := e.BandwidthStructure(groups, 4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := BandwidthIndependentGroups(groups.Groups, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("BandwidthStructure(groups) = %v, want %v", got, want)
+	}
+	prefix := &Structure{Kind: StructurePrefixClasses, Classes: []PrefixClass{{Size: 8, PrefixLen: 2}, {Size: 8, PrefixLen: 4}}}
+	got, err = BandwidthStructure(prefix, 4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err = BandwidthPrefixClasses(prefix.Classes, 4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("BandwidthStructure(prefix) = %v, want %v", got, want)
+	}
+	if _, err := e.BandwidthStructure(nil, 4, 0.5); err == nil {
+		t.Error("nil structure accepted")
+	}
+	if v, err := e.BandwidthStructure(groups, 4, math.NaN()); err == nil {
+		t.Errorf("NaN x accepted: %v", v)
+	}
+}

@@ -13,6 +13,9 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -154,6 +157,64 @@ func (f *LogFlags) Logger(w io.Writer) (*slog.Logger, error) {
 	default:
 		return nil, fmt.Errorf("%w: -log-format %q (want text or json)", ErrBadFlag, f.Format)
 	}
+}
+
+// ProfileFlags holds the shared profiling flags after parsing. Build it
+// with RegisterProfileFlags and activate with Start.
+type ProfileFlags struct {
+	CPU string // -cpuprofile: pprof CPU profile output path
+	Mem string // -memprofile: pprof heap profile output path
+}
+
+// RegisterProfileFlags registers the shared -cpuprofile/-memprofile
+// flags on fs and returns the struct they parse into.
+func RegisterProfileFlags(fs *flag.FlagSet) *ProfileFlags {
+	f := &ProfileFlags{}
+	fs.StringVar(&f.CPU, "cpuprofile", "", "write a pprof CPU profile to this file")
+	fs.StringVar(&f.Mem, "memprofile", "", "write a pprof heap profile to this file on exit")
+	return f
+}
+
+// Start activates the requested profiles and returns a stop function
+// that finishes them: the CPU profile stops, and the heap profile is
+// written after a GC so it reflects live objects rather than garbage.
+// With neither flag set, both Start and stop are no-ops. The stop
+// function must be called before the program exits (not via defer past
+// os.Exit) or the CPU profile is truncated.
+func (f *ProfileFlags) Start() (stop func() error, err error) {
+	var cpuFile *os.File
+	if f.CPU != "" {
+		cpuFile, err = os.Create(f.CPU)
+		if err != nil {
+			return nil, fmt.Errorf("cliutil: -cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cliutil: -cpuprofile: %w", err)
+		}
+	}
+	mem := f.Mem
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("cliutil: -cpuprofile: %w", err)
+			}
+		}
+		if mem == "" {
+			return nil
+		}
+		memFile, err := os.Create(mem)
+		if err != nil {
+			return fmt.Errorf("cliutil: -memprofile: %w", err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(memFile); err != nil {
+			memFile.Close()
+			return fmt.Errorf("cliutil: -memprofile: %w", err)
+		}
+		return memFile.Close()
+	}, nil
 }
 
 // ParseInts parses a comma-separated integer list ("" means nil).

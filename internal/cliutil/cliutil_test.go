@@ -279,3 +279,59 @@ func TestLogFlagsLogger(t *testing.T) {
 		})
 	}
 }
+
+func TestProfileFlags(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	pf := RegisterProfileFlags(fs)
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	if err := fs.Parse([]string{"-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatal(err)
+	}
+	stop, err := pf.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has samples to flush.
+	x := 0.0
+	for i := 0; i < 100000; i++ {
+		x += float64(i) * 1e-9
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile %s missing: %v", path, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", path)
+		}
+	}
+}
+
+func TestProfileFlagsNoop(t *testing.T) {
+	stop, err := (&ProfileFlags{}).Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfileFlagsBadPath(t *testing.T) {
+	if _, err := (&ProfileFlags{CPU: filepath.Join(t.TempDir(), "no", "such", "dir", "x")}).Start(); err == nil {
+		t.Error("unwritable -cpuprofile path accepted")
+	}
+	stop, err := (&ProfileFlags{Mem: filepath.Join(t.TempDir(), "no", "such", "dir", "x")}).Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err == nil {
+		t.Error("unwritable -memprofile path accepted")
+	}
+}

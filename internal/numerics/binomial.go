@@ -27,6 +27,10 @@ var ErrInvalidRange = errors.New("numerics: invalid integer range")
 // LogChoose returns ln C(n, k). It returns negative infinity when k < 0 or
 // k > n, matching the convention that the corresponding binomial
 // coefficient is zero.
+//
+// The three ln-factorial terms are lock-free reads of the shared
+// LogFactorial table; entries are seeded from math.Lgamma, so the result
+// is bit-identical to the direct Lgamma formula at a fraction of its cost.
 func LogChoose(n, k int) float64 {
 	if k < 0 || k > n || n < 0 {
 		return math.Inf(-1)
@@ -34,18 +38,19 @@ func LogChoose(n, k int) float64 {
 	if k == 0 || k == n {
 		return 0
 	}
-	// lgamma is exact enough for every n we care about and avoids
-	// overflow for large n.
-	lg := func(x float64) float64 {
-		v, _ := math.Lgamma(x)
-		return v
-	}
-	return lg(float64(n)+1) - lg(float64(k)+1) - lg(float64(n-k)+1)
+	return LogFactorial(n) - LogFactorial(k) - LogFactorial(n-k)
 }
 
 // Choose returns C(n, k) as a float64. For n ≤ 62 the result is computed
 // exactly with integer arithmetic; beyond that it falls back to the
 // log-gamma form. Out-of-range (k < 0, k > n, n < 0) yields 0.
+//
+// 62 is the exact-path ceiling because the loop keeps the invariant
+// acc = C(n−k+i, i) after step i, and the pre-division intermediate
+// acc·(n−k+i) = C(n−k+i, i)·i peaks at C(62,31)·31 ≈ 1.44e19, just under
+// the uint64 limit; at n = 63 the same intermediate (≈2.8e19) overflows.
+// TestChooseExactAgainstBigInt pins the whole exact range against
+// math/big and the n = 63 boundary against the log-gamma fallback.
 func Choose(n, k int) float64 {
 	if k < 0 || k > n || n < 0 {
 		return 0
@@ -54,7 +59,6 @@ func Choose(n, k int) float64 {
 		k = n - k
 	}
 	if n <= 62 {
-		// Exact in uint64 for n ≤ 62 (C(62,31) < 2^63).
 		var acc uint64 = 1
 		for i := 1; i <= k; i++ {
 			acc = acc * uint64(n-k+i) / uint64(i)
@@ -162,12 +166,26 @@ func ExpectedMin(n, b int, p float64) (float64, error) {
 }
 
 // Pow1mXN returns (1−x)^n computed via exp(n·log1p(−x)) for accuracy when
-// x is tiny and n is large. n must be ≥ 0.
+// x is tiny and n is large.
+//
+// The domain is x ≤ 1 (x is a probability in every caller). Negative n is
+// defined as the reciprocal (1−x)^n = 1/(1−x)^{−n}, which the exp/log1p
+// form yields naturally for x < 1; at x = 1 the reciprocal of zero is
+// +Inf. Outside the domain (x > 1, where the base is negative and a
+// non-integer-safe power is meaningless) the result is NaN for n < 0 and
+// 0 for n > 0, the limit convention the callers relied on before negative
+// n was specified.
 func Pow1mXN(x float64, n int) float64 {
 	if n == 0 {
 		return 1
 	}
 	if x >= 1 {
+		if n < 0 {
+			if x > 1 {
+				return math.NaN()
+			}
+			return math.Inf(1) // 1/0^{−n}
+		}
 		return 0
 	}
 	if x == 0 {

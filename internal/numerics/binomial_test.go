@@ -277,6 +277,11 @@ func TestPow1mXN(t *testing.T) {
 		{0.5, 0, 1},
 		{0.5, 2, 0.25},
 		{0.125, 8, math.Pow(0.875, 8)},
+		// Negative n is the reciprocal: (1−x)^n = 1/(1−x)^{−n}.
+		{0.5, -1, 2},
+		{0.5, -2, 4},
+		{0, -5, 1},
+		{0.75, -4, 256},
 	}
 	for _, tt := range tests {
 		if got := Pow1mXN(tt.x, tt.n); !almostEqual(got, tt.want, 1e-12) {
@@ -288,5 +293,16 @@ func TestPow1mXN(t *testing.T) {
 	want := math.Exp(-1e-6) // (1-x)^n ≈ e^{-nx} to first order; tolerance covers the rest
 	if !almostEqual(got, want, 1e-9) {
 		t.Errorf("Pow1mXN tiny-x = %v, want ≈%v", got, want)
+	}
+	// Edge cases of the negative-n definition: 1/0^{−n} diverges at x = 1,
+	// and x > 1 (negative base) has no meaningful real power for n < 0.
+	if got := Pow1mXN(1, -3); !math.IsInf(got, 1) {
+		t.Errorf("Pow1mXN(1,-3) = %v, want +Inf", got)
+	}
+	if got := Pow1mXN(1.5, -3); !math.IsNaN(got) {
+		t.Errorf("Pow1mXN(1.5,-3) = %v, want NaN", got)
+	}
+	if got := Pow1mXN(1.5, 3); got != 0 {
+		t.Errorf("Pow1mXN(1.5,3) = %v, want 0", got)
 	}
 }

@@ -1,0 +1,233 @@
+package numerics
+
+import (
+	"fmt"
+	"math"
+)
+
+// BinomialRow evaluates the full PMF row of one Binomial(n, p)
+// distribution in O(n) and then serves PMF, CDF, TruncatedExcess, and
+// ExpectedMin queries as O(1) lookups. It is the batch counterpart of
+// BinomialPMF/BinomialCDF/TruncatedExcess: the analytic bandwidth
+// formulas ask for many functionals of the same (n, p) row — every bus
+// position i of a K-class network, every capacity b of a bus-count
+// sweep — and the per-call log-space path recomputed the row from
+// scratch each time.
+//
+// The row is filled by the multiplicative recurrence
+//
+//	PMF(k+1) = PMF(k) · (n−k)/(k+1) · p/(1−p)
+//
+// seeded in log space at the mode (where the PMF is largest, ≥ 1/(n+1),
+// so the seed never underflows) and walked outward in both directions;
+// moving away from the mode the ratios shrink the value, so rounding
+// drift cannot be amplified. Every rowAnchorStride steps the walk
+// re-seeds from the log-space closed form, bounding the multiplicative
+// drift at ~stride ulps independent of n; anchor entries are computed by
+// exactly the BinomialPMF formula, so they match the per-call path
+// bit-for-bit. TestBinomialRowMatchesLogSpace pins intermediate entries
+// to 1e-12 relative of the per-call path through n = 64 and extreme p;
+// beyond that agreement is bounded by the per-call path's own log-gamma
+// conditioning (~ulp(ln n!) per term, ≈4e-12 relative at n = 512), which
+// affects the reference as much as the anchors.
+//
+// A BinomialRow is caller-owned reusable scratch: Reset reuses the
+// backing arrays whenever capacity allows, so steady-state reuse is
+// allocation-free (pinned by TestBinomialRowResetDoesNotAllocate). The
+// zero value is ready for Reset. Not safe for concurrent use.
+type BinomialRow struct {
+	n     int
+	p     float64
+	valid bool
+	pmf   []float64 // pmf[k] = P[X = k], len n+1
+	cdf   []float64 // cdf[k] = P[X ≤ k], len n+1
+	exc   []float64 // exc[b] = Σ_{i>b} (i−b)·pmf[i], len n+1
+}
+
+// rowAnchorStride is how many recurrence steps run between log-space
+// re-seeds. 64 keeps worst-case drift near 64 ulps (~1.5e-14) while
+// paying for one exp per 64 entries.
+const rowAnchorStride = 64
+
+// Reset recomputes the row for Binomial(n, p), reusing the existing
+// backing arrays when they are large enough. It is the only method that
+// validates or allocates; the query methods are plain lookups.
+func (r *BinomialRow) Reset(n int, p float64) error {
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		r.valid = false
+		return fmt.Errorf("%w: p=%v", ErrInvalidProbability, p)
+	}
+	if n < 0 {
+		r.valid = false
+		return fmt.Errorf("%w: n=%d", ErrInvalidRange, n)
+	}
+	r.n, r.p, r.valid = n, p, true
+	r.pmf = resizeFloats(r.pmf, n+1)
+	r.cdf = resizeFloats(r.cdf, n+1)
+	r.exc = resizeFloats(r.exc, n+1)
+	r.fillPMF()
+	r.fillPrefixes()
+	return nil
+}
+
+// Valid reports whether the row holds a computed distribution (a
+// successful Reset not invalidated by a later failed one).
+func (r *BinomialRow) Valid() bool { return r.valid }
+
+// N returns the row's number of trials.
+func (r *BinomialRow) N() int { return r.n }
+
+// P returns the row's success probability.
+func (r *BinomialRow) P() float64 { return r.p }
+
+// Matches reports whether the row already holds Binomial(n, p), letting
+// callers skip a redundant Reset. p is compared exactly: the analytic
+// layer keys rows on the float64 bit pattern of X.
+func (r *BinomialRow) Matches(n int, p float64) bool {
+	return r.valid && r.n == n && r.p == p
+}
+
+// PMF returns P[X = k]; k outside [0, n] yields 0.
+func (r *BinomialRow) PMF(k int) float64 {
+	if k < 0 || k > r.n {
+		return 0
+	}
+	return r.pmf[k]
+}
+
+// CDF returns P[X ≤ k]; k < 0 yields 0 and k ≥ n yields 1.
+func (r *BinomialRow) CDF(k int) float64 {
+	if k < 0 {
+		return 0
+	}
+	if k >= r.n {
+		return 1
+	}
+	return r.cdf[k]
+}
+
+// TruncatedExcess returns Σ_{i=b+1}^{n} (i − b)·PMF(i), the expected
+// overflow beyond capacity b — the correction term of paper equations
+// (4), (8), and (9). b ≥ n yields 0. b must be ≥ 0 (enforced upstream by
+// every bandwidth formula); negative b panics rather than returning a
+// silently wrong lookup.
+func (r *BinomialRow) TruncatedExcess(b int) float64 {
+	if b >= r.n {
+		return 0
+	}
+	if b < 0 {
+		panic(fmt.Sprintf("numerics: BinomialRow.TruncatedExcess(b=%d): b must be ≥ 0", b))
+	}
+	return r.exc[b]
+}
+
+// ExpectedMin returns E[min(X, b)] = n·p − TruncatedExcess(b), the
+// expected number of the n sources served by b servers.
+func (r *BinomialRow) ExpectedMin(b int) float64 {
+	return float64(r.n)*r.p - r.TruncatedExcess(b)
+}
+
+// fillPMF fills r.pmf by the mode-seeded multiplicative recurrence with
+// periodic log-space anchors.
+func (r *BinomialRow) fillPMF() {
+	n, p := r.n, r.p
+	pmf := r.pmf
+	switch {
+	case n == 0:
+		pmf[0] = 1
+		return
+	case p == 0:
+		clearFloats(pmf)
+		pmf[0] = 1
+		return
+	case p == 1:
+		clearFloats(pmf)
+		pmf[n] = 1
+		return
+	}
+	// q = 1−p is exact for p ≥ ½ (Sterbenz) and loses nothing below it,
+	// so log(q) here equals the log1p(−p) of the per-call path.
+	q := 1 - p
+	logP, logQ := math.Log(p), math.Log1p(-p)
+	logSeed := func(k int) float64 {
+		// Identical to the BinomialPMF log form: anchors are bit-equal
+		// to the per-call path.
+		return math.Exp(LogChoose(n, k) + float64(k)*logP + float64(n-k)*logQ)
+	}
+	mode := int(float64(n+1) * p)
+	if mode > n {
+		mode = n
+	}
+	pmf[mode] = logSeed(mode)
+	// Upward walk: PMF(k) = PMF(k−1) · (n−k+1)/k · p/q.
+	pq := p / q
+	for k := mode + 1; k <= n; k++ {
+		if (k-mode)%rowAnchorStride == 0 {
+			pmf[k] = logSeed(k)
+			continue
+		}
+		pmf[k] = pmf[k-1] * (float64(n-k+1) / float64(k)) * pq
+	}
+	// Downward walk: PMF(k) = PMF(k+1) · (k+1)/(n−k) · q/p.
+	qp := q / p
+	for k := mode - 1; k >= 0; k-- {
+		if (mode-k)%rowAnchorStride == 0 {
+			pmf[k] = logSeed(k)
+			continue
+		}
+		pmf[k] = pmf[k+1] * (float64(k+1) / float64(n-k)) * qp
+	}
+}
+
+// fillPrefixes fills the CDF prefix sums and the truncated-excess
+// suffix sums from the PMF row, both with compensated accumulation.
+//
+// The excess identity: with tail(j) = Σ_{i≥j} PMF(i),
+//
+//	exc[b] = Σ_{i>b} (i−b)·PMF(i) = Σ_{j=b+1}^{n} tail(j),
+//
+// so one backward pass accumulating tails fills every b in O(n).
+func (r *BinomialRow) fillPrefixes() {
+	n := r.n
+	pmf, cdf, exc := r.pmf, r.cdf, r.exc
+	var run KahanSum
+	prev := 0.0
+	for k := 0; k <= n; k++ {
+		run.Add(pmf[k])
+		v := run.Value()
+		// Clamp to [prev, 1]: the CDF is monotone and bounded by
+		// construction; rounding in the compensated total must not be
+		// allowed to violate either invariant.
+		if v > 1 {
+			v = 1
+		}
+		if v < prev {
+			v = prev
+		}
+		cdf[k] = v
+		prev = v
+	}
+	exc[n] = 0
+	var tail, sum KahanSum
+	for b := n - 1; b >= 0; b-- {
+		tail.Add(pmf[b+1])
+		sum.Add(tail.Value())
+		exc[b] = sum.Value()
+	}
+}
+
+// resizeFloats returns a slice of length n backed by s when its capacity
+// suffices, allocating only on growth.
+func resizeFloats(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float64, n)
+}
+
+// clearFloats zeroes s (reused rows carry stale entries).
+func clearFloats(s []float64) {
+	for i := range s {
+		s[i] = 0
+	}
+}

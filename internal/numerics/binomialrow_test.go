@@ -1,0 +1,177 @@
+package numerics
+
+import (
+	"math"
+	"testing"
+)
+
+// rowTestNs and rowTestPs are the property-test grid: every small n (the
+// paper's range and the exact-Choose boundary), two big ones exercising
+// many anchor strides, crossed with extreme and central probabilities.
+var rowTestPs = []float64{1e-9, 1e-3, 0.5, 1 - 1e-9}
+
+func rowTestNs() []int {
+	ns := make([]int, 0, 66)
+	for n := 1; n <= 64; n++ {
+		ns = append(ns, n)
+	}
+	return append(ns, 512, 2048)
+}
+
+// TestBinomialRowMatchesLogSpace is the equivalence property pinning the
+// recurrence row against the per-call log-space reference path: PMF,
+// CDF, and TruncatedExcess agree to 1e-12 relative (1e-300 absolute
+// floor for deep-tail underflow), the PMF sums to 1, and the CDF is
+// monotone in [0, 1].
+//
+// For n ≥ 512 the tolerance is widened by the reference path's own
+// conditioning: its log-space sum carries independent ~ulp(ln n!)
+// rounding per ln-factorial term at each k, so two correct evaluations
+// at neighboring k can legitimately disagree by ≈ 8·ulp(ln n!) relative
+// after exponentiation (≈4e-12 at n=512) — tighter agreement than the
+// reference's own accuracy is not a meaningful property to pin.
+func TestBinomialRowMatchesLogSpace(t *testing.T) {
+	const absFloor = 1e-300
+	var relTol float64
+	close := func(got, want float64) bool {
+		diff := math.Abs(got - want)
+		return diff <= absFloor || diff <= relTol*math.Max(math.Abs(got), math.Abs(want))
+	}
+	var row BinomialRow
+	for _, n := range rowTestNs() {
+		relTol = 1e-12
+		if n > 64 {
+			lf := LogFactorial(n)
+			relTol += 8 * (math.Nextafter(lf, math.Inf(1)) - lf)
+		}
+		for _, p := range rowTestPs {
+			if err := row.Reset(n, p); err != nil {
+				t.Fatalf("Reset(%d, %v): %v", n, p, err)
+			}
+			var sum KahanSum
+			prev := 0.0
+			for k := 0; k <= n; k++ {
+				ref, err := BinomialPMF(n, k, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := row.PMF(k); !close(got, ref) {
+					t.Fatalf("PMF(n=%d, k=%d, p=%v) = %v, want %v", n, k, p, got, ref)
+				}
+				sum.Add(row.PMF(k))
+				cdf := row.CDF(k)
+				if cdf < prev || cdf > 1 {
+					t.Fatalf("CDF(n=%d, k=%d, p=%v) = %v not monotone in [0,1] (prev %v)", n, k, p, cdf, prev)
+				}
+				prev = cdf
+				// The reference CDF is O(k) per call; checking every k
+				// of the big rows would make the test O(n²). Sample it.
+				if n <= 64 || k%97 == 0 || k == n {
+					refCDF, err := BinomialCDF(n, k, p)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !close(cdf, refCDF) {
+						t.Fatalf("CDF(n=%d, k=%d, p=%v) = %v, want %v", n, k, p, cdf, refCDF)
+					}
+				}
+			}
+			if total := sum.Value(); math.Abs(total-1) > relTol {
+				t.Fatalf("PMF row (n=%d, p=%v) sums to %v", n, p, total)
+			}
+			// Excess at a few representative capacities, not all n of
+			// them: the reference path is O(n) per call.
+			for _, b := range []int{0, 1, n / 2, n - 1, n} {
+				ref, err := TruncatedExcess(n, b, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := row.TruncatedExcess(b); !close(got, ref) {
+					t.Fatalf("TruncatedExcess(n=%d, b=%d, p=%v) = %v, want %v", n, b, p, got, ref)
+				}
+				refMin, err := ExpectedMin(n, b, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// ExpectedMin is n·p − excess: near-total cancellation
+				// when b is far below the mean (E[min(X,0)] = 0 exactly),
+				// so its error scale is n·p, not the result.
+				if got := row.ExpectedMin(b); math.Abs(got-refMin) > relTol*math.Max(float64(n)*p, math.Abs(refMin)) {
+					t.Fatalf("ExpectedMin(n=%d, b=%d, p=%v) = %v, want %v", n, b, p, got, refMin)
+				}
+			}
+		}
+	}
+}
+
+// TestBinomialRowEdgeCases covers the degenerate distributions and the
+// out-of-range query conventions.
+func TestBinomialRowEdgeCases(t *testing.T) {
+	var row BinomialRow
+	if row.Valid() {
+		t.Error("zero row reports Valid")
+	}
+	if err := row.Reset(0, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if row.PMF(0) != 1 || row.CDF(0) != 1 || row.TruncatedExcess(0) != 0 {
+		t.Errorf("n=0 row: PMF=%v CDF=%v exc=%v, want 1,1,0", row.PMF(0), row.CDF(0), row.TruncatedExcess(0))
+	}
+	if err := row.Reset(5, 0); err != nil {
+		t.Fatal(err)
+	}
+	if row.PMF(0) != 1 || row.PMF(3) != 0 || row.ExpectedMin(2) != 0 {
+		t.Errorf("p=0 row wrong: PMF(0)=%v PMF(3)=%v E[min]=%v", row.PMF(0), row.PMF(3), row.ExpectedMin(2))
+	}
+	if err := row.Reset(5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if row.PMF(5) != 1 || row.CDF(4) != 0 || row.TruncatedExcess(2) != 3 {
+		t.Errorf("p=1 row wrong: PMF(5)=%v CDF(4)=%v exc(2)=%v", row.PMF(5), row.CDF(4), row.TruncatedExcess(2))
+	}
+	// Query conventions outside [0, n].
+	if row.PMF(-1) != 0 || row.PMF(6) != 0 || row.CDF(-1) != 0 || row.CDF(99) != 1 || row.TruncatedExcess(7) != 0 {
+		t.Error("out-of-range query conventions violated")
+	}
+	if !row.Matches(5, 1) || row.Matches(5, 0.5) || row.Matches(4, 1) {
+		t.Error("Matches mismatch")
+	}
+	if row.N() != 5 || row.P() != 1 {
+		t.Errorf("N/P = %d/%v, want 5/1", row.N(), row.P())
+	}
+	// Invalid Reset arguments invalidate the row and report the sentinel.
+	if err := row.Reset(5, 1.5); err == nil || row.Valid() {
+		t.Error("Reset(5, 1.5) accepted")
+	}
+	if err := row.Reset(-1, 0.5); err == nil || row.Valid() {
+		t.Error("Reset(-1, 0.5) accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("TruncatedExcess(-1) did not panic")
+		}
+	}()
+	row.Reset(4, 0.5)
+	row.TruncatedExcess(-1)
+}
+
+// TestBinomialRowResetDoesNotAllocate pins the scratch-reuse contract:
+// once a row has held a distribution of some size, Reset to any equal or
+// smaller n performs zero allocations.
+func TestBinomialRowResetDoesNotAllocate(t *testing.T) {
+	var row BinomialRow
+	if err := row.Reset(256, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := row.Reset(256, 0.75); err != nil {
+			t.Fatal(err)
+		}
+		if err := row.Reset(64, 0.3); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Reset allocates %v times per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,78 @@
+package numerics
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// The log-factorial table.
+//
+// Every binomial quantity in this package reduces to ln k! terms. The
+// original implementation paid three math.Lgamma calls per coefficient;
+// profiles of the table benchmarks showed Lgamma dominating the analytic
+// hot path. Instead, ln k! is read from a process-wide table that is
+//
+//   - lock-free on the read path: readers load an atomic pointer to an
+//     immutable snapshot slice and index it — no mutex, no write, safe
+//     under the race detector;
+//   - lazily grown: a miss takes a mutex, re-checks, and publishes a new
+//     snapshot extending the old one (powers of two, so growth is
+//     amortized O(1) per entry and concurrent growers coalesce);
+//   - entry-exact with the Lgamma path: each entry is computed as
+//     math.Lgamma(k+1) once at growth time, so LogChoose built on the
+//     table returns bit-identical values to the formula it replaced.
+//
+// Snapshots are append-only copies; an old snapshot stays valid for
+// readers that loaded it before a growth, it just covers fewer entries.
+
+// lfactInitCap covers 0! … 4095! from the first growth — sized for the
+// "n in the thousands" sweeps the package documents, so steady state
+// never grows.
+const lfactInitCap = 4096
+
+var (
+	lfactTable atomic.Pointer[[]float64]
+	lfactMu    sync.Mutex
+)
+
+// LogFactorial returns ln n!. Negative n yields negative infinity
+// (matching the zero-coefficient convention of LogChoose). The first
+// call for an n beyond the current table grows it; every subsequent
+// call is a lock-free table read.
+func LogFactorial(n int) float64 {
+	if n < 0 {
+		return math.Inf(-1)
+	}
+	if t := lfactTable.Load(); t != nil && n < len(*t) {
+		return (*t)[n]
+	}
+	return lfactGrow(n)
+}
+
+// lfactGrow extends the table to cover n and returns ln n!. Growth
+// doubles from lfactInitCap so racing growers publish at most
+// O(log n) snapshots between them.
+func lfactGrow(n int) float64 {
+	lfactMu.Lock()
+	defer lfactMu.Unlock()
+	old := lfactTable.Load()
+	if old != nil && n < len(*old) {
+		return (*old)[n] // another grower got there first
+	}
+	size := lfactInitCap
+	for size <= n {
+		size *= 2
+	}
+	next := make([]float64, size)
+	start := 0
+	if old != nil {
+		start = copy(next, *old)
+	}
+	for k := start; k < size; k++ {
+		v, _ := math.Lgamma(float64(k) + 1)
+		next[k] = v
+	}
+	lfactTable.Store(&next)
+	return next[n]
+}

@@ -1,0 +1,83 @@
+package numerics
+
+import (
+	"math"
+	"math/big"
+	"sync"
+	"testing"
+)
+
+// TestLogFactorialMatchesLgamma pins the shared table against the
+// formula its entries are seeded from: every read must be bit-identical
+// to math.Lgamma(n+1), inside the initial capacity and after growth.
+func TestLogFactorialMatchesLgamma(t *testing.T) {
+	checks := make([]int, 0, 600)
+	for n := 0; n <= 512; n++ {
+		checks = append(checks, n)
+	}
+	// Past the initial capacity: force at least one growth step.
+	checks = append(checks, lfactInitCap-1, lfactInitCap, lfactInitCap+1, 3*lfactInitCap)
+	for _, n := range checks {
+		want, _ := math.Lgamma(float64(n) + 1)
+		if got := LogFactorial(n); got != want {
+			t.Errorf("LogFactorial(%d) = %v, want Lgamma(%d) = %v", n, got, n+1, want)
+		}
+	}
+	if got := LogFactorial(-1); !math.IsInf(got, -1) {
+		t.Errorf("LogFactorial(-1) = %v, want -Inf", got)
+	}
+}
+
+// TestLogFactorialConcurrentGrowth hammers the table from many
+// goroutines with interleaved small and growing arguments. Run under
+// the race detector (make race) this proves the atomic-snapshot /
+// grow-under-mutex protocol: readers never see a partially filled table
+// and concurrent growers publish consistent snapshots.
+func TestLogFactorialConcurrentGrowth(t *testing.T) {
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				n := (g + 1) * (i + 1) * 37 % (2 * lfactInitCap)
+				want, _ := math.Lgamma(float64(n) + 1)
+				if got := LogFactorial(n); got != want {
+					t.Errorf("concurrent LogFactorial(%d) = %v, want %v", n, got, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestChooseExactAgainstBigInt verifies the exact integer path of Choose
+// against math/big for the entire range it claims, 0 ≤ k ≤ n ≤ 62: every
+// result must equal the float64 conversion of the exact C(n, k). At
+// n = 63 the pre-division intermediate overflows uint64 and Choose falls
+// back to the log-gamma form, which is no longer exact — the boundary
+// case pins that the fallback stays within 1e-12 relative of exact.
+func TestChooseExactAgainstBigInt(t *testing.T) {
+	for n := 0; n <= 62; n++ {
+		for k := 0; k <= n; k++ {
+			exact := new(big.Int).Binomial(int64(n), int64(k))
+			want, _ := new(big.Float).SetInt(exact).Float64()
+			if got := Choose(n, k); got != want {
+				t.Errorf("Choose(%d,%d) = %v, want exact %v", n, k, got, exact)
+			}
+		}
+	}
+	for k := 0; k <= 63; k++ {
+		exact := new(big.Int).Binomial(63, int64(k))
+		want, _ := new(big.Float).SetInt(exact).Float64()
+		got := Choose(63, k)
+		if want == 0 {
+			t.Fatalf("exact C(63,%d) rounded to 0", k)
+		}
+		if rel := math.Abs(got-want) / want; rel > 1e-12 {
+			t.Errorf("Choose(63,%d) = %v, want %v (rel err %v > 1e-12)", k, got, want, rel)
+		}
+	}
+}

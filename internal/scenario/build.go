@@ -53,6 +53,23 @@ func (s Scenario) Build() (*Built, error) {
 	return b, nil
 }
 
+// WithRate returns a copy of the built scenario at request rate r,
+// sharing the wired Network and request Model objects with the receiver.
+// The rate axis is the only scenario field the analytic sweep varies
+// within one (scheme, model, N, B) combination; re-running Build per
+// rate re-wires the topology and re-derives the hierarchy only to throw
+// both away. r is validated exactly as Canonical validates Scenario.R,
+// so a WithRate copy keys and evaluates identically to a fresh Build at
+// the same rate.
+func (b *Built) WithRate(r float64) (*Built, error) {
+	if r < 0 || r > 1 || math.IsNaN(r) {
+		return nil, fmt.Errorf("%w: r = %v outside [0, 1]", ErrInvalid, r)
+	}
+	nb := *b
+	nb.Scenario.R = r
+	return &nb, nil
+}
+
 // build wires the canonical network. The topology constructors re-check
 // the structural constraints canonicalization enforced; any residual
 // error they return already matches the sentinel classification.

@@ -18,6 +18,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"runtime/pprof"
 	"sync"
@@ -133,12 +134,28 @@ type Result struct {
 }
 
 // job is one enumerated grid point awaiting evaluation. The built
-// scenario is constructed during (sequential) enumeration; it is
-// read-only afterwards, so workers evaluate jobs concurrently.
+// scenario, the request probability, and the classified structure are
+// all constructed during (sequential) enumeration; they are read-only
+// afterwards, so workers evaluate jobs concurrently. Jobs of one
+// (scheme, model, N, B) combination share one Network, one Model, and
+// one Structure (via scenario.Built.WithRate), and jobs of one
+// (model, N, r) share the precomputed X across schemes — evaluation per
+// point is down to one BandwidthStructure dispatch on cached rows.
 type job struct {
-	axis  string // scheme axis name, the key and output tag
-	model string // model axis name
-	built *scenario.Built
+	axis      string // scheme axis name, the key and output tag
+	model     string // model axis name
+	built     *scenario.Built
+	x         float64             // Model.X(r), computed once per (model, M, r)
+	structure *analytic.Structure // Classify result; nil for crossbar points
+}
+
+// xKey keys the per-enumeration X cache: the built model's fingerprint
+// (which encodes kind, parameters, and module count) plus the exact rate
+// bits. AxisName is not enough — two hier templates with different
+// locality parameters share one axis label.
+type xKey struct {
+	modelFP uint64
+	rBits   uint64
 }
 
 // Run evaluates the sweep and returns its points in deterministic order
@@ -296,6 +313,7 @@ func enumerate(spec Spec) ([]job, []Skip, error) {
 		jobs    []job
 		skipped []Skip
 	)
+	xs := make(map[xKey]float64)
 	for _, tmpl := range spec.Schemes {
 		axis := tmpl.AxisName()
 		for _, model := range models {
@@ -312,7 +330,7 @@ func enumerate(spec Spec) ([]job, []Skip, error) {
 						})
 						continue
 					}
-					built, skip, err := buildCombination(spec, tmpl, model, n, b)
+					built, skip, err := buildCombination(spec, axis, modelAxis, tmpl, model, n, b, xs)
 					if err != nil {
 						return nil, nil, err
 					}
@@ -320,9 +338,7 @@ func enumerate(spec Spec) ([]job, []Skip, error) {
 						skipped = append(skipped, Skip{Scheme: axis, Model: modelAxis, N: n, B: b, Reason: skip})
 						continue
 					}
-					for _, bl := range built {
-						jobs = append(jobs, job{axis: axis, model: modelAxis, built: bl})
-					}
+					jobs = append(jobs, built...)
 				}
 			}
 		}
@@ -332,32 +348,60 @@ func enumerate(spec Spec) ([]job, []Skip, error) {
 
 // buildCombination builds one (scheme, model, N, B) combination at every
 // rate, returning a skip reason (and no error) when the combination is
-// structurally unsatisfiable.
-func buildCombination(spec Spec, tmpl scenario.Network, model scenario.Model, n, b int) ([]*scenario.Built, string, error) {
-	built := make([]*scenario.Built, 0, len(spec.Rs))
-	for _, r := range spec.Rs {
-		nw := tmpl
-		nw.N, nw.M, nw.B = n, 0, b
-		s := scenario.Scenario{
-			Network: nw,
-			Model:   model,
-			R:       r,
-			// The sim block is always present so memo keys embed the
-			// cycle count and seed whether or not WithSim is set —
-			// matching the key layout a simulated sweep of the same grid
-			// would use.
-			Sim: &scenario.Sim{Cycles: spec.SimCycles, Seed: spec.Seed},
-		}
-		bl, err := s.Build()
-		if errors.Is(err, scenario.ErrUnsatisfiable) {
-			return nil, err.Error(), nil
-		}
+// structurally unsatisfiable. The combination is wired and classified
+// once: the first rate goes through the full canonical Build, the rest
+// are WithRate copies sharing its Network and Model, and the Classify
+// walk runs once for all of them. X values are memoized in xs across
+// combinations — the same (model, N, r) recurs for every scheme axis.
+func buildCombination(spec Spec, axis, modelAxis string, tmpl scenario.Network, model scenario.Model, n, b int, xs map[xKey]float64) ([]job, string, error) {
+	nw := tmpl
+	nw.N, nw.M, nw.B = n, 0, b
+	s := scenario.Scenario{
+		Network: nw,
+		Model:   model,
+		R:       spec.Rs[0],
+		// The sim block is always present so memo keys embed the
+		// cycle count and seed whether or not WithSim is set —
+		// matching the key layout a simulated sweep of the same grid
+		// would use.
+		Sim: &scenario.Sim{Cycles: spec.SimCycles, Seed: spec.Seed},
+	}
+	base, err := s.Build()
+	if errors.Is(err, scenario.ErrUnsatisfiable) {
+		return nil, err.Error(), nil
+	}
+	if err != nil {
+		return nil, "", err
+	}
+	var structure *analytic.Structure
+	if !base.Crossbar {
+		structure, err = analytic.Classify(base.Network)
 		if err != nil {
 			return nil, "", err
 		}
-		built = append(built, bl)
 	}
-	return built, "", nil
+	modelFP := base.Model.Fingerprint()
+	jobs := make([]job, 0, len(spec.Rs))
+	for i, r := range spec.Rs {
+		bl := base
+		if i > 0 {
+			bl, err = base.WithRate(r)
+			if err != nil {
+				return nil, "", err
+			}
+		}
+		key := xKey{modelFP: modelFP, rBits: math.Float64bits(r)}
+		x, ok := xs[key]
+		if !ok {
+			x, err = bl.Model.X(r)
+			if err != nil {
+				return nil, "", err
+			}
+			xs[key] = x
+		}
+		jobs = append(jobs, job{axis: axis, model: modelAxis, built: bl, x: x, structure: structure})
+	}
+	return jobs, "", nil
 }
 
 // evaluatePoint evaluates one grid point through Spec.Memo when one is
@@ -386,16 +430,17 @@ func evaluatePoint(ctx context.Context, spec Spec, jb job) (Point, error) {
 // WithSim, an independently seeded simulator cross-check. Crossbar
 // points use the crossbar formula on the model's X and are never
 // simulated (the reference curve has no bus contention to simulate).
+// X and the classified structure come precomputed from enumeration, so
+// the analytic half is one dispatch against pooled binomial-row caches.
 func evaluate(ctx context.Context, spec Spec, jb job) (Point, error) {
-	x, err := jb.built.Model.X(jb.built.Scenario.R)
-	if err != nil {
-		return Point{}, err
-	}
-	var bw float64
+	var (
+		bw  float64
+		err error
+	)
 	if jb.built.Crossbar {
-		bw, err = analytic.BandwidthCrossbar(jb.built.Network.M(), x)
+		bw, err = analytic.BandwidthCrossbar(jb.built.Network.M(), jb.x)
 	} else {
-		bw, err = analytic.Bandwidth(jb.built.Network, x)
+		bw, err = analytic.BandwidthStructure(jb.structure, jb.built.Network.B(), jb.x)
 	}
 	if err != nil {
 		return Point{}, err
@@ -403,7 +448,7 @@ func evaluate(ctx context.Context, spec Spec, jb job) (Point, error) {
 	pt := Point{
 		Scheme: jb.axis, Model: jb.model,
 		N: jb.built.Network.N(), B: jb.built.Network.B(), R: jb.built.Scenario.R,
-		X: x, Bandwidth: bw,
+		X: jb.x, Bandwidth: bw,
 	}
 	if spec.WithSim && !jb.built.Crossbar {
 		cfg, err := jb.built.SimConfig()

@@ -1,37 +1,42 @@
 package tables
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // nan marks a cell the paper leaves empty (B > N) or that is illegible in
 // the available scan of the paper; comparisons skip NaN cells.
 var nan = math.NaN()
 
+// paperTables memoizes the built reference tables: the data is static
+// and Compare never mutates its inputs, so all callers can share one
+// instance per ID instead of re-laying the grid out on every call.
+var (
+	paperOnce   sync.Once
+	paperTables map[string]*Table
+)
+
 // PaperTable returns the values printed in the paper for the given table
 // ID, in exactly the layout Generate produces, or nil for unknown IDs.
+// The returned table is shared and must not be mutated.
 // Sources: Chen & Sheu, Tables II–VI. Cells lost to the source scan are
 // NaN; the complete column sets (all of Tables V and VI, Table II N=8 and
 // N=12, Table IVa) are verbatim.
 func PaperTable(id string) *Table {
-	switch id {
-	case "II":
-		return paperTableII()
-	case "III":
-		return paperTableIII()
-	case "IVa":
-		return paperTableIVa()
-	case "IVb":
-		return paperTableIVb()
-	case "Va":
-		return paperTableVa()
-	case "Vb":
-		return paperTableVb()
-	case "VIa":
-		return paperTableVIa()
-	case "VIb":
-		return paperTableVIb()
-	default:
-		return nil
-	}
+	paperOnce.Do(func() {
+		paperTables = map[string]*Table{
+			"II":  paperTableII(),
+			"III": paperTableIII(),
+			"IVa": paperTableIVa(),
+			"IVb": paperTableIVb(),
+			"Va":  paperTableVa(),
+			"Vb":  paperTableVb(),
+			"VIa": paperTableVIa(),
+			"VIb": paperTableVIb(),
+		}
+	})
+	return paperTables[id]
 }
 
 func fullLayout(id, title string, values [][]float64) *Table {

@@ -13,6 +13,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strconv"
+	"sync"
 
 	"multibus/internal/analytic"
 	"multibus/internal/hrm"
@@ -67,20 +69,61 @@ func paperUnif(n int, r float64) (float64, error) {
 	return h.X(r)
 }
 
+// xCache memoizes bothX: the paper workloads are fixed, so X depends
+// only on (N, r) and rebuilding the two hierarchy objects per table
+// generation is pure allocation churn. The cache is tiny (one entry per
+// distinct table column family) and never invalidated.
+var xCache sync.Map // xCacheKey → [2]float64{hier, unif}
+
+type xCacheKey struct {
+	n int
+	r float64
+}
+
 // bothX returns (hier X, unif X) for the given N and r.
 func bothX(n int, r float64) (xh, xu float64, err error) {
+	if v, ok := xCache.Load(xCacheKey{n, r}); ok {
+		pair := v.([2]float64)
+		return pair[0], pair[1], nil
+	}
 	xh, err = paperHier(n, r)
 	if err != nil {
 		return 0, 0, err
 	}
 	xu, err = paperUnif(n, r)
-	return xh, xu, err
+	if err != nil {
+		return 0, 0, err
+	}
+	xCache.Store(xCacheKey{n, r}, [2]float64{xh, xu})
+	return xh, xu, nil
+}
+
+// evalPool recycles evaluators (and with them the binomial-row scratch)
+// across table generations.
+var evalPool = sync.Pool{New: func() any { return analytic.NewEvaluator() }}
+
+// columnXs evaluates the per-module request probabilities of a table's
+// column family once up front: (hier X, unif X) per N, in column order.
+// The old layout recomputed both hierarchies — allocations included —
+// inside every (B, N) cell; the probabilities depend only on (N, r).
+func columnXs(ns []int, r float64) ([]float64, error) {
+	xs := make([]float64, 0, len(ns)*2)
+	for _, n := range ns {
+		xh, xu, err := bothX(n, r)
+		if err != nil {
+			return nil, err
+		}
+		xs = append(xs, xh, xu)
+	}
+	return xs, nil
 }
 
 // fullConnectionTable generates Table II (r = 1.0) or Table III
 // (r = 0.5): memory bandwidth of N×N×B networks with full bus–memory
 // connection, for N ∈ {8, 12, 16}, B = 1 … N, hierarchical and uniform
-// workloads, plus the N×N crossbar row.
+// workloads, plus the N×N crossbar row. One analytic.Evaluator spans the
+// whole table, so each of the six Binomial(N, X) rows is computed once
+// and every cell is an O(1) lookup against it.
 func fullConnectionTable(id string, r float64) (*Table, error) {
 	ns := []int{8, 12, 16}
 	maxN := ns[len(ns)-1]
@@ -91,23 +134,25 @@ func fullConnectionTable(id string, r float64) (*Table, error) {
 	for _, n := range ns {
 		t.Columns = append(t.Columns, fmt.Sprintf("N=%d Hier", n), fmt.Sprintf("N=%d Unif", n))
 	}
+	xs, err := columnXs(ns, r)
+	if err != nil {
+		return nil, err
+	}
+	ev := evalPool.Get().(*analytic.Evaluator)
+	defer evalPool.Put(ev)
 	for b := 1; b <= maxN; b++ {
-		t.RowLabels = append(t.RowLabels, fmt.Sprintf("%d", b))
+		t.RowLabels = append(t.RowLabels, strconv.Itoa(b))
 		row := make([]float64, 0, len(ns)*2)
-		for _, n := range ns {
+		for i, n := range ns {
 			if b > n {
 				row = append(row, math.NaN(), math.NaN())
 				continue
 			}
-			xh, xu, err := bothX(n, r)
+			vh, err := ev.BandwidthFull(n, b, xs[2*i])
 			if err != nil {
 				return nil, err
 			}
-			vh, err := analytic.BandwidthFull(n, b, xh)
-			if err != nil {
-				return nil, err
-			}
-			vu, err := analytic.BandwidthFull(n, b, xu)
+			vu, err := ev.BandwidthFull(n, b, xs[2*i+1])
 			if err != nil {
 				return nil, err
 			}
@@ -118,16 +163,12 @@ func fullConnectionTable(id string, r float64) (*Table, error) {
 	// Crossbar row.
 	t.RowLabels = append(t.RowLabels, "N×N crossbar")
 	row := make([]float64, 0, len(ns)*2)
-	for _, n := range ns {
-		xh, xu, err := bothX(n, r)
+	for i, n := range ns {
+		vh, err := ev.BandwidthCrossbar(n, xs[2*i])
 		if err != nil {
 			return nil, err
 		}
-		vh, err := analytic.BandwidthCrossbar(n, xh)
-		if err != nil {
-			return nil, err
-		}
-		vu, err := analytic.BandwidthCrossbar(n, xu)
+		vu, err := ev.BandwidthCrossbar(n, xs[2*i+1])
 		if err != nil {
 			return nil, err
 		}
@@ -144,9 +185,12 @@ func TableII() (*Table, error) { return fullConnectionTable("II", 1.0) }
 func TableIII() (*Table, error) { return fullConnectionTable("III", 0.5) }
 
 // powerTable builds the shared layout of Tables IV–VI: N ∈ {8, 16, 32},
-// B running over powers of two from minB to 32, NaN above B > N.
+// B running over powers of two from minB to 32, NaN above B > N. The
+// per-(N, r) request probabilities are computed once and one evaluator
+// spans every cell, so the per-scheme eval callbacks reuse binomial rows
+// across the whole B axis.
 func powerTable(id, scheme string, r float64, minB int,
-	eval func(n, b int, x float64) (float64, error)) (*Table, error) {
+	eval func(ev *analytic.Evaluator, n, b int, x float64) (float64, error)) (*Table, error) {
 	ns := []int{8, 16, 32}
 	t := &Table{
 		ID:    id,
@@ -155,23 +199,25 @@ func powerTable(id, scheme string, r float64, minB int,
 	for _, n := range ns {
 		t.Columns = append(t.Columns, fmt.Sprintf("N=%d Hier", n), fmt.Sprintf("N=%d Unif", n))
 	}
+	xs, err := columnXs(ns, r)
+	if err != nil {
+		return nil, err
+	}
+	ev := evalPool.Get().(*analytic.Evaluator)
+	defer evalPool.Put(ev)
 	for b := minB; b <= 32; b *= 2 {
-		t.RowLabels = append(t.RowLabels, fmt.Sprintf("%d", b))
+		t.RowLabels = append(t.RowLabels, strconv.Itoa(b))
 		row := make([]float64, 0, len(ns)*2)
-		for _, n := range ns {
+		for i, n := range ns {
 			if b > n {
 				row = append(row, math.NaN(), math.NaN())
 				continue
 			}
-			xh, xu, err := bothX(n, r)
+			vh, err := eval(ev, n, b, xs[2*i])
 			if err != nil {
 				return nil, err
 			}
-			vh, err := eval(n, b, xh)
-			if err != nil {
-				return nil, err
-			}
-			vu, err := eval(n, b, xu)
+			vu, err := eval(ev, n, b, xs[2*i+1])
 			if err != nil {
 				return nil, err
 			}
@@ -190,12 +236,8 @@ func TableIV(r float64) (*Table, error) {
 		id = "IVb"
 	}
 	return powerTable(id, "networks with single bus-memory connection", r, 1,
-		func(n, b int, x float64) (float64, error) {
-			counts := make([]int, b)
-			for i := range counts {
-				counts[i] = n / b
-			}
-			return analytic.BandwidthSingle(counts, x)
+		func(ev *analytic.Evaluator, n, b int, x float64) (float64, error) {
+			return ev.BandwidthSingleEven(n/b, b, x)
 		})
 }
 
@@ -207,8 +249,8 @@ func TableV(r float64) (*Table, error) {
 		id = "Vb"
 	}
 	return powerTable(id, "partial bus networks with g=2", r, 2,
-		func(n, b int, x float64) (float64, error) {
-			return analytic.BandwidthPartialGroups(n, b, 2, x)
+		func(ev *analytic.Evaluator, n, b int, x float64) (float64, error) {
+			return ev.BandwidthPartialGroups(n, b, 2, x)
 		})
 }
 
@@ -219,13 +261,16 @@ func TableVI(r float64) (*Table, error) {
 	if r == 0.5 {
 		id = "VIb"
 	}
+	// One class-size scratch per table, shared by every cell's closure
+	// invocation (B ≤ 32 in this layout).
+	var scratch [32]int
 	return powerTable(id, "partial bus networks with K=B classes", r, 2,
-		func(n, b int, x float64) (float64, error) {
-			sizes := make([]int, b)
+		func(ev *analytic.Evaluator, n, b int, x float64) (float64, error) {
+			sizes := scratch[:b]
 			for i := range sizes {
 				sizes[i] = n / b
 			}
-			return analytic.BandwidthKClasses(sizes, b, x)
+			return ev.BandwidthKClasses(sizes, b, x)
 		})
 }
 
