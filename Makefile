@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-compare repro examples fmt vet cover clean check lint serve-smoke chaos-smoke scenarios-check
+.PHONY: all build test race bench bench-compare repro examples fmt vet cover clean check lint serve-smoke chaos-smoke scenarios-check api-check
 
 all: build vet test
 
@@ -10,7 +10,7 @@ all: build vet test
 # concurrent packages, scenario-file validation, and end-to-end boots
 # of the HTTP service (healthy and under chaos injection). Run
 # `make bench-compare` alongside it when touching the analytic hot path.
-check: build lint test race scenarios-check serve-smoke chaos-smoke
+check: build lint test race scenarios-check api-check serve-smoke chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -19,7 +19,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/numerics/... ./internal/analytic/... ./internal/scenario/... ./internal/sim/... ./internal/sweep/... ./internal/cache/... ./internal/chaos/... ./internal/service/... ./internal/obs/...
+	$(GO) test -race ./internal/numerics/... ./internal/analytic/... ./internal/scenario/... ./internal/sim/... ./internal/sweep/... ./internal/cache/... ./internal/chaos/... ./internal/service/... ./internal/obs/... ./internal/jobs/...
+
+# Contract gate: api/openapi.yaml must document exactly the routes the
+# service serves, the error envelope must match the wire shape, and the
+# example fixtures must round-trip through the real handlers.
+api-check:
+	$(GO) run ./cmd/apicheck
 
 # Validate every committed example scenario against the canonical
 # scenario layer (strict parse + build + key derivation).

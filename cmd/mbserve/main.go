@@ -13,12 +13,17 @@
 //	  "r": 1.0
 //	}'
 //
-// Endpoints: POST /v1/analyze, /v1/simulate, /v1/sweep, /v1/batch; GET
-// /healthz, /metrics (Prometheus text), /debug/vars (expvar JSON),
-// /debug/pprof/. Structured access logs go to stderr; tune them with
-// -log-level and -log-format. The server drains in-flight requests on
-// SIGINT/SIGTERM before exiting; /healthz answers 503 draining during
-// the drain window so load balancers stop routing here.
+// Endpoints: POST /v1/analyze, /v1/simulate, /v1/sweep, /v1/batch,
+// /v1/jobs (async sweep/batch with status polling, cursor-paged
+// results, NDJSON/SSE streaming, and cancellation under /v1/jobs/{id});
+// GET /healthz, /metrics (Prometheus text), /debug/vars (expvar JSON),
+// /debug/pprof/. The full contract lives in api/openapi.yaml.
+// Structured access logs go to stderr; tune them with -log-level and
+// -log-format. The server drains in-flight requests on SIGINT/SIGTERM
+// before exiting; /healthz answers 503 draining during the drain window
+// so load balancers stop routing here, and the job store drains after
+// request traffic stops (queued jobs canceled, running jobs given the
+// remaining budget).
 //
 // The robustness layer is tunable: -admit bounds concurrent compute (in
 // admission units — see the README's Robustness section), -queue bounds
@@ -50,17 +55,19 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
-		cacheSize = flag.Int("cache-size", service.DefaultCacheSize, "analysis cache capacity (entries)")
-		timeout   = flag.Duration("timeout", service.DefaultTimeout, "per-request computation deadline")
-		maxBody   = flag.Int64("max-body", service.DefaultMaxBodyBytes, "request body size limit (bytes)")
-		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
-		admit     = flag.Int("admit", 0, "admission limit in compute units (0 = 2×GOMAXPROCS, min 4)")
-		queue     = flag.Int("queue", 0, "admission wait-queue depth (0 = default, negative = shed immediately)")
-		freshTTL  = flag.Duration("fresh-ttl", 0, "cache freshness horizon before revalidation (0 = default, negative = never)")
-		staleTTL  = flag.Duration("stale-ttl", 0, "max age of stale answers served on compute failure (0 = default, negative = disabled)")
-		chaosSpec = flag.String("chaos", "", "fault injection spec, e.g. \"latency=2s,latencyRate=1,seed=7\" (testing only)")
-		logFlags  = cliutil.RegisterLogFlags(flag.CommandLine)
+		addr       = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		cacheSize  = flag.Int("cache-size", service.DefaultCacheSize, "analysis cache capacity (entries)")
+		timeout    = flag.Duration("timeout", service.DefaultTimeout, "per-request computation deadline")
+		maxBody    = flag.Int64("max-body", service.DefaultMaxBodyBytes, "request body size limit (bytes)")
+		drain      = flag.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
+		admit      = flag.Int("admit", 0, "admission limit in compute units (0 = 2×GOMAXPROCS, min 4)")
+		queue      = flag.Int("queue", 0, "admission wait-queue depth (0 = default, negative = shed immediately)")
+		freshTTL   = flag.Duration("fresh-ttl", 0, "cache freshness horizon before revalidation (0 = default, negative = never)")
+		staleTTL   = flag.Duration("stale-ttl", 0, "max age of stale answers served on compute failure (0 = default, negative = disabled)")
+		jobsMax    = flag.Int("jobs", 0, "max resident async jobs (0 = default, negative = disable the /v1/jobs surface)")
+		jobResults = flag.Int("job-results-cap", 0, "retained result records per job for pagination/replay (0 = default)")
+		chaosSpec  = flag.String("chaos", "", "fault injection spec, e.g. \"latency=2s,latencyRate=1,seed=7\" (testing only)")
+		logFlags   = cliutil.RegisterLogFlags(flag.CommandLine)
 	)
 	flag.Parse()
 	logger, err := logFlags.Logger(os.Stderr)
@@ -79,10 +86,12 @@ func main() {
 					}
 					return *admit
 				}(),
-				QueueDepth: *queue,
-				FreshTTL:   *freshTTL,
-				StaleTTL:   *staleTTL,
-				Chaos:      injector,
+				QueueDepth:    *queue,
+				FreshTTL:      *freshTTL,
+				StaleTTL:      *staleTTL,
+				Chaos:         injector,
+				JobsMax:       *jobsMax,
+				JobResultsCap: *jobResults,
 			})
 		}
 	}
@@ -164,6 +173,10 @@ func run(logger *slog.Logger, addr string, drain time.Duration, opts service.Opt
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
+	// Request traffic has stopped; drain the async jobs on the remaining
+	// budget (queued jobs cancel immediately, running jobs get until the
+	// deadline before being canceled).
+	srv.DrainJobs(shutdownCtx)
 	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}

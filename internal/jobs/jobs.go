@@ -1,0 +1,734 @@
+// Package jobs is the asynchronous execution layer behind the
+// service's /v1/jobs API: a bounded, persistent-across-requests store
+// of long-running evaluations (sweeps, batches) whose results are
+// streamed and paged instead of shipped in one synchronous response
+// body.
+//
+// A Job moves through queued → running → done|failed|canceled. Its
+// results are an append-only sequence of pre-marshaled JSON records in
+// deterministic grid order: the run function emits records by grid
+// index from concurrent workers, and the publisher reorders them behind
+// a frontier so readers only ever observe a gap-free, in-order prefix.
+// Because records are the exact bytes the synchronous endpoints would
+// marshal, a streamed or paged point is byte-identical to its
+// synchronous twin.
+//
+// Memory is capped per job: the first Options.ResultsCap records are
+// retained for pagination and replay; records past the cap are counted
+// as spilled (never silently dropped — Status.Spilled reports them) and
+// remain observable only through the live window, a fixed-size ring of
+// the most recent frontier records that attached streamers read as
+// workers complete points. A streamer that keeps up therefore receives
+// every record even for grids far larger than the retention cap; one
+// that falls behind the ring past the retained prefix receives
+// ErrLagged instead of silently missing data.
+//
+// The store itself is bounded to Options.MaxJobs resident jobs:
+// submitting evicts the oldest terminal job to make room, and when
+// every resident job is still queued or running the submit is refused
+// with ErrStoreFull (the service maps it to 429 + Retry-After). At most
+// Options.MaxActive jobs run concurrently; the rest wait in FIFO order
+// in the queued state. Drain cancels the queue, lets running jobs
+// finish within a budget, then cancels them — the graceful-shutdown
+// hook cmd/mbserve calls after the HTTP listener stops.
+package jobs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"runtime/pprof"
+	"sync"
+	"time"
+)
+
+// State is a job's lifecycle position. Transitions are strictly
+// queued → running → one of the terminal states (done, failed,
+// canceled); a queued job canceled before dispatch skips running.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether a state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// ErrStoreFull is returned by Submit when the store holds MaxJobs
+// resident jobs and none is terminal (evictable). Match with errors.Is.
+var ErrStoreFull = errors.New("jobs: store full")
+
+// ErrCanceled is the failure recorded on a job canceled while running;
+// the run function's context error is folded into it. Match with
+// errors.Is.
+var ErrCanceled = errors.New("jobs: canceled")
+
+// ErrLagged is returned by Next when a reader's position has been
+// overtaken: the record is past the retained prefix and has already
+// left the live ring. The data is gone by design (memory cap), so the
+// reader must be told rather than silently skipped ahead.
+var ErrLagged = errors.New("jobs: reader lagged behind the live window")
+
+// ErrNotFound is returned for unknown job ids.
+var ErrNotFound = errors.New("jobs: no such job")
+
+// Defaults for Options zero values.
+const (
+	DefaultMaxJobs    = 64
+	DefaultMaxActive  = 2
+	DefaultResultsCap = 65536
+	DefaultRingSize   = 1024
+)
+
+// Hooks receive job lifecycle events for metrics. All callbacks may be
+// nil and must be safe for concurrent use.
+type Hooks struct {
+	// Transition fires on every state change with the job's operation
+	// label ("sweep", "batch") and destination state.
+	Transition func(op string, to State)
+	// Emitted fires once per record accepted past the frontier.
+	Emitted func(n int64)
+	// Spilled fires once per record dropped from retention (still
+	// streamed live, counted in Status.Spilled).
+	Spilled func(n int64)
+}
+
+// Options configures a Store; zero values take the defaults above.
+type Options struct {
+	// MaxJobs bounds resident jobs (queued + running + terminal kept
+	// for result pagination). Terminal jobs are evicted oldest-first to
+	// admit new submissions.
+	MaxJobs int
+	// MaxActive bounds concurrently dispatched jobs; queued jobs wait
+	// FIFO. Compute inside a job is additionally bounded by the
+	// service's admission semaphore.
+	MaxActive int
+	// ResultsCap bounds retained records per job (pagination/replay
+	// window). Records beyond it are spilled: streamed live, counted,
+	// not retained.
+	ResultsCap int
+	// RingSize is the live-window length for streamers reading past
+	// the retained prefix.
+	RingSize int
+	// Hooks receive lifecycle events for metrics.
+	Hooks Hooks
+	// Clock is injectable for tests; nil means time.Now.
+	Clock func() time.Time
+}
+
+// RunFunc executes one job's work. It must call Publisher.Started once
+// compute is admitted, emit records by grid index, and return an
+// optional summary (raw JSON attached to the terminal status, e.g. the
+// sweep's skipped combinations) or an error. The context is canceled by
+// DELETE /v1/jobs/{id}, drain, or store shutdown.
+type RunFunc func(ctx context.Context, pub *Publisher) (summary []byte, err error)
+
+// Job is one submitted evaluation. All fields are guarded by the
+// owning store's mutex; read them through Status and the reader
+// methods.
+type Job struct {
+	store *Store
+
+	id      string
+	op      string
+	state   State
+	created time.Time
+	started time.Time
+	ended   time.Time
+
+	total     int // planned record count (estimate until OnPlan refines it)
+	exact     bool
+	frontier  int // records observable in order: [0, frontier)
+	retained  [][]byte
+	ring      [][]byte // circular live window, last min(ringSize, frontier) records
+	spilled   int
+	pending   map[int][]byte // completed out of order, beyond the frontier
+	summary   []byte
+	err       error
+	runErr    string
+	cancel    context.CancelFunc
+	updated   chan struct{} // closed+replaced on every observable change
+	seq       int           // submit order, for eviction
+	cancelReq bool
+	run       RunFunc // set at submit, consumed at dispatch
+}
+
+// Status is a point-in-time snapshot of a job, safe to marshal.
+type Status struct {
+	ID    string `json:"id"`
+	Op    string `json:"op"`
+	State State  `json:"state"`
+	// Total is the number of records the job will produce: an upper
+	// bound while queued, exact once the grid is enumerated
+	// (TotalExact reports which).
+	Total      int    `json:"total"`
+	TotalExact bool   `json:"totalExact"`
+	Completed  int    `json:"completed"`
+	Retained   int    `json:"retained"`
+	Spilled    int    `json:"spilled"`
+	Error      string `json:"error,omitempty"`
+	CreatedAt  string `json:"createdAt"`
+	StartedAt  string `json:"startedAt,omitempty"`
+	EndedAt    string `json:"endedAt,omitempty"`
+}
+
+// Store owns the resident jobs and the dispatch loop. Build one with
+// NewStore; it is safe for concurrent use.
+type Store struct {
+	mu      sync.Mutex
+	opts    Options
+	jobs    map[string]*Job
+	order   []*Job // submit order; eviction scans oldest-first
+	queue   []*Job // queued jobs awaiting dispatch, FIFO
+	active  int
+	seq     int
+	closed  bool
+	idle    chan struct{} // closed+replaced when active+queued may have drained
+	counts  map[State]int64
+	emitted int64
+	spills  int64
+}
+
+// NewStore builds a Store.
+func NewStore(opts Options) *Store {
+	if opts.MaxJobs <= 0 {
+		opts.MaxJobs = DefaultMaxJobs
+	}
+	if opts.MaxActive <= 0 {
+		opts.MaxActive = DefaultMaxActive
+	}
+	if opts.ResultsCap <= 0 {
+		opts.ResultsCap = DefaultResultsCap
+	}
+	if opts.RingSize <= 0 {
+		opts.RingSize = DefaultRingSize
+	}
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	return &Store{
+		opts:   opts,
+		jobs:   make(map[string]*Job),
+		idle:   make(chan struct{}),
+		counts: make(map[State]int64),
+	}
+}
+
+// newID returns a random 16-hex-digit job id. Randomness (not a bare
+// sequence) keeps ids unguessable across restarts; the sequence prefix
+// keeps logs sortable.
+func (s *Store) newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing means the platform is broken; fall back
+		// to the sequence alone rather than refusing jobs.
+		return fmt.Sprintf("j%06d", s.seq)
+	}
+	return fmt.Sprintf("j%06d-%s", s.seq, hex.EncodeToString(b[:]))
+}
+
+// Submit registers a job and schedules run on the dispatch loop. total
+// is the caller's record-count estimate (the admission weight source);
+// the run function refines it via Publisher.SetTotal once enumeration
+// is exact. Returns ErrStoreFull when no slot can be freed.
+func (s *Store) Submit(op string, total int, run RunFunc) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("%w: store is draining", ErrStoreFull)
+	}
+	if len(s.jobs) >= s.opts.MaxJobs && !s.evictLocked() {
+		return nil, fmt.Errorf("%w: %d jobs resident, none terminal", ErrStoreFull, len(s.jobs))
+	}
+	s.seq++
+	if total < 0 {
+		total = 0
+	}
+	j := &Job{
+		store:   s,
+		id:      s.newID(),
+		op:      op,
+		state:   StateQueued,
+		created: s.opts.Clock(),
+		total:   total,
+		pending: make(map[int][]byte),
+		updated: make(chan struct{}),
+		seq:     s.seq,
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j)
+	s.queue = append(s.queue, j)
+	s.counts[StateQueued]++
+	if h := s.opts.Hooks.Transition; h != nil {
+		h(op, StateQueued)
+	}
+	s.dispatchLocked(run, j)
+	return j, nil
+}
+
+// dispatchLocked starts queued jobs while active slots are free. Each
+// job runs on its own goroutine under a pprof label (job=<id>) so CPU
+// profiles of a busy server attribute time to specific jobs. Only the
+// job at the head of the queue is ever started — FIFO, like the
+// admission queue below it.
+func (s *Store) dispatchLocked(run RunFunc, submitted *Job) {
+	// The run function rides on the job (set at submit); queued jobs
+	// keep theirs until dispatched.
+	if submitted != nil {
+		submitted.run = run
+	}
+	for s.active < s.opts.MaxActive && len(s.queue) > 0 {
+		j := s.queue[0]
+		s.queue = s.queue[1:]
+		if j.state != StateQueued { // canceled while queued
+			continue
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		j.cancel = cancel
+		if j.cancelReq {
+			cancel()
+		}
+		s.active++
+		go s.execute(ctx, j)
+	}
+}
+
+// execute runs one dispatched job to a terminal state.
+func (s *Store) execute(ctx context.Context, j *Job) {
+	pub := &Publisher{job: j}
+	var (
+		summary []byte
+		err     error
+	)
+	pprof.Do(ctx, pprof.Labels("job", j.id, "op", j.op), func(ctx context.Context) {
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("jobs: run panicked: %v", p)
+			}
+			s.finish(j, summary, err, ctx)
+		}()
+		summary, err = j.run(ctx, pub)
+	})
+}
+
+// finish moves a job to its terminal state and releases its active
+// slot.
+func (s *Store) finish(j *Job, summary []byte, err error, ctx context.Context) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.active--
+	// Flush any still-pending records whose frontier predecessors
+	// never completed: they stay pending (a gap must not be papered
+	// over), but the maps are dropped to free memory on failure.
+	to := StateDone
+	switch {
+	case err != nil && (errors.Is(err, context.Canceled) || ctx.Err() != nil && errors.Is(err, ctx.Err()) || errors.Is(err, ErrCanceled)):
+		to = StateCanceled
+		j.err = fmt.Errorf("%w: %v", ErrCanceled, err)
+	case err != nil:
+		to = StateFailed
+		j.err = err
+	case j.cancelReq:
+		// Cancel raced completion; the work finished, keep it.
+		to = StateDone
+	}
+	if to != StateDone {
+		j.pending = nil
+	}
+	j.summary = summary
+	if j.err != nil {
+		j.runErr = err.Error()
+	}
+	s.transitionLocked(j, to)
+	j.ended = s.opts.Clock()
+	if to == StateDone && !j.exact {
+		// The run completed without refining the total (e.g. a batch
+		// that knew it exactly up front): the frontier is the truth.
+		j.total, j.exact = j.frontier, true
+	}
+	j.bumpLocked()
+	s.dispatchLocked(nil, nil)
+	s.signalIdleLocked()
+}
+
+// transitionLocked updates state + counters + hooks.
+func (s *Store) transitionLocked(j *Job, to State) {
+	if j.state == to {
+		return
+	}
+	s.counts[j.state]--
+	s.counts[to]++
+	j.state = to
+	if h := s.opts.Hooks.Transition; h != nil {
+		h(j.op, to)
+	}
+}
+
+// evictLocked removes the oldest terminal job, reporting whether a slot
+// was freed.
+func (s *Store) evictLocked() bool {
+	for i, j := range s.order {
+		if j.state.Terminal() {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			delete(s.jobs, j.id)
+			return true
+		}
+	}
+	return false
+}
+
+// Get returns a job by id.
+func (s *Store) Get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns resident jobs' statuses in submit order (oldest first).
+func (s *Store) Jobs() []Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Status, 0, len(s.order))
+	for _, j := range s.order {
+		out = append(out, j.statusLocked())
+	}
+	return out
+}
+
+// Cancel requests cancellation: a queued job goes straight to
+// canceled; a running job's context is canceled and the run function
+// decides how fast to stop. Canceling a terminal job is a no-op.
+// The boolean reports whether the id exists.
+func (s *Store) Cancel(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return false
+	}
+	s.cancelLocked(j)
+	return true
+}
+
+func (s *Store) cancelLocked(j *Job) {
+	if j.state.Terminal() {
+		return
+	}
+	j.cancelReq = true
+	// A dispatched job — running, or queued-for-admission with a live
+	// context — is unwound through its context so the goroutine's
+	// finish() performs the (single) terminal transition. Only a job
+	// that never left the dispatch queue transitions here.
+	if j.cancel != nil {
+		j.cancel()
+		return
+	}
+	s.transitionLocked(j, StateCanceled)
+	j.err = fmt.Errorf("%w: canceled while queued", ErrCanceled)
+	j.runErr = j.err.Error()
+	j.ended = s.opts.Clock()
+	j.bumpLocked()
+	s.signalIdleLocked()
+}
+
+// Stats is a snapshot of store-level counters for gauges.
+type Stats struct {
+	Resident int
+	Queued   int
+	Running  int
+	Emitted  int64
+	Spilled  int64
+}
+
+// Stats returns live counts.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Resident: len(s.jobs),
+		Queued:   int(s.counts[StateQueued]),
+		Running:  int(s.counts[StateRunning]),
+		Emitted:  s.emitted,
+		Spilled:  s.spills,
+	}
+}
+
+// signalIdleLocked wakes Drain waiters to re-check the queue.
+func (s *Store) signalIdleLocked() {
+	close(s.idle)
+	s.idle = make(chan struct{})
+}
+
+// Drain shuts the store down for graceful exit: new submissions are
+// refused, queued jobs are canceled immediately, and running jobs get
+// until ctx's deadline to finish before being canceled too. Drain
+// returns when every job is terminal or, after forced cancellation,
+// when the stragglers acknowledge (bounded by a short grace so a run
+// function that ignores its context cannot wedge shutdown).
+func (s *Store) Drain(ctx context.Context) {
+	s.mu.Lock()
+	s.closed = true
+	for _, j := range s.order {
+		if j.state == StateQueued {
+			s.cancelLocked(j)
+		}
+	}
+	s.mu.Unlock()
+
+	if s.waitIdle(ctx) {
+		return
+	}
+	// Budget exhausted: cancel the stragglers and give them a short
+	// grace to unwind.
+	s.mu.Lock()
+	for _, j := range s.order {
+		s.cancelLocked(j)
+	}
+	s.mu.Unlock()
+	grace, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	s.waitIdle(grace)
+}
+
+// waitIdle blocks until no job is queued or running, reporting whether
+// that was reached before ctx ended.
+func (s *Store) waitIdle(ctx context.Context) bool {
+	for {
+		s.mu.Lock()
+		busy := s.counts[StateQueued] > 0 || s.counts[StateRunning] > 0
+		ch := s.idle
+		s.mu.Unlock()
+		if !busy {
+			return true
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return false
+		}
+	}
+}
+
+// Publisher is the run function's emission handle.
+type Publisher struct {
+	job *Job
+}
+
+// Started marks the job running — call it once compute has been
+// admitted, so queue time and run time separate in the status.
+func (p *Publisher) Started() {
+	j := p.job
+	s := j.store
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.state == StateQueued {
+		s.transitionLocked(j, StateRunning)
+		j.started = s.opts.Clock()
+		j.bumpLocked()
+	}
+}
+
+// SetTotal replaces the record-count estimate with the exact value
+// (known once the grid is enumerated).
+func (p *Publisher) SetTotal(n int) {
+	j := p.job
+	j.store.mu.Lock()
+	defer j.store.mu.Unlock()
+	if n >= 0 {
+		j.total, j.exact = n, true
+		j.bumpLocked()
+	}
+}
+
+// Emit hands the publisher record index's pre-marshaled bytes. Records
+// may arrive in any order; they become observable strictly in index
+// order as the frontier advances over a gap-free prefix. Emit never
+// blocks on readers: the first ResultsCap frontier records are
+// retained, later ones go to the live ring only and are counted as
+// spilled. Emitting an index twice or past the known total is a
+// programming error and panics.
+func (p *Publisher) Emit(index int, rec []byte) {
+	j := p.job
+	s := j.store
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if index < j.frontier || j.pending == nil {
+		if j.pending == nil {
+			return // already terminal (canceled mid-flight); drop quietly
+		}
+		panic(fmt.Sprintf("jobs: duplicate emit for index %d (frontier %d)", index, j.frontier))
+	}
+	if _, dup := j.pending[index]; dup {
+		panic(fmt.Sprintf("jobs: duplicate emit for index %d", index))
+	}
+	j.pending[index] = rec
+	advanced := false
+	for {
+		next, ok := j.pending[j.frontier]
+		if !ok {
+			break
+		}
+		delete(j.pending, j.frontier)
+		if len(j.retained) < s.opts.ResultsCap {
+			j.retained = append(j.retained, next)
+		} else {
+			j.spilled++
+			s.spills++
+			if h := s.opts.Hooks.Spilled; h != nil {
+				h(1)
+			}
+		}
+		j.pushRingLocked(next)
+		j.frontier++
+		s.emitted++
+		advanced = true
+		if h := s.opts.Hooks.Emitted; h != nil {
+			h(1)
+		}
+	}
+	if advanced {
+		j.bumpLocked()
+	}
+}
+
+// pushRingLocked appends a record to the live window, evicting the
+// oldest once the ring is full.
+func (j *Job) pushRingLocked(rec []byte) {
+	size := j.store.opts.RingSize
+	if len(j.ring) < size {
+		j.ring = append(j.ring, rec)
+		return
+	}
+	copy(j.ring, j.ring[1:])
+	j.ring[len(j.ring)-1] = rec
+}
+
+// bumpLocked publishes an observable change to blocked readers.
+func (j *Job) bumpLocked() {
+	close(j.updated)
+	j.updated = make(chan struct{})
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Status snapshots the job.
+func (j *Job) Status() Status {
+	j.store.mu.Lock()
+	defer j.store.mu.Unlock()
+	return j.statusLocked()
+}
+
+func (j *Job) statusLocked() Status {
+	st := Status{
+		ID:         j.id,
+		Op:         j.op,
+		State:      j.state,
+		Total:      j.total,
+		TotalExact: j.exact,
+		Completed:  j.frontier,
+		Retained:   len(j.retained),
+		Spilled:    j.spilled,
+		Error:      j.runErr,
+		CreatedAt:  j.created.UTC().Format(time.RFC3339Nano),
+	}
+	if !j.started.IsZero() {
+		st.StartedAt = j.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.ended.IsZero() {
+		st.EndedAt = j.ended.UTC().Format(time.RFC3339Nano)
+	}
+	return st
+}
+
+// Err returns the terminal error (nil while non-terminal or done).
+func (j *Job) Err() error {
+	j.store.mu.Lock()
+	defer j.store.mu.Unlock()
+	return j.err
+}
+
+// Summary returns the raw summary JSON the run attached at completion.
+func (j *Job) Summary() []byte {
+	j.store.mu.Lock()
+	defer j.store.mu.Unlock()
+	return j.summary
+}
+
+// Next returns record index's bytes for a sequential reader, blocking
+// until the frontier covers it, the job ends, or ctx is done. The
+// boolean is false when the job ended before producing index (end of
+// stream — inspect Err/Status for why). ErrLagged reports a reader
+// overtaken past both the retained prefix and the live ring.
+func (j *Job) Next(ctx context.Context, index int) ([]byte, bool, error) {
+	s := j.store
+	for {
+		s.mu.Lock()
+		switch {
+		case index < len(j.retained):
+			rec := j.retained[index]
+			s.mu.Unlock()
+			return rec, true, nil
+		case index < j.frontier:
+			// Past retention: only the live ring can serve it.
+			ringStart := j.frontier - len(j.ring)
+			if index >= ringStart {
+				rec := j.ring[index-ringStart]
+				s.mu.Unlock()
+				return rec, true, nil
+			}
+			s.mu.Unlock()
+			return nil, false, fmt.Errorf("%w: record %d spilled (live window starts at %d)", ErrLagged, index, ringStart)
+		case j.state.Terminal():
+			s.mu.Unlock()
+			return nil, false, nil
+		}
+		ch := j.updated
+		s.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+}
+
+// Page returns up to limit retained records starting at cursor, in
+// grid order, plus the next cursor and whether more retained records
+// may still appear (the job is live or records remain). Pages are
+// stable under concurrent completion: retained records are append-only
+// in deterministic grid order, so the same cursor always returns the
+// same bytes. A cursor inside the spilled region returns no records;
+// the caller reports the spill to the client.
+func (j *Job) Page(cursor, limit int) (recs [][]byte, next int, more bool) {
+	s := j.store
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cursor < 0 {
+		cursor = 0
+	}
+	if limit <= 0 {
+		limit = 100
+	}
+	end := cursor + limit
+	if end > len(j.retained) {
+		end = len(j.retained)
+	}
+	if cursor < end {
+		recs = j.retained[cursor:end]
+	}
+	next = cursor + len(recs)
+	// More records can still land while the job is live; once terminal,
+	// the retained prefix is final.
+	more = !j.state.Terminal() || next < len(j.retained)
+	return recs, next, more
+}

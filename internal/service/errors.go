@@ -10,6 +10,7 @@ import (
 	"multibus"
 	"multibus/internal/analytic"
 	"multibus/internal/hrm"
+	"multibus/internal/jobs"
 	"multibus/internal/scenario"
 	"multibus/internal/sim"
 	"multibus/internal/sweep"
@@ -59,14 +60,65 @@ func (e *circuitOpenError) Error() string {
 func (e *circuitOpenError) Is(target error) bool      { return target == ErrCircuitOpen }
 func (e *circuitOpenError) RetryAfter() time.Duration { return e.retryAfter }
 
-// apiError is the JSON error body: {"error": {"code": ..., "message": ...}}.
+// apiError is the unified v1 error envelope, the single JSON error
+// shape every route emits:
+//
+//	{"error": {"code", "message", "retryable", "retry_after_s"}}
+//
+// Codes are the stable classification vocabulary (invalid_request,
+// no_closed_form, overloaded, circuit_open, canceled,
+// deadline_exceeded, internal_error, plus the surface-specific
+// not_found, draining, and lagged). Retryable tells clients whether
+// backing off and resending the identical request can succeed;
+// RetryAfterS mirrors the Retry-After header in whole seconds when the
+// error carries a backoff hint. LegacyCode carries the pre-v1 code
+// spelling (invalid_json, body_too_large) for one release while
+// clients migrate — see the README's deprecation note.
 type apiError struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
+	Code        string `json:"code"`
+	Message     string `json:"message"`
+	Retryable   bool   `json:"retryable"`
+	RetryAfterS int64  `json:"retry_after_s,omitempty"`
+	LegacyCode  string `json:"legacy_code,omitempty"`
 }
 
 type errorResponse struct {
 	Error apiError `json:"error"`
+}
+
+// retryableCode reports whether resending the same request later can
+// succeed: true for the service's own transient refusals and faults,
+// false for client faults (the request itself is wrong) and for
+// cancellations the client caused.
+func retryableCode(code string) bool {
+	switch code {
+	case "overloaded", "circuit_open", "deadline_exceeded", "internal_error", "draining":
+		return true
+	}
+	return false
+}
+
+// newAPIError renders a classified evaluation error as the envelope
+// payload (shared by top-level error responses and per-item batch
+// errors).
+func newAPIError(err error) *apiError {
+	_, code := classify(err)
+	ae := &apiError{Code: code, Message: err.Error(), Retryable: retryableCode(code)}
+	var hint retryAfterHint
+	if errors.As(err, &hint) {
+		ae.RetryAfterS = retryAfterSeconds(hint.RetryAfter())
+	}
+	return ae
+}
+
+// retryAfterSeconds renders a backoff hint in whole seconds, rounded
+// up and floored at 1 so clients never retry immediately.
+func retryAfterSeconds(d time.Duration) int64 {
+	s := int64((d + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
 }
 
 // badInputSentinels are the typed validation errors of the domain
@@ -98,8 +150,12 @@ var badInputSentinels = []error{
 // code.
 func classify(err error) (status int, code string) {
 	switch {
-	case errors.Is(err, ErrOverloaded):
+	case errors.Is(err, ErrOverloaded), errors.Is(err, jobs.ErrStoreFull):
 		return http.StatusTooManyRequests, "overloaded"
+	case errors.Is(err, jobs.ErrNotFound):
+		return http.StatusNotFound, "not_found"
+	case errors.Is(err, jobs.ErrCanceled):
+		return http.StatusServiceUnavailable, "canceled"
 	case errors.Is(err, ErrCircuitOpen):
 		return http.StatusServiceUnavailable, "circuit_open"
 	case errors.Is(err, context.DeadlineExceeded):

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"multibus/internal/cache"
+	"multibus/internal/jobs"
 	"multibus/internal/obs"
 )
 
@@ -32,6 +33,14 @@ const (
 	metricBreakerState       = "mbserve_breaker_state"
 	metricBreakerTransitions = "mbserve_breaker_transitions_total"
 	metricPanicsTotal        = "mbserve_panics_total"
+
+	// Async-job families (DESIGN.md §13).
+	metricJobsTotal         = "mbserve_jobs_total"
+	metricJobsActive        = "mbserve_jobs_active"
+	metricJobsQueued        = "mbserve_jobs_queued"
+	metricJobsResident      = "mbserve_jobs_resident"
+	metricJobRecords        = "mbserve_job_records_total"
+	metricJobRecordsSpilled = "mbserve_job_records_spilled_total"
 )
 
 // serverMetrics bundles one Server's obs registry and the instruments
@@ -98,6 +107,41 @@ func (m *serverMetrics) breakerTransition(route string) func(from, to breakerSta
 	}
 }
 
+// jobHooks returns the store's instrumentation callbacks: one
+// mbserve_jobs_total tick per state transition (labeled by op and
+// destination state) and one record counter tick per emitted/spilled
+// result record.
+func (m *serverMetrics) jobHooks() jobs.Hooks {
+	return jobs.Hooks{
+		Transition: func(op string, to jobs.State) {
+			m.reg.Counter(metricJobsTotal,
+				"async job state transitions by op and destination state",
+				obs.L("op", op), obs.L("state", string(to))).Inc()
+		},
+		Emitted: func(n int64) {
+			m.reg.Counter(metricJobRecords,
+				"result records emitted by async jobs").Add(n)
+		},
+		Spilled: func(n int64) {
+			m.reg.Counter(metricJobRecordsSpilled,
+				"result records spilled past the per-job retention cap").Add(n)
+		},
+	}
+}
+
+// bindJobs registers live gauges over the job store's counters.
+func (m *serverMetrics) bindJobs(st *jobs.Store) {
+	m.reg.GaugeFunc(metricJobsActive,
+		"async jobs currently running (admitted compute)",
+		func() float64 { return float64(st.Stats().Running) })
+	m.reg.GaugeFunc(metricJobsQueued,
+		"async jobs waiting in the store's FIFO dispatch queue",
+		func() float64 { return float64(st.Stats().Queued) })
+	m.reg.GaugeFunc(metricJobsResident,
+		"async jobs resident in the store (any state)",
+		func() float64 { return float64(st.Stats().Resident) })
+}
+
 // newServerMetrics builds the registry and binds the cache's stats to
 // instance-scoped gauges, read live at scrape time.
 func newServerMetrics(c *cache.Cache) *serverMetrics {
@@ -159,6 +203,18 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 	n, err := r.ResponseWriter.Write(p)
 	r.bytes += int64(n)
 	return n, err
+}
+
+// Flush forwards to the underlying writer so streaming handlers (the
+// jobs NDJSON/SSE endpoint) can push records through the middleware;
+// net/http's Flush commits the headers, so it counts as writing them.
+func (r *statusRecorder) Flush() {
+	f, ok := r.ResponseWriter.(http.Flusher)
+	if !ok {
+		return
+	}
+	r.wroteHeader = true
+	f.Flush()
 }
 
 // observe records one completed request in the registry and emits the

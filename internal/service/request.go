@@ -118,6 +118,29 @@ type BatchRequest struct {
 // role's implicit bound via Ns×Bs×Rs sizes).
 const maxBatchItems = 1024
 
+// JobRequest is the body of POST /v1/jobs: exactly one of Sweep or
+// Batch, evaluated asynchronously with results delivered through the
+// job's results/stream endpoints instead of the response body.
+type JobRequest struct {
+	Sweep *SweepRequest `json:"sweep,omitempty"`
+	Batch *BatchRequest `json:"batch,omitempty"`
+}
+
+// operation resolves which surface the job drives, rejecting bodies
+// that name both or neither.
+func (req JobRequest) operation() (string, error) {
+	switch {
+	case req.Sweep != nil && req.Batch != nil:
+		return "", fmt.Errorf("%w: job body names both sweep and batch; pick one", errBadRequest)
+	case req.Sweep != nil:
+		return "sweep", nil
+	case req.Batch != nil:
+		return "batch", nil
+	default:
+		return "", fmt.Errorf("%w: job body must name a sweep or a batch", errBadRequest)
+	}
+}
+
 // simOptions renders a canonical sim block (every default spelled out by
 // scenario canonicalization) as façade options for the SimulateFunc
 // seam. A nil block means the canonical defaults.

@@ -354,3 +354,43 @@ func TestHealthzDraining(t *testing.T) {
 		t.Fatalf("in-flight request during drain = %d, want 200; %s", got.Code, got.Body.String())
 	}
 }
+
+// TestSweepCanceledMidFlightReturnsEnvelope pins the sweep twin of the
+// batch mid-flight regression: a request that dies while the grid is
+// evaluating must answer with the classified error envelope, never a
+// 200 carrying an empty or partial points list.
+func TestSweepCanceledMidFlightReturnsEnvelope(t *testing.T) {
+	// 100% injected latency parks the gated compute where the test can
+	// cancel it deterministically.
+	s := newTestServer(t, Options{
+		Chaos: mustInjector(t, chaos.Config{LatencyRate: 1, Latency: 30 * time.Second}),
+	})
+	h := s.Handler()
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest(http.MethodPost, "/v1/sweep",
+		strings.NewReader(`{"ns":[8,16],"bs":[2,4],"rs":[0.5,1.0],"schemes":["full"]}`)).WithContext(ctx)
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		h.ServeHTTP(rec, req)
+	}()
+	time.Sleep(20 * time.Millisecond) // let the handler enter the gate
+	cancel()
+	<-done
+
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("canceled sweep = %d, want 503; body: %s", rec.Code, rec.Body.String())
+	}
+	var er errorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil {
+		t.Fatalf("error body is not JSON: %v: %s", err, rec.Body.String())
+	}
+	if er.Error.Code != "canceled" {
+		t.Errorf("error code = %q, want canceled", er.Error.Code)
+	}
+	if strings.Contains(rec.Body.String(), `"points"`) {
+		t.Errorf("canceled sweep still shipped points: %s", rec.Body.String())
+	}
+}

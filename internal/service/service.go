@@ -72,6 +72,7 @@ import (
 	"multibus"
 	"multibus/internal/cache"
 	"multibus/internal/chaos"
+	"multibus/internal/jobs"
 	"multibus/internal/obs"
 	"multibus/internal/scenario"
 	"multibus/internal/sweep"
@@ -157,6 +158,18 @@ type Options struct {
 	// robustness tests and the mbserve -chaos flag wire in. Nil injects
 	// nothing.
 	Chaos *chaos.Injector
+
+	// JobsMax bounds resident async jobs (queued + running + terminal
+	// kept for pagination). 0 means jobs.DefaultMaxJobs; negative
+	// disables the /v1/jobs surface entirely (the routes 404).
+	JobsMax int
+	// JobsActive bounds concurrently dispatched jobs; queued jobs wait
+	// FIFO in the store. 0 means jobs.DefaultMaxActive.
+	JobsActive int
+	// JobResultsCap bounds retained result records per job — the
+	// pagination/replay window; records past it are spilled (streamed
+	// live, counted, not retained). 0 means jobs.DefaultResultsCap.
+	JobResultsCap int
 }
 
 // Server is the mbserve request handler. Build one with New; it is
@@ -168,6 +181,7 @@ type Server struct {
 	metrics *serverMetrics
 
 	adm      *admission
+	jobs     *jobs.Store // nil when the jobs surface is disabled
 	breakers map[string]*breaker
 	// freshFor/staleFor are the normalized TTLs (0 = disabled), kept
 	// apart from opts so the zero-means-default dance happens once.
@@ -264,12 +278,35 @@ func New(opts Options) (*Server, error) {
 		staleFor: staleFor,
 	}
 	s.metrics.bindAdmission(s.adm)
-	for _, route := range []string{"analyze", "simulate", "sweep"} {
+	for _, route := range []string{"analyze", "simulate", "sweep", "jobs"} {
 		br := newBreaker(threshold, cooldown, s.metrics.breakerTransition(route))
 		s.breakers[route] = br
 		s.metrics.bindBreaker(route, br)
 	}
+	if opts.JobsMax >= 0 {
+		s.jobs = jobs.NewStore(jobs.Options{
+			MaxJobs:    opts.JobsMax,
+			MaxActive:  opts.JobsActive,
+			ResultsCap: opts.JobResultsCap,
+			Hooks:      s.metrics.jobHooks(),
+		})
+		s.metrics.bindJobs(s.jobs)
+	}
 	return s, nil
+}
+
+// Jobs exposes the async job store (nil when disabled); tests and the
+// drain path reach it directly.
+func (s *Server) Jobs() *jobs.Store { return s.jobs }
+
+// DrainJobs drains the job store for graceful shutdown: submissions
+// are refused, queued jobs are canceled, and running jobs get until
+// ctx's deadline to finish before being canceled. Call it after
+// http.Server.Shutdown has stopped request traffic.
+func (s *Server) DrainJobs(ctx context.Context) {
+	if s.jobs != nil {
+		s.jobs.Drain(ctx)
+	}
 }
 
 // BeginDrain flips the server into draining mode: GET /healthz starts
@@ -289,6 +326,34 @@ func (s *Server) Cache() *cache.Cache { return s.cache }
 // embedders scrape it directly; HTTP clients use GET /metrics).
 func (s *Server) Metrics() *obs.Registry { return s.metrics.reg }
 
+// Route is one registered endpoint of the v1 surface. The listing is
+// shared with cmd/apicheck, which asserts every route is documented in
+// api/openapi.yaml — adding an endpoint without extending the contract
+// fails `make api-check`.
+type Route struct {
+	Method  string
+	Pattern string
+}
+
+// Routes returns every route the Handler serves, jobs surface
+// included, in a stable order.
+func Routes() []Route {
+	return []Route{
+		{"POST", "/v1/analyze"},
+		{"POST", "/v1/simulate"},
+		{"POST", "/v1/sweep"},
+		{"POST", "/v1/batch"},
+		{"POST", "/v1/jobs"},
+		{"GET", "/v1/jobs"},
+		{"GET", "/v1/jobs/{id}"},
+		{"DELETE", "/v1/jobs/{id}"},
+		{"GET", "/v1/jobs/{id}/results"},
+		{"GET", "/v1/jobs/{id}/stream"},
+		{"GET", "/healthz"},
+		{"GET", "/metrics"},
+	}
+}
+
 // Handler returns the service's routing handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -296,6 +361,17 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
 	mux.HandleFunc("POST /v1/sweep", s.instrument("sweep", s.handleSweep))
 	mux.HandleFunc("POST /v1/batch", s.instrument("batch", s.handleBatch))
+	if s.jobs != nil {
+		mux.HandleFunc("POST /v1/jobs", s.instrument("jobs_submit", s.handleJobSubmit))
+		mux.HandleFunc("GET /v1/jobs", s.instrument("jobs_list", s.handleJobList))
+		mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("jobs_status", s.handleJobStatus))
+		mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("jobs_cancel", s.handleJobCancel))
+		mux.HandleFunc("GET /v1/jobs/{id}/results", s.instrument("jobs_results", s.handleJobResults))
+		// The stream outlives the per-request compute deadline by
+		// design — a job streams for as long as it runs — so it takes
+		// the no-timeout variant of the middleware.
+		mux.HandleFunc("GET /v1/jobs/{id}/stream", s.instrumentOpts("jobs_stream", false, s.handleJobStream))
+	}
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", func(w http.ResponseWriter, r *http.Request) {
 		if s.draining.Load() {
 			writeError(w, http.StatusServiceUnavailable, "draining",
@@ -326,6 +402,13 @@ func (s *Server) Handler() http.Handler {
 // reset). The per-route instruments are resolved once, at route
 // registration, not per request.
 func (s *Server) instrument(route string, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return s.instrumentOpts(route, true, h)
+}
+
+// instrumentOpts is instrument with the per-request deadline optional:
+// the jobs stream endpoint serves for as long as its job runs, so it
+// opts out of the compute timeout (every other guard still applies).
+func (s *Server) instrumentOpts(route string, withTimeout bool, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
 	var (
 		requests = s.metrics.reg.Counter(metricRequestsTotal,
 			"HTTP requests by route", obs.L("route", route))
@@ -342,9 +425,11 @@ func (s *Server) instrument(route string, h func(http.ResponseWriter, *http.Requ
 		start := time.Now()
 		requests.Inc()
 		metricRequests.Add(route, 1)
-		ctx, cancel := context.WithTimeout(r.Context(), s.opts.Timeout)
-		defer cancel()
-		r = r.WithContext(ctx)
+		if withTimeout {
+			ctx, cancel := context.WithTimeout(r.Context(), s.opts.Timeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
 		r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		defer func() {
@@ -363,6 +448,12 @@ func (s *Server) instrument(route string, h func(http.ResponseWriter, *http.Requ
 					writeError(rec, http.StatusInternalServerError, "internal_error",
 						"internal server error")
 				}
+			} else if !rec.wroteHeader && rec.bytes == 0 {
+				// A handler that returned without producing any response —
+				// an error path that forgot to write its envelope — must
+				// not ship as an implicit empty 200.
+				writeError(rec, http.StatusInternalServerError, "internal_error",
+					"handler produced no response")
 			}
 			s.observe(route, r, rec, time.Since(start), latency, cacheHit, cacheMiss, cacheStale)
 		}()
@@ -385,13 +476,23 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
 		}
 	}
 	if err != nil {
+		// Body-shape failures classify as invalid_request like every
+		// other client fault; the pre-v1 code spellings ride along in
+		// legacy_code for one release (README deprecation note).
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeError(w, http.StatusRequestEntityTooLarge, "body_too_large",
-				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			writeEnvelope(w, http.StatusRequestEntityTooLarge, apiError{
+				Code:       "invalid_request",
+				Message:    fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit),
+				LegacyCode: "body_too_large",
+			})
 			return false
 		}
-		writeError(w, http.StatusBadRequest, "invalid_json", err.Error())
+		writeEnvelope(w, http.StatusBadRequest, apiError{
+			Code:       "invalid_request",
+			Message:    err.Error(),
+			LegacyCode: "invalid_json",
+		})
 		return false
 	}
 	return true
@@ -671,18 +772,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		Skipped: make([]sweepSkipBody, len(res.Skipped)),
 	}
 	for i, p := range res.Points {
-		body.Points[i] = sweepPointBody{
-			Scheme:       p.Scheme,
-			Model:        p.Model,
-			N:            p.N,
-			B:            p.B,
-			R:            p.R,
-			X:            p.X,
-			Bandwidth:    p.Bandwidth,
-			Simulated:    p.Simulated,
-			SimBandwidth: p.SimBandwidth,
-			SimCI95:      p.SimCI95,
-		}
+		body.Points[i] = newSweepPointBody(p)
 	}
 	for i, sk := range res.Skipped {
 		body.Skipped[i] = sweepSkipBody{
@@ -764,8 +854,7 @@ func (s *Server) evalBatchItem(ctx context.Context, index int, item BatchItem) b
 		}
 	}
 	if err != nil {
-		_, code := classify(err)
-		body.Error = &apiError{Code: code, Message: err.Error()}
+		body.Error = newAPIError(err)
 	}
 	return body
 }
@@ -811,6 +900,25 @@ type sweepPointBody struct {
 	Simulated    bool    `json:"simulated,omitempty"`
 	SimBandwidth float64 `json:"simBandwidth,omitempty"`
 	SimCI95      float64 `json:"simCI95,omitempty"`
+}
+
+// newSweepPointBody renders one grid point for the wire. The sync sweep
+// response and the async job's per-record stream both go through this
+// conversion, which is what makes a job's streamed point byte-identical
+// to the same point in a sync /v1/sweep body.
+func newSweepPointBody(p sweep.Point) sweepPointBody {
+	return sweepPointBody{
+		Scheme:       p.Scheme,
+		Model:        p.Model,
+		N:            p.N,
+		B:            p.B,
+		R:            p.R,
+		X:            p.X,
+		Bandwidth:    p.Bandwidth,
+		Simulated:    p.Simulated,
+		SimBandwidth: p.SimBandwidth,
+		SimCI95:      p.SimCI95,
+	}
 }
 
 type sweepSkipBody struct {
@@ -862,7 +970,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	buf, err := json.Marshal(v)
 	if err != nil {
 		// Response bodies are plain data structs; this cannot happen.
-		http.Error(w, `{"error":{"code":"internal_error","message":"response encoding failed"}}`,
+		http.Error(w, `{"error":{"code":"internal_error","message":"response encoding failed","retryable":true}}`,
 			http.StatusInternalServerError)
 		return
 	}
@@ -872,27 +980,31 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	metricResponses.Add(fmt.Sprintf("%d", status), 1)
 }
 
-// writeError writes an explicit error response. Every error carries
-// Cache-Control: no-store so intermediaries never cache a 4xx/5xx body
-// (a cached 429 would keep shedding a client after the overload ends).
+// writeError writes an explicit error response through the unified v1
+// envelope (see apiError). Every error carries Cache-Control: no-store
+// so intermediaries never cache a 4xx/5xx body (a cached 429 would
+// keep shedding a client after the overload ends).
 func writeError(w http.ResponseWriter, status int, code, message string) {
+	writeEnvelope(w, status, apiError{Code: code, Message: message, Retryable: retryableCode(code)})
+}
+
+// writeEnvelope is the single error-writing path every route funnels
+// through: the one place the envelope shape, the no-store header, and
+// the Retry-After mirror are enforced.
+func writeEnvelope(w http.ResponseWriter, status int, ae apiError) {
 	w.Header().Set("Cache-Control", "no-store")
-	writeJSON(w, status, errorResponse{Error: apiError{Code: code, Message: message}})
+	if ae.RetryAfterS > 0 {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", ae.RetryAfterS))
+	}
+	writeJSON(w, status, errorResponse{Error: ae})
 }
 
 // writeClassified maps a domain error to its HTTP status via the
 // sentinel classification, surfacing any backoff hint (sheds, open
-// circuits) as a Retry-After header in whole seconds, rounded up and
-// floored at 1 so clients never retry immediately.
+// circuits, full job store) as both the Retry-After header and the
+// envelope's retry_after_s, in whole seconds, rounded up and floored
+// at 1 so clients never retry immediately.
 func writeClassified(w http.ResponseWriter, err error) {
-	status, code := classify(err)
-	var hint retryAfterHint
-	if errors.As(err, &hint) {
-		seconds := int64((hint.RetryAfter() + time.Second - 1) / time.Second)
-		if seconds < 1 {
-			seconds = 1
-		}
-		w.Header().Set("Retry-After", fmt.Sprintf("%d", seconds))
-	}
-	writeError(w, status, code, err.Error())
+	status, _ := classify(err)
+	writeEnvelope(w, status, *newAPIError(err))
 }

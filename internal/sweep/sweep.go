@@ -78,6 +78,18 @@ type Spec struct {
 	// point as workers finish them — wire an obs.Counter here so a long
 	// sweep's throughput is visible while it runs.
 	Progress Progress
+	// OnPlan, when non-nil, is called exactly once after grid
+	// enumeration succeeds, before any point is evaluated, with the
+	// number of points the run will attempt and every skipped
+	// combination. Job-style callers use it to replace the
+	// EstimatePoints upper bound with the true total.
+	OnPlan func(points int, skipped []Skip)
+	// OnPoint, when non-nil, is called as each grid point completes,
+	// from worker goroutines in completion order (not grid order), with
+	// the point's deterministic grid index. Implementations must be
+	// safe for concurrent use. The streaming job layer feeds its
+	// reordering publisher from this hook.
+	OnPoint func(index int, pt Point)
 }
 
 // EstimatePoints returns the grid cardinality a Run of this Spec will
@@ -177,6 +189,9 @@ func Run(spec Spec) (*Result, error) {
 	if len(jobs) == 0 {
 		return nil, fmt.Errorf("%w: no valid points in grid (%d combinations skipped)", ErrBadSpec, len(skipped))
 	}
+	if spec.OnPlan != nil {
+		spec.OnPlan(len(jobs), skipped)
+	}
 
 	ctx := spec.Context
 	if ctx == nil {
@@ -194,6 +209,9 @@ func Run(spec Spec) (*Result, error) {
 			return err
 		}
 		points[i] = pt
+		if spec.OnPoint != nil {
+			spec.OnPoint(i, pt)
+		}
 		return nil
 	})
 	if err != nil {

@@ -3,7 +3,9 @@
 # end. Two modes:
 #
 #   serve-smoke.sh <binary>         normal boot: /healthz, /v1/analyze,
-#                                   /v1/batch cache hit, /metrics
+#                                   /v1/batch cache hit, async job
+#                                   submit → stream → status → cursor
+#                                   paging, /metrics
 #   serve-smoke.sh <binary> chaos   robustness: boot with -admit 1 and
 #                                   injected 2s latency, saturate the
 #                                   single compute slot, assert the
@@ -115,6 +117,60 @@ if [ "$XCACHE" != "hit" ]; then
 fi
 echo "serve-smoke: repeated POST /v1/batch served from cache"
 
+# Async jobs: submit the sweep as a job (202 + Location), drain its
+# NDJSON stream to completion, confirm the status is done, then walk the
+# cursor-paged results and check both views agree on the record count.
+SWEEP='{"sweep":{"ns":[8,16],"bs":[2,4],"rs":[0.5,1.0],"schemes":["full","single"]}}'
+SUBMIT="$(curl -s -D - -X POST "http://$ADDR/v1/jobs" -d "$SWEEP" | tr -d '\r')"
+JSTATUS="$(echo "$SUBMIT" | sed -n 's|^HTTP/[^ ]* \([0-9]*\).*|\1|p' | head -n1)"
+if [ "$JSTATUS" != "202" ]; then
+    echo "serve-smoke: POST /v1/jobs returned HTTP $JSTATUS (want 202)"
+    echo "$SUBMIT"
+    exit 1
+fi
+JOB="$(echo "$SUBMIT" | sed -n 's|^Location: /v1/jobs/||p' | head -n1)"
+if [ -z "$JOB" ]; then
+    echo "serve-smoke: job submit response had no Location header"
+    echo "$SUBMIT"
+    exit 1
+fi
+echo "serve-smoke: POST /v1/jobs accepted job $JOB"
+
+# The NDJSON stream replays every result record in grid order and closes
+# when the job completes; each record carries a "scheme" key.
+STREAMED="$(curl -s "http://$ADDR/v1/jobs/$JOB/stream" | grep -c '"scheme"' || true)"
+case "$STREAMED" in
+    ''|0) echo "serve-smoke: job stream produced no records"; exit 1 ;;
+esac
+
+JOBBODY="$(curl -s "http://$ADDR/v1/jobs/$JOB")"
+echo "$JOBBODY" | grep -q '"state":"done"' || {
+    echo "serve-smoke: job not done after stream drained: $JOBBODY"
+    exit 1
+}
+COMPLETED="$(echo "$JOBBODY" | sed -n 's/.*"completed":\([0-9]*\).*/\1/p')"
+if [ "$COMPLETED" != "$STREAMED" ]; then
+    echo "serve-smoke: stream delivered $STREAMED records, status says $COMPLETED completed"
+    exit 1
+fi
+
+# Cursor paging: small pages, following next_cursor until more=false,
+# must hand back exactly the streamed record count.
+PAGED=0
+CURSOR="v1:0"
+for _ in $(seq 1 50); do
+    PAGE="$(curl -s "http://$ADDR/v1/jobs/$JOB/results?cursor=$CURSOR&limit=5")"
+    N="$(echo "$PAGE" | grep -o '"scheme"' | grep -c . || true)"
+    PAGED=$((PAGED + N))
+    CURSOR="$(echo "$PAGE" | sed -n 's/.*"nextCursor":"\([^"]*\)".*/\1/p')"
+    echo "$PAGE" | grep -q '"more":true' || break
+done
+if [ "$PAGED" != "$STREAMED" ]; then
+    echo "serve-smoke: cursor paging returned $PAGED records, stream delivered $STREAMED"
+    exit 1
+fi
+echo "serve-smoke: job $JOB done — $STREAMED records streamed, $PAGED paged"
+
 # /metrics serves Prometheus text exposition, and the traffic above is
 # visible in it: a nonzero per-route request counter and the histogram
 # TYPE line.
@@ -129,5 +185,11 @@ case "$REQS" in
     ''|0) echo "serve-smoke: /metrics analyze request counter = '$REQS' (want nonzero)"; exit 1 ;;
 esac
 echo "serve-smoke: GET /metrics reports $REQS analyze request(s)"
+echo "$METRICS" | grep 'mbserve_jobs_total{' | grep 'op="sweep"' | grep -q 'state="done"' || {
+    echo "serve-smoke: /metrics missing mbserve_jobs_total sweep/done transition"
+    echo "$METRICS" | grep mbserve_jobs || true
+    exit 1
+}
+echo "serve-smoke: GET /metrics reports the job's done transition"
 
 echo "serve-smoke: PASS"
