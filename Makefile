@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-compare repro examples fmt vet cover clean check lint serve-smoke chaos-smoke scenarios-check api-check
+.PHONY: all build test race bench bench-compare repro examples fmt vet cover clean check lint serve-smoke chaos-smoke cluster-smoke scenarios-check api-check
 
 all: build vet test
 
@@ -10,7 +10,7 @@ all: build vet test
 # concurrent packages, scenario-file validation, and end-to-end boots
 # of the HTTP service (healthy and under chaos injection). Run
 # `make bench-compare` alongside it when touching the analytic hot path.
-check: build lint test race scenarios-check api-check serve-smoke chaos-smoke
+check: build lint test race scenarios-check api-check serve-smoke chaos-smoke cluster-smoke
 
 build:
 	$(GO) build ./...
@@ -19,7 +19,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/numerics/... ./internal/analytic/... ./internal/scenario/... ./internal/sim/... ./internal/sweep/... ./internal/cache/... ./internal/chaos/... ./internal/service/... ./internal/obs/... ./internal/jobs/...
+	$(GO) test -race ./internal/numerics/... ./internal/analytic/... ./internal/scenario/... ./internal/sim/... ./internal/sweep/... ./internal/cache/... ./internal/chaos/... ./internal/service/... ./internal/obs/... ./internal/jobs/... ./internal/compute/... ./internal/cluster/...
 
 # Contract gate: api/openapi.yaml must document exactly the routes the
 # service serves, the error envelope must match the wire shape, and the
@@ -54,6 +54,14 @@ serve-smoke:
 chaos-smoke:
 	$(GO) build -o /tmp/mbserve-smoke ./cmd/mbserve
 	./scripts/serve-smoke.sh /tmp/mbserve-smoke chaos
+
+# Cluster smoke test: boots a 3-peer cluster (peer 1 coordinator) plus
+# a standalone reference, asserts forwarded answers are byte-identical
+# and locally cached, and that a partitioned sweep merge equals the
+# standalone sweep byte for byte.
+cluster-smoke:
+	$(GO) build -o /tmp/mbserve-smoke ./cmd/mbserve
+	./scripts/cluster-smoke.sh /tmp/mbserve-smoke
 
 # Benchmark-regression harness: runs the full Benchmark* suite and
 # records (name, ns/op, allocs/op, custom metrics) in BENCH_sim.json so

@@ -1,0 +1,42 @@
+// The sweep benchmark lives in the external test package: the sweep
+// layer now rides on internal/compute, which imports the multibus
+// façade, so an in-package test importing sweep would be a cycle.
+package multibus_test
+
+import (
+	"testing"
+
+	"multibus/internal/scenario"
+	"multibus/internal/sweep"
+)
+
+// BenchmarkAnalyticSweepPoint measures the marginal cost of one analytic
+// grid point inside a sweep: a full-connection B axis at N=64, where the
+// incremental evaluator wires and classifies the topology once per
+// (scheme, model, N, B) combination, computes X once per rate, and
+// serves every bandwidth from shared binomial rows. ns/op is per point,
+// not per Run.
+func BenchmarkAnalyticSweepPoint(b *testing.B) {
+	spec := sweep.Spec{
+		Ns:      []int{64},
+		Bs:      []int{1, 2, 4, 8, 16, 32, 64},
+		Rs:      []float64{0.25, 0.5, 0.75, 1.0},
+		Schemes: []scenario.Network{{Scheme: scenario.SchemeFull}},
+		Models:  []scenario.Model{{Kind: scenario.ModelHier}},
+		Workers: 1,
+	}
+	points := len(spec.Bs) * len(spec.Rs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sweep.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Points) != points {
+			b.Fatalf("got %d points, want %d", len(res.Points), points)
+		}
+	}
+	b.StopTimer()
+	// Normalize to per-point cost: the loop above ran b.N full grids.
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*points), "ns/point")
+}

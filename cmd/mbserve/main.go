@@ -29,6 +29,14 @@
 // admission units — see the README's Robustness section), -queue bounds
 // the wait queue behind it (full queue sheds 429 + Retry-After),
 // -fresh-ttl and -stale-ttl control stale-while-revalidate degradation.
+//
+// Cluster mode (README "Cluster mode", DESIGN.md §14): start every
+// instance with the same -peers list and its own -self URL, and
+// evaluations route to each key's consistent-hash owner, joining the
+// owner's singleflight so identical requests anywhere in the cluster
+// compute once. Add -coordinator to make an instance partition sweep
+// grids across the ring. A single-instance deployment omits all three
+// flags and pays no cluster overhead.
 // The hidden -chaos flag injects seeded faults (latency, errors,
 // panics) into every computation for resilience testing — e.g.
 // -chaos "latency=2s,latencyRate=1,seed=7" — and must never be set in
@@ -45,11 +53,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"multibus/internal/chaos"
 	"multibus/internal/cliutil"
+	"multibus/internal/cluster"
 	"multibus/internal/service"
 )
 
@@ -67,6 +77,9 @@ func main() {
 		jobsMax    = flag.Int("jobs", 0, "max resident async jobs (0 = default, negative = disable the /v1/jobs surface)")
 		jobResults = flag.Int("job-results-cap", 0, "retained result records per job for pagination/replay (0 = default)")
 		chaosSpec  = flag.String("chaos", "", "fault injection spec, e.g. \"latency=2s,latencyRate=1,seed=7\" (testing only)")
+		peers      = flag.String("peers", "", "comma-separated base URLs of every cluster instance, self included (empty = single instance)")
+		self       = flag.String("self", "", "this instance's own base URL, byte-equal to its -peers entry (required with -peers)")
+		coord      = flag.Bool("coordinator", false, "partition sweep grids across the -peers ring by key ownership")
 		logFlags   = cliutil.RegisterLogFlags(flag.CommandLine)
 	)
 	flag.Parse()
@@ -74,8 +87,12 @@ func main() {
 	if err == nil {
 		var injector *chaos.Injector
 		injector, err = buildInjector(logger, *chaosSpec)
+		var backend *cluster.Backend
 		if err == nil {
-			err = run(logger, *addr, *drain, service.Options{
+			backend, err = buildCluster(logger, *peers, *self, *coord)
+		}
+		if err == nil {
+			err = run(logger, *addr, *drain, backend, service.Options{
 				CacheSize:    *cacheSize,
 				Timeout:      *timeout,
 				MaxBodyBytes: *maxBody,
@@ -120,12 +137,45 @@ func buildInjector(logger *slog.Logger, spec string) (*chaos.Injector, error) {
 	return in, nil
 }
 
+// buildCluster parses the cluster flags into a routing backend (nil
+// when -peers is empty: the single-instance path has no cluster layer
+// at all). The backend is injected as the service's compute backend;
+// its metrics register into the server's registry once New has built
+// it.
+func buildCluster(logger *slog.Logger, peers, self string, coordinator bool) (*cluster.Backend, error) {
+	if peers == "" {
+		if self != "" || coordinator {
+			return nil, errors.New("-self and -coordinator need -peers")
+		}
+		return nil, nil
+	}
+	if self == "" {
+		return nil, errors.New("-peers needs -self (this instance's own URL from the list)")
+	}
+	list := strings.Split(peers, ",")
+	for i := range list {
+		list[i] = strings.TrimSpace(list[i])
+	}
+	b, err := cluster.New(cluster.Options{Self: self, Peers: list, Coordinator: coordinator})
+	if err != nil {
+		return nil, err
+	}
+	logger.Info("cluster mode", "self", self, "peers", len(b.Ring().Peers()), "coordinator", coordinator)
+	return b, nil
+}
+
 // run starts the server and blocks until a termination signal has been
 // handled. It is separated from main for testability.
-func run(logger *slog.Logger, addr string, drain time.Duration, opts service.Options) error {
+func run(logger *slog.Logger, addr string, drain time.Duration, backend *cluster.Backend, opts service.Options) error {
+	if backend != nil {
+		opts.Backend = backend
+	}
 	srv, err := service.New(opts)
 	if err != nil {
 		return err
+	}
+	if backend != nil {
+		backend.Register(srv.Metrics())
 	}
 
 	ln, err := net.Listen("tcp", addr)

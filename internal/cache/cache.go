@@ -157,12 +157,34 @@ func (c *Cache) Do(ctx context.Context, key string, compute func() (any, error))
 	return c.DoFresh(ctx, key, 0, compute)
 }
 
+// Outcome describes how one Do/DoFresh call obtained its value, beyond
+// the boolean hit: Joined distinguishes "waited on someone else's
+// computation" from "computed it myself", which both count as misses.
+// The serving layer uses it to observe cross-instance deduplication — a
+// peer-forwarded request that joins the owner's in-flight computation
+// is exactly the recompute sharding exists to avoid.
+type Outcome struct {
+	// Hit reports the value came from the LRU without waiting on any
+	// computation.
+	Hit bool
+	// Joined reports this caller waited on another caller's in-flight
+	// computation (at least once) instead of running compute itself.
+	Joined bool
+}
+
 // DoFresh is Do with a freshness horizon: a resident entry older than
 // freshFor is not served but revalidated — compute runs (singleflight)
 // and, on success, replaces the entry with a bumped generation. On
 // failure the aged entry stays resident, so Stale can serve it as a
 // degraded answer. freshFor ≤ 0 means entries never age (plain Do).
 func (c *Cache) DoFresh(ctx context.Context, key string, freshFor time.Duration, compute func() (any, error)) (val any, hit bool, err error) {
+	v, out, err := c.DoFreshOutcome(ctx, key, freshFor, compute)
+	return v, out.Hit, err
+}
+
+// DoFreshOutcome is DoFresh reporting the full Outcome. Semantics are
+// identical; the extra detail is how the caller obtained the value.
+func (c *Cache) DoFreshOutcome(ctx context.Context, key string, freshFor time.Duration, compute func() (any, error)) (val any, out Outcome, err error) {
 	// Each call counts exactly one of Hits/Misses, decided on the
 	// first pass; re-dispatch iterations neither recount nor report a
 	// hit (the caller did wait on a computation).
@@ -177,7 +199,8 @@ func (c *Cache) DoFresh(ctx context.Context, key string, freshFor time.Duration,
 					c.stats.Hits++
 				}
 				c.mu.Unlock()
-				return v, attempt == 0, nil
+				out.Hit = attempt == 0
+				return v, out, nil
 			}
 			// Aged past the horizon: revalidate. The entry stays resident
 			// until a successful compute replaces it.
@@ -192,15 +215,16 @@ func (c *Cache) DoFresh(ctx context.Context, key string, freshFor time.Duration,
 			if attempt == 0 {
 				c.stats.SharedFlights++
 			}
+			out.Joined = true
 			c.mu.Unlock()
 			select {
 			case <-fl.done:
 				if fl.retry {
 					continue // leader-context failure; re-dispatch
 				}
-				return fl.val, false, fl.err
+				return fl.val, out, fl.err
 			case <-ctx.Done():
-				return nil, false, ctx.Err()
+				return nil, out, ctx.Err()
 			}
 		}
 		fl := &call{done: make(chan struct{})}
@@ -208,7 +232,7 @@ func (c *Cache) DoFresh(ctx context.Context, key string, freshFor time.Duration,
 		c.mu.Unlock()
 
 		c.runFlight(ctx, key, fl, compute)
-		return fl.val, false, fl.err
+		return fl.val, out, fl.err
 	}
 }
 

@@ -1,0 +1,376 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"multibus/internal/compute"
+	"multibus/internal/scenario"
+	"multibus/internal/sweep"
+)
+
+// Breaker defaults: a peer is declared unhealthy faster than a compute
+// route would be (threshold 3 vs the service's 5) because every failed
+// forward already cost a round trip before the local fallback ran.
+const (
+	DefaultBreakerThreshold = 3
+	DefaultBreakerCooldown  = 5 * time.Second
+)
+
+// maxShardChunk bounds one shard request to a peer; larger shards are
+// split into sequential chunks, each safely under the worker's
+// maxClusterPoints request cap.
+const maxShardChunk = 2048
+
+// Options configures a cluster Backend.
+type Options struct {
+	// Self is this instance's own base URL exactly as it appears in
+	// Peers — byte-equal, since ownership comparison is string equality.
+	Self string
+	// Peers is the full cluster membership, Self included. Every
+	// instance must be started with the same set (order irrelevant) so
+	// all rings agree.
+	Peers []string
+	// Vnodes is the ring's virtual-node count per peer (0 = DefaultVnodes).
+	Vnodes int
+	// Coordinator enables whole-grid sweep partitioning: sweeps and
+	// sweep jobs served by this instance are split across the ring by
+	// per-point key ownership. Non-coordinators evaluate sweeps locally
+	// and only forward single-scenario evaluations.
+	Coordinator bool
+	// Local is the fallback/owned-key backend (nil = compute.Local()).
+	Local compute.Backend
+	// HTTP overrides the peer transport (nil = http.DefaultClient).
+	HTTP *http.Client
+	// BreakerThreshold/BreakerCooldown tune the per-peer breakers
+	// (0 = the defaults above).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+}
+
+// Backend is the routing compute.Backend: every evaluation is keyed by
+// its canonical cache key and forwarded to the ring owner, where it
+// joins the owner's singleflight — concurrent identical requests
+// arriving anywhere in the cluster compute once, on one instance, and
+// populate one cache. Any forwarding failure falls back to local
+// compute (results are deterministic, so a fallback answer is
+// byte-identical to the owner's); repeated transport failures trip that
+// peer's breaker only, failing its shard over to local compute until
+// the cooldown admits a probe.
+//
+// Backend also implements compute.BatchSweeper: in Coordinator mode a
+// sweep grid is partitioned by per-point ownership, shards stream back
+// concurrently, and points merge by grid index — deterministic order,
+// byte-identical to a single-instance sweep.
+type Backend struct {
+	self        string
+	ring        *Ring
+	coordinator bool
+	local       compute.Backend
+	client      *Client
+	breakers    map[string]*breaker
+	reg         atomic.Pointer[registryHook]
+}
+
+// New builds the routing backend. Self must be a member of Peers.
+func New(opts Options) (*Backend, error) {
+	ring, err := NewRing(opts.Peers, opts.Vnodes)
+	if err != nil {
+		return nil, err
+	}
+	member := false
+	for _, p := range ring.Peers() {
+		if p == opts.Self {
+			member = true
+		}
+	}
+	if !member {
+		return nil, fmt.Errorf("cluster: self %q is not in the peer list", opts.Self)
+	}
+	local := opts.Local
+	if local == nil {
+		local = compute.Local()
+	}
+	threshold := opts.BreakerThreshold
+	if threshold == 0 {
+		threshold = DefaultBreakerThreshold
+	}
+	cooldown := opts.BreakerCooldown
+	if cooldown == 0 {
+		cooldown = DefaultBreakerCooldown
+	}
+	b := &Backend{
+		self:        opts.Self,
+		ring:        ring,
+		coordinator: opts.Coordinator,
+		local:       local,
+		client:      &Client{HTTP: opts.HTTP, Self: opts.Self},
+		breakers:    make(map[string]*breaker, len(ring.Peers())),
+	}
+	for _, p := range ring.Peers() {
+		if p != opts.Self {
+			b.breakers[p] = &breaker{threshold: threshold, cooldown: cooldown}
+		}
+	}
+	return b, nil
+}
+
+// Ring exposes the backend's hash ring (tests and gauges read it).
+func (b *Backend) Ring() *Ring { return b.ring }
+
+// route decides whether key's evaluation should be forwarded, returning
+// the owning peer when so. Forwarded requests (the hop guard), keys this
+// instance owns, and keys owned by a breaker-open peer all evaluate
+// locally.
+func (b *Backend) route(ctx context.Context, key string) (string, bool) {
+	if compute.Forwarded(ctx) {
+		return "", false
+	}
+	owner := b.ring.Owner(key)
+	if owner == b.self {
+		return "", false
+	}
+	if !b.breakers[owner].Allow() {
+		b.countPeer(owner, "open")
+		return "", false
+	}
+	return owner, true
+}
+
+// settle records a forward's outcome against the peer's breaker and
+// metrics, and reports whether the forwarded result is usable.
+func (b *Backend) settle(peer string, err error) bool {
+	br := b.breakers[peer]
+	if err == nil {
+		br.Success()
+		b.countPeer(peer, "ok")
+		return true
+	}
+	b.countPeer(peer, "error")
+	if transient(err) {
+		br.Failure()
+	} else {
+		// The peer answered deliberately (4xx): it is healthy; only the
+		// request failed. The local fallback reproduces the same error.
+		br.Success()
+	}
+	return false
+}
+
+// Analyze implements compute.Backend.
+func (b *Backend) Analyze(ctx context.Context, built *scenario.Built) (*compute.Analysis, error) {
+	if peer, ok := b.route(ctx, built.AnalyzeKey()); ok {
+		if res, err := b.client.Analyze(ctx, peer, built.Scenario); b.settle(peer, err) {
+			return res, nil
+		}
+	}
+	return b.local.Analyze(ctx, built)
+}
+
+// Simulate implements compute.Backend.
+func (b *Backend) Simulate(ctx context.Context, built *scenario.Built) (*compute.SimResult, error) {
+	if peer, ok := b.route(ctx, built.SimulateKey()); ok {
+		if res, err := b.client.Simulate(ctx, peer, built.Scenario); b.settle(peer, err) {
+			return res, nil
+		}
+	}
+	return b.local.Simulate(ctx, built)
+}
+
+// SweepPoint implements compute.Backend: a single grid point forwards
+// to its owner as a one-element shard (the owner memoizes it under the
+// same canonical key its own sweeps use).
+func (b *Backend) SweepPoint(ctx context.Context, jb compute.PointJob) (compute.Point, error) {
+	if peer, ok := b.route(ctx, jb.Key()); ok {
+		if pt, err := b.client.SweepPoint(ctx, peer, specFromJob(jb)); b.settle(peer, err) {
+			return pt, nil
+		}
+	}
+	return b.local.SweepPoint(ctx, jb)
+}
+
+// SweepBatch implements compute.BatchSweeper. Coordinator instances
+// partition the grid by per-point key ownership: each remote shard
+// streams back concurrently while this instance evaluates its own
+// shard; indices a peer failed (per-point errors, truncated streams,
+// dead peers) are retried locally, so a lost peer degrades throughput
+// on its shard only — the merged result is complete and byte-identical
+// to a single-instance sweep either way.
+func (b *Backend) SweepBatch(ctx context.Context, batch compute.SweepBatch) error {
+	if !b.coordinator || compute.Forwarded(ctx) {
+		return b.evalLocal(ctx, batch, nil, true)
+	}
+	shards := make(map[string][]int)
+	var localIdx []int
+	for i := range batch.Jobs {
+		key := batch.Jobs[i].Key()
+		owner := b.ring.Owner(key)
+		if owner == b.self || !b.breakers[owner].Allow() {
+			if owner != b.self {
+				b.countPeer(owner, "open")
+			}
+			localIdx = append(localIdx, i)
+			continue
+		}
+		shards[owner] = append(shards[owner], i)
+	}
+	var (
+		mu      sync.Mutex
+		retry   []int
+		wg      sync.WaitGroup
+		seen    = make([]atomic.Bool, len(batch.Jobs))
+		emitted = func(global int, pt compute.Point) {
+			// A duplicate or out-of-range index from a confused peer must
+			// not double-emit a grid slot.
+			if global < 0 || global >= len(batch.Jobs) || seen[global].Swap(true) {
+				return
+			}
+			batch.Emit(global, pt)
+		}
+	)
+	for peer, idxs := range shards {
+		wg.Add(1)
+		go func(peer string, idxs []int) {
+			defer wg.Done()
+			for len(idxs) > 0 {
+				chunk := idxs
+				if len(chunk) > maxShardChunk {
+					chunk = chunk[:maxShardChunk]
+				}
+				idxs = idxs[len(chunk):]
+				specs := make([]PointSpec, len(chunk))
+				for k, gi := range chunk {
+					specs[k] = specFromJob(batch.Jobs[gi])
+				}
+				done := make([]bool, len(chunk))
+				err := b.client.SweepShard(ctx, peer, specs, func(rec PointRecord) {
+					if rec.Index < 0 || rec.Index >= len(chunk) || rec.Point == nil {
+						return
+					}
+					done[rec.Index] = true
+					emitted(chunk[rec.Index], *rec.Point)
+				})
+				b.settle(peer, err)
+				mu.Lock()
+				for k, gi := range chunk {
+					if !done[k] {
+						retry = append(retry, gi)
+					}
+				}
+				mu.Unlock()
+				if err != nil && transient(err) {
+					// The peer (or the path to it) is gone; fail the rest of
+					// its shard straight to the local retry pass instead of
+					// hammering a dead endpoint chunk by chunk.
+					mu.Lock()
+					retry = append(retry, idxs...)
+					mu.Unlock()
+					return
+				}
+			}
+		}(peer, idxs)
+	}
+	// This instance's own shard evaluates while the remote shards
+	// stream; its first error aborts the sweep exactly as a local run's
+	// would.
+	localErr := b.evalLocal(ctx, batch, localIdx, false)
+	wg.Wait()
+	if localErr != nil {
+		return localErr
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	// Failed-over indices recompute locally: deterministic evaluation
+	// means the retried points are byte-identical to what the dead peer
+	// would have returned.
+	mu.Lock()
+	failed := retry
+	mu.Unlock()
+	return b.evalLocal(ctx, batch, failed, false)
+}
+
+// evalLocal evaluates grid indices on the local worker pool through the
+// batch's memo layer: the whole grid when all is set, exactly idxs
+// otherwise. The explicit flag matters — an empty retry list is a nil
+// slice, which must mean "nothing left", never "everything again".
+func (b *Backend) evalLocal(ctx context.Context, batch compute.SweepBatch, idxs []int, all bool) error {
+	n := len(idxs)
+	pick := func(k int) int { return idxs[k] }
+	if all {
+		n = len(batch.Jobs)
+		pick = func(k int) int { return k }
+	}
+	if n == 0 {
+		return nil
+	}
+	return sweep.ForEachPool(ctx, n, sweep.PoolOptions{
+		Workers: batch.Workers,
+		Label:   "cluster",
+	}, func(ctx context.Context, k int) error {
+		i := pick(k)
+		pt, err := compute.MemoPoint(ctx, batch.Memo, b.local, batch.Jobs[i])
+		if err != nil {
+			return err
+		}
+		batch.Emit(i, pt)
+		return nil
+	})
+}
+
+// Healthy reports whether peer's breaker currently admits traffic
+// (true for unknown peers and self).
+func (b *Backend) Healthy(peer string) bool {
+	br, ok := b.breakers[peer]
+	if !ok {
+		return true
+	}
+	return br.Admitting()
+}
+
+// breaker is a consecutive-failure circuit breaker, deliberately
+// simpler than the service's per-route one: peers fail over to local
+// compute rather than to an error, so there is no half-open envelope to
+// surface — Allow simply starts admitting probes once the cooldown
+// passes.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu        sync.Mutex
+	failures  int
+	openUntil time.Time
+}
+
+// Allow reports whether a forward may proceed.
+func (b *breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.failures < b.threshold || time.Now().After(b.openUntil)
+}
+
+// Admitting is Allow without consuming anything (they are the same for
+// this breaker; the alias marks read-only call sites).
+func (b *breaker) Admitting() bool { return b.Allow() }
+
+// Open reports whether the breaker is tripped and cooling down.
+func (b *breaker) Open() bool { return !b.Allow() }
+
+func (b *breaker) Success() {
+	b.mu.Lock()
+	b.failures = 0
+	b.mu.Unlock()
+}
+
+func (b *breaker) Failure() {
+	b.mu.Lock()
+	b.failures++
+	if b.failures >= b.threshold {
+		b.openUntil = time.Now().Add(b.cooldown)
+	}
+	b.mu.Unlock()
+}

@@ -1,0 +1,237 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"multibus/internal/compute"
+	"multibus/internal/scenario"
+)
+
+// retryBackoff is the pause before the single transport-level retry.
+// Short on purpose: the fallback behind a failed forward is local
+// compute, so there is no budget for patient retrying.
+const retryBackoff = 50 * time.Millisecond
+
+// StatusError is a peer response with a non-200 status. 5xx statuses
+// count toward the peer's breaker; 4xx mean the peer is healthy and the
+// request itself was refused (the local fallback reproduces the same
+// classification).
+type StatusError struct {
+	Status int
+	Body   string // first line of the error envelope, for logs
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("cluster: peer returned %d: %s", e.Status, e.Body)
+}
+
+// transient reports whether err should count toward the peer's circuit
+// breaker: transport failures and 5xx responses mean the peer (or the
+// path to it) is unhealthy; 4xx and 429 mean it answered deliberately.
+func transient(err error) bool {
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Status >= 500
+	}
+	// Context cancellation is the caller's deadline, not the peer's
+	// fault; everything else at the transport level is.
+	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+}
+
+// PointSpec is one sweep grid point on the wire — the request item of
+// POST /v1/cluster/sweep (mirrors the service's ClusterPointSpec; the
+// two marshal identically by construction, pinned by tests).
+type PointSpec struct {
+	Scenario scenario.Scenario `json:"scenario"`
+	Axis     string            `json:"axis"`
+	Model    string            `json:"model"`
+	WithSim  bool              `json:"withSim,omitempty"`
+}
+
+// specFromJob strips a PointJob to its wire form. Precomputed X and
+// Structure stay behind: the worker re-derives both deterministically
+// from the canonical scenario.
+func specFromJob(jb compute.PointJob) PointSpec {
+	return PointSpec{Scenario: jb.Built.Scenario, Axis: jb.Axis, Model: jb.Model, WithSim: jb.WithSim}
+}
+
+// PointRecord is one NDJSON response record of a shard request. Error
+// is kept raw: the coordinator retries failed indices locally, where
+// the same failure re-classifies natively.
+type PointRecord struct {
+	Index int             `json:"i"`
+	Point *compute.Point  `json:"point"`
+	Error json.RawMessage `json:"error"`
+}
+
+// shardRequest is the body of POST /v1/cluster/sweep.
+type shardRequest struct {
+	Points []PointSpec `json:"points"`
+}
+
+// Client speaks the mbserve peer protocol: the ordinary v1 endpoints
+// for single evaluations and /v1/cluster/sweep for shards, always with
+// the X-Mb-Forwarded hop guard set so the receiving instance computes
+// locally. Transport errors get exactly one retry after a short
+// backoff; response deadlines are whatever ctx carries — the service's
+// per-request timeout propagates to the peer hop.
+type Client struct {
+	// HTTP is the underlying client; nil means http.DefaultClient
+	// semantics with no client-level timeout (ctx deadlines govern).
+	HTTP *http.Client
+	// Self identifies this instance in the hop-guard header.
+	Self string
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// post sends body to peer+path, retrying once on transport failure.
+// The caller owns the response body on success; any non-200 is drained,
+// closed, and returned as a *StatusError.
+func (c *Client) post(ctx context.Context, peer, path string, body any) (*http.Response, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: encoding request: %w", err)
+	}
+	var resp *http.Response
+	for attempt := 0; ; attempt++ {
+		req, rerr := http.NewRequestWithContext(ctx, http.MethodPost, peer+path, bytes.NewReader(buf))
+		if rerr != nil {
+			return nil, rerr
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(compute.ForwardedHeader, c.Self)
+		resp, err = c.httpClient().Do(req)
+		if err == nil {
+			break
+		}
+		if attempt > 0 || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(retryBackoff):
+		}
+	}
+	if resp.StatusCode != http.StatusOK {
+		line, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		resp.Body.Close()
+		return nil, &StatusError{Status: resp.StatusCode, Body: string(bytes.TrimSpace(line))}
+	}
+	return resp, nil
+}
+
+// postJSON posts and decodes a single JSON response body into dst.
+func (c *Client) postJSON(ctx context.Context, peer, path string, body, dst any) error {
+	resp, err := c.post(ctx, peer, path, body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+		return fmt.Errorf("cluster: decoding %s response: %w", path, err)
+	}
+	return nil
+}
+
+// Analyze forwards one closed-form evaluation to peer. The analyze
+// surface has no sim block, so only the analytic fields cross the wire.
+func (c *Client) Analyze(ctx context.Context, peer string, sc scenario.Scenario) (*compute.Analysis, error) {
+	body := struct {
+		Network scenario.Network `json:"network"`
+		Model   scenario.Model   `json:"model"`
+		R       float64          `json:"r"`
+	}{Network: sc.Network, Model: sc.Model, R: sc.R}
+	var out compute.Analysis
+	if err := c.postJSON(ctx, peer, "/v1/analyze", body, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Simulate forwards one simulation to peer. A nil sim block is sent as
+// the canonical defaults — the identical cache key either way.
+func (c *Client) Simulate(ctx context.Context, peer string, sc scenario.Scenario) (*compute.SimResult, error) {
+	simBlock := sc.Sim
+	if simBlock == nil {
+		def := scenario.DefaultSim()
+		simBlock = &def
+	}
+	body := struct {
+		Network scenario.Network `json:"network"`
+		Model   scenario.Model   `json:"model"`
+		R       float64          `json:"r"`
+		Sim     scenario.Sim     `json:"sim"`
+	}{Network: sc.Network, Model: sc.Model, R: sc.R, Sim: *simBlock}
+	var out compute.SimResult
+	if err := c.postJSON(ctx, peer, "/v1/simulate", body, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// SweepShard streams one shard of points through peer, invoking
+// onRecord for every NDJSON record as it arrives (point and error
+// records alike; indices refer to the points argument). A truncated
+// stream returns an error after the records that did arrive — the
+// caller treats unseen indices as failed and retries them locally.
+func (c *Client) SweepShard(ctx context.Context, peer string, points []PointSpec, onRecord func(PointRecord)) error {
+	resp, err := c.post(ctx, peer, "/v1/cluster/sweep", shardRequest{Points: points})
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var rec PointRecord
+		if err := dec.Decode(&rec); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return fmt.Errorf("cluster: shard stream from %s: %w", peer, err)
+		}
+		onRecord(rec)
+	}
+}
+
+// SweepPoint forwards a single grid point as a one-element shard.
+func (c *Client) SweepPoint(ctx context.Context, peer string, spec PointSpec) (compute.Point, error) {
+	var (
+		pt    compute.Point
+		found bool
+		pErr  json.RawMessage
+	)
+	err := c.SweepShard(ctx, peer, []PointSpec{spec}, func(rec PointRecord) {
+		if rec.Index != 0 {
+			return
+		}
+		if rec.Point != nil {
+			pt, found = *rec.Point, true
+		} else {
+			pErr = rec.Error
+		}
+	})
+	if err != nil {
+		return compute.Point{}, err
+	}
+	if pErr != nil {
+		return compute.Point{}, fmt.Errorf("cluster: peer %s failed the point: %s", peer, pErr)
+	}
+	if !found {
+		return compute.Point{}, fmt.Errorf("cluster: peer %s returned no record for the point", peer)
+	}
+	return pt, nil
+}

@@ -1,0 +1,474 @@
+// End-to-end cluster tests: real HTTP instances on loopback listeners,
+// routed by a shared ring — the properties ISSUE-level acceptance pins:
+// byte-identity of forwarded answers, exactly-once compute for
+// concurrent identical requests across peers (observable via
+// mbserve_peer_dedup_total), coordinator sweeps merging byte-identical
+// to a single instance, and per-shard degradation when a peer dies.
+package cluster_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"multibus"
+	"multibus/internal/cluster"
+	"multibus/internal/compute"
+	"multibus/internal/scenario"
+	"multibus/internal/service"
+)
+
+// instance is one clustered mbserve under test.
+type instance struct {
+	url      string
+	srv      *service.Server
+	backend  *cluster.Backend
+	ts       *httptest.Server
+	computes atomic.Int64 // closed-form computations this instance ran
+}
+
+// startCluster boots n instances on loopback listeners sharing one
+// ring. The listeners are bound before any backend is built — the URLs
+// must exist up front because every instance's -peers set names all of
+// them. wrapAnalyze, when non-nil, decorates each instance's analyze
+// seam (compute counting is always installed underneath it).
+func startCluster(t *testing.T, n, coordIdx int, wrapAnalyze func(i int, fn compute.AnalyzeFunc) compute.AnalyzeFunc) []*instance {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	insts := make([]*instance, n)
+	for i := range insts {
+		inst := &instance{url: urls[i]}
+		analyze := compute.AnalyzeFunc(func(ctx context.Context, nw *multibus.Network, model multibus.RequestModel, r float64) (*multibus.Analysis, error) {
+			inst.computes.Add(1)
+			return multibus.AnalyzeContext(ctx, nw, model, r)
+		})
+		if wrapAnalyze != nil {
+			analyze = wrapAnalyze(i, analyze)
+		}
+		backend, err := cluster.New(cluster.Options{
+			Self:        urls[i],
+			Peers:       urls,
+			Coordinator: i == coordIdx,
+			Local:       compute.NewLocal(analyze, nil),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := service.New(service.Options{Backend: backend})
+		if err != nil {
+			t.Fatal(err)
+		}
+		backend.Register(srv.Metrics())
+		ts := httptest.NewUnstartedServer(srv.Handler())
+		ts.Listener.Close()
+		ts.Listener = lns[i]
+		ts.Start()
+		t.Cleanup(ts.Close)
+		inst.srv, inst.backend, inst.ts = srv, backend, ts
+		insts[i] = inst
+	}
+	return insts
+}
+
+// post sends body to url+path and returns status, X-Cache, and body.
+func post(t *testing.T, url, path, body string) (int, string, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s%s: %v", url, path, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("X-Cache"), b
+}
+
+// metricSum scrapes one instance's registry and sums the series of
+// family whose label set contains every given substring.
+func metricSum(t *testing.T, srv *service.Server, family string, contains ...string) float64 {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := srv.Metrics().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if !strings.HasPrefix(line, family+"{") && !strings.HasPrefix(line, family+" ") {
+			continue
+		}
+		match := true
+		for _, c := range contains {
+			if !strings.Contains(line, c) {
+				match = false
+			}
+		}
+		if !match {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			t.Fatalf("parsing metric line %q: %v", line, err)
+		}
+		total += v
+	}
+	return total
+}
+
+const clusterAnalyzeBody = `{"network":{"scheme":"full","n":16,"b":8},"model":{"kind":"hier"},"r":1.0}`
+
+// analyzeScenarioAt returns the canonical analyze scenario at rate r
+// and its cache key — for picking keys owned by a chosen peer.
+func analyzeScenarioAt(t *testing.T, r float64) (string, string) {
+	t.Helper()
+	sc := scenario.Scenario{
+		Network: scenario.Network{Scheme: scenario.SchemeFull, N: 16, B: 8},
+		Model:   scenario.Model{Kind: scenario.ModelHier},
+		R:       r,
+	}
+	built, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := fmt.Sprintf(`{"network":{"scheme":"full","n":16,"b":8},"model":{"kind":"hier"},"r":%g}`, r)
+	return body, built.AnalyzeKey()
+}
+
+// TestClusterForwardedAnswersByteIdenticalAndComputeOnce posts one
+// scenario to every instance in turn: each answer must be
+// byte-identical, the cluster must run the closed form exactly once
+// (repeats are served from the owner's cache through the forward), and
+// a repeat on the first instance must be a local cache hit.
+func TestClusterForwardedAnswersByteIdenticalAndComputeOnce(t *testing.T) {
+	insts := startCluster(t, 3, -1, nil)
+
+	var bodies [][]byte
+	for _, inst := range insts {
+		status, _, body := post(t, inst.url, "/v1/analyze", clusterAnalyzeBody)
+		if status != http.StatusOK {
+			t.Fatalf("analyze on %s = %d: %s", inst.url, status, body)
+		}
+		bodies = append(bodies, body)
+	}
+	for i := 1; i < len(bodies); i++ {
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Errorf("instance %d body differs:\n%s\n%s", i, bodies[0], bodies[i])
+		}
+	}
+	var computes int64
+	for _, inst := range insts {
+		computes += inst.computes.Load()
+	}
+	if computes != 1 {
+		t.Errorf("cluster ran the closed form %d times, want exactly 1", computes)
+	}
+	// Exactly the two non-owner instances forwarded.
+	var forwards float64
+	for _, inst := range insts {
+		forwards += metricSum(t, inst.srv, "mbserve_peer_requests_total", `result="ok"`)
+	}
+	if forwards != 2 {
+		t.Errorf("peer forwards = %v, want 2 (the two non-owners)", forwards)
+	}
+	status, xc, repeat := post(t, insts[0].url, "/v1/analyze", clusterAnalyzeBody)
+	if status != http.StatusOK || xc != "hit" {
+		t.Errorf("repeat on first instance = %d X-Cache %q, want 200 hit", status, xc)
+	}
+	if !bytes.Equal(repeat, bodies[0]) {
+		t.Errorf("repeat body differs from original")
+	}
+}
+
+// TestClusterConcurrentIdenticalRequestsDedup pins the cross-instance
+// singleflight: identical requests posted concurrently to two
+// NON-owner instances both forward to the owner, where the second
+// joins the first's in-flight computation — one compute, and the
+// owner's mbserve_peer_dedup_total ticks.
+func TestClusterConcurrentIdenticalRequestsDedup(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 3)
+	insts := startCluster(t, 3, -1, func(i int, fn compute.AnalyzeFunc) compute.AnalyzeFunc {
+		return func(ctx context.Context, nw *multibus.Network, model multibus.RequestModel, r float64) (*multibus.Analysis, error) {
+			started <- struct{}{}
+			<-release
+			return fn(ctx, nw, model, r)
+		}
+	})
+	_, key := analyzeScenarioAt(t, 1.0)
+	owner := insts[0].backend.Ring().Owner(key)
+	var ownerInst *instance
+	var nonOwners []*instance
+	for _, inst := range insts {
+		if inst.url == owner {
+			ownerInst = inst
+		} else {
+			nonOwners = append(nonOwners, inst)
+		}
+	}
+
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		bodies [][]byte
+	)
+	do := func(inst *instance) {
+		defer wg.Done()
+		status, _, body := post(t, inst.url, "/v1/analyze", clusterAnalyzeBody)
+		if status != http.StatusOK {
+			t.Errorf("analyze = %d: %s", status, body)
+			return
+		}
+		mu.Lock()
+		bodies = append(bodies, body)
+		mu.Unlock()
+	}
+	wg.Add(1)
+	go do(nonOwners[0])
+	<-started // the owner's compute is in flight
+	wg.Add(1)
+	go do(nonOwners[1])
+	// The second forward joins the owner's flight; SharedFlights ticks
+	// before it starts waiting, so polling it closes the race with the
+	// release below.
+	deadline := time.Now().Add(10 * time.Second)
+	for ownerInst.srv.Cache().Stats().SharedFlights == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("second forward never joined the owner's flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if len(bodies) == 2 && !bytes.Equal(bodies[0], bodies[1]) {
+		t.Errorf("concurrent answers differ:\n%s\n%s", bodies[0], bodies[1])
+	}
+	var computes int64
+	for _, inst := range insts {
+		computes += inst.computes.Load()
+	}
+	if computes != 1 {
+		t.Errorf("cluster ran the closed form %d times, want exactly 1", computes)
+	}
+	if got := metricSum(t, ownerInst.srv, "mbserve_peer_dedup_total"); got != 1 {
+		t.Errorf("owner mbserve_peer_dedup_total = %v, want 1", got)
+	}
+}
+
+const clusterSweepBody = `{"ns":[4,8],"bs":[1,2,4],"rs":[0.25,0.75],"schemes":["full","single","crossbar"],"hierarchical":true}`
+
+// TestCoordinatorSweepByteIdenticalToSingleInstance partitions a sweep
+// across three peers and requires the merged response to match a
+// standalone instance's byte for byte — points in deterministic grid
+// order, however the shards interleaved.
+func TestCoordinatorSweepByteIdenticalToSingleInstance(t *testing.T) {
+	standalone, err := service.New(service.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sts := httptest.NewServer(standalone.Handler())
+	defer sts.Close()
+
+	insts := startCluster(t, 3, 0, nil)
+
+	status, _, want := post(t, sts.URL, "/v1/sweep", clusterSweepBody)
+	if status != http.StatusOK {
+		t.Fatalf("standalone sweep = %d: %s", status, want)
+	}
+	status, _, got := post(t, insts[0].url, "/v1/sweep", clusterSweepBody)
+	if status != http.StatusOK {
+		t.Fatalf("coordinator sweep = %d: %s", status, got)
+	}
+	if !bytes.Equal(want, got) {
+		t.Errorf("coordinator sweep differs from standalone:\nstandalone:  %s\ncoordinator: %s", want, got)
+	}
+	// The 36-point grid all but surely spans every peer; at least one
+	// shard must have gone over the wire.
+	if forwards := metricSum(t, insts[0].srv, "mbserve_peer_requests_total", `result="ok"`); forwards < 1 {
+		t.Errorf("coordinator forwarded no shards (peer ok count = %v)", forwards)
+	}
+}
+
+// TestCoordinatorSweepJobStreamsMergedGrid runs the same partitioned
+// sweep through the async jobs surface: the streamed records must be
+// the standalone sweep's points, in grid order — the coordinator's
+// shard merge feeding the publisher's gap-free frontier.
+func TestCoordinatorSweepJobStreamsMergedGrid(t *testing.T) {
+	standalone, err := service.New(service.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sts := httptest.NewServer(standalone.Handler())
+	defer sts.Close()
+	status, _, sweepBody := post(t, sts.URL, "/v1/sweep", clusterSweepBody)
+	if status != http.StatusOK {
+		t.Fatalf("standalone sweep = %d", status)
+	}
+	var want struct {
+		Points []json.RawMessage `json:"points"`
+	}
+	if err := json.Unmarshal(sweepBody, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	insts := startCluster(t, 3, 0, nil)
+	status, _, jobBody := post(t, insts[0].url, "/v1/jobs", `{"sweep":`+clusterSweepBody+`}`)
+	if status != http.StatusAccepted && status != http.StatusOK {
+		t.Fatalf("job submit = %d: %s", status, jobBody)
+	}
+	var job struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(jobBody, &job); err != nil || job.ID == "" {
+		t.Fatalf("job submit body %s: %v", jobBody, err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(insts[0].url + "/v1/jobs/" + job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var st struct {
+			State string `json:"state"`
+		}
+		if err := json.Unmarshal(b, &st); err != nil {
+			t.Fatalf("job status %s: %v", b, err)
+		}
+		if st.State == "succeeded" || st.State == "done" || st.State == "completed" {
+			break
+		}
+		if st.State == "failed" || st.State == "canceled" {
+			t.Fatalf("job ended in state %q: %s", st.State, b)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job still %q at deadline", st.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	resp, err := http.Get(insts[0].url + "/v1/jobs/" + job.ID + "/results?limit=1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var page struct {
+		Records []json.RawMessage `json:"records"`
+	}
+	if err := json.Unmarshal(b, &page); err != nil {
+		t.Fatalf("results page %s: %v", b, err)
+	}
+	if len(page.Records) != len(want.Points) {
+		t.Fatalf("job streamed %d records, standalone sweep has %d points", len(page.Records), len(want.Points))
+	}
+	for i := range page.Records {
+		if !bytes.Equal(bytes.TrimSpace(page.Records[i]), bytes.TrimSpace(want.Points[i])) {
+			t.Errorf("record %d = %s, want %s", i, page.Records[i], want.Points[i])
+		}
+	}
+}
+
+// TestPeerDeathDegradesOnlyItsShard kills one instance: keys it owned
+// fail over to local compute on the surviving instances (correct
+// answers, no error surface), its breaker trips after the failure
+// threshold so later requests skip the dead hop, and keys owned by the
+// surviving peer keep forwarding normally.
+func TestPeerDeathDegradesOnlyItsShard(t *testing.T) {
+	insts := startCluster(t, 3, -1, nil)
+	dead := insts[2]
+	dead.ts.Close()
+
+	ring := insts[0].backend.Ring()
+	// Collect distinct analyze keys owned by the dead peer and by the
+	// surviving peer, as seen from instance 0.
+	var deadBodies, aliveBodies []string
+	for i := 1; i < 1000 && (len(deadBodies) < 4 || len(aliveBodies) < 1); i++ {
+		r := float64(i) / 1000
+		body, key := analyzeScenarioAt(t, r)
+		switch ring.Owner(key) {
+		case dead.url:
+			if len(deadBodies) < 4 {
+				deadBodies = append(deadBodies, body)
+			}
+		case insts[1].url:
+			if len(aliveBodies) < 1 {
+				aliveBodies = append(aliveBodies, body)
+			}
+		}
+	}
+	if len(deadBodies) < 4 || len(aliveBodies) < 1 {
+		t.Fatalf("key sampling found %d dead-owned and %d alive-owned keys", len(deadBodies), len(aliveBodies))
+	}
+
+	for _, body := range deadBodies {
+		status, _, resp := post(t, insts[0].url, "/v1/analyze", body)
+		if status != http.StatusOK {
+			t.Fatalf("dead-shard analyze = %d: %s", status, resp)
+		}
+	}
+	if insts[0].backend.Healthy(dead.url) {
+		t.Error("dead peer still healthy after repeated transport failures")
+	}
+	if errs := metricSum(t, insts[0].srv, "mbserve_peer_requests_total", `result="error"`); errs < 3 {
+		t.Errorf("peer error count = %v, want >= 3 (breaker threshold)", errs)
+	}
+	if open := metricSum(t, insts[0].srv, "mbserve_peer_requests_total", `result="open"`); open < 1 {
+		t.Errorf("peer open count = %v, want >= 1 (post-trip requests skip the hop)", open)
+	}
+
+	// The surviving shard still forwards.
+	status, _, resp := post(t, insts[0].url, "/v1/analyze", aliveBodies[0])
+	if status != http.StatusOK {
+		t.Fatalf("alive-shard analyze = %d: %s", status, resp)
+	}
+	if ok := metricSum(t, insts[0].srv, "mbserve_peer_requests_total", `result="ok"`); ok < 1 {
+		t.Errorf("no successful forward to the surviving peer (ok = %v)", ok)
+	}
+}
+
+// TestPointSpecWireParity pins the client and server wire structs to
+// one JSON shape: internal/cluster.PointSpec (the client side) and
+// service.ClusterPointSpec (the handler side) must marshal identically,
+// since they are maintained as mirror types rather than shared ones.
+func TestPointSpecWireParity(t *testing.T) {
+	sc := scenario.Scenario{
+		Network: scenario.Network{Scheme: scenario.SchemeFull, N: 8, B: 4},
+		Model:   scenario.Model{Kind: scenario.ModelHier},
+		R:       0.5,
+		Sim:     &scenario.Sim{Cycles: 1000, Seed: 3},
+	}
+	a, err := json.Marshal(cluster.PointSpec{Scenario: sc, Axis: "full", Model: "hier", WithSim: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(service.ClusterPointSpec{Scenario: sc, Axis: "full", Model: "hier", WithSim: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("wire shapes diverged:\ncluster: %s\nservice: %s", a, b)
+	}
+}

@@ -1,0 +1,60 @@
+package cluster
+
+import (
+	"multibus/internal/obs"
+)
+
+// Metric families cluster mode adds to the instance registry. The
+// server-side counterpart — mbserve_peer_dedup_total, ticked when a
+// forwarded request joins an in-flight local computation — lives in the
+// service layer, which owns the cache.
+const (
+	metricPeerRequests = "mbserve_peer_requests_total"
+	metricRingPeers    = "mbserve_ring_peers"
+	metricRingShare    = "mbserve_ring_share"
+	metricPeerBreaker  = "mbserve_peer_breaker_open"
+)
+
+// registryHook is the late-bound metrics sink: the backend is built
+// before the service (it is injected into service.Options), so the
+// registry arrives afterwards via Register.
+type registryHook struct {
+	reg *obs.Registry
+}
+
+// Register binds the backend's metrics into reg (normally the serving
+// instance's own registry, so cluster families appear on GET /metrics):
+// per-peer forward counters by result (ok, error, open), the ring
+// membership gauge, each peer's hash-space share, and each remote
+// peer's breaker state.
+func (b *Backend) Register(reg *obs.Registry) {
+	b.reg.Store(&registryHook{reg: reg})
+	reg.GaugeFunc(metricRingPeers, "cluster ring membership (peers, self included)",
+		func() float64 { return float64(len(b.ring.Peers())) })
+	for _, p := range b.ring.Peers() {
+		peer := p
+		reg.GaugeFunc(metricRingShare, "fraction of the key hash space owned by peer",
+			func() float64 { return b.ring.Share(peer) }, obs.L("peer", peer))
+		if br := b.breakers[peer]; br != nil {
+			reg.GaugeFunc(metricPeerBreaker, "peer breaker state (1 open: shard failing over to local compute)",
+				func() float64 {
+					if br.Open() {
+						return 1
+					}
+					return 0
+				}, obs.L("peer", peer))
+		}
+	}
+}
+
+// countPeer ticks the per-peer forward counter; a no-op until Register
+// has bound a registry.
+func (b *Backend) countPeer(peer, result string) {
+	h := b.reg.Load()
+	if h == nil {
+		return
+	}
+	h.reg.Counter(metricPeerRequests,
+		"peer forwards by destination and result (ok, error, open=breaker refused)",
+		obs.L("peer", peer), obs.L("result", result)).Inc()
+}

@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+)
+
+var testPeers = []string{
+	"http://127.0.0.1:7001",
+	"http://127.0.0.1:7002",
+	"http://127.0.0.1:7003",
+}
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		// Shaped like real canonical cache keys, not random bytes.
+		keys[i] = fmt.Sprintf("analyze|v2|nfp=%016x|mfp=%016x|r=%g", i*2654435761, i, float64(i%100)/100)
+	}
+	return keys
+}
+
+// TestRingOwnerOrderIndependent pins the agreement property the whole
+// design rests on: every instance builds its ring from its own -peers
+// flag, so rings built from any permutation of the list must route
+// every key identically.
+func TestRingOwnerOrderIndependent(t *testing.T) {
+	a, err := NewRing(testPeers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffled := []string{testPeers[2], testPeers[0], testPeers[1], testPeers[0]} // dup too
+	b, err := NewRing(shuffled, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range testKeys(2000) {
+		if ao, bo := a.Owner(key), b.Owner(key); ao != bo {
+			t.Fatalf("ring disagreement on %q: %s vs %s", key, ao, bo)
+		}
+	}
+}
+
+func TestRingOwnerDeterministic(t *testing.T) {
+	r, err := NewRing(testPeers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range testKeys(100) {
+		if r.Owner(key) != r.Owner(key) {
+			t.Fatalf("owner of %q unstable", key)
+		}
+	}
+}
+
+// TestRingBalance checks the vnode count keeps key distribution within
+// sane bounds: every peer owns a non-trivial share of both the hash
+// space and an actual key sample.
+func TestRingBalance(t *testing.T) {
+	r, err := NewRing(testPeers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	keys := testKeys(6000)
+	for _, key := range keys {
+		counts[r.Owner(key)]++
+	}
+	var shareSum float64
+	for _, p := range testPeers {
+		n := counts[p]
+		frac := float64(n) / float64(len(keys))
+		if frac < 0.10 {
+			t.Errorf("peer %s owns only %.1f%% of sampled keys", p, 100*frac)
+		}
+		share := r.Share(p)
+		if share < 0.10 || share > 0.60 {
+			t.Errorf("peer %s hash-space share = %.3f, want a balanced ring", p, share)
+		}
+		shareSum += share
+	}
+	if math.Abs(shareSum-1) > 1e-9 {
+		t.Errorf("shares sum to %v, want 1", shareSum)
+	}
+}
+
+func TestNewRingRejectsEmpty(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty peer list accepted")
+	}
+	if _, err := NewRing([]string{"http://a", ""}, 0); err == nil {
+		t.Error("empty peer URL accepted")
+	}
+}
+
+func TestNewRejectsSelfOutsidePeers(t *testing.T) {
+	_, err := New(Options{Self: "http://127.0.0.1:9999", Peers: testPeers})
+	if err == nil {
+		t.Fatal("self outside the peer list accepted")
+	}
+}
+
+func TestBreakerTripAndRecover(t *testing.T) {
+	br := &breaker{threshold: 3, cooldown: 20 * time.Millisecond}
+	if !br.Allow() {
+		t.Fatal("new breaker refuses")
+	}
+	br.Failure()
+	br.Failure()
+	if !br.Allow() {
+		t.Fatal("breaker tripped before threshold")
+	}
+	br.Failure()
+	if br.Allow() {
+		t.Fatal("breaker still admitting after threshold failures")
+	}
+	time.Sleep(25 * time.Millisecond)
+	if !br.Allow() {
+		t.Fatal("breaker refuses probes after cooldown")
+	}
+	br.Success()
+	br.Failure()
+	if !br.Allow() {
+		t.Fatal("success did not reset the failure streak")
+	}
+}

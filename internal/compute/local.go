@@ -1,0 +1,177 @@
+package compute
+
+import (
+	"context"
+
+	"multibus"
+	"multibus/internal/analytic"
+	"multibus/internal/scenario"
+	"multibus/internal/sim"
+)
+
+// AnalyzeFunc is the closed-form computation seam. Tests count
+// invocations through it; nil means multibus.AnalyzeContext.
+type AnalyzeFunc func(ctx context.Context, nw *multibus.Network, model multibus.RequestModel, r float64) (*multibus.Analysis, error)
+
+// SimulateFunc is the simulation computation seam; nil means
+// multibus.SimulateContext.
+type SimulateFunc func(ctx context.Context, nw *multibus.Network, w multibus.Workload, opts ...multibus.SimOption) (*multibus.SimResult, error)
+
+// LocalBackend evaluates scenarios in-process through the multibus
+// façade — the path every request took before the backend seam existed,
+// and the path every cluster instance still takes for the keys it owns.
+type LocalBackend struct {
+	analyze  AnalyzeFunc
+	simulate SimulateFunc
+}
+
+// NewLocal builds an in-process backend. Nil funcs take the façade
+// defaults; the service passes its test seams through so overriding
+// AnalyzeFunc/SimulateFunc keeps counting compute exactly as before.
+func NewLocal(analyze AnalyzeFunc, simulate SimulateFunc) *LocalBackend {
+	if analyze == nil {
+		analyze = multibus.AnalyzeContext
+	}
+	if simulate == nil {
+		simulate = multibus.SimulateContext
+	}
+	return &LocalBackend{analyze: analyze, simulate: simulate}
+}
+
+// defaultLocal is the shared façade-backed backend for callers that
+// configured nothing (stateless, so sharing is safe).
+var defaultLocal = NewLocal(nil, nil)
+
+// Local returns the shared façade-backed in-process backend.
+func Local() *LocalBackend { return defaultLocal }
+
+// Analyze implements Backend.
+func (l *LocalBackend) Analyze(ctx context.Context, built *scenario.Built) (*Analysis, error) {
+	if err := built.CanAnalyze(); err != nil {
+		return nil, err
+	}
+	a, err := l.analyze(ctx, built.Network, built.Model, built.Scenario.R)
+	if err != nil {
+		return nil, err
+	}
+	return &Analysis{
+		X:                    a.X,
+		Bandwidth:            a.Bandwidth,
+		CrossbarBandwidth:    a.CrossbarBandwidth,
+		BusUtilization:       a.BusUtilization,
+		PerformanceCostRatio: a.PerformanceCostRatio,
+	}, nil
+}
+
+// Simulate implements Backend.
+func (l *LocalBackend) Simulate(ctx context.Context, built *scenario.Built) (*SimResult, error) {
+	if err := built.CanSimulate(); err != nil {
+		return nil, err
+	}
+	gen, err := built.Workload()
+	if err != nil {
+		return nil, err
+	}
+	res, err := l.simulate(ctx, built.Network, gen, SimOptions(built.Scenario.Sim)...)
+	if err != nil {
+		return nil, err
+	}
+	return &SimResult{
+		Cycles:                res.Cycles,
+		Mode:                  res.Mode.String(),
+		Bandwidth:             res.Bandwidth,
+		BandwidthCI95:         res.BandwidthCI95,
+		AcceptanceProbability: res.AcceptanceProbability,
+		BusUtilization:        res.BusUtilization,
+		MeanWaitCycles:        res.MeanWaitCycles,
+		Offered:               res.Offered,
+		Accepted:              res.Accepted,
+		NewRequests:           res.NewRequests,
+		MemoryBlocked:         res.MemoryBlocked,
+		BusBlocked:            res.BusBlocked,
+		StrandedBlocked:       res.StrandedBlocked,
+		ModuleBusyBlocked:     res.ModuleBusyBlocked,
+		JainFairness:          res.JainFairness(),
+	}, nil
+}
+
+// SweepPoint implements Backend: the analytic bandwidth at the point
+// and, with WithSim, an independently seeded simulator cross-check.
+// Crossbar points use the crossbar formula on the model's X and are
+// never simulated (the reference curve has no bus contention). The
+// job's precomputed X and Structure are used when present — the sweep
+// enumerator's per-combination sharing — and derived on demand when a
+// bare job arrives over the wire.
+func (l *LocalBackend) SweepPoint(ctx context.Context, jb PointJob) (Point, error) {
+	built := jb.Built
+	x := jb.X
+	if !jb.XValid {
+		var err error
+		x, err = built.Model.X(built.Scenario.R)
+		if err != nil {
+			return Point{}, err
+		}
+	}
+	var (
+		bw  float64
+		err error
+	)
+	if built.Crossbar {
+		bw, err = analytic.BandwidthCrossbar(built.Network.M(), x)
+	} else {
+		structure := jb.Structure
+		if structure == nil {
+			structure, err = analytic.Classify(built.Network)
+			if err != nil {
+				return Point{}, err
+			}
+		}
+		bw, err = analytic.BandwidthStructure(structure, built.Network.B(), x)
+	}
+	if err != nil {
+		return Point{}, err
+	}
+	pt := Point{
+		Scheme: jb.Axis, Model: jb.Model,
+		N: built.Network.N(), B: built.Network.B(), R: built.Scenario.R,
+		X: x, Bandwidth: bw,
+	}
+	if jb.WithSim && !built.Crossbar {
+		cfg, err := built.SimConfig()
+		if err != nil {
+			return Point{}, err
+		}
+		res, err := sim.RunContext(ctx, cfg)
+		if err != nil {
+			return Point{}, err
+		}
+		pt.Simulated = true
+		pt.SimBandwidth = res.Bandwidth
+		pt.SimCI95 = res.BandwidthCI95
+	}
+	return pt, nil
+}
+
+// SimOptions renders a canonical sim block (every default spelled out
+// by scenario canonicalization) as façade options for the SimulateFunc
+// seam. A nil block means the canonical defaults.
+func SimOptions(s *scenario.Sim) []multibus.SimOption {
+	if s == nil {
+		def := scenario.DefaultSim()
+		s = &def
+	}
+	opts := []multibus.SimOption{
+		multibus.WithCycles(s.Cycles),
+		multibus.WithWarmup(s.Warmup),
+		multibus.WithBatches(s.Batches),
+		multibus.WithModuleServiceCycles(s.ServiceCycles),
+		multibus.WithSeed(s.Seed),
+	}
+	if s.Resubmit {
+		opts = append(opts, multibus.WithResubmit())
+	}
+	if s.RoundRobin {
+		opts = append(opts, multibus.WithRoundRobinMemoryArbiters())
+	}
+	return opts
+}

@@ -3,6 +3,7 @@ package scenario
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"multibus/internal/arbiter"
 	"multibus/internal/cache"
@@ -29,6 +30,19 @@ type Built struct {
 	// nil exactly when the model kind has no closed form (hotspot).
 	Model    *hrm.Hierarchy
 	Crossbar bool
+
+	// fp memoizes Fingerprints: the network fingerprint is an O(B·M)
+	// scan of the full wiring and key derivation runs on every request
+	// and every sweep point, so it is computed once per Built. The
+	// pointer is shared by WithRate copies — the rate axis never changes
+	// the structural fingerprints.
+	fp *fpMemo
+}
+
+// fpMemo holds the once-computed (network, model) fingerprint pair.
+type fpMemo struct {
+	once     sync.Once
+	nfp, mfp uint64
 }
 
 // Build canonicalizes the scenario and constructs its topology and
@@ -43,7 +57,7 @@ func (s Scenario) Build() (*Built, error) {
 	if err != nil {
 		return nil, err
 	}
-	b := &Built{Scenario: c, Network: nw, Crossbar: c.Network.Scheme == SchemeCrossbar}
+	b := &Built{Scenario: c, Network: nw, Crossbar: c.Network.Scheme == SchemeCrossbar, fp: &fpMemo{}}
 	if c.Model.Kind != ModelHotSpot {
 		b.Model, err = c.Model.build(nw.M())
 		if err != nil {
@@ -161,7 +175,22 @@ func (m Model) buildWorkload(n, mods int, r float64) (workload.Generator, error)
 // Fingerprints returns the (network, model) fingerprint pair every
 // cache key is built from. The hotspot model has no hrm object, so it
 // contributes its own variant-tagged hash (tag 3; hrm uses 1 and 2).
+// The pair is computed once per Built (WithRate copies share the memo):
+// the inputs are immutable after Build, so the memoized pair is
+// byte-identical to a fresh recomputation.
 func (b *Built) Fingerprints() (networkFP, modelFP uint64) {
+	if b.fp == nil {
+		// A hand-constructed Built (no Build call); compute directly.
+		return b.fingerprints()
+	}
+	b.fp.once.Do(func() {
+		b.fp.nfp, b.fp.mfp = b.fingerprints()
+	})
+	return b.fp.nfp, b.fp.mfp
+}
+
+// fingerprints derives the pair from the wired network and model.
+func (b *Built) fingerprints() (networkFP, modelFP uint64) {
 	networkFP = b.Network.Fingerprint()
 	if b.Model != nil {
 		return networkFP, b.Model.Fingerprint()

@@ -1,0 +1,118 @@
+package scenario
+
+import (
+	"testing"
+)
+
+// TestWithRateKeysByteIdenticalToFreshBuild pins the memoized
+// fingerprint contract: a WithRate copy (sharing its parent's fp memo)
+// must key byte-identically to a scenario freshly built at that rate —
+// the property the sweep enumerator and cluster routing both rest on.
+func TestWithRateKeysByteIdenticalToFreshBuild(t *testing.T) {
+	base := Scenario{
+		Network: Network{Scheme: SchemeFull, N: 16, B: 8},
+		Model:   Model{Kind: ModelHier},
+		R:       1.0,
+		Sim:     &Sim{Cycles: 5000, Seed: 11},
+	}
+	parent, err := base.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touch the memo before copying: the copies must share the computed
+	// pair, not recompute a divergent one.
+	parent.Fingerprints()
+	for _, r := range []float64{0, 0.125, 0.3, 0.77, 1} {
+		copied, err := parent.WithRate(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := base
+		sc.R = r
+		fresh, err := sc.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := copied.AnalyzeKey(), fresh.AnalyzeKey(); got != want {
+			t.Errorf("r=%v AnalyzeKey: WithRate %q, fresh %q", r, got, want)
+		}
+		if got, want := copied.SimulateKey(), fresh.SimulateKey(); got != want {
+			t.Errorf("r=%v SimulateKey: WithRate %q, fresh %q", r, got, want)
+		}
+		if got, want := copied.SweepPointKey("full", true), fresh.SweepPointKey("full", true); got != want {
+			t.Errorf("r=%v SweepPointKey: WithRate %q, fresh %q", r, got, want)
+		}
+	}
+}
+
+// TestFingerprintsMemoSharedAcrossWithRate checks the memo is computed
+// once per Build: rate copies alias the parent's fpMemo pointer, and
+// the memoized pair equals a direct recomputation.
+func TestFingerprintsMemoSharedAcrossWithRate(t *testing.T) {
+	sc := Scenario{
+		Network: Network{Scheme: SchemePartial, N: 12, M: 16, B: 6, Groups: 2},
+		Model:   Model{Kind: ModelHier},
+		R:       0.5,
+	}
+	built, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	copied, err := built.WithRate(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built.fp == nil || built.fp != copied.fp {
+		t.Fatal("WithRate copy does not share the parent's fingerprint memo")
+	}
+	nfp, mfp := copied.Fingerprints()
+	dn, dm := built.fingerprints()
+	if nfp != dn || mfp != dm {
+		t.Errorf("memoized pair (%x, %x) != direct recomputation (%x, %x)", nfp, mfp, dn, dm)
+	}
+}
+
+// BenchmarkAnalyzeKeyMemoized measures keying a rate copy of an
+// already-built scenario — the sweep hot path, where the O(B·M)
+// fingerprint walk must be paid once, not per point.
+func BenchmarkAnalyzeKeyMemoized(b *testing.B) {
+	sc := Scenario{
+		Network: Network{Scheme: SchemeFull, N: 64, B: 32},
+		Model:   Model{Kind: ModelHier},
+		R:       1.0,
+	}
+	built, err := sc.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copied, err := built.WithRate(0.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if copied.AnalyzeKey() == "" {
+			b.Fatal("empty key")
+		}
+	}
+}
+
+// BenchmarkAnalyzeKeyFresh is the contrast case: a fresh Build pays
+// canonicalization, wiring, and the full fingerprint walk every time.
+func BenchmarkAnalyzeKeyFresh(b *testing.B) {
+	sc := Scenario{
+		Network: Network{Scheme: SchemeFull, N: 64, B: 32},
+		Model:   Model{Kind: ModelHier},
+		R:       0.5,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		built, err := sc.Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if built.AnalyzeKey() == "" {
+			b.Fatal("empty key")
+		}
+	}
+}

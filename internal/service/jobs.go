@@ -128,6 +128,7 @@ func (s *Server) sweepJob(req SweepRequest) (int, jobs.RunFunc, error) {
 		Seed:         req.Seed,
 		Memo:         s.cache,
 		Progress:     s.metrics.sweepPoints,
+		Backend:      s.backend,
 	}
 	run := func(ctx context.Context, pub *jobs.Publisher) ([]byte, error) {
 		v, err := s.gate(ctx, "jobs", sweepWeight(spec), false,

@@ -41,6 +41,13 @@ const (
 	metricJobsResident      = "mbserve_jobs_resident"
 	metricJobRecords        = "mbserve_job_records_total"
 	metricJobRecordsSpilled = "mbserve_job_records_spilled_total"
+
+	// Cluster family (DESIGN.md §14): forwarded requests that joined an
+	// in-flight computation on this instance — the cross-instance dedup
+	// consistent-hash routing exists for. Peer-side client metrics
+	// (mbserve_peer_requests_total, ring gauges) are registered by
+	// internal/cluster into this same registry.
+	metricPeerDedup = "mbserve_peer_dedup_total"
 )
 
 // serverMetrics bundles one Server's obs registry and the instruments
@@ -53,6 +60,7 @@ type serverMetrics struct {
 	batchItems  *obs.Counter
 	sweepPoints *obs.Counter
 	panics      *obs.Counter
+	peerDedup   *obs.Counter
 	queueWait   *obs.Histogram
 }
 
@@ -154,6 +162,8 @@ func newServerMetrics(c *cache.Cache) *serverMetrics {
 			"sweep grid points evaluated on the worker pool"),
 		panics: reg.Counter(metricPanicsTotal,
 			"panics recovered by the middleware or background refresh"),
+		peerDedup: reg.Counter(metricPeerDedup,
+			"forwarded peer requests that joined an in-flight local computation"),
 	}
 	stat := func(name, help string, read func(cache.Stats) int64) {
 		reg.GaugeFunc(name, help, func() float64 { return float64(read(c.Stats())) })

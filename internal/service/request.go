@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 
-	"multibus"
 	"multibus/internal/scenario"
 )
 
@@ -139,28 +138,4 @@ func (req JobRequest) operation() (string, error) {
 	default:
 		return "", fmt.Errorf("%w: job body must name a sweep or a batch", errBadRequest)
 	}
-}
-
-// simOptions renders a canonical sim block (every default spelled out by
-// scenario canonicalization) as façade options for the SimulateFunc
-// seam. A nil block means the canonical defaults.
-func simOptions(s *scenario.Sim) []multibus.SimOption {
-	if s == nil {
-		def := scenario.DefaultSim()
-		s = &def
-	}
-	opts := []multibus.SimOption{
-		multibus.WithCycles(s.Cycles),
-		multibus.WithWarmup(s.Warmup),
-		multibus.WithBatches(s.Batches),
-		multibus.WithModuleServiceCycles(s.ServiceCycles),
-		multibus.WithSeed(s.Seed),
-	}
-	if s.Resubmit {
-		opts = append(opts, multibus.WithResubmit())
-	}
-	if s.RoundRobin {
-		opts = append(opts, multibus.WithRoundRobinMemoryArbiters())
-	}
-	return opts
 }

@@ -72,6 +72,7 @@ import (
 	"multibus"
 	"multibus/internal/cache"
 	"multibus/internal/chaos"
+	"multibus/internal/compute"
 	"multibus/internal/jobs"
 	"multibus/internal/obs"
 	"multibus/internal/scenario"
@@ -126,6 +127,12 @@ type Options struct {
 	// SimulateFunc overrides the simulation computation. Nil means
 	// multibus.SimulateContext.
 	SimulateFunc func(ctx context.Context, nw *multibus.Network, w multibus.Workload, opts ...multibus.SimOption) (*multibus.SimResult, error)
+	// Backend overrides the compute backend every evaluation goes
+	// through. Nil means the in-process compute.LocalBackend built from
+	// AnalyzeFunc/SimulateFunc — the single-instance path. cmd/mbserve
+	// injects the cluster routing backend here in -peers mode; the
+	// service itself never imports internal/cluster.
+	Backend compute.Backend
 	// Logger receives one structured access-log record per instrumented
 	// request (method, route, status, bytes, duration, cache outcome).
 	// Nil disables access logging.
@@ -179,6 +186,7 @@ type Server struct {
 	cache   *cache.Cache
 	logger  *slog.Logger
 	metrics *serverMetrics
+	backend compute.Backend
 
 	adm      *admission
 	jobs     *jobs.Store // nil when the jobs surface is disabled
@@ -223,6 +231,9 @@ func New(opts Options) (*Server, error) {
 	}
 	if opts.SimulateFunc == nil {
 		opts.SimulateFunc = multibus.SimulateContext
+	}
+	if opts.Backend == nil {
+		opts.Backend = compute.NewLocal(opts.AnalyzeFunc, opts.SimulateFunc)
 	}
 	if opts.AdmissionLimit < 0 {
 		return nil, fmt.Errorf("service: admission limit %d must be ≥ 0", opts.AdmissionLimit)
@@ -270,6 +281,7 @@ func New(opts Options) (*Server, error) {
 	s := &Server{
 		opts:     opts,
 		cache:    c,
+		backend:  opts.Backend,
 		logger:   logger,
 		metrics:  newServerMetrics(c),
 		adm:      newAdmission(int64(opts.AdmissionLimit), queueDepth),
@@ -343,6 +355,7 @@ func Routes() []Route {
 		{"POST", "/v1/simulate"},
 		{"POST", "/v1/sweep"},
 		{"POST", "/v1/batch"},
+		{"POST", "/v1/cluster/sweep"},
 		{"POST", "/v1/jobs"},
 		{"GET", "/v1/jobs"},
 		{"GET", "/v1/jobs/{id}"},
@@ -361,6 +374,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
 	mux.HandleFunc("POST /v1/sweep", s.instrument("sweep", s.handleSweep))
 	mux.HandleFunc("POST /v1/batch", s.instrument("batch", s.handleBatch))
+	mux.HandleFunc("POST /v1/cluster/sweep", s.instrument("cluster_sweep", s.handleClusterSweep))
 	if s.jobs != nil {
 		mux.HandleFunc("POST /v1/jobs", s.instrument("jobs_submit", s.handleJobSubmit))
 		mux.HandleFunc("GET /v1/jobs", s.instrument("jobs_list", s.handleJobList))
@@ -429,6 +443,12 @@ func (s *Server) instrumentOpts(route string, withTimeout bool, h func(http.Resp
 			ctx, cancel := context.WithTimeout(r.Context(), s.opts.Timeout)
 			defer cancel()
 			r = r.WithContext(ctx)
+		}
+		// The hop guard: a request a peer forwarded here is marked in its
+		// context so a routing backend computes it locally instead of
+		// forwarding again — one hop, never a loop.
+		if r.Header.Get(compute.ForwardedHeader) != "" {
+			r = r.WithContext(compute.WithForwarded(r.Context()))
 		}
 		r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
@@ -579,12 +599,18 @@ func (s *Server) gate(ctx context.Context, route string, weight int64, backgroun
 // resident answer is served instead (byte-identical to its fresh
 // original — staleness is signaled in headers, never the body) and a
 // background refresh is dispatched on spare capacity.
-func (s *Server) evalScenario(ctx context.Context, route, key string, weight int64, compute func(context.Context) (any, error)) (any, cacheOutcome, error) {
-	v, hit, err := s.cache.DoFresh(ctx, key, s.freshFor, func() (any, error) {
-		return s.gate(ctx, route, weight, false, compute)
+func (s *Server) evalScenario(ctx context.Context, route, key string, weight int64, fn func(context.Context) (any, error)) (any, cacheOutcome, error) {
+	v, cout, err := s.cache.DoFreshOutcome(ctx, key, s.freshFor, func() (any, error) {
+		return s.gate(ctx, route, weight, false, fn)
 	})
+	// A forwarded request that joined an in-flight computation is the
+	// cross-instance deduplication sharding exists for: two peers routed
+	// the same key here and the owner computed it once.
+	if cout.Joined && compute.Forwarded(ctx) {
+		s.metrics.peerDedup.Inc()
+	}
 	if err == nil {
-		if hit {
+		if cout.Hit {
 			return v, cacheOutcome{State: cacheHitState}, nil
 		}
 		return v, cacheOutcome{State: cacheMissState}, nil
@@ -592,7 +618,7 @@ func (s *Server) evalScenario(ctx context.Context, route, key string, weight int
 	if s.staleFor > 0 && servableStale(err) {
 		if sv, ok := s.cache.Stale(key, s.staleFor); ok {
 			s.metrics.stale(route).Inc()
-			s.tryBackgroundRefresh(route, key, weight, compute)
+			s.tryBackgroundRefresh(route, key, weight, fn)
 			return sv.Value, cacheOutcome{State: cacheStaleState, Age: sv.Age}, nil
 		}
 	}
@@ -632,19 +658,12 @@ func (s *Server) analyzeScenario(ctx context.Context, built *scenario.Built) (*a
 	}
 	v, out, err := s.evalScenario(ctx, "analyze", built.AnalyzeKey(), analyzeWeight(built),
 		func(ctx context.Context) (any, error) {
-			return s.opts.AnalyzeFunc(ctx, built.Network, built.Model, built.Scenario.R)
+			return s.backend.Analyze(ctx, built)
 		})
 	if err != nil {
 		return nil, out, err
 	}
-	a := v.(*multibus.Analysis)
-	return &analysisBody{
-		X:                    a.X,
-		Bandwidth:            a.Bandwidth,
-		CrossbarBandwidth:    a.CrossbarBandwidth,
-		BusUtilization:       a.BusUtilization,
-		PerformanceCostRatio: a.PerformanceCostRatio,
-	}, out, nil
+	return v.(*analysisBody), out, nil
 }
 
 // simulateScenario evaluates one simulate-op scenario through the
@@ -656,35 +675,19 @@ func (s *Server) simulateScenario(ctx context.Context, built *scenario.Built) (*
 	if err := built.CanSimulate(); err != nil {
 		return nil, cacheOutcome{}, err
 	}
-	gen, err := built.Workload()
-	if err != nil {
+	// Workload construction is re-run by the backend; building it here
+	// keeps unsatisfiable workloads failing fast as 4xx before the gate.
+	if _, err := built.Workload(); err != nil {
 		return nil, cacheOutcome{}, err
 	}
 	v, out, err := s.evalScenario(ctx, "simulate", built.SimulateKey(), simulateWeight(built),
 		func(ctx context.Context) (any, error) {
-			return s.opts.SimulateFunc(ctx, built.Network, gen, simOptions(built.Scenario.Sim)...)
+			return s.backend.Simulate(ctx, built)
 		})
 	if err != nil {
 		return nil, out, err
 	}
-	res := v.(*multibus.SimResult)
-	return &simBody{
-		Cycles:                res.Cycles,
-		Mode:                  res.Mode.String(),
-		Bandwidth:             res.Bandwidth,
-		BandwidthCI95:         res.BandwidthCI95,
-		AcceptanceProbability: res.AcceptanceProbability,
-		BusUtilization:        res.BusUtilization,
-		MeanWaitCycles:        res.MeanWaitCycles,
-		Offered:               res.Offered,
-		Accepted:              res.Accepted,
-		NewRequests:           res.NewRequests,
-		MemoryBlocked:         res.MemoryBlocked,
-		BusBlocked:            res.BusBlocked,
-		StrandedBlocked:       res.StrandedBlocked,
-		ModuleBusyBlocked:     res.ModuleBusyBlocked,
-		JainFairness:          res.JainFairness(),
-	}, out, nil
+	return v.(*simBody), out, nil
 }
 
 // handleAnalyze serves POST /v1/analyze.
@@ -753,6 +756,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		Seed:         req.Seed,
 		Memo:         s.cache,
 		Progress:     s.metrics.sweepPoints,
+		Backend:      s.backend,
 	}
 	// The whole grid goes through the gates as one weighted admission:
 	// individual points still memoize per-point in the shared cache, but
@@ -863,63 +867,18 @@ func (s *Server) evalBatchItem(ctx context.Context, index int, item BatchItem) b
 // deterministic for these types, so equal results render to identical
 // bytes — the property the cache tests pin down.
 
-type analysisBody struct {
-	X                    float64 `json:"x"`
-	Bandwidth            float64 `json:"bandwidth"`
-	CrossbarBandwidth    float64 `json:"crossbarBandwidth"`
-	BusUtilization       float64 `json:"busUtilization"`
-	PerformanceCostRatio float64 `json:"performanceCostRatio"`
-}
+type analysisBody = compute.Analysis
 
-type simBody struct {
-	Cycles                int     `json:"cycles"`
-	Mode                  string  `json:"mode"`
-	Bandwidth             float64 `json:"bandwidth"`
-	BandwidthCI95         float64 `json:"bandwidthCI95"`
-	AcceptanceProbability float64 `json:"acceptanceProbability"`
-	BusUtilization        float64 `json:"busUtilization"`
-	MeanWaitCycles        float64 `json:"meanWaitCycles"`
-	Offered               int64   `json:"offered"`
-	Accepted              int64   `json:"accepted"`
-	NewRequests           int64   `json:"newRequests"`
-	MemoryBlocked         int64   `json:"memoryBlocked"`
-	BusBlocked            int64   `json:"busBlocked"`
-	StrandedBlocked       int64   `json:"strandedBlocked"`
-	ModuleBusyBlocked     int64   `json:"moduleBusyBlocked"`
-	JainFairness          float64 `json:"jainFairness"`
-}
+type simBody = compute.SimResult
 
-type sweepPointBody struct {
-	Scheme       string  `json:"scheme"`
-	Model        string  `json:"model"`
-	N            int     `json:"n"`
-	B            int     `json:"b"`
-	R            float64 `json:"r"`
-	X            float64 `json:"x"`
-	Bandwidth    float64 `json:"bandwidth"`
-	Simulated    bool    `json:"simulated,omitempty"`
-	SimBandwidth float64 `json:"simBandwidth,omitempty"`
-	SimCI95      float64 `json:"simCI95,omitempty"`
-}
+type sweepPointBody = compute.Point
 
 // newSweepPointBody renders one grid point for the wire. The sync sweep
-// response and the async job's per-record stream both go through this
-// conversion, which is what makes a job's streamed point byte-identical
+// response, the async job's per-record stream, and the cluster sweep
+// endpoint all ship this one shape (sweep.Point is an alias of it),
+// which is what makes a streamed or peer-computed point byte-identical
 // to the same point in a sync /v1/sweep body.
-func newSweepPointBody(p sweep.Point) sweepPointBody {
-	return sweepPointBody{
-		Scheme:       p.Scheme,
-		Model:        p.Model,
-		N:            p.N,
-		B:            p.B,
-		R:            p.R,
-		X:            p.X,
-		Bandwidth:    p.Bandwidth,
-		Simulated:    p.Simulated,
-		SimBandwidth: p.SimBandwidth,
-		SimCI95:      p.SimCI95,
-	}
-}
+func newSweepPointBody(p sweep.Point) sweepPointBody { return p }
 
 type sweepSkipBody struct {
 	Scheme string `json:"scheme"`

@@ -26,8 +26,8 @@ import (
 
 	"multibus/internal/analytic"
 	"multibus/internal/cache"
+	"multibus/internal/compute"
 	"multibus/internal/scenario"
-	"multibus/internal/sim"
 )
 
 // ErrBadSpec is returned for invalid sweep specifications.
@@ -90,6 +90,12 @@ type Spec struct {
 	// safe for concurrent use. The streaming job layer feeds its
 	// reordering publisher from this hook.
 	OnPoint func(index int, pt Point)
+	// Backend evaluates grid points. Nil means the in-process
+	// compute.Local backend — the pre-cluster behavior. A backend that
+	// also implements compute.BatchSweeper (the cluster coordinator)
+	// receives the whole enumerated grid at once and partitions it;
+	// results are byte-identical either way.
+	Backend compute.Backend
 }
 
 // EstimatePoints returns the grid cardinality a Run of this Spec will
@@ -114,19 +120,11 @@ type Progress interface {
 }
 
 // Point is one evaluated configuration. Scheme and Model are the axis
-// names (scenario.Network.AxisName / scenario.Model.AxisName).
-type Point struct {
-	Scheme    string
-	Model     string
-	N, B      int
-	R         float64
-	X         float64 // per-module request probability
-	Bandwidth float64 // analytic
-	// Simulated fields are populated when Spec.WithSim is set.
-	Simulated    bool
-	SimBandwidth float64
-	SimCI95      float64
-}
+// names (scenario.Network.AxisName / scenario.Model.AxisName). It is
+// the compute layer's wire type: the sweep result a peer computed
+// decodes into exactly this shape, which is what keeps partitioned and
+// single-instance sweeps byte-identical.
+type Point = compute.Point
 
 // Skip records one (scheme, model, N, B) grid combination that was not
 // evaluated, and why. Rates are not enumerated: a structural skip
@@ -145,7 +143,7 @@ type Result struct {
 	Skipped []Skip
 }
 
-// job is one enumerated grid point awaiting evaluation. The built
+// Enumerated grid points are compute.PointJob values: the built
 // scenario, the request probability, and the classified structure are
 // all constructed during (sequential) enumeration; they are read-only
 // afterwards, so workers evaluate jobs concurrently. Jobs of one
@@ -153,13 +151,6 @@ type Result struct {
 // one Structure (via scenario.Built.WithRate), and jobs of one
 // (model, N, r) share the precomputed X across schemes — evaluation per
 // point is down to one BandwidthStructure dispatch on cached rows.
-type job struct {
-	axis      string // scheme axis name, the key and output tag
-	model     string // model axis name
-	built     *scenario.Built
-	x         float64             // Model.X(r), computed once per (model, M, r)
-	structure *analytic.Structure // Classify result; nil for crossbar points
-}
 
 // xKey keys the per-enumeration X cache: the built model's fingerprint
 // (which encodes kind, parameters, and module count) plus the exact rate
@@ -197,14 +188,45 @@ func Run(spec Spec) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	backend := spec.Backend
+	if backend == nil {
+		backend = compute.Local()
+	}
 
 	points := make([]Point, len(jobs))
+	if bs, ok := backend.(compute.BatchSweeper); ok {
+		// Whole-grid seam: the backend (a cluster coordinator) sees the
+		// enumerated grid at once, partitions it by key ownership, and
+		// emits completed points by grid index — the same per-point
+		// memoization and deterministic reassembly as the local pool.
+		var mu sync.Mutex
+		err = bs.SweepBatch(ctx, compute.SweepBatch{
+			Jobs:    jobs,
+			Memo:    spec.Memo,
+			Workers: spec.Workers,
+			Emit: func(i int, pt Point) {
+				mu.Lock()
+				points[i] = pt
+				mu.Unlock()
+				if spec.Progress != nil {
+					spec.Progress.Add(1)
+				}
+				if spec.OnPoint != nil {
+					spec.OnPoint(i, pt)
+				}
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Points: points, Skipped: skipped}, nil
+	}
 	err = ForEachPool(ctx, len(jobs), PoolOptions{
 		Workers: spec.Workers,
 		Label:   "sweep",
 		Done:    spec.Progress,
 	}, func(ctx context.Context, i int) error {
-		pt, err := evaluatePoint(ctx, spec, jobs[i])
+		pt, err := compute.MemoPoint(ctx, spec.Memo, backend, jobs[i])
 		if err != nil {
 			return err
 		}
@@ -318,7 +340,7 @@ func ForEachPool(ctx context.Context, n int, opts PoolOptions, fn func(ctx conte
 // not depend on r); out-of-range bus counts are recorded the same way.
 // Genuinely invalid input — unknown names, bad rates — aborts with an
 // error instead.
-func enumerate(spec Spec) ([]job, []Skip, error) {
+func enumerate(spec Spec) ([]compute.PointJob, []Skip, error) {
 	models := spec.Models
 	if len(models) == 0 {
 		if spec.Hierarchical {
@@ -328,7 +350,7 @@ func enumerate(spec Spec) ([]job, []Skip, error) {
 		}
 	}
 	var (
-		jobs    []job
+		jobs    []compute.PointJob
 		skipped []Skip
 	)
 	xs := make(map[xKey]float64)
@@ -371,7 +393,7 @@ func enumerate(spec Spec) ([]job, []Skip, error) {
 // are WithRate copies sharing its Network and Model, and the Classify
 // walk runs once for all of them. X values are memoized in xs across
 // combinations — the same (model, N, r) recurs for every scheme axis.
-func buildCombination(spec Spec, axis, modelAxis string, tmpl scenario.Network, model scenario.Model, n, b int, xs map[xKey]float64) ([]job, string, error) {
+func buildCombination(spec Spec, axis, modelAxis string, tmpl scenario.Network, model scenario.Model, n, b int, xs map[xKey]float64) ([]compute.PointJob, string, error) {
 	nw := tmpl
 	nw.N, nw.M, nw.B = n, 0, b
 	s := scenario.Scenario{
@@ -399,7 +421,7 @@ func buildCombination(spec Spec, axis, modelAxis string, tmpl scenario.Network, 
 		}
 	}
 	modelFP := base.Model.Fingerprint()
-	jobs := make([]job, 0, len(spec.Rs))
+	jobs := make([]compute.PointJob, 0, len(spec.Rs))
 	for i, r := range spec.Rs {
 		bl := base
 		if i > 0 {
@@ -417,71 +439,12 @@ func buildCombination(spec Spec, axis, modelAxis string, tmpl scenario.Network, 
 			}
 			xs[key] = x
 		}
-		jobs = append(jobs, job{axis: axis, model: modelAxis, built: bl, x: x, structure: structure})
+		jobs = append(jobs, compute.PointJob{
+			Built: bl, Axis: axis, Model: modelAxis,
+			WithSim: spec.WithSim, X: x, XValid: true, Structure: structure,
+		})
 	}
 	return jobs, "", nil
-}
-
-// evaluatePoint evaluates one grid point through Spec.Memo when one is
-// configured, and directly otherwise. Memoized evaluation is
-// transparent: every point is deterministic given its key, so a cache
-// hit returns exactly the Point a recompute would.
-func evaluatePoint(ctx context.Context, spec Spec, jb job) (Point, error) {
-	if spec.Memo == nil {
-		return evaluate(ctx, spec, jb)
-	}
-	key := jb.built.SweepPointKey(jb.axis, spec.WithSim)
-	v, _, err := spec.Memo.Do(ctx, key, func() (any, error) {
-		pt, err := evaluate(ctx, spec, jb)
-		if err != nil {
-			return nil, err
-		}
-		return pt, nil
-	})
-	if err != nil {
-		return Point{}, err
-	}
-	return v.(Point), nil
-}
-
-// evaluate computes one grid point: the analytic bandwidth and, with
-// WithSim, an independently seeded simulator cross-check. Crossbar
-// points use the crossbar formula on the model's X and are never
-// simulated (the reference curve has no bus contention to simulate).
-// X and the classified structure come precomputed from enumeration, so
-// the analytic half is one dispatch against pooled binomial-row caches.
-func evaluate(ctx context.Context, spec Spec, jb job) (Point, error) {
-	var (
-		bw  float64
-		err error
-	)
-	if jb.built.Crossbar {
-		bw, err = analytic.BandwidthCrossbar(jb.built.Network.M(), jb.x)
-	} else {
-		bw, err = analytic.BandwidthStructure(jb.structure, jb.built.Network.B(), jb.x)
-	}
-	if err != nil {
-		return Point{}, err
-	}
-	pt := Point{
-		Scheme: jb.axis, Model: jb.model,
-		N: jb.built.Network.N(), B: jb.built.Network.B(), R: jb.built.Scenario.R,
-		X: jb.x, Bandwidth: bw,
-	}
-	if spec.WithSim && !jb.built.Crossbar {
-		cfg, err := jb.built.SimConfig()
-		if err != nil {
-			return Point{}, err
-		}
-		res, err := sim.RunContext(ctx, cfg)
-		if err != nil {
-			return Point{}, err
-		}
-		pt.Simulated = true
-		pt.SimBandwidth = res.Bandwidth
-		pt.SimCI95 = res.BandwidthCI95
-	}
-	return pt, nil
 }
 
 // Series extracts, for one scheme axis and rate, the bandwidth-vs-B

@@ -1,0 +1,107 @@
+package topology
+
+import "testing"
+
+// TestAdjacencyPrecomputedAndShared pins the construction-time
+// adjacency index: repeated accessor calls return the same read-only
+// backing array (no per-call allocation), the lists agree with a direct
+// wiring scan, and the capacity-clipped slices cannot bleed into a
+// neighboring list through a caller-side append.
+func TestAdjacencyPrecomputedAndShared(t *testing.T) {
+	nw, err := PartialGroups(8, 12, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nw.B(); i++ {
+		a, b := nw.ModulesOnBus(i), nw.ModulesOnBus(i)
+		if len(a) == 0 {
+			continue
+		}
+		if &a[0] != &b[0] {
+			t.Fatalf("ModulesOnBus(%d) allocates per call", i)
+		}
+		// The wiring scan must agree with the precomputed list.
+		var scan []int
+		for j := 0; j < nw.M(); j++ {
+			if ok, _ := nw.Connected(i, j); ok {
+				scan = append(scan, j)
+			}
+		}
+		if len(scan) != len(a) {
+			t.Fatalf("ModulesOnBus(%d) = %v, wiring scan = %v", i, a, scan)
+		}
+		for k := range scan {
+			if scan[k] != a[k] {
+				t.Fatalf("ModulesOnBus(%d) = %v, wiring scan = %v", i, a, scan)
+			}
+		}
+		// Appending through the returned slice must reallocate, never
+		// overwrite the next bus's list in the shared backing array.
+		grown := append(a, -1)
+		if len(a) > 0 && &grown[0] == &a[0] {
+			t.Fatalf("ModulesOnBus(%d) returned an unclipped slice: append mutated shared backing", i)
+		}
+	}
+	for j := 0; j < nw.M(); j++ {
+		a, b := nw.BusesForModule(j), nw.BusesForModule(j)
+		if len(a) == 0 {
+			continue
+		}
+		if &a[0] != &b[0] {
+			t.Fatalf("BusesForModule(%d) allocates per call", j)
+		}
+		grown := append(a, -1)
+		if &grown[0] == &a[0] {
+			t.Fatalf("BusesForModule(%d) returned an unclipped slice", j)
+		}
+	}
+}
+
+// TestAdjacencySurvivesWithoutBus checks the degraded-network copy
+// reindexes: WithoutBus compacts the bus numbering (B−1 buses, no
+// hole), so the copy's adjacency must describe the surviving wiring
+// while the source's precomputed lists stay untouched.
+func TestAdjacencySurvivesWithoutBus(t *testing.T) {
+	nw, err := Full(4, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg, err := nw.WithoutBus(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg.B() != 2 {
+		t.Fatalf("degraded B = %d, want 2", deg.B())
+	}
+	for i := 0; i < deg.B(); i++ {
+		if got := len(deg.ModulesOnBus(i)); got != deg.M() {
+			t.Errorf("degraded bus %d lists %d modules, want %d (full wiring)", i, got, deg.M())
+		}
+	}
+	for j := 0; j < deg.M(); j++ {
+		if got := len(deg.BusesForModule(j)); got != deg.B() {
+			t.Errorf("module %d lists %d buses, want %d", j, got, deg.B())
+		}
+	}
+	// The original is untouched: all three buses still fully wired.
+	for i := 0; i < nw.B(); i++ {
+		if len(nw.ModulesOnBus(i)) != nw.M() {
+			t.Error("WithoutBus mutated the source network's adjacency")
+		}
+	}
+}
+
+// BenchmarkModulesOnBus measures the accessor on a large full wiring —
+// post-precompute it must be a constant-time slice return.
+func BenchmarkModulesOnBus(b *testing.B) {
+	nw, err := Full(64, 64, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(nw.ModulesOnBus(i%32)) == 0 {
+			b.Fatal("empty adjacency")
+		}
+	}
+}

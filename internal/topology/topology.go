@@ -69,10 +69,73 @@ type Network struct {
 	scheme  Scheme
 	conn    [][]bool // conn[bus][module]
 
+	// Adjacency lists, precomputed once by index() at construction so
+	// the hot consumers (analytic classification, arbiter stage 2, the
+	// cost and fault-tolerance metrics) never rescan the B×M wiring.
+	// Both share one backing array; the accessors hand the sub-slices
+	// out directly, so they are read-only by contract.
+	modsOnBus   [][]int // modsOnBus[bus]: ascending modules wired to it
+	busesForMod [][]int // busesForMod[module]: ascending buses wired to it
+
 	groups     int   // PartialGroups only
 	classSizes []int // KClasses only: M_1 … M_K
 
 	failedBuses []int // buses removed by WithoutBus, ascending
+}
+
+// index precomputes the adjacency lists from the wiring; every
+// constructor calls it exactly once, after conn is final. Lists are
+// carved from one shared backing array with capacity-clipped slice
+// expressions, so a caller-side append can never bleed into a
+// neighboring list. Empty lists stay nil, matching the lazy accessors
+// this replaced.
+func (nw *Network) index() *Network {
+	counts := make([]int, nw.m)
+	total := 0
+	for i := range nw.conn {
+		for j, c := range nw.conn[i] {
+			if c {
+				counts[j]++
+				total++
+			}
+		}
+	}
+	nw.modsOnBus = make([][]int, nw.b)
+	nw.busesForMod = make([][]int, nw.m)
+	cells := make([]int, 2*total)
+	busCells, modCells := cells[:total], cells[total:]
+	cur := 0
+	for i := 0; i < nw.b; i++ {
+		lo := cur
+		for j := 0; j < nw.m; j++ {
+			if nw.conn[i][j] {
+				busCells[cur] = j
+				cur++
+			}
+		}
+		if cur > lo {
+			nw.modsOnBus[i] = busCells[lo:cur:cur]
+		}
+	}
+	offs := make([]int, nw.m+1)
+	for j := 0; j < nw.m; j++ {
+		offs[j+1] = offs[j] + counts[j]
+		counts[j] = 0 // reused as the fill cursor below
+	}
+	for i := 0; i < nw.b; i++ {
+		for j := 0; j < nw.m; j++ {
+			if nw.conn[i][j] {
+				modCells[offs[j]+counts[j]] = i
+				counts[j]++
+			}
+		}
+	}
+	for j := 0; j < nw.m; j++ {
+		if offs[j+1] > offs[j] {
+			nw.busesForMod[j] = modCells[offs[j]:offs[j+1]:offs[j+1]]
+		}
+	}
+	return nw
 }
 
 // checkDims validates the basic N×M×B constraints. The paper assumes
@@ -98,7 +161,7 @@ func Full(n, m, b int) (*Network, error) {
 			conn[i][j] = true
 		}
 	}
-	return &Network{n: n, m: m, b: b, scheme: SchemeFull, conn: conn}, nil
+	return (&Network{n: n, m: m, b: b, scheme: SchemeFull, conn: conn}).index(), nil
 }
 
 // SingleBus returns the multiple bus network with single bus–memory
@@ -114,7 +177,7 @@ func SingleBus(n, m, b int) (*Network, error) {
 	for j := 0; j < m; j++ {
 		conn[j*b/m][j] = true
 	}
-	return &Network{n: n, m: m, b: b, scheme: SchemeSingleBus, conn: conn}, nil
+	return (&Network{n: n, m: m, b: b, scheme: SchemeSingleBus, conn: conn}).index(), nil
 }
 
 // PartialGroups returns Lang et al.'s partial bus network (paper Fig. 2):
@@ -136,7 +199,7 @@ func PartialGroups(n, m, b, g int) (*Network, error) {
 			}
 		}
 	}
-	return &Network{n: n, m: m, b: b, scheme: SchemePartialGroups, conn: conn, groups: g}, nil
+	return (&Network{n: n, m: m, b: b, scheme: SchemePartialGroups, conn: conn, groups: g}).index(), nil
 }
 
 // KClasses returns the paper's proposed partial bus network with K
@@ -176,12 +239,12 @@ func KClasses(n, b int, classSizes []int) (*Network, error) {
 			mod++
 		}
 	}
-	return &Network{
+	return (&Network{
 		n: n, m: m, b: b,
 		scheme:     SchemeKClasses,
 		conn:       conn,
 		classSizes: append([]int(nil), classSizes...),
-	}, nil
+	}).index(), nil
 }
 
 // EvenKClasses is a convenience wrapper for the configuration used in the
@@ -214,7 +277,7 @@ func Custom(n int, conn [][]bool) (*Network, error) {
 		}
 		copy(cp[i], row)
 	}
-	nw := &Network{n: n, m: m, b: b, scheme: SchemeCustom, conn: cp}
+	nw := (&Network{n: n, m: m, b: b, scheme: SchemeCustom, conn: cp}).index()
 	for j := 0; j < m; j++ {
 		if len(nw.BusesForModule(j)) == 0 {
 			return nil, fmt.Errorf("%w: module %d", ErrDisconnected, j)
@@ -277,33 +340,23 @@ func (nw *Network) Connected(bus, module int) (bool, error) {
 }
 
 // BusesForModule returns the ascending list of buses wired to module j.
-// An out-of-range module yields nil.
+// An out-of-range module yields nil. The slice is the precomputed
+// adjacency list itself — shared, read-only; callers must not modify it.
 func (nw *Network) BusesForModule(j int) []int {
 	if j < 0 || j >= nw.m {
 		return nil
 	}
-	var buses []int
-	for i := 0; i < nw.b; i++ {
-		if nw.conn[i][j] {
-			buses = append(buses, i)
-		}
-	}
-	return buses
+	return nw.busesForMod[j]
 }
 
 // ModulesOnBus returns the ascending list of modules wired to bus i.
-// An out-of-range bus yields nil.
+// An out-of-range bus yields nil. The slice is the precomputed
+// adjacency list itself — shared, read-only; callers must not modify it.
 func (nw *Network) ModulesOnBus(i int) []int {
 	if i < 0 || i >= nw.b {
 		return nil
 	}
-	var mods []int
-	for j := 0; j < nw.m; j++ {
-		if nw.conn[i][j] {
-			mods = append(mods, j)
-		}
-	}
-	return mods
+	return nw.modsOnBus[i]
 }
 
 // ClassOf returns the 1-based class index of module j in a KClasses
@@ -348,12 +401,8 @@ func (nw *Network) NumConnections() int {
 // MemoryConnections returns the number of bus–module connections only.
 func (nw *Network) MemoryConnections() int {
 	total := 0
-	for i := range nw.conn {
-		for _, c := range nw.conn[i] {
-			if c {
-				total++
-			}
-		}
+	for i := range nw.modsOnBus {
+		total += len(nw.modsOnBus[i])
 	}
 	return total
 }
@@ -434,14 +483,14 @@ func (nw *Network) WithoutBus(i int) (*Network, error) {
 	}
 	failed := append(append([]int(nil), nw.failedBuses...), orig)
 	sortInts(failed)
-	return &Network{
+	return (&Network{
 		n: nw.n, m: nw.m, b: nw.b - 1,
 		scheme:      nw.scheme,
 		conn:        conn,
 		groups:      nw.groups,
 		classSizes:  nw.ClassSizes(),
 		failedBuses: failed,
-	}, nil
+	}).index(), nil
 }
 
 // InaccessibleModules returns the modules wired to no surviving bus, in

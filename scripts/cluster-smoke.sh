@@ -1,0 +1,124 @@
+#!/bin/sh
+# cluster-smoke: boot a three-peer mbserve cluster (peer 1 coordinator)
+# plus a standalone reference instance, then assert the cluster-mode
+# invariants end to end:
+#
+#   - a forwarded request answers 200, and repeating it on the same
+#     instance is an X-Cache: hit with a byte-identical body
+#   - the same request on every instance returns byte-identical bodies
+#   - the coordinator's partitioned /v1/sweep merge is byte-for-byte
+#     identical to the standalone instance's sweep
+#   - peer traffic is visible in mbserve_peer_requests_total
+#
+# Used by `make cluster-smoke` (part of `make check`).
+set -eu
+
+BIN="${1:?usage: cluster-smoke.sh <mbserve binary>}"
+WORK="$(mktemp -d)"
+PIDS=""
+trap 'for p in $PIDS; do kill "$p" 2>/dev/null || true; done; rm -rf "$WORK"' EXIT INT TERM
+
+# Standalone reference instance on an ephemeral port.
+"$BIN" -addr 127.0.0.1:0 >"$WORK/ref.log" 2>&1 &
+PIDS="$PIDS $!"
+REF=""
+for _ in $(seq 1 50); do
+    REF="$(sed -n 's/.*msg=listening addr=\([^ ]*\).*/\1/p' "$WORK/ref.log" | head -n1)"
+    [ -n "$REF" ] && break
+    sleep 0.1
+done
+[ -n "$REF" ] || { echo "cluster-smoke: standalone never listened:"; cat "$WORK/ref.log"; exit 1; }
+
+# The peer list must exist before any instance boots, so the cluster
+# needs fixed ports: derive a base from the PID and retry on collision.
+ATTEMPT=0
+BOOTED=""
+while [ -z "$BOOTED" ] && [ "$ATTEMPT" -lt 5 ]; do
+    BASE=$((20000 + ($$ + ATTEMPT * 1111) % 20000))
+    P1="http://127.0.0.1:$BASE"
+    P2="http://127.0.0.1:$((BASE + 1))"
+    P3="http://127.0.0.1:$((BASE + 2))"
+    PEERS="$P1,$P2,$P3"
+    CPIDS=""
+    i=0
+    for SELF in "$P1" "$P2" "$P3"; do
+        COORD=""
+        [ "$SELF" = "$P1" ] && COORD="-coordinator"
+        "$BIN" -addr "127.0.0.1:$((BASE + i))" -self "$SELF" -peers "$PEERS" $COORD \
+            >"$WORK/peer$i.log" 2>&1 &
+        CPIDS="$CPIDS $!"
+        i=$((i + 1))
+    done
+    BOOTED=ok
+    for _ in $(seq 1 50); do
+        UP=0
+        for SELF in "$P1" "$P2" "$P3"; do
+            if curl -sf -o /dev/null "$SELF/healthz" 2>/dev/null; then UP=$((UP + 1)); fi
+        done
+        [ "$UP" = 3 ] && break
+        ALIVE=0
+        for p in $CPIDS; do kill -0 "$p" 2>/dev/null && ALIVE=$((ALIVE + 1)); done
+        if [ "$ALIVE" != 3 ]; then BOOTED=""; break; fi
+        sleep 0.1
+    done
+    if [ "$BOOTED" = ok ] && [ "${UP:-0}" != 3 ]; then BOOTED=""; fi
+    if [ -z "$BOOTED" ]; then
+        # Port collision (or boot failure): kill survivors and rebase.
+        for p in $CPIDS; do kill "$p" 2>/dev/null || true; done
+        ATTEMPT=$((ATTEMPT + 1))
+    else
+        PIDS="$PIDS $CPIDS"
+    fi
+done
+[ -n "$BOOTED" ] || { echo "cluster-smoke: could not boot 3 peers:"; cat "$WORK"/peer*.log; exit 1; }
+echo "cluster-smoke: 3 peers up at $PEERS (coordinator $P1)"
+
+ANALYZE='{"network":{"scheme":"full","n":16,"b":8},"model":{"kind":"hier"},"r":1.0}'
+
+# The same scenario through every instance: all 200, all byte-identical
+# (wherever the key's owner is, forwarding and local fallback must agree).
+i=0
+for SELF in "$P1" "$P2" "$P3"; do
+    STATUS="$(curl -s -o "$WORK/body$i" -w '%{http_code}' -X POST "$SELF/v1/analyze" -d "$ANALYZE")"
+    [ "$STATUS" = 200 ] || { echo "cluster-smoke: analyze via $SELF returned $STATUS"; exit 1; }
+    i=$((i + 1))
+done
+cmp -s "$WORK/body0" "$WORK/body1" && cmp -s "$WORK/body1" "$WORK/body2" || {
+    echo "cluster-smoke: analyze bodies differ across instances"
+    exit 1
+}
+echo "cluster-smoke: analyze byte-identical across all 3 instances"
+
+# Repeat on one instance: after the first (possibly forwarded) answer
+# was cached locally, the repeat must be a local X-Cache hit with the
+# same bytes.
+HDRS="$(curl -s -D - -o "$WORK/repeat" -X POST "$P2/v1/analyze" -d "$ANALYZE" | tr -d '\r')"
+XCACHE="$(echo "$HDRS" | sed -n 's/^X-Cache: //p' | head -n1)"
+[ "$XCACHE" = hit ] || { echo "cluster-smoke: repeated analyze X-Cache = '$XCACHE' (want hit)"; exit 1; }
+cmp -s "$WORK/body1" "$WORK/repeat" || { echo "cluster-smoke: repeat body differs from original"; exit 1; }
+echo "cluster-smoke: forwarded repeat served as local cache hit, byte-identical"
+
+# Partitioned sweep: the coordinator's merged grid must equal the
+# standalone instance's response byte for byte.
+SWEEP='{"ns":[4,8,16],"bs":[1,2,4],"rs":[0.25,0.5,1.0],"schemes":["full","single","crossbar"],"hierarchical":true}'
+STATUS="$(curl -s -o "$WORK/sweep-ref" -w '%{http_code}' -X POST "http://$REF/v1/sweep" -d "$SWEEP")"
+[ "$STATUS" = 200 ] || { echo "cluster-smoke: standalone sweep returned $STATUS"; exit 1; }
+STATUS="$(curl -s -o "$WORK/sweep-coord" -w '%{http_code}' -X POST "$P1/v1/sweep" -d "$SWEEP")"
+[ "$STATUS" = 200 ] || { echo "cluster-smoke: coordinator sweep returned $STATUS"; exit 1; }
+cmp -s "$WORK/sweep-ref" "$WORK/sweep-coord" || {
+    echo "cluster-smoke: coordinator sweep differs from standalone"
+    exit 1
+}
+echo "cluster-smoke: partitioned sweep byte-identical to standalone"
+
+# The work above must have crossed the wire: some instance counted a
+# successful peer forward.
+OK=0
+for SELF in "$P1" "$P2" "$P3"; do
+    N="$(curl -s "$SELF/metrics" | grep -c '^mbserve_peer_requests_total{.*result="ok"' || true)"
+    OK=$((OK + N))
+done
+[ "$OK" -ge 1 ] || { echo "cluster-smoke: no successful peer forwards in /metrics"; exit 1; }
+echo "cluster-smoke: peer forwarding visible in mbserve_peer_requests_total"
+
+echo "cluster-smoke: PASS"
