@@ -72,14 +72,16 @@ cluster-smoke:
 bench:
 	$(GO) test -bench=. -benchmem -run=NONE -count=3 . | $(GO) run ./cmd/benchjson -o BENCH_sim.json
 
-# Benchmark-regression gate: re-runs the pinned analytic benchmarks into
-# a scratch report and diffs it against the committed BENCH_sim.json.
-# Fails on >20% ns/op growth or any allocs/op growth in the pinned set
-# (Table*, Analytic*, BinomialRow*); run it before committing changes to
-# the analytic hot path. -count=3 because the compare keeps the best of
-# repeated runs, which suppresses scheduler noise on shared machines.
+# Benchmark-regression gate: re-runs the pinned analytic and topology
+# benchmarks into a scratch report and diffs it against the committed
+# BENCH_sim.json. Fails on >20% ns/op growth or any allocs/op growth in
+# the pinned set (Table*, Analytic*, BinomialRow*, BuildKey*,
+# Topology*); run it before committing changes to the analytic hot path
+# or the topology representation. -count=5 because the compare keeps the
+# best of repeated runs, which suppresses scheduler noise on shared
+# machines.
 bench-compare:
-	$(GO) test -bench='BenchmarkTable|BenchmarkAnalytic|BenchmarkBinomialRow' -benchmem -run=NONE -count=3 . | $(GO) run ./cmd/benchjson -o /tmp/multibus-bench-new.json
+	$(GO) test -bench='BenchmarkTable|BenchmarkAnalytic|BenchmarkBinomialRow|BenchmarkBuildKey|BenchmarkTopology' -benchmem -run=NONE -count=5 . | $(GO) run ./cmd/benchjson -o /tmp/multibus-bench-new.json
 	$(GO) run ./cmd/benchjson -compare BENCH_sim.json /tmp/multibus-bench-new.json
 
 # Full reproduction verdict: every paper table/figure plus the

@@ -3,6 +3,7 @@ package arbiter
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 
 	"multibus/internal/topology"
 )
@@ -39,7 +40,7 @@ func modulesOf(grants []BusGrant) []int {
 	for _, g := range grants {
 		out = append(out, g.Module)
 	}
-	sortInts(out)
+	slices.Sort(out)
 	return out
 }
 
@@ -415,14 +416,5 @@ func (a *greedyAssigner) Assign(requested []int, rng *rand.Rand) []int {
 func (a *greedyAssigner) Reset() {
 	for i := range a.next {
 		a.next[i] = 0
-	}
-}
-
-// sortInts is insertion sort; grant lists are at most B long.
-func sortInts(xs []int) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j-1] > xs[j]; j-- {
-			xs[j-1], xs[j] = xs[j], xs[j-1]
-		}
 	}
 }

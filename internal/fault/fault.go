@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"slices"
 
 	"multibus/internal/analytic"
 	"multibus/internal/numerics"
@@ -46,11 +47,7 @@ func Degraded(nw *topology.Network, failures []int) (*topology.Network, error) {
 	// Remove in descending original order so earlier removals do not
 	// shift later indices.
 	sorted := append([]int(nil), failures...)
-	for i := 1; i < len(sorted); i++ {
-		for j := i; j > 0 && sorted[j-1] < sorted[j]; j-- {
-			sorted[j-1], sorted[j] = sorted[j], sorted[j-1]
-		}
-	}
+	slices.SortFunc(sorted, func(a, b int) int { return b - a })
 	for _, f := range sorted {
 		next, err := cur.WithoutBus(f)
 		if err != nil {

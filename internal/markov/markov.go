@@ -32,6 +32,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 
 	"multibus/internal/analytic"
 	"multibus/internal/numerics"
@@ -225,7 +226,7 @@ func (c *chain) enumerateService(prob float64) {
 		groups = append(groups, g)
 	}
 	// Deterministic order for reproducibility.
-	sortInts(groups)
+	slices.Sort(groups)
 	served := make([]int, 0, c.m)
 	c.enumerateGroupSubsets(groups, 0, perGroup, served, prob, reqsPerModule)
 }
@@ -367,12 +368,4 @@ func allIdle(n int) []int {
 		out[i] = -1
 	}
 	return out
-}
-
-func sortInts(xs []int) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j-1] > xs[j]; j-- {
-			xs[j-1], xs[j] = xs[j], xs[j-1]
-		}
-	}
 }

@@ -31,11 +31,12 @@ type Built struct {
 	Model    *hrm.Hierarchy
 	Crossbar bool
 
-	// fp memoizes Fingerprints: the network fingerprint is an O(B·M)
-	// scan of the full wiring and key derivation runs on every request
-	// and every sweep point, so it is computed once per Built. The
-	// pointer is shared by WithRate copies — the rate axis never changes
-	// the structural fingerprints.
+	// fp memoizes Fingerprints: the network fingerprint streams the
+	// wiring bitset from the sorted adjacency (O(connections) for
+	// sparse schemes, O(B·M/64) words worst case) and key derivation
+	// runs on every request and every sweep point, so it is computed
+	// once per Built. The pointer is shared by WithRate copies — the
+	// rate axis never changes the structural fingerprints.
 	fp *fpMemo
 }
 

@@ -1,0 +1,47 @@
+// Package textio provides line-oriented reading for the repo's plain
+// text file formats (topology wirings, request traces). It exists
+// because bufio.Scanner's default 64KB token cap silently fails on a
+// single wiring or trace line describing tens of thousands of modules
+// ("token too long"); the reader here has no line-length limit — memory
+// is bounded by the longest single line, not by a preset cap.
+package textio
+
+import (
+	"bufio"
+	"io"
+	"strings"
+)
+
+// EachDataLine reads r line by line without any length limit and calls
+// fn once per data line, after stripping '#' comments and surrounding
+// whitespace and skipping lines that are left empty. line is the
+// 1-based physical line number (counting skipped lines), so parser
+// errors point at the real file location. A final line without a
+// trailing newline is processed like any other. Iteration stops at the
+// first error fn returns, which is passed through verbatim.
+func EachDataLine(r io.Reader, fn func(line int, text string) error) error {
+	br := bufio.NewReader(r)
+	line := 0
+	for {
+		text, err := br.ReadString('\n')
+		if err != nil && err != io.EOF {
+			return err
+		}
+		if text == "" && err == io.EOF {
+			return nil
+		}
+		line++
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		text = strings.TrimSpace(text)
+		if text != "" {
+			if ferr := fn(line, text); ferr != nil {
+				return ferr
+			}
+		}
+		if err == io.EOF {
+			return nil
+		}
+	}
+}

@@ -59,7 +59,8 @@ func (nw *Network) Diagram() string {
 		b.WriteByte('\n')
 	}
 
-	// One line per bus.
+	// One line per bus, walking the sorted adjacency row with a cursor
+	// instead of a dense matrix.
 	for i := 0; i < nw.b; i++ {
 		fmt.Fprintf(&b, "bus %-3d", i+1)
 		for p := 0; p < nw.n; p++ {
@@ -67,9 +68,11 @@ func (nw *Network) Diagram() string {
 			b.WriteString("───●")
 		}
 		b.WriteString("─┼")
+		mods := nw.modsOnBus[i]
 		for j := 0; j < nw.m; j++ {
-			if nw.conn[i][j] {
+			if len(mods) > 0 && mods[0] == j {
 				b.WriteString("───●")
+				mods = mods[1:]
 			} else {
 				b.WriteString("────")
 			}
@@ -80,16 +83,20 @@ func (nw *Network) Diagram() string {
 }
 
 // ConnectionMatrix renders the B×M wiring as a compact 0/1 grid, one row
-// per bus — useful in logs and golden tests.
+// per bus — useful in logs and golden tests. The dense rows are
+// materialized on the fly from the adjacency lists; the network itself
+// never stores them.
 func (nw *Network) ConnectionMatrix() string {
 	var b strings.Builder
 	for i := 0; i < nw.b; i++ {
+		mods := nw.modsOnBus[i]
 		for j := 0; j < nw.m; j++ {
 			if j > 0 {
 				b.WriteByte(' ')
 			}
-			if nw.conn[i][j] {
+			if len(mods) > 0 && mods[0] == j {
 				b.WriteByte('1')
+				mods = mods[1:]
 			} else {
 				b.WriteByte('0')
 			}

@@ -13,6 +13,17 @@ package topology
 // so fingerprints are stable across processes and architectures. It is
 // not cryptographic; collisions are possible in principle but need
 // ~2^32 distinct topologies in one cache to become likely.
+//
+// The encoding is defined over the dense row-major (bus-major) B×M
+// wiring bitset packed into 64-bit words, exactly as when the wiring was
+// stored as a dense matrix — fingerprints are byte-identical across the
+// representation flip, so persisted cache keys and cluster ring
+// ownership survive it. The hash is *streamed* from the sorted
+// adjacency rows: set bits drive the word accumulator directly, and runs
+// of all-zero words between connections collapse into one multiplication
+// by prime^(8·run) (FNV-1a absorbs a zero byte as a bare multiply), so
+// the cost is O(connections + log(B·M)) rather than O(B·M) for sparse
+// wirings.
 func (nw *Network) Fingerprint() uint64 {
 	const (
 		offset64 = 14695981039346656037
@@ -25,27 +36,36 @@ func (nw *Network) Fingerprint() uint64 {
 			h *= prime64
 		}
 	}
+	// skipZeroWords absorbs k all-zero 64-bit words: h *= prime^(8k).
+	skipZeroWords := func(k int) {
+		p := uint64(prime64)
+		for e := 8 * k; e > 0; e >>= 1 {
+			if e&1 == 1 {
+				h *= p
+			}
+			p *= p
+		}
+	}
 	word(uint64(nw.n))
 	word(uint64(nw.m))
 	word(uint64(nw.b))
-	// Pack the wiring into 64-bit words, row-major (bus-major), so the
-	// encoding is independent of how conn is laid out in memory.
 	var acc uint64
-	bits := 0
+	cur := 0 // index of the word acc is accumulating
 	for i := 0; i < nw.b; i++ {
-		for j := 0; j < nw.m; j++ {
-			if nw.conn[i][j] {
-				acc |= 1 << bits
-			}
-			bits++
-			if bits == 64 {
+		base := i * nw.m
+		for _, j := range nw.modsOnBus[i] {
+			g := base + j // global bit position in the B·M stream
+			if w := g >> 6; w != cur {
 				word(acc)
-				acc, bits = 0, 0
+				acc = 0
+				skipZeroWords(w - cur - 1)
+				cur = w
 			}
+			acc |= 1 << (g & 63)
 		}
 	}
-	if bits > 0 {
-		word(acc)
-	}
+	totalWords := (nw.b*nw.m + 63) / 64
+	word(acc) // the word holding the last connection (or word 0 if none)
+	skipZeroWords(totalWords - cur - 1)
 	return h
 }

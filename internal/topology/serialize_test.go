@@ -1,6 +1,7 @@
 package topology
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -45,13 +46,72 @@ func TestReadWiringMalformed(t *testing.T) {
 		{"too few rows", "n=2 b=2 m=2\n1 1\n"},
 		{"rows before header", "1 1\nn=2 b=1 m=2\n"},
 		{"disconnected module", "n=2 b=2 m=2\n1 0\n1 0\n"},
+		// Strict header parsing: the old fmt.Sscanf accepted trailing
+		// garbage and gave confusing errors on reordered keys.
+		{"header trailing garbage", "n=1 b=2 m=3 junk\n1 1 1\n1 1 1\n"},
+		{"header reordered keys", "b=2 n=1 m=3\n1 1 1\n1 1 1\n"},
+		{"header missing key", "n=1 b=2\n1 1\n1 1\n"},
+		{"header glued value", "n=1 b=2 m=3x\n1 1 1\n1 1 1\n"},
+		{"header duplicate key", "n=1 n=2 m=3\n1 1 1\n1 1 1\n"},
+		{"header empty value", "n=1 b= m=3\n1 1 1\n1 1 1\n"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			if _, err := ReadWiring(strings.NewReader(tc.input)); err == nil {
-				t.Errorf("input %q parsed without error", tc.input)
+			_, err := ReadWiring(strings.NewReader(tc.input))
+			if err == nil {
+				t.Fatalf("input %q parsed without error", tc.input)
+			}
+			if tc.name != "empty" && !errors.Is(err, ErrBadWiring) && !errors.Is(err, ErrBadDimensions) && !errors.Is(err, ErrDisconnected) {
+				t.Errorf("input %q: error %v is not a classified wiring error", tc.input, err)
 			}
 		})
+	}
+}
+
+func TestReadWiringHeaderErrorsNameTheField(t *testing.T) {
+	// Reordered and junk-bearing headers must produce an ErrBadWiring
+	// that names the offending field, not a generic Sscanf complaint.
+	cases := []struct{ input, wantSub string }{
+		{"n=1 b=2 m=3 junk\n", "4 fields"},
+		{"b=2 n=1 m=3\n", `"b=2"`},
+		{"n=1 b=2 m=3x\n", `"3x"`},
+	}
+	for _, tc := range cases {
+		_, err := ReadWiring(strings.NewReader(tc.input))
+		if err == nil {
+			t.Fatalf("input %q parsed without error", tc.input)
+		}
+		if !errors.Is(err, ErrBadWiring) {
+			t.Errorf("input %q: error %v does not wrap ErrBadWiring", tc.input, err)
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("input %q: error %q does not mention %q", tc.input, err, tc.wantSub)
+		}
+	}
+}
+
+// TestWiringRoundTripLarge pins the large-input fix: a single wiring row
+// for M=50000 modules is a ~100KB line, beyond bufio.Scanner's 64KB
+// default token cap that used to fail ReadWiring with "token too long".
+func TestWiringRoundTripLarge(t *testing.T) {
+	const m, b = 50000, 3
+	orig, err := SingleBus(4, m, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := orig.WriteWiring(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ReadWiring(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("ReadWiring at M=%d: %v", m, err)
+	}
+	if !parsed.Equal(orig) {
+		t.Fatal("large round trip changed the wiring")
+	}
+	if parsed.Fingerprint() != orig.Fingerprint() {
+		t.Fatal("large round trip changed the fingerprint")
 	}
 }
 

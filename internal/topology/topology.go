@@ -1,8 +1,8 @@
 // Package topology models the physical structure of N×M×B multiple bus
 // interconnection networks: which memory module is wired to which bus.
-// Every processor is connected to every bus in all of the paper's schemes,
-// so a topology is fully described by its B×M bus–module connection
-// matrix plus the processor count.
+// Every processor is connected to every bus in all of the paper's
+// schemes, so a topology is fully described by its bus–module wiring
+// plus the processor count.
 //
 // The four schemes of the paper are provided as constructors:
 //
@@ -16,11 +16,21 @@
 // the cost metrics of the paper's Table I (connection counts, per-bus
 // load, degree of fault tolerance) directly from the wiring, and supports
 // bus-failure surgery for degraded-mode analysis.
+//
+// The wiring is stored as sorted adjacency lists (modules per bus and
+// buses per module), not as a dense B×M matrix: every scheme except Full
+// is sparse, so memory and construction time are proportional to the
+// number of connections, and the scheme constructors share row storage
+// (Full, PartialGroups, and KClasses reuse one index sequence across
+// rows, so even dense wirings cost O(M+B) ints). The dense 0/1 matrix
+// survives only as a row-at-a-time view for the text renderers
+// (Diagram, ConnectionMatrix, WriteWiring).
 package topology
 
 import (
 	"errors"
 	"fmt"
+	"slices"
 )
 
 // Scheme identifies the bus–memory connection scheme of a Network.
@@ -67,13 +77,13 @@ var (
 type Network struct {
 	n, m, b int
 	scheme  Scheme
-	conn    [][]bool // conn[bus][module]
 
-	// Adjacency lists, precomputed once by index() at construction so
-	// the hot consumers (analytic classification, arbiter stage 2, the
-	// cost and fault-tolerance metrics) never rescan the B×M wiring.
-	// Both share one backing array; the accessors hand the sub-slices
-	// out directly, so they are read-only by contract.
+	// Primary wiring representation: sorted adjacency lists. Rows may
+	// share backing storage (scheme constructors alias one index
+	// sequence; Custom/WithoutBus pack all rows into one backing array)
+	// and are always capacity-clipped, so a caller-side append can never
+	// bleed into a neighboring row. The accessors hand the sub-slices
+	// out directly — read-only by contract. Empty rows stay nil.
 	modsOnBus   [][]int // modsOnBus[bus]: ascending modules wired to it
 	busesForMod [][]int // busesForMod[module]: ascending buses wired to it
 
@@ -83,57 +93,66 @@ type Network struct {
 	failedBuses []int // buses removed by WithoutBus, ascending
 }
 
-// index precomputes the adjacency lists from the wiring; every
-// constructor calls it exactly once, after conn is final. Lists are
-// carved from one shared backing array with capacity-clipped slice
-// expressions, so a caller-side append can never bleed into a
-// neighboring list. Empty lists stay nil, matching the lazy accessors
-// this replaced.
-func (nw *Network) index() *Network {
-	counts := make([]int, nw.m)
-	total := 0
-	for i := range nw.conn {
-		for j, c := range nw.conn[i] {
-			if c {
-				counts[j]++
-				total++
-			}
-		}
+// iotaSeq returns the shared row material 0 … k−1 the scheme
+// constructors slice their adjacency rows out of.
+func iotaSeq(k int) []int {
+	seq := make([]int, k)
+	for i := range seq {
+		seq[i] = i
 	}
-	nw.modsOnBus = make([][]int, nw.b)
-	nw.busesForMod = make([][]int, nw.m)
+	return seq
+}
+
+// clip returns seq[lo:hi] with its capacity clipped to the slice, or nil
+// when the range is empty, so rows satisfy the accessor contract
+// (append reallocates; empty rows are nil).
+func clip(seq []int, lo, hi int) []int {
+	if lo >= hi {
+		return nil
+	}
+	return seq[lo:hi:hi]
+}
+
+// packBusLists builds a Network from per-bus adjacency rows (each
+// strictly ascending in [0, m)). Rows are copied into one shared backing
+// array and the per-module transpose is derived in O(E); the input rows
+// are not retained.
+func packBusLists(n, m, b int, scheme Scheme, busLists [][]int) *Network {
+	total := 0
+	for _, row := range busLists {
+		total += len(row)
+	}
 	cells := make([]int, 2*total)
 	busCells, modCells := cells[:total], cells[total:]
+	nw := &Network{n: n, m: m, b: b, scheme: scheme}
+	nw.modsOnBus = make([][]int, b)
+	counts := make([]int, m)
 	cur := 0
-	for i := 0; i < nw.b; i++ {
+	for i, row := range busLists {
 		lo := cur
-		for j := 0; j < nw.m; j++ {
-			if nw.conn[i][j] {
-				busCells[cur] = j
-				cur++
-			}
+		for _, j := range row {
+			busCells[cur] = j
+			cur++
+			counts[j]++
 		}
-		if cur > lo {
-			nw.modsOnBus[i] = busCells[lo:cur:cur]
-		}
+		nw.modsOnBus[i] = clip(busCells, lo, cur)
 	}
-	offs := make([]int, nw.m+1)
-	for j := 0; j < nw.m; j++ {
+	offs := make([]int, m+1)
+	for j := 0; j < m; j++ {
 		offs[j+1] = offs[j] + counts[j]
 		counts[j] = 0 // reused as the fill cursor below
 	}
-	for i := 0; i < nw.b; i++ {
-		for j := 0; j < nw.m; j++ {
-			if nw.conn[i][j] {
-				modCells[offs[j]+counts[j]] = i
-				counts[j]++
-			}
+	// Bus rows are visited in ascending bus order, so each module's bus
+	// list comes out ascending without a sort.
+	for i, row := range busLists {
+		for _, j := range row {
+			modCells[offs[j]+counts[j]] = i
+			counts[j]++
 		}
 	}
-	for j := 0; j < nw.m; j++ {
-		if offs[j+1] > offs[j] {
-			nw.busesForMod[j] = modCells[offs[j]:offs[j+1]:offs[j+1]]
-		}
+	nw.busesForMod = make([][]int, m)
+	for j := 0; j < m; j++ {
+		nw.busesForMod[j] = clip(modCells, offs[j], offs[j+1])
 	}
 	return nw
 }
@@ -150,39 +169,58 @@ func checkDims(n, m, b int) error {
 }
 
 // Full returns the multiple bus network with full bus–memory connection:
-// every module is wired to all B buses (paper Fig. 1).
+// every module is wired to all B buses (paper Fig. 1). Every bus shares
+// one module row and every module one bus row, so storage is O(M+B).
 func Full(n, m, b int) (*Network, error) {
 	if err := checkDims(n, m, b); err != nil {
 		return nil, err
 	}
-	conn := newConn(b, m)
-	for i := range conn {
-		for j := range conn[i] {
-			conn[i][j] = true
-		}
+	seq := iotaSeq(max(m, b))
+	allMods, allBuses := clip(seq, 0, m), clip(seq, 0, b)
+	nw := &Network{n: n, m: m, b: b, scheme: SchemeFull}
+	nw.modsOnBus = make([][]int, b)
+	for i := range nw.modsOnBus {
+		nw.modsOnBus[i] = allMods
 	}
-	return (&Network{n: n, m: m, b: b, scheme: SchemeFull, conn: conn}).index(), nil
+	nw.busesForMod = make([][]int, m)
+	for j := range nw.busesForMod {
+		nw.busesForMod[j] = allBuses
+	}
+	return nw, nil
 }
 
 // SingleBus returns the multiple bus network with single bus–memory
 // connection (paper Fig. 4): module j is wired only to bus
 // ⌊j·B/M⌋, which distributes the M modules over the B buses as evenly as
 // possible (exactly M/B per bus when B divides M, as in the paper's
-// Table IV where each bus carries N/B modules).
+// Table IV where each bus carries N/B modules). Bus rows are contiguous
+// ranges of one shared module sequence, so storage is O(M+B).
 func SingleBus(n, m, b int) (*Network, error) {
 	if err := checkDims(n, m, b); err != nil {
 		return nil, err
 	}
-	conn := newConn(b, m)
-	for j := 0; j < m; j++ {
-		conn[j*b/m][j] = true
+	seq := iotaSeq(max(m, b))
+	nw := &Network{n: n, m: m, b: b, scheme: SchemeSingleBus}
+	nw.modsOnBus = make([][]int, b)
+	for i := 0; i < b; i++ {
+		// Modules j with ⌊j·b/m⌋ = i form the range [⌈i·m/b⌉, ⌈(i+1)·m/b⌉).
+		lo := (i*m + b - 1) / b
+		hi := ((i+1)*m + b - 1) / b
+		nw.modsOnBus[i] = clip(seq, lo, hi)
 	}
-	return (&Network{n: n, m: m, b: b, scheme: SchemeSingleBus, conn: conn}).index(), nil
+	nw.busesForMod = make([][]int, m)
+	for j := 0; j < m; j++ {
+		i := j * b / m
+		nw.busesForMod[j] = clip(seq, i, i+1)
+	}
+	return nw, nil
 }
 
 // PartialGroups returns Lang et al.'s partial bus network (paper Fig. 2):
 // modules and buses are split into g equal groups; group q's M/g modules
-// are wired to its B/g buses. g must divide both M and B.
+// are wired to its B/g buses. g must divide both M and B. All buses of a
+// group share one module row and all its modules one bus row, so storage
+// is O(M+B).
 func PartialGroups(n, m, b, g int) (*Network, error) {
 	if err := checkDims(n, m, b); err != nil {
 		return nil, err
@@ -191,15 +229,21 @@ func PartialGroups(n, m, b, g int) (*Network, error) {
 		return nil, fmt.Errorf("%w: g=%d must divide M=%d and B=%d", ErrBadGrouping, g, m, b)
 	}
 	mg, bg := m/g, b/g
-	conn := newConn(b, m)
+	seq := iotaSeq(max(m, b))
+	nw := &Network{n: n, m: m, b: b, scheme: SchemePartialGroups, groups: g}
+	nw.modsOnBus = make([][]int, b)
+	nw.busesForMod = make([][]int, m)
 	for q := 0; q < g; q++ {
+		modRow := clip(seq, q*mg, (q+1)*mg)
+		busRow := clip(seq, q*bg, (q+1)*bg)
 		for i := q * bg; i < (q+1)*bg; i++ {
-			for j := q * mg; j < (q+1)*mg; j++ {
-				conn[i][j] = true
-			}
+			nw.modsOnBus[i] = modRow
+		}
+		for j := q * mg; j < (q+1)*mg; j++ {
+			nw.busesForMod[j] = busRow
 		}
 	}
-	return (&Network{n: n, m: m, b: b, scheme: SchemePartialGroups, conn: conn, groups: g}).index(), nil
+	return nw, nil
 }
 
 // KClasses returns the paper's proposed partial bus network with K
@@ -207,6 +251,8 @@ func PartialGroups(n, m, b, g int) (*Network, error) {
 // 1 ≤ j ≤ K (K = len(classSizes) ≤ B); Σ M_j = M. Modules are laid out in
 // class order (class C_1 first). Class C_j modules are wired to buses
 // 1 … j+B−K (paper Fig. 3), so C_K sees all buses and C_1 sees B−K+1.
+// Class bus rows are prefixes and bus module rows suffixes of one shared
+// index sequence, so storage is O(M+B).
 func KClasses(n, b int, classSizes []int) (*Network, error) {
 	k := len(classSizes)
 	if k == 0 {
@@ -228,23 +274,35 @@ func KClasses(n, b int, classSizes []int) (*Network, error) {
 	if err := checkDims(n, m, b); err != nil {
 		return nil, err
 	}
-	conn := newConn(b, m)
-	mod := 0
-	for j := 1; j <= k; j++ {
-		buses := j + b - k // class C_j is wired to buses 1 … j+B−K
-		for c := 0; c < classSizes[j-1]; c++ {
-			for i := 0; i < buses; i++ {
-				conn[i][mod] = true
-			}
-			mod++
-		}
-	}
-	return (&Network{
+	seq := iotaSeq(max(m, b))
+	nw := &Network{
 		n: n, m: m, b: b,
 		scheme:     SchemeKClasses,
-		conn:       conn,
 		classSizes: append([]int(nil), classSizes...),
-	}).index(), nil
+	}
+	// classStart[c] is the first module of 1-based class c+1.
+	classStart := make([]int, k+1)
+	for c, sz := range classSizes {
+		classStart[c+1] = classStart[c] + sz
+	}
+	nw.busesForMod = make([][]int, m)
+	for c := 1; c <= k; c++ {
+		busRow := clip(seq, 0, c+b-k) // class C_c is wired to buses 1 … c+B−K
+		for j := classStart[c-1]; j < classStart[c]; j++ {
+			nw.busesForMod[j] = busRow
+		}
+	}
+	nw.modsOnBus = make([][]int, b)
+	for i := 0; i < b; i++ {
+		// Bus i+1 (1-based) reaches classes c with c+B−K ≥ i+1, i.e. the
+		// module suffix starting at the first module of class K−B+i+1.
+		first := k - b + i + 1
+		if first < 1 {
+			first = 1
+		}
+		nw.modsOnBus[i] = clip(seq, classStart[first-1], m)
+	}
+	return nw, nil
 }
 
 // EvenKClasses is a convenience wrapper for the configuration used in the
@@ -262,37 +320,41 @@ func EvenKClasses(n, m, b, k int) (*Network, error) {
 
 // Custom returns a network with an arbitrary bus–module wiring.
 // conn[i][j] reports whether bus i reaches module j; all rows must share
-// one length, and every module must be wired to at least one bus.
+// one length, and every module must be wired to at least one bus. Only
+// the set cells are retained — storage is proportional to connections.
 func Custom(n int, conn [][]bool) (*Network, error) {
 	b := len(conn)
 	if n < 1 || b < 1 || len(conn[0]) < 1 {
 		return nil, fmt.Errorf("%w: N=%d B=%d", ErrBadDimensions, n, b)
 	}
 	m := len(conn[0])
-	cp := newConn(b, m)
+	busLists := make([][]int, b)
 	for i, row := range conn {
 		if len(row) != m {
 			return nil, fmt.Errorf("%w: row %d has %d modules, row 0 has %d",
 				ErrBadDimensions, i, len(row), m)
 		}
-		copy(cp[i], row)
+		for j, c := range row {
+			if c {
+				busLists[i] = append(busLists[i], j)
+			}
+		}
 	}
-	nw := (&Network{n: n, m: m, b: b, scheme: SchemeCustom, conn: cp}).index()
+	return customFromBusLists(n, m, busLists)
+}
+
+// customFromBusLists packs per-bus adjacency rows into a custom-scheme
+// network, enforcing the every-module-reachable invariant. Shared by
+// Custom and ReadWiring so file parsing never materializes a dense
+// matrix.
+func customFromBusLists(n, m int, busLists [][]int) (*Network, error) {
+	nw := packBusLists(n, m, len(busLists), SchemeCustom, busLists)
 	for j := 0; j < m; j++ {
-		if len(nw.BusesForModule(j)) == 0 {
+		if len(nw.busesForMod[j]) == 0 {
 			return nil, fmt.Errorf("%w: module %d", ErrDisconnected, j)
 		}
 	}
 	return nw, nil
-}
-
-func newConn(b, m int) [][]bool {
-	conn := make([][]bool, b)
-	cells := make([]bool, b*m)
-	for i := range conn {
-		conn[i], cells = cells[:m], cells[m:]
-	}
-	return conn
 }
 
 // N returns the number of processors.
@@ -328,7 +390,8 @@ func (nw *Network) FailedBuses() []int {
 	return append([]int(nil), nw.failedBuses...)
 }
 
-// Connected reports whether bus i is wired to module j.
+// Connected reports whether bus i is wired to module j, by binary search
+// over the shorter of the two adjacency rows.
 func (nw *Network) Connected(bus, module int) (bool, error) {
 	if bus < 0 || bus >= nw.b {
 		return false, fmt.Errorf("%w: %d (B=%d)", ErrBusOutOfRange, bus, nw.b)
@@ -336,12 +399,18 @@ func (nw *Network) Connected(bus, module int) (bool, error) {
 	if module < 0 || module >= nw.m {
 		return false, fmt.Errorf("%w: %d (M=%d)", ErrModOutOfRange, module, nw.m)
 	}
-	return nw.conn[bus][module], nil
+	buses, mods := nw.busesForMod[module], nw.modsOnBus[bus]
+	if len(buses) <= len(mods) {
+		_, ok := slices.BinarySearch(buses, bus)
+		return ok, nil
+	}
+	_, ok := slices.BinarySearch(mods, module)
+	return ok, nil
 }
 
 // BusesForModule returns the ascending list of buses wired to module j.
-// An out-of-range module yields nil. The slice is the precomputed
-// adjacency list itself — shared, read-only; callers must not modify it.
+// An out-of-range module yields nil. The slice is the adjacency row
+// itself — shared, read-only; callers must not modify it.
 func (nw *Network) BusesForModule(j int) []int {
 	if j < 0 || j >= nw.m {
 		return nil
@@ -350,8 +419,8 @@ func (nw *Network) BusesForModule(j int) []int {
 }
 
 // ModulesOnBus returns the ascending list of modules wired to bus i.
-// An out-of-range bus yields nil. The slice is the precomputed
-// adjacency list itself — shared, read-only; callers must not modify it.
+// An out-of-range bus yields nil. The slice is the adjacency row
+// itself — shared, read-only; callers must not modify it.
 func (nw *Network) ModulesOnBus(i int) []int {
 	if i < 0 || i >= nw.b {
 		return nil
@@ -457,7 +526,9 @@ func (nw *Network) FaultToleranceDegree() int {
 // WithoutBus returns a copy of the network with bus i removed (a bus
 // failure). The returned network has B−1 buses; modules that lose their
 // last bus remain present but inaccessible (see InaccessibleModules).
-// The removed bus's original index is recorded in FailedBuses.
+// The removed bus's original index is recorded in FailedBuses. The copy
+// is rebuilt in O(connections) and shares no wiring storage with the
+// receiver.
 func (nw *Network) WithoutBus(i int) (*Network, error) {
 	if i < 0 || i >= nw.b {
 		return nil, fmt.Errorf("%w: %d (B=%d)", ErrBusOutOfRange, i, nw.b)
@@ -465,15 +536,12 @@ func (nw *Network) WithoutBus(i int) (*Network, error) {
 	if nw.b == 1 {
 		return nil, fmt.Errorf("%w: cannot remove the last bus", ErrBadDimensions)
 	}
-	conn := newConn(nw.b-1, nw.m)
-	for bi := 0; bi < nw.b; bi++ {
-		switch {
-		case bi < i:
-			copy(conn[bi], nw.conn[bi])
-		case bi > i:
-			copy(conn[bi-1], nw.conn[bi])
-		}
-	}
+	busLists := make([][]int, 0, nw.b-1)
+	busLists = append(busLists, nw.modsOnBus[:i]...)
+	busLists = append(busLists, nw.modsOnBus[i+1:]...)
+	deg := packBusLists(nw.n, nw.m, nw.b-1, nw.scheme, busLists)
+	deg.groups = nw.groups
+	deg.classSizes = nw.ClassSizes()
 	// Map the removed index back to the original bus numbering.
 	orig := i
 	for _, f := range nw.failedBuses {
@@ -481,16 +549,9 @@ func (nw *Network) WithoutBus(i int) (*Network, error) {
 			orig++
 		}
 	}
-	failed := append(append([]int(nil), nw.failedBuses...), orig)
-	sortInts(failed)
-	return (&Network{
-		n: nw.n, m: nw.m, b: nw.b - 1,
-		scheme:      nw.scheme,
-		conn:        conn,
-		groups:      nw.groups,
-		classSizes:  nw.ClassSizes(),
-		failedBuses: failed,
-	}).index(), nil
+	deg.failedBuses = append(append([]int(nil), nw.failedBuses...), orig)
+	slices.Sort(deg.failedBuses)
+	return deg, nil
 }
 
 // InaccessibleModules returns the modules wired to no surviving bus, in
@@ -511,29 +572,54 @@ func (nw *Network) Validate() error {
 	if nw.n < 1 || nw.m < 1 || nw.b < 1 {
 		return fmt.Errorf("%w: N=%d M=%d B=%d", ErrBadDimensions, nw.n, nw.m, nw.b)
 	}
-	if len(nw.conn) != nw.b {
-		return fmt.Errorf("%w: conn has %d rows, B=%d", ErrBadDimensions, len(nw.conn), nw.b)
+	if len(nw.modsOnBus) != nw.b {
+		return fmt.Errorf("%w: adjacency has %d bus rows, B=%d", ErrBadDimensions, len(nw.modsOnBus), nw.b)
 	}
-	for i, row := range nw.conn {
-		if len(row) != nw.m {
-			return fmt.Errorf("%w: bus %d row has %d modules, M=%d",
-				ErrBadDimensions, i, len(row), nw.m)
+	if len(nw.busesForMod) != nw.m {
+		return fmt.Errorf("%w: adjacency has %d module rows, M=%d", ErrBadDimensions, len(nw.busesForMod), nw.m)
+	}
+	busTotal := 0
+	for i, row := range nw.modsOnBus {
+		for k, j := range row {
+			if j < 0 || j >= nw.m {
+				return fmt.Errorf("%w: bus %d lists module %d, M=%d", ErrModOutOfRange, i, j, nw.m)
+			}
+			if k > 0 && row[k-1] >= j {
+				return fmt.Errorf("%w: bus %d row not strictly ascending at %d", ErrBadDimensions, i, k)
+			}
 		}
+		busTotal += len(row)
+	}
+	modTotal := 0
+	for j, row := range nw.busesForMod {
+		for k, i := range row {
+			if i < 0 || i >= nw.b {
+				return fmt.Errorf("%w: module %d lists bus %d, B=%d", ErrBusOutOfRange, j, i, nw.b)
+			}
+			if k > 0 && row[k-1] >= i {
+				return fmt.Errorf("%w: module %d row not strictly ascending at %d", ErrBadDimensions, j, k)
+			}
+		}
+		modTotal += len(row)
+	}
+	if busTotal != modTotal {
+		return fmt.Errorf("%w: %d connections per bus rows vs %d per module rows",
+			ErrBadDimensions, busTotal, modTotal)
 	}
 	return nil
 }
 
 // Equal reports whether two networks have identical dimensions and
-// wiring (scheme labels are ignored).
+// wiring (scheme labels are ignored). Sorted adjacency rows are a
+// canonical form of the wiring, so comparing them row by row is exact
+// and costs O(connections), not O(B·M).
 func (nw *Network) Equal(other *Network) bool {
 	if other == nil || nw.n != other.n || nw.m != other.m || nw.b != other.b {
 		return false
 	}
-	for i := range nw.conn {
-		for j := range nw.conn[i] {
-			if nw.conn[i][j] != other.conn[i][j] {
-				return false
-			}
+	for i := range nw.modsOnBus {
+		if !slices.Equal(nw.modsOnBus[i], other.modsOnBus[i]) {
+			return false
 		}
 	}
 	return true
@@ -553,14 +639,4 @@ func (nw *Network) String() string {
 		s += fmt.Sprintf(" [failed buses %v]", nw.failedBuses)
 	}
 	return s
-}
-
-// sortInts is a tiny insertion sort; failure lists are short and this
-// avoids importing sort for one call site.
-func sortInts(xs []int) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j-1] > xs[j]; j-- {
-			xs[j-1], xs[j] = xs[j], xs[j-1]
-		}
-	}
 }

@@ -8,6 +8,8 @@ import (
 	"math/rand"
 	"strconv"
 	"strings"
+
+	"multibus/internal/textio"
 )
 
 // Trace file format (plain text, line-oriented):
@@ -46,61 +48,54 @@ func WriteTrace(w io.Writer, n, m int, cycles [][]Request) error {
 
 // ReadTrace parses a trace file and returns its dimensions and per-cycle
 // requests. Validation (index ranges, duplicate processors per cycle) is
-// deferred to NewTrace.
+// deferred to NewTrace. Lines have no length limit (textio replaces the
+// bufio.Scanner this used, whose 64KB token cap broke traces carrying
+// very long comment or hand-edited lines).
 func ReadTrace(r io.Reader) (n, m int, cycles [][]Request, err error) {
-	sc := bufio.NewScanner(r)
 	sawHeader := false
-	line := 0
-	for sc.Scan() {
-		line++
-		text := sc.Text()
-		if i := strings.IndexByte(text, '#'); i >= 0 {
-			text = text[:i]
-		}
-		text = strings.TrimSpace(text)
-		if text == "" {
-			continue
-		}
+	err = textio.EachDataLine(r, func(line int, text string) error {
 		switch {
 		case strings.HasPrefix(text, "n="):
 			fields := strings.Fields(text)
 			if len(fields) != 2 || !strings.HasPrefix(fields[1], "m=") {
-				return 0, 0, nil, fmt.Errorf("%w: line %d: want \"n=<int> m=<int>\"", ErrBadTrace, line)
+				return fmt.Errorf("%w: line %d: want \"n=<int> m=<int>\"", ErrBadTrace, line)
 			}
-			n, err = strconv.Atoi(fields[0][2:])
-			if err != nil {
-				return 0, 0, nil, fmt.Errorf("%w: line %d: %v", ErrBadTrace, line, err)
+			var aerr error
+			n, aerr = strconv.Atoi(fields[0][2:])
+			if aerr != nil {
+				return fmt.Errorf("%w: line %d: %v", ErrBadTrace, line, aerr)
 			}
-			m, err = strconv.Atoi(fields[1][2:])
-			if err != nil {
-				return 0, 0, nil, fmt.Errorf("%w: line %d: %v", ErrBadTrace, line, err)
+			m, aerr = strconv.Atoi(fields[1][2:])
+			if aerr != nil {
+				return fmt.Errorf("%w: line %d: %v", ErrBadTrace, line, aerr)
 			}
 			sawHeader = true
 		case text == "cycle":
 			if !sawHeader {
-				return 0, 0, nil, fmt.Errorf("%w: line %d: cycle before header", ErrBadTrace, line)
+				return fmt.Errorf("%w: line %d: cycle before header", ErrBadTrace, line)
 			}
 			cycles = append(cycles, nil)
 		default:
 			if !sawHeader || len(cycles) == 0 {
-				return 0, 0, nil, fmt.Errorf("%w: line %d: request outside a cycle", ErrBadTrace, line)
+				return fmt.Errorf("%w: line %d: request outside a cycle", ErrBadTrace, line)
 			}
 			fields := strings.Fields(text)
 			if len(fields) != 2 {
-				return 0, 0, nil, fmt.Errorf("%w: line %d: want \"<processor> <module>\"", ErrBadTrace, line)
+				return fmt.Errorf("%w: line %d: want \"<processor> <module>\"", ErrBadTrace, line)
 			}
-			p, err := strconv.Atoi(fields[0])
-			if err != nil {
-				return 0, 0, nil, fmt.Errorf("%w: line %d: %v", ErrBadTrace, line, err)
+			p, perr := strconv.Atoi(fields[0])
+			if perr != nil {
+				return fmt.Errorf("%w: line %d: %v", ErrBadTrace, line, perr)
 			}
-			j, err := strconv.Atoi(fields[1])
-			if err != nil {
-				return 0, 0, nil, fmt.Errorf("%w: line %d: %v", ErrBadTrace, line, err)
+			j, jerr := strconv.Atoi(fields[1])
+			if jerr != nil {
+				return fmt.Errorf("%w: line %d: %v", ErrBadTrace, line, jerr)
 			}
 			cycles[len(cycles)-1] = append(cycles[len(cycles)-1], Request{Processor: p, Module: j})
 		}
-	}
-	if err := sc.Err(); err != nil {
+		return nil
+	})
+	if err != nil {
 		return 0, 0, nil, err
 	}
 	if !sawHeader {

@@ -159,3 +159,41 @@ func TestRecordAndReplayEquivalence(t *testing.T) {
 		t.Error("zero cycles should error")
 	}
 }
+
+// TestTraceRoundTripLarge pins the large-input fix: a trace over
+// M=50000 modules whose file carries a single line longer than
+// bufio.Scanner's 64KB default token cap (which used to fail ReadTrace
+// with "token too long" on hand-edited traces).
+func TestTraceRoundTripLarge(t *testing.T) {
+	const n, m = 50000, 50000
+	// One cycle in which every processor requests its own module, plus
+	// an empty cycle.
+	reqs := make([]Request, n)
+	for p := range reqs {
+		reqs[p] = Request{Processor: p, Module: p}
+	}
+	cycles := [][]Request{reqs, nil}
+	var buf strings.Builder
+	if err := WriteTrace(&buf, n, m, cycles); err != nil {
+		t.Fatal(err)
+	}
+	// A >64KB comment line must be skipped, not kill the parse.
+	long := "# " + strings.Repeat("x", 100_000) + "\n"
+	input := long + buf.String()
+	gotN, gotM, gotCycles, err := ReadTrace(strings.NewReader(input))
+	if err != nil {
+		t.Fatalf("ReadTrace at M=%d: %v", m, err)
+	}
+	if gotN != n || gotM != m {
+		t.Fatalf("dims %d×%d, want %d×%d", gotN, gotM, n, m)
+	}
+	if len(gotCycles) != 2 || len(gotCycles[0]) != n || len(gotCycles[1]) != 0 {
+		t.Fatalf("cycles %d/%d/%d, want 2 cycles of %d and 0 requests",
+			len(gotCycles), len(gotCycles[0]), len(gotCycles[1]), n)
+	}
+	for p := 0; p < n; p += 9973 {
+		if gotCycles[0][p] != (Request{Processor: p, Module: p}) {
+			t.Fatalf("cycle 0 request %d = %+v", p, gotCycles[0][p])
+		}
+	}
+}
