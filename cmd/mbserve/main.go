@@ -16,27 +16,35 @@
 // Endpoints: POST /v1/analyze, /v1/simulate, /v1/sweep, /v1/batch,
 // /v1/jobs (async sweep/batch with status polling, cursor-paged
 // results, NDJSON/SSE streaming, and cancellation under /v1/jobs/{id});
-// GET /healthz, /metrics (Prometheus text), /debug/vars (expvar JSON),
-// /debug/pprof/. The full contract lives in api/openapi.yaml.
-// Structured access logs go to stderr; tune them with -log-level and
-// -log-format. The server drains in-flight requests on SIGINT/SIGTERM
-// before exiting; /healthz answers 503 draining during the drain window
-// so load balancers stop routing here, and the job store drains after
-// request traffic stops (queued jobs canceled, running jobs given the
-// remaining budget).
+// GET /healthz, /readyz, /metrics (Prometheus text), /debug/vars
+// (expvar JSON), /debug/pprof/. The full contract lives in
+// api/openapi.yaml. Structured access logs go to stderr; tune them with
+// -log-level and -log-format. The server drains in-flight requests on
+// SIGINT/SIGTERM before exiting; /healthz answers 503 draining during
+// the drain window so load balancers stop routing here, and the job
+// store drains after request traffic stops (queued jobs canceled,
+// running jobs given the remaining budget).
 //
 // The robustness layer is tunable: -admit bounds concurrent compute (in
 // admission units — see the README's Robustness section), -queue bounds
 // the wait queue behind it (full queue sheds 429 + Retry-After),
 // -fresh-ttl and -stale-ttl control stale-while-revalidate degradation.
 //
-// Cluster mode (README "Cluster mode", DESIGN.md §14): start every
-// instance with the same -peers list and its own -self URL, and
-// evaluations route to each key's consistent-hash owner, joining the
-// owner's singleflight so identical requests anywhere in the cluster
-// compute once. Add -coordinator to make an instance partition sweep
-// grids across the ring. A single-instance deployment omits all three
-// flags and pays no cluster overhead.
+// Cluster mode (README "Cluster mode", DESIGN.md §14, §16): start each
+// instance with its own -self URL plus either a shared -peers seed list
+// or -join with any running member's URL, and evaluations route to each
+// key's consistent-hash owner, joining the owner's singleflight so
+// identical requests anywhere in the cluster compute once. Membership
+// is elastic: a background prober (period -probe-interval) suspects,
+// confirms, and evicts peers that stop answering /healthz, joiners
+// announce themselves into the ring, and every ring transition warms
+// the new owners via cache handoff (bounded by -handoff-max). Any
+// instance partitions the sweep grids it serves across the ring;
+// -coordinator is accepted for compatibility. GET /readyz answers 503
+// until the initial membership snapshot and handoff pull are done —
+// point load-balancer readiness there, liveness at /healthz. A
+// single-instance deployment omits the cluster flags and pays no
+// cluster overhead.
 // The hidden -chaos flag injects seeded faults (latency, errors,
 // panics) into every computation for resilience testing — e.g.
 // -chaos "latency=2s,latencyRate=1,seed=7" — and must never be set in
@@ -65,22 +73,25 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
-		cacheSize  = flag.Int("cache-size", service.DefaultCacheSize, "analysis cache capacity (entries)")
-		timeout    = flag.Duration("timeout", service.DefaultTimeout, "per-request computation deadline")
-		maxBody    = flag.Int64("max-body", service.DefaultMaxBodyBytes, "request body size limit (bytes)")
-		drain      = flag.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
-		admit      = flag.Int("admit", 0, "admission limit in compute units (0 = 2×GOMAXPROCS, min 4)")
-		queue      = flag.Int("queue", 0, "admission wait-queue depth (0 = default, negative = shed immediately)")
-		freshTTL   = flag.Duration("fresh-ttl", 0, "cache freshness horizon before revalidation (0 = default, negative = never)")
-		staleTTL   = flag.Duration("stale-ttl", 0, "max age of stale answers served on compute failure (0 = default, negative = disabled)")
-		jobsMax    = flag.Int("jobs", 0, "max resident async jobs (0 = default, negative = disable the /v1/jobs surface)")
-		jobResults = flag.Int("job-results-cap", 0, "retained result records per job for pagination/replay (0 = default)")
-		chaosSpec  = flag.String("chaos", "", "fault injection spec, e.g. \"latency=2s,latencyRate=1,seed=7\" (testing only)")
-		peers      = flag.String("peers", "", "comma-separated base URLs of every cluster instance, self included (empty = single instance)")
-		self       = flag.String("self", "", "this instance's own base URL, byte-equal to its -peers entry (required with -peers)")
-		coord      = flag.Bool("coordinator", false, "partition sweep grids across the -peers ring by key ownership")
-		logFlags   = cliutil.RegisterLogFlags(flag.CommandLine)
+		addr          = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		cacheSize     = flag.Int("cache-size", service.DefaultCacheSize, "analysis cache capacity (entries)")
+		timeout       = flag.Duration("timeout", service.DefaultTimeout, "per-request computation deadline")
+		maxBody       = flag.Int64("max-body", service.DefaultMaxBodyBytes, "request body size limit (bytes)")
+		drain         = flag.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
+		admit         = flag.Int("admit", 0, "admission limit in compute units (0 = 2×GOMAXPROCS, min 4)")
+		queue         = flag.Int("queue", 0, "admission wait-queue depth (0 = default, negative = shed immediately)")
+		freshTTL      = flag.Duration("fresh-ttl", 0, "cache freshness horizon before revalidation (0 = default, negative = never)")
+		staleTTL      = flag.Duration("stale-ttl", 0, "max age of stale answers served on compute failure (0 = default, negative = disabled)")
+		jobsMax       = flag.Int("jobs", 0, "max resident async jobs (0 = default, negative = disable the /v1/jobs surface)")
+		jobResults    = flag.Int("job-results-cap", 0, "retained result records per job for pagination/replay (0 = default)")
+		chaosSpec     = flag.String("chaos", "", "fault injection spec, e.g. \"latency=2s,latencyRate=1,seed=7\" (testing only)")
+		peers         = flag.String("peers", "", "comma-separated base URLs seeding the cluster membership (empty = single instance)")
+		self          = flag.String("self", "", "this instance's own base URL (required with -peers or -join)")
+		join          = flag.String("join", "", "base URL of a running cluster member to join through (alternative to -peers)")
+		coord         = flag.Bool("coordinator", false, "accepted for compatibility; every instance now partitions the sweeps it serves")
+		probeInterval = flag.Duration("probe-interval", 0, "membership health-probe period, jittered ±25% (0 = default 1s)")
+		handoffMax    = flag.Int("handoff-max", 0, "max cache entries per warm handoff transfer (0 = default, negative = disabled)")
+		logFlags      = cliutil.RegisterLogFlags(flag.CommandLine)
 	)
 	flag.Parse()
 	logger, err := logFlags.Logger(os.Stderr)
@@ -89,10 +100,16 @@ func main() {
 		injector, err = buildInjector(logger, *chaosSpec)
 		var backend *cluster.Backend
 		if err == nil {
-			backend, err = buildCluster(logger, *peers, *self, *coord)
+			backend, err = buildCluster(logger, clusterFlags{
+				peers:         *peers,
+				self:          *self,
+				join:          *join,
+				coordinator:   *coord,
+				probeInterval: *probeInterval,
+			})
 		}
 		if err == nil {
-			err = run(logger, *addr, *drain, backend, service.Options{
+			err = run(logger, *addr, *drain, *join, backend, service.Options{
 				CacheSize:    *cacheSize,
 				Timeout:      *timeout,
 				MaxBodyBytes: *maxBody,
@@ -109,6 +126,7 @@ func main() {
 				Chaos:         injector,
 				JobsMax:       *jobsMax,
 				JobResultsCap: *jobResults,
+				HandoffMax:    *handoffMax,
 			})
 		}
 	}
@@ -137,38 +155,62 @@ func buildInjector(logger *slog.Logger, spec string) (*chaos.Injector, error) {
 	return in, nil
 }
 
+// clusterFlags bundles the cluster-mode flag values.
+type clusterFlags struct {
+	peers         string
+	self          string
+	join          string
+	coordinator   bool
+	probeInterval time.Duration
+}
+
 // buildCluster parses the cluster flags into a routing backend (nil
-// when -peers is empty: the single-instance path has no cluster layer
-// at all). The backend is injected as the service's compute backend;
-// its metrics register into the server's registry once New has built
-// it.
-func buildCluster(logger *slog.Logger, peers, self string, coordinator bool) (*cluster.Backend, error) {
-	if peers == "" {
-		if self != "" || coordinator {
-			return nil, errors.New("-self and -coordinator need -peers")
+// when neither -peers nor -join is given: the single-instance path has
+// no cluster layer at all). The backend owns a membership manager
+// seeded from -peers — or from just -self in -join mode, where the
+// actual peer set is adopted from the seed member once the listener is
+// up (see run). The backend is injected as the service's compute
+// backend; its metrics register into the server's registry once New
+// has built it.
+func buildCluster(logger *slog.Logger, cf clusterFlags) (*cluster.Backend, error) {
+	if cf.peers == "" && cf.join == "" {
+		if cf.self != "" || cf.coordinator {
+			return nil, errors.New("-self and -coordinator need -peers or -join")
 		}
 		return nil, nil
 	}
-	if self == "" {
-		return nil, errors.New("-peers needs -self (this instance's own URL from the list)")
+	if cf.self == "" {
+		return nil, errors.New("cluster mode needs -self (this instance's own URL)")
 	}
-	list := strings.Split(peers, ",")
-	for i := range list {
-		list[i] = strings.TrimSpace(list[i])
+	var list []string
+	if cf.peers != "" {
+		list = strings.Split(cf.peers, ",")
+		for i := range list {
+			list[i] = strings.TrimSpace(list[i])
+		}
 	}
-	b, err := cluster.New(cluster.Options{Self: self, Peers: list, Coordinator: coordinator})
+	mgr, err := cluster.NewManager(cluster.ManagerOptions{
+		Self:          cf.self,
+		Peers:         list,
+		ProbeInterval: cf.probeInterval,
+	})
 	if err != nil {
 		return nil, err
 	}
-	logger.Info("cluster mode", "self", self, "peers", len(b.Ring().Peers()), "coordinator", coordinator)
+	b, err := cluster.New(cluster.Options{Manager: mgr})
+	if err != nil {
+		return nil, err
+	}
+	logger.Info("cluster mode", "self", cf.self, "peers", len(b.Ring().Peers()), "join", cf.join != "")
 	return b, nil
 }
 
 // run starts the server and blocks until a termination signal has been
 // handled. It is separated from main for testability.
-func run(logger *slog.Logger, addr string, drain time.Duration, backend *cluster.Backend, opts service.Options) error {
+func run(logger *slog.Logger, addr string, drain time.Duration, join string, backend *cluster.Backend, opts service.Options) error {
 	if backend != nil {
 		opts.Backend = backend
+		opts.Cluster = backend.Manager()
 	}
 	srv, err := service.New(opts)
 	if err != nil {
@@ -200,17 +242,40 @@ func run(logger *slog.Logger, addr string, drain time.Duration, backend *cluster
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 
+	if backend != nil {
+		// Cluster startup, in order: join through the seed member (if
+		// -join), arm the handoff-on-transition subscription plus the
+		// initial pull that opens /readyz, then start the health prober.
+		// All after the listener is up — peers probe and pull back.
+		if join != "" {
+			joinCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+			if err := backend.Manager().Join(joinCtx, join); err != nil {
+				logger.Warn("cluster join failed; continuing with local view", "seed", join, "err", err)
+			}
+			cancel()
+		}
+		srv.StartCluster(ctx)
+		backend.Manager().Start(ctx)
+	}
+
 	select {
 	case err := <-serveErr:
 		return err
 	case <-ctx.Done():
 	}
-	// Flip /healthz to 503 draining before Shutdown so load balancers
-	// stop sending new work while in-flight requests finish. The
-	// lame-duck pause keeps the listener accepting while health checks
-	// fail — Shutdown closes the listener immediately, and a balancer
-	// that never observes the 503 would keep routing here until its
-	// connections start being refused.
+	// Graceful departure first: push the hot working set to the ring
+	// successors and announce the leave while this instance still
+	// answers probes — then flip /healthz to 503 draining before
+	// Shutdown so load balancers stop sending new work while in-flight
+	// requests finish. The lame-duck pause keeps the listener accepting
+	// while health checks fail — Shutdown closes the listener
+	// immediately, and a balancer that never observes the 503 would
+	// keep routing here until its connections start being refused.
+	if backend != nil {
+		leaveCtx, cancel := context.WithTimeout(context.Background(), drain/2)
+		srv.LeaveCluster(leaveCtx)
+		cancel()
+	}
 	srv.BeginDrain()
 	logger.Info("shutting down", "drain", drain)
 	lameDuck := 500 * time.Millisecond

@@ -1,0 +1,110 @@
+package cache
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// fill inserts keys via Do so entries carry real generations/timestamps.
+func fill(t *testing.T, c *Cache, keys ...string) {
+	t.Helper()
+	for _, k := range keys {
+		key := k
+		if _, _, err := c.Do(context.Background(), key, func() (any, error) { return "v:" + key, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestHotOrderAndLimit(t *testing.T) {
+	c, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(t, c, "a", "b", "c")
+	// Touch "a" so recency order becomes a, c, b.
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a not resident")
+	}
+	got := c.Hot(0)
+	want := []string{"a", "c", "b"}
+	if len(got) != len(want) {
+		t.Fatalf("Hot(0) returned %d entries, want %d", len(got), len(want))
+	}
+	for i, e := range got {
+		if e.Key != want[i] {
+			t.Errorf("Hot(0)[%d].Key = %q, want %q", i, e.Key, want[i])
+		}
+		if e.Gen != 1 || e.Age < 0 {
+			t.Errorf("Hot(0)[%d] = gen %d age %v, want gen 1 and age ≥ 0", i, e.Gen, e.Age)
+		}
+	}
+	if lim := c.Hot(2); len(lim) != 2 || lim[0].Key != "a" || lim[1].Key != "c" {
+		t.Errorf("Hot(2) = %v, want the two most recent entries a, c", lim)
+	}
+	// Exporting must not perturb eviction order: b is still the LRU tail.
+	before := c.Hot(0)
+	after := c.Hot(0)
+	for i := range before {
+		if before[i].Key != after[i].Key {
+			t.Fatal("Hot changed recency order")
+		}
+	}
+}
+
+func TestAbsorbFresherWins(t *testing.T) {
+	c, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Now()
+	c.now = func() time.Time { return base }
+	fill(t, c, "k")
+
+	// An older import must not displace the resident value.
+	if c.Absorb("k", "older", 5*time.Minute) {
+		t.Error("Absorb replaced a fresher resident entry")
+	}
+	if v, _ := c.Get("k"); v != "v:k" {
+		t.Errorf("resident value = %v, want the original", v)
+	}
+	// A strictly newer import replaces it and bumps the generation.
+	c.now = func() time.Time { return base.Add(time.Minute) }
+	if !c.Absorb("k", "newer", 0) {
+		t.Fatal("Absorb rejected a fresher import")
+	}
+	hot := c.Hot(1)
+	if hot[0].Key != "k" || hot[0].Value != "newer" || hot[0].Gen != 2 {
+		t.Errorf("after absorb: %+v, want newer value at gen 2", hot[0])
+	}
+	// Insert of an absent key lands at gen 1 with the carried age.
+	if !c.Absorb("fresh", "x", 30*time.Second) {
+		t.Fatal("Absorb rejected an absent key")
+	}
+	for _, e := range c.Hot(0) {
+		if e.Key == "fresh" && (e.Gen != 1 || e.Age < 29*time.Second) {
+			t.Errorf("absorbed entry = gen %d age %v, want gen 1 with the source age", e.Gen, e.Age)
+		}
+	}
+}
+
+func TestAbsorbRespectsCapacity(t *testing.T) {
+	c, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(t, c, "a", "b")
+	if !c.Absorb("c", 1, 0) {
+		t.Fatal("Absorb rejected")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d after absorb into a full cache, want 2", c.Len())
+	}
+	if c.Stats().Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", c.Stats().Evictions)
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Error("LRU tail survived an absorb past capacity")
+	}
+}

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
@@ -31,16 +32,16 @@ type Options struct {
 	// Self is this instance's own base URL exactly as it appears in
 	// Peers — byte-equal, since ownership comparison is string equality.
 	Self string
-	// Peers is the full cluster membership, Self included. Every
-	// instance must be started with the same set (order irrelevant) so
-	// all rings agree.
+	// Peers seeds the initial membership, Self included. With elastic
+	// membership the set is a starting point, not a contract: peers that
+	// die are evicted by the prober and instances started with -join
+	// announce themselves into a running cluster.
 	Peers []string
 	// Vnodes is the ring's virtual-node count per peer (0 = DefaultVnodes).
 	Vnodes int
-	// Coordinator enables whole-grid sweep partitioning: sweeps and
-	// sweep jobs served by this instance are split across the ring by
-	// per-point key ownership. Non-coordinators evaluate sweeps locally
-	// and only forward single-scenario evaluations.
+	// Coordinator is accepted for compatibility and ignored: since
+	// coordinator failover, every instance partitions the sweeps it
+	// serves (the hop guard alone prevents forwarding loops).
 	Coordinator bool
 	// Local is the fallback/owned-key backend (nil = compute.Local()).
 	Local compute.Backend
@@ -50,6 +51,10 @@ type Options struct {
 	// (0 = the defaults above).
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
+	// Manager supplies an externally built membership manager (the
+	// -join / health-probing path). Nil builds a static-seeded one from
+	// Self/Peers/Vnodes/HTTP.
+	Manager *Manager
 }
 
 // Backend is the routing compute.Backend: every evaluation is keyed by
@@ -62,34 +67,56 @@ type Options struct {
 // peer's breaker only, failing its shard over to local compute until
 // the cooldown admits a probe.
 //
-// Backend also implements compute.BatchSweeper: in Coordinator mode a
-// sweep grid is partitioned by per-point ownership, shards stream back
-// concurrently, and points merge by grid index — deterministic order,
-// byte-identical to a single-instance sweep.
+// The ring is no longer static: routing reads the membership manager's
+// current snapshot, so ownership follows evictions, joins, and leaves
+// without any Backend-level locking (snapshots are immutable and
+// published through an atomic pointer).
+//
+// Backend also implements compute.BatchSweeper: any instance serving a
+// sweep partitions the grid by per-point key ownership under the
+// snapshot current at submission, shards stream back concurrently, and
+// points merge by grid index — deterministic order, byte-identical to a
+// single-instance sweep. A ring transition mid-sweep re-partitions only
+// the indices the old owners failed to deliver.
 type Backend struct {
-	self        string
-	ring        *Ring
-	coordinator bool
-	local       compute.Backend
-	client      *Client
+	self    string
+	manager *Manager
+	local   compute.Backend
+	client  *Client
+
+	brThreshold int
+	brCooldown  time.Duration
+	bmu         sync.Mutex
 	breakers    map[string]*breaker
-	reg         atomic.Pointer[registryHook]
+
+	reg atomic.Pointer[registryHook]
 }
 
-// New builds the routing backend. Self must be a member of Peers.
+// New builds the routing backend. Without an external Manager, Self
+// must be a member of Peers (byte-equal) — the historical static
+// contract, kept to catch address typos early.
 func New(opts Options) (*Backend, error) {
-	ring, err := NewRing(opts.Peers, opts.Vnodes)
-	if err != nil {
-		return nil, err
-	}
-	member := false
-	for _, p := range ring.Peers() {
-		if p == opts.Self {
-			member = true
+	mgr := opts.Manager
+	if mgr == nil {
+		member := false
+		for _, p := range opts.Peers {
+			if p == opts.Self {
+				member = true
+			}
 		}
-	}
-	if !member {
-		return nil, fmt.Errorf("cluster: self %q is not in the peer list", opts.Self)
+		if !member {
+			return nil, fmt.Errorf("cluster: self %q is not in the peer list", opts.Self)
+		}
+		var err error
+		mgr, err = NewManager(ManagerOptions{
+			Self:   opts.Self,
+			Peers:  opts.Peers,
+			Vnodes: opts.Vnodes,
+			HTTP:   opts.HTTP,
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 	local := opts.Local
 	if local == nil {
@@ -103,24 +130,38 @@ func New(opts Options) (*Backend, error) {
 	if cooldown == 0 {
 		cooldown = DefaultBreakerCooldown
 	}
-	b := &Backend{
-		self:        opts.Self,
-		ring:        ring,
-		coordinator: opts.Coordinator,
+	return &Backend{
+		self:        mgr.Self(),
+		manager:     mgr,
 		local:       local,
-		client:      &Client{HTTP: opts.HTTP, Self: opts.Self},
-		breakers:    make(map[string]*breaker, len(ring.Peers())),
-	}
-	for _, p := range ring.Peers() {
-		if p != opts.Self {
-			b.breakers[p] = &breaker{threshold: threshold, cooldown: cooldown}
-		}
-	}
-	return b, nil
+		client:      mgr.Client(),
+		brThreshold: threshold,
+		brCooldown:  cooldown,
+		breakers:    make(map[string]*breaker),
+	}, nil
 }
 
-// Ring exposes the backend's hash ring (tests and gauges read it).
-func (b *Backend) Ring() *Ring { return b.ring }
+// Ring exposes the current membership ring (tests and gauges read it).
+func (b *Backend) Ring() *Ring { return b.manager.Snapshot().Ring }
+
+// Manager exposes the backend's membership manager.
+func (b *Backend) Manager() *Manager { return b.manager }
+
+// breakerFor returns peer's breaker, creating it on first contact —
+// the ring is dynamic, so the peer set is open-ended.
+func (b *Backend) breakerFor(peer string) *breaker {
+	b.bmu.Lock()
+	br, ok := b.breakers[peer]
+	if !ok {
+		br = &breaker{threshold: b.brThreshold, cooldown: b.brCooldown}
+		b.breakers[peer] = br
+		b.bmu.Unlock()
+		b.registerBreakerGauge(peer)
+		return br
+	}
+	b.bmu.Unlock()
+	return br
+}
 
 // route decides whether key's evaluation should be forwarded, returning
 // the owning peer when so. Forwarded requests (the hop guard), keys this
@@ -130,11 +171,11 @@ func (b *Backend) route(ctx context.Context, key string) (string, bool) {
 	if compute.Forwarded(ctx) {
 		return "", false
 	}
-	owner := b.ring.Owner(key)
+	owner := b.manager.Owner(key)
 	if owner == b.self {
 		return "", false
 	}
-	if !b.breakers[owner].Allow() {
+	if !b.breakerFor(owner).Allow() {
 		b.countPeer(owner, "open")
 		return "", false
 	}
@@ -142,15 +183,23 @@ func (b *Backend) route(ctx context.Context, key string) (string, bool) {
 }
 
 // settle records a forward's outcome against the peer's breaker and
-// metrics, and reports whether the forwarded result is usable.
+// metrics, and reports whether the forwarded result is usable. Status
+// errors are labeled with the peer's envelope code (or http_<status>)
+// so dashboards can tell a shedding peer from a broken wire; transport
+// failures keep the plain "error" label.
 func (b *Backend) settle(peer string, err error) bool {
-	br := b.breakers[peer]
+	br := b.breakerFor(peer)
 	if err == nil {
 		br.Success()
 		b.countPeer(peer, "ok")
 		return true
 	}
-	b.countPeer(peer, "error")
+	var se *StatusError
+	if errors.As(err, &se) {
+		b.countPeer(peer, se.Result())
+	} else {
+		b.countPeer(peer, "error")
+	}
 	if transient(err) {
 		br.Failure()
 	} else {
@@ -193,44 +242,44 @@ func (b *Backend) SweepPoint(ctx context.Context, jb compute.PointJob) (compute.
 	return b.local.SweepPoint(ctx, jb)
 }
 
-// SweepBatch implements compute.BatchSweeper. Coordinator instances
-// partition the grid by per-point key ownership: each remote shard
-// streams back concurrently while this instance evaluates its own
-// shard; indices a peer failed (per-point errors, truncated streams,
-// dead peers) are retried locally, so a lost peer degrades throughput
-// on its shard only — the merged result is complete and byte-identical
-// to a single-instance sweep either way.
-func (b *Backend) SweepBatch(ctx context.Context, batch compute.SweepBatch) error {
-	if !b.coordinator || compute.Forwarded(ctx) {
-		return b.evalLocal(ctx, batch, nil, true)
-	}
+// partition splits grid indices (all of batch when idxs is nil) by ring
+// ownership: remote shards per owning peer, plus the locally evaluated
+// rest (self-owned keys and keys whose owner's breaker is open).
+func (b *Backend) partition(ring *Ring, batch compute.SweepBatch, idxs []int) (map[string][]int, []int) {
 	shards := make(map[string][]int)
-	var localIdx []int
-	for i := range batch.Jobs {
-		key := batch.Jobs[i].Key()
-		owner := b.ring.Owner(key)
-		if owner == b.self || !b.breakers[owner].Allow() {
+	var local []int
+	assign := func(i int) {
+		owner := ring.Owner(batch.Jobs[i].Key())
+		if owner == b.self || !b.breakerFor(owner).Allow() {
 			if owner != b.self {
 				b.countPeer(owner, "open")
 			}
-			localIdx = append(localIdx, i)
-			continue
+			local = append(local, i)
+			return
 		}
 		shards[owner] = append(shards[owner], i)
 	}
-	var (
-		mu      sync.Mutex
-		retry   []int
-		wg      sync.WaitGroup
-		seen    = make([]atomic.Bool, len(batch.Jobs))
-		emitted = func(global int, pt compute.Point) {
-			// A duplicate or out-of-range index from a confused peer must
-			// not double-emit a grid slot.
-			if global < 0 || global >= len(batch.Jobs) || seen[global].Swap(true) {
-				return
-			}
-			batch.Emit(global, pt)
+	if idxs == nil {
+		for i := range batch.Jobs {
+			assign(i)
 		}
+	} else {
+		for _, i := range idxs {
+			assign(i)
+		}
+	}
+	return shards, local
+}
+
+// fanOut streams every shard through its peer concurrently, emitting
+// delivered points through emit (global grid index), and returns the
+// indices the peers failed to deliver — per-point errors, truncated
+// streams, dead peers. Blocks until every shard settles.
+func (b *Backend) fanOut(ctx context.Context, batch compute.SweepBatch, shards map[string][]int, emit func(int, compute.Point)) []int {
+	var (
+		mu    sync.Mutex
+		retry []int
+		wg    sync.WaitGroup
 	)
 	for peer, idxs := range shards {
 		wg.Add(1)
@@ -252,7 +301,7 @@ func (b *Backend) SweepBatch(ctx context.Context, batch compute.SweepBatch) erro
 						return
 					}
 					done[rec.Index] = true
-					emitted(chunk[rec.Index], *rec.Point)
+					emit(chunk[rec.Index], *rec.Point)
 				})
 				b.settle(peer, err)
 				mu.Lock()
@@ -264,7 +313,7 @@ func (b *Backend) SweepBatch(ctx context.Context, batch compute.SweepBatch) erro
 				mu.Unlock()
 				if err != nil && transient(err) {
 					// The peer (or the path to it) is gone; fail the rest of
-					// its shard straight to the local retry pass instead of
+					// its shard straight to the retry pass instead of
 					// hammering a dead endpoint chunk by chunk.
 					mu.Lock()
 					retry = append(retry, idxs...)
@@ -274,13 +323,58 @@ func (b *Backend) SweepBatch(ctx context.Context, batch compute.SweepBatch) erro
 			}
 		}(peer, idxs)
 	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	return retry
+}
+
+// SweepBatch implements compute.BatchSweeper. Any instance serving a
+// sweep coordinates it (failover: there is no designated coordinator to
+// lose): the grid is partitioned by per-point key ownership under the
+// membership snapshot current at submission, each remote shard streams
+// back concurrently while this instance evaluates its own shard, and
+// indices a peer failed to deliver are retried. If the ring transitions
+// mid-sweep — a peer evicted, joined, or left while shards were in
+// flight — the failed indices are re-partitioned once under the new
+// ring (their new owners are warm by handoff), then anything still
+// missing recomputes locally. Either way the merged result is complete
+// and byte-identical to a single-instance sweep, and no grid index is
+// ever emitted twice.
+func (b *Backend) SweepBatch(ctx context.Context, batch compute.SweepBatch) error {
+	if compute.Forwarded(ctx) {
+		return b.evalLocal(ctx, batch, nil, true)
+	}
+	snap := b.manager.Snapshot()
+	shards, localIdx := b.partition(snap.Ring, batch, nil)
+	seen := make([]atomic.Bool, len(batch.Jobs))
+	emit := func(global int, pt compute.Point) {
+		// A duplicate or out-of-range index from a confused peer must
+		// not double-emit a grid slot.
+		if global < 0 || global >= len(batch.Jobs) || seen[global].Swap(true) {
+			return
+		}
+		batch.Emit(global, pt)
+	}
 	// This instance's own shard evaluates while the remote shards
 	// stream; its first error aborts the sweep exactly as a local run's
 	// would.
-	localErr := b.evalLocal(ctx, batch, localIdx, false)
-	wg.Wait()
-	if localErr != nil {
+	localCh := make(chan error, 1)
+	go func() { localCh <- b.evalLocal(ctx, batch, localIdx, false) }()
+	retry := b.fanOut(ctx, batch, shards, emit)
+	if localErr := <-localCh; localErr != nil {
 		return localErr
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if len(retry) > 0 {
+		if cur := b.manager.Snapshot(); cur.Version != snap.Version {
+			// Mid-sweep ring transition: only the undelivered indices
+			// re-partition under the new ring, for one extra remote round.
+			shards2, local2 := b.partition(cur.Ring, batch, retry)
+			retry = append(b.fanOut(ctx, batch, shards2, emit), local2...)
+		}
 	}
 	if err := ctx.Err(); err != nil {
 		return err
@@ -288,10 +382,7 @@ func (b *Backend) SweepBatch(ctx context.Context, batch compute.SweepBatch) erro
 	// Failed-over indices recompute locally: deterministic evaluation
 	// means the retried points are byte-identical to what the dead peer
 	// would have returned.
-	mu.Lock()
-	failed := retry
-	mu.Unlock()
-	return b.evalLocal(ctx, batch, failed, false)
+	return b.evalLocal(ctx, batch, retry, false)
 }
 
 // evalLocal evaluates grid indices on the local worker pool through the
@@ -325,7 +416,9 @@ func (b *Backend) evalLocal(ctx context.Context, batch compute.SweepBatch, idxs 
 // Healthy reports whether peer's breaker currently admits traffic
 // (true for unknown peers and self).
 func (b *Backend) Healthy(peer string) bool {
+	b.bmu.Lock()
 	br, ok := b.breakers[peer]
+	b.bmu.Unlock()
 	if !ok {
 		return true
 	}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"time"
 
 	"multibus/internal/compute"
@@ -22,14 +23,56 @@ const retryBackoff = 50 * time.Millisecond
 // StatusError is a peer response with a non-200 status. 5xx statuses
 // count toward the peer's breaker; 4xx mean the peer is healthy and the
 // request itself was refused (the local fallback reproduces the same
-// classification).
+// classification). Code carries the machine-readable code parsed from
+// the v1 error envelope ({"error":{code,...}}) when the body was one —
+// it labels mbserve_peer_requests_total{result} so dashboards can tell
+// a shed peer from a broken one.
 type StatusError struct {
 	Status int
-	Body   string // first line of the error envelope, for logs
+	Code   string // envelope code ("" when the body was not an envelope)
+	Body   string // first line of the raw body, for logs
 }
 
 func (e *StatusError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("cluster: peer returned %d %s: %s", e.Status, e.Code, e.Body)
+	}
 	return fmt.Sprintf("cluster: peer returned %d: %s", e.Status, e.Body)
+}
+
+// Result renders the error's result label for peer-request metrics: the
+// envelope code when one was parsed, http_<status> otherwise.
+func (e *StatusError) Result() string {
+	if e.Code != "" {
+		return e.Code
+	}
+	return fmt.Sprintf("http_%d", e.Status)
+}
+
+// newStatusError captures a non-200 response body (bounded) and parses
+// the v1 envelope out of it.
+func newStatusError(resp *http.Response) *StatusError {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 2048))
+	resp.Body.Close()
+	se := &StatusError{Status: resp.StatusCode}
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if json.Unmarshal(raw, &env) == nil && env.Error.Code != "" {
+		se.Code = env.Error.Code
+		se.Body = env.Error.Message
+		return se
+	}
+	if line, _, _ := bytes.Cut(bytes.TrimSpace(raw), []byte("\n")); len(line) > 0 {
+		if len(line) > 512 {
+			line = line[:512]
+		}
+		se.Body = string(line)
+	}
+	return se
 }
 
 // transient reports whether err should count toward the peer's circuit
@@ -127,9 +170,40 @@ func (c *Client) post(ctx context.Context, peer, path string, body any) (*http.R
 		}
 	}
 	if resp.StatusCode != http.StatusOK {
-		line, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		resp.Body.Close()
-		return nil, &StatusError{Status: resp.StatusCode, Body: string(bytes.TrimSpace(line))}
+		return nil, newStatusError(resp)
+	}
+	return resp, nil
+}
+
+// get sends a hop-guarded GET to peer+path (query included in path),
+// retrying once on transport failure like post. Any non-200 is drained,
+// closed, and returned as a *StatusError.
+func (c *Client) get(ctx context.Context, peer, path string) (*http.Response, error) {
+	var (
+		resp *http.Response
+		err  error
+	)
+	for attempt := 0; ; attempt++ {
+		req, rerr := http.NewRequestWithContext(ctx, http.MethodGet, peer+path, nil)
+		if rerr != nil {
+			return nil, rerr
+		}
+		req.Header.Set(compute.ForwardedHeader, c.Self)
+		resp, err = c.httpClient().Do(req)
+		if err == nil {
+			break
+		}
+		if attempt > 0 || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(retryBackoff):
+		}
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, newStatusError(resp)
 	}
 	return resp, nil
 }
@@ -234,4 +308,98 @@ func (c *Client) SweepPoint(ctx context.Context, peer string, spec PointSpec) (c
 		return compute.Point{}, fmt.Errorf("cluster: peer %s returned no record for the point", peer)
 	}
 	return pt, nil
+}
+
+// Probe checks peer's liveness with one GET /healthz — deliberately
+// without the transport retry, so the membership state machine sees
+// every wire fault (hysteresis, not retries, is the flap filter). Any
+// non-200 (a draining peer's 503 included) is a failed probe.
+func (c *Client) Probe(ctx context.Context, peer string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set(compute.ForwardedHeader, c.Self)
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return newStatusError(resp)
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 512))
+	resp.Body.Close()
+	return nil
+}
+
+// MembershipView mirrors the service's membership response body (like
+// PointSpec mirrors ClusterPointSpec; parity pinned by tests).
+type MembershipView struct {
+	Version uint64            `json:"version"`
+	Peers   []string          `json:"peers"`
+	States  map[string]string `json:"states"`
+	Changed bool              `json:"changed"`
+}
+
+// membershipRequest is the body of POST /v1/cluster/membership.
+type membershipRequest struct {
+	Op        string `json:"op"`
+	Peer      string `json:"peer"`
+	Propagate bool   `json:"propagate"`
+}
+
+// ApplyMembership posts one join/leave application to peer and returns
+// the peer's resulting view.
+func (c *Client) ApplyMembership(ctx context.Context, peer, op, subject string, propagate bool) (MembershipView, error) {
+	var view MembershipView
+	err := c.postJSON(ctx, peer, "/v1/cluster/membership",
+		membershipRequest{Op: op, Peer: subject, Propagate: propagate}, &view)
+	return view, err
+}
+
+// PullHandoff streams peer's warm handoff entries for the given ring
+// fingerprint, invoking onEntry per NDJSON record, and returns how many
+// records arrived. The source filters to keys this client's instance
+// owns (the hop-guard header identifies the requester) and bounds the
+// stream by count and bytes; a fingerprint mismatch is a 409
+// *StatusError with code ring_mismatch.
+func (c *Client) PullHandoff(ctx context.Context, peer, ring string, onEntry func(compute.HandoffEntry)) (int, error) {
+	resp, err := c.get(ctx, peer, "/v1/cluster/handoff?ring="+url.QueryEscape(ring))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	dec := json.NewDecoder(resp.Body)
+	n := 0
+	for {
+		var e compute.HandoffEntry
+		if err := dec.Decode(&e); err != nil {
+			if errors.Is(err, io.EOF) {
+				return n, nil
+			}
+			return n, fmt.Errorf("cluster: handoff stream from %s: %w", peer, err)
+		}
+		n++
+		onEntry(e)
+	}
+}
+
+// handoffPush is the body of POST /v1/cluster/handoff.
+type handoffPush struct {
+	Entries []compute.HandoffEntry `json:"entries"`
+}
+
+// PushHandoff ships entries to peer's handoff import surface (the
+// graceful-leave drain path) and returns how many the peer absorbed.
+func (c *Client) PushHandoff(ctx context.Context, peer string, entries []compute.HandoffEntry) (int, error) {
+	if len(entries) == 0 {
+		return 0, nil
+	}
+	var out struct {
+		Absorbed int `json:"absorbed"`
+	}
+	if err := c.postJSON(ctx, peer, "/v1/cluster/handoff", handoffPush{Entries: entries}, &out); err != nil {
+		return 0, err
+	}
+	return out.Absorbed, nil
 }

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"multibus"
+	"multibus/internal/chaos"
 	"multibus/internal/cluster"
 	"multibus/internal/compute"
 	"multibus/internal/scenario"
@@ -34,8 +35,34 @@ type instance struct {
 	url      string
 	srv      *service.Server
 	backend  *cluster.Backend
+	mgr      *cluster.Manager
 	ts       *httptest.Server
 	computes atomic.Int64 // closed-form computations this instance ran
+}
+
+// clusterHarness holds the optional per-instance decorations the
+// failover tests need: wrapAnalyze hooks the closed-form seam,
+// wrapLocal the whole local backend (the sweep-point path does not go
+// through AnalyzeFunc), and httpFor overrides an instance's peer
+// transport (the chaos injection seam).
+type clusterHarness struct {
+	wrapAnalyze func(i int, fn compute.AnalyzeFunc) compute.AnalyzeFunc
+	wrapLocal   func(i int, b compute.Backend) compute.Backend
+	httpFor     func(i int) *http.Client
+}
+
+// localHook decorates one instance's local backend, running before
+// every sweep-point evaluation.
+type localHook struct {
+	compute.Backend
+	beforeSweepPoint func()
+}
+
+func (h *localHook) SweepPoint(ctx context.Context, jb compute.PointJob) (compute.Point, error) {
+	if h.beforeSweepPoint != nil {
+		h.beforeSweepPoint()
+	}
+	return h.Backend.SweepPoint(ctx, jb)
 }
 
 // startCluster boots n instances on loopback listeners sharing one
@@ -44,6 +71,10 @@ type instance struct {
 // them. wrapAnalyze, when non-nil, decorates each instance's analyze
 // seam (compute counting is always installed underneath it).
 func startCluster(t *testing.T, n, coordIdx int, wrapAnalyze func(i int, fn compute.AnalyzeFunc) compute.AnalyzeFunc) []*instance {
+	return startClusterH(t, n, coordIdx, clusterHarness{wrapAnalyze: wrapAnalyze})
+}
+
+func startClusterH(t *testing.T, n, coordIdx int, hz clusterHarness) []*instance {
 	t.Helper()
 	lns := make([]net.Listener, n)
 	urls := make([]string, n)
@@ -62,19 +93,30 @@ func startCluster(t *testing.T, n, coordIdx int, wrapAnalyze func(i int, fn comp
 			inst.computes.Add(1)
 			return multibus.AnalyzeContext(ctx, nw, model, r)
 		})
-		if wrapAnalyze != nil {
-			analyze = wrapAnalyze(i, analyze)
+		if hz.wrapAnalyze != nil {
+			analyze = hz.wrapAnalyze(i, analyze)
+		}
+		var local compute.Backend = compute.NewLocal(analyze, nil)
+		if hz.wrapLocal != nil {
+			local = hz.wrapLocal(i, local)
+		}
+		var httpClient *http.Client
+		if hz.httpFor != nil {
+			httpClient = hz.httpFor(i)
+		}
+		mgr, err := cluster.NewManager(cluster.ManagerOptions{Self: urls[i], Peers: urls, HTTP: httpClient})
+		if err != nil {
+			t.Fatal(err)
 		}
 		backend, err := cluster.New(cluster.Options{
-			Self:        urls[i],
-			Peers:       urls,
 			Coordinator: i == coordIdx,
-			Local:       compute.NewLocal(analyze, nil),
+			Local:       local,
+			Manager:     mgr,
 		})
 		if err != nil {
 			t.Fatal(err)
 		}
-		srv, err := service.New(service.Options{Backend: backend})
+		srv, err := service.New(service.Options{Backend: backend, Cluster: mgr})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -84,10 +126,49 @@ func startCluster(t *testing.T, n, coordIdx int, wrapAnalyze func(i int, fn comp
 		ts.Listener = lns[i]
 		ts.Start()
 		t.Cleanup(ts.Close)
-		inst.srv, inst.backend, inst.ts = srv, backend, ts
+		inst.srv, inst.backend, inst.mgr, inst.ts = srv, backend, mgr, ts
 		insts[i] = inst
 	}
 	return insts
+}
+
+// evictUntil drives probe rounds on m until peer is evicted — the
+// deterministic stand-in for the background prober (which the tests do
+// not start, so ring transitions happen exactly when a test asks).
+func evictUntil(t *testing.T, m *cluster.Manager, peer string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for m.MemberStates()[peer] != cluster.StateEvicted {
+		if time.Now().After(deadline) {
+			t.Fatalf("peer %s never evicted; states %v", peer, m.MemberStates())
+		}
+		m.ProbeOnce(context.Background())
+	}
+}
+
+// waitFingerprintsEqual polls until every manager reports the same
+// membership fingerprint — the converged-ring precondition for handoff.
+func waitFingerprintsEqual(t *testing.T, ms ...*cluster.Manager) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		fp, same := ms[0].Fingerprint(), true
+		for _, m := range ms[1:] {
+			if m.Fingerprint() != fp {
+				same = false
+			}
+		}
+		if same {
+			return
+		}
+		if time.Now().After(deadline) {
+			for _, m := range ms {
+				t.Logf("manager %s fingerprint %s peers %v", m.Self(), m.Fingerprint(), m.Peers())
+			}
+			t.Fatal("membership fingerprints never converged")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
 }
 
 // post sends body to url+path and returns status, X-Cache, and body.
@@ -446,6 +527,269 @@ func TestPeerDeathDegradesOnlyItsShard(t *testing.T) {
 	}
 	if ok := metricSum(t, insts[0].srv, "mbserve_peer_requests_total", `result="ok"`); ok < 1 {
 		t.Errorf("no successful forward to the surviving peer (ok = %v)", ok)
+	}
+}
+
+// TestSweepJobSurvivesPeerDeathMidSweep is the coordinator-failover
+// acceptance test: a partitioned sweep is submitted as an async job, a
+// peer dies while its shard is in flight, the prober evicts it (ring
+// transition mid-sweep), and the failed indices re-partition under the
+// new ring. The job's streamed records must be byte-identical to a
+// standalone sweep, the jobs publisher panics on any duplicate emission
+// (the correctness oracle — a panic fails the test), and the evicted
+// peer is visible in mbserve_membership_peers{state="evicted"}.
+func TestSweepJobSurvivesPeerDeathMidSweep(t *testing.T) {
+	standalone, err := service.New(service.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sts := httptest.NewServer(standalone.Handler())
+	defer sts.Close()
+	status, _, sweepBody := post(t, sts.URL, "/v1/sweep", clusterSweepBody)
+	if status != http.StatusOK {
+		t.Fatalf("standalone sweep = %d", status)
+	}
+	var want struct {
+		Points []json.RawMessage `json:"points"`
+	}
+	if err := json.Unmarshal(sweepBody, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	// The victim's sweep-point evaluation blocks until released, so its
+	// shard is deterministically in flight when the peer dies.
+	const victimIdx = 2
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var startOnce sync.Once
+	insts := startClusterH(t, 3, 0, clusterHarness{
+		wrapLocal: func(i int, b compute.Backend) compute.Backend {
+			if i != victimIdx {
+				return b
+			}
+			return &localHook{Backend: b, beforeSweepPoint: func() {
+				startOnce.Do(func() { close(started) })
+				<-release
+			}}
+		},
+	})
+	victim := insts[victimIdx]
+
+	status, _, jobBody := post(t, insts[0].url, "/v1/jobs", `{"sweep":`+clusterSweepBody+`}`)
+	if status != http.StatusAccepted && status != http.StatusOK {
+		t.Fatalf("job submit = %d: %s", status, jobBody)
+	}
+	var job struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(jobBody, &job); err != nil || job.ID == "" {
+		t.Fatalf("job submit body %s: %v", jobBody, err)
+	}
+	select {
+	case <-started:
+	case <-time.After(15 * time.Second):
+		t.Fatal("the victim never received a sweep shard")
+	}
+	// Kill the victim. Close shuts the listener immediately (probes start
+	// being refused) but blocks until the stalled handler returns, so it
+	// runs detached; the coordinator's shard stream stays open until the
+	// client connections are torn down below.
+	closed := make(chan struct{})
+	go func() { victim.ts.Close(); close(closed) }()
+	evictUntil(t, insts[0].mgr, victim.url)
+	// The ring has transitioned; now break the in-flight shard stream.
+	// The coordinator sees the transport failure, re-partitions exactly
+	// the undelivered indices under the post-eviction ring, and finishes.
+	victim.ts.CloseClientConnections()
+	close(release)
+	<-closed
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(insts[0].url + "/v1/jobs/" + job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var st struct {
+			State string `json:"state"`
+		}
+		if err := json.Unmarshal(b, &st); err != nil {
+			t.Fatalf("job status %s: %v", b, err)
+		}
+		if st.State == "succeeded" || st.State == "done" || st.State == "completed" {
+			break
+		}
+		if st.State == "failed" || st.State == "canceled" {
+			t.Fatalf("job ended in state %q: %s", st.State, b)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job still %q at deadline", st.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	resp, err := http.Get(insts[0].url + "/v1/jobs/" + job.ID + "/results?limit=1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var page struct {
+		Records []json.RawMessage `json:"records"`
+	}
+	if err := json.Unmarshal(b, &page); err != nil {
+		t.Fatalf("results page %s: %v", b, err)
+	}
+	if len(page.Records) != len(want.Points) {
+		t.Fatalf("job streamed %d records, standalone sweep has %d points", len(page.Records), len(want.Points))
+	}
+	for i := range page.Records {
+		if !bytes.Equal(bytes.TrimSpace(page.Records[i]), bytes.TrimSpace(want.Points[i])) {
+			t.Errorf("record %d = %s, want %s", i, page.Records[i], want.Points[i])
+		}
+	}
+	if got := metricSum(t, insts[0].srv, "mbserve_membership_peers", `state="evicted"`); got != 1 {
+		t.Errorf("mbserve_membership_peers{state=\"evicted\"} = %v, want 1", got)
+	}
+	if v := metricSum(t, insts[0].srv, "mbserve_ring_version"); v < 2 {
+		t.Errorf("mbserve_ring_version = %v, want >= 2 after the eviction", v)
+	}
+}
+
+// TestEvictedPeerRejoinsWithWarmHandoff is the elastic-membership
+// acceptance test: a key's owner dies and is evicted, a fresh instance
+// on the same address joins back through a seed member, pulls the warm
+// handoff for the keys it now owns (a surviving peer still holds the
+// forwarded copy), and then serves a repeat of the previously cached
+// request as a byte-identical X-Cache hit without recomputing.
+func TestEvictedPeerRejoinsWithWarmHandoff(t *testing.T) {
+	insts := startCluster(t, 3, -1, nil)
+	victim := insts[2]
+
+	// A body whose analyze key the victim owns, warmed through a
+	// non-owner: the forward caches the answer on both the entry
+	// instance and the owner.
+	var body string
+	for i := 1; i < 1000 && body == ""; i++ {
+		b, key := analyzeScenarioAt(t, float64(i)/1000)
+		if insts[0].mgr.Owner(key) == victim.url {
+			body = b
+		}
+	}
+	if body == "" {
+		t.Fatal("key sampling found no victim-owned key")
+	}
+	status, _, want := post(t, insts[1].url, "/v1/analyze", body)
+	if status != http.StatusOK {
+		t.Fatalf("warming analyze = %d: %s", status, want)
+	}
+
+	victim.ts.Close()
+	evictUntil(t, insts[0].mgr, victim.url)
+	evictUntil(t, insts[1].mgr, victim.url)
+	if got := metricSum(t, insts[0].srv, "mbserve_membership_peers", `state="evicted"`); got != 1 {
+		t.Fatalf("mbserve_membership_peers{state=\"evicted\"} = %v, want 1", got)
+	}
+
+	// A fresh instance on the victim's address: empty cache, a
+	// membership view of just itself — everything it knows it learns
+	// from the join.
+	ln, err := net.Listen("tcp", strings.TrimPrefix(victim.url, "http://"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var computes2 atomic.Int64
+	mgr2, err := cluster.NewManager(cluster.ManagerOptions{Self: victim.url})
+	if err != nil {
+		t.Fatal(err)
+	}
+	backend2, err := cluster.New(cluster.Options{
+		Manager: mgr2,
+		Local: compute.NewLocal(func(ctx context.Context, nw *multibus.Network, model multibus.RequestModel, r float64) (*multibus.Analysis, error) {
+			computes2.Add(1)
+			return multibus.AnalyzeContext(ctx, nw, model, r)
+		}, nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := service.New(service.Options{Backend: backend2, Cluster: mgr2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	backend2.Register(srv2.Metrics())
+	ts2 := httptest.NewUnstartedServer(srv2.Handler())
+	ts2.Listener.Close()
+	ts2.Listener = ln
+	ts2.Start()
+	t.Cleanup(ts2.Close)
+
+	// Join through a seed member; the seed's response view (adopted
+	// locally) and its gossip fan-out converge all three fingerprints.
+	if err := mgr2.Join(context.Background(), insts[0].url); err != nil {
+		t.Fatal(err)
+	}
+	waitFingerprintsEqual(t, insts[0].mgr, insts[1].mgr, mgr2)
+
+	// The initial warm pull — what StartCluster runs at boot, before
+	// opening /readyz.
+	if err := srv2.PullClusterHandoff(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := metricSum(t, srv2, "mbserve_handoff_entries_total", `dir="received"`); got < 1 {
+		t.Errorf("rejoined instance absorbed %v handoff entries, want >= 1", got)
+	}
+
+	status, xc, got := post(t, victim.url, "/v1/analyze", body)
+	if status != http.StatusOK || xc != "hit" {
+		t.Fatalf("post-rejoin repeat = %d X-Cache %q, want 200 hit", status, xc)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("post-rejoin answer differs from the pre-death one:\n%s\n%s", want, got)
+	}
+	if computes2.Load() != 0 {
+		t.Errorf("rejoined instance recomputed %d times; the handoff should have made it a pure hit", computes2.Load())
+	}
+}
+
+// TestProbeChaosHysteresisKeepsRingStable wires the seeded chaos
+// transport under one instance's peer client (the ManagerOptions.HTTP
+// seam): probe rounds lose a deterministic quarter of their requests,
+// failures are counted, and the suspect/confirm hysteresis keeps both
+// healthy peers in the ring — lossy probing degrades observability, not
+// membership.
+func TestProbeChaosHysteresisKeepsRingStable(t *testing.T) {
+	tr, err := chaos.NewTransport(chaos.TransportConfig{Seed: 11, DropRate: 0.25}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts := startClusterH(t, 3, -1, clusterHarness{
+		httpFor: func(i int) *http.Client {
+			if i != 0 {
+				return nil
+			}
+			return &http.Client{Transport: tr}
+		},
+	})
+	m := insts[0].mgr
+	for round := 0; round < 30; round++ {
+		m.ProbeOnce(context.Background())
+	}
+	if st := tr.Stats(); st.Drops < 1 {
+		t.Fatalf("chaos transport injected no drops over %d calls", st.Calls)
+	}
+	if fails := metricSum(t, insts[0].srv, "mbserve_probe_failures_total"); fails < 1 {
+		t.Error("dropped probes were not counted in mbserve_probe_failures_total")
+	}
+	states := m.MemberStates()
+	for _, p := range []string{insts[1].url, insts[2].url} {
+		if states[p] == cluster.StateEvicted {
+			t.Errorf("healthy peer %s evicted under lossy probing; states %v", p, states)
+		}
+	}
+	if len(m.Peers()) != 3 {
+		t.Errorf("ring shrank to %v under lossy probing", m.Peers())
 	}
 }
 

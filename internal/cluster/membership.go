@@ -1,0 +1,489 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"multibus/internal/compute"
+)
+
+// Membership states (DESIGN.md §16). Alive and suspect members are in
+// the ring — suspicion is a grace period, not an eviction — while
+// evicted and left members are out of it but stay known: evicted peers
+// keep being probed (so a recovered peer rejoins after the hysteresis
+// streak), left peers departed deliberately and return only via an
+// explicit join.
+const (
+	StateAlive   = "alive"
+	StateSuspect = "suspect"
+	StateEvicted = "evicted"
+	StateLeft    = "left"
+)
+
+// Prober defaults. Two consecutive probe failures raise suspicion, two
+// more confirm it into eviction, and an evicted peer must answer three
+// consecutive probes before it re-enters the ring — the hysteresis that
+// keeps a flapping peer from thrashing the ring (and re-triggering
+// handoff) on every blip.
+const (
+	DefaultProbeInterval = time.Second
+	DefaultProbeTimeout  = time.Second
+	DefaultSuspectAfter  = 2
+	DefaultEvictAfter    = 4
+	DefaultRejoinAfter   = 3
+)
+
+// Snapshot is one immutable published view of the membership: a version
+// stamp (monotonic per instance, bumped on every ring transition) and
+// the ring built over the in-ring members. Readers load it through an
+// atomic pointer and never lock — the Backend routes and the
+// coordinator partitions against whatever snapshot was current when
+// they started, detecting mid-flight transitions by comparing versions.
+type Snapshot struct {
+	Version uint64
+	Ring    *Ring
+}
+
+// member is one known peer's lifecycle record.
+type member struct {
+	state string
+	fails int // consecutive probe failures
+	oks   int // consecutive probe successes (rejoin hysteresis)
+}
+
+// ManagerOptions configures a membership Manager.
+type ManagerOptions struct {
+	// Self is this instance's own base URL (always alive, always in the
+	// ring). Required.
+	Self string
+	// Peers seeds the initial membership (Self is added implicitly; an
+	// instance joining via -join starts with just itself).
+	Peers []string
+	// Vnodes is the ring's virtual-node count per peer (0 = DefaultVnodes).
+	Vnodes int
+	// HTTP overrides the peer transport (nil = http.DefaultClient) —
+	// the seam the chaos peer-transport injector wires through.
+	HTTP *http.Client
+
+	// ProbeInterval is the base health-probe period; each round's actual
+	// sleep is jittered ±25% from a seeded stream so probe storms never
+	// synchronize across a fleet. 0 = DefaultProbeInterval.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe round trip. 0 = DefaultProbeTimeout.
+	ProbeTimeout time.Duration
+	// SuspectAfter/EvictAfter/RejoinAfter tune the state machine
+	// (0 = the defaults above).
+	SuspectAfter int
+	EvictAfter   int
+	RejoinAfter  int
+	// Seed selects the jitter stream (the repo-wide seed rule).
+	Seed int64
+}
+
+// Manager owns the mutable, versioned membership view: seeded from the
+// static peer list, mutated by join/leave applications (the
+// POST /v1/cluster/membership surface) and by the health prober, and
+// published as immutable Snapshots through an atomic pointer. It also
+// owns the peer-side handoff client calls, so everything that crosses
+// the peer wire — probes, membership gossip, handoff pulls and pushes —
+// shares one Client (and one injectable transport).
+type Manager struct {
+	self   string
+	vnodes int
+	client *Client
+
+	probeInterval time.Duration
+	probeTimeout  time.Duration
+	suspectAfter  int
+	evictAfter    int
+	rejoinAfter   int
+
+	mu      sync.Mutex
+	members map[string]*member
+	version uint64
+	jitter  func() float64 // seeded uniform [0,1) draw, under mu
+	subs    []func(version uint64)
+
+	snap atomic.Pointer[Snapshot]
+	reg  atomic.Pointer[registryHook]
+}
+
+// NewManager builds a membership manager and publishes its initial
+// snapshot (version 1).
+func NewManager(opts ManagerOptions) (*Manager, error) {
+	if opts.Self == "" {
+		return nil, fmt.Errorf("cluster: membership needs a self URL")
+	}
+	vnodes := opts.Vnodes
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	m := &Manager{
+		self:          opts.Self,
+		vnodes:        vnodes,
+		client:        &Client{HTTP: opts.HTTP, Self: opts.Self},
+		probeInterval: opts.ProbeInterval,
+		probeTimeout:  opts.ProbeTimeout,
+		suspectAfter:  opts.SuspectAfter,
+		evictAfter:    opts.EvictAfter,
+		rejoinAfter:   opts.RejoinAfter,
+		members:       make(map[string]*member),
+	}
+	if m.probeInterval <= 0 {
+		m.probeInterval = DefaultProbeInterval
+	}
+	if m.probeTimeout <= 0 {
+		m.probeTimeout = DefaultProbeTimeout
+	}
+	if m.suspectAfter <= 0 {
+		m.suspectAfter = DefaultSuspectAfter
+	}
+	if m.evictAfter <= m.suspectAfter {
+		m.evictAfter = m.suspectAfter + (DefaultEvictAfter - DefaultSuspectAfter)
+	}
+	if m.rejoinAfter <= 0 {
+		m.rejoinAfter = DefaultRejoinAfter
+	}
+	rng := newJitterRand(opts.Seed)
+	m.jitter = rng.Float64
+	m.members[opts.Self] = &member{state: StateAlive}
+	for _, p := range opts.Peers {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("cluster: empty peer URL")
+		}
+		if p != opts.Self {
+			m.members[p] = &member{state: StateAlive}
+		}
+	}
+	m.mu.Lock()
+	m.rebuildLocked(true)
+	m.mu.Unlock()
+	return m, nil
+}
+
+// Client exposes the manager's peer client (the Backend shares it, so
+// forwards, probes, gossip, and handoff ride one transport).
+func (m *Manager) Client() *Client { return m.client }
+
+// Self returns this instance's own URL.
+func (m *Manager) Self() string { return m.self }
+
+// Snapshot returns the current published membership view. Never nil.
+func (m *Manager) Snapshot() *Snapshot { return m.snap.Load() }
+
+// Version returns the current ring version.
+func (m *Manager) Version() uint64 { return m.Snapshot().Version }
+
+// Peers returns the current ring's members, sorted.
+func (m *Manager) Peers() []string { return m.Snapshot().Ring.Peers() }
+
+// Owner returns the current ring owner of key.
+func (m *Manager) Owner(key string) string { return m.Snapshot().Ring.Owner(key) }
+
+// Fingerprint identifies the ring's member set independent of any
+// instance's local version counter: two instances that agree on
+// membership produce the same fingerprint, which is what the handoff
+// endpoints compare (local version numbers diverge across instances by
+// construction). It is the FNV-1a hash of the sorted member list.
+func (m *Manager) Fingerprint() string {
+	return RingFingerprint(m.Peers())
+}
+
+// RingFingerprint renders a peer set's membership fingerprint.
+func RingFingerprint(peers []string) string {
+	sorted := append([]string(nil), peers...)
+	sort.Strings(sorted)
+	return fmt.Sprintf("%016x", fnv64a(strings.Join(sorted, "\n")))
+}
+
+// Successor returns the owner of key in a ring without self — the peer
+// that inherits the key when this instance departs. Empty when no other
+// in-ring member exists.
+func (m *Manager) Successor(key string) string {
+	m.mu.Lock()
+	var others []string
+	for p, mb := range m.members {
+		if p != m.self && (mb.state == StateAlive || mb.state == StateSuspect) {
+			others = append(others, p)
+		}
+	}
+	m.mu.Unlock()
+	if len(others) == 0 {
+		return ""
+	}
+	ring, err := NewRing(others, m.vnodes)
+	if err != nil {
+		return ""
+	}
+	return ring.Owner(key)
+}
+
+// MemberStates returns every known member's lifecycle state, self
+// included — the mbserve_membership_peers{state} view.
+func (m *Manager) MemberStates() map[string]string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]string, len(m.members))
+	for p, mb := range m.members {
+		out[p] = mb.state
+	}
+	return out
+}
+
+// Subscribe registers fn to be called (synchronously, without the
+// membership lock) after every ring transition, with the new version.
+// The serving layer hooks warm handoff pulls here.
+func (m *Manager) Subscribe(fn func(version uint64)) {
+	m.mu.Lock()
+	m.subs = append(m.subs, fn)
+	m.mu.Unlock()
+}
+
+// rebuildLocked recomputes the ring over the in-ring member set and, if
+// the set changed (or force), bumps the version and publishes a new
+// snapshot. Caller holds mu; reports whether a transition happened.
+func (m *Manager) rebuildLocked(force bool) bool {
+	set := make([]string, 0, len(m.members))
+	for p, mb := range m.members {
+		if p == m.self || mb.state == StateAlive || mb.state == StateSuspect {
+			set = append(set, p)
+		}
+	}
+	sort.Strings(set)
+	if !force {
+		if cur := m.snap.Load(); cur != nil && equalStrings(cur.Ring.Peers(), set) {
+			return false
+		}
+	}
+	ring, err := NewRing(set, m.vnodes)
+	if err != nil {
+		// Unreachable: the set always contains self.
+		return false
+	}
+	m.version++
+	m.snap.Store(&Snapshot{Version: m.version, Ring: ring})
+	if h := m.reg.Load(); h != nil {
+		for _, p := range set {
+			m.registerShareGauge(h, p)
+		}
+	}
+	return true
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// notify runs the subscribers for a transition. Never called under mu.
+func (m *Manager) notify(version uint64) {
+	m.mu.Lock()
+	subs := make([]func(uint64), len(m.subs))
+	copy(subs, m.subs)
+	m.mu.Unlock()
+	for _, fn := range subs {
+		fn(version)
+	}
+}
+
+// Apply mutates the membership: op is "join" or "leave", peer the
+// subject. Applications are idempotent — a no-change apply reports
+// changed=false, which is what terminates gossip propagation. When
+// propagate is set and the application changed anything, the change is
+// fanned out (best-effort, in the background) to every other in-ring
+// member with propagation disabled, so one announcement reaches the
+// whole cluster without echo storms.
+func (m *Manager) Apply(ctx context.Context, op, peer string, propagate bool) (version uint64, peers []string, changed bool, err error) {
+	peer = strings.TrimSpace(peer)
+	if peer == "" {
+		return 0, nil, false, fmt.Errorf("cluster: membership %s needs a peer URL", op)
+	}
+	m.mu.Lock()
+	switch op {
+	case "join":
+		if peer != m.self {
+			mb, ok := m.members[peer]
+			if !ok {
+				m.members[peer] = &member{state: StateAlive}
+				changed = true
+			} else if mb.state != StateAlive {
+				mb.state = StateAlive
+				mb.fails, mb.oks = 0, 0
+				changed = true
+			}
+		}
+	case "leave":
+		if peer != m.self {
+			if mb, ok := m.members[peer]; ok && mb.state != StateLeft {
+				mb.state = StateLeft
+				mb.fails, mb.oks = 0, 0
+				changed = true
+			}
+		}
+	default:
+		m.mu.Unlock()
+		return 0, nil, false, fmt.Errorf("cluster: unknown membership op %q (want join|leave)", op)
+	}
+	transitioned := false
+	if changed {
+		transitioned = m.rebuildLocked(false)
+	}
+	snap := m.snap.Load()
+	m.mu.Unlock()
+
+	if transitioned {
+		m.notify(snap.Version)
+	}
+	if changed && propagate {
+		m.propagate(op, peer)
+	}
+	return snap.Version, snap.Ring.Peers(), changed, nil
+}
+
+// Adopt merges a cluster view received from a seed member: every listed
+// peer becomes alive. It is how a joining instance (whose initial
+// membership is just itself) learns the cluster it joined.
+func (m *Manager) Adopt(peers []string) {
+	m.mu.Lock()
+	changed := false
+	for _, p := range peers {
+		p = strings.TrimSpace(p)
+		if p == "" || p == m.self {
+			continue
+		}
+		mb, ok := m.members[p]
+		if !ok {
+			m.members[p] = &member{state: StateAlive}
+			changed = true
+		} else if mb.state != StateAlive {
+			mb.state = StateAlive
+			mb.fails, mb.oks = 0, 0
+			changed = true
+		}
+	}
+	transitioned := false
+	if changed {
+		transitioned = m.rebuildLocked(false)
+	}
+	snap := m.snap.Load()
+	m.mu.Unlock()
+	if transitioned {
+		m.notify(snap.Version)
+	}
+}
+
+// propagate fans one membership change out to every other in-ring
+// member, propagation disabled (the idempotent apply on each receiver
+// terminates the gossip). Best-effort and detached: a peer that missed
+// the announcement converges via its own prober.
+func (m *Manager) propagate(op, subject string) {
+	for _, p := range m.Peers() {
+		if p == m.self || p == subject {
+			continue
+		}
+		peer := p
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*m.probeTimeout)
+			defer cancel()
+			_, _ = m.client.ApplyMembership(ctx, peer, op, subject, false)
+		}()
+	}
+}
+
+// Join announces this instance to a running cluster through seed: the
+// seed applies the join, fans it out, and answers with its full view,
+// which is adopted locally. Used by mbserve -join at startup and by
+// rejoining instances after a restart.
+func (m *Manager) Join(ctx context.Context, seed string) error {
+	view, err := m.client.ApplyMembership(ctx, seed, "join", m.self, true)
+	if err != nil {
+		return fmt.Errorf("cluster: joining via %s: %w", seed, err)
+	}
+	m.Adopt(view.Peers)
+	return nil
+}
+
+// Leave is the graceful departure drain: the instance's hottest cache
+// entries (collected by the serving layer) are pushed to the peers that
+// inherit their keys, then the departure is announced to every member —
+// all before healthz flips to draining, so successors are warm by the
+// time load balancers and peers stop routing here. Best-effort
+// throughout: a dead successor just cold-starts its share.
+func (m *Manager) Leave(ctx context.Context, entries []compute.HandoffEntry) {
+	byPeer := make(map[string][]compute.HandoffEntry)
+	for _, e := range entries {
+		succ := m.Successor(e.Key)
+		if succ == "" {
+			continue
+		}
+		byPeer[succ] = append(byPeer[succ], e)
+	}
+	for peer, batch := range byPeer {
+		if n, err := m.client.PushHandoff(ctx, peer, batch); err == nil {
+			m.countHandoff("sent", n)
+		}
+	}
+	m.mu.Lock()
+	var others []string
+	for p, mb := range m.members {
+		if p != m.self && (mb.state == StateAlive || mb.state == StateSuspect) {
+			others = append(others, p)
+		}
+	}
+	sort.Strings(others)
+	m.mu.Unlock()
+	for _, peer := range others {
+		_, _ = m.client.ApplyMembership(ctx, peer, "leave", m.self, false)
+	}
+}
+
+// PullHandoff pulls warm entries from every other in-ring member for
+// the current ring, invoking absorb for each received record. Sources
+// filter by ownership under their own (agreeing) ring, so this instance
+// receives exactly the hot keys it now owns. A fingerprint mismatch
+// (409) means membership is still converging — skipped, the next
+// transition retries. Returns the first hard error after trying every
+// peer.
+func (m *Manager) PullHandoff(ctx context.Context, absorb func(compute.HandoffEntry)) error {
+	snap := m.Snapshot()
+	fp := RingFingerprint(snap.Ring.Peers())
+	var firstErr error
+	for _, peer := range snap.Ring.Peers() {
+		if peer == m.self {
+			continue
+		}
+		n, err := m.client.PullHandoff(ctx, peer, fp, absorb)
+		m.countHandoff("received", n)
+		if err != nil && firstErr == nil {
+			var se *StatusError
+			if !(errors.As(err, &se) && se.Status == http.StatusConflict) {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// PushHandoff ships entries to one peer's handoff import endpoint.
+func (m *Manager) PushHandoff(ctx context.Context, peer string, entries []compute.HandoffEntry) (int, error) {
+	n, err := m.client.PushHandoff(ctx, peer, entries)
+	if err == nil {
+		m.countHandoff("sent", n)
+	}
+	return n, err
+}

@@ -1,0 +1,246 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func newTestManager(t *testing.T, self string, peers []string) *Manager {
+	t.Helper()
+	m, err := NewManager(ManagerOptions{Self: self, Peers: peers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestRingMinimalMovement pins the consistent-hashing property elastic
+// membership depends on: when one of N peers leaves the ring, only the
+// departed peer's keys change owner — every key another peer owned
+// stays put — and the movement fraction tracks the departed peer's
+// hash-space share (≈1/N).
+func TestRingMinimalMovement(t *testing.T) {
+	peers := []string{
+		"http://127.0.0.1:7001", "http://127.0.0.1:7002",
+		"http://127.0.0.1:7003", "http://127.0.0.1:7004",
+		"http://127.0.0.1:7005",
+	}
+	full, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gone := peers[2]
+	reduced, err := NewRing(append(append([]string(nil), peers[:2]...), peers[3:]...), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := testKeys(8000)
+	moved := 0
+	for _, key := range keys {
+		before, after := full.Owner(key), reduced.Owner(key)
+		if before != gone && before != after {
+			t.Fatalf("key %q moved %s→%s though its owner stayed in the ring", key, before, after)
+		}
+		if before != after {
+			moved++
+		}
+	}
+	frac := float64(moved) / float64(len(keys))
+	share := full.Share(gone)
+	if math.Abs(frac-share) > 0.03 {
+		t.Errorf("%.3f of keys moved, but the departed peer's share was %.3f", frac, share)
+	}
+	if frac < 0.05 || frac > 0.45 {
+		t.Errorf("movement fraction %.3f is far from ~1/N = %.3f", frac, 1/float64(len(peers)))
+	}
+}
+
+// TestObserveProbeHysteresis drives the full lifecycle through the
+// state machine: alive → suspect (no ring change) → evicted (ring
+// transition) → alive again only after the rejoin streak, with a single
+// success clearing suspicion.
+func TestObserveProbeHysteresis(t *testing.T) {
+	self, peer := testPeers[0], testPeers[1]
+	m := newTestManager(t, self, testPeers)
+	v0 := m.Version()
+
+	// suspectAfter-1 failures: still alive.
+	m.observeProbe(peer, false)
+	if st := m.MemberStates()[peer]; st != StateAlive {
+		t.Fatalf("state after 1 failure = %s, want alive", st)
+	}
+	// One more: suspect — but still in the ring, version unchanged.
+	if m.observeProbe(peer, false) {
+		t.Fatal("suspicion transitioned the ring")
+	}
+	if st := m.MemberStates()[peer]; st != StateSuspect {
+		t.Fatalf("state after %d failures = %s, want suspect", DefaultSuspectAfter, st)
+	}
+	if m.Version() != v0 {
+		t.Fatal("version bumped without a ring change")
+	}
+	// A single success clears suspicion entirely.
+	m.observeProbe(peer, true)
+	if st := m.MemberStates()[peer]; st != StateAlive {
+		t.Fatalf("state after recovery = %s, want alive", st)
+	}
+	// Fail through to eviction: the ring transitions exactly once.
+	transitions := 0
+	for i := 0; i < DefaultEvictAfter; i++ {
+		if m.observeProbe(peer, false) {
+			transitions++
+		}
+	}
+	if transitions != 1 {
+		t.Fatalf("eviction caused %d ring transitions, want 1", transitions)
+	}
+	if st := m.MemberStates()[peer]; st != StateEvicted {
+		t.Fatalf("state after %d failures = %s, want evicted", DefaultEvictAfter, st)
+	}
+	if m.Version() != v0+1 {
+		t.Fatalf("version = %d after eviction, want %d", m.Version(), v0+1)
+	}
+	for _, p := range m.Peers() {
+		if p == peer {
+			t.Fatal("evicted peer still in the ring")
+		}
+	}
+	// Rejoin hysteresis: one success is not enough…
+	m.observeProbe(peer, true)
+	if st := m.MemberStates()[peer]; st != StateEvicted {
+		t.Fatalf("state after 1 success = %s, want still evicted", st)
+	}
+	// …and a failure resets the streak.
+	m.observeProbe(peer, false)
+	m.observeProbe(peer, true)
+	m.observeProbe(peer, true)
+	if st := m.MemberStates()[peer]; st != StateEvicted {
+		t.Fatal("rejoin streak survived an interleaved failure")
+	}
+	if !m.observeProbe(peer, true) {
+		t.Fatal("rejoin streak did not re-admit the peer")
+	}
+	if st := m.MemberStates()[peer]; st != StateAlive {
+		t.Fatalf("state after rejoin = %s, want alive", st)
+	}
+	if m.Version() != v0+2 {
+		t.Fatalf("version = %d after rejoin, want %d", m.Version(), v0+2)
+	}
+}
+
+// TestApplyJoinLeaveIdempotent pins the gossip-termination property:
+// re-applying a change reports changed=false.
+func TestApplyJoinLeaveIdempotent(t *testing.T) {
+	m := newTestManager(t, testPeers[0], testPeers[:2])
+	ctx := context.Background()
+	newcomer := testPeers[2]
+
+	_, peers, changed, err := m.Apply(ctx, "join", newcomer, false)
+	if err != nil || !changed {
+		t.Fatalf("join: changed=%v err=%v", changed, err)
+	}
+	if len(peers) != 3 {
+		t.Fatalf("ring has %d peers after join, want 3", len(peers))
+	}
+	if _, _, changed, _ := m.Apply(ctx, "join", newcomer, false); changed {
+		t.Fatal("re-applied join reported a change")
+	}
+	if _, _, changed, _ := m.Apply(ctx, "leave", newcomer, false); !changed {
+		t.Fatal("leave reported no change")
+	}
+	if _, _, changed, _ := m.Apply(ctx, "leave", newcomer, false); changed {
+		t.Fatal("re-applied leave reported a change")
+	}
+	if st := m.MemberStates()[newcomer]; st != StateLeft {
+		t.Fatalf("state after leave = %s, want left", st)
+	}
+	// Left is terminal for the prober but not for an explicit join.
+	if _, _, changed, _ := m.Apply(ctx, "join", newcomer, false); !changed {
+		t.Fatal("explicit join did not re-admit a left peer")
+	}
+	if _, _, _, err := m.Apply(ctx, "restart", newcomer, false); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+	if _, _, _, err := m.Apply(ctx, "join", "  ", false); err == nil {
+		t.Fatal("blank peer accepted")
+	}
+}
+
+// TestFingerprintAgreesAcrossInstances pins why handoff compares
+// fingerprints, not versions: two managers that took different mutation
+// paths to the same member set agree on the fingerprint while their
+// local version counters differ.
+func TestFingerprintAgreesAcrossInstances(t *testing.T) {
+	ctx := context.Background()
+	a := newTestManager(t, testPeers[0], testPeers)
+	b := newTestManager(t, testPeers[1], testPeers[:2])
+	b.Apply(ctx, "join", testPeers[2], false)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("same member set, different fingerprints: %s vs %s", a.Fingerprint(), b.Fingerprint())
+	}
+	if a.Version() == b.Version() {
+		t.Log("local versions happen to agree; fingerprint is still the only cross-instance comparator")
+	}
+	a.Apply(ctx, "leave", testPeers[2], false)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("diverged member sets share a fingerprint")
+	}
+}
+
+// TestSuccessorExcludesSelf pins the leave-drain routing rule: the
+// successor of a key is its owner in a ring without self, and never
+// self or an out-of-ring member.
+func TestSuccessorExcludesSelf(t *testing.T) {
+	m := newTestManager(t, testPeers[0], testPeers)
+	for _, key := range testKeys(500) {
+		succ := m.Successor(key)
+		if succ == m.Self() || succ == "" {
+			t.Fatalf("successor of %q = %q", key, succ)
+		}
+	}
+	solo := newTestManager(t, testPeers[0], nil)
+	if succ := solo.Successor("k"); succ != "" {
+		t.Fatalf("singleton ring produced successor %q, want none", succ)
+	}
+}
+
+// TestStatusErrorEnvelopeParse pins the satellite fix: a peer's non-200
+// carrying the v1 error envelope surfaces its machine-readable code,
+// while plain bodies degrade to http_<status>.
+func TestStatusErrorEnvelopeParse(t *testing.T) {
+	mk := func(status int, body string) *StatusError {
+		resp := &http.Response{
+			StatusCode: status,
+			Body:       io.NopCloser(strings.NewReader(body)),
+		}
+		return newStatusError(resp)
+	}
+	se := mk(429, `{"error":{"code":"overloaded","message":"admission queue full","retryable":true,"retry_after_s":1}}`)
+	if se.Code != "overloaded" || se.Result() != "overloaded" {
+		t.Errorf("envelope parse: code=%q result=%q, want overloaded", se.Code, se.Result())
+	}
+	if se.Body != "admission queue full" {
+		t.Errorf("envelope message = %q", se.Body)
+	}
+	if !strings.Contains(se.Error(), "429 overloaded") {
+		t.Errorf("Error() = %q, want status and code", se.Error())
+	}
+	se = mk(502, "Bad Gateway\nsecond line ignored")
+	if se.Code != "" || se.Result() != "http_502" {
+		t.Errorf("plain body: code=%q result=%q, want http_502", se.Code, se.Result())
+	}
+	if se.Body != "Bad Gateway" {
+		t.Errorf("plain body first line = %q", se.Body)
+	}
+	// 5xx status errors stay breaker-worthy, envelope or not.
+	if !transient(mk(503, `{"error":{"code":"draining","message":"x"}}`)) {
+		t.Error("enveloped 503 not transient")
+	}
+	if transient(mk(400, `{"error":{"code":"invalid_request","message":"x"}}`)) {
+		t.Error("enveloped 400 counted as transient")
+	}
+}

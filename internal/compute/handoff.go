@@ -1,0 +1,94 @@
+package compute
+
+import (
+	"encoding/json"
+	"time"
+
+	"multibus/internal/cache"
+)
+
+// Handoff wire codec (DESIGN.md §16): when ring ownership moves, hot
+// cache entries cross instances as NDJSON records of this shape. The
+// value payload is the entry's ordinary wire rendering — Analysis,
+// SimResult, or Point exactly as /v1/analyze, /v1/simulate, and sweep
+// responses ship them — so a handed-off entry re-encodes byte-identical
+// to the original computation on the receiving side (encoding/json
+// round-trips float64 exactly). Age travels with the value so freshness
+// policy keeps applying after the move.
+
+// Handoff record kinds.
+const (
+	HandoffKindAnalysis   = "analysis"
+	HandoffKindSimulation = "simulation"
+	HandoffKindPoint      = "point"
+)
+
+// HandoffEntry is one cache entry on the handoff wire.
+type HandoffEntry struct {
+	Key   string          `json:"key"`
+	Kind  string          `json:"kind"`
+	AgeS  float64         `json:"age_s"`
+	Value json.RawMessage `json:"value"`
+}
+
+// EncodeHandoff renders a cache entry for the handoff wire. Entries
+// holding values of unknown dynamic type report ok=false and are
+// skipped — handoff moves only the three canonical result shapes.
+func EncodeHandoff(e cache.Entry) (HandoffEntry, bool) {
+	var kind string
+	switch e.Value.(type) {
+	case *Analysis:
+		kind = HandoffKindAnalysis
+	case *SimResult:
+		kind = HandoffKindSimulation
+	case Point:
+		kind = HandoffKindPoint
+	default:
+		return HandoffEntry{}, false
+	}
+	buf, err := json.Marshal(e.Value)
+	if err != nil {
+		return HandoffEntry{}, false
+	}
+	age := e.Age
+	if age < 0 {
+		age = 0
+	}
+	return HandoffEntry{Key: e.Key, Kind: kind, AgeS: age.Seconds(), Value: buf}, true
+}
+
+// DecodeHandoff parses a handoff record back into the cache-resident
+// value shape (pointer types for analysis/simulation, value type for
+// points — matching what the serving layer stores). Unknown kinds,
+// empty keys, and malformed payloads report ok=false.
+func DecodeHandoff(h HandoffEntry) (val any, age time.Duration, ok bool) {
+	if h.Key == "" {
+		return nil, 0, false
+	}
+	switch h.Kind {
+	case HandoffKindAnalysis:
+		v := new(Analysis)
+		if json.Unmarshal(h.Value, v) != nil {
+			return nil, 0, false
+		}
+		val = v
+	case HandoffKindSimulation:
+		v := new(SimResult)
+		if json.Unmarshal(h.Value, v) != nil {
+			return nil, 0, false
+		}
+		val = v
+	case HandoffKindPoint:
+		var v Point
+		if json.Unmarshal(h.Value, &v) != nil {
+			return nil, 0, false
+		}
+		val = v
+	default:
+		return nil, 0, false
+	}
+	if h.AgeS > 0 {
+		age = time.Duration(h.AgeS * float64(time.Second))
+	}
+	return val, age, true
+}

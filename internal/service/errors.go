@@ -92,7 +92,10 @@ type errorResponse struct {
 // cancellations the client caused.
 func retryableCode(code string) bool {
 	switch code {
-	case "overloaded", "circuit_open", "deadline_exceeded", "internal_error", "draining":
+	case "overloaded", "circuit_open", "deadline_exceeded", "internal_error", "draining",
+		"not_ready", "ring_mismatch":
+		// not_ready and ring_mismatch resolve as membership converges;
+		// forbidden (the hop-guard refusal) never does and stays false.
 		return true
 	}
 	return false

@@ -1,0 +1,351 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"multibus/internal/compute"
+)
+
+// fakeCluster is a scriptable ClusterControl for handler tests: the
+// service seam is exercised without booting real cluster instances.
+type fakeCluster struct {
+	mu          sync.Mutex
+	version     uint64
+	fp          string
+	states      map[string]string
+	owner       func(key string) string
+	applyErr    error
+	applied     []string
+	pullEntries []compute.HandoffEntry
+	pullErr     error
+	leaveGot    []compute.HandoffEntry
+}
+
+func (f *fakeCluster) Apply(_ context.Context, op, peer string, propagate bool) (uint64, []string, bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.applyErr != nil {
+		return 0, nil, false, f.applyErr
+	}
+	f.applied = append(f.applied, fmt.Sprintf("%s %s propagate=%v", op, peer, propagate))
+	return f.version, []string{"http://seed", peer}, true, nil
+}
+func (f *fakeCluster) Version() uint64                { return f.version }
+func (f *fakeCluster) MemberStates() map[string]string { return f.states }
+func (f *fakeCluster) Owner(key string) string {
+	if f.owner != nil {
+		return f.owner(key)
+	}
+	return ""
+}
+func (f *fakeCluster) Fingerprint() string      { return f.fp }
+func (f *fakeCluster) Subscribe(func(uint64))   {}
+func (f *fakeCluster) PullHandoff(_ context.Context, absorb func(compute.HandoffEntry)) error {
+	for _, e := range f.pullEntries {
+		absorb(e)
+	}
+	return f.pullErr
+}
+func (f *fakeCluster) Leave(_ context.Context, entries []compute.HandoffEntry) {
+	f.mu.Lock()
+	f.leaveGot = entries
+	f.mu.Unlock()
+}
+
+// doForwarded sends a request carrying the hop-guard header — the only
+// credential the cluster control plane accepts.
+func doForwarded(t *testing.T, h http.Handler, method, path, body, from string) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd *strings.Reader
+	if body == "" {
+		rd = strings.NewReader("")
+	} else {
+		rd = strings.NewReader(body)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(compute.ForwardedHeader, from)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func errCode(t *testing.T, rec *httptest.ResponseRecorder) string {
+	t.Helper()
+	var env struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatalf("error body %q: %v", rec.Body.String(), err)
+	}
+	return env.Error.Code
+}
+
+// TestReadyzStandalone pins the liveness/readiness split for the
+// no-cluster deployment: ready immediately, not ready once draining —
+// while /healthz keeps its own draining semantics.
+func TestReadyzStandalone(t *testing.T) {
+	s := newTestServer(t, Options{})
+	h := s.Handler()
+	get := func() *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+		return rec
+	}
+	if rec := get(); rec.Code != http.StatusOK {
+		t.Fatalf("standalone /readyz = %d: %s", rec.Code, rec.Body)
+	}
+	if !s.ClusterReady() {
+		t.Error("ClusterReady() = false on a standalone server")
+	}
+	s.BeginDrain()
+	rec := get()
+	if rec.Code != http.StatusServiceUnavailable || errCode(t, rec) != "draining" {
+		t.Errorf("draining /readyz = %d %s, want 503 draining", rec.Code, rec.Body)
+	}
+}
+
+// TestReadyzClusterGate pins the startup gate: a cluster instance
+// answers 503 not_ready until StartCluster's initial handoff pull has
+// completed, then flips to 200 — liveness (/healthz) is green the whole
+// time.
+func TestReadyzClusterGate(t *testing.T) {
+	fc := &fakeCluster{fp: "feed", states: map[string]string{}}
+	s := newTestServer(t, Options{Cluster: fc})
+	h := s.Handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable || errCode(t, rec) != "not_ready" {
+		t.Fatalf("pre-start /readyz = %d %s, want 503 not_ready", rec.Code, rec.Body)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("liveness went red during the not-ready window: /healthz = %d", rec.Code)
+	}
+
+	s.StartCluster(context.Background())
+	deadline := time.Now().Add(5 * time.Second)
+	for !s.ClusterReady() {
+		if time.Now().After(deadline) {
+			t.Fatal("readiness gate never opened after StartCluster")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("post-start /readyz = %d: %s", rec.Code, rec.Body)
+	}
+}
+
+// TestClusterGuardOrder pins the control-plane authentication contract:
+// without the hop-guard header the endpoints are 403 forbidden — even
+// on instances that do run cluster mode — and with the header a
+// standalone instance answers 404 not_found. The guard refuses before
+// it reveals.
+func TestClusterGuardOrder(t *testing.T) {
+	clustered := newTestServer(t, Options{Cluster: &fakeCluster{states: map[string]string{}}}).Handler()
+	standalone := newTestServer(t, Options{}).Handler()
+	paths := []struct {
+		method, path string
+	}{
+		{http.MethodPost, "/v1/cluster/membership"},
+		{http.MethodGet, "/v1/cluster/handoff"},
+		{http.MethodPost, "/v1/cluster/handoff"},
+	}
+	for _, p := range paths {
+		req := httptest.NewRequest(p.method, p.path, strings.NewReader("{}"))
+		rec := httptest.NewRecorder()
+		clustered.ServeHTTP(rec, req)
+		if rec.Code != http.StatusForbidden || errCode(t, rec) != "forbidden" {
+			t.Errorf("%s %s without hop header = %d %s, want 403 forbidden", p.method, p.path, rec.Code, rec.Body)
+		}
+		rec = doForwarded(t, standalone, p.method, p.path, "{}", "http://peer")
+		if rec.Code != http.StatusNotFound || errCode(t, rec) != "not_found" {
+			t.Errorf("%s %s on standalone = %d %s, want 404 not_found", p.method, p.path, rec.Code, rec.Body)
+		}
+	}
+}
+
+// TestMembershipApply drives POST /v1/cluster/membership through the
+// fake: the applied view comes back as the response body, and apply
+// errors surface as invalid_request.
+func TestMembershipApply(t *testing.T) {
+	fc := &fakeCluster{version: 7, states: map[string]string{"http://seed": "alive"}}
+	h := newTestServer(t, Options{Cluster: fc}).Handler()
+
+	rec := doForwarded(t, h, http.MethodPost, "/v1/cluster/membership",
+		`{"op":"join","peer":"http://newcomer","propagate":true}`, "http://newcomer")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("membership apply = %d: %s", rec.Code, rec.Body)
+	}
+	var body membershipBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Version != 7 || !body.Changed || len(body.Peers) != 2 {
+		t.Errorf("membership view = %+v, want version 7, changed, 2 peers", body)
+	}
+	if body.States["http://seed"] != "alive" {
+		t.Errorf("states missing the seed: %v", body.States)
+	}
+	if len(fc.applied) != 1 || fc.applied[0] != "join http://newcomer propagate=true" {
+		t.Errorf("applied = %v", fc.applied)
+	}
+
+	fc.applyErr = errors.New("unknown membership op")
+	rec = doForwarded(t, h, http.MethodPost, "/v1/cluster/membership",
+		`{"op":"restart","peer":"x"}`, "http://newcomer")
+	if rec.Code != http.StatusBadRequest || errCode(t, rec) != "invalid_request" {
+		t.Errorf("bad op = %d %s, want 400 invalid_request", rec.Code, rec.Body)
+	}
+}
+
+// TestHandoffPullFingerprintAndFiltering pins the source side of warm
+// handoff: a stale ring fingerprint is refused with 409 ring_mismatch,
+// and a matching pull streams exactly the requester-owned, still-fresh
+// entries as NDJSON.
+func TestHandoffPullFingerprintAndFiltering(t *testing.T) {
+	requester := "http://puller"
+	fc := &fakeCluster{fp: "00ab", states: map[string]string{}}
+	fc.owner = func(key string) string {
+		if strings.Contains(key, "mine") {
+			return requester
+		}
+		return "http://elsewhere"
+	}
+	s := newTestServer(t, Options{Cluster: fc})
+	h := s.Handler()
+
+	s.Cache().Absorb("mine-1", &compute.Analysis{Bandwidth: 3.5}, 0)
+	s.Cache().Absorb("theirs-1", &compute.Analysis{Bandwidth: 9}, 0)
+	s.Cache().Absorb("mine-stale", &compute.Analysis{Bandwidth: 1}, DefaultStaleTTL+time.Hour)
+	s.Cache().Absorb("mine-unknown-shape", 42, 0) // not a handoff-able value
+
+	rec := doForwarded(t, h, http.MethodGet, "/v1/cluster/handoff?ring=beef", "", requester)
+	if rec.Code != http.StatusConflict || errCode(t, rec) != "ring_mismatch" {
+		t.Fatalf("mismatched fingerprint = %d %s, want 409 ring_mismatch", rec.Code, rec.Body)
+	}
+
+	rec = doForwarded(t, h, http.MethodGet, "/v1/cluster/handoff?ring=00ab", "", requester)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("handoff pull = %d: %s", rec.Code, rec.Body)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var got []compute.HandoffEntry
+	sc := bufio.NewScanner(rec.Body)
+	for sc.Scan() {
+		var he compute.HandoffEntry
+		if err := json.Unmarshal(sc.Bytes(), &he); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		got = append(got, he)
+	}
+	if len(got) != 1 || got[0].Key != "mine-1" || got[0].Kind != compute.HandoffKindAnalysis {
+		t.Fatalf("pull streamed %+v, want exactly the fresh requester-owned analysis", got)
+	}
+	var val compute.Analysis
+	if err := json.Unmarshal(got[0].Value, &val); err != nil || val.Bandwidth != 3.5 {
+		t.Errorf("handed-off value = %s (err %v), want bandwidth 3.5", got[0].Value, err)
+	}
+}
+
+// TestHandoffPushAbsorbs pins the import side: pushed entries land in
+// the cache under fresher-wins, malformed and stale entries are skipped
+// without failing the push, and the response reports the absorbed
+// count.
+func TestHandoffPushAbsorbs(t *testing.T) {
+	fc := &fakeCluster{states: map[string]string{}}
+	s := newTestServer(t, Options{Cluster: fc})
+	h := s.Handler()
+
+	val, _ := json.Marshal(&compute.Analysis{Bandwidth: 2.25})
+	push := struct {
+		Entries []compute.HandoffEntry `json:"entries"`
+	}{Entries: []compute.HandoffEntry{
+		{Key: "k1", Kind: compute.HandoffKindAnalysis, Value: val},
+		{Key: "k2", Kind: "mystery", Value: val},
+		{Key: "k3", Kind: compute.HandoffKindAnalysis, AgeS: (DefaultStaleTTL + time.Hour).Seconds(), Value: val},
+	}}
+	body, _ := json.Marshal(push)
+	rec := doForwarded(t, h, http.MethodPost, "/v1/cluster/handoff", string(body), "http://leaver")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("handoff push = %d: %s", rec.Code, rec.Body)
+	}
+	var resp struct {
+		Absorbed int `json:"absorbed"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil || resp.Absorbed != 1 {
+		t.Fatalf("push response %s (err %v), want absorbed=1", rec.Body, err)
+	}
+	v, ok := s.Cache().Get("k1")
+	if !ok {
+		t.Fatal("pushed entry not resident")
+	}
+	if a, ok := v.(*compute.Analysis); !ok || a.Bandwidth != 2.25 {
+		t.Errorf("resident value = %#v, want the pushed analysis", v)
+	}
+	if _, ok := s.Cache().Get("k2"); ok {
+		t.Error("unknown-kind entry absorbed")
+	}
+	if _, ok := s.Cache().Get("k3"); ok {
+		t.Error("stale entry absorbed")
+	}
+}
+
+// TestLeaveClusterDrainsHotEntries pins the graceful-departure drain:
+// LeaveCluster hands the still-fresh hot entries to the membership
+// layer, respecting the handoff bound.
+func TestLeaveClusterDrainsHotEntries(t *testing.T) {
+	fc := &fakeCluster{states: map[string]string{}}
+	s := newTestServer(t, Options{Cluster: fc, HandoffMax: 2})
+	s.Cache().Absorb("a", &compute.Analysis{X: 1}, 0)
+	s.Cache().Absorb("b", &compute.Analysis{X: 2}, 0)
+	s.Cache().Absorb("c", &compute.Analysis{X: 3}, 0)
+	s.LeaveCluster(context.Background())
+	if len(fc.leaveGot) != 2 {
+		t.Fatalf("leave drained %d entries, want the HandoffMax bound of 2", len(fc.leaveGot))
+	}
+	for _, he := range fc.leaveGot {
+		if he.Kind != compute.HandoffKindAnalysis {
+			t.Errorf("drained entry %q has kind %q", he.Key, he.Kind)
+		}
+	}
+}
+
+// TestPullClusterHandoffAbsorbs pins the destination side of the
+// transition pull: entries arriving from PullHandoff land in the cache,
+// with undecodable ones skipped.
+func TestPullClusterHandoffAbsorbs(t *testing.T) {
+	val, _ := json.Marshal(&compute.Analysis{Bandwidth: 8})
+	fc := &fakeCluster{states: map[string]string{}, pullEntries: []compute.HandoffEntry{
+		{Key: "warm", Kind: compute.HandoffKindAnalysis, Value: val},
+		{Key: "", Kind: compute.HandoffKindAnalysis, Value: val},
+	}}
+	s := newTestServer(t, Options{Cluster: fc})
+	if err := s.PullClusterHandoff(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Cache().Get("warm"); !ok {
+		t.Error("pulled entry not resident")
+	}
+	if s.Cache().Len() != 1 {
+		t.Errorf("cache has %d entries, want 1 (keyless record skipped)", s.Cache().Len())
+	}
+}

@@ -166,6 +166,18 @@ type Options struct {
 	// nothing.
 	Chaos *chaos.Injector
 
+	// Cluster, when non-nil, enables the elastic-membership surface:
+	// POST /v1/cluster/membership (join/leave applications), the warm
+	// handoff endpoints, and the cluster-aware GET /readyz. cmd/mbserve
+	// injects the cluster membership manager here; the service itself
+	// never imports internal/cluster (see ClusterControl).
+	Cluster ClusterControl
+	// HandoffMax bounds warm handoff transfers, in cache entries per
+	// transfer (a pull response or a leave push). 0 means
+	// DefaultHandoffMax; negative disables handoff (endpoints stay
+	// registered but transfer nothing).
+	HandoffMax int
+
 	// JobsMax bounds resident async jobs (queued + running + terminal
 	// kept for pagination). 0 means jobs.DefaultMaxJobs; negative
 	// disables the /v1/jobs surface entirely (the routes 404).
@@ -191,6 +203,12 @@ type Server struct {
 	adm      *admission
 	jobs     *jobs.Store // nil when the jobs surface is disabled
 	breakers map[string]*breaker
+	// cluster/handoffMax mirror Options (normalized); clusterReady
+	// gates GET /readyz until the initial membership snapshot and warm
+	// handoff pull have happened.
+	cluster      ClusterControl
+	handoffMax   int
+	clusterReady atomic.Bool
 	// freshFor/staleFor are the normalized TTLs (0 = disabled), kept
 	// apart from opts so the zero-means-default dance happens once.
 	freshFor time.Duration
@@ -278,16 +296,25 @@ func New(opts Options) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	handoffMax := opts.HandoffMax
+	switch {
+	case handoffMax == 0:
+		handoffMax = DefaultHandoffMax
+	case handoffMax < 0:
+		handoffMax = 0 // handoff disabled
+	}
 	s := &Server{
-		opts:     opts,
-		cache:    c,
-		backend:  opts.Backend,
-		logger:   logger,
-		metrics:  newServerMetrics(c),
-		adm:      newAdmission(int64(opts.AdmissionLimit), queueDepth),
-		breakers: make(map[string]*breaker),
-		freshFor: freshFor,
-		staleFor: staleFor,
+		opts:       opts,
+		cache:      c,
+		backend:    opts.Backend,
+		logger:     logger,
+		metrics:    newServerMetrics(c),
+		adm:        newAdmission(int64(opts.AdmissionLimit), queueDepth),
+		breakers:   make(map[string]*breaker),
+		cluster:    opts.Cluster,
+		handoffMax: handoffMax,
+		freshFor:   freshFor,
+		staleFor:   staleFor,
 	}
 	s.metrics.bindAdmission(s.adm)
 	for _, route := range []string{"analyze", "simulate", "sweep", "jobs"} {
@@ -356,6 +383,9 @@ func Routes() []Route {
 		{"POST", "/v1/sweep"},
 		{"POST", "/v1/batch"},
 		{"POST", "/v1/cluster/sweep"},
+		{"POST", "/v1/cluster/membership"},
+		{"GET", "/v1/cluster/handoff"},
+		{"POST", "/v1/cluster/handoff"},
 		{"POST", "/v1/jobs"},
 		{"GET", "/v1/jobs"},
 		{"GET", "/v1/jobs/{id}"},
@@ -363,6 +393,7 @@ func Routes() []Route {
 		{"GET", "/v1/jobs/{id}/results"},
 		{"GET", "/v1/jobs/{id}/stream"},
 		{"GET", "/healthz"},
+		{"GET", "/readyz"},
 		{"GET", "/metrics"},
 	}
 }
@@ -375,6 +406,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sweep", s.instrument("sweep", s.handleSweep))
 	mux.HandleFunc("POST /v1/batch", s.instrument("batch", s.handleBatch))
 	mux.HandleFunc("POST /v1/cluster/sweep", s.instrument("cluster_sweep", s.handleClusterSweep))
+	mux.HandleFunc("POST /v1/cluster/membership", s.instrument("cluster_membership", s.handleClusterMembership))
+	mux.HandleFunc("GET /v1/cluster/handoff", s.instrument("cluster_handoff", s.handleClusterHandoffPull))
+	mux.HandleFunc("POST /v1/cluster/handoff", s.instrument("cluster_handoff", s.handleClusterHandoffPush))
 	if s.jobs != nil {
 		mux.HandleFunc("POST /v1/jobs", s.instrument("jobs_submit", s.handleJobSubmit))
 		mux.HandleFunc("GET /v1/jobs", s.instrument("jobs_list", s.handleJobList))
@@ -394,6 +428,7 @@ func (s *Server) Handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	}))
+	mux.HandleFunc("GET /readyz", s.instrument("readyz", s.handleReadyz))
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", obs.ContentType)
 		// A failed write means the scraper hung up; nothing to report to.

@@ -3,12 +3,18 @@
 # plus a standalone reference instance, then assert the cluster-mode
 # invariants end to end:
 #
+#   - instances signal readiness on /readyz (the liveness/readiness split)
 #   - a forwarded request answers 200, and repeating it on the same
 #     instance is an X-Cache: hit with a byte-identical body
 #   - the same request on every instance returns byte-identical bodies
 #   - the coordinator's partitioned /v1/sweep merge is byte-for-byte
 #     identical to the standalone instance's sweep
 #   - peer traffic is visible in mbserve_peer_requests_total
+#   - a hard-killed peer is probed, evicted, and visible in
+#     mbserve_membership_peers{state="evicted"}; restarted with -join it
+#     re-enters the ring, pulls the warm handoff for the keys it owns,
+#     and serves a previously cached request as a byte-identical
+#     X-Cache hit without recomputing
 #
 # Used by `make cluster-smoke` (part of `make check`).
 set -eu
@@ -53,7 +59,7 @@ while [ -z "$BOOTED" ] && [ "$ATTEMPT" -lt 5 ]; do
     for _ in $(seq 1 50); do
         UP=0
         for SELF in "$P1" "$P2" "$P3"; do
-            if curl -sf -o /dev/null "$SELF/healthz" 2>/dev/null; then UP=$((UP + 1)); fi
+            if curl -sf -o /dev/null "$SELF/readyz" 2>/dev/null; then UP=$((UP + 1)); fi
         done
         [ "$UP" = 3 ] && break
         ALIVE=0
@@ -120,5 +126,76 @@ for SELF in "$P1" "$P2" "$P3"; do
 done
 [ "$OK" -ge 1 ] || { echo "cluster-smoke: no successful peer forwards in /metrics"; exit 1; }
 echo "cluster-smoke: peer forwarding visible in mbserve_peer_requests_total"
+
+# --- elastic membership: kill -> evict -> rejoin -> warm handoff ---
+
+# Warm a spread of keys through P1: the forward caches each answer on
+# both P1 and the key's owner, so the survivors hold copies of
+# everything the victim owned.
+i=1
+while [ "$i" -le 15 ]; do
+    R="$(awk "BEGIN{printf \"%g\", $i/20}")"
+    WARM="{\"network\":{\"scheme\":\"full\",\"n\":16,\"b\":8},\"model\":{\"kind\":\"hier\"},\"r\":$R}"
+    STATUS="$(curl -s -o "$WORK/warm$i" -w '%{http_code}' -X POST "$P1/v1/analyze" -d "$WARM")"
+    [ "$STATUS" = 200 ] || { echo "cluster-smoke: warm analyze r=$R returned $STATUS"; exit 1; }
+    i=$((i + 1))
+done
+
+# Hard-kill peer 3 (no graceful leave): the survivors' probers must
+# suspect, confirm, and evict it from the ring.
+P3PID="$(echo $PIDS | awk '{print $NF}')"
+kill -9 "$P3PID" 2>/dev/null || true
+EVICTED=""
+for _ in $(seq 1 120); do
+    V="$(curl -s "$P1/metrics" | sed -n 's/^mbserve_membership_peers{state="evicted"} //p')"
+    [ "$V" = 1 ] && { EVICTED=ok; break; }
+    sleep 0.25
+done
+[ -n "$EVICTED" ] || {
+    echo "cluster-smoke: killed peer never evicted on $P1:"
+    curl -s "$P1/metrics" | grep '^mbserve_membership_peers' || true
+    exit 1
+}
+echo "cluster-smoke: killed peer evicted (mbserve_membership_peers{state=\"evicted\"} = 1)"
+
+# Restart it fresh on the same address, joining through P1: it adopts
+# the membership, announces itself, and pulls the warm handoff for the
+# keys it now owns.
+"$BIN" -addr "127.0.0.1:$((BASE + 2))" -self "$P3" -join "$P1" >"$WORK/peer2b.log" 2>&1 &
+PIDS="$PIDS $!"
+READY=""
+for _ in $(seq 1 100); do
+    if curl -sf -o /dev/null "$P3/readyz" 2>/dev/null; then READY=ok; break; fi
+    sleep 0.1
+done
+[ -n "$READY" ] || { echo "cluster-smoke: rejoined peer never became ready:"; cat "$WORK/peer2b.log"; exit 1; }
+GOTHANDOFF=""
+for _ in $(seq 1 60); do
+    V="$(curl -s "$P3/metrics" | sed -n 's/^mbserve_handoff_entries_total{dir="received"} //p')"
+    if [ -n "$V" ] && [ "$V" -ge 1 ] 2>/dev/null; then GOTHANDOFF=ok; break; fi
+    sleep 0.25
+done
+[ -n "$GOTHANDOFF" ] || {
+    echo "cluster-smoke: rejoined peer absorbed no handoff entries:"
+    curl -s "$P3/metrics" | grep '^mbserve_handoff' || true
+    exit 1
+}
+echo "cluster-smoke: rejoined peer pulled warm handoff ($V entries)"
+
+# Repeat the warm keys on the rejoined peer: every answer must be
+# byte-identical to the pre-death one, and the keys it now owns must be
+# local X-Cache hits — cache inherited over handoff, not recomputed.
+HITS=0
+i=1
+while [ "$i" -le 15 ]; do
+    R="$(awk "BEGIN{printf \"%g\", $i/20}")"
+    WARM="{\"network\":{\"scheme\":\"full\",\"n\":16,\"b\":8},\"model\":{\"kind\":\"hier\"},\"r\":$R}"
+    HDRS="$(curl -s -D - -o "$WORK/rewarm$i" -X POST "$P3/v1/analyze" -d "$WARM" | tr -d '\r')"
+    case "$HDRS" in *"X-Cache: hit"*) HITS=$((HITS + 1));; esac
+    cmp -s "$WORK/warm$i" "$WORK/rewarm$i" || { echo "cluster-smoke: post-rejoin answer for r=$R differs from the pre-death one"; exit 1; }
+    i=$((i + 1))
+done
+[ "$HITS" -ge 1 ] || { echo "cluster-smoke: no post-rejoin X-Cache hits (handoff did not warm the new owner)"; exit 1; }
+echo "cluster-smoke: $HITS/15 post-rejoin repeats served as warm X-Cache hits, all byte-identical"
 
 echo "cluster-smoke: PASS"
